@@ -1,0 +1,54 @@
+//! EXP-GATES (timing side): netlist synthesis and evaluation cost of the
+//! gate-level B(n), versus the behavioral model — quantifying what the
+//! circuit-accuracy of `benes-gates` costs in simulation time.
+
+use std::time::Duration;
+
+use benes_bench::random_bpc;
+use benes_core::Benes;
+use benes_gates::GateBenes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_gate_eval(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut group = c.benchmark_group("gate_level_vs_behavioral");
+    for n in [3u32, 5, 7] {
+        let perm = random_bpc(&mut rng, n).to_permutation();
+        let data: Vec<u64> = (0..1u64 << n).collect();
+        let hw = GateBenes::build(n, 8);
+        let sw = Benes::new(n);
+        group.bench_with_input(BenchmarkId::new("gate_eval", 1u64 << n), &n, |b, _| {
+            b.iter(|| hw.route(std::hint::black_box(&perm), &data));
+        });
+        group.bench_with_input(BenchmarkId::new("behavioral", 1u64 << n), &n, |b, _| {
+            b.iter(|| sw.self_route(std::hint::black_box(&perm)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gate_synthesis");
+    for n in [3u32, 5, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(1u64 << n), &n, |b, &n| {
+            b.iter(|| GateBenes::build(n, 8));
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_gate_eval, bench_synthesis
+}
+criterion_main!(benches);

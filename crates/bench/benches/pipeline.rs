@@ -1,0 +1,64 @@
+//! EXP-PIPE (timing side): pipelined streaming versus one-vector-at-a-time
+//! routing for a batch of k permutation vectors (§IV).
+
+use std::time::Duration;
+
+use benes_bench::random_f_member;
+use benes_core::pipeline::Pipeline;
+use benes_core::Benes;
+use benes_perm::Permutation;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tagged(perm: &Permutation) -> Vec<(u32, u32)> {
+    perm.destinations().iter().enumerate().map(|(i, &d)| (d, i as u32)).collect()
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut group = c.benchmark_group("pipeline_stream_32_vectors");
+    for n in [6u32, 10] {
+        let perms: Vec<Permutation> =
+            (0..32).map(|_| random_f_member(&mut rng, n)).collect();
+        group.bench_with_input(BenchmarkId::new("pipelined", 1u64 << n), &n, |b, _| {
+            b.iter(|| {
+                let mut pipe: Pipeline<u32> = Pipeline::new(n);
+                let mut emitted = 0;
+                let mut clock = 0usize;
+                while emitted < perms.len() {
+                    let input = perms.get(clock).map(tagged);
+                    if pipe.clock(input).is_some() {
+                        emitted += 1;
+                    }
+                    clock += 1;
+                }
+                emitted
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("unpipelined", 1u64 << n), &n, |b, _| {
+            let net = Benes::new(n);
+            b.iter(|| {
+                perms
+                    .iter()
+                    .map(|p| net.self_route_records(tagged(p)).unwrap().0.len())
+                    .sum::<usize>()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_streaming
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! BENCH-SR: software timing of the self-routing network transit
+//! (`Benes::self_route`) and the two class-F membership deciders across
+//! network sizes.
+//!
+//! The paper's claim is about *hardware* delay (2·log N − 1 gate levels,
+//! reported by the EXP-COST binary); these benches time the software
+//! simulation, whose cost is Θ(N log N) work with a small constant.
+
+use std::time::Duration;
+
+use benes_bench::{random_bpc, random_f_member};
+use benes_core::class_f::{is_in_f, is_in_f_by_simulation};
+use benes_core::Benes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_self_route(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("self_route_transit");
+    for n in [4u32, 6, 8, 10, 12, 14, 16] {
+        let net = Benes::new(n);
+        let perm = random_f_member(&mut rng, n);
+        group.throughput(Throughput::Elements(1u64 << n));
+        group.bench_with_input(BenchmarkId::from_parameter(1u64 << n), &n, |b, _| {
+            b.iter(|| {
+                let outcome = net.self_route(std::hint::black_box(&perm));
+                assert!(outcome.is_success());
+                outcome
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_membership(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut group = c.benchmark_group("class_f_membership");
+    for n in [6u32, 10, 14] {
+        let perm = random_bpc(&mut rng, n).to_permutation();
+        group.bench_with_input(BenchmarkId::new("theorem1_recursion", 1u64 << n), &n, |b, _| {
+            b.iter(|| is_in_f(std::hint::black_box(&perm)));
+        });
+        group.bench_with_input(BenchmarkId::new("simulation", 1u64 << n), &n, |b, _| {
+            b.iter(|| is_in_f_by_simulation(std::hint::black_box(&perm)));
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_self_route, bench_membership
+}
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! EXP-SETUP: the paper's motivating gap — time to perform a permutation
+//! with set-up included.
+//!
+//! Three ways to realize a permutation on the Benes substrate:
+//!
+//! 1. **self-route** (F(n) inputs only): no set-up at all;
+//! 2. **Waksman set-up + route** (any input): the `O(N log N)` serial
+//!    set-up the paper's §I quotes as the best known;
+//! 3. **bitonic-sort route** (any input): the self-routing-but-deeper
+//!    alternative.
+//!
+//! The shape to reproduce: (1) beats (2) and (3) for F(n) permutations at
+//! every size, because (2) pays the set-up and (3) pays Θ(log² N) depth.
+
+use std::time::Duration;
+
+use benes_bench::{random_f_member, random_permutation};
+use benes_core::{waksman, Benes};
+use benes_networks::BitonicSorter;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_f_permutations(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut group = c.benchmark_group("route_f_permutation");
+    for n in [6u32, 10, 14] {
+        let net = Benes::new(n);
+        let sorter = BitonicSorter::new(n);
+        let perm = random_f_member(&mut rng, n);
+        group.bench_with_input(BenchmarkId::new("self_route", 1u64 << n), &n, |b, _| {
+            b.iter(|| net.self_route(std::hint::black_box(&perm)));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("waksman_setup_plus_route", 1u64 << n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let settings = waksman::setup(std::hint::black_box(&perm)).unwrap();
+                    net.route_with(&settings, perm.destinations()).unwrap()
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("bitonic_route", 1u64 << n), &n, |b, _| {
+            b.iter(|| sorter.route(std::hint::black_box(&perm)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_arbitrary_permutations(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut group = c.benchmark_group("route_arbitrary_permutation");
+    for n in [6u32, 10, 14] {
+        let net = Benes::new(n);
+        let sorter = BitonicSorter::new(n);
+        let perm = random_permutation(&mut rng, 1usize << n);
+        group.bench_with_input(
+            BenchmarkId::new("waksman_setup_plus_route", 1u64 << n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let settings = waksman::setup(std::hint::black_box(&perm)).unwrap();
+                    net.route_with(&settings, perm.destinations()).unwrap()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("waksman_setup_only", 1u64 << n),
+            &n,
+            |b, _| {
+                b.iter(|| waksman::setup(std::hint::black_box(&perm)).unwrap());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parallel_setup_only", 1u64 << n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    benes_core::parallel_setup::setup_parallel(std::hint::black_box(&perm))
+                        .unwrap()
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("bitonic_route", 1u64 << n), &n, |b, _| {
+            b.iter(|| sorter.route(std::hint::black_box(&perm)));
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_f_permutations, bench_arbitrary_permutations
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! BENCH-SIMD: the §III machine algorithms — F(n) routing on CCC, PSC and
+//! MCC versus the bitonic-sort baseline on the same machines.
+//!
+//! The shape to reproduce: the F(n) algorithm's advantage grows with N on
+//! the cube/shuffle machines (O(log N) vs O(log² N) data movement), and
+//! holds with a constant factor on the mesh.
+
+use std::time::Duration;
+
+use benes_bench::random_f_member;
+use benes_simd::ccc::Ccc;
+use benes_simd::machine::records_for;
+use benes_simd::mcc::Mcc;
+use benes_simd::psc::Psc;
+use benes_simd::sort_route;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_machines(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut group = c.benchmark_group("simd_route_f");
+    for n in [6u32, 10, 14] {
+        let perm = random_f_member(&mut rng, n);
+        let ccc = Ccc::new(n);
+        let psc = Psc::new(n);
+        let mcc = Mcc::new(n);
+        group.bench_with_input(BenchmarkId::new("ccc_route_f", 1u64 << n), &n, |b, _| {
+            b.iter(|| ccc.route_f(records_for(std::hint::black_box(&perm))));
+        });
+        group.bench_with_input(BenchmarkId::new("psc_route_f", 1u64 << n), &n, |b, _| {
+            b.iter(|| psc.route_f(records_for(std::hint::black_box(&perm))));
+        });
+        group.bench_with_input(BenchmarkId::new("mcc_route_f", 1u64 << n), &n, |b, _| {
+            b.iter(|| mcc.route_f(records_for(std::hint::black_box(&perm))));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("ccc_bitonic_sort_route", 1u64 << n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    sort_route::bitonic_route_ccc(records_for(std::hint::black_box(&perm)))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_machines
+}
+criterion_main!(benches);

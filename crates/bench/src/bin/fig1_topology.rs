@@ -1,0 +1,49 @@
+//! Experiment FIG1: the structure of the Benes network `B(n)` (paper
+//! Fig. 1) and the switch-count / stage-count formulas of §I.
+//!
+//! Prints the recursive topology of `B(3)` and checks the closed forms
+//! `stages = 2·log N − 1` and `switches = N·log N − N/2` for a sweep of
+//! sizes.
+
+use benes_bench::Table;
+use benes_core::render::render_structure;
+use benes_core::{topology, Benes};
+
+fn main() {
+    println!("== FIG1: Benes network structure (paper Fig. 1) ==\n");
+    let net = Benes::new(3);
+    println!("{}", render_structure(&net));
+
+    println!("== §I size formulas across n ==\n");
+    let mut table = Table::new(vec![
+        "n",
+        "N = 2^n",
+        "stages (2n-1)",
+        "switches/stage (N/2)",
+        "total switches (N·n - N/2)",
+        "formula check",
+    ]);
+    for n in 1..=12u32 {
+        let nn = 1u64 << n;
+        let stages = topology::stage_count(n) as u64;
+        let per = topology::switches_per_stage(n) as u64;
+        let total = topology::switch_count(n) as u64;
+        let formula = nn * u64::from(n) - nn / 2;
+        table.row(vec![
+            n.to_string(),
+            nn.to_string(),
+            stages.to_string(),
+            per.to_string(),
+            total.to_string(),
+            if total == formula { "ok".into() } else { format!("MISMATCH {formula}") },
+        ]);
+    }
+    println!("{}", table.render());
+
+    // Fig. 2/3 companion: the switch-state semantics and control rule.
+    println!("== FIG2-3: switch semantics ==\n");
+    println!("state 0 (straight '='): upper in -> upper out, lower in -> lower out");
+    println!("state 1 (cross    'x'): upper in -> lower out, lower in -> upper out");
+    println!("self-routing rule: a switch in stage b or stage 2n-2-b sets itself to");
+    println!("bit b of the destination tag on its UPPER input (Fig. 3).");
+}

@@ -1,0 +1,86 @@
+//! Experiment EXP-GATES: the "simple logic" claim at gate level.
+//!
+//! Synthesizes `B(n)` down to AND/OR/NOT gates (self-setting control
+//! tapped from the upper tag, omega gating on the first `n−1` stages) and
+//! measures:
+//!
+//! * logic gates per switch — constant in `N` for fixed word width;
+//! * total gates versus the behavioral switch count;
+//! * the critical path in gate levels — `7·log N − 3`, i.e. the paper's
+//!   `O(log N)` **total** (set-up + transit) delay, with no set-up phase
+//!   anywhere in the netlist;
+//! * bit-level equivalence with the behavioral model on live routes.
+
+use benes_bench::Table;
+use benes_core::Benes;
+use benes_gates::network::TaperedGateBenes;
+use benes_gates::GateBenes;
+use benes_perm::bpc::Bpc;
+
+fn main() {
+    println!("== EXP-GATES: gate-level synthesis of the self-routing B(n) ==\n");
+    let data_width = 8;
+    println!("payload width: {data_width} bits; tag width: n bits\n");
+
+    let mut table = Table::new(vec![
+        "n",
+        "N",
+        "switches",
+        "gates total",
+        "gates (tapered)",
+        "gates/switch",
+        "critical path (levels)",
+        "7n-3",
+        "routes bit reversal",
+    ]);
+
+    for n in [2u32, 3, 4, 5, 6, 7] {
+        let hw = GateBenes::build(n, data_width);
+        let lean = TaperedGateBenes::build(n, data_width);
+        let counts = hw.gate_counts();
+        let switches = benes_core::topology::switch_count(n);
+        let perm = Bpc::bit_reversal(n).to_permutation();
+        let data: Vec<u64> = (0..1u64 << n).map(|i| i ^ 0x55 & 0xff).collect();
+        let out = hw.route(&perm, &data);
+        assert!(out.is_success());
+        assert_eq!(out.data().to_vec(), perm.apply(&data));
+        assert_eq!(lean.route(&perm, &data), perm.apply(&data));
+
+        // Cross-check against the behavioral model.
+        let sw = Benes::new(n).self_route(&perm);
+        assert_eq!(out.tags(), sw.outputs());
+
+        table.row(vec![
+            n.to_string(),
+            (1u64 << n).to_string(),
+            switches.to_string(),
+            counts.total().to_string(),
+            lean.gate_counts().total().to_string(),
+            format!("{:.1}", counts.total() as f64 / switches as f64),
+            hw.critical_path().to_string(),
+            (7 * n - 3).to_string(),
+            "yes".into(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "(tapered = tag wires dropped after their final use in the second half; \
+         outputs carry payloads only)\n"
+    );
+
+    println!("per-switch breakdown (n = 6, w = {data_width}):");
+    println!(
+        "  control: tap of upper tag bit b (0 gates) [+1 AND on omega-gated stages]"
+    );
+    println!("  datapath: 1 shared inverter + 6 gates per bus wire (two 2:1 muxes)");
+    println!(
+        "  = {} gates/switch plain, {} omega-gated — constant in N (the paper's",
+        benes_gates::switch::gates_per_switch(6, data_width, false),
+        benes_gates::switch::gates_per_switch(6, data_width, true),
+    );
+    println!("  \"some simple logic added to each switch\").\n");
+    println!(
+        "reproduced: total set-up + transit = one combinational pass of \
+         7·log N − 3 gate levels; there is no set-up computation anywhere."
+    );
+}

@@ -1,0 +1,66 @@
+//! Experiment EXP-SETUPCOST: the set-up bottleneck, in the paper's own
+//! cost units.
+//!
+//! §I's framing: performing a permutation on a Benes network = set-up +
+//! transit. The table compares, per network size,
+//!
+//! * **self-routing** (this paper): 0 set-up operations, `2·log N − 1`
+//!   transit levels — for `F(n)` inputs;
+//! * **parallel set-up** (\[7\]-class, pointer jumping on a CIC):
+//!   measured `O(log² N)` parallel rounds, for arbitrary inputs;
+//! * **sequential set-up** (Waksman \[10\]): `O(N log N)` serial
+//!   operations (lower-bounded here by the switch count it must write);
+//! * the **sorting network** alternative: `log N (log N + 1)/2` levels,
+//!   no set-up, arbitrary inputs.
+
+use benes_bench::{random_permutation, Table};
+use benes_core::{parallel_setup, topology, waksman, Benes};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1980);
+    println!("== EXP-SETUPCOST: set-up cost before the first datum moves ==\n");
+
+    let mut table = Table::new(vec![
+        "n",
+        "N",
+        "self-route set-up (F(n))",
+        "parallel set-up rounds",
+        "sequential set-up ops (≥ switches)",
+        "transit levels (2n-1)",
+        "sorter levels (n(n+1)/2)",
+    ]);
+
+    for n in [3u32, 6, 9, 12] {
+        let d = random_permutation(&mut rng, 1usize << n);
+        let (settings, cost) = parallel_setup::setup_parallel(&d).expect("valid");
+        // Sanity: the parallel settings really realize d.
+        let net = Benes::new(n);
+        let data: Vec<u32> = (0..1u32 << n).collect();
+        let out = net.route_with(&settings, &data).expect("routes");
+        assert_eq!(out, d.apply(&data));
+        // And the sequential set-up produces equally valid settings.
+        let seq = waksman::setup(&d).expect("valid");
+        let out_seq = net.route_with(&seq, &data).expect("routes");
+        assert_eq!(out_seq, out);
+
+        table.row(vec![
+            n.to_string(),
+            (1u64 << n).to_string(),
+            "0".into(),
+            cost.rounds.to_string(),
+            topology::switch_count(n).to_string(),
+            (2 * n - 1).to_string(),
+            (n * (n + 1) / 2).to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "reproduced: for arbitrary permutations the set-up dominates (§I): even \
+         the parallel algorithm needs Θ(log² N) rounds before the first datum \
+         moves, and the serial one touches every switch. For F(n) traffic the \
+         self-routing network starts moving data immediately — the entire \
+         contribution of the paper in one column."
+    );
+}

@@ -1,0 +1,585 @@
+//! Bit-field notation and manipulation utilities for the self-routing Benes
+//! network reproduction.
+//!
+//! The paper (Nassimi & Sahni, *A Self-Routing Benes Network and Parallel
+//! Permutation Algorithms*, 1980) works entirely in terms of the binary
+//! representation of terminal and processing-element indices. Section II
+//! introduces the notation
+//!
+//! * `(i)_j` — the *j*-th bit of `i` (bit 0 is least significant), and
+//! * `(i)_{j..k}` with `j ≥ k` — the integer whose binary representation is
+//!   the bit-slice `(i)_j (i)_{j-1} … (i)_k`.
+//!
+//! This crate provides those primitives ([`bit`], [`bit_slice`]) plus the
+//! handful of derived operations the paper relies on: the *cube neighbour*
+//! `i^{(b)}` ([`flip_bit`]), bit reversal within a fixed width
+//! ([`reverse_bits`]), the perfect shuffle / unshuffle as bit rotations
+//! ([`shuffle`], [`unshuffle`]), and bit interleaving for the
+//! "shuffled row major" and "bit shuffle" permutations of Table I
+//! ([`interleave`], [`deinterleave`]).
+//!
+//! All functions operate on `u64` values interpreted as `width`-bit unsigned
+//! integers, where `width` is at most [`MAX_WIDTH`] (63). Widths are validated
+//! eagerly (the crate is the foundation of everything above it, so silent
+//! wrap-around here would be very hard to debug later).
+//!
+//! # Examples
+//!
+//! ```
+//! use benes_bits::{bit, bit_slice, reverse_bits};
+//!
+//! let i = 0b101101;
+//! assert_eq!(bit(i, 0), 1);
+//! assert_eq!(bit(i, 1), 0);
+//! // The paper's example: i = 101101 ⇒ (i)_{4..1} = 0110.
+//! assert_eq!(bit_slice(i, 4, 1), 0b0110);
+//! // Bit reversal within 6 bits.
+//! assert_eq!(reverse_bits(i, 6), 0b101101);
+//! assert_eq!(reverse_bits(0b100110, 6), 0b011001);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The largest supported bit width for the fixed-width operations.
+///
+/// Values are held in `u64`; one bit of headroom is kept so that
+/// `1 << width` (the modulus `N = 2^n`) never overflows.
+pub const MAX_WIDTH: u32 = 63;
+
+/// Returns bit `j` of `i` — the paper's `(i)_j` — as `0` or `1`.
+///
+/// Bit 0 is the least-significant bit.
+///
+/// # Panics
+///
+/// Panics if `j > 63`.
+///
+/// # Examples
+///
+/// ```
+/// use benes_bits::bit;
+/// assert_eq!(bit(0b100, 2), 1);
+/// assert_eq!(bit(0b100, 1), 0);
+/// ```
+#[inline]
+#[must_use]
+pub fn bit(i: u64, j: u32) -> u64 {
+    assert!(j <= MAX_WIDTH, "bit index {j} out of range (max {MAX_WIDTH})");
+    (i >> j) & 1
+}
+
+/// Returns the bit-slice `(i)_{j..k}` (inclusive on both ends, `j ≥ k`).
+///
+/// The result is the integer whose binary representation is
+/// `(i)_j (i)_{j-1} … (i)_k`; equivalently `(i >> k)` masked to `j - k + 1`
+/// bits. The paper's example: for `i = 101101₂`, `(i)_{4..1} = 0110₂`.
+///
+/// # Panics
+///
+/// Panics if `j < k` or `j > 63`.
+///
+/// # Examples
+///
+/// ```
+/// use benes_bits::bit_slice;
+/// assert_eq!(bit_slice(0b101101, 4, 1), 0b0110);
+/// assert_eq!(bit_slice(0b101101, 3, 3), 1);
+/// ```
+#[inline]
+#[must_use]
+pub fn bit_slice(i: u64, j: u32, k: u32) -> u64 {
+    assert!(j >= k, "bit_slice requires j >= k (got j={j}, k={k})");
+    assert!(j <= MAX_WIDTH, "bit index {j} out of range (max {MAX_WIDTH})");
+    (i >> k) & mask(j - k + 1)
+}
+
+/// Returns `i` with bit `j` forced to `v` (`v` must be 0 or 1).
+///
+/// # Panics
+///
+/// Panics if `j > 63` or `v > 1`.
+///
+/// # Examples
+///
+/// ```
+/// use benes_bits::with_bit;
+/// assert_eq!(with_bit(0b100, 0, 1), 0b101);
+/// assert_eq!(with_bit(0b101, 2, 0), 0b001);
+/// ```
+#[inline]
+#[must_use]
+pub fn with_bit(i: u64, j: u32, v: u64) -> u64 {
+    assert!(j <= MAX_WIDTH, "bit index {j} out of range (max {MAX_WIDTH})");
+    assert!(v <= 1, "bit value must be 0 or 1 (got {v})");
+    (i & !(1 << j)) | (v << j)
+}
+
+/// Returns the cube neighbour `i^{(b)}`: `i` with bit `b` complemented.
+///
+/// This is the paper's `i_(b)` notation — the index whose binary
+/// representation differs from that of `i` only in bit `b`. In the cube
+/// connected computer, `PE(i)` is directly connected to `PE(i^{(b)})` for
+/// every `b < n`.
+///
+/// # Panics
+///
+/// Panics if `b > 63`.
+///
+/// # Examples
+///
+/// ```
+/// use benes_bits::flip_bit;
+/// assert_eq!(flip_bit(0b000, 2), 0b100);
+/// assert_eq!(flip_bit(0b111, 0), 0b110);
+/// ```
+#[inline]
+#[must_use]
+pub fn flip_bit(i: u64, b: u32) -> u64 {
+    assert!(b <= MAX_WIDTH, "bit index {b} out of range (max {MAX_WIDTH})");
+    i ^ (1 << b)
+}
+
+/// Returns a mask of `width` low one-bits.
+///
+/// # Panics
+///
+/// Panics if `width > 63`.
+///
+/// # Examples
+///
+/// ```
+/// use benes_bits::mask;
+/// assert_eq!(mask(0), 0);
+/// assert_eq!(mask(4), 0b1111);
+/// ```
+#[inline]
+#[must_use]
+pub fn mask(width: u32) -> u64 {
+    assert!(width <= MAX_WIDTH, "width {width} out of range (max {MAX_WIDTH})");
+    (1u64 << width) - 1
+}
+
+/// Checks that `i` fits in `width` bits.
+///
+/// # Examples
+///
+/// ```
+/// use benes_bits::fits;
+/// assert!(fits(0b111, 3));
+/// assert!(!fits(0b1000, 3));
+/// ```
+#[inline]
+#[must_use]
+pub fn fits(i: u64, width: u32) -> bool {
+    width > MAX_WIDTH || i <= mask(width)
+}
+
+/// Reverses the low `width` bits of `i` (the paper's `i^R`).
+///
+/// Bits at positions `width..64` must be zero. Bit reversal is the
+/// permutation of Fig. 4 of the paper and the `A = (0, 1, …, n−1)` entry of
+/// Table I.
+///
+/// # Panics
+///
+/// Panics if `width > 63` or `i` does not fit in `width` bits.
+///
+/// # Examples
+///
+/// ```
+/// use benes_bits::reverse_bits;
+/// assert_eq!(reverse_bits(0b110, 3), 0b011);
+/// assert_eq!(reverse_bits(0b001, 3), 0b100);
+/// assert_eq!(reverse_bits(0, 0), 0); // width 0 is the empty reversal
+/// ```
+#[inline]
+#[must_use]
+pub fn reverse_bits(i: u64, width: u32) -> u64 {
+    assert!(fits(i, width), "value {i:#b} does not fit in {width} bits");
+    if width == 0 {
+        return 0;
+    }
+    i.reverse_bits() >> (64 - width)
+}
+
+/// The perfect shuffle of an index: a cyclic *left* rotation of the low
+/// `width` bits.
+///
+/// `shuffle(i, n)` maps `i_{n-1} i_{n-2} … i_0` to `i_{n-2} … i_0 i_{n-1}`.
+/// In a perfect shuffle computer, `PE(i)` has a "shuffle" link to
+/// `PE(shuffle(i, n))`. As a data permutation this is Table I's
+/// "Perfect Shuffle", `A = (0, n−1, n−2, …, 1)`.
+///
+/// # Panics
+///
+/// Panics if `width == 0`, `width > 63`, or `i` does not fit in `width` bits.
+///
+/// # Examples
+///
+/// ```
+/// use benes_bits::shuffle;
+/// assert_eq!(shuffle(0b100, 3), 0b001);
+/// assert_eq!(shuffle(0b011, 3), 0b110);
+/// ```
+#[inline]
+#[must_use]
+pub fn shuffle(i: u64, width: u32) -> u64 {
+    assert!(width > 0, "shuffle requires a positive width");
+    assert!(fits(i, width), "value {i:#b} does not fit in {width} bits");
+    ((i << 1) | (i >> (width - 1))) & mask(width)
+}
+
+/// The inverse perfect shuffle (unshuffle): a cyclic *right* rotation of the
+/// low `width` bits.
+///
+/// Inverse of [`shuffle`]. As a data permutation this is Table I's
+/// "Unshuffle", `A = (n−2, n−3, …, 0, n−1)`.
+///
+/// # Panics
+///
+/// Panics if `width == 0`, `width > 63`, or `i` does not fit in `width` bits.
+///
+/// # Examples
+///
+/// ```
+/// use benes_bits::{shuffle, unshuffle};
+/// assert_eq!(unshuffle(0b001, 3), 0b100);
+/// assert_eq!(unshuffle(shuffle(0b101, 3), 3), 0b101);
+/// ```
+#[inline]
+#[must_use]
+pub fn unshuffle(i: u64, width: u32) -> u64 {
+    assert!(width > 0, "unshuffle requires a positive width");
+    assert!(fits(i, width), "value {i:#b} does not fit in {width} bits");
+    ((i >> 1) | ((i & 1) << (width - 1))) & mask(width)
+}
+
+/// Rotates the low `width` bits of `i` left by `amount` positions.
+///
+/// `rotate_left(i, n, 1)` equals [`shuffle(i, n)`](shuffle).
+///
+/// # Panics
+///
+/// Panics if `width == 0`, `width > 63`, or `i` does not fit in `width` bits.
+///
+/// # Examples
+///
+/// ```
+/// use benes_bits::rotate_left;
+/// assert_eq!(rotate_left(0b1000, 4, 2), 0b0010);
+/// assert_eq!(rotate_left(0b1000, 4, 4), 0b1000);
+/// ```
+#[inline]
+#[must_use]
+pub fn rotate_left(i: u64, width: u32, amount: u32) -> u64 {
+    assert!(width > 0, "rotate_left requires a positive width");
+    assert!(fits(i, width), "value {i:#b} does not fit in {width} bits");
+    let r = amount % width;
+    if r == 0 {
+        i
+    } else {
+        ((i << r) | (i >> (width - r))) & mask(width)
+    }
+}
+
+/// Rotates the low `width` bits of `i` right by `amount` positions.
+///
+/// # Panics
+///
+/// Panics if `width == 0`, `width > 63`, or `i` does not fit in `width` bits.
+///
+/// # Examples
+///
+/// ```
+/// use benes_bits::rotate_right;
+/// assert_eq!(rotate_right(0b0010, 4, 2), 0b1000);
+/// ```
+#[inline]
+#[must_use]
+pub fn rotate_right(i: u64, width: u32, amount: u32) -> u64 {
+    assert!(width > 0, "rotate_right requires a positive width");
+    let r = amount % width;
+    rotate_left(i, width, width - r)
+}
+
+/// Interleaves the two halves of a `2·half`-bit index (Table I's
+/// "Shuffled Row Major" inverse building block).
+///
+/// Writing `i = x_{h-1} … x_0 y_{h-1} … y_0` (high half `x`, low half `y`),
+/// the result is `x_{h-1} y_{h-1} … x_0 y_0`.
+///
+/// # Panics
+///
+/// Panics if `half == 0`, `2·half > 63`, or `i` does not fit in `2·half`
+/// bits.
+///
+/// # Examples
+///
+/// ```
+/// use benes_bits::interleave;
+/// // x = 10, y = 11 → 1101
+/// assert_eq!(interleave(0b1011, 2), 0b1101);
+/// ```
+#[inline]
+#[must_use]
+pub fn interleave(i: u64, half: u32) -> u64 {
+    assert!(half > 0, "interleave requires a positive half-width");
+    let width = 2 * half;
+    assert!(width <= MAX_WIDTH, "width {width} out of range (max {MAX_WIDTH})");
+    assert!(fits(i, width), "value {i:#b} does not fit in {width} bits");
+    let x = i >> half;
+    let y = i & mask(half);
+    let mut out = 0u64;
+    for b in 0..half {
+        out |= bit(y, b) << (2 * b);
+        out |= bit(x, b) << (2 * b + 1);
+    }
+    out
+}
+
+/// Inverse of [`interleave`]: gathers even bits into the low half and odd
+/// bits into the high half.
+///
+/// # Panics
+///
+/// Panics if `half == 0`, `2·half > 63`, or `i` does not fit in `2·half`
+/// bits.
+///
+/// # Examples
+///
+/// ```
+/// use benes_bits::{deinterleave, interleave};
+/// assert_eq!(deinterleave(interleave(0b1011, 2), 2), 0b1011);
+/// ```
+#[inline]
+#[must_use]
+pub fn deinterleave(i: u64, half: u32) -> u64 {
+    assert!(half > 0, "deinterleave requires a positive half-width");
+    let width = 2 * half;
+    assert!(width <= MAX_WIDTH, "width {width} out of range (max {MAX_WIDTH})");
+    assert!(fits(i, width), "value {i:#b} does not fit in {width} bits");
+    let mut x = 0u64;
+    let mut y = 0u64;
+    for b in 0..half {
+        y |= bit(i, 2 * b) << b;
+        x |= bit(i, 2 * b + 1) << b;
+    }
+    (x << half) | y
+}
+
+/// Returns `log2(n)` if `n` is a power of two, `None` otherwise.
+///
+/// Used throughout the workspace to recover `n` from `N = 2^n`.
+///
+/// # Examples
+///
+/// ```
+/// use benes_bits::log2_exact;
+/// assert_eq!(log2_exact(8), Some(3));
+/// assert_eq!(log2_exact(6), None);
+/// assert_eq!(log2_exact(0), None);
+/// ```
+#[inline]
+#[must_use]
+pub fn log2_exact(n: u64) -> Option<u32> {
+    if n.is_power_of_two() {
+        Some(n.trailing_zeros())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_extracts_each_position() {
+        let v = 0b1011_0101;
+        let expected = [1, 0, 1, 0, 1, 1, 0, 1];
+        for (j, &e) in expected.iter().enumerate() {
+            assert_eq!(bit(v, j as u32), e, "bit {j}");
+        }
+    }
+
+    #[test]
+    fn bit_of_high_position_is_zero() {
+        assert_eq!(bit(0b1, 63), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_rejects_index_64() {
+        let _ = bit(1, 64);
+    }
+
+    #[test]
+    fn bit_slice_matches_paper_example() {
+        // Paper §II: i = 101101 ⇒ (i)_{4..1} = 0110.
+        assert_eq!(bit_slice(0b101101, 4, 1), 0b0110);
+    }
+
+    #[test]
+    fn bit_slice_single_bit_equals_bit() {
+        let v = 0b110101;
+        for j in 0..6 {
+            assert_eq!(bit_slice(v, j, j), bit(v, j));
+        }
+    }
+
+    #[test]
+    fn bit_slice_full_width_is_identity() {
+        assert_eq!(bit_slice(0b101101, 5, 0), 0b101101);
+    }
+
+    #[test]
+    #[should_panic(expected = "j >= k")]
+    fn bit_slice_rejects_reversed_range() {
+        let _ = bit_slice(0, 1, 2);
+    }
+
+    #[test]
+    fn with_bit_sets_and_clears() {
+        assert_eq!(with_bit(0, 3, 1), 0b1000);
+        assert_eq!(with_bit(0b1111, 2, 0), 0b1011);
+        assert_eq!(with_bit(0b1111, 2, 1), 0b1111);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit value")]
+    fn with_bit_rejects_nonbinary_value() {
+        let _ = with_bit(0, 0, 2);
+    }
+
+    #[test]
+    fn flip_bit_is_involution() {
+        for i in 0..16u64 {
+            for b in 0..4 {
+                assert_eq!(flip_bit(flip_bit(i, b), b), i);
+                assert_ne!(flip_bit(i, b), i);
+            }
+        }
+    }
+
+    #[test]
+    fn mask_widths() {
+        assert_eq!(mask(0), 0);
+        assert_eq!(mask(1), 1);
+        assert_eq!(mask(8), 0xff);
+        assert_eq!(mask(63), u64::MAX >> 1);
+    }
+
+    #[test]
+    fn fits_boundaries() {
+        assert!(fits(7, 3));
+        assert!(!fits(8, 3));
+        assert!(fits(0, 0));
+        assert!(!fits(1, 0));
+    }
+
+    #[test]
+    fn reverse_bits_small_cases() {
+        assert_eq!(reverse_bits(0b000, 3), 0b000);
+        assert_eq!(reverse_bits(0b001, 3), 0b100);
+        assert_eq!(reverse_bits(0b010, 3), 0b010);
+        assert_eq!(reverse_bits(0b011, 3), 0b110);
+        assert_eq!(reverse_bits(0b100, 3), 0b001);
+        assert_eq!(reverse_bits(0b101, 3), 0b101);
+        assert_eq!(reverse_bits(0b110, 3), 0b011);
+        assert_eq!(reverse_bits(0b111, 3), 0b111);
+    }
+
+    #[test]
+    fn reverse_bits_is_involution() {
+        for width in 1..10 {
+            for i in 0..(1u64 << width) {
+                assert_eq!(reverse_bits(reverse_bits(i, width), width), i);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn reverse_bits_rejects_oversized_value() {
+        let _ = reverse_bits(0b1000, 3);
+    }
+
+    #[test]
+    fn shuffle_rotates_left() {
+        // 3-bit: i2 i1 i0 → i1 i0 i2
+        assert_eq!(shuffle(0b100, 3), 0b001);
+        assert_eq!(shuffle(0b010, 3), 0b100);
+        assert_eq!(shuffle(0b001, 3), 0b010);
+        assert_eq!(shuffle(0b110, 3), 0b101);
+    }
+
+    #[test]
+    fn unshuffle_inverts_shuffle() {
+        for width in 1..8 {
+            for i in 0..(1u64 << width) {
+                assert_eq!(unshuffle(shuffle(i, width), width), i);
+                assert_eq!(shuffle(unshuffle(i, width), width), i);
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_width_one_is_identity() {
+        assert_eq!(shuffle(0, 1), 0);
+        assert_eq!(shuffle(1, 1), 1);
+        assert_eq!(unshuffle(1, 1), 1);
+    }
+
+    #[test]
+    fn rotations_compose() {
+        for width in 1..8 {
+            for i in 0..(1u64 << width) {
+                assert_eq!(rotate_left(i, width, 1), shuffle(i, width));
+                assert_eq!(rotate_right(i, width, 1), unshuffle(i, width));
+                assert_eq!(rotate_left(i, width, width), i);
+                if width >= 2 {
+                    assert_eq!(
+                        rotate_left(rotate_left(i, width, 2), width, width - 2),
+                        i
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rotate_amount_wraps_modulo_width() {
+        assert_eq!(rotate_left(0b011, 3, 4), rotate_left(0b011, 3, 1));
+        assert_eq!(rotate_right(0b011, 3, 5), rotate_right(0b011, 3, 2));
+    }
+
+    #[test]
+    fn interleave_small_cases() {
+        // x = 1 0, y = 1 1 → x1 y1 x0 y0 = 1 1 0 1
+        assert_eq!(interleave(0b10_11, 2), 0b1101);
+        // half = 1 degenerates to identity on 2 bits.
+        for i in 0..4u64 {
+            assert_eq!(interleave(i, 1), i);
+        }
+    }
+
+    #[test]
+    fn deinterleave_inverts_interleave() {
+        for half in 1..5u32 {
+            for i in 0..(1u64 << (2 * half)) {
+                assert_eq!(deinterleave(interleave(i, half), half), i);
+                assert_eq!(interleave(deinterleave(i, half), half), i);
+            }
+        }
+    }
+
+    #[test]
+    fn log2_exact_cases() {
+        assert_eq!(log2_exact(1), Some(0));
+        assert_eq!(log2_exact(2), Some(1));
+        assert_eq!(log2_exact(1 << 20), Some(20));
+        assert_eq!(log2_exact(3), None);
+        assert_eq!(log2_exact(0), None);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the bit-field primitives.
+
+use benes_bits::{
+    bit, bit_slice, deinterleave, flip_bit, interleave, mask, reverse_bits, rotate_left,
+    rotate_right, shuffle, unshuffle, with_bit,
+};
+use proptest::prelude::*;
+
+/// A width in `1..=16` and a value fitting in that many bits.
+fn value_with_width() -> impl Strategy<Value = (u64, u32)> {
+    (1u32..=16).prop_flat_map(|w| (0..(1u64 << w), Just(w)))
+}
+
+proptest! {
+    #[test]
+    fn reconstruct_from_bits((v, w) in value_with_width()) {
+        let rebuilt: u64 = (0..w).map(|j| bit(v, j) << j).sum();
+        prop_assert_eq!(rebuilt, v);
+    }
+
+    #[test]
+    fn bit_slice_concatenation((v, w) in value_with_width(), split in 0u32..16) {
+        prop_assume!(split < w);
+        // v = (v)_{w-1..split+?}; splitting at any point reassembles v.
+        let high = if split + 1 <= w - 1 { bit_slice(v, w - 1, split + 1) } else { 0 };
+        let low = bit_slice(v, split, 0);
+        prop_assert_eq!((high << (split + 1)) | low, v);
+    }
+
+    #[test]
+    fn with_bit_then_read((v, w) in value_with_width(), j in 0u32..16, b in 0u64..2) {
+        prop_assume!(j < w);
+        let u = with_bit(v, j, b);
+        prop_assert_eq!(bit(u, j), b);
+        // All other bits untouched.
+        for k in 0..w {
+            if k != j {
+                prop_assert_eq!(bit(u, k), bit(v, k));
+            }
+        }
+    }
+
+    #[test]
+    fn flip_bit_flips_exactly_one((v, w) in value_with_width(), b in 0u32..16) {
+        prop_assume!(b < w);
+        let u = flip_bit(v, b);
+        prop_assert_eq!(u ^ v, 1 << b);
+    }
+
+    #[test]
+    fn reverse_involution((v, w) in value_with_width()) {
+        prop_assert_eq!(reverse_bits(reverse_bits(v, w), w), v);
+    }
+
+    #[test]
+    fn reverse_moves_bits((v, w) in value_with_width()) {
+        for j in 0..w {
+            prop_assert_eq!(bit(reverse_bits(v, w), w - 1 - j), bit(v, j));
+        }
+    }
+
+    #[test]
+    fn shuffle_unshuffle_inverse((v, w) in value_with_width()) {
+        prop_assert_eq!(unshuffle(shuffle(v, w), w), v);
+        prop_assert_eq!(shuffle(unshuffle(v, w), w), v);
+    }
+
+    #[test]
+    fn shuffle_is_rotate_left_one((v, w) in value_with_width()) {
+        prop_assert_eq!(shuffle(v, w), rotate_left(v, w, 1));
+    }
+
+    #[test]
+    fn rotate_composition((v, w) in value_with_width(), a in 0u32..32, b in 0u32..32) {
+        prop_assert_eq!(
+            rotate_left(rotate_left(v, w, a), w, b),
+            rotate_left(v, w, (a + b) % w)
+        );
+        prop_assert_eq!(rotate_right(rotate_left(v, w, a), w, a), v);
+    }
+
+    #[test]
+    fn rotate_preserves_popcount((v, w) in value_with_width(), a in 0u32..32) {
+        prop_assert_eq!(rotate_left(v, w, a).count_ones(), v.count_ones());
+    }
+
+    #[test]
+    fn interleave_roundtrip(half in 1u32..8, raw in any::<u64>()) {
+        let v = raw & mask(2 * half);
+        prop_assert_eq!(deinterleave(interleave(v, half), half), v);
+    }
+
+    #[test]
+    fn interleave_bit_positions(half in 1u32..8, raw in any::<u64>()) {
+        let v = raw & mask(2 * half);
+        let out = interleave(v, half);
+        for b in 0..half {
+            prop_assert_eq!(bit(out, 2 * b), bit(v, b), "low-half bit {}", b);
+            prop_assert_eq!(bit(out, 2 * b + 1), bit(v, half + b), "high-half bit {}", b);
+        }
+    }
+}

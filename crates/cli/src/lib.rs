@@ -1,0 +1,575 @@
+//! The command-line explorer behind the `benes-cli` binary.
+//!
+//! All command logic lives here (returning strings) so it is unit-testable;
+//! the binary is a thin wrapper. Run `benes-cli help` for the command
+//! catalogue.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use benes_core::class_f::check_f;
+use benes_core::render::{render_structure, render_trace};
+use benes_core::trace::RouteTrace;
+use benes_core::{census, waksman, Benes};
+use benes_gates::GateBenes;
+use benes_networks::cost;
+use benes_perm::bpc::Bpc;
+use benes_perm::omega::{cyclic_shift, is_inverse_omega, is_omega, p_ordering};
+use benes_perm::Permutation;
+use benes_simd::ccc::Ccc;
+use benes_simd::machine::{records_for, verify_routed};
+use benes_simd::mcc::Mcc;
+use benes_simd::psc::Psc;
+
+/// Error produced by command parsing or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(String);
+
+impl CliError {
+    fn new(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The help text.
+#[must_use]
+pub fn help() -> String {
+    "\
+benes-cli — explore the self-routing Benes network (Nassimi & Sahni 1980)
+
+USAGE:
+  benes-cli <command> [args]
+
+COMMANDS:
+  classify <D...>            class membership of a permutation
+                             (destination tags, e.g. `classify 1 3 2 0`)
+  route <D...> [mode]        trace a route; mode: self (default) | omega | waksman
+  structure <n>              topology and size report for B(n)
+  census [n]                 |F(n)| / |BPC| / |Ω| / |Ω⁻¹| (exact to n = 3)
+  cost <n>                   the §I network-cost comparison at N = 2^n
+  simd <machine> <D...>      route on ccc | psc | mcc, with route counts
+  gates <n> [data_width]     synthesize B(n) to gates; counts and depth
+  named <name> <n> [k]       generate a named permutation:
+                             bit-reversal | transpose | vector-reversal |
+                             shuffle | unshuffle | shift (k) | p-order (k)
+  gcn <src...>               realize a generalized connection (output o
+                             receives input src[o]; broadcasts allowed)
+  dual <kappa> <D...>        plan a permutation on the §IV dual machine
+                             (kappa = gate delays per SIMD routing step)
+  diagnose <D...>            inject each possible stuck switch for D and
+                             report how many are detectable / masked
+  factor <D...>              split D into inverse-omega * omega factors
+  help                       this text
+"
+    .to_string()
+}
+
+/// Parses the tail of an argument list as a permutation.
+fn parse_permutation(args: &[String]) -> Result<Permutation, CliError> {
+    if args.is_empty() {
+        return Err(CliError::new("expected destination tags, e.g. `1 3 2 0`"));
+    }
+    let dest: Result<Vec<u32>, _> = args.iter().map(|a| a.parse::<u32>()).collect();
+    let dest = dest.map_err(|_| CliError::new("destination tags must be integers"))?;
+    Permutation::from_destinations(dest)
+        .map_err(|e| CliError::new(format!("not a permutation: {e}")))
+}
+
+fn parse_n(arg: Option<&String>, what: &str) -> Result<u32, CliError> {
+    let s = arg.ok_or_else(|| CliError::new(format!("expected {what}")))?;
+    let n: u32 = s.parse().map_err(|_| CliError::new(format!("{what} must be an integer")))?;
+    if n == 0 || n > 20 {
+        return Err(CliError::new(format!("{what} must be in 1..=20")));
+    }
+    Ok(n)
+}
+
+fn network_order(d: &Permutation) -> Result<u32, CliError> {
+    d.log2_len()
+        .filter(|&n| n >= 1)
+        .ok_or_else(|| CliError::new(format!("length {} is not 2^n with n >= 1", d.len())))
+}
+
+/// Executes one command line (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing any parse or usage problem.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(command) = args.first() else {
+        return Ok(help());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "help" | "--help" | "-h" => Ok(help()),
+        "classify" => classify(rest),
+        "route" => route(rest),
+        "structure" => structure(rest),
+        "census" => census_cmd(rest),
+        "cost" => cost_cmd(rest),
+        "simd" => simd(rest),
+        "gates" => gates(rest),
+        "named" => named(rest),
+        "gcn" => gcn(rest),
+        "dual" => dual(rest),
+        "diagnose" => diagnose(rest),
+        "factor" => factor(rest),
+        other => Err(CliError::new(format!(
+            "unknown command `{other}` (try `benes-cli help`)"
+        ))),
+    }
+}
+
+fn gcn(args: &[String]) -> Result<String, CliError> {
+    if args.is_empty() {
+        return Err(CliError::new("expected a request vector, e.g. `gcn 2 0 2 1`"));
+    }
+    let req: Result<Vec<u32>, _> = args.iter().map(|a| a.parse::<u32>()).collect();
+    let req = req.map_err(|_| CliError::new("requests must be integers"))?;
+    let n = benes_bits::log2_exact(req.len() as u64)
+        .filter(|&n| n >= 1)
+        .ok_or_else(|| CliError::new("request count must be 2^n with n >= 1"))?;
+    let gcn = benes_networks::GeneralizedConnectionNetwork::new(n);
+    let data: Vec<u32> = (0..req.len() as u32).collect();
+    let (out, cost) = gcn
+        .realize(&req, &data)
+        .map_err(|e| CliError::new(e.to_string()))?;
+    let mut s = format!(
+        "generalized connection on B({n}): {} levels, {} copies fabricated\n",
+        cost.delay_levels, cost.copies_made
+    );
+    s.push_str("output <- input: ");
+    for (o, v) in out.iter().enumerate() {
+        if o > 0 {
+            s.push(' ');
+        }
+        s.push_str(&format!("{o}<-{v}"));
+    }
+    s.push('\n');
+    Ok(s)
+}
+
+fn dual(args: &[String]) -> Result<String, CliError> {
+    let kappa: u64 = args
+        .first()
+        .and_then(|a| a.parse().ok())
+        .filter(|&k| k >= 1)
+        .ok_or_else(|| CliError::new("expected kappa >= 1 (gate delays per routing step)"))?;
+    let d = parse_permutation(&args[1..])?;
+    let n = network_order(&d)?;
+    let m = benes_simd::dual::DualMachine::new(n, kappa);
+    let plan = m.plan(&d);
+    let path = match plan {
+        benes_simd::dual::RoutePlan::DirectLink { .. } => "E(n) direct link",
+        benes_simd::dual::RoutePlan::BenesNetwork { .. } => "B(n) self-route",
+        benes_simd::dual::RoutePlan::LinkSimulation { .. } => "E(n) link simulation",
+    };
+    let ablation = benes_simd::dual::DualMachine::new(n, kappa)
+        .without_benes()
+        .plan(&d)
+        .gate_delays();
+    Ok(format!(
+        "plan: {path}, {} gate delays (without the Benes attachment: {})\n",
+        plan.gate_delays(),
+        ablation
+    ))
+}
+
+fn factor(args: &[String]) -> Result<String, CliError> {
+    use benes_perm::omega::{is_inverse_omega, is_omega};
+    let d = parse_permutation(args)?;
+    let _ = network_order(&d)?;
+    let (p, q) = benes_core::factor::factor_inverse_omega_omega(&d)
+        .map_err(|e| CliError::new(e.to_string()))?;
+    debug_assert_eq!(p.then(&q), d);
+    Ok(format!(
+        "D = P then Q with\nP = {p}  (inverse-omega: {})\nQ = {q}  (omega: {})\n",
+        is_inverse_omega(&p),
+        is_omega(&q)
+    ))
+}
+
+fn diagnose(args: &[String]) -> Result<String, CliError> {
+    use benes_core::diagnose::{self_route_with_fault, StuckSwitch};
+    let d = parse_permutation(args)?;
+    let n = network_order(&d)?;
+    if n > 6 {
+        return Err(CliError::new("diagnosis sweep supported for n <= 6"));
+    }
+    let net = Benes::new(n);
+    let healthy = net.self_route(&d);
+    let mut masked = 0usize;
+    let mut visible = 0usize;
+    for stage in 0..net.stage_count() {
+        for switch in 0..net.switches_per_stage() {
+            let intended = healthy.settings().get(stage, switch);
+            let fault = StuckSwitch { stage, switch, stuck_at: intended.toggled() };
+            if self_route_with_fault(&net, &d, fault) == healthy.outputs() {
+                masked += 1;
+            } else {
+                visible += 1;
+            }
+        }
+    }
+    let benign = net.switch_count();
+    Ok(format!(
+        "single-stuck-switch sweep for D = {d} on B({n}):\n\
+         {benign} benign (stuck at the intended state, always invisible),\n\
+         {masked} masked (wrong state, later stages re-sort the pair),\n\
+         {visible} visible (misroute observable at the outputs)\n"
+    ))
+}
+
+fn classify(args: &[String]) -> Result<String, CliError> {
+    let d = parse_permutation(args)?;
+    let mut out = format!("D = {d}\n");
+    match d.log2_len() {
+        Some(n) if n >= 1 => out.push_str(&format!("N = {} (n = {n})\n", d.len())),
+        _ => {
+            out.push_str("length is not a power of two: no class applies\n");
+            return Ok(out);
+        }
+    }
+    match Bpc::from_permutation(&d) {
+        Some(a) => out.push_str(&format!("BPC:  yes, A-vector {a}\n")),
+        None => out.push_str("BPC:  no\n"),
+    }
+    out.push_str(&format!("Ω:    {}\n", is_omega(&d)));
+    out.push_str(&format!("Ω⁻¹:  {}\n", is_inverse_omega(&d)));
+    match check_f(&d) {
+        Ok(()) => out.push_str("F:    yes — self-routes with zero set-up\n"),
+        Err(v) => out.push_str(&format!("F:    no — {v}\n")),
+    }
+    Ok(out)
+}
+
+fn route(args: &[String]) -> Result<String, CliError> {
+    let (mode, tag_args) = match args.last().map(String::as_str) {
+        Some("self") | Some("omega") | Some("waksman") => {
+            (args.last().map(String::to_owned).unwrap_or_default(), &args[..args.len() - 1])
+        }
+        _ => ("self".to_string(), args),
+    };
+    let d = parse_permutation(tag_args)?;
+    let n = network_order(&d)?;
+    let net = Benes::new(n);
+    let trace = match mode.as_str() {
+        "self" => RouteTrace::capture_self_route(&net, &d),
+        "omega" => RouteTrace::capture_omega(&net, &d),
+        "waksman" => {
+            let settings = waksman::setup(&d)
+                .map_err(|e| CliError::new(format!("set-up failed: {e}")))?;
+            RouteTrace::capture_external(&net, &d, &settings)
+        }
+        _ => unreachable!("mode restricted above"),
+    }
+    .map_err(|e| CliError::new(e.to_string()))?;
+    Ok(render_trace(&trace))
+}
+
+fn structure(args: &[String]) -> Result<String, CliError> {
+    let n = parse_n(args.first(), "network order n")?;
+    if n > 6 {
+        let net = Benes::new(n);
+        return Ok(format!(
+            "B({n}): {} terminals, {} stages, {} switches (wiring table omitted for n > 6)\n",
+            net.terminal_count(),
+            net.stage_count(),
+            net.switch_count()
+        ));
+    }
+    Ok(render_structure(&Benes::new(n)))
+}
+
+fn census_cmd(args: &[String]) -> Result<String, CliError> {
+    let max_n = match args.first() {
+        Some(_) => parse_n(args.first(), "census order n")?,
+        None => 3,
+    };
+    if max_n > 3 {
+        return Err(CliError::new("exact census supports n <= 3"));
+    }
+    let mut out = String::from("n  |F(n)|  |BPC|  |Ω| = |Ω⁻¹|   N!\n");
+    for n in 1..=max_n {
+        let f = census::count_f(n);
+        let nn = 1u64 << n;
+        let bpc = nn as u128 * (1..=u128::from(n)).product::<u128>();
+        let omega: u128 = 1 << (u64::from(n) * nn / 2);
+        let fact: u128 = (1..=u128::from(nn)).product();
+        out.push_str(&format!("{n}  {f}  {bpc}  {omega}  {fact}\n"));
+    }
+    Ok(out)
+}
+
+fn cost_cmd(args: &[String]) -> Result<String, CliError> {
+    let n = parse_n(args.first(), "network order n")?;
+    let mut out = format!("network costs at N = {} (n = {n})\n", 1u64 << n);
+    for row in cost::comparison(n) {
+        out.push_str(&format!(
+            "{:<26} {:>14} switches  {:>5} levels  set-up: {}\n",
+            row.name, row.switches, row.delay, row.setup
+        ));
+    }
+    Ok(out)
+}
+
+fn simd(args: &[String]) -> Result<String, CliError> {
+    let machine = args
+        .first()
+        .ok_or_else(|| CliError::new("expected machine: ccc | psc | mcc"))?
+        .clone();
+    let d = parse_permutation(&args[1..])?;
+    let n = network_order(&d)?;
+    let (ok, stats, name) = match machine.as_str() {
+        "ccc" => {
+            let (out, stats) = Ccc::new(n).route_f(records_for(&d));
+            (verify_routed(&d, &out), stats, "cube-connected computer")
+        }
+        "psc" => {
+            let (out, stats) = Psc::new(n).route_f(records_for(&d));
+            (verify_routed(&d, &out), stats, "perfect shuffle computer")
+        }
+        "mcc" => {
+            if n % 2 != 0 {
+                return Err(CliError::new("the mesh needs even n (square array)"));
+            }
+            let (out, stats) = Mcc::new(n).route_f(records_for(&d));
+            (verify_routed(&d, &out), stats, "mesh-connected computer")
+        }
+        other => {
+            return Err(CliError::new(format!(
+                "unknown machine `{other}` (ccc | psc | mcc)"
+            )))
+        }
+    };
+    Ok(format!(
+        "{name}, N = {}\nrouted: {}\ncost: {stats}\n{}",
+        d.len(),
+        if ok { "yes" } else { "NO (permutation is outside F(n))" },
+        if ok {
+            String::new()
+        } else {
+            "fallback: sort-based routing handles any permutation in O(log² N)\n"
+                .to_string()
+        }
+    ))
+}
+
+fn gates(args: &[String]) -> Result<String, CliError> {
+    let n = parse_n(args.first(), "network order n")?;
+    if n > 8 {
+        return Err(CliError::new("gate synthesis supported for n <= 8"));
+    }
+    let width = match args.get(1) {
+        Some(w) => w
+            .parse::<u32>()
+            .ok()
+            .filter(|&w| w <= 63)
+            .ok_or_else(|| CliError::new("data width must be an integer <= 63"))?,
+        None => 8,
+    };
+    let hw = GateBenes::build(n, width);
+    let counts = hw.gate_counts();
+    Ok(format!(
+        "gate-level B({n}) with {width}-bit payloads\n{counts}\ncritical path: {} gate levels (7n − 3 = {})\n",
+        hw.critical_path(),
+        7 * n - 3
+    ))
+}
+
+fn named(args: &[String]) -> Result<String, CliError> {
+    let name = args
+        .first()
+        .ok_or_else(|| CliError::new("expected a permutation name (see help)"))?
+        .clone();
+    let n = parse_n(args.get(1), "order n")?;
+    let k: i64 = match args.get(2) {
+        Some(s) => s.parse().map_err(|_| CliError::new("parameter k must be an integer"))?,
+        None => 1,
+    };
+    let d = match name.as_str() {
+        "bit-reversal" => Bpc::bit_reversal(n).to_permutation(),
+        "transpose" => {
+            if n % 2 != 0 {
+                return Err(CliError::new("transpose needs even n"));
+            }
+            Bpc::matrix_transpose(n).to_permutation()
+        }
+        "vector-reversal" => Bpc::vector_reversal(n).to_permutation(),
+        "shuffle" => Bpc::perfect_shuffle(n).to_permutation(),
+        "unshuffle" => Bpc::unshuffle(n).to_permutation(),
+        "shift" => cyclic_shift(n, k),
+        "p-order" => {
+            let p = u64::try_from(k).ok().filter(|p| p % 2 == 1).ok_or_else(|| {
+                CliError::new("p-order needs an odd positive parameter k")
+            })?;
+            p_ordering(n, p)
+        }
+        other => return Err(CliError::new(format!("unknown permutation `{other}`"))),
+    };
+    Ok(format!("{d}\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(line: &str) -> Result<String, CliError> {
+        let args: Vec<String> = line.split_whitespace().map(String::from).collect();
+        run(&args)
+    }
+
+    #[test]
+    fn empty_args_print_help() {
+        assert!(run(&[]).unwrap().contains("USAGE"));
+        assert!(run_str("help").unwrap().contains("classify"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let err = run_str("frobnicate").unwrap_err();
+        assert!(err.to_string().contains("unknown command"));
+    }
+
+    #[test]
+    fn classify_fig5() {
+        let out = run_str("classify 1 3 2 0").unwrap();
+        assert!(out.contains("BPC:  no"));
+        assert!(out.contains("Ω:    true"));
+        assert!(out.contains("Ω⁻¹:  false"));
+        assert!(out.contains("F:    no"));
+    }
+
+    #[test]
+    fn classify_recovers_bpc_vector() {
+        let out = run_str("classify 0 4 2 6 1 5 3 7").unwrap();
+        assert!(out.contains("BPC:  yes"), "{out}");
+        assert!(out.contains("F:    yes"));
+    }
+
+    #[test]
+    fn classify_rejects_garbage() {
+        assert!(run_str("classify 1 1").is_err());
+        assert!(run_str("classify x y").is_err());
+        assert!(run_str("classify").is_err());
+        // Power-of-two check is a report, not an error.
+        let out = run_str("classify 2 0 1").unwrap();
+        assert!(out.contains("not a power of two"));
+    }
+
+    #[test]
+    fn route_modes() {
+        assert!(run_str("route 0 4 2 6 1 5 3 7").unwrap().contains("SUCCESS"));
+        assert!(run_str("route 1 3 2 0").unwrap().contains("FAILURE"));
+        assert!(run_str("route 1 3 2 0 omega").unwrap().contains("SUCCESS"));
+        assert!(run_str("route 1 3 2 0 waksman").unwrap().contains("SUCCESS"));
+    }
+
+    #[test]
+    fn structure_reports_sizes() {
+        let out = run_str("structure 3").unwrap();
+        assert!(out.contains("8 terminals, 5 stages, 20 switches"));
+        let big = run_str("structure 10").unwrap();
+        assert!(big.contains("1024 terminals"));
+        assert!(run_str("structure 0").is_err());
+    }
+
+    #[test]
+    fn census_defaults_to_three() {
+        let out = run_str("census").unwrap();
+        assert!(out.contains("11632"));
+        assert!(run_str("census 4").is_err());
+    }
+
+    #[test]
+    fn cost_lists_seven_networks() {
+        let out = run_str("cost 6").unwrap();
+        assert_eq!(out.matches("switches").count(), 7);
+        assert!(out.contains("Crossbar"));
+        assert!(out.contains("Waksman A(n)"));
+    }
+
+    #[test]
+    fn simd_machines() {
+        let out = run_str("simd ccc 0 4 2 6 1 5 3 7").unwrap();
+        assert!(out.contains("routed: yes"));
+        assert!(out.contains("5 steps"));
+        let out = run_str("simd psc 0 4 2 6 1 5 3 7").unwrap();
+        assert!(out.contains("9 unit-routes"));
+        let out = run_str("simd mcc 1 3 2 0").unwrap();
+        assert!(out.contains("routed: NO"));
+        assert!(run_str("simd mcc 0 4 2 6 1 5 3 7").is_err()); // odd n
+        assert!(run_str("simd tpu 0 1").is_err());
+    }
+
+    #[test]
+    fn gates_report() {
+        let out = run_str("gates 3 4").unwrap();
+        assert!(out.contains("critical path: 18 gate levels"));
+        assert!(run_str("gates 9").is_err());
+    }
+
+    #[test]
+    fn named_generators() {
+        assert_eq!(run_str("named bit-reversal 3").unwrap().trim(), "(0, 4, 2, 6, 1, 5, 3, 7)");
+        assert_eq!(run_str("named shift 2 1").unwrap().trim(), "(1, 2, 3, 0)");
+        assert!(run_str("named transpose 3").is_err());
+        assert!(run_str("named p-order 3 4").is_err()); // even p
+        assert!(run_str("named nonesuch 3").is_err());
+    }
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+
+    fn run_str(line: &str) -> Result<String, CliError> {
+        let args: Vec<String> = line.split_whitespace().map(String::from).collect();
+        run(&args)
+    }
+
+    #[test]
+    fn gcn_command() {
+        let out = run_str("gcn 2 0 2 1").unwrap();
+        assert!(out.contains("1 copies fabricated"));
+        assert!(out.contains("0<-2"));
+        assert!(run_str("gcn 0 1 2").is_err()); // not a power of two
+        assert!(run_str("gcn 9 0 0 0").is_err()); // out of range source
+        assert!(run_str("gcn").is_err());
+    }
+
+    #[test]
+    fn dual_command() {
+        let out = run_str("dual 25 0 4 2 6 1 5 3 7").unwrap();
+        assert!(out.contains("B(n) self-route, 5 gate delays"));
+        let out = run_str("dual 25 0 2 1 3").unwrap(); // shuffle on n=2
+        assert!(out.contains("E(n) direct link"), "{out}");
+        assert!(run_str("dual 0 0 1").is_err()); // kappa must be >= 1
+    }
+
+    #[test]
+    fn factor_command() {
+        let out = run_str("factor 1 3 2 0").unwrap();
+        assert!(out.contains("inverse-omega: true"));
+        assert!(out.contains("omega: true"));
+        assert!(run_str("factor 0 1 2").is_err());
+    }
+
+    #[test]
+    fn diagnose_command() {
+        let out = run_str("diagnose 0 4 2 6 1 5 3 7").unwrap();
+        assert!(out.contains("20 benign"));
+        assert!(out.contains("visible"));
+        assert!(run_str("diagnose 1 0").is_ok());
+    }
+}

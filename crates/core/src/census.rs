@@ -1,0 +1,347 @@
+//! Exact and estimated cardinality of the class `F(n)` — how rich is the
+//! self-routing class, really?
+//!
+//! The paper demonstrates richness qualitatively (`BPC ∪ Ω⁻¹ ⊆ F`,
+//! Theorems 4–6). This module quantifies it. Inverting the Theorem 1
+//! recursion gives an exact product formula: a member of `F(n)` is
+//! uniquely described by
+//!
+//! 1. a pair `U, L ∈ F(n−1)` (the subnetwork tag permutations),
+//! 2. for each half-range value `h`, a *choice bit* `c_h` — whether
+//!    `2h+1` (rather than `2h`) travels through the upper subnetwork, and
+//! 3. for each stage-0 switch, which of its two records sits on the upper
+//!    input — subject to the Fig. 3 rule being consistent.
+//!
+//! At the switch pairing upper-value `u = U_i` with lower-value `l = L_i`
+//! the number of consistent input orders depends only on `(c_u, c_l)`:
+//! `2` if both are 0, `1` if exactly one is, `0` if both are 1. Summing
+//! over all `c` therefore factorizes along the cycles of the permutation
+//! `π = U⁻¹ ∘ L` (value `u` is paired with value `l = π(u)` at some
+//! switch), giving
+//!
+//! ```text
+//! count(U, L) = ∏_{cycles of π, length k} trace(W^k),   W = [[2, 1], [1, 0]]
+//! |F(n)| = Σ_{U, L ∈ F(n−1)} count(U, L)
+//! ```
+//!
+//! with `trace(W^k)` obeying `t_k = 2·t_{k−1} + t_{k−2}`, `t_1 = 2`,
+//! `t_2 = 6` (the paper's `|F(2)| = 20` appears as `2·t_1² + 2·t_2`).
+//!
+//! Everything here is cross-validated against brute-force enumeration in
+//! the tests; the `class_census` experiment binary reports the numbers.
+
+use benes_perm::Permutation;
+
+use crate::class_f::is_in_f;
+
+/// `trace(W^k)` for `W = [[2,1],[1,0]]`: the per-cycle factor of the
+/// counting formula. Sequence 2, 6, 14, 34, 82, … (`t_k = 2t_{k−1} +
+/// t_{k−2}`).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or the value would overflow `u128`.
+#[must_use]
+pub fn cycle_factor(k: usize) -> u128 {
+    assert!(k >= 1, "cycles have length >= 1");
+    let (mut prev, mut cur) = (2u128, 6u128); // t_1, t_2
+    if k == 1 {
+        return prev;
+    }
+    for _ in 2..k {
+        let next = cur
+            .checked_mul(2)
+            .and_then(|x| x.checked_add(prev))
+            .expect("cycle factor overflow");
+        prev = cur;
+        cur = next;
+    }
+    cur
+}
+
+/// The number of `F(n)` members whose subnetwork permutations are exactly
+/// `(u, l)`: `∏ trace(W^k)` over the cycles of `u⁻¹ ∘ l`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ or the product overflows `u128`.
+#[must_use]
+pub fn pair_weight(u: &Permutation, l: &Permutation) -> u128 {
+    assert_eq!(u.len(), l.len(), "subnetwork permutations must have equal length");
+    let pi = u.inverse().then(l);
+    pi.cycles()
+        .iter()
+        .map(|c| cycle_factor(c.len()))
+        .try_fold(1u128, u128::checked_mul)
+        .expect("pair weight overflow")
+}
+
+/// Enumerates every member of `F(n)` constructively (no filtering of
+/// `S_N`), by inverting the Theorem 1 recursion.
+///
+/// Output size is `|F(n)|`, which grows super-exponentially; the function
+/// refuses `n > 3` (`|F(3)|` is already five digits; `|F(4)|` is beyond
+/// ten billion).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 3`.
+#[must_use]
+pub fn enumerate_f(n: u32) -> Vec<Permutation> {
+    assert!((1..=3).contains(&n), "enumerate_f supports 1 <= n <= 3");
+    enumerate_tags(n)
+        .into_iter()
+        .map(|tags| {
+            Permutation::from_destinations(tags.into_iter().map(|t| t as u32).collect())
+                .expect("constructed tags form a permutation")
+        })
+        .collect()
+}
+
+fn enumerate_tags(m: u32) -> Vec<Vec<u64>> {
+    if m == 1 {
+        return vec![vec![0, 1], vec![1, 0]];
+    }
+    let half = 1usize << (m - 1);
+    let subs = enumerate_tags(m - 1);
+    let mut out = Vec::new();
+    for u in &subs {
+        for l in &subs {
+            // Enumerate choice bits c (one per half-range value) and
+            // switch input orders.
+            for c_mask in 0u64..(1 << half) {
+                // Validity: no switch has c_u = c_l = 1.
+                let valid = (0..half).all(|i| {
+                    let cu = (c_mask >> u[i]) & 1;
+                    let cl = (c_mask >> l[i]) & 1;
+                    !(cu == 1 && cl == 1)
+                });
+                if !valid {
+                    continue;
+                }
+                // Switches where both orders work: c_u = 0 AND c_l = 0.
+                let free: Vec<usize> = (0..half)
+                    .filter(|&i| (c_mask >> u[i]) & 1 == 0 && (c_mask >> l[i]) & 1 == 0)
+                    .collect();
+                for order_mask in 0u64..(1 << free.len()) {
+                    let mut tags = vec![0u64; 2 * half];
+                    let mut free_idx = 0;
+                    for i in 0..half {
+                        let cu = (c_mask >> u[i]) & 1;
+                        let cl = (c_mask >> l[i]) & 1;
+                        let a = 2 * u[i] + cu; // travels up
+                        let b = 2 * l[i] + (1 - cl); // travels down
+                        let a_first_ok = a & 1 == 0;
+                        let b_first_ok = b & 1 == 1;
+                        let a_first = if a_first_ok && b_first_ok {
+                            let pick = (order_mask >> free_idx) & 1 == 0;
+                            free_idx += 1;
+                            pick
+                        } else {
+                            a_first_ok
+                        };
+                        if a_first {
+                            tags[2 * i] = a;
+                            tags[2 * i + 1] = b;
+                        } else {
+                            tags[2 * i] = b;
+                            tags[2 * i + 1] = a;
+                        }
+                    }
+                    out.push(tags);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `|F(n)|` computed exactly from the product formula.
+///
+/// Cost: `|F(n−1)|²` pair-weight evaluations — instantaneous for
+/// `n ≤ 3`, minutes for `n = 4` (400 million pairs over `S_8`); larger
+/// `n` is rejected.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 4`.
+#[must_use]
+pub fn count_f(n: u32) -> u128 {
+    assert!((1..=4).contains(&n), "count_f supports 1 <= n <= 4");
+    if n == 1 {
+        return 2;
+    }
+    let members = enumerate_f(n - 1);
+    let mut total = 0u128;
+    for u in &members {
+        for l in &members {
+            total += pair_weight(u, l);
+        }
+    }
+    total
+}
+
+/// An unbiased Monte-Carlo estimate of `|F(n)|` for `n = 4` or `5`:
+/// samples pairs `(U, L)` uniformly from the exact `F(n−1)` enumeration
+/// (for `n = 4`) or from uniform members reachable by the exact
+/// enumeration at `n−1 = 3` composed… for `n = 5` the base set would be
+/// `F(4)`, which cannot be enumerated, so only `n = 4` is supported.
+///
+/// Returns `(estimate, standard_error)`.
+///
+/// # Panics
+///
+/// Panics if `n != 4` or `samples == 0`.
+#[must_use]
+pub fn estimate_count_f(
+    n: u32,
+    samples: usize,
+    mut pick: impl FnMut(usize) -> usize,
+) -> (f64, f64) {
+    assert_eq!(n, 4, "estimation is supported for n = 4 only");
+    assert!(samples > 0, "need at least one sample");
+    let members = enumerate_f(3);
+    let m = members.len() as f64;
+    let mut sum = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    for _ in 0..samples {
+        let u = &members[pick(members.len())];
+        let l = &members[pick(members.len())];
+        let w = pair_weight(u, l) as f64;
+        sum += w;
+        sum_sq += w * w;
+    }
+    let mean = sum / samples as f64;
+    let var = (sum_sq / samples as f64 - mean * mean).max(0.0);
+    let scale = m * m;
+    (scale * mean, scale * (var / samples as f64).sqrt())
+}
+
+/// Brute-force `|F(n)|` by filtering all `N!` permutations — only
+/// feasible for `n ≤ 3`; used to validate [`count_f`].
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 3`.
+#[must_use]
+pub fn count_f_brute_force(n: u32) -> u128 {
+    assert!((1..=3).contains(&n), "brute force supports 1 <= n <= 3");
+    let len = 1u32 << n;
+    let mut count = 0u128;
+    let mut dest: Vec<u32> = (0..len).collect();
+    permute_count(&mut dest, 0, &mut count);
+    count
+}
+
+fn permute_count(dest: &mut Vec<u32>, k: usize, count: &mut u128) {
+    if k == dest.len() {
+        let p = Permutation::from_destinations(dest.clone()).expect("valid");
+        if is_in_f(&p) {
+            *count += 1;
+        }
+        return;
+    }
+    for i in k..dest.len() {
+        dest.swap(k, i);
+        permute_count(dest, k + 1, count);
+        dest.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn cycle_factors_follow_recurrence() {
+        assert_eq!(cycle_factor(1), 2);
+        assert_eq!(cycle_factor(2), 6);
+        assert_eq!(cycle_factor(3), 14);
+        assert_eq!(cycle_factor(4), 34);
+        assert_eq!(cycle_factor(5), 82);
+        for k in 3..30 {
+            assert_eq!(
+                cycle_factor(k),
+                2 * cycle_factor(k - 1) + cycle_factor(k - 2)
+            );
+        }
+    }
+
+    #[test]
+    fn formula_reproduces_f2() {
+        assert_eq!(count_f(2), 20);
+        assert_eq!(count_f_brute_force(2), 20);
+    }
+
+    #[test]
+    fn formula_matches_brute_force_at_n3() {
+        assert_eq!(count_f(3), count_f_brute_force(3));
+    }
+
+    #[test]
+    fn enumeration_is_exact_and_duplicate_free() {
+        for n in 1..=3u32 {
+            let members = enumerate_f(n);
+            assert_eq!(members.len() as u128, count_f(n), "n = {n}");
+            let set: HashSet<Vec<u32>> =
+                members.iter().map(|p| p.destinations().to_vec()).collect();
+            assert_eq!(set.len(), members.len(), "duplicates at n = {n}");
+            for p in &members {
+                assert!(is_in_f(p), "enumerated non-member {p} at n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn pair_weight_identity_pair() {
+        // U = L = identity: π = identity, H fixed points, weight 2^H.
+        let id = Permutation::identity(4);
+        assert_eq!(pair_weight(&id, &id), 16);
+    }
+
+    #[test]
+    fn pair_weight_single_cycle() {
+        // π a 4-cycle: weight t_4 = 34.
+        let u = Permutation::identity(4);
+        let l = Permutation::from_destinations(vec![1, 2, 3, 0]).unwrap();
+        assert_eq!(pair_weight(&u, &l), 34);
+    }
+
+    #[test]
+    fn f2_decomposition_matches_hand_count() {
+        // |F(2)| = Σ over (U, L) ∈ F(1)²: identity pairs give t_1² = 4,
+        // swapped pairs give t_2 = 6 → 2·4 + 2·6 = 20.
+        let members = enumerate_f(1);
+        let total: u128 =
+            members.iter().flat_map(|u| members.iter().map(|l| pair_weight(u, l))).sum();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn estimator_is_consistent_with_exact_value() {
+        // Deterministic "sampling" cycling through indices: with enough
+        // samples the estimate approaches |F(4)|'s exact pair-sum mean.
+        // Here we only verify that full-coverage sampling of n = 4 over a
+        // fixed member subset is finite and positive.
+        let mut state = 0usize;
+        let (est, se) = estimate_count_f(4, 2000, |len| {
+            state = (state * 1103515245 + 12345) % len.max(1);
+            state
+        });
+        assert!(est > 0.0);
+        assert!(se >= 0.0);
+        // |F(4)| must exceed |F(3)|² / something reasonable… sanity bound:
+        let f3 = count_f(3) as f64;
+        assert!(est > f3, "estimate {est} implausibly small");
+    }
+
+    #[test]
+    fn f_fraction_shrinks() {
+        // |F(n)| / N! falls steeply: 20/24 at n = 2, far less at n = 3.
+        let f3 = count_f(3) as f64;
+        let fact8 = 40320.0;
+        assert!(f3 / fact8 < 20.0 / 24.0);
+        assert!(f3 / fact8 > 0.0);
+    }
+}

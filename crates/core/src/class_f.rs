@@ -1,0 +1,414 @@
+//! Membership in the self-routing class `F(n)` (Theorem 1 of the paper).
+//!
+//! `F(n)` is the set of permutations the self-routing Benes network
+//! realizes correctly. Theorem 1 characterizes it recursively: `D ∈ F(n)`
+//! iff the tag vectors `U` and `L` induced on the upper and lower
+//! `B(n−1)` subnetworks by the stage-0 switch rule are both permutations
+//! and both in `F(n−1)`.
+//!
+//! Two independent deciders are provided:
+//!
+//! * [`is_in_f`] / [`check_f`] — the Theorem 1 recursion, operating purely
+//!   on tag vectors (`O(N log N)` time, no network object needed);
+//!   [`check_f`] additionally reports *where* the recursion fails;
+//! * [`is_in_f_by_simulation`] — builds `B(n)` and self-routes, declaring
+//!   membership iff every tag reaches its named output.
+//!
+//! The two are property-tested against each other; their agreement is an
+//! end-to-end check of the flattened network wiring against the paper's
+//! recursive definition.
+//!
+//! # Examples
+//!
+//! ```
+//! use benes_core::class_f::{is_in_f, is_in_f_by_simulation};
+//! use benes_perm::Permutation;
+//!
+//! // Fig. 5: D = (1, 3, 2, 0) ∉ F(2).
+//! let d = Permutation::from_destinations(vec![1, 3, 2, 0]).unwrap();
+//! assert!(!is_in_f(&d));
+//! assert!(!is_in_f_by_simulation(&d));
+//! ```
+
+use std::fmt;
+
+use benes_bits::bit;
+use benes_perm::Permutation;
+
+use crate::network::Benes;
+
+/// Which subnetwork a recursion step descended into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Half {
+    /// The upper `B(n−1)` subnetwork (tags `U`).
+    Upper,
+    /// The lower `B(n−1)` subnetwork (tags `L`).
+    Lower,
+}
+
+impl fmt::Display for Half {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Half::Upper => write!(f, "upper"),
+            Half::Lower => write!(f, "lower"),
+        }
+    }
+}
+
+/// Why a permutation is not in `F(n)`: at some recursion level, the tag
+/// vector handed to one subnetwork is not a permutation (Theorem 1's
+/// condition fails).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FViolation {
+    /// The path of subnetwork choices from `B(n)` down to the failing
+    /// level (empty means the failure is at the outermost split).
+    pub path: Vec<Half>,
+    /// The half whose tag vector failed to be a permutation.
+    pub half: Half,
+    /// The (reduced) tag that two different inputs both carried.
+    pub duplicate_tag: u64,
+    /// The sub-problem size `m` (the failing vector should have been a
+    /// permutation of `0..2^m`).
+    pub level: u32,
+}
+
+impl fmt::Display for FViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "not in F: at level B({}), {} subnetwork receives tag {} twice (path: ",
+            self.level, self.half, self.duplicate_tag
+        )?;
+        if self.path.is_empty() {
+            write!(f, "root")?;
+        } else {
+            for (i, h) in self.path.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "/")?;
+                }
+                write!(f, "{h}")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+impl std::error::Error for FViolation {}
+
+/// Decides `D ∈ F(n)` by the Theorem 1 recursion.
+///
+/// Returns `false` if the permutation length is not a power of two
+/// (the network requires `N = 2^n`).
+///
+/// # Examples
+///
+/// ```
+/// use benes_core::class_f::is_in_f;
+/// use benes_perm::bpc::Bpc;
+///
+/// // Theorem 2: every BPC permutation is in F.
+/// assert!(is_in_f(&Bpc::bit_reversal(4).to_permutation()));
+/// ```
+#[must_use]
+pub fn is_in_f(d: &Permutation) -> bool {
+    check_f(d).is_ok()
+}
+
+/// Decides `D ∈ F(n)` and, on failure, reports where Theorem 1's condition
+/// breaks.
+///
+/// # Errors
+///
+/// Returns an [`FViolation`] naming the recursion level, subnetwork and
+/// duplicated tag. A permutation whose length is not a power of two fails
+/// at the outermost level with `duplicate_tag = 0`.
+pub fn check_f(d: &Permutation) -> Result<(), FViolation> {
+    let Some(n) = d.log2_len() else {
+        return Err(FViolation {
+            path: Vec::new(),
+            half: Half::Upper,
+            duplicate_tag: 0,
+            level: 0,
+        });
+    };
+    if n == 0 {
+        // A single terminal: only the identity exists; trivially routable.
+        return Ok(());
+    }
+    let tags: Vec<u64> = d.destinations().iter().map(|&t| u64::from(t)).collect();
+    check_level(&tags, n, &mut Vec::new())
+}
+
+/// One level of the Theorem 1 recursion on raw tag vectors.
+fn check_level(tags: &[u64], m: u32, path: &mut Vec<Half>) -> Result<(), FViolation> {
+    if m == 1 {
+        // B(1): the two tags must be {0, 1}; the switch then delivers them
+        // regardless of which is on top.
+        debug_assert_eq!(tags.len(), 2);
+        if tags[0] ^ tags[1] == 1 && tags[0] <= 1 {
+            return Ok(());
+        }
+        return Err(FViolation {
+            path: path.clone(),
+            half: Half::Upper,
+            duplicate_tag: tags[0],
+            level: 1,
+        });
+    }
+    let half = tags.len() / 2;
+    let mut upper = Vec::with_capacity(half);
+    let mut lower = Vec::with_capacity(half);
+    for i in 0..half {
+        let t0 = tags[2 * i];
+        let t1 = tags[2 * i + 1];
+        // Switch rule: state = bit 0 of the upper input's tag. State 0
+        // sends the upper input up; state 1 sends it down.
+        let (u, l) = if bit(t0, 0) == 0 { (t0, t1) } else { (t1, t0) };
+        upper.push(u >> 1);
+        lower.push(l >> 1);
+    }
+    for (half_id, vec) in [(Half::Upper, &upper), (Half::Lower, &lower)] {
+        if let Some(dup) = first_duplicate(vec, m - 1) {
+            return Err(FViolation {
+                path: path.clone(),
+                half: half_id,
+                duplicate_tag: dup,
+                level: m,
+            });
+        }
+    }
+    path.push(Half::Upper);
+    check_level(&upper, m - 1, path)?;
+    path.pop();
+    path.push(Half::Lower);
+    check_level(&lower, m - 1, path)?;
+    path.pop();
+    Ok(())
+}
+
+/// Returns a duplicated (or out-of-range) value if `v` is not a permutation
+/// of `0..2^m`.
+fn first_duplicate(v: &[u64], m: u32) -> Option<u64> {
+    let mut seen = vec![false; 1 << m];
+    for &t in v {
+        match seen.get_mut(t as usize) {
+            Some(slot) if !*slot => *slot = true,
+            _ => return Some(t),
+        }
+    }
+    None
+}
+
+/// Decides `D ∈ F(n)` by building `B(n)` and running the self-routing
+/// simulation — an implementation independent of the Theorem 1 recursion.
+///
+/// Returns `false` if the permutation length is not a power of two.
+///
+/// Prefer [`is_in_f`] in hot paths (no network allocation); prefer
+/// [`Benes::self_route`] directly when the network object already exists.
+#[must_use]
+pub fn is_in_f_by_simulation(d: &Permutation) -> bool {
+    let Some(n) = d.log2_len() else { return false };
+    if n == 0 {
+        return true;
+    }
+    Benes::new(n).self_route(d).is_success()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use benes_perm::bpc::Bpc;
+    use benes_perm::omega::{
+        cyclic_shift, is_inverse_omega, is_omega, p_ordering_shift,
+    };
+
+    fn all_perms(len: u32) -> Vec<Permutation> {
+        fn rec(rem: &mut Vec<u32>, cur: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+            if rem.is_empty() {
+                out.push(cur.clone());
+                return;
+            }
+            for idx in 0..rem.len() {
+                let v = rem.remove(idx);
+                cur.push(v);
+                rec(rem, cur, out);
+                cur.pop();
+                rem.insert(idx, v);
+            }
+        }
+        let mut out = Vec::new();
+        rec(&mut (0..len).collect(), &mut Vec::new(), &mut out);
+        out.into_iter()
+            .map(|d| Permutation::from_destinations(d).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn recursion_and_simulation_agree_exhaustively_n2() {
+        for d in all_perms(4) {
+            assert_eq!(is_in_f(&d), is_in_f_by_simulation(&d), "D = {d}");
+        }
+    }
+
+    #[test]
+    fn recursion_and_simulation_agree_exhaustively_n3() {
+        for d in all_perms(8) {
+            assert_eq!(is_in_f(&d), is_in_f_by_simulation(&d), "D = {d}");
+        }
+    }
+
+    #[test]
+    fn fig5_violation_is_located() {
+        let d = Permutation::from_destinations(vec![1, 3, 2, 0]).unwrap();
+        let v = check_f(&d).unwrap_err();
+        // Stage 0: switch 0 sees D_0 = 1 (bit 0 = 1, cross): U_0 = D_1 = 3,
+        // L_0 = 1. Switch 1 sees D_2 = 2 (straight): U_1 = 2, L_1 = 0.
+        // U = (3, 2) → high bits (1, 1): duplicate tag 1 in the upper half.
+        assert_eq!(v.half, Half::Upper);
+        assert_eq!(v.duplicate_tag, 1);
+        assert_eq!(v.level, 2);
+        assert!(v.path.is_empty());
+        assert_eq!(
+            v.to_string(),
+            "not in F: at level B(2), upper subnetwork receives tag 1 twice (path: root)"
+        );
+    }
+
+    #[test]
+    fn theorem2_bpc_subset_f() {
+        // Exhaustive at n = 2, 3 over Table I and random-ish BPC vectors.
+        for n in [2u32, 3, 4] {
+            let mut cases = vec![
+                Bpc::identity(n),
+                Bpc::bit_reversal(n),
+                Bpc::vector_reversal(n),
+                Bpc::perfect_shuffle(n),
+                Bpc::unshuffle(n),
+            ];
+            if n % 2 == 0 {
+                cases.push(Bpc::matrix_transpose(n));
+                cases.push(Bpc::shuffled_row_major(n));
+                cases.push(Bpc::bit_shuffle(n));
+            }
+            for b in cases {
+                assert!(is_in_f(&b.to_permutation()), "BPC {b} not in F({n})");
+            }
+        }
+    }
+
+    #[test]
+    fn theorem2_exhaustive_n3() {
+        // Every one of the 2^3 · 3! = 48 BPC(3) permutations is in F(3).
+        let mut count = 0;
+        for d in all_perms(8) {
+            if Bpc::from_permutation(&d).is_some() {
+                assert!(is_in_f(&d), "BPC perm {d} not in F(3)");
+                count += 1;
+            }
+        }
+        assert_eq!(count, 48);
+    }
+
+    #[test]
+    fn theorem3_inverse_omega_subset_f() {
+        // Exhaustive at n = 3: Ω⁻¹(3) ⊆ F(3).
+        for d in all_perms(8) {
+            if is_inverse_omega(&d) {
+                assert!(is_in_f(&d), "Ω⁻¹ perm {d} not in F(3)");
+            }
+        }
+    }
+
+    #[test]
+    fn omega_is_not_subset_of_f() {
+        // Fig. 5's D ∈ Ω(2) ∖ F(2); count how many Ω(3) escape F(3).
+        let escapees = all_perms(8)
+            .into_iter()
+            .filter(|d| is_omega(d) && !is_in_f(d))
+            .count();
+        assert!(escapees > 0, "some Ω permutations must lie outside F");
+    }
+
+    #[test]
+    fn f_class_counts() {
+        // |F(2)| = 20 of the 24 permutations of 4 elements. Derivation:
+        // with input pairs {0,1}/{2,3} on the two stage-0 switches the tag
+        // split always works (8 perms); with pairs {0,2}/{1,3} exactly one
+        // ordering per switch pairing works (4 perms); with pairs
+        // {0,3}/{1,2} every ordering works (8 perms). Note |Ω(2)| = 16:
+        // the self-routing Benes class is strictly richer than omega.
+        let f2 = all_perms(4).iter().filter(|d| is_in_f(d)).count();
+        let f2_sim = all_perms(4)
+            .iter()
+            .filter(|d| is_in_f_by_simulation(d))
+            .count();
+        assert_eq!(f2, f2_sim);
+        assert_eq!(f2, 20);
+    }
+
+    #[test]
+    fn useful_inverse_omega_permutations_in_f() {
+        for n in 2..8u32 {
+            assert!(is_in_f(&cyclic_shift(n, 7)));
+            assert!(is_in_f(&p_ordering_shift(n, 5, 2)));
+        }
+    }
+
+    #[test]
+    fn closure_counterexample() {
+        // §II: A = (3,0,1,2) ∈ F(2), B = (0,1,3,2) ∈ F(2), A∘B ∉ F(2).
+        let a = Permutation::from_destinations(vec![3, 0, 1, 2]).unwrap();
+        let b = Permutation::from_destinations(vec![0, 1, 3, 2]).unwrap();
+        assert!(is_in_f(&a));
+        assert!(is_in_f(&b));
+        let ab = a.then(&b);
+        assert_eq!(ab.destinations(), &[2, 0, 1, 3]);
+        assert!(!is_in_f(&ab));
+    }
+
+    #[test]
+    fn non_power_of_two_rejected() {
+        let d = Permutation::identity(6);
+        assert!(!is_in_f(&d));
+        assert!(!is_in_f_by_simulation(&d));
+    }
+
+    #[test]
+    fn theorem4_within_blocks_in_f() {
+        use benes_perm::partition::{within_blocks, JPartition};
+        // J = {1} on n = 3; permute within blocks by members of F(2).
+        let j = JPartition::new(3, [1]).unwrap();
+        let f2_members: Vec<Permutation> =
+            all_perms(4).into_iter().filter(is_in_f).collect();
+        for g0 in &f2_members {
+            for g1 in &f2_members {
+                let g = within_blocks(&j, |b| {
+                    if b == 0 { g0.clone() } else { g1.clone() }
+                })
+                .unwrap();
+                assert!(is_in_f(&g), "Theorem 4 violated for ({g0}, {g1})");
+            }
+        }
+    }
+
+    #[test]
+    fn theorem5_between_blocks_in_f() {
+        use benes_perm::partition::{between_blocks, JPartition};
+        let j = JPartition::new(3, [2]).unwrap(); // two blocks of 4
+        let f2_members: Vec<Permutation> =
+            all_perms(4).into_iter().filter(is_in_f).collect();
+        let swap = Permutation::from_destinations(vec![1, 0]).unwrap();
+        for block_map in [Permutation::identity(2), swap] {
+            for g0 in f2_members.iter().take(6) {
+                for g1 in f2_members.iter().take(6) {
+                    let g = between_blocks(&j, &block_map, |b| {
+                        if b == 0 { g0.clone() } else { g1.clone() }
+                    })
+                    .unwrap();
+                    assert!(is_in_f(&g), "Theorem 5 violated");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Parallel Benes set-up by pointer jumping — the state of the art the
+//! self-routing scheme renders unnecessary.
+//!
+//! §I of the paper frames the problem: even with the parallel set-up
+//! algorithms of Nassimi & Sahni \[7\] (`O(log² N)` on an `N`-PE CIC or
+//! cube), "the time needed to perform an arbitrary permutation on the
+//! Benes network is dominated by the setup time". This module implements
+//! a set-up of that complexity class so the claim can be *measured*
+//! rather than quoted.
+//!
+//! The sequential looping algorithm ([`crate::waksman`]) walks each
+//! constraint loop one element at a time. The parallel version resolves
+//! every loop simultaneously by **pointer jumping**: each input holds a
+//! successor pointer (`succ(x) = inv[perm[x]⊕1]⊕1`, which *preserves* the
+//! side, so each succ-cycle is monochrome and is paired with the opposite
+//! -side cycle holding the partners); `⌈log₂ L⌉` doubling rounds elect
+//! each cycle's minimum as leader, and a cycle goes to the upper
+//! subnetwork iff its leader beats its partner cycle's. One such phase
+//! per recursion level gives `Σ O(log 2^m) = O(log² N)` parallel rounds
+//! on a machine where every PE can read any other PE's registers in one
+//! step (the paper's CIC model).
+//!
+//! The output is bit-for-bit a valid [`SwitchSettings`] (verified against
+//! actual routing), and [`ParallelCost`] reports the parallel rounds
+//! consumed — the number the `route_counts`-style experiments compare
+//! with the **zero** set-up of self-routing.
+
+use benes_perm::Permutation;
+
+use crate::network::{SwitchSettings, SwitchState};
+use crate::topology;
+use crate::waksman::SetupError;
+
+/// Parallel-cost accounting for one set-up run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParallelCost {
+    /// Pointer-jumping rounds executed (each is one CIC step for all PEs
+    /// in lockstep).
+    pub rounds: u64,
+    /// Recursion levels processed (`log N` of them, two half-size
+    /// problems handled in parallel per level).
+    pub levels: u64,
+}
+
+/// Computes Benes switch settings for an arbitrary permutation with the
+/// parallel looping algorithm, returning the settings and the parallel
+/// cost.
+///
+/// The settings are interchangeable with [`crate::waksman::setup`]'s
+/// (both realize `d`; the loop seeds differ, so the exact bit patterns
+/// may differ — but see the tests: both leave Waksman's removable
+/// switches straight).
+///
+/// # Errors
+///
+/// Returns an error if the length is not a power of two (or exceeds the
+/// supported maximum), exactly like the sequential set-up.
+pub fn setup_parallel(d: &Permutation) -> Result<(SwitchSettings, ParallelCost), SetupError> {
+    let n = d
+        .log2_len()
+        .filter(|&n| n >= 1)
+        .ok_or(SetupError::NotPowerOfTwo { len: d.len() })?;
+    if n > topology::MAX_N {
+        return Err(SetupError::TooLarge { n });
+    }
+    let mut settings = SwitchSettings::all_straight(n);
+    let mut cost = ParallelCost::default();
+    // All sub-problems of one level are processed "in parallel": the
+    // model charges the maximum rounds of any sub-problem at that level,
+    // which is the rounds of the full-width pointer jump.
+    let mut problems: Vec<(Vec<u32>, usize, usize)> =
+        vec![(d.destinations().to_vec(), 0usize, 0usize)];
+    let mut m = n;
+    while m >= 1 {
+        cost.levels += 1;
+        if m == 1 {
+            for (perm, stage_base, row_base) in &problems {
+                let state = if perm[0] == 0 {
+                    SwitchState::Straight
+                } else {
+                    SwitchState::Cross
+                };
+                settings.set(*stage_base, *row_base, state);
+            }
+            // Setting a switch from a local register: one parallel step.
+            cost.rounds += 1;
+            break;
+        }
+        let mut next_problems = Vec::with_capacity(problems.len() * 2);
+        let mut level_rounds = 0u64;
+        for (perm, stage_base, row_base) in &problems {
+            let (upper, lower, rounds) =
+                split_level(perm, m, *stage_base, *row_base, &mut settings);
+            level_rounds = level_rounds.max(rounds);
+            let half_rows = 1usize << (m - 2);
+            next_problems.push((upper, stage_base + 1, *row_base));
+            next_problems.push((lower, stage_base + 1, row_base + half_rows));
+        }
+        cost.rounds += level_rounds;
+        problems = next_problems;
+        m -= 1;
+    }
+    Ok((settings, cost))
+}
+
+/// One recursion level, parallel style: build the constraint-loop
+/// successor function, 2-colour it by pointer jumping, set the outer
+/// stages, emit the half-size permutations. Returns the parallel rounds
+/// charged.
+fn split_level(
+    perm: &[u32],
+    m: u32,
+    stage_base: usize,
+    row_base: usize,
+    settings: &mut SwitchSettings,
+) -> (Vec<u32>, Vec<u32>, u64) {
+    let len = perm.len();
+    let mut inv = vec![0u32; len];
+    for (i, &o) in perm.iter().enumerate() {
+        inv[o as usize] = i as u32;
+    }
+
+    // Constraint-structure successor on the INPUT side: from input x, its
+    // output's partner forces an input, whose partner continues:
+    // succ(x) = inv[perm[x] ^ 1] ^ 1. Following one step preserves the
+    // side (two alternations cancel), so the side is CONSTANT on each
+    // succ-cycle; the input-pair constraint `side(x^1) = 1 − side(x)`
+    // pairs each cycle with a distinct partner cycle (they can never
+    // coincide — that would make the constraints unsatisfiable,
+    // contradicting rearrangeability). Picking the side of each cycle
+    // pair by comparing cycle leaders (minima) satisfies everything.
+    // (One parallel round computes succ in every PE.)
+    let succ = |x: usize| -> usize { (inv[(perm[x] ^ 1) as usize] ^ 1) as usize };
+    let mut next: Vec<usize> = (0..len).map(succ).collect();
+    let mut rounds = 1u64;
+
+    // Pointer jumping: leader[x] = minimum index on x's succ-cycle, in
+    // ⌈log₂ len⌉ doubling rounds (each one parallel CIC step).
+    let mut leader: Vec<usize> = (0..len).collect();
+    let mut hops = 1usize;
+    while hops < len {
+        let snapshot_leader = leader.clone();
+        let snapshot_next = next.clone();
+        for x in 0..len {
+            let nx = snapshot_next[x];
+            leader[x] = snapshot_leader[x].min(snapshot_leader[nx]);
+            next[x] = snapshot_next[nx];
+        }
+        rounds += 1;
+        hops *= 2;
+    }
+    // side[x] = 0 (upper) iff x's cycle leader beats its partner's.
+    // Input 0's cycle always holds the global minimum, so side[0] = 0 —
+    // which also keeps the Waksman-removable switches straight.
+    // (One more parallel round: each PE reads its partner's leader.)
+    rounds += 1;
+    let side: Vec<u8> =
+        (0..len).map(|x| u8::from(leader[x] > leader[x ^ 1])).collect();
+
+    // Outer stages + induced sub-permutations (one more parallel round:
+    // every switch/PE acts locally).
+    rounds += 1;
+    let half = len / 2;
+    let mut upper = vec![0u32; half];
+    let mut lower = vec![0u32; half];
+    for i in 0..half {
+        let up_in = if side[2 * i] == 0 { 2 * i } else { 2 * i + 1 };
+        let state =
+            if up_in == 2 * i { SwitchState::Straight } else { SwitchState::Cross };
+        settings.set(stage_base, row_base + i, state);
+        upper[i] = perm[up_in] >> 1;
+        lower[i] = perm[up_in ^ 1] >> 1;
+    }
+    let stages = 2 * m as usize - 1;
+    for j in 0..half {
+        // Output side: output 2j is fed by the upper subnetwork iff the
+        // input mapped to it went up.
+        let feeder = inv[2 * j] as usize;
+        let state = if side[feeder] == 0 {
+            SwitchState::Straight
+        } else {
+            SwitchState::Cross
+        };
+        settings.set(stage_base + stages - 1, row_base + j, state);
+    }
+    (upper, lower, rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Benes;
+
+    fn assert_realizes(net: &Benes, d: &Permutation) -> ParallelCost {
+        let (settings, cost) = setup_parallel(d).expect("setup succeeds");
+        let data: Vec<u32> = (0..net.terminal_count() as u32).collect();
+        let out = net.route_with(&settings, &data).unwrap();
+        for (i, &dest) in d.destinations().iter().enumerate() {
+            assert_eq!(out[dest as usize], i as u32, "input {i} missed {dest}");
+        }
+        cost
+    }
+
+    #[test]
+    fn realizes_all_permutations_n2_exhaustively() {
+        let net = Benes::new(2);
+        for d in all_perms(4) {
+            assert_realizes(&net, &d);
+        }
+    }
+
+    #[test]
+    fn realizes_all_permutations_n3_exhaustively() {
+        let net = Benes::new(3);
+        for d in all_perms(8) {
+            assert_realizes(&net, &d);
+        }
+    }
+
+    #[test]
+    fn realizes_structured_and_random_style_large() {
+        use benes_perm::bpc::Bpc;
+        for n in [4u32, 6, 9] {
+            let net = Benes::new(n);
+            assert_realizes(&net, &Bpc::bit_reversal(n).to_permutation());
+            assert_realizes(&net, &benes_perm::omega::cyclic_shift(n, 3));
+            // Pseudo-random.
+            let len = 1usize << n;
+            let mut dest: Vec<u32> = (0..len as u32).collect();
+            let mut state = 7u64;
+            for i in (1..len).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                dest.swap(i, (state >> 33) as usize % (i + 1));
+            }
+            assert_realizes(&net, &Permutation::from_destinations(dest).unwrap());
+        }
+    }
+
+    #[test]
+    fn parallel_rounds_grow_as_log_squared() {
+        // rounds(n) ≈ Σ_{m=2..n} (log 2^m + 2) + 1 = O(n²); crucially
+        // rounds(2n) ≈ 4·rounds(n) for large n, and rounds ≪ N.
+        let net = Benes::new(4);
+        let d = benes_perm::omega::cyclic_shift(4, 5);
+        let cost = assert_realizes(&net, &d);
+        assert_eq!(cost.levels, 4);
+        let mut prev = 0u64;
+        let mut measured = Vec::new();
+        for n in [2u32, 4, 8, 16] {
+            let d = benes_perm::omega::cyclic_shift(n, 1);
+            let (_, cost) = setup_parallel(&d).unwrap();
+            assert!(cost.rounds > prev, "rounds must grow with n");
+            if n >= 8 {
+                // O(log² N) ≪ N once N outgrows the constants.
+                assert!(
+                    u128::from(cost.rounds) < (1u128 << n),
+                    "rounds must be far below N = 2^{n}"
+                );
+            }
+            prev = cost.rounds;
+            measured.push((n, cost.rounds));
+        }
+        // Quadratic-ish growth in n: rounds(16)/rounds(8) ≈ 4 within
+        // generous slack (low-order terms).
+        let r8 = measured[2].1 as f64;
+        let r16 = measured[3].1 as f64;
+        assert!(r16 / r8 > 2.5 && r16 / r8 < 5.0, "ratio {}", r16 / r8);
+    }
+
+    #[test]
+    fn parallel_and_sequential_settings_both_respect_reduction() {
+        // Both set-ups seed loops at the minimum with side 0, so both
+        // leave the Waksman-removable switches straight.
+        let fixed = crate::waksman::reduced_fixed_switches(3);
+        for d in all_perms(8) {
+            let (settings, _) = setup_parallel(&d).unwrap();
+            for &(stage, row) in &fixed {
+                assert_eq!(settings.get(stage, row), SwitchState::Straight, "D = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        assert!(setup_parallel(&Permutation::identity(6)).is_err());
+        assert!(setup_parallel(&Permutation::identity(1)).is_err());
+    }
+
+    fn all_perms(len: u32) -> Vec<Permutation> {
+        fn rec(rem: &mut Vec<u32>, cur: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+            if rem.is_empty() {
+                out.push(cur.clone());
+                return;
+            }
+            for idx in 0..rem.len() {
+                let v = rem.remove(idx);
+                cur.push(v);
+                rec(rem, cur, out);
+                cur.pop();
+                rem.insert(idx, v);
+            }
+        }
+        let mut out = Vec::new();
+        rec(&mut (0..len).collect(), &mut Vec::new(), &mut out);
+        out.into_iter()
+            .map(|d| Permutation::from_destinations(d).unwrap())
+            .collect()
+    }
+}

@@ -1,0 +1,412 @@
+//! The classical external set-up algorithm for the Benes network
+//! (Waksman, *A permutation network*, 1968 — the paper's reference \[10\]).
+//!
+//! This is the baseline the paper improves on: given an **arbitrary**
+//! permutation `D`, compute a complete switch-state assignment in
+//! `O(N log N)` sequential time, then route. The self-routing scheme of
+//! [`crate::selfroute`] eliminates this set-up entirely — but only for
+//! permutations in `F(n)`; with external set-up the Benes network realizes
+//! all `N!` permutations ("if we allow the added capability of disabling
+//! the self-setting logic … the network can realize all N! permutations",
+//! §I).
+//!
+//! The algorithm is the standard looping 2-colouring: at each recursion
+//! level, inputs `2i/2i+1` must split across the two subnetworks, and so
+//! must outputs `2j/2j+1`; following the constraint chains around their
+//! cycles assigns every terminal to the upper (0) or lower (1) subnetwork,
+//! fixing the outer stages and inducing one half-size permutation per
+//! subnetwork.
+//!
+//! # Examples
+//!
+//! ```
+//! use benes_core::{Benes, waksman};
+//! use benes_perm::Permutation;
+//!
+//! // Fig. 5's permutation is NOT self-routable — but external set-up
+//! // handles it.
+//! let net = Benes::new(2);
+//! let d = Permutation::from_destinations(vec![1, 3, 2, 0]).unwrap();
+//! let settings = waksman::setup(&d)?;
+//! let out = net.route_with(&settings, &[0u32, 1, 2, 3]).unwrap();
+//! assert_eq!(out, vec![3, 0, 2, 1]); // output D_i holds input i
+//! # Ok::<(), benes_core::waksman::SetupError>(())
+//! ```
+
+use std::fmt;
+
+use benes_perm::Permutation;
+
+use crate::network::{SwitchSettings, SwitchState};
+use crate::topology;
+
+/// Error produced by [`setup`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SetupError {
+    /// The permutation length is not a power of two.
+    NotPowerOfTwo {
+        /// The offending length.
+        len: usize,
+    },
+    /// The permutation is larger than the largest supported network.
+    TooLarge {
+        /// The required order `n`.
+        n: u32,
+    },
+}
+
+impl fmt::Display for SetupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotPowerOfTwo { len } => {
+                write!(f, "permutation length {len} is not a power of two")
+            }
+            Self::TooLarge { n } => write!(
+                f,
+                "network order {n} exceeds the supported maximum {}",
+                topology::MAX_N
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SetupError {}
+
+/// Computes switch settings realizing the arbitrary permutation `d` on
+/// `B(n)` — the paper's baseline `O(N log N)` set-up.
+///
+/// The returned settings route input `i` to output `d[i]` via
+/// [`crate::network::Benes::route_with`].
+///
+/// # Errors
+///
+/// Returns an error if the length is not a power of two or exceeds the
+/// supported maximum. Lengths of 1 (`n = 0`) are rejected as well: the
+/// smallest Benes network is `B(1)`.
+pub fn setup(d: &Permutation) -> Result<SwitchSettings, SetupError> {
+    let n = d
+        .log2_len()
+        .filter(|&n| n >= 1)
+        .ok_or(SetupError::NotPowerOfTwo { len: d.len() })?;
+    if n > topology::MAX_N {
+        return Err(SetupError::TooLarge { n });
+    }
+    let mut settings = SwitchSettings::all_straight(n);
+    let dest: Vec<u32> = d.destinations().to_vec();
+    setup_recursive(&dest, n, 0, 0, &mut settings);
+    Ok(settings)
+}
+
+/// Sets the switches of the `B(m)` sub-network whose first stage is
+/// `stage_base` and whose switch rows start at `row_base`, so that it
+/// realizes `perm` (a permutation of `0..2^m`).
+fn setup_recursive(
+    perm: &[u32],
+    m: u32,
+    stage_base: usize,
+    row_base: usize,
+    settings: &mut SwitchSettings,
+) {
+    let len = perm.len();
+    debug_assert_eq!(len, 1 << m);
+    if m == 1 {
+        let state =
+            if perm[0] == 0 { SwitchState::Straight } else { SwitchState::Cross };
+        settings.set(stage_base, row_base, state);
+        return;
+    }
+
+    // inverse permutation: which input feeds each output.
+    let mut inv = vec![0u32; len];
+    for (i, &o) in perm.iter().enumerate() {
+        inv[o as usize] = i as u32;
+    }
+
+    // side assignment: 0 = upper subnetwork, 1 = lower.
+    let mut in_side: Vec<Option<u8>> = vec![None; len];
+    let mut out_side: Vec<Option<u8>> = vec![None; len];
+
+    for seed in 0..len {
+        if in_side[seed].is_some() {
+            continue;
+        }
+        // Seed a new constraint loop: send this input through the upper
+        // subnetwork, then alternate around the loop until it closes.
+        let mut x = seed;
+        in_side[x] = Some(0);
+        loop {
+            // Input x's side forces its output's side…
+            let o = perm[x] as usize;
+            out_side[o] = in_side[x];
+            // …which forces the partner output to the other side…
+            let op = o ^ 1;
+            let other = 1 - out_side[o].expect("just assigned");
+            if out_side[op].is_some() {
+                debug_assert_eq!(out_side[op], Some(other), "loop inconsistency");
+                break;
+            }
+            out_side[op] = Some(other);
+            // …which forces the input feeding it…
+            let xp = inv[op] as usize;
+            in_side[xp] = Some(other);
+            // …which forces the partner input to the other side.
+            let xq = xp ^ 1;
+            let next = 1 - other;
+            if in_side[xq].is_some() {
+                debug_assert_eq!(in_side[xq], Some(next), "loop inconsistency");
+                break;
+            }
+            in_side[xq] = Some(next);
+            x = xq;
+        }
+    }
+
+    let half = len / 2;
+    let stages = 2 * m as usize - 1;
+
+    // Outer stages + induced sub-permutations.
+    let mut upper = vec![0u32; half];
+    let mut lower = vec![0u32; half];
+    for i in 0..half {
+        // First stage: straight iff the upper input (2i) goes up.
+        let up_in = if in_side[2 * i] == Some(0) { 2 * i } else { 2 * i + 1 };
+        let state = if up_in == 2 * i { SwitchState::Straight } else { SwitchState::Cross };
+        settings.set(stage_base, row_base + i, state);
+        upper[i] = perm[up_in] >> 1;
+        lower[i] = perm[up_in ^ 1] >> 1;
+
+        // Last stage: straight iff output 2i is fed by the upper
+        // subnetwork.
+        let state = if out_side[2 * i] == Some(0) {
+            SwitchState::Straight
+        } else {
+            SwitchState::Cross
+        };
+        settings.set(stage_base + stages - 1, row_base + i, state);
+    }
+
+    setup_recursive(&upper, m - 1, stage_base + 1, row_base, settings);
+    setup_recursive(&lower, m - 1, stage_base + 1, row_base + half / 2, settings);
+}
+
+/// The switches Waksman's *reduced* network `A(n)` removes: switch 0 of
+/// the **first** stage of every recursive block can be fixed straight
+/// without losing rearrangeability, because each constraint loop can be
+/// seeded with its block-0 input sent to the upper subnetwork.
+///
+/// Returns `(stage, row)` pairs, `N/2 − 1` of them; removing them leaves
+/// `N·log N − N + 1` switches — Waksman's optimal count.
+///
+/// [`setup`] is *compatible with the reduction by construction*: it seeds
+/// every loop from the smallest unassigned input with side 0, so the
+/// returned settings always leave these switches straight (tested
+/// exhaustively).
+///
+/// # Panics
+///
+/// Panics if `n` is out of range.
+#[must_use]
+pub fn reduced_fixed_switches(n: u32) -> Vec<(usize, usize)> {
+    topology::validate_n(n);
+    let mut fixed = Vec::new();
+    collect_fixed(n, 0, 0, &mut fixed);
+    fixed
+}
+
+fn collect_fixed(m: u32, stage_base: usize, row_base: usize, out: &mut Vec<(usize, usize)>) {
+    if m == 1 {
+        return; // the single switch of B(1) is essential
+    }
+    out.push((stage_base, row_base));
+    let half_rows = 1usize << (m - 2);
+    collect_fixed(m - 1, stage_base + 1, row_base, out);
+    collect_fixed(m - 1, stage_base + 1, row_base + half_rows, out);
+}
+
+/// The switch count of Waksman's reduced network `A(n)`:
+/// `N·log N − N + 1`.
+///
+/// # Panics
+///
+/// Panics if `n` is out of range.
+#[must_use]
+pub fn reduced_switch_count(n: u32) -> usize {
+    topology::switch_count(n) - reduced_fixed_switches(n).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Benes;
+
+    #[test]
+    fn reduced_fixed_switch_count_is_half_n_minus_1() {
+        for n in 1..10u32 {
+            let nn = 1usize << n;
+            assert_eq!(reduced_fixed_switches(n).len(), nn / 2 - 1, "n = {n}");
+            // Waksman's bound: N·log N − N + 1 switches suffice.
+            assert_eq!(reduced_switch_count(n), nn * n as usize - nn + 1);
+        }
+    }
+
+    #[test]
+    fn fixed_switches_are_distinct_and_in_range() {
+        let n = 5;
+        let fixed = reduced_fixed_switches(n);
+        let mut seen = std::collections::HashSet::new();
+        for &(stage, row) in &fixed {
+            assert!(stage < topology::stage_count(n));
+            assert!(row < topology::switches_per_stage(n));
+            // Only first-half stages host fixed switches (each block's
+            // FIRST stage).
+            assert!(stage < topology::stage_count(n) / 2 + 1);
+            assert!(seen.insert((stage, row)), "duplicate fixed switch");
+        }
+    }
+
+    #[test]
+    fn setup_never_crosses_fixed_switches_exhaustive() {
+        // The reduction is realized by this implementation for every
+        // permutation of 8 elements: the returned settings are a valid
+        // configuration of Waksman's A(3).
+        let fixed = reduced_fixed_switches(3);
+        for d in all_perms(8) {
+            let settings = setup(&d).unwrap();
+            for &(stage, row) in &fixed {
+                assert_eq!(
+                    settings.get(stage, row),
+                    SwitchState::Straight,
+                    "D = {d}: fixed switch ({stage},{row}) crossed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn setup_never_crosses_fixed_switches_large_random_style() {
+        let n = 7;
+        let fixed = reduced_fixed_switches(n);
+        let len = 1usize << n;
+        let mut state = 99u64;
+        for _ in 0..25 {
+            let mut dest: Vec<u32> = (0..len as u32).collect();
+            for i in (1..len).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let j = (state >> 33) as usize % (i + 1);
+                dest.swap(i, j);
+            }
+            let d = Permutation::from_destinations(dest).unwrap();
+            let settings = setup(&d).unwrap();
+            for &(stage, row) in &fixed {
+                assert_eq!(settings.get(stage, row), SwitchState::Straight);
+            }
+        }
+    }
+
+    fn assert_realizes(net: &Benes, d: &Permutation) {
+        let settings = setup(d).expect("setup succeeds");
+        // Route the terminal indices; output D_i must hold input i,
+        // i.e. output o holds inv[o].
+        let data: Vec<u32> = (0..net.terminal_count() as u32).collect();
+        let out = net.route_with(&settings, &data).unwrap();
+        for (i, &dest) in d.destinations().iter().enumerate() {
+            assert_eq!(out[dest as usize], i as u32, "input {i} missed output {dest}");
+        }
+    }
+
+    #[test]
+    fn realizes_all_permutations_n2_exhaustively() {
+        let net = Benes::new(2);
+        for d in all_perms(4) {
+            assert_realizes(&net, &d);
+        }
+    }
+
+    #[test]
+    fn realizes_all_permutations_n3_exhaustively() {
+        let net = Benes::new(3);
+        for d in all_perms(8) {
+            assert_realizes(&net, &d);
+        }
+    }
+
+    #[test]
+    fn realizes_structured_permutations_large() {
+        use benes_perm::bpc::Bpc;
+        use benes_perm::omega::cyclic_shift;
+        for n in [4u32, 6, 8] {
+            let net = Benes::new(n);
+            assert_realizes(&net, &Bpc::bit_reversal(n).to_permutation());
+            assert_realizes(&net, &Bpc::vector_reversal(n).to_permutation());
+            assert_realizes(&net, &cyclic_shift(n, 3));
+            assert_realizes(&net, &Permutation::identity(1 << n));
+        }
+    }
+
+    #[test]
+    fn realizes_worst_case_style_permutation() {
+        // A permutation engineered to be far from F: reverse pairs within
+        // a bit-reversal composed with a shift.
+        let n = 5;
+        let net = Benes::new(n);
+        let d = benes_perm::bpc::Bpc::bit_reversal(n)
+            .to_permutation()
+            .then(&benes_perm::omega::cyclic_shift(n, 11));
+        assert_realizes(&net, &d);
+    }
+
+    #[test]
+    fn identity_setup_is_all_straight_equivalent() {
+        // The identity must route correctly (states need not all be
+        // straight — loop seeding may cross pairs of switches — but the
+        // realized mapping must be the identity).
+        let net = Benes::new(3);
+        let id = Permutation::identity(8);
+        let settings = setup(&id).unwrap();
+        let data: Vec<u32> = (0..8).collect();
+        assert_eq!(net.route_with(&settings, &data).unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        assert_eq!(
+            setup(&Permutation::identity(6)),
+            Err(SetupError::NotPowerOfTwo { len: 6 })
+        );
+        assert_eq!(
+            setup(&Permutation::identity(1)),
+            Err(SetupError::NotPowerOfTwo { len: 1 })
+        );
+    }
+
+    #[test]
+    fn setup_handles_permutations_outside_f() {
+        // The whole point of external set-up: Fig. 5's permutation.
+        let net = Benes::new(2);
+        let d = Permutation::from_destinations(vec![1, 3, 2, 0]).unwrap();
+        assert!(!net.self_route(&d).is_success());
+        assert_realizes(&net, &d);
+    }
+
+    fn all_perms(len: u32) -> Vec<Permutation> {
+        fn rec(rem: &mut Vec<u32>, cur: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+            if rem.is_empty() {
+                out.push(cur.clone());
+                return;
+            }
+            for idx in 0..rem.len() {
+                let v = rem.remove(idx);
+                cur.push(v);
+                rec(rem, cur, out);
+                cur.pop();
+                rem.insert(idx, v);
+            }
+        }
+        let mut out = Vec::new();
+        rec(&mut (0..len).collect(), &mut Vec::new(), &mut out);
+        out.into_iter()
+            .map(|d| Permutation::from_destinations(d).unwrap())
+            .collect()
+    }
+}

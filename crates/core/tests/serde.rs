@@ -1,0 +1,31 @@
+//! Serde round-trips for switch settings (run with `--features serde`).
+#![cfg(feature = "serde")]
+
+use benes_core::{waksman, Benes, SwitchSettings};
+use benes_perm::Permutation;
+
+#[test]
+fn settings_roundtrip_preserves_routing() {
+    let d = Permutation::from_destinations(vec![5, 2, 7, 0, 1, 6, 3, 4]).unwrap();
+    let settings = waksman::setup(&d).unwrap();
+    let json = serde_json::to_string(&settings).unwrap();
+    let back: SwitchSettings = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, settings);
+    // The deserialized settings route identically.
+    let net = Benes::new(3);
+    let data: Vec<u32> = (0..8).collect();
+    assert_eq!(
+        net.route_with(&back, &data).unwrap(),
+        net.route_with(&settings, &data).unwrap()
+    );
+}
+
+#[test]
+fn settings_reject_corrupt_payloads() {
+    // Wrong bit count for the claimed order.
+    assert!(serde_json::from_str::<SwitchSettings>("[2,[0,0,0]]").is_err());
+    // Invalid state value.
+    assert!(serde_json::from_str::<SwitchSettings>("[1,[2]]").is_err());
+    // Out-of-range order.
+    assert!(serde_json::from_str::<SwitchSettings>("[0,[]]").is_err());
+}

@@ -1,0 +1,494 @@
+//! A minimal combinational netlist: wires, two-input gates, an evaluator,
+//! and structural metrics (gate count, critical-path depth).
+//!
+//! Gates are stored in construction order, which is topological by
+//! construction (a gate can only reference already-created wires), so
+//! evaluation and depth computation are single forward passes.
+
+use std::fmt;
+
+/// A wire (signal) in a [`Netlist`], identified by creation index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Net(u32);
+
+impl Net {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One node of the netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Node {
+    /// A primary input; its position among inputs is stored for reporting.
+    Input,
+    /// A constant driver.
+    Const(bool),
+    /// Inverter.
+    Not(Net),
+    /// Zero-delay wire alias (a named tap, e.g. a switch's control
+    /// signal): electrically the same wire, but individually forceable in
+    /// fault simulation. Not counted as a gate; adds no depth.
+    Alias(Net),
+    /// 2-input AND.
+    And(Net, Net),
+    /// 2-input OR.
+    Or(Net, Net),
+    /// 2-input XOR.
+    Xor(Net, Net),
+}
+
+/// Structural gate counts of a netlist (primary inputs and constants are
+/// not gates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GateCounts {
+    /// Inverters.
+    pub not: u64,
+    /// 2-input ANDs.
+    pub and: u64,
+    /// 2-input ORs.
+    pub or: u64,
+    /// 2-input XORs.
+    pub xor: u64,
+}
+
+impl GateCounts {
+    /// Total logic gates.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.not + self.and + self.or + self.xor
+    }
+}
+
+impl fmt::Display for GateCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} gates ({} NOT, {} AND, {} OR, {} XOR)",
+            self.total(),
+            self.not,
+            self.and,
+            self.or,
+            self.xor
+        )
+    }
+}
+
+/// A combinational netlist under construction / evaluation.
+///
+/// # Examples
+///
+/// ```
+/// use benes_gates::Netlist;
+///
+/// let mut nl = Netlist::new();
+/// let a = nl.input();
+/// let b = nl.input();
+/// let sum = nl.xor(a, b);
+/// let carry = nl.and(a, b);
+/// nl.mark_output(sum);
+/// nl.mark_output(carry);
+/// assert_eq!(nl.eval(&[true, true]), vec![false, true]);
+/// assert_eq!(nl.depth(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    nodes: Vec<Node>,
+    input_count: usize,
+    outputs: Vec<Net>,
+}
+
+impl Netlist {
+    /// An empty netlist.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, node: Node) -> Net {
+        assert!(
+            self.nodes.len() < u32::MAX as usize,
+            "netlist exceeds 2^32 - 1 wires"
+        );
+        self.nodes.push(node);
+        Net((self.nodes.len() - 1) as u32)
+    }
+
+    /// Creates a primary input wire. Inputs are numbered in creation
+    /// order; [`Netlist::eval`] consumes values in that order.
+    pub fn input(&mut self) -> Net {
+        self.input_count += 1;
+        self.push(Node::Input)
+    }
+
+    /// Creates a constant driver.
+    pub fn constant(&mut self, value: bool) -> Net {
+        self.push(Node::Const(value))
+    }
+
+    /// Creates an inverter.
+    pub fn not(&mut self, a: Net) -> Net {
+        self.push(Node::Not(a))
+    }
+
+    /// Creates a zero-delay alias of a wire: electrically the same
+    /// signal (free, depth-neutral, not counted as a gate), but
+    /// forceable on its own in [`Netlist::eval_with_faults`] — used to
+    /// give each switch a dedicated control wire for fault simulation.
+    pub fn alias(&mut self, a: Net) -> Net {
+        self.push(Node::Alias(a))
+    }
+
+    /// Creates a 2-input AND gate.
+    pub fn and(&mut self, a: Net, b: Net) -> Net {
+        self.push(Node::And(a, b))
+    }
+
+    /// Creates a 2-input OR gate.
+    pub fn or(&mut self, a: Net, b: Net) -> Net {
+        self.push(Node::Or(a, b))
+    }
+
+    /// Creates a 2-input XOR gate.
+    pub fn xor(&mut self, a: Net, b: Net) -> Net {
+        self.push(Node::Xor(a, b))
+    }
+
+    /// A 2:1 multiplexer `sel ? b : a`, built from primitive gates
+    /// (`(¬sel ∧ a) ∨ (sel ∧ b)` — 1 NOT, 2 AND, 1 OR; callers wanting to
+    /// share the inverter across a mux column should build it themselves
+    /// with [`Netlist::mux_shared`]).
+    pub fn mux(&mut self, sel: Net, a: Net, b: Net) -> Net {
+        let nsel = self.not(sel);
+        self.mux_shared(sel, nsel, a, b)
+    }
+
+    /// A 2:1 multiplexer with a caller-provided inverted select, so one
+    /// inverter can serve a whole bus.
+    pub fn mux_shared(&mut self, sel: Net, not_sel: Net, a: Net, b: Net) -> Net {
+        let take_a = self.and(not_sel, a);
+        let take_b = self.and(sel, b);
+        self.or(take_a, take_b)
+    }
+
+    /// Registers a wire as a primary output. Outputs are reported by
+    /// [`Netlist::eval`] in registration order.
+    pub fn mark_output(&mut self, net: Net) {
+        self.outputs.push(net);
+    }
+
+    /// The number of primary inputs.
+    #[must_use]
+    pub fn input_count(&self) -> usize {
+        self.input_count
+    }
+
+    /// The number of primary outputs.
+    #[must_use]
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The number of wires (inputs + constants + gates).
+    #[must_use]
+    pub fn wire_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Structural gate counts.
+    #[must_use]
+    pub fn gate_counts(&self) -> GateCounts {
+        let mut c = GateCounts::default();
+        for node in &self.nodes {
+            match node {
+                Node::Input | Node::Const(_) | Node::Alias(_) => {}
+                Node::Not(_) => c.not += 1,
+                Node::And(..) => c.and += 1,
+                Node::Or(..) => c.or += 1,
+                Node::Xor(..) => c.xor += 1,
+            }
+        }
+        c
+    }
+
+    /// Evaluates the netlist with **stuck-at faults**: each `(wire,
+    /// value)` in `forced` overrides that wire's computed value before
+    /// fan-out — classic stuck-at-0/1 fault simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != input_count()`.
+    #[must_use]
+    pub fn eval_with_faults(&self, inputs: &[bool], forced: &[(Net, bool)]) -> Vec<bool> {
+        assert_eq!(
+            inputs.len(),
+            self.input_count,
+            "expected {} input values, got {}",
+            self.input_count,
+            inputs.len()
+        );
+        let mut values = vec![false; self.nodes.len()];
+        let mut next_input = 0;
+        for (i, node) in self.nodes.iter().enumerate() {
+            values[i] = match *node {
+                Node::Input => {
+                    let v = inputs[next_input];
+                    next_input += 1;
+                    v
+                }
+                Node::Const(v) => v,
+                Node::Alias(a) => values[a.index()],
+                Node::Not(a) => !values[a.index()],
+                Node::And(a, b) => values[a.index()] && values[b.index()],
+                Node::Or(a, b) => values[a.index()] || values[b.index()],
+                Node::Xor(a, b) => values[a.index()] ^ values[b.index()],
+            };
+            for &(net, v) in forced {
+                if net.index() == i {
+                    values[i] = v;
+                }
+            }
+        }
+        self.outputs.iter().map(|o| values[o.index()]).collect()
+    }
+
+    /// Evaluates the netlist for one input assignment (values in input
+    /// creation order); returns the output values in registration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != input_count()`.
+    #[must_use]
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            inputs.len(),
+            self.input_count,
+            "expected {} input values, got {}",
+            self.input_count,
+            inputs.len()
+        );
+        let mut values = vec![false; self.nodes.len()];
+        let mut next_input = 0;
+        for (i, node) in self.nodes.iter().enumerate() {
+            values[i] = match *node {
+                Node::Input => {
+                    let v = inputs[next_input];
+                    next_input += 1;
+                    v
+                }
+                Node::Const(v) => v,
+                Node::Alias(a) => values[a.index()],
+                Node::Not(a) => !values[a.index()],
+                Node::And(a, b) => values[a.index()] && values[b.index()],
+                Node::Or(a, b) => values[a.index()] || values[b.index()],
+                Node::Xor(a, b) => values[a.index()] ^ values[b.index()],
+            };
+        }
+        self.outputs.iter().map(|o| values[o.index()]).collect()
+    }
+
+    /// The critical-path depth in gate levels from any input/constant to
+    /// any marked output (inputs and constants are level 0).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        let levels = self.levels();
+        self.outputs.iter().map(|o| levels[o.index()]).max().unwrap_or(0)
+    }
+
+    /// The gate level of one wire.
+    #[must_use]
+    pub fn depth_of(&self, net: Net) -> usize {
+        self.levels()[net.index()]
+    }
+
+    /// Structural one-liners for export: a `wire` declaration (with
+    /// inline driver for inputs/constants) or an `assign` per node, plus
+    /// output aliases. Consumed by
+    /// [`export_verilog`](crate::verilog::export_verilog).
+    pub(crate) fn structural_lines(&self) -> Vec<String> {
+        let mut lines = Vec::with_capacity(2 * self.nodes.len());
+        let mut next_input = 0usize;
+        for (i, node) in self.nodes.iter().enumerate() {
+            match *node {
+                Node::Input => {
+                    lines.push(format!("wire w{i} = in_{next_input};"));
+                    next_input += 1;
+                }
+                Node::Const(v) => {
+                    lines.push(format!("wire w{i} = 1'b{};", u8::from(v)));
+                }
+                Node::Alias(a) => {
+                    lines.push(format!("wire w{i} = w{};", a.index()));
+                }
+                Node::Not(a) => {
+                    lines.push(format!("wire w{i};"));
+                    lines.push(format!("assign w{i} = ~w{};", a.index()));
+                }
+                Node::And(a, b) => {
+                    lines.push(format!("wire w{i};"));
+                    lines.push(format!("assign w{i} = w{} & w{};", a.index(), b.index()));
+                }
+                Node::Or(a, b) => {
+                    lines.push(format!("wire w{i};"));
+                    lines.push(format!("assign w{i} = w{} | w{};", a.index(), b.index()));
+                }
+                Node::Xor(a, b) => {
+                    lines.push(format!("wire w{i};"));
+                    lines.push(format!("assign w{i} = w{} ^ w{};", a.index(), b.index()));
+                }
+            }
+        }
+        for (o, net) in self.outputs.iter().enumerate() {
+            lines.push(format!("assign out_{o} = w{};", net.index()));
+        }
+        lines
+    }
+
+    fn levels(&self) -> Vec<usize> {
+        let mut levels = vec![0usize; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            levels[i] = match *node {
+                Node::Input | Node::Const(_) => 0,
+                Node::Alias(a) => levels[a.index()], // zero delay
+                Node::Not(a) => levels[a.index()] + 1,
+                Node::And(a, b) | Node::Or(a, b) | Node::Xor(a, b) => {
+                    levels[a.index()].max(levels[b.index()]) + 1
+                }
+            };
+        }
+        levels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_adder_truth_table() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let sum = nl.xor(a, b);
+        let carry = nl.and(a, b);
+        nl.mark_output(sum);
+        nl.mark_output(carry);
+        assert_eq!(nl.eval(&[false, false]), vec![false, false]);
+        assert_eq!(nl.eval(&[true, false]), vec![true, false]);
+        assert_eq!(nl.eval(&[false, true]), vec![true, false]);
+        assert_eq!(nl.eval(&[true, true]), vec![false, true]);
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut nl = Netlist::new();
+        let sel = nl.input();
+        let a = nl.input();
+        let b = nl.input();
+        let m = nl.mux(sel, a, b);
+        nl.mark_output(m);
+        for (s, x, y) in [(false, true, false), (true, true, false)] {
+            let out = nl.eval(&[s, x, y]);
+            assert_eq!(out[0], if s { y } else { x });
+        }
+    }
+
+    #[test]
+    fn constants_evaluate() {
+        let mut nl = Netlist::new();
+        let one = nl.constant(true);
+        let zero = nl.constant(false);
+        let o = nl.or(one, zero);
+        let a = nl.and(one, zero);
+        nl.mark_output(o);
+        nl.mark_output(a);
+        assert_eq!(nl.eval(&[]), vec![true, false]);
+    }
+
+    #[test]
+    fn depth_counts_levels() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let x = nl.and(a, b); // level 1
+        let y = nl.or(x, b); // level 2
+        let z = nl.not(y); // level 3
+        nl.mark_output(z);
+        assert_eq!(nl.depth(), 3);
+        assert_eq!(nl.depth_of(x), 1);
+        assert_eq!(nl.depth_of(a), 0);
+    }
+
+    #[test]
+    fn mux_depth_is_three() {
+        let mut nl = Netlist::new();
+        let sel = nl.input();
+        let a = nl.input();
+        let b = nl.input();
+        let m = nl.mux(sel, a, b);
+        nl.mark_output(m);
+        assert_eq!(nl.depth(), 3); // NOT → AND → OR
+    }
+
+    #[test]
+    fn gate_counts_by_kind() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let m = nl.mux(a, b, b);
+        let x = nl.xor(m, a);
+        nl.mark_output(x);
+        let c = nl.gate_counts();
+        assert_eq!(c.not, 1);
+        assert_eq!(c.and, 2);
+        assert_eq!(c.or, 1);
+        assert_eq!(c.xor, 1);
+        assert_eq!(c.total(), 5);
+        assert_eq!(nl.wire_count(), 2 + 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "input values")]
+    fn eval_rejects_wrong_arity() {
+        let mut nl = Netlist::new();
+        let _ = nl.input();
+        let _ = nl.eval(&[]);
+    }
+
+    #[test]
+    fn stuck_at_faults_override_wires() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let x = nl.and(a, b);
+        let y = nl.or(x, b);
+        nl.mark_output(y);
+        // Healthy: (1,0) → x=0, y=0.
+        assert_eq!(nl.eval(&[true, false]), vec![false]);
+        // Force the AND output stuck-at-1: y becomes 1.
+        assert_eq!(nl.eval_with_faults(&[true, false], &[(x, true)]), vec![true]);
+        // Forcing an input wire works too.
+        assert_eq!(nl.eval_with_faults(&[true, false], &[(b, true)]), vec![true]);
+        // No faults = plain eval.
+        assert_eq!(nl.eval_with_faults(&[true, true], &[]), nl.eval(&[true, true]));
+    }
+
+    #[test]
+    fn shared_inverter_muxes() {
+        let mut nl = Netlist::new();
+        let sel = nl.input();
+        let nsel = nl.not(sel);
+        let a0 = nl.input();
+        let b0 = nl.input();
+        let a1 = nl.input();
+        let b1 = nl.input();
+        let m0 = nl.mux_shared(sel, nsel, a0, b0);
+        let m1 = nl.mux_shared(sel, nsel, a1, b1);
+        nl.mark_output(m0);
+        nl.mark_output(m1);
+        // One inverter for two muxes.
+        assert_eq!(nl.gate_counts().not, 1);
+        assert_eq!(nl.eval(&[true, false, true, true, false]), vec![true, false]);
+        assert_eq!(nl.eval(&[false, false, true, true, false]), vec![false, true]);
+    }
+}

@@ -1,0 +1,351 @@
+//! The §IV pipelined mode at gate level: registers between the stages of
+//! the synthesized network.
+//!
+//! "By providing registers between the stages of `B(n)`, the network may
+//! operate in pipelined mode." [`PipelinedGateBenes`] synthesizes each of
+//! the `2n − 1` stage columns as its own small combinational netlist and
+//! places a register bank between consecutive columns. One [`clock`]
+//! latches a new input wavefront (optional), evaluates every column on
+//! its register contents, and shifts the results forward — exactly the
+//! timing a registered hardware implementation would have: the clock
+//! period is bounded by **one column's** critical path (3–4 gate levels,
+//! constant in `N`), not the whole network's.
+//!
+//! Cross-checked against the behavioral `benes_core::pipeline::Pipeline`.
+//!
+//! [`clock`]: PipelinedGateBenes::clock
+
+use benes_core::topology;
+use benes_perm::Permutation;
+
+use crate::netlist::Netlist;
+use crate::switch::{build_switch, Bus};
+
+/// One stage column as a standalone netlist: inputs are the `N` port
+/// buses (+ the omega wire), outputs are the buses after the switch
+/// column and the outgoing link wiring.
+#[derive(Debug, Clone)]
+struct StageColumn {
+    netlist: Netlist,
+}
+
+/// A register-pipelined gate-level `B(n)` carrying `(tag, payload)`
+/// wavefronts of plain `u64` words.
+///
+/// # Examples
+///
+/// ```
+/// use benes_gates::pipeline::PipelinedGateBenes;
+/// use benes_perm::bpc::Bpc;
+///
+/// let mut hw = PipelinedGateBenes::build(3, 8);
+/// let perm = Bpc::bit_reversal(3).to_permutation();
+/// let data: Vec<u64> = (0..8).collect();
+/// assert!(hw.clock(Some((&perm, &data))).is_none());
+/// for _ in 0..4 {
+///     assert!(hw.clock(None).is_none());
+/// }
+/// let wave = hw.clock(None).expect("latency = 2n − 1 clocks");
+/// assert_eq!(wave.1, perm.apply(&data));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PipelinedGateBenes {
+    n: u32,
+    data_width: u32,
+    columns: Vec<StageColumn>,
+    /// `regs[s]` holds the bit image waiting at the input of column `s`.
+    regs: Vec<Option<Vec<bool>>>,
+    clock_count: u64,
+}
+
+impl PipelinedGateBenes {
+    /// Synthesizes the pipelined network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range or `data_width > 63`.
+    #[must_use]
+    pub fn build(n: u32, data_width: u32) -> Self {
+        assert!(data_width <= 63, "payload width limited to 63 bits");
+        let terminals = topology::terminal_count(n); // validates n
+
+        let links = topology::build_links(n);
+        let stages = topology::stage_count(n);
+        let columns = (0..stages)
+            .map(|s| {
+                let mut nl = Netlist::new();
+                let buses: Vec<Bus> = (0..terminals)
+                    .map(|_| Bus {
+                        tag: (0..n).map(|_| nl.input()).collect(),
+                        data: (0..data_width).map(|_| nl.input()).collect(),
+                    })
+                    .collect();
+                let bit = topology::control_bit(n, s);
+                let mut outs: Vec<Option<Bus>> = vec![None; terminals];
+                for i in 0..terminals / 2 {
+                    let (uo, lo) =
+                        build_switch(&mut nl, &buses[2 * i], &buses[2 * i + 1], bit, None);
+                    outs[2 * i] = Some(uo);
+                    outs[2 * i + 1] = Some(lo);
+                }
+                let mut outs: Vec<Bus> =
+                    outs.into_iter().map(|b| b.expect("filled")).collect();
+                if s < stages - 1 {
+                    // Apply the link wiring by reordering output buses.
+                    let mut wired: Vec<Option<Bus>> = vec![None; terminals];
+                    for (p, bus) in outs.drain(..).enumerate() {
+                        wired[links[s][p] as usize] = Some(bus);
+                    }
+                    outs = wired.into_iter().map(|b| b.expect("filled")).collect();
+                }
+                for bus in &outs {
+                    for w in bus.wires() {
+                        nl.mark_output(w);
+                    }
+                }
+                StageColumn { netlist: nl }
+            })
+            .collect();
+        Self {
+            n,
+            data_width,
+            columns,
+            regs: (0..stages).map(|_| None).collect(),
+            clock_count: 0,
+        }
+    }
+
+    /// The fill latency in clocks (`2n − 1`).
+    #[must_use]
+    pub fn latency(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The clock-period bound: the deepest single column's critical path
+    /// in gate levels — **constant in `N`** (this is what pipelining
+    /// buys).
+    #[must_use]
+    pub fn clock_period_levels(&self) -> usize {
+        self.columns.iter().map(|c| c.netlist.depth()).max().unwrap_or(0)
+    }
+
+    /// Clocks executed so far.
+    #[must_use]
+    pub fn clock_count(&self) -> u64 {
+        self.clock_count
+    }
+
+    /// The synthesized netlist of one stage column — e.g. for Verilog
+    /// export of the combinational block between register banks
+    /// ([`crate::verilog::export_verilog`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage >= latency()`.
+    #[must_use]
+    pub fn column_netlist(&self, stage: usize) -> &Netlist {
+        &self.columns[stage].netlist
+    }
+
+    /// Whether any wavefront is in flight.
+    #[must_use]
+    pub fn is_busy(&self) -> bool {
+        self.regs.iter().any(Option::is_some)
+    }
+
+    fn encode(&self, perm: &Permutation, data: &[u64]) -> Vec<bool> {
+        let terminals = 1usize << self.n;
+        assert_eq!(perm.len(), terminals, "permutation length must be N");
+        assert_eq!(data.len(), terminals, "payload count must be N");
+        let mut bits = Vec::new();
+        #[allow(clippy::needless_range_loop)] // i indexes perm AND data in lockstep
+        for i in 0..terminals {
+            let tag = u64::from(perm.destination(i));
+            for b in 0..self.n {
+                bits.push((tag >> b) & 1 == 1);
+            }
+            assert!(
+                benes_bits::fits(data[i], self.data_width),
+                "payload {:#x} exceeds {} bits",
+                data[i],
+                self.data_width
+            );
+            for b in 0..self.data_width {
+                bits.push((data[i] >> b) & 1 == 1);
+            }
+        }
+        bits
+    }
+
+    fn decode(&self, bits: &[bool]) -> (Vec<u32>, Vec<u64>) {
+        let terminals = 1usize << self.n;
+        let per = (self.n + self.data_width) as usize;
+        let mut tags = Vec::with_capacity(terminals);
+        let mut data = Vec::with_capacity(terminals);
+        for o in 0..terminals {
+            let chunk = &bits[o * per..(o + 1) * per];
+            tags.push(
+                chunk[..self.n as usize]
+                    .iter()
+                    .enumerate()
+                    .map(|(b, &v)| u32::from(v) << b)
+                    .sum(),
+            );
+            data.push(
+                chunk[self.n as usize..]
+                    .iter()
+                    .enumerate()
+                    .map(|(b, &v)| u64::from(v) << b)
+                    .sum(),
+            );
+        }
+        (tags, data)
+    }
+
+    /// One clock period: latch an optional new wavefront, evaluate every
+    /// column, shift forward. Returns the `(tags, payloads)` wavefront
+    /// leaving the last column, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input wavefront's lengths mismatch `N`.
+    pub fn clock(
+        &mut self,
+        input: Option<(&Permutation, &[u64])>,
+    ) -> Option<(Vec<u32>, Vec<u64>)> {
+        self.clock_count += 1;
+        let stages = self.columns.len();
+        let emitted = self.regs[stages - 1]
+            .take()
+            .map(|bits| self.columns[stages - 1].netlist.eval(&bits));
+        for s in (0..stages - 1).rev() {
+            if let Some(bits) = self.regs[s].take() {
+                self.regs[s + 1] = Some(self.columns[s].netlist.eval(&bits));
+            }
+        }
+        self.regs[0] = input.map(|(perm, data)| self.encode(perm, data));
+        emitted.map(|bits| self.decode(&bits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use benes_core::pipeline::Pipeline;
+    use benes_perm::bpc::Bpc;
+    use benes_perm::omega::cyclic_shift;
+
+    #[test]
+    fn single_wavefront_matches_behavioral_pipeline() {
+        let n = 3;
+        let mut hw = PipelinedGateBenes::build(n, 8);
+        let mut sw: Pipeline<u64> = Pipeline::new(n);
+        let perm = Bpc::bit_reversal(n).to_permutation();
+        let data: Vec<u64> = (0..8).map(|i| 0x40 + i).collect();
+        let records: Vec<(u32, u64)> = perm
+            .destinations()
+            .iter()
+            .zip(&data)
+            .map(|(&d, &v)| (d, v))
+            .collect();
+
+        let mut hw_out = None;
+        let mut sw_out = None;
+        let mut fed = false;
+        while hw_out.is_none() || sw_out.is_none() {
+            let hw_in = if fed { None } else { Some((&perm, data.as_slice())) };
+            let sw_in = if fed { None } else { Some(records.clone()) };
+            fed = true;
+            if let Some(w) = hw.clock(hw_in) {
+                hw_out = Some(w);
+            }
+            if let Some(w) = sw.clock(sw_in) {
+                sw_out = Some(w);
+            }
+        }
+        let (hw_tags, hw_data) = hw_out.unwrap();
+        let sw_wave = sw_out.unwrap();
+        assert_eq!(hw_tags, sw_wave.iter().map(|r| r.0).collect::<Vec<_>>());
+        assert_eq!(hw_data, sw_wave.iter().map(|r| r.1).collect::<Vec<_>>());
+        assert_eq!(hw.clock_count(), sw.clock_count());
+    }
+
+    #[test]
+    fn streaming_mixed_permutations() {
+        let n = 3;
+        let mut hw = PipelinedGateBenes::build(n, 6);
+        let perms = [
+            Bpc::bit_reversal(n).to_permutation(),
+            cyclic_shift(n, 3),
+            Bpc::perfect_shuffle(n).to_permutation(),
+            Bpc::vector_reversal(n).to_permutation(),
+        ];
+        let data: Vec<u64> = (0..8).collect();
+        let mut emitted = Vec::new();
+        let mut clock = 0usize;
+        while emitted.len() < perms.len() {
+            let input = perms.get(clock).map(|p| (p, data.as_slice()));
+            if let Some(w) = hw.clock(input) {
+                emitted.push(w);
+            }
+            clock += 1;
+        }
+        assert_eq!(clock, perms.len() + hw.latency() - 1 + 1);
+        for (k, (tags, payloads)) in emitted.iter().enumerate() {
+            assert!(tags.iter().enumerate().all(|(o, &t)| t == o as u32));
+            assert_eq!(payloads, &perms[k].apply(&data), "vector {k}");
+        }
+    }
+
+    #[test]
+    fn clock_period_is_constant_in_network_size() {
+        // The point of pipelining: the clock period is one column's
+        // depth (3 mux levels), regardless of N.
+        for n in 1..6u32 {
+            let hw = PipelinedGateBenes::build(n, 4);
+            assert_eq!(hw.clock_period_levels(), 3, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn latency_is_stage_count() {
+        for n in [2u32, 4] {
+            let hw = PipelinedGateBenes::build(n, 2);
+            assert_eq!(hw.latency(), 2 * n as usize - 1);
+        }
+    }
+
+    #[test]
+    fn columns_export_to_verilog() {
+        let hw = PipelinedGateBenes::build(2, 2);
+        for s in 0..hw.latency() {
+            let v = crate::verilog::export_verilog(
+                hw.column_netlist(s),
+                &format!("benes_b2_stage{s}"),
+            );
+            assert!(v.contains(&format!("module benes_b2_stage{s} (")));
+            // 4 terminals × (2 tag + 2 data) in and out.
+            assert_eq!(v.matches("input  wire").count(), 16);
+            assert_eq!(v.matches("output wire").count(), 16);
+        }
+    }
+
+    #[test]
+    fn bubbles_propagate() {
+        let n = 2;
+        let mut hw = PipelinedGateBenes::build(n, 2);
+        let p = cyclic_shift(n, 1);
+        let data = vec![0u64, 1, 2, 3];
+        assert!(hw.clock(Some((&p, &data))).is_none());
+        assert!(hw.clock(None).is_none());
+        // Bubble, then another vector.
+        assert!(hw.clock(Some((&p, &data))).is_none());
+        let first = hw.clock(None);
+        assert!(first.is_some(), "first vector emerges at clock 4 on B(2)");
+        let gap = hw.clock(None);
+        assert!(gap.is_none(), "the bubble surfaces as a gap");
+        let second = hw.clock(None);
+        assert!(second.is_some());
+        assert!(!hw.is_busy());
+    }
+}

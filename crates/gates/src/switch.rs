@@ -1,0 +1,260 @@
+//! The self-setting binary switch as a gate-level cell (Figs. 2 and 3 of
+//! the paper, made of actual gates).
+//!
+//! A switch in stage `b` (or `2n−2−b`) carries two records, each a bus of
+//! `n` tag bits followed by `w` payload bits. Its "simple logic" is:
+//!
+//! * **control**: tap bit `b` of the *upper* input's tag — zero gates —
+//!   optionally gated by the global omega-forcing input
+//!   (`ctl = tag_u[b] ∧ ¬force_straight`, 2 extra gates shared by the
+//!   whole switch);
+//! * **datapath**: for each of the `n + w` bus wires, two 2:1 muxes
+//!   (upper-out and lower-out), sharing one inverted control per switch.
+//!
+//! Cost per switch: `1` NOT + `6·(n + w)` gates (+2 when omega gating is
+//! present) — constant in `N` for a fixed word, which is exactly what
+//! "some simple logic added to each switch" has to mean for the paper's
+//! `O(log N)` claim to stand.
+
+use crate::netlist::{Net, Netlist};
+
+/// The wires of one record travelling through the network: `tag` is
+/// little-endian (`tag[0]` is destination bit 0).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bus {
+    /// Destination-tag wires, little-endian.
+    pub tag: Vec<Net>,
+    /// Payload wires, little-endian.
+    pub data: Vec<Net>,
+}
+
+impl Bus {
+    /// All wires, tag first.
+    #[must_use]
+    pub fn wires(&self) -> Vec<Net> {
+        self.tag.iter().chain(self.data.iter()).copied().collect()
+    }
+
+    /// The bus width `n + w`.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.tag.len() + self.data.len()
+    }
+}
+
+/// Synthesizes one self-setting switch.
+///
+/// `control_bit` is the stage's tag bit `b`. `self_set_enable`, when
+/// provided, gates the self-setting: the switch is forced straight while
+/// the enable wire is 0. It is the *inverted* omega input — invert the
+/// omega signal **once** per network and share the wire, so the omega
+/// mechanism costs a single AND gate per early-stage switch and adds only
+/// one gate level to those stages.
+///
+/// Returns `(upper_out, lower_out)`.
+///
+/// # Panics
+///
+/// Panics if the two input buses have different shapes or `control_bit`
+/// is out of range.
+#[must_use]
+pub fn build_switch(
+    nl: &mut Netlist,
+    upper: &Bus,
+    lower: &Bus,
+    control_bit: u32,
+    self_set_enable: Option<Net>,
+) -> (Bus, Bus) {
+    let (u, l, _) = build_switch_with_select(nl, upper, lower, control_bit, self_set_enable);
+    (u, l)
+}
+
+/// [`build_switch`], additionally returning the switch's **select wire**
+/// (the effective state signal) — the hook fault-simulation and
+/// instrumentation need.
+///
+/// # Panics
+///
+/// Same conditions as [`build_switch`].
+#[must_use]
+pub fn build_switch_with_select(
+    nl: &mut Netlist,
+    upper: &Bus,
+    lower: &Bus,
+    control_bit: u32,
+    self_set_enable: Option<Net>,
+) -> (Bus, Bus, Net) {
+    assert_eq!(upper.tag.len(), lower.tag.len(), "tag widths must match");
+    assert_eq!(upper.data.len(), lower.data.len(), "data widths must match");
+    assert!(
+        (control_bit as usize) < upper.tag.len(),
+        "control bit {control_bit} outside tag width {}",
+        upper.tag.len()
+    );
+
+    // Fig. 3: the state is bit b of the UPPER input's tag…
+    let tap = upper.tag[control_bit as usize];
+    // …unless the (inverted) omega input forces the stage straight. The
+    // alias gives the switch a dedicated control wire (zero gates, zero
+    // delay) so fault simulation can stick THIS switch without touching
+    // the shared tag wire.
+    let raw_sel = match self_set_enable {
+        Some(enable) => nl.and(tap, enable),
+        None => tap,
+    };
+    let sel = nl.alias(raw_sel);
+    let nsel = nl.not(sel);
+
+    let mux_bus = |nl: &mut Netlist, a: &[Net], b: &[Net]| -> Vec<Net> {
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| nl.mux_shared(sel, nsel, x, y))
+            .collect()
+    };
+
+    // State 0 (sel = 0): straight — upper out = upper in.
+    // State 1 (sel = 1): cross — upper out = lower in.
+    let up_out = Bus {
+        tag: mux_bus(nl, &upper.tag, &lower.tag),
+        data: mux_bus(nl, &upper.data, &lower.data),
+    };
+    let low_out = Bus {
+        tag: mux_bus(nl, &lower.tag, &upper.tag),
+        data: mux_bus(nl, &lower.data, &upper.data),
+    };
+    (up_out, low_out, sel)
+}
+
+/// The gate cost of one switch with bus width `n + w`:
+/// `1 + 6·(n + w)` without omega gating, one more AND with it (the omega
+/// inverter is shared network-wide and not counted here).
+#[must_use]
+pub fn gates_per_switch(tag_width: u32, data_width: u32, omega_gated: bool) -> u64 {
+    let bus = u64::from(tag_width + data_width);
+    let base = 1 + 6 * bus;
+    if omega_gated {
+        base + 1
+    } else {
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input_bus(nl: &mut Netlist, tag_w: usize, data_w: usize) -> Bus {
+        Bus {
+            tag: (0..tag_w).map(|_| nl.input()).collect(),
+            data: (0..data_w).map(|_| nl.input()).collect(),
+        }
+    }
+
+    /// Evaluate one switch for given tag/data words.
+    fn run_switch(
+        control_bit: u32,
+        u_tag: u64,
+        u_data: u64,
+        l_tag: u64,
+        l_data: u64,
+        force: Option<bool>,
+    ) -> ((u64, u64), (u64, u64)) {
+        let (tag_w, data_w) = (3usize, 4usize);
+        let mut nl = Netlist::new();
+        // The caller-level omega mechanism: the switch receives the
+        // INVERTED omega signal as its self-set enable.
+        let enable_net = force.map(|_| nl.input());
+        let upper = input_bus(&mut nl, tag_w, data_w);
+        let lower = input_bus(&mut nl, tag_w, data_w);
+        let (uo, lo) = build_switch(&mut nl, &upper, &lower, control_bit, enable_net);
+        for w in uo.wires().into_iter().chain(lo.wires()) {
+            nl.mark_output(w);
+        }
+        let mut inputs = Vec::new();
+        if let Some(f) = force {
+            inputs.push(!f); // enable = NOT(force)
+        }
+        for (word, width) in [(u_tag, tag_w), (u_data, data_w), (l_tag, tag_w), (l_data, data_w)] {
+            for b in 0..width {
+                inputs.push((word >> b) & 1 == 1);
+            }
+        }
+        let out = nl.eval(&inputs);
+        let decode = |bits: &[bool]| -> u64 {
+            bits.iter().enumerate().map(|(i, &v)| u64::from(v) << i).sum()
+        };
+        let (ut, rest) = out.split_at(tag_w);
+        let (ud, rest) = rest.split_at(data_w);
+        let (lt, ld) = rest.split_at(tag_w);
+        ((decode(ut), decode(ud)), (decode(lt), decode(ld)))
+    }
+
+    #[test]
+    fn straight_when_control_bit_zero() {
+        // control bit 1 of upper tag 0b101 is 0 → straight.
+        let ((ut, ud), (lt, ld)) = run_switch(1, 0b101, 7, 0b011, 9, None);
+        assert_eq!((ut, ud), (0b101, 7));
+        assert_eq!((lt, ld), (0b011, 9));
+    }
+
+    #[test]
+    fn cross_when_control_bit_one() {
+        // control bit 2 of upper tag 0b100 is 1 → cross.
+        let ((ut, ud), (lt, ld)) = run_switch(2, 0b100, 7, 0b011, 9, None);
+        assert_eq!((ut, ud), (0b011, 9));
+        assert_eq!((lt, ld), (0b100, 7));
+    }
+
+    #[test]
+    fn lower_tag_never_controls() {
+        // Fig. 3: only the UPPER input's tag matters.
+        let a = run_switch(0, 0b110, 1, 0b111, 2, None);
+        let b = run_switch(0, 0b110, 1, 0b000, 2, None);
+        // Upper tag bit 0 = 0 in both → straight in both.
+        assert_eq!(a.0, (0b110, 1));
+        assert_eq!(b.0, (0b110, 1));
+    }
+
+    #[test]
+    fn force_straight_overrides() {
+        // Control bit says cross, but the omega input forces straight.
+        let ((ut, _), (lt, _)) = run_switch(0, 0b001, 1, 0b010, 2, Some(true));
+        assert_eq!(ut, 0b001);
+        assert_eq!(lt, 0b010);
+        // With the force input at 0, the self-setting applies again.
+        let ((ut, _), (lt, _)) = run_switch(0, 0b001, 1, 0b010, 2, Some(false));
+        assert_eq!(ut, 0b010);
+        assert_eq!(lt, 0b001);
+    }
+
+    #[test]
+    fn gate_cost_formula_matches_structure() {
+        let mut nl = Netlist::new();
+        let upper = input_bus(&mut nl, 5, 11);
+        let lower = input_bus(&mut nl, 5, 11);
+        let before = nl.gate_counts().total();
+        let _ = build_switch(&mut nl, &upper, &lower, 0, None);
+        let used = nl.gate_counts().total() - before;
+        assert_eq!(used, gates_per_switch(5, 11, false));
+
+        let mut nl = Netlist::new();
+        let enable = nl.input();
+        let upper = input_bus(&mut nl, 5, 11);
+        let lower = input_bus(&mut nl, 5, 11);
+        let before = nl.gate_counts().total();
+        let _ = build_switch(&mut nl, &upper, &lower, 0, Some(enable));
+        let used = nl.gate_counts().total() - before;
+        assert_eq!(used, gates_per_switch(5, 11, true));
+    }
+
+    #[test]
+    fn cost_is_constant_in_network_size() {
+        // The paper's "simple logic": per-switch gates depend only on the
+        // word width, never on N.
+        assert_eq!(gates_per_switch(3, 8, false), gates_per_switch(3, 8, false));
+        let g10 = gates_per_switch(10, 8, false);
+        let g20 = gates_per_switch(20, 8, false);
+        // Grows only because the tag itself is log N bits wide.
+        assert_eq!(g20 - g10, 6 * 10);
+    }
+}

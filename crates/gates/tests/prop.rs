@@ -1,0 +1,87 @@
+//! Property-based tests: the gate-level network is bit-for-bit equivalent
+//! to the behavioral model.
+
+use benes_core::Benes;
+use benes_gates::GateBenes;
+use benes_perm::bpc::{Bpc, SignedBit};
+use benes_perm::Permutation;
+use proptest::prelude::*;
+
+fn arb_permutation(len: usize) -> impl Strategy<Value = Permutation> {
+    Just(()).prop_perturb(move |(), mut rng| {
+        let mut dest: Vec<u32> = (0..len as u32).collect();
+        for i in (1..len).rev() {
+            let j = (rng.random::<u64>() % (i as u64 + 1)) as usize;
+            dest.swap(i, j);
+        }
+        Permutation::from_destinations(dest).expect("bijection")
+    })
+}
+
+fn arb_bpc(n: u32) -> impl Strategy<Value = Bpc> {
+    (arb_permutation(n as usize), proptest::collection::vec(any::<bool>(), n as usize))
+        .prop_map(move |(positions, signs)| {
+            let entries = positions
+                .destinations()
+                .iter()
+                .zip(signs)
+                .map(|(&p, c)| if c { SignedBit::minus(p) } else { SignedBit::plus(p) })
+                .collect();
+            Bpc::from_entries(entries).expect("valid BPC vector")
+        })
+}
+
+proptest! {
+    // Gate evaluation is slow; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary permutations (inside or outside F): the synthesized gates
+    /// and the behavioral switch model deliver identical tag placements.
+    #[test]
+    fn gates_equal_behavior_on_arbitrary_tags(p in arb_permutation(8)) {
+        let hw = GateBenes::build(3, 4);
+        let sw = Benes::new(3);
+        let data: Vec<u64> = (0..8).collect();
+        let hw_out = hw.route(&p, &data);
+        let sw_out = sw.self_route(&p);
+        prop_assert_eq!(hw_out.tags(), sw_out.outputs());
+    }
+
+    /// BPC permutations route payloads correctly through the gates.
+    #[test]
+    fn gates_route_random_bpc(b in arb_bpc(4), base in 0u64..1000) {
+        let hw = GateBenes::build(4, 10);
+        let perm = b.to_permutation();
+        let data: Vec<u64> = (0..16).map(|i| base + i).collect();
+        let out = hw.route(&perm, &data);
+        prop_assert!(out.is_success());
+        prop_assert_eq!(out.data().to_vec(), perm.apply(&data));
+    }
+
+    /// The omega input matches the behavioral omega mode on arbitrary
+    /// permutations.
+    #[test]
+    fn gates_omega_equal_behavior(p in arb_permutation(8)) {
+        let hw = GateBenes::build(3, 1);
+        let sw = Benes::new(3);
+        let data = vec![0u64; 8];
+        prop_assert_eq!(
+            hw.route_omega(&p, &data).is_success(),
+            sw.self_route_omega(&p).is_success()
+        );
+    }
+
+    /// Gate-level conservation: no payload bit pattern is ever lost, even
+    /// for non-F tags.
+    #[test]
+    fn gates_conserve_payloads(p in arb_permutation(8)) {
+        let hw = GateBenes::build(3, 6);
+        let data: Vec<u64> = (0..8).map(|i| i * 7 + 1).collect();
+        let out = hw.route(&p, &data);
+        let mut got = out.data().to_vec();
+        got.sort_unstable();
+        let mut expected = data;
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,229 @@
+//! Batcher's bitonic sorting network (the paper's reference \[11\]).
+//!
+//! The paper cites Batcher's network twice: in §I as the self-routing
+//! alternative ("Batcher's sorting network is self-routing, but has
+//! `O(log² N)` delay and `O(N log² N)` switches"), and in §III as the
+//! asymptotically best known way to perform an *arbitrary* permutation on
+//! a CCC/PSC (`O(log² N)` steps, by sorting on the destination tags).
+//!
+//! [`BitonicSorter`] models the comparator network explicitly: a schedule
+//! of `n(n+1)/2` compare-exchange stages, each pairing elements that
+//! differ in one index bit, with a data-independent direction pattern.
+//! Routing a permutation = sorting the records by destination tag; it
+//! succeeds for **all** `N!` permutations, at the cost of the deeper
+//! network.
+
+use benes_bits::bit;
+use benes_perm::Permutation;
+
+/// One compare-exchange stage of the bitonic schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompareStage {
+    /// Elements `i` and `i ^ (1 << distance_bit)` are compared.
+    pub distance_bit: u32,
+    /// Elements are sorted ascending within their region iff bit
+    /// `region_bit + 1` of the lower index is 0; `region_bit` is the `k`
+    /// of the enclosing bitonic-merge phase.
+    pub region_bit: u32,
+}
+
+/// An `N = 2^n` bitonic sorting network.
+///
+/// # Examples
+///
+/// ```
+/// use benes_networks::BitonicSorter;
+/// use benes_perm::Permutation;
+///
+/// let sorter = BitonicSorter::new(2);
+/// assert_eq!(sorter.stage_count(), 3);       // n(n+1)/2
+/// assert_eq!(sorter.comparator_count(), 6);  // N/2 per stage
+///
+/// // Bitonic routing handles permutations far outside F(n).
+/// let d = Permutation::from_destinations(vec![1, 3, 2, 0]).unwrap();
+/// let out = sorter.route(&d);
+/// assert_eq!(out, (0..4).collect::<Vec<u32>>());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitonicSorter {
+    n: u32,
+    schedule: Vec<CompareStage>,
+}
+
+impl BitonicSorter {
+    /// Builds the sorter for `N = 2^n` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 24`.
+    #[must_use]
+    pub fn new(n: u32) -> Self {
+        assert!((1..=24).contains(&n), "bitonic sorter requires 1 <= n <= 24");
+        let mut schedule = Vec::new();
+        for k in 0..n {
+            for j in (0..=k).rev() {
+                schedule.push(CompareStage { distance_bit: j, region_bit: k });
+            }
+        }
+        Self { n, schedule }
+    }
+
+    /// The network order `n`.
+    #[must_use]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// The number of elements `N = 2^n`.
+    #[must_use]
+    pub fn terminal_count(&self) -> usize {
+        1usize << self.n
+    }
+
+    /// The number of compare-exchange stages, `n(n+1)/2` — the network's
+    /// delay in comparator levels.
+    #[must_use]
+    pub fn stage_count(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// The total number of comparators, `(N/2)·n(n+1)/2`.
+    #[must_use]
+    pub fn comparator_count(&self) -> usize {
+        self.stage_count() * self.terminal_count() / 2
+    }
+
+    /// The stage schedule.
+    #[must_use]
+    pub fn schedule(&self) -> &[CompareStage] {
+        &self.schedule
+    }
+
+    /// Sorts `records` ascending by key in place, counting nothing —
+    /// the oblivious comparator network applied in software.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records.len() != terminal_count()`.
+    pub fn sort_by_key<T, K: Ord>(&self, records: &mut [T], key: impl Fn(&T) -> K) {
+        assert_eq!(
+            records.len(),
+            self.terminal_count(),
+            "record count must equal terminal count"
+        );
+        for stage in &self.schedule {
+            let d = 1usize << stage.distance_bit;
+            for i in 0..records.len() {
+                let partner = i ^ d;
+                if partner <= i {
+                    continue; // visit each pair once, from its low end
+                }
+                let ascending = bit(i as u64, stage.region_bit + 1) == 0;
+                let out_of_order = key(&records[i]) > key(&records[partner]);
+                if out_of_order == ascending {
+                    records.swap(i, partner);
+                }
+            }
+        }
+    }
+
+    /// Routes a permutation by sorting destination tags; the returned
+    /// vector holds the tag arriving at each output (always
+    /// `0, 1, …, N−1`: a sorter realizes every permutation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm.len() != terminal_count()`.
+    #[must_use]
+    pub fn route(&self, perm: &Permutation) -> Vec<u32> {
+        let mut tags: Vec<u32> = perm.destinations().to_vec();
+        self.sort_by_key(&mut tags, |&t| t);
+        tags
+    }
+
+    /// Routes records `(tag, payload)` to their tag positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records.len() != terminal_count()`.
+    #[must_use]
+    pub fn route_records<T>(&self, mut records: Vec<(u32, T)>) -> Vec<(u32, T)> {
+        self.sort_by_key(&mut records, |r| r.0);
+        records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_and_comparator_counts() {
+        for n in 1..10u32 {
+            let s = BitonicSorter::new(n);
+            assert_eq!(s.stage_count(), (n * (n + 1) / 2) as usize);
+            assert_eq!(
+                s.comparator_count(),
+                s.stage_count() * (1usize << n) / 2
+            );
+        }
+    }
+
+    #[test]
+    fn sorts_all_permutations_n3() {
+        let s = BitonicSorter::new(3);
+        // Exhaustive: every permutation of 8 sorts correctly.
+        fn rec(rem: &mut Vec<u32>, cur: &mut Vec<u32>, s: &BitonicSorter) {
+            if rem.is_empty() {
+                let mut v = cur.clone();
+                s.sort_by_key(&mut v, |&x| x);
+                assert_eq!(v, (0..8).collect::<Vec<_>>(), "failed on {cur:?}");
+                return;
+            }
+            for idx in 0..rem.len() {
+                let v = rem.remove(idx);
+                cur.push(v);
+                rec(rem, cur, s);
+                cur.pop();
+                rem.insert(idx, v);
+            }
+        }
+        rec(&mut (0..8).collect(), &mut Vec::new(), &s);
+    }
+
+    #[test]
+    fn sorts_with_duplicates() {
+        let s = BitonicSorter::new(3);
+        let mut v = vec![3u32, 1, 3, 0, 2, 1, 0, 2];
+        s.sort_by_key(&mut v, |&x| x);
+        assert_eq!(v, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn routes_arbitrary_permutations() {
+        use benes_perm::bpc::Bpc;
+        for n in 1..8u32 {
+            let s = BitonicSorter::new(n);
+            let d = Bpc::bit_reversal(n).to_permutation();
+            assert_eq!(s.route(&d), (0..1u32 << n).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn route_records_carries_payloads() {
+        let s = BitonicSorter::new(2);
+        let out = s.route_records(vec![(2u32, 'a'), (0, 'b'), (3, 'c'), (1, 'd')]);
+        assert_eq!(out, vec![(0, 'b'), (1, 'd'), (2, 'a'), (3, 'c')]);
+    }
+
+    #[test]
+    fn sorts_random_like_sequences() {
+        let s = BitonicSorter::new(6);
+        // Deterministic pseudo-random input.
+        let mut v: Vec<u64> = (0..64u64).map(|i| i.wrapping_mul(0x9E3779B9) % 97).collect();
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        s.sort_by_key(&mut v, |&x| x);
+        assert_eq!(v, expected);
+    }
+}

@@ -1,0 +1,284 @@
+//! The hardware cost model behind the paper's §I network comparison
+//! (experiment `EXP-COST`).
+//!
+//! For each candidate network this module records the closed-form switch
+//! count, transit delay (in switching levels) and set-up cost model the
+//! paper quotes, and — where we have an executable model — checks the
+//! formula against the constructed object. The comparison the paper draws:
+//!
+//! | network | switches | delay | set-up | realizes |
+//! |---|---|---|---|---|
+//! | crossbar | `N²` | 1 | trivial | all `N!` |
+//! | omega | `(N/2)·log N` | `log N` | self-routing | `Ω(n)` |
+//! | bitonic sorter | `(N/2)·log N·(log N+1)/2` | `log N (log N+1)/2` | self-routing | all `N!` |
+//! | Benes + Waksman | `N·log N − N/2` | `2 log N − 1` | `O(N log N)` serial | all `N!` |
+//! | **self-routing Benes** | `N·log N − N/2` | `2 log N − 1` | **none** | `F(n)` ⊋ `BPC ∪ Ω⁻¹` |
+
+use crate::bitonic::BitonicSorter;
+use crate::crossbar::Crossbar;
+use crate::omega_net::OmegaNetwork;
+use benes_core::Benes;
+
+/// How a network's switches are set for a new permutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetupModel {
+    /// No set-up computation: switches decide from in-band tags.
+    SelfRouting,
+    /// Crosspoints close directly from the destination vector.
+    Trivial,
+    /// An external `O(N log N)` serial computation (Waksman).
+    ExternalSerial,
+}
+
+impl std::fmt::Display for SetupModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::SelfRouting => write!(f, "self-routing"),
+            Self::Trivial => write!(f, "trivial"),
+            Self::ExternalSerial => write!(f, "O(N log N) serial"),
+        }
+    }
+}
+
+/// The §I cost figures for one network at one size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkCost {
+    /// Display name.
+    pub name: &'static str,
+    /// Number of binary switches / comparators / crosspoints.
+    pub switches: u64,
+    /// Transit delay in switching levels.
+    pub delay: u64,
+    /// How set-up happens.
+    pub setup: SetupModel,
+    /// Which permutations the network realizes without external help.
+    pub realizes: &'static str,
+}
+
+/// Cost of the self-routing Benes network `B(n)` — verified against the
+/// constructed [`Benes`] object.
+///
+/// # Panics
+///
+/// Panics if `n` is out of the range supported by [`Benes::new`].
+#[must_use]
+pub fn benes_self_routing(n: u32) -> NetworkCost {
+    let net = Benes::new(n);
+    NetworkCost {
+        name: "Benes (self-routing)",
+        switches: net.switch_count() as u64,
+        delay: net.transit_delay() as u64,
+        setup: SetupModel::SelfRouting,
+        realizes: "F(n) ⊇ BPC ∪ Ω⁻¹ (Ω via omega bit; all N! with external set-up)",
+    }
+}
+
+/// Cost of the Benes network with Waksman external set-up.
+///
+/// # Panics
+///
+/// Panics if `n` is out of range.
+#[must_use]
+pub fn benes_external(n: u32) -> NetworkCost {
+    let net = Benes::new(n);
+    NetworkCost {
+        name: "Benes (Waksman set-up)",
+        switches: net.switch_count() as u64,
+        delay: net.transit_delay() as u64,
+        setup: SetupModel::ExternalSerial,
+        realizes: "all N!",
+    }
+}
+
+/// Cost of Lawrie's omega network — verified against [`OmegaNetwork`].
+///
+/// # Panics
+///
+/// Panics if `n` is out of range.
+#[must_use]
+pub fn omega(n: u32) -> NetworkCost {
+    let net = OmegaNetwork::new(n);
+    NetworkCost {
+        name: "Omega (Lawrie)",
+        switches: net.switch_count() as u64,
+        delay: net.stage_count() as u64,
+        setup: SetupModel::SelfRouting,
+        realizes: "Ω(n)",
+    }
+}
+
+/// Cost of Batcher's bitonic sorting network — verified against
+/// [`BitonicSorter`].
+///
+/// # Panics
+///
+/// Panics if `n` is out of range.
+#[must_use]
+pub fn bitonic(n: u32) -> NetworkCost {
+    let s = BitonicSorter::new(n);
+    NetworkCost {
+        name: "Bitonic sorter (Batcher)",
+        switches: s.comparator_count() as u64,
+        delay: s.stage_count() as u64,
+        setup: SetupModel::SelfRouting,
+        realizes: "all N!",
+    }
+}
+
+/// Cost of Batcher's odd-even mergesort network — verified against
+/// [`crate::odd_even::OddEvenMergeSorter`]. Fewer comparators than the
+/// bitonic sorter at the same depth.
+///
+/// # Panics
+///
+/// Panics if `n` is out of range.
+#[must_use]
+pub fn odd_even(n: u32) -> NetworkCost {
+    let s = crate::odd_even::OddEvenMergeSorter::new(n);
+    NetworkCost {
+        name: "Odd-even mergesort (Batcher)",
+        switches: s.comparator_count() as u64,
+        delay: s.stage_count() as u64,
+        setup: SetupModel::SelfRouting,
+        realizes: "all N!",
+    }
+}
+
+/// Cost of Waksman's reduced network `A(n)`: the Benes network with
+/// `N/2 − 1` provably redundant switches removed — `N·log N − N + 1`
+/// switches, the optimal rearrangeable count. Verified against
+/// [`benes_core::waksman::reduced_switch_count`].
+///
+/// # Panics
+///
+/// Panics if `n` is out of range.
+#[must_use]
+pub fn waksman_reduced(n: u32) -> NetworkCost {
+    NetworkCost {
+        name: "Waksman A(n) (reduced Benes)",
+        switches: benes_core::waksman::reduced_switch_count(n) as u64,
+        delay: (2 * n - 1).into(),
+        setup: SetupModel::ExternalSerial,
+        realizes: "all N!",
+    }
+}
+
+/// Cost of a full crossbar — verified against [`Crossbar`].
+///
+/// # Panics
+///
+/// Panics if `n > 31`.
+#[must_use]
+pub fn crossbar(n: u32) -> NetworkCost {
+    assert!(n <= 31, "crossbar cost model limited to n <= 31");
+    let x = Crossbar::new(1usize << n);
+    NetworkCost {
+        name: "Crossbar",
+        switches: x.crosspoint_count() as u64,
+        delay: x.transit_delay() as u64,
+        setup: SetupModel::Trivial,
+        realizes: "all N!",
+    }
+}
+
+/// The full §I comparison at order `n`, in the paper's narrative order.
+///
+/// # Panics
+///
+/// Panics if `n` is out of range for any constituent model.
+#[must_use]
+pub fn comparison(n: u32) -> Vec<NetworkCost> {
+    vec![
+        crossbar(n),
+        omega(n),
+        bitonic(n),
+        odd_even(n),
+        waksman_reduced(n),
+        benes_external(n),
+        benes_self_routing(n),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_forms_match_paper() {
+        for n in 1..12u32 {
+            let nn = 1u64 << n;
+            assert_eq!(benes_self_routing(n).switches, nn * u64::from(n) - nn / 2);
+            assert_eq!(benes_self_routing(n).delay, 2 * u64::from(n) - 1);
+            assert_eq!(omega(n).switches, nn / 2 * u64::from(n));
+            assert_eq!(omega(n).delay, u64::from(n));
+            assert_eq!(
+                bitonic(n).switches,
+                nn / 2 * u64::from(n) * u64::from(n + 1) / 2
+            );
+            assert_eq!(bitonic(n).delay, u64::from(n) * u64::from(n + 1) / 2);
+            assert_eq!(crossbar(n).switches, nn * nn);
+            assert_eq!(crossbar(n).delay, 1);
+        }
+    }
+
+    #[test]
+    fn benes_is_twice_omega() {
+        // §I: "The number of switches and the delay in our self-routing
+        // network are both about twice the corresponding figures in a
+        // self-routing omega network."
+        for n in 4..12u32 {
+            let b = benes_self_routing(n);
+            let o = omega(n);
+            // Both ratios are exactly (2n − 1)/n: below 2, approaching it.
+            let switch_ratio = b.switches as f64 / o.switches as f64;
+            let delay_ratio = b.delay as f64 / o.delay as f64;
+            let expected = (2.0 * f64::from(n) - 1.0) / f64::from(n);
+            assert!((switch_ratio - expected).abs() < 1e-9, "n={n}: {switch_ratio}");
+            assert!((delay_ratio - expected).abs() < 1e-9, "n={n}: {delay_ratio}");
+            assert!(switch_ratio > 1.7 && switch_ratio < 2.0);
+        }
+    }
+
+    #[test]
+    fn crossbar_dominates_switch_count_eventually() {
+        for n in 6..14u32 {
+            assert!(crossbar(n).switches > benes_self_routing(n).switches);
+            assert!(crossbar(n).switches > bitonic(n).switches);
+        }
+    }
+
+    #[test]
+    fn comparison_has_all_seven_rows() {
+        let rows = comparison(6);
+        assert_eq!(rows.len(), 7);
+        assert!(rows.iter().any(|r| r.setup == SetupModel::Trivial));
+        assert_eq!(
+            rows.iter().filter(|r| r.setup == SetupModel::ExternalSerial).count(),
+            2
+        );
+        assert_eq!(
+            rows.iter().filter(|r| r.setup == SetupModel::SelfRouting).count(),
+            4
+        );
+    }
+
+    #[test]
+    fn odd_even_beats_bitonic_in_switches() {
+        for n in 2..12u32 {
+            assert!(odd_even(n).switches < bitonic(n).switches, "n = {n}");
+            assert_eq!(odd_even(n).delay, bitonic(n).delay);
+        }
+    }
+
+    #[test]
+    fn waksman_reduction_saves_half_n_minus_1() {
+        for n in 1..12u32 {
+            let nn = 1u64 << n;
+            assert_eq!(
+                benes_external(n).switches - waksman_reduced(n).switches,
+                nn / 2 - 1
+            );
+            assert_eq!(waksman_reduced(n).switches, nn * u64::from(n) - nn + 1);
+        }
+    }
+}

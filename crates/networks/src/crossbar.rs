@@ -1,0 +1,100 @@
+//! A full `N × N` crossbar — the trivial-setup baseline of §I.
+//!
+//! "A full crossbar is trivial to set up, but uses `O(N²)` switches." The
+//! crossbar closes crosspoint `(i, D_i)` for each input and transfers all
+//! data in a single switching level. It exists here to anchor the cost
+//! comparison: constant delay and instant set-up, paid for with
+//! quadratically many crosspoints.
+
+use benes_perm::Permutation;
+
+/// An `N × N` crossbar switch.
+///
+/// # Examples
+///
+/// ```
+/// use benes_networks::Crossbar;
+/// use benes_perm::Permutation;
+///
+/// let xbar = Crossbar::new(4);
+/// assert_eq!(xbar.crosspoint_count(), 16);
+/// let d = Permutation::from_destinations(vec![1, 3, 2, 0]).unwrap();
+/// assert_eq!(xbar.route(&d, &['a', 'b', 'c', 'd']), vec!['d', 'a', 'c', 'b']);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crossbar {
+    size: usize,
+}
+
+impl Crossbar {
+    /// Builds an `N × N` crossbar (any `N ≥ 1`; powers of two are not
+    /// required here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    #[must_use]
+    pub fn new(size: usize) -> Self {
+        assert!(size >= 1, "crossbar requires at least one port");
+        Self { size }
+    }
+
+    /// The number of input (and output) ports.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The number of crosspoints, `N²`.
+    #[must_use]
+    pub fn crosspoint_count(&self) -> usize {
+        self.size * self.size
+    }
+
+    /// The transit delay in switching levels: 1.
+    #[must_use]
+    pub fn transit_delay(&self) -> usize {
+        1
+    }
+
+    /// Routes `data` according to `perm` in one switching level
+    /// (`data[i]` arrives at output `perm[i]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm.len()` or `data.len()` differ from [`Crossbar::size`].
+    #[must_use]
+    pub fn route<T: Clone>(&self, perm: &Permutation, data: &[T]) -> Vec<T> {
+        assert_eq!(perm.len(), self.size, "permutation length must equal size");
+        assert_eq!(data.len(), self.size, "data length must equal size");
+        perm.apply(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_any_permutation() {
+        let xbar = Crossbar::new(5);
+        let d = Permutation::from_destinations(vec![4, 2, 0, 1, 3]).unwrap();
+        let out = xbar.route(&d, &[10, 20, 30, 40, 50]);
+        assert_eq!(out, vec![30, 40, 20, 50, 10]);
+    }
+
+    #[test]
+    fn costs_are_quadratic_and_flat() {
+        for size in [1usize, 4, 16, 100] {
+            let xbar = Crossbar::new(size);
+            assert_eq!(xbar.crosspoint_count(), size * size);
+            assert_eq!(xbar.transit_delay(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one port")]
+    fn rejects_empty() {
+        let _ = Crossbar::new(0);
+    }
+}

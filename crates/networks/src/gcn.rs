@@ -1,0 +1,366 @@
+//! A generalized connection network (GCN) built around Benes networks —
+//! the application the paper's §I points to ("the network finds
+//! application as a subnetwork of a generalized connection network \[9\]",
+//! Thompson).
+//!
+//! A *generalized connection* lets every output name **any** input —
+//! several outputs may request the same input (broadcast) and some inputs
+//! may go unrequested — where a permutation network insists on a
+//! bijection. Thompson's recipe composes three `O(log N)`-depth stages:
+//!
+//! 1. **concentrate** — a Benes pass (Waksman-set) that moves each
+//!    requested input to the start of its block of copies (block sizes =
+//!    request multiplicities, laid out by prefix sums);
+//! 2. **copy** — a `log N`-stage binary fan-out tree: at stage `s`, a
+//!    record owning the span `[p, e)` with `e − p > 2^s` duplicates
+//!    itself `2^s` positions to the right and splits the span — purely
+//!    local decisions, like the self-routing switches;
+//! 3. **distribute** — a second Benes pass routing copy `k` of input `i`
+//!    to the `k`-th output (in ascending order) that requested `i`.
+//!
+//! Total: two Benes networks plus `log N` copy stages — `O(log N)` delay
+//! and `O(N log N)` switches for arbitrary fan-out connections.
+
+use std::fmt;
+
+use benes_core::{waksman, Benes};
+use benes_perm::Permutation;
+
+/// Error produced by [`GeneralizedConnectionNetwork::realize`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GcnError {
+    /// The request vector length is not the terminal count.
+    RequestLength {
+        /// Expected `N`.
+        expected: usize,
+        /// Provided length.
+        actual: usize,
+    },
+    /// A request named an input outside `0..N`.
+    SourceOutOfRange {
+        /// The requesting output.
+        output: usize,
+        /// The out-of-range source.
+        source: u32,
+    },
+    /// The input vector length is not the terminal count.
+    InputLength {
+        /// Expected `N`.
+        expected: usize,
+        /// Provided length.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for GcnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::RequestLength { expected, actual } => {
+                write!(f, "request vector has length {actual}, expected {expected}")
+            }
+            Self::SourceOutOfRange { output, source } => {
+                write!(f, "output {output} requests input {source}, which does not exist")
+            }
+            Self::InputLength { expected, actual } => {
+                write!(f, "input vector has length {actual}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GcnError {}
+
+/// Per-realization cost report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcnCost {
+    /// Switching levels traversed (two Benes passes + copy stages).
+    pub delay_levels: usize,
+    /// Copies fabricated by the fan-out tree (requests − distinct sources).
+    pub copies_made: usize,
+}
+
+/// An `N = 2^n` generalized connection network.
+///
+/// # Examples
+///
+/// ```
+/// use benes_networks::GeneralizedConnectionNetwork;
+///
+/// let gcn = GeneralizedConnectionNetwork::new(2);
+/// // Output o requests input request[o]; input 2 is broadcast twice.
+/// let out = gcn.realize(&[2, 0, 2, 1], &["a", "b", "c", "d"])?;
+/// assert_eq!(out.0, vec!["c", "a", "c", "b"]);
+/// # Ok::<(), benes_networks::gcn::GcnError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GeneralizedConnectionNetwork {
+    n: u32,
+    benes: Benes,
+}
+
+impl GeneralizedConnectionNetwork {
+    /// Builds the `N = 2^n` GCN.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range for the underlying [`Benes`].
+    #[must_use]
+    pub fn new(n: u32) -> Self {
+        Self { n, benes: Benes::new(n) }
+    }
+
+    /// The network order `n`.
+    #[must_use]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// The number of terminals `N = 2^n`.
+    #[must_use]
+    pub fn terminal_count(&self) -> usize {
+        self.benes.terminal_count()
+    }
+
+    /// The total switching delay: two Benes passes plus `log N` copy
+    /// stages, `2·(2n − 1) + n` levels.
+    #[must_use]
+    pub fn delay_levels(&self) -> usize {
+        2 * self.benes.stage_count() + self.n as usize
+    }
+
+    /// Realizes the generalized connection: output `o` receives
+    /// `inputs[request[o]]`. Returns the outputs and the cost report.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GcnError`] if the request or input vectors have the
+    /// wrong length or a request is out of range.
+    pub fn realize<T: Clone>(
+        &self,
+        request: &[u32],
+        inputs: &[T],
+    ) -> Result<(Vec<T>, GcnCost), GcnError> {
+        let len = self.terminal_count();
+        if request.len() != len {
+            return Err(GcnError::RequestLength { expected: len, actual: request.len() });
+        }
+        if inputs.len() != len {
+            return Err(GcnError::InputLength { expected: len, actual: inputs.len() });
+        }
+        for (output, &source) in request.iter().enumerate() {
+            if source as usize >= len {
+                return Err(GcnError::SourceOutOfRange { output, source });
+            }
+        }
+
+        // Fan-out per input and block starts (prefix sums). Unrequested
+        // inputs get zero-width blocks; filler (unrequested) inputs park
+        // in the remaining slots to complete the concentration
+        // permutation.
+        let mut fanout = vec![0usize; len];
+        for &source in request {
+            fanout[source as usize] += 1;
+        }
+        let mut start = vec![0usize; len];
+        let mut acc = 0usize;
+        for i in 0..len {
+            start[i] = acc;
+            acc += fanout[i];
+        }
+
+        // --- Phase 1: concentrate via Benes/Waksman. Requested input i
+        // goes to position start[i]; the rest fill the free slots.
+        let mut concentrate = vec![u32::MAX; len];
+        for i in 0..len {
+            if fanout[i] > 0 {
+                concentrate[i] = start[i] as u32;
+            }
+        }
+        let mut free: Vec<u32> = {
+            let used: std::collections::HashSet<u32> =
+                concentrate.iter().copied().filter(|&d| d != u32::MAX).collect();
+            (0..len as u32).filter(|d| !used.contains(d)).collect()
+        };
+        for slot in concentrate.iter_mut() {
+            if *slot == u32::MAX {
+                *slot = free.pop().expect("slot counts balance");
+            }
+        }
+        let concentrate =
+            Permutation::from_destinations(concentrate).expect("constructed bijection");
+        let settings = waksman::setup(&concentrate).expect("power-of-two length");
+        let concentrated = self
+            .benes
+            .route_with(&settings, inputs)
+            .expect("validated lengths");
+
+        // --- Phase 2: binary fan-out tree. Each live record owns a span
+        // [p, e); at stage s it duplicates 2^s to the right when its span
+        // is longer than 2^s. Local decisions only.
+        let mut cells: Vec<Option<(T, usize)>> = concentrated
+            .into_iter()
+            .enumerate()
+            .map(|(p, v)| {
+                // Find the input whose block starts here, if any.
+                // (Blocks were placed by phase 1; p is a block start iff
+                // some i has fanout > 0 and start[i] == p.)
+                Some((v, p)) // span end fixed up below
+            })
+            .collect();
+        // Mark spans: block starts carry their block; everything else is
+        // inert (span of 1 covering itself, or filler).
+        let mut span_end = vec![0usize; len];
+        for i in 0..len {
+            if fanout[i] > 0 {
+                span_end[start[i]] = start[i] + fanout[i];
+            }
+        }
+        for (p, end) in span_end.iter().enumerate() {
+            if let Some((_, e)) = cells[p].as_mut() {
+                *e = if *end > 0 { *end } else { p }; // inert cells cover nothing
+            }
+        }
+        let mut copies_made = 0usize;
+        for s in (0..self.n).rev() {
+            let step = 1usize << s;
+            for p in 0..len {
+                let Some((value, end)) = cells[p].clone() else { continue };
+                if end > p && end - p > step {
+                    // Duplicate to p + step; split the span.
+                    copies_made += 1;
+                    cells[p] = Some((value.clone(), p + step));
+                    cells[p + step] = Some((value, end));
+                }
+            }
+        }
+        let copied: Vec<T> =
+            cells.into_iter().map(|c| c.expect("cell filled").0).collect();
+
+        // --- Phase 3: distribute via a second Benes/Waksman pass. Copy k
+        // of input i (at position start[i] + k) goes to the k-th output
+        // requesting i.
+        let mut next_copy = start.clone();
+        let mut distribute = vec![u32::MAX; len];
+        for (output, &source) in request.iter().enumerate() {
+            let pos = next_copy[source as usize];
+            next_copy[source as usize] += 1;
+            distribute[pos] = output as u32;
+        }
+        let mut free: Vec<u32> = {
+            let used: std::collections::HashSet<u32> =
+                distribute.iter().copied().filter(|&d| d != u32::MAX).collect();
+            (0..len as u32).filter(|d| !used.contains(d)).collect()
+        };
+        for slot in distribute.iter_mut() {
+            if *slot == u32::MAX {
+                *slot = free.pop().expect("slot counts balance");
+            }
+        }
+        let distribute =
+            Permutation::from_destinations(distribute).expect("constructed bijection");
+        let settings = waksman::setup(&distribute).expect("power-of-two length");
+        let outputs = self
+            .benes
+            .route_with(&settings, &copied)
+            .expect("validated lengths");
+
+        Ok((outputs, GcnCost { delay_levels: self.delay_levels(), copies_made }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_connection() {
+        let gcn = GeneralizedConnectionNetwork::new(3);
+        let req: Vec<u32> = (0..8).collect();
+        let data: Vec<u32> = (100..108).collect();
+        let (out, cost) = gcn.realize(&req, &data).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(cost.copies_made, 0);
+    }
+
+    #[test]
+    fn broadcast_one_to_all() {
+        let gcn = GeneralizedConnectionNetwork::new(3);
+        let req = vec![5u32; 8];
+        let data: Vec<&str> = vec!["a", "b", "c", "d", "e", "f", "g", "h"];
+        let (out, cost) = gcn.realize(&req, &data).unwrap();
+        assert_eq!(out, vec!["f"; 8]);
+        assert_eq!(cost.copies_made, 7);
+    }
+
+    #[test]
+    fn exhaustive_all_request_maps_n2() {
+        // Every one of the 4^4 = 256 generalized connections on N = 4.
+        let gcn = GeneralizedConnectionNetwork::new(2);
+        let data = [10u32, 20, 30, 40];
+        for code in 0..256u32 {
+            let req: Vec<u32> = (0..4).map(|o| (code >> (2 * o)) & 3).collect();
+            let (out, _) = gcn.realize(&req, &data).unwrap();
+            for (o, &src) in req.iter().enumerate() {
+                assert_eq!(out[o], data[src as usize], "req {req:?}, output {o}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_style_requests_n4() {
+        let gcn = GeneralizedConnectionNetwork::new(4);
+        let data: Vec<u32> = (0..16).map(|i| 1000 + i).collect();
+        // Deterministic pseudo-random requests, skewed toward broadcast.
+        let mut state = 12345u64;
+        for _ in 0..100 {
+            let req: Vec<u32> = (0..16)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    ((state >> 40) % 7) as u32 // only inputs 0..7: heavy fan-out
+                })
+                .collect();
+            let (out, _) = gcn.realize(&req, &data).unwrap();
+            for (o, &src) in req.iter().enumerate() {
+                assert_eq!(out[o], data[src as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_requests_make_no_copies() {
+        let gcn = GeneralizedConnectionNetwork::new(3);
+        let d = benes_perm::bpc::Bpc::bit_reversal(3).to_permutation();
+        // request[o] = source for output o = d⁻¹.
+        let req: Vec<u32> = d.inverse().destinations().to_vec();
+        let data: Vec<u32> = (0..8).collect();
+        let (out, cost) = gcn.realize(&req, &data).unwrap();
+        assert_eq!(out, d.apply(&data));
+        assert_eq!(cost.copies_made, 0);
+    }
+
+    #[test]
+    fn delay_is_logarithmic() {
+        for n in 1..8u32 {
+            let gcn = GeneralizedConnectionNetwork::new(n);
+            assert_eq!(gcn.delay_levels(), 2 * (2 * n as usize - 1) + n as usize);
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let gcn = GeneralizedConnectionNetwork::new(2);
+        assert_eq!(
+            gcn.realize(&[0, 1, 2], &[1, 2, 3, 4]),
+            Err(GcnError::RequestLength { expected: 4, actual: 3 })
+        );
+        assert_eq!(
+            gcn.realize(&[0, 1, 2, 9], &[1, 2, 3, 4]),
+            Err(GcnError::SourceOutOfRange { output: 3, source: 9 })
+        );
+        assert_eq!(
+            gcn.realize(&[0, 1, 2, 3], &[1, 2]),
+            Err(GcnError::InputLength { expected: 4, actual: 2 })
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Baseline interconnection networks for the self-routing Benes
+//! reproduction.
+//!
+//! §I of the paper situates the self-routing Benes network against the
+//! alternatives a designer had in 1980:
+//!
+//! * a **full crossbar** — trivial to set up but `O(N²)` switches
+//!   ([`crossbar`]);
+//! * **Lawrie's omega network** — self-routing with the same
+//!   destination-tag idea, half the switches and half the delay of the
+//!   Benes network, but a much smaller realizable class ([`omega_net`]);
+//! * **Batcher's bitonic sorting network** — self-routing for *all*
+//!   permutations, but `O(log² N)` delay and `O(N log² N)` comparator
+//!   cost ([`bitonic`]);
+//! * the Benes network itself with an `O(N log N)` **external set-up**
+//!   (provided by `benes-core`'s `waksman` module).
+//!
+//! [`cost`] collects the closed-form switch/delay figures the paper quotes
+//! and verifies them against the actual constructed objects — the basis of
+//! the `EXP-COST` experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitonic;
+pub mod cost;
+pub mod gcn;
+pub mod odd_even;
+pub mod crossbar;
+pub mod omega_net;
+
+pub use bitonic::BitonicSorter;
+pub use gcn::GeneralizedConnectionNetwork;
+pub use odd_even::OddEvenMergeSorter;
+pub use crossbar::Crossbar;
+pub use omega_net::{InverseOmegaNetwork, OmegaConflict, OmegaNetwork};

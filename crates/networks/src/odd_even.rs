@@ -1,0 +1,259 @@
+//! Batcher's odd-even merge sorting network — the second construction of
+//! the paper's reference \[11\].
+//!
+//! Batcher 1968 gives two sorting networks; the bitonic sorter
+//! ([`crate::bitonic`]) and the odd-even mergesort implemented here. Both
+//! have `O(log² N)` depth; odd-even merging uses fewer comparators
+//! (`(p² − p + 4)·2^{p−2} − 1` for `N = 2^p`, versus the bitonic
+//! `p(p+1)·2^{p−2}`), which matters for the §I switch-count comparison —
+//! it is the cheapest *universal* self-routing alternative to the Benes
+//! network, and still loses to it by a `Θ(log N)` factor in both
+//! switches and delay.
+//!
+//! The construction is the classic recursion: sort each half, then merge
+//! with the odd-even merger (compare-exchange `i ↔ i + 2^k` waves).
+
+use benes_perm::Permutation;
+
+/// One comparator: `(low, high)` positions; after the stage, the smaller
+/// key sits at `low`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Comparator {
+    /// The position receiving the smaller key.
+    pub low: usize,
+    /// The position receiving the larger key.
+    pub high: usize,
+}
+
+/// An `N = 2^p` odd-even mergesort network: an explicit list of
+/// comparator stages (comparators within a stage touch disjoint lines).
+///
+/// # Examples
+///
+/// ```
+/// use benes_networks::odd_even::OddEvenMergeSorter;
+///
+/// let s = OddEvenMergeSorter::new(3);
+/// assert_eq!(s.stage_count(), 6); // p(p+1)/2
+/// assert_eq!(s.comparator_count(), 19);
+/// let mut v = vec![5u32, 7, 1, 0, 6, 2, 4, 3];
+/// s.sort_by_key(&mut v, |&x| x);
+/// assert_eq!(v, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OddEvenMergeSorter {
+    n: u32,
+    stages: Vec<Vec<Comparator>>,
+}
+
+impl OddEvenMergeSorter {
+    /// Builds the sorter for `N = 2^n` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 20`.
+    #[must_use]
+    pub fn new(n: u32) -> Self {
+        assert!((1..=20).contains(&n), "odd-even mergesort requires 1 <= n <= 20");
+        let len = 1usize << n;
+        // Generate comparators with stage labels via the iterative
+        // formulation (Batcher's algorithm): phase p = 1, 2, 4, …;
+        // sub-phase k = p, p/2, …, 1.
+        let mut stages: Vec<Vec<Comparator>> = Vec::new();
+        let mut p = 1usize;
+        while p < len {
+            let mut k = p;
+            while k >= 1 {
+                let mut stage = Vec::new();
+                let j_start = k % p;
+                let mut j = j_start;
+                while j + k < len {
+                    let i_max = (k - 1).min(len - j - k - 1);
+                    for i in 0..=i_max {
+                        let a = i + j;
+                        let b = i + j + k;
+                        if a / (p * 2) == b / (p * 2) {
+                            stage.push(Comparator { low: a, high: b });
+                        }
+                    }
+                    j += k * 2;
+                }
+                if !stage.is_empty() {
+                    stages.push(stage);
+                }
+                k /= 2;
+            }
+            p *= 2;
+        }
+        Self { n, stages }
+    }
+
+    /// The network order `n` (`N = 2^n` lines).
+    #[must_use]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// The number of lines, `N = 2^n`.
+    #[must_use]
+    pub fn terminal_count(&self) -> usize {
+        1usize << self.n
+    }
+
+    /// The number of comparator stages (the delay), `n(n+1)/2`.
+    #[must_use]
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The total number of comparators.
+    #[must_use]
+    pub fn comparator_count(&self) -> usize {
+        self.stages.iter().map(Vec::len).sum()
+    }
+
+    /// The comparator stages.
+    #[must_use]
+    pub fn stages(&self) -> &[Vec<Comparator>] {
+        &self.stages
+    }
+
+    /// Applies the network: sorts `records` ascending by `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records.len() != terminal_count()`.
+    pub fn sort_by_key<T, K: Ord>(&self, records: &mut [T], key: impl Fn(&T) -> K) {
+        assert_eq!(
+            records.len(),
+            self.terminal_count(),
+            "record count must equal line count"
+        );
+        for stage in &self.stages {
+            for c in stage {
+                if key(&records[c.low]) > key(&records[c.high]) {
+                    records.swap(c.low, c.high);
+                }
+            }
+        }
+    }
+
+    /// Routes a permutation by sorting its destination tags (always
+    /// succeeds — a sorter is a universal permutation network).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm.len() != terminal_count()`.
+    #[must_use]
+    pub fn route(&self, perm: &Permutation) -> Vec<u32> {
+        let mut tags: Vec<u32> = perm.destinations().to_vec();
+        self.sort_by_key(&mut tags, |&t| t);
+        tags
+    }
+}
+
+/// Batcher's closed form for the odd-even comparator count at `N = 2^p`:
+/// `(p² − p + 4)·2^{p−2} − 1`.
+///
+/// # Panics
+///
+/// Panics if `p == 0`.
+#[must_use]
+pub fn comparator_count_closed_form(p: u32) -> u64 {
+    assert!(p >= 1, "need p >= 1");
+    let p64 = u64::from(p);
+    if p == 1 {
+        return 1;
+    }
+    (p64 * p64 - p64 + 4) * (1u64 << (p64 - 2)) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_all_permutations_n3() {
+        // Zero-one principle would suffice; do the full S_8 anyway.
+        let s = OddEvenMergeSorter::new(3);
+        fn rec(rem: &mut Vec<u32>, cur: &mut Vec<u32>, s: &OddEvenMergeSorter) {
+            if rem.is_empty() {
+                let mut v = cur.clone();
+                s.sort_by_key(&mut v, |&x| x);
+                assert_eq!(v, (0..8).collect::<Vec<_>>(), "failed on {cur:?}");
+                return;
+            }
+            for idx in 0..rem.len() {
+                let v = rem.remove(idx);
+                cur.push(v);
+                rec(rem, cur, s);
+                cur.pop();
+                rem.insert(idx, v);
+            }
+        }
+        rec(&mut (0..8).collect(), &mut Vec::new(), &s);
+    }
+
+    #[test]
+    fn zero_one_principle_exhaustive_n4() {
+        // Sorting networks sort everything iff they sort all 0/1 inputs.
+        let s = OddEvenMergeSorter::new(4);
+        for mask in 0u32..(1 << 16) {
+            let mut v: Vec<u32> = (0..16).map(|b| (mask >> b) & 1).collect();
+            s.sort_by_key(&mut v, |&x| x);
+            assert!(v.windows(2).all(|w| w[0] <= w[1]), "failed on mask {mask:#x}");
+        }
+    }
+
+    #[test]
+    fn comparator_count_matches_closed_form() {
+        for p in 1..=10u32 {
+            let s = OddEvenMergeSorter::new(p);
+            assert_eq!(
+                s.comparator_count() as u64,
+                comparator_count_closed_form(p),
+                "p = {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn stage_count_is_p_p_plus_1_over_2() {
+        for p in 1..=10u32 {
+            let s = OddEvenMergeSorter::new(p);
+            assert_eq!(s.stage_count() as u32, p * (p + 1) / 2, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn fewer_comparators_than_bitonic() {
+        use crate::bitonic::BitonicSorter;
+        for p in 2..=12u32 {
+            let oe = comparator_count_closed_form(p);
+            let bi = BitonicSorter::new(p).comparator_count() as u64;
+            assert!(oe < bi, "p = {p}: odd-even {oe} !< bitonic {bi}");
+        }
+    }
+
+    #[test]
+    fn stages_touch_disjoint_lines() {
+        let s = OddEvenMergeSorter::new(6);
+        for (idx, stage) in s.stages().iter().enumerate() {
+            let mut seen = vec![false; s.terminal_count()];
+            for c in stage {
+                assert!(c.low < c.high);
+                for line in [c.low, c.high] {
+                    assert!(!seen[line], "stage {idx} reuses line {line}");
+                    seen[line] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routes_permutations() {
+        let s = OddEvenMergeSorter::new(4);
+        let d = benes_perm::bpc::Bpc::bit_reversal(4).to_permutation();
+        assert_eq!(s.route(&d), (0..16).collect::<Vec<u32>>());
+    }
+}

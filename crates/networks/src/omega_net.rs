@@ -1,0 +1,470 @@
+//! Lawrie's omega network and its inverse, as explicit circuit models.
+//!
+//! An omega network on `N = 2^n` terminals is `n` identical stages; each
+//! stage first applies the perfect-shuffle wiring (index rotate-left) and
+//! then a column of `N/2` two-by-two switches. A message self-routes by
+//! its destination tag MSB-first: the switch output taken at stage `s` is
+//! destination bit `n−1−s`. Unlike the Benes switch (which has one state
+//! shared by both inputs), each omega switch input independently demands
+//! an output — two inputs demanding the same output **conflict** and the
+//! permutation is unrealizable.
+//!
+//! The inverse omega network runs the stages mirrored (switch column, then
+//! *unshuffle* wiring), consuming destination bits LSB-first; it realizes
+//! exactly the `Ω⁻¹(n)` class.
+//!
+//! These models exist to validate the `benes-perm` residue predicates
+//! (`is_omega`, `is_inverse_omega`) against real hardware behaviour, and
+//! to supply the omega column of the paper's §I network comparison: half
+//! the switches and half the delay of `B(n)`, but a much smaller
+//! realizable class — `2^{nN/2}` settings versus the Benes network's
+//! richer `F(n)` plus all `N!` with external set-up.
+
+use std::fmt;
+
+use benes_bits::{bit, shuffle, unshuffle};
+use benes_perm::Permutation;
+
+/// A routing conflict: two tags demanded the same switch output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OmegaConflict {
+    /// The stage at which the conflict occurred (0-based).
+    pub stage: usize,
+    /// The switch (row) at which the conflict occurred.
+    pub switch: usize,
+    /// The two destination tags that collided.
+    pub tags: (u32, u32),
+}
+
+impl fmt::Display for OmegaConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "conflict at stage {}, switch {}: tags {} and {} demand the same output",
+            self.stage, self.switch, self.tags.0, self.tags.1
+        )
+    }
+}
+
+impl std::error::Error for OmegaConflict {}
+
+/// An `N = 2^n` omega network (shuffle-exchange, `n` stages).
+///
+/// # Examples
+///
+/// ```
+/// use benes_networks::OmegaNetwork;
+/// use benes_perm::Permutation;
+///
+/// let net = OmegaNetwork::new(2);
+/// // Fig. 5's permutation is in Ω(2): the omega network realizes it.
+/// let d = Permutation::from_destinations(vec![1, 3, 2, 0]).unwrap();
+/// assert!(net.realizes(&d));
+/// ```
+#[derive(Debug, Clone)]
+pub struct OmegaNetwork {
+    n: u32,
+}
+
+impl OmegaNetwork {
+    /// Builds the `N = 2^n` omega network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 24`.
+    #[must_use]
+    pub fn new(n: u32) -> Self {
+        assert!((1..=24).contains(&n), "omega network requires 1 <= n <= 24");
+        Self { n }
+    }
+
+    /// The network order `n`.
+    #[must_use]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// The number of terminals `N = 2^n`.
+    #[must_use]
+    pub fn terminal_count(&self) -> usize {
+        1usize << self.n
+    }
+
+    /// The number of stages, `log N = n`.
+    #[must_use]
+    pub fn stage_count(&self) -> usize {
+        self.n as usize
+    }
+
+    /// The number of binary switches, `(N/2)·log N`.
+    #[must_use]
+    pub fn switch_count(&self) -> usize {
+        self.stage_count() * self.terminal_count() / 2
+    }
+
+    /// Self-routes the permutation; returns the per-stage positions on
+    /// success or the first conflict encountered.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`OmegaConflict`] if two tags collide at a switch
+    /// output. Permutations whose length is not `N` also conflict-error at
+    /// stage 0 by convention — prefer validating the length up front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm.len() != terminal_count()`.
+    pub fn route(&self, perm: &Permutation) -> Result<Vec<u32>, OmegaConflict> {
+        assert_eq!(
+            perm.len(),
+            self.terminal_count(),
+            "permutation length must equal terminal count"
+        );
+        let nn = self.terminal_count();
+        // positions[p] = tag currently at port p.
+        let mut cur: Vec<Option<u32>> = perm.destinations().iter().map(|&d| Some(d)).collect();
+        for s in 0..self.stage_count() {
+            // Shuffle wiring: port p → rotate-left(p).
+            let mut shuffled: Vec<Option<u32>> = vec![None; nn];
+            for (p, t) in cur.into_iter().enumerate() {
+                shuffled[shuffle(p as u64, self.n) as usize] = t;
+            }
+            // Exchange column: each input demands output bit0 = tag bit
+            // n−1−s.
+            let ctrl = self.n - 1 - s as u32;
+            let mut next: Vec<Option<u32>> = vec![None; nn];
+            for i in 0..nn / 2 {
+                for port in [2 * i, 2 * i + 1] {
+                    let tag = shuffled[port].expect("port filled");
+                    let want = 2 * i + bit(u64::from(tag), ctrl) as usize;
+                    if let Some(other) = next[want] {
+                        return Err(OmegaConflict {
+                            stage: s,
+                            switch: i,
+                            tags: (other, tag),
+                        });
+                    }
+                    next[want] = Some(tag);
+                }
+            }
+            cur = next;
+        }
+        Ok(cur.into_iter().map(|t| t.expect("port filled")).collect())
+    }
+
+    /// Whether the permutation routes without conflicts (membership in
+    /// `Ω(n)` by direct simulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm.len() != terminal_count()`.
+    #[must_use]
+    pub fn realizes(&self, perm: &Permutation) -> bool {
+        match self.route(perm) {
+            Ok(out) => out.iter().enumerate().all(|(o, &t)| o as u32 == t),
+            Err(_) => false,
+        }
+    }
+
+    /// Routes records `(tag, payload)` through the network; payloads ride
+    /// with their tags exactly as on the Benes network.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`OmegaConflict`] for non-omega tag vectors (the
+    /// records are consumed either way — hardware would corrupt them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records.len() != terminal_count()`.
+    pub fn route_records<T>(
+        &self,
+        records: Vec<(u32, T)>,
+    ) -> Result<Vec<(u32, T)>, OmegaConflict> {
+        assert_eq!(records.len(), self.terminal_count(), "record count must be N");
+        let nn = self.terminal_count();
+        let mut cur: Vec<Option<(u32, T)>> = records.into_iter().map(Some).collect();
+        for s in 0..self.stage_count() {
+            let mut shuffled: Vec<Option<(u32, T)>> = (0..nn).map(|_| None).collect();
+            for (p, t) in cur.into_iter().enumerate() {
+                shuffled[shuffle(p as u64, self.n) as usize] = t;
+            }
+            let ctrl = self.n - 1 - s as u32;
+            let mut next: Vec<Option<(u32, T)>> = (0..nn).map(|_| None).collect();
+            for i in 0..nn / 2 {
+                for port in [2 * i, 2 * i + 1] {
+                    let rec = shuffled[port].take().expect("port filled");
+                    let want = 2 * i + bit(u64::from(rec.0), ctrl) as usize;
+                    if let Some(other) = &next[want] {
+                        return Err(OmegaConflict {
+                            stage: s,
+                            switch: i,
+                            tags: (other.0, rec.0),
+                        });
+                    }
+                    next[want] = Some(rec);
+                }
+            }
+            cur = next;
+        }
+        Ok(cur.into_iter().map(|t| t.expect("port filled")).collect())
+    }
+}
+
+/// An `N = 2^n` inverse omega network (exchange-unshuffle, `n` stages).
+///
+/// Realizes exactly the `Ω⁻¹(n)` class — the permutations Theorem 3 of
+/// the paper proves are self-routable on the Benes network.
+///
+/// # Examples
+///
+/// ```
+/// use benes_networks::InverseOmegaNetwork;
+/// use benes_perm::omega::cyclic_shift;
+///
+/// let net = InverseOmegaNetwork::new(3);
+/// assert!(net.realizes(&cyclic_shift(3, 5)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct InverseOmegaNetwork {
+    n: u32,
+}
+
+impl InverseOmegaNetwork {
+    /// Builds the `N = 2^n` inverse omega network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 24`.
+    #[must_use]
+    pub fn new(n: u32) -> Self {
+        assert!((1..=24).contains(&n), "inverse omega network requires 1 <= n <= 24");
+        Self { n }
+    }
+
+    /// The network order `n`.
+    #[must_use]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// The number of terminals `N = 2^n`.
+    #[must_use]
+    pub fn terminal_count(&self) -> usize {
+        1usize << self.n
+    }
+
+    /// The number of stages, `log N = n`.
+    #[must_use]
+    pub fn stage_count(&self) -> usize {
+        self.n as usize
+    }
+
+    /// The number of binary switches, `(N/2)·log N`.
+    #[must_use]
+    pub fn switch_count(&self) -> usize {
+        self.stage_count() * self.terminal_count() / 2
+    }
+
+    /// Self-routes the permutation, consuming destination bits LSB-first.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`OmegaConflict`] if two tags collide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm.len() != terminal_count()`.
+    pub fn route(&self, perm: &Permutation) -> Result<Vec<u32>, OmegaConflict> {
+        assert_eq!(
+            perm.len(),
+            self.terminal_count(),
+            "permutation length must equal terminal count"
+        );
+        let nn = self.terminal_count();
+        let mut cur: Vec<Option<u32>> = perm.destinations().iter().map(|&d| Some(d)).collect();
+        for s in 0..self.stage_count() {
+            // Exchange column first: input demands output bit0 = tag bit s.
+            let mut exchanged: Vec<Option<u32>> = vec![None; nn];
+            for i in 0..nn / 2 {
+                for port in [2 * i, 2 * i + 1] {
+                    let tag = cur[port].expect("port filled");
+                    let want = 2 * i + bit(u64::from(tag), s as u32) as usize;
+                    if let Some(other) = exchanged[want] {
+                        return Err(OmegaConflict {
+                            stage: s,
+                            switch: i,
+                            tags: (other, tag),
+                        });
+                    }
+                    exchanged[want] = Some(tag);
+                }
+            }
+            // Unshuffle wiring: port p → rotate-right(p).
+            let mut next: Vec<Option<u32>> = vec![None; nn];
+            for (p, t) in exchanged.into_iter().enumerate() {
+                next[unshuffle(p as u64, self.n) as usize] = t;
+            }
+            cur = next;
+        }
+        Ok(cur.into_iter().map(|t| t.expect("port filled")).collect())
+    }
+
+    /// Whether the permutation routes without conflicts (membership in
+    /// `Ω⁻¹(n)` by direct simulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm.len() != terminal_count()`.
+    #[must_use]
+    pub fn realizes(&self, perm: &Permutation) -> bool {
+        match self.route(perm) {
+            Ok(out) => out.iter().enumerate().all(|(o, &t)| o as u32 == t),
+            Err(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use benes_perm::omega::{
+        conditional_exchange, cyclic_shift, is_inverse_omega, is_omega, p_ordering,
+        segment_cyclic_shift,
+    };
+
+    fn all_perms(len: u32) -> Vec<Permutation> {
+        fn rec(rem: &mut Vec<u32>, cur: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+            if rem.is_empty() {
+                out.push(cur.clone());
+                return;
+            }
+            for idx in 0..rem.len() {
+                let v = rem.remove(idx);
+                cur.push(v);
+                rec(rem, cur, out);
+                cur.pop();
+                rem.insert(idx, v);
+            }
+        }
+        let mut out = Vec::new();
+        rec(&mut (0..len).collect(), &mut Vec::new(), &mut out);
+        out.into_iter()
+            .map(|d| Permutation::from_destinations(d).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn network_realizes_exactly_lawries_class_n2() {
+        let net = OmegaNetwork::new(2);
+        for d in all_perms(4) {
+            assert_eq!(net.realizes(&d), is_omega(&d), "D = {d}");
+        }
+    }
+
+    #[test]
+    fn network_realizes_exactly_lawries_class_n3() {
+        let net = OmegaNetwork::new(3);
+        for d in all_perms(8) {
+            assert_eq!(net.realizes(&d), is_omega(&d), "D = {d}");
+        }
+    }
+
+    #[test]
+    fn inverse_network_realizes_exactly_inverse_class_n3() {
+        let net = InverseOmegaNetwork::new(3);
+        for d in all_perms(8) {
+            assert_eq!(net.realizes(&d), is_inverse_omega(&d), "D = {d}");
+        }
+    }
+
+    #[test]
+    fn inverse_is_forward_run_backwards() {
+        // Ω⁻¹ membership of D equals Ω membership of D⁻¹.
+        let fwd = OmegaNetwork::new(3);
+        let inv = InverseOmegaNetwork::new(3);
+        for d in all_perms(8) {
+            assert_eq!(inv.realizes(&d), fwd.realizes(&d.inverse()), "D = {d}");
+        }
+    }
+
+    #[test]
+    fn identity_routes_on_both() {
+        for n in 1..7u32 {
+            let id = Permutation::identity(1 << n);
+            assert!(OmegaNetwork::new(n).realizes(&id));
+            assert!(InverseOmegaNetwork::new(n).realizes(&id));
+        }
+    }
+
+    #[test]
+    fn useful_permutations_route_on_inverse_network() {
+        for n in 2..8u32 {
+            let inv = InverseOmegaNetwork::new(n);
+            assert!(inv.realizes(&cyclic_shift(n, 3)));
+            assert!(inv.realizes(&p_ordering(n, 5)));
+            assert!(inv.realizes(&segment_cyclic_shift(n, n - 1, 2)));
+            assert!(inv.realizes(&conditional_exchange(n, 1)));
+        }
+    }
+
+    #[test]
+    fn records_ride_with_tags() {
+        let net = OmegaNetwork::new(3);
+        let d = benes_perm::omega::cyclic_shift(3, 2);
+        let records: Vec<(u32, char)> = d
+            .destinations()
+            .iter()
+            .zip('a'..)
+            .map(|(&t, c)| (t, c))
+            .collect();
+        let out = net.route_records(records).unwrap();
+        let payloads: Vec<char> = out.iter().map(|r| r.1).collect();
+        let expected: Vec<char> = d.apply(&('a'..).take(8).collect::<Vec<_>>());
+        assert_eq!(payloads, expected);
+
+        // Non-omega tags conflict.
+        let rev = benes_perm::bpc::Bpc::bit_reversal(3).to_permutation();
+        let records: Vec<(u32, u8)> =
+            rev.destinations().iter().map(|&t| (t, 0)).collect();
+        assert!(net.route_records(records).is_err());
+    }
+
+    #[test]
+    fn conflict_reports_location() {
+        // Bit reversal is not in Ω(3); the conflict must be reported.
+        let net = OmegaNetwork::new(3);
+        let d = benes_perm::bpc::Bpc::bit_reversal(3).to_permutation();
+        let err = net.route(&d).unwrap_err();
+        assert!(err.stage < 3);
+        assert!(err.to_string().contains("conflict at stage"));
+    }
+
+    #[test]
+    fn sizes_are_half_of_benes() {
+        for n in 2..8u32 {
+            let omega = OmegaNetwork::new(n);
+            let nn = 1usize << n;
+            assert_eq!(omega.stage_count(), n as usize);
+            assert_eq!(omega.switch_count(), nn / 2 * n as usize);
+            // Benes: 2n−1 stages ≈ 2× omega; N·n − N/2 switches ≈ 2× omega.
+            assert!(2 * omega.stage_count() - 1 == 2 * n as usize - 1);
+        }
+    }
+
+    #[test]
+    fn omega_class_counts() {
+        // |Ω(2)| = 16 = 2^(switches); |Ω(3)| = 2^12 / collisions... count.
+        let net2 = OmegaNetwork::new(2);
+        assert_eq!(all_perms(4).iter().filter(|d| net2.realizes(d)).count(), 16);
+        // Each of the 2^12 settings of the 12 switches in Ω(3) yields a
+        // mapping, but settings → permutations is injective for omega, and
+        // only some mappings are permutations. Count what is realizable:
+        let net3 = OmegaNetwork::new(3);
+        let count3 = all_perms(8).iter().filter(|d| net3.realizes(d)).count();
+        // Every switch assignment yields a distinct permutation, so
+        // |Ω(n)| = 2^(switch count) = 2^((N/2)·log N); for n = 3 that is
+        // 2^12 = 4096 of the 40320 permutations of 8 elements.
+        assert_eq!(count3, 4096);
+    }
+}

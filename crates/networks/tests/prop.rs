@@ -1,0 +1,78 @@
+//! Property-based tests for the baseline networks.
+
+use benes_networks::{
+    BitonicSorter, GeneralizedConnectionNetwork, InverseOmegaNetwork, OddEvenMergeSorter,
+    OmegaNetwork,
+};
+use benes_perm::omega::{is_inverse_omega, is_omega};
+use benes_perm::Permutation;
+use proptest::prelude::*;
+
+fn arb_permutation(len: usize) -> impl Strategy<Value = Permutation> {
+    Just(()).prop_perturb(move |(), mut rng| {
+        let mut dest: Vec<u32> = (0..len as u32).collect();
+        for i in (1..len).rev() {
+            let j = (rng.random::<u64>() % (i as u64 + 1)) as usize;
+            dest.swap(i, j);
+        }
+        Permutation::from_destinations(dest).expect("bijection")
+    })
+}
+
+proptest! {
+    /// The residue predicates equal the physical networks at n = 4
+    /// (beyond the exhaustive n = 3 unit tests).
+    #[test]
+    fn omega_predicates_match_networks_n4(p in arb_permutation(16)) {
+        prop_assert_eq!(OmegaNetwork::new(4).realizes(&p), is_omega(&p));
+        prop_assert_eq!(InverseOmegaNetwork::new(4).realizes(&p), is_inverse_omega(&p));
+    }
+
+    /// Both sorting networks sort arbitrary u64 multisets.
+    #[test]
+    fn sorters_sort(values in proptest::collection::vec(0u64..1000, 32)) {
+        let mut expected = values.clone();
+        expected.sort_unstable();
+
+        let mut a = values.clone();
+        BitonicSorter::new(5).sort_by_key(&mut a, |&x| x);
+        prop_assert_eq!(&a, &expected);
+
+        let mut b = values;
+        OddEvenMergeSorter::new(5).sort_by_key(&mut b, |&x| x);
+        prop_assert_eq!(&b, &expected);
+    }
+
+    /// Both sorters route every permutation (universality).
+    #[test]
+    fn sorters_route_everything(p in arb_permutation(32)) {
+        let sorted: Vec<u32> = (0..32).collect();
+        prop_assert_eq!(BitonicSorter::new(5).route(&p), sorted.clone());
+        prop_assert_eq!(OddEvenMergeSorter::new(5).route(&p), sorted);
+    }
+
+    /// The GCN serves arbitrary request maps, including heavy broadcast.
+    #[test]
+    fn gcn_serves_arbitrary_requests(req in proptest::collection::vec(0u32..16, 16)) {
+        let gcn = GeneralizedConnectionNetwork::new(4);
+        let data: Vec<u32> = (100..116).collect();
+        let (out, cost) = gcn.realize(&req, &data).unwrap();
+        for (o, &src) in req.iter().enumerate() {
+            prop_assert_eq!(out[o], data[src as usize]);
+        }
+        // Copies made = requests − distinct requested sources.
+        let distinct: std::collections::HashSet<u32> = req.iter().copied().collect();
+        prop_assert_eq!(cost.copies_made, 16 - distinct.len());
+    }
+
+    /// GCN with a permutation request degenerates to permutation routing.
+    #[test]
+    fn gcn_on_permutations(p in arb_permutation(16)) {
+        let gcn = GeneralizedConnectionNetwork::new(4);
+        let data: Vec<u32> = (0..16).collect();
+        let req: Vec<u32> = p.inverse().destinations().to_vec();
+        let (out, cost) = gcn.realize(&req, &data).unwrap();
+        prop_assert_eq!(out, p.apply(&data));
+        prop_assert_eq!(cost.copies_made, 0);
+    }
+}

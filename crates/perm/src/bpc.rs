@@ -1,0 +1,948 @@
+//! The bit-permute-complement class `BPC(n)` (§II of the paper, after
+//! Nassimi & Sahni, *Bitonic sort on a mesh-connected parallel computer* and
+//! the companion BPC papers, reference \[6\]).
+//!
+//! A permutation in `BPC(n)` is specified by an `n`-tuple
+//! `A = (A_{n−1}, …, A_0)` where `|A| = (|A_{n−1}|, …, |A_0|)` is a
+//! permutation of `(0, …, n−1)` and each entry carries a sign — with `+0`
+//! and `−0` distinguished. The destination of input `i` is obtained by
+//! complementing bit `j` of `i` whenever `A_j` is negative, and then moving
+//! (the possibly complemented) bit `j` to bit position `|A_j|`:
+//!
+//! ```text
+//! (D_i)_{|A_j|} = (i)_j        if A_j ≥ 0
+//! (D_i)_{|A_j|} = 1 − (i)_j    if A_j < 0
+//! ```
+//!
+//! `BPC(n)` contains `2^n · n!` of the `N!` permutations, including every
+//! entry of the paper's Table I (matrix transpose, bit reversal, vector
+//! reversal, perfect shuffle, unshuffle, shuffled row major, bit shuffle).
+//! Theorem 2 of the paper shows `BPC(n) ⊆ F(n)`: all of them self-route on
+//! the Benes network.
+//!
+//! # Examples
+//!
+//! ```
+//! use benes_perm::bpc::{Bpc, SignedBit};
+//!
+//! // The paper's §II example: A = (0, −1, −2) for n = 3.
+//! // Stored low-to-high: A_0 = −2, A_1 = −1, A_2 = +0.
+//! let a = Bpc::from_entries(vec![
+//!     SignedBit::minus(2),
+//!     SignedBit::minus(1),
+//!     SignedBit::plus(0),
+//! ])?;
+//! assert_eq!(a.to_permutation().destinations(), &[6, 2, 4, 0, 7, 3, 5, 1]);
+//! # Ok::<(), benes_perm::bpc::BpcError>(())
+//! ```
+
+use std::fmt;
+
+use benes_bits::bit;
+
+use crate::{Permutation, PermutationError};
+
+/// One entry `A_j` of a BPC vector: a destination bit position with a sign.
+///
+/// The paper distinguishes `+0` from `−0` (it uses the convention
+/// `−0 < 0`), so a plain signed integer cannot represent an entry; this type
+/// stores the magnitude and the complement flag separately.
+///
+/// # Examples
+///
+/// ```
+/// use benes_perm::bpc::SignedBit;
+///
+/// let e = SignedBit::minus(0);
+/// assert_eq!(e.position(), 0);
+/// assert!(e.is_complement());
+/// assert_eq!(e.to_string(), "-0");
+/// assert_eq!(e.negated(), SignedBit::plus(0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SignedBit {
+    position: u32,
+    complement: bool,
+}
+
+impl SignedBit {
+    /// A positive entry `+position`: the bit is moved without complementing.
+    #[must_use]
+    pub fn plus(position: u32) -> Self {
+        Self { position, complement: false }
+    }
+
+    /// A negative entry `−position`: the bit is complemented before moving.
+    #[must_use]
+    pub fn minus(position: u32) -> Self {
+        Self { position, complement: true }
+    }
+
+    /// The magnitude `|A_j|`: the destination bit position.
+    #[must_use]
+    pub fn position(self) -> u32 {
+        self.position
+    }
+
+    /// Whether the source bit is complemented (`A_j < 0`, including `−0`).
+    #[must_use]
+    pub fn is_complement(self) -> bool {
+        self.complement
+    }
+
+    /// The entry with the opposite sign (`+j ↔ −j`).
+    #[must_use]
+    pub fn negated(self) -> Self {
+        Self { position: self.position, complement: !self.complement }
+    }
+
+    /// The paper's `LMAG` helper (§II, eq. (4)):
+    /// `LMAG(A_j) = SIGN(A_j) · (|A_j| − 1)` — the entry re-expressed for
+    /// the half-size subproblem after dropping destination bit 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position == 0` (`LMAG` is only applied to nonzero
+    /// magnitudes in the paper).
+    #[must_use]
+    pub fn lmag(self) -> Self {
+        assert!(self.position > 0, "LMAG requires |A_j| >= 1");
+        Self { position: self.position - 1, complement: self.complement }
+    }
+}
+
+impl fmt::Display for SignedBit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", if self.complement { '-' } else { '+' }, self.position)
+    }
+}
+
+/// Error produced when constructing a [`Bpc`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BpcError {
+    /// The `A`-vector was empty.
+    Empty,
+    /// A magnitude was `>= n`.
+    PositionOutOfRange {
+        /// Source bit index `j` with the offending entry.
+        index: u32,
+        /// The offending magnitude `|A_j|`.
+        position: u32,
+        /// The vector length `n`.
+        n: u32,
+    },
+    /// Two entries shared a magnitude (the magnitudes must be a permutation
+    /// of `0..n`).
+    DuplicatePosition {
+        /// The repeated magnitude.
+        position: u32,
+    },
+}
+
+impl fmt::Display for BpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Empty => write!(f, "BPC vector must have at least one entry"),
+            Self::PositionOutOfRange { index, position, n } => write!(
+                f,
+                "entry A_{index} has magnitude {position}, outside 0..{n}"
+            ),
+            Self::DuplicatePosition { position } => {
+                write!(f, "magnitude {position} appears more than once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BpcError {}
+
+/// A bit-permute-complement permutation in its compact `A`-vector form.
+///
+/// Entries are stored **low-to-high**: `entries()[j]` is `A_j`, the rule for
+/// source bit `j`. (The paper writes vectors high-to-low as
+/// `(A_{n−1}, …, A_0)`; [`fmt::Display`] follows the paper's order.)
+///
+/// # Examples
+///
+/// ```
+/// use benes_perm::bpc::Bpc;
+///
+/// let t = Bpc::bit_reversal(3);
+/// assert_eq!(t.to_string(), "(+0, +1, +2)"); // A_2 = 0, A_1 = 1, A_0 = 2
+/// assert_eq!(t.destination(0b110), 0b011);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Bpc {
+    /// `a[j]` is the entry `A_j`.
+    a: Vec<SignedBit>,
+}
+
+impl Bpc {
+    /// Builds a BPC permutation from its entries, `entries[j] = A_j`
+    /// (low-to-high order).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the vector is empty or the magnitudes do not form
+    /// a permutation of `0..n`.
+    pub fn from_entries(entries: Vec<SignedBit>) -> Result<Self, BpcError> {
+        if entries.is_empty() {
+            return Err(BpcError::Empty);
+        }
+        let n = entries.len() as u32;
+        let mut seen = vec![false; entries.len()];
+        for (j, e) in entries.iter().enumerate() {
+            if e.position >= n {
+                return Err(BpcError::PositionOutOfRange {
+                    index: j as u32,
+                    position: e.position,
+                    n,
+                });
+            }
+            if seen[e.position as usize] {
+                return Err(BpcError::DuplicatePosition { position: e.position });
+            }
+            seen[e.position as usize] = true;
+        }
+        Ok(Self { a: entries })
+    }
+
+    /// Convenience constructor from `(position, complement)` pairs,
+    /// low-to-high.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Bpc::from_entries`].
+    pub fn from_pairs(pairs: Vec<(u32, bool)>) -> Result<Self, BpcError> {
+        Self::from_entries(
+            pairs
+                .into_iter()
+                .map(|(p, c)| SignedBit { position: p, complement: c })
+                .collect(),
+        )
+    }
+
+    /// The identity element of `BPC(n)`: `A_j = +j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn identity(n: u32) -> Self {
+        assert!(n > 0, "BPC requires n >= 1");
+        Self { a: (0..n).map(SignedBit::plus).collect() }
+    }
+
+    /// Table I: **matrix transpose** of a `2^{n/2} × 2^{n/2}` matrix stored
+    /// in row-major order; `A = (n/2 − 1, …, 0, n − 1, …, n/2)`.
+    ///
+    /// Source bit `j` moves to `(j + n/2) mod n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or odd.
+    #[must_use]
+    pub fn matrix_transpose(n: u32) -> Self {
+        assert!(n > 0 && n.is_multiple_of(2), "matrix transpose requires even n >= 2");
+        Self { a: (0..n).map(|j| SignedBit::plus((j + n / 2) % n)).collect() }
+    }
+
+    /// Table I: **bit reversal**; `A = (0, 1, …, n − 1)`, i.e.
+    /// `A_j = n − 1 − j`. This is the permutation of the paper's Fig. 4.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn bit_reversal(n: u32) -> Self {
+        assert!(n > 0, "BPC requires n >= 1");
+        Self { a: (0..n).map(|j| SignedBit::plus(n - 1 - j)).collect() }
+    }
+
+    /// Table I: **vector reversal** (`D_i = N − 1 − i`);
+    /// `A = (−(n−1), …, −1, −0)`, i.e. `A_j = −j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn vector_reversal(n: u32) -> Self {
+        assert!(n > 0, "BPC requires n >= 1");
+        Self { a: (0..n).map(SignedBit::minus).collect() }
+    }
+
+    /// Table I: **perfect shuffle** (`D_i = rotate-left₁(i)`);
+    /// `A = (0, n−1, …, 1)`, i.e. `A_j = (j + 1) mod n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn perfect_shuffle(n: u32) -> Self {
+        assert!(n > 0, "BPC requires n >= 1");
+        Self { a: (0..n).map(|j| SignedBit::plus((j + 1) % n)).collect() }
+    }
+
+    /// Table I: **unshuffle** (`D_i = rotate-right₁(i)`);
+    /// `A = (n−2, …, 0, n−1)`, i.e. `A_j = (j + n − 1) mod n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn unshuffle(n: u32) -> Self {
+        assert!(n > 0, "BPC requires n >= 1");
+        Self { a: (0..n).map(|j| SignedBit::plus((j + n - 1) % n)).collect() }
+    }
+
+    /// Table I: **shuffled row major**: the index halves are interleaved,
+    /// `x_{h−1} … x_0 y_{h−1} … y_0 ↦ x_{h−1} y_{h−1} … x_0 y_0`.
+    ///
+    /// Low-half bit `j` moves to `2j`; high-half bit `h + b` moves to
+    /// `2b + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or odd.
+    #[must_use]
+    pub fn shuffled_row_major(n: u32) -> Self {
+        assert!(n > 0 && n.is_multiple_of(2), "shuffled row major requires even n >= 2");
+        let h = n / 2;
+        Self {
+            a: (0..n)
+                .map(|j| {
+                    if j < h {
+                        SignedBit::plus(2 * j)
+                    } else {
+                        SignedBit::plus(2 * (j - h) + 1)
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Table I: **bit shuffle**: the inverse of
+    /// [shuffled row major](Bpc::shuffled_row_major) — even-position bits
+    /// gather in the low half, odd-position bits in the high half.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or odd.
+    #[must_use]
+    pub fn bit_shuffle(n: u32) -> Self {
+        assert!(n > 0 && n.is_multiple_of(2), "bit shuffle requires even n >= 2");
+        let h = n / 2;
+        Self {
+            a: (0..n)
+                .map(|j| {
+                    if j % 2 == 0 {
+                        SignedBit::plus(j / 2)
+                    } else {
+                        SignedBit::plus(h + j / 2)
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// `n`, the number of index bits (`N = 2^n`).
+    #[must_use]
+    pub fn n(&self) -> u32 {
+        self.a.len() as u32
+    }
+
+    /// `N = 2^n`, the number of elements permuted.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        1usize << self.a.len()
+    }
+
+    /// Always `false`.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The entries `A_0, …, A_{n−1}` in low-to-high order.
+    #[must_use]
+    pub fn entries(&self) -> &[SignedBit] {
+        &self.a
+    }
+
+    /// The entry `A_j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= n`.
+    #[must_use]
+    pub fn entry(&self, j: u32) -> SignedBit {
+        self.a[j as usize]
+    }
+
+    /// The destination `D_i` of input `i` under this BPC permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` does not fit in `n` bits.
+    #[must_use]
+    pub fn destination(&self, i: u64) -> u64 {
+        assert!(
+            benes_bits::fits(i, self.n()),
+            "index {i} does not fit in {} bits",
+            self.n()
+        );
+        let mut d = 0u64;
+        for (j, e) in self.a.iter().enumerate() {
+            let b = bit(i, j as u32) ^ u64::from(e.complement);
+            d |= b << e.position;
+        }
+        d
+    }
+
+    /// Expands the compact `A`-vector into the full destination-tag
+    /// [`Permutation`] of length `2^n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 31` (the expansion would not fit in memory /
+    /// `u32` tags).
+    #[must_use]
+    pub fn to_permutation(&self) -> Permutation {
+        assert!(self.n() <= 31, "cannot expand BPC with n > 31");
+        let dest = (0..self.len() as u64).map(|i| self.destination(i) as u32).collect();
+        Permutation::from_destinations(dest).expect("BPC expansion is a bijection")
+    }
+
+    /// Attempts to recognize an arbitrary permutation as a member of
+    /// `BPC(n)` and recover its `A`-vector.
+    ///
+    /// Returns `None` if the permutation length is not a power of two or the
+    /// permutation is not bit-permute-complement.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use benes_perm::{Permutation, bpc::Bpc};
+    ///
+    /// let p = Bpc::vector_reversal(3).to_permutation();
+    /// assert_eq!(Bpc::from_permutation(&p), Some(Bpc::vector_reversal(3)));
+    ///
+    /// // Cyclic shift is not BPC (paper, §II).
+    /// let shift = Permutation::from_fn(8, |i| (i + 1) % 8).unwrap();
+    /// assert_eq!(Bpc::from_permutation(&shift), None);
+    /// ```
+    #[must_use]
+    pub fn from_permutation(p: &Permutation) -> Option<Self> {
+        let n = p.log2_len()?;
+        if n == 0 {
+            return None; // BPC is defined for n >= 1 (N >= 2).
+        }
+        let nn = p.len() as u64;
+        let mut a = Vec::with_capacity(n as usize);
+        let mut used = vec![false; n as usize];
+        for j in 0..n {
+            let mut found = None;
+            'positions: for m in 0..n {
+                if used[m as usize] {
+                    continue;
+                }
+                for complement in [false, true] {
+                    let c = u64::from(complement);
+                    let ok = (0..nn).all(|i| {
+                        bit(u64::from(p.destination(i as usize)), m) == bit(i, j) ^ c
+                    });
+                    if ok {
+                        found = Some(SignedBit { position: m, complement });
+                        break 'positions;
+                    }
+                }
+            }
+            let e = found?;
+            used[e.position as usize] = true;
+            a.push(e);
+        }
+        Some(Self { a })
+    }
+
+    /// The inverse BPC permutation (BPC is a group).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use benes_perm::bpc::Bpc;
+    /// let s = Bpc::perfect_shuffle(4);
+    /// assert_eq!(s.inverse(), Bpc::unshuffle(4));
+    /// ```
+    #[must_use]
+    pub fn inverse(&self) -> Self {
+        let mut a = vec![SignedBit::plus(0); self.a.len()];
+        for (j, e) in self.a.iter().enumerate() {
+            a[e.position as usize] =
+                SignedBit { position: j as u32, complement: e.complement };
+        }
+        Self { a }
+    }
+
+    /// Sequential composition in `A`-vector form: first `self`, then
+    /// `other`. Agrees with [`Permutation::then`] on the expansions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PermutationError::LengthMismatch`] if `n` differs.
+    pub fn try_then(&self, other: &Self) -> Result<Self, PermutationError> {
+        if self.a.len() != other.a.len() {
+            return Err(PermutationError::LengthMismatch {
+                left: self.len(),
+                right: other.len(),
+            });
+        }
+        let a = self
+            .a
+            .iter()
+            .map(|e| {
+                let second = other.a[e.position as usize];
+                SignedBit {
+                    position: second.position,
+                    complement: e.complement ^ second.complement,
+                }
+            })
+            .collect();
+        Ok(Self { a })
+    }
+
+    /// Infallible [`Bpc::try_then`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` differs.
+    #[must_use]
+    pub fn then(&self, other: &Self) -> Self {
+        self.try_then(other).expect("BPC sizes must match")
+    }
+
+    /// The source-bit position `k` with `|A_k| = 0` (the bit that lands in
+    /// destination bit 0). Central to Lemma 1 and Theorem 2.
+    #[must_use]
+    pub fn k_zero(&self) -> u32 {
+        self.a
+            .iter()
+            .position(|e| e.position == 0)
+            .expect("magnitudes are a permutation, so 0 occurs") as u32
+    }
+
+    /// Lemma 1 of the paper, formula form: splits this `BPC(n)` permutation
+    /// (`n > 1`) into the two `BPC(n−1)` permutations `F1` (vector `B`) and
+    /// `F2` (vector `C`) induced on the half-size subproblems.
+    ///
+    /// With `k` the position such that `|A_k| = 0`:
+    /// `B_j = LMAG(A_{j+1})` for `j ≠ k−1`, `B_{k−1} = LMAG(A_0)`, and
+    /// `C` equals `B` except `C_{k−1} = −B_{k−1}` (when `k = 0` the two
+    /// coincide and the formula degenerates to dropping `A_0`).
+    ///
+    /// Use [`Bpc::split_destination_halves`] for the direct `Q/R`
+    /// computation from the expanded permutation; the two agree (tested).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn split_lemma1(&self) -> (Self, Self) {
+        let n = self.a.len();
+        assert!(n >= 2, "Lemma 1 requires n >= 2");
+        let k = self.k_zero();
+        let mut b = Vec::with_capacity(n - 1);
+        for j in 0..(n - 1) as u32 {
+            if k >= 1 && j == k - 1 {
+                b.push(self.a[0].lmag());
+            } else {
+                b.push(self.a[(j + 1) as usize].lmag());
+            }
+        }
+        let f1 = Self { a: b };
+        let mut c = f1.clone();
+        if k >= 1 {
+            let idx = (k - 1) as usize;
+            c.a[idx] = c.a[idx].negated();
+        }
+        (f1, c)
+    }
+
+    /// Lemma 1 of the paper, direct form: computes the permutations
+    /// `F1 = (Q_0, …)` and `F2 = (R_0, …)` from the expanded destination
+    /// tags, where with `k` as in [`Bpc::k_zero`]:
+    ///
+    /// ```text
+    /// Q_i = (D_{2i})_{n−1..1}   if (2i)_k = 0, else (D_{2i+1})_{n−1..1}
+    /// R_i = (D_{2i})_{n−1..1}   if (2i)_k = 1, else (D_{2i+1})_{n−1..1}
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `n > 31`.
+    #[must_use]
+    pub fn split_destination_halves(&self) -> (Permutation, Permutation) {
+        let n = self.n();
+        assert!(n >= 2, "Lemma 1 requires n >= 2");
+        assert!(n <= 31, "cannot expand BPC with n > 31");
+        let k = self.k_zero();
+        let half = self.len() / 2;
+        let mut q = Vec::with_capacity(half);
+        let mut r = Vec::with_capacity(half);
+        for i in 0..half as u64 {
+            let upper = self.destination(2 * i);
+            let lower = self.destination(2 * i + 1);
+            let (qv, rv) = if bit(2 * i, k) == 0 { (upper, lower) } else { (lower, upper) };
+            q.push((qv >> 1) as u32);
+            r.push((rv >> 1) as u32);
+        }
+        (
+            Permutation::from_destinations(q).expect("Lemma 1: Q is a permutation"),
+            Permutation::from_destinations(r).expect("Lemma 1: R is a permutation"),
+        )
+    }
+}
+
+impl fmt::Display for Bpc {
+    /// Prints in the paper's high-to-low order `(A_{n−1}, …, A_0)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (count, e) in self.a.iter().rev().enumerate() {
+            if count > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Bpc> for Permutation {
+    fn from(b: Bpc) -> Permutation {
+        b.to_permutation()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use benes_bits::{interleave, reverse_bits, shuffle, unshuffle as bits_unshuffle};
+
+    #[test]
+    fn paper_example_a_vector() {
+        // §II: A = (0, −1, −2) gives D = (6, 2, 4, 0, 7, 3, 5, 1).
+        let a = Bpc::from_entries(vec![
+            SignedBit::minus(2),
+            SignedBit::minus(1),
+            SignedBit::plus(0),
+        ])
+        .unwrap();
+        assert_eq!(a.to_permutation().destinations(), &[6, 2, 4, 0, 7, 3, 5, 1]);
+        assert_eq!(a.to_string(), "(+0, -1, -2)");
+    }
+
+    #[test]
+    fn rejects_bad_vectors() {
+        assert_eq!(Bpc::from_entries(vec![]), Err(BpcError::Empty));
+        assert_eq!(
+            Bpc::from_entries(vec![SignedBit::plus(1), SignedBit::plus(2)]),
+            Err(BpcError::PositionOutOfRange { index: 1, position: 2, n: 2 })
+        );
+        assert_eq!(
+            Bpc::from_entries(vec![SignedBit::plus(1), SignedBit::minus(1)]),
+            Err(BpcError::DuplicatePosition { position: 1 })
+        );
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        for n in 1..6 {
+            assert!(Bpc::identity(n).to_permutation().is_identity());
+        }
+    }
+
+    #[test]
+    fn bit_reversal_matches_bit_utils() {
+        for n in 1..8u32 {
+            let b = Bpc::bit_reversal(n);
+            for i in 0..(1u64 << n) {
+                assert_eq!(b.destination(i), reverse_bits(i, n));
+            }
+        }
+    }
+
+    #[test]
+    fn vector_reversal_is_complement() {
+        for n in 1..8u32 {
+            let b = Bpc::vector_reversal(n);
+            let nn = 1u64 << n;
+            for i in 0..nn {
+                assert_eq!(b.destination(i), nn - 1 - i);
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_shuffle_matches_bit_utils() {
+        for n in 1..8u32 {
+            let b = Bpc::perfect_shuffle(n);
+            for i in 0..(1u64 << n) {
+                assert_eq!(b.destination(i), shuffle(i, n));
+            }
+        }
+    }
+
+    #[test]
+    fn unshuffle_matches_bit_utils() {
+        for n in 1..8u32 {
+            let b = Bpc::unshuffle(n);
+            for i in 0..(1u64 << n) {
+                assert_eq!(b.destination(i), bits_unshuffle(i, n));
+            }
+        }
+    }
+
+    #[test]
+    fn shuffled_row_major_is_interleave() {
+        for h in 1..4u32 {
+            let n = 2 * h;
+            let b = Bpc::shuffled_row_major(n);
+            for i in 0..(1u64 << n) {
+                assert_eq!(b.destination(i), interleave(i, h));
+            }
+        }
+    }
+
+    #[test]
+    fn bit_shuffle_inverts_shuffled_row_major() {
+        for h in 1..4u32 {
+            let n = 2 * h;
+            assert_eq!(Bpc::shuffled_row_major(n).inverse(), Bpc::bit_shuffle(n));
+            assert!(Bpc::shuffled_row_major(n)
+                .then(&Bpc::bit_shuffle(n))
+                .to_permutation()
+                .is_identity());
+        }
+    }
+
+    #[test]
+    fn matrix_transpose_transposes() {
+        // n = 4: a 4×4 matrix in row-major order; element (r, c) at index
+        // 4r + c must move to 4c + r.
+        let t = Bpc::matrix_transpose(4);
+        for r in 0..4u64 {
+            for c in 0..4u64 {
+                assert_eq!(t.destination(4 * r + c), 4 * c + r);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_is_self_inverse() {
+        for n in [2u32, 4, 6] {
+            let t = Bpc::matrix_transpose(n);
+            assert!(t.then(&t).to_permutation().is_identity());
+        }
+    }
+
+    #[test]
+    fn shuffle_unshuffle_inverse_vectors() {
+        for n in 1..8u32 {
+            assert_eq!(Bpc::perfect_shuffle(n).inverse(), Bpc::unshuffle(n));
+        }
+    }
+
+    #[test]
+    fn then_agrees_with_permutation_then() {
+        let a = Bpc::bit_reversal(4);
+        let b = Bpc::vector_reversal(4);
+        let c = Bpc::perfect_shuffle(4);
+        let lhs = a.then(&b).then(&c).to_permutation();
+        let rhs = a
+            .to_permutation()
+            .then(&b.to_permutation())
+            .then(&c.to_permutation());
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn inverse_agrees_with_permutation_inverse() {
+        let a = Bpc::from_entries(vec![
+            SignedBit::minus(2),
+            SignedBit::plus(0),
+            SignedBit::minus(1),
+        ])
+        .unwrap();
+        assert_eq!(a.inverse().to_permutation(), a.to_permutation().inverse());
+    }
+
+    #[test]
+    fn from_permutation_roundtrip() {
+        for b in [
+            Bpc::identity(4),
+            Bpc::bit_reversal(4),
+            Bpc::vector_reversal(4),
+            Bpc::perfect_shuffle(4),
+            Bpc::unshuffle(4),
+            Bpc::matrix_transpose(4),
+            Bpc::shuffled_row_major(4),
+            Bpc::bit_shuffle(4),
+        ] {
+            assert_eq!(Bpc::from_permutation(&b.to_permutation()), Some(b));
+        }
+    }
+
+    #[test]
+    fn from_permutation_rejects_non_bpc() {
+        // Cyclic shift (paper: not in BPC unless k ≡ 0 mod N).
+        let shift = Permutation::from_fn(8, |i| (i + 1) % 8).unwrap();
+        assert_eq!(Bpc::from_permutation(&shift), None);
+        // Non-power-of-two length.
+        let p = Permutation::identity(6);
+        assert_eq!(Bpc::from_permutation(&p), None);
+        // A permutation that fixes parity but is not linear in the bits.
+        let odd = Permutation::from_destinations(vec![0, 1, 2, 3, 6, 7, 4, 5]).unwrap();
+        // (This one happens to be BPC? Verify by construction instead.)
+        let detected = Bpc::from_permutation(&odd);
+        if let Some(b) = detected {
+            assert_eq!(b.to_permutation(), odd);
+        }
+    }
+
+    #[test]
+    fn from_permutation_never_lies() {
+        // Exhaustive over S_4: detection must agree with expansion.
+        let mut bpc_count = 0;
+        for d in permutations_of(4) {
+            let p = Permutation::from_destinations(d).unwrap();
+            match Bpc::from_permutation(&p) {
+                Some(b) => {
+                    assert_eq!(b.to_permutation(), p);
+                    bpc_count += 1;
+                }
+                None => {}
+            }
+        }
+        // |BPC(2)| = 2^2 · 2! = 8.
+        assert_eq!(bpc_count, 8);
+    }
+
+    #[test]
+    fn lemma1_splits_agree_and_are_bpc() {
+        let cases = [
+            Bpc::bit_reversal(3),
+            Bpc::vector_reversal(3),
+            Bpc::perfect_shuffle(3),
+            Bpc::identity(3),
+            Bpc::bit_reversal(4),
+            Bpc::matrix_transpose(4),
+            Bpc::shuffled_row_major(4),
+            Bpc::from_entries(vec![
+                SignedBit::minus(1),
+                SignedBit::plus(0),
+                SignedBit::minus(2),
+            ])
+            .unwrap(),
+            Bpc::from_entries(vec![
+                SignedBit::minus(2),
+                SignedBit::minus(0),
+                SignedBit::plus(1),
+            ])
+            .unwrap(),
+        ];
+        for a in cases {
+            let (f1, f2) = a.split_lemma1();
+            let (q, r) = a.split_destination_halves();
+            assert_eq!(f1.to_permutation(), q, "F1 vs Q for A = {a}");
+            assert_eq!(f2.to_permutation(), r, "F2 vs R for A = {a}");
+            assert_eq!(f1.n(), a.n() - 1);
+            assert_eq!(f2.n(), a.n() - 1);
+        }
+    }
+
+    #[test]
+    fn lemma1_sign_flip_between_f1_f2() {
+        // With k >= 1, F1 and F2 differ exactly in the sign of entry k−1.
+        let a = Bpc::from_entries(vec![
+            SignedBit::plus(1), // A_0 = +1  (|A_0| = 1 → case 2 of Thm 2)
+            SignedBit::plus(0), // A_1 = +0  (k = 1)
+            SignedBit::plus(2),
+        ])
+        .unwrap();
+        assert_eq!(a.k_zero(), 1);
+        let (f1, f2) = a.split_lemma1();
+        assert_eq!(f1.entry(0).negated(), f2.entry(0));
+        assert_eq!(f1.entry(1), f2.entry(1));
+    }
+
+    #[test]
+    fn bpc_class_size() {
+        // |BPC(n)| = 2^n · n! — enumerate for n = 2 via detection.
+        let mut count = 0;
+        for d in permutations_of(4) {
+            let p = Permutation::from_destinations(d).unwrap();
+            if Bpc::from_permutation(&p).is_some() {
+                count += 1;
+            }
+        }
+        assert_eq!(count, 8);
+    }
+
+    #[test]
+    fn display_orders_high_to_low() {
+        let b = Bpc::perfect_shuffle(3);
+        // A_2 = +0, A_1 = +2, A_0 = +1.
+        assert_eq!(b.to_string(), "(+0, +2, +1)");
+    }
+
+    /// All permutations of `0..len` as destination vectors.
+    fn permutations_of(len: u32) -> Vec<Vec<u32>> {
+        fn rec(remaining: &mut Vec<u32>, current: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+            if remaining.is_empty() {
+                out.push(current.clone());
+                return;
+            }
+            for idx in 0..remaining.len() {
+                let v = remaining.remove(idx);
+                current.push(v);
+                rec(remaining, current, out);
+                current.pop();
+                remaining.insert(idx, v);
+            }
+        }
+        let mut remaining: Vec<u32> = (0..len).collect();
+        let mut out = Vec::new();
+        rec(&mut remaining, &mut Vec::new(), &mut out);
+        out
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Serialize for SignedBit {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (self.position, self.complement).serialize(serializer)
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<'de> serde::Deserialize<'de> for SignedBit {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let (position, complement) = <(u32, bool)>::deserialize(deserializer)?;
+        Ok(Self { position, complement })
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Serialize for Bpc {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.a.serialize(serializer)
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<'de> serde::Deserialize<'de> for Bpc {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let entries = Vec::<SignedBit>::deserialize(deserializer)?;
+        Bpc::from_entries(entries).map_err(serde::de::Error::custom)
+    }
+}

@@ -1,0 +1,108 @@
+//! Lenfant's "frequently used bijections" (FUB families), as referenced by
+//! the paper.
+//!
+//! Lenfant (*Parallel permutations of data: a Benes network control
+//! algorithm for frequently used permutations*, 1978 — reference \[5\] of the
+//! paper) identified five families of permutations that dominate parallel
+//! numerical codes and designed a bespoke Benes set-up algorithm for each.
+//! The paper's §II places all five inside the self-routing class `F(n)`:
+//!
+//! * three families (Lenfant's `α(n)`, `β(n)`, `γ(n)`) are
+//!   bit-permute-complement permutations — they are covered by the
+//!   [`crate::bpc`] module's `A`-vector machinery (Theorem 2);
+//! * `λ(n)` is "p-ordering and cyclic shift" ([`lambda`]);
+//! * `δ(n)` is "cyclic shifts within segments" ([`delta`]).
+//!
+//! The paper additionally matches its "conditional exchange" generator to
+//! Lenfant's `η^{(k)}` ([`eta`]).
+//!
+//! This module gives the two formula-defined families (plus `η`) their
+//! Lenfant names so that code reproducing the paper's containment claims
+//! can refer to them directly.
+
+use crate::omega::{conditional_exchange, p_ordering_shift, segment_cyclic_shift};
+use crate::Permutation;
+
+/// Lenfant's family `λ(n)`: `D_i = (p·i + k) mod N` with `p` odd.
+///
+/// Alias of [`crate::omega::p_ordering_shift`]; in `Ω⁻¹(n) ⊆ F(n)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `n > 31`, or `p` is even.
+///
+/// # Examples
+///
+/// ```
+/// use benes_perm::fub::lambda;
+/// use benes_perm::omega::is_inverse_omega;
+/// assert!(is_inverse_omega(&lambda(4, 5, 3)));
+/// ```
+#[must_use]
+pub fn lambda(n: u32, p: u64, k: i64) -> Permutation {
+    p_ordering_shift(n, p, k)
+}
+
+/// Lenfant's family `δ(n)`: cyclic shift by `k` within each segment of
+/// `2^j` consecutive elements.
+///
+/// Alias of [`crate::omega::segment_cyclic_shift`]; in `Ω⁻¹(n) ⊆ F(n)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `n > 31`, or `j ∉ 1..=n`.
+///
+/// # Examples
+///
+/// ```
+/// use benes_perm::fub::delta;
+/// assert_eq!(delta(2, 1, 1).destinations(), &[1, 0, 3, 2]);
+/// ```
+#[must_use]
+pub fn delta(n: u32, j: u32, k: i64) -> Permutation {
+    segment_cyclic_shift(n, j, k)
+}
+
+/// Lenfant's `η^{(k)}`: conditional exchange — each pair `(2i, 2i+1)` is
+/// swapped iff bit `k` of `2i` is 1.
+///
+/// Alias of [`crate::omega::conditional_exchange`]; in `Ω⁻¹(n) ⊆ F(n)`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`, `n > 31`, or `k ∉ 1..n`.
+///
+/// # Examples
+///
+/// ```
+/// use benes_perm::fub::eta;
+/// assert_eq!(eta(2, 1).destinations(), &[0, 1, 3, 2]);
+/// ```
+#[must_use]
+pub fn eta(n: u32, k: u32) -> Permutation {
+    conditional_exchange(n, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::omega::{is_inverse_omega, is_omega};
+
+    #[test]
+    fn lambda_delta_eta_are_inverse_omega() {
+        for n in 2..6u32 {
+            assert!(is_inverse_omega(&lambda(n, 3, 2)));
+            assert!(is_inverse_omega(&delta(n, 1, 1)));
+            assert!(is_inverse_omega(&eta(n, n - 1)));
+            assert!(is_omega(&lambda(n, 3, 2)));
+        }
+    }
+
+    #[test]
+    fn aliases_match_generators() {
+        use crate::omega::{conditional_exchange, p_ordering_shift, segment_cyclic_shift};
+        assert_eq!(lambda(4, 7, -2), p_ordering_shift(4, 7, -2));
+        assert_eq!(delta(4, 2, 3), segment_cyclic_shift(4, 2, 3));
+        assert_eq!(eta(4, 2), conditional_exchange(4, 2));
+    }
+}

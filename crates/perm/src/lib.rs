@@ -1,0 +1,53 @@
+//! Permutation representations and the permutation classes studied in
+//! Nassimi & Sahni, *A Self-Routing Benes Network and Parallel Permutation
+//! Algorithms* (1980).
+//!
+//! The paper routes data through an `N = 2^n` input/output Benes network
+//! according to a permutation `D = (D_0, …, D_{N−1})` of `(0, …, N−1)`:
+//! input `i` carries *destination tag* `D_i`. This crate provides:
+//!
+//! * [`Permutation`] — the validated destination-tag representation, with
+//!   application, inversion and composition ([`Permutation::then`] matches
+//!   the paper's `A ∘ B` product);
+//! * [`bpc`] — the **bit-permute-complement** class `BPC(n)` and its compact
+//!   signed `A`-vector representation, including every named permutation of
+//!   the paper's Table I;
+//! * [`omega`] — Lawrie's **omega** `Ω(n)` and **inverse-omega** `Ω⁻¹(n)`
+//!   classes (membership predicates) and the paper's list of useful
+//!   `Ω⁻¹(n)` generators (cyclic shift, p-ordering, …);
+//! * [`fub`] — the two of Lenfant's "frequently used bijection" families the
+//!   paper identifies with explicit formulas (`λ`, `δ`) plus `η`
+//!   (conditional exchange);
+//! * [`partition`] — `J`-partitions of `{0, …, N−1}` and the block-composite
+//!   permutation builders of Theorems 4, 5 and 6.
+//!
+//! Membership in the self-routing class `F(n)` itself is decided by the
+//! `benes-core` crate, which owns the network model; this crate is purely
+//! about permutations as mathematical objects.
+//!
+//! # Examples
+//!
+//! ```
+//! use benes_perm::{Permutation, bpc::Bpc};
+//!
+//! // Bit reversal on 8 elements, built from its BPC A-vector (Table I).
+//! let rev = Bpc::bit_reversal(3).to_permutation();
+//! assert_eq!(rev.destinations(), &[0, 4, 2, 6, 1, 5, 3, 7]);
+//!
+//! // The paper's closure counterexample: A ∘ B.
+//! let a = Permutation::from_destinations(vec![3, 0, 1, 2]).unwrap();
+//! let b = Permutation::from_destinations(vec![0, 1, 3, 2]).unwrap();
+//! assert_eq!(a.then(&b).destinations(), &[2, 0, 1, 3]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bpc;
+pub mod fub;
+pub mod omega;
+pub mod partition;
+
+mod permutation;
+
+pub use permutation::{Permutation, PermutationError};

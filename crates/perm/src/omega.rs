@@ -1,0 +1,548 @@
+//! Lawrie's omega `Ω(n)` and inverse-omega `Ω⁻¹(n)` permutation classes
+//! (§II of the paper, after Lawrie, *Access and alignment of data in an
+//! array processor*, reference \[4\]), plus the paper's list of useful
+//! `Ω⁻¹(n)` permutations.
+//!
+//! An omega network on `N = 2^n` terminals consists of `n` identical
+//! stages, each a perfect shuffle followed by a column of `N/2` exchange
+//! switches. A permutation is *an omega permutation* iff the network can
+//! realize it without conflicts; Lawrie characterized the class by a
+//! residue condition on index bit-slices, which is what [`is_omega`] and
+//! [`is_inverse_omega`] test. (The `benes-networks` crate implements the
+//! network itself; the two definitions are property-tested against each
+//! other there.)
+//!
+//! A permutation `D` is in `Ω(n)` iff for every `i ≠ j` and every
+//! `b ∈ 1..n`:
+//!
+//! ```text
+//! (i)_{b−1..0} = (j)_{b−1..0}  ⟹  (D_i)_{n−1..b} ≠ (D_j)_{n−1..b}
+//! ```
+//!
+//! and in `Ω⁻¹(n)` iff for every `i ≠ j` and every `b ∈ 1..n`:
+//!
+//! ```text
+//! (i)_{n−1..b} = (j)_{n−1..b}  ⟹  (D_i)_{b−1..0} ≠ (D_j)_{b−1..0}
+//! ```
+//!
+//! (Equivalently, `D ∈ Ω(n)` iff `D⁻¹ ∈ Ω⁻¹(n)`: an inverse-omega
+//! permutation is one realizable by running an omega network backwards.)
+//!
+//! Theorem 3 of the paper proves `Ω⁻¹(n) ⊆ F(n)`: every inverse-omega
+//! permutation self-routes on the Benes network. `Ω(n)` permutations are
+//! handled with the "omega bit" extension (forcing the first `n−1` stages
+//! straight).
+//!
+//! The paper lists six families of useful `Ω⁻¹(n)` permutations, all
+//! provided here: [`cyclic_shift`], [`p_ordering`], [`inverse_p_ordering`],
+//! [`p_ordering_shift`], [`segment_cyclic_shift`] and
+//! [`conditional_exchange`]. The paper also notes all six are in `Ω(n)` as
+//! well (tested).
+
+use benes_bits::{bit, bit_slice, mask};
+
+use crate::Permutation;
+
+/// Tests membership in Lawrie's omega class `Ω(n)`.
+///
+/// Returns `false` if the permutation length is not a power of two (`Ω` is
+/// only defined for `N = 2^n`). For `n ≤ 1` every permutation is in `Ω(n)`.
+///
+/// The test runs in `O(N log N)` time using a radix bucket per `b` rather
+/// than the naive `O(N²)` pairwise check.
+///
+/// # Examples
+///
+/// ```
+/// use benes_perm::{Permutation, omega::is_omega};
+///
+/// // The paper's Fig. 5 permutation is in Ω(2) but not in F(2).
+/// let d = Permutation::from_destinations(vec![1, 3, 2, 0]).unwrap();
+/// assert!(is_omega(&d));
+/// ```
+#[must_use]
+pub fn is_omega(d: &Permutation) -> bool {
+    let Some(n) = d.log2_len() else { return false };
+    // For each b in 1..n, group inputs by (i)_{b-1..0}; within a group all
+    // (D_i)_{n-1..b} must be distinct.
+    for b in 1..n {
+        if has_slice_collision(d, b, SliceSide::OmegaForward) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Tests membership in the inverse-omega class `Ω⁻¹(n)`.
+///
+/// Returns `false` if the permutation length is not a power of two. For
+/// `n ≤ 1` every permutation is in `Ω⁻¹(n)`.
+///
+/// # Examples
+///
+/// ```
+/// use benes_perm::{Permutation, omega::{cyclic_shift, is_inverse_omega}};
+///
+/// assert!(is_inverse_omega(&cyclic_shift(3, 5)));
+///
+/// // Fig. 5's permutation is NOT inverse-omega (hence not in F(2)).
+/// let d = Permutation::from_destinations(vec![1, 3, 2, 0]).unwrap();
+/// assert!(!is_inverse_omega(&d));
+/// ```
+#[must_use]
+pub fn is_inverse_omega(d: &Permutation) -> bool {
+    let Some(n) = d.log2_len() else { return false };
+    for b in 1..n {
+        if has_slice_collision(d, b, SliceSide::OmegaInverse) {
+            return false;
+        }
+    }
+    true
+}
+
+#[derive(Clone, Copy)]
+enum SliceSide {
+    /// Group by low source bits, compare high destination bits.
+    OmegaForward,
+    /// Group by high source bits, compare low destination bits.
+    OmegaInverse,
+}
+
+/// Returns `true` if two distinct inputs collide for the given `b`.
+fn has_slice_collision(d: &Permutation, b: u32, side: SliceSide) -> bool {
+    let n = d.log2_len().expect("caller checked power of two");
+    let len = d.len();
+    // seen[group * 2^(n-b) + residue] — we deduplicate (group, key) pairs.
+    let mut seen = vec![false; len];
+    for i in 0..len {
+        let i64v = i as u64;
+        let dv = u64::from(d.destination(i));
+        // `keys_per_group` is the number of possible `key` values; the pair
+        // (group, key) always enumerates exactly `len` combinations.
+        let (group, key, keys_per_group) = match side {
+            SliceSide::OmegaForward => {
+                // 2^b groups of low source bits, 2^(n-b) high-dest keys.
+                (i64v & mask(b), bit_slice(dv, n - 1, b), len >> b)
+            }
+            SliceSide::OmegaInverse => {
+                // 2^(n-b) groups of high source bits, 2^b low-dest keys.
+                (bit_slice(i64v, n - 1, b), dv & mask(b), 1usize << b)
+            }
+        };
+        let idx = (group as usize) * keys_per_group + key as usize;
+        if seen[idx] {
+            return true;
+        }
+        seen[idx] = true;
+    }
+    false
+}
+
+/// §II generator 1: **cyclic shift** `D_i = (i + k) mod N`.
+///
+/// In `Ω⁻¹(n)` (and `Ω(n)`) for every `k`. Not in `BPC(n)` unless
+/// `k ≡ 0 (mod N)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 31`.
+///
+/// # Examples
+///
+/// ```
+/// use benes_perm::omega::cyclic_shift;
+/// assert_eq!(cyclic_shift(2, 1).destinations(), &[1, 2, 3, 0]);
+/// assert_eq!(cyclic_shift(2, -1).destinations(), &[3, 0, 1, 2]);
+/// ```
+#[must_use]
+pub fn cyclic_shift(n: u32, k: i64) -> Permutation {
+    assert!(n > 0 && n <= 31, "cyclic shift requires 1 <= n <= 31");
+    let len = 1usize << n;
+    let kk = k.rem_euclid(len as i64) as u64;
+    Permutation::from_fn(len, |i| ((u64::from(i) + kk) & mask(n)) as u32)
+        .expect("cyclic shift is a bijection")
+}
+
+/// §II generator 2: **p-ordering** `D_i = (p · i) mod N` for odd `p`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `n > 31`, or `p` is even (an even multiplier is not
+/// a bijection modulo a power of two).
+///
+/// # Examples
+///
+/// ```
+/// use benes_perm::omega::p_ordering;
+/// assert_eq!(p_ordering(3, 3).destinations(), &[0, 3, 6, 1, 4, 7, 2, 5]);
+/// ```
+#[must_use]
+pub fn p_ordering(n: u32, p: u64) -> Permutation {
+    assert!(n > 0 && n <= 31, "p-ordering requires 1 <= n <= 31");
+    assert!(p % 2 == 1, "p-ordering requires odd p (got {p})");
+    let len = 1usize << n;
+    Permutation::from_fn(len, |i| (p.wrapping_mul(u64::from(i)) & mask(n)) as u32)
+        .expect("odd multiplier is a bijection mod 2^n")
+}
+
+/// §II generator 3: **inverse p-ordering** — the q-ordering with
+/// `p · q ≡ 1 (mod N)`, which unscrambles [`p_ordering`].
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `n > 31`, or `p` is even.
+///
+/// # Examples
+///
+/// ```
+/// use benes_perm::omega::{inverse_p_ordering, p_ordering};
+/// let p = p_ordering(4, 5);
+/// let q = inverse_p_ordering(4, 5);
+/// assert!(p.then(&q).is_identity());
+/// ```
+#[must_use]
+pub fn inverse_p_ordering(n: u32, p: u64) -> Permutation {
+    assert!(n > 0 && n <= 31, "inverse p-ordering requires 1 <= n <= 31");
+    assert!(p % 2 == 1, "inverse p-ordering requires odd p (got {p})");
+    p_ordering(n, mod_inverse_pow2(p, n))
+}
+
+/// The multiplicative inverse of odd `p` modulo `2^n`.
+///
+/// Uses Newton–Hensel lifting: `x ← x(2 − px)` doubles the number of
+/// correct low bits per step.
+///
+/// # Panics
+///
+/// Panics if `p` is even or `n == 0` or `n > 63`.
+///
+/// # Examples
+///
+/// ```
+/// use benes_perm::omega::mod_inverse_pow2;
+/// assert_eq!((3 * mod_inverse_pow2(3, 8)) % 256, 1);
+/// ```
+#[must_use]
+pub fn mod_inverse_pow2(p: u64, n: u32) -> u64 {
+    assert!(p % 2 == 1, "only odd numbers are invertible mod 2^n (got {p})");
+    assert!(n > 0 && n <= 63, "modulus width must be in 1..=63");
+    let mut x = 1u64; // correct mod 2
+    for _ in 0..6 {
+        x = x.wrapping_mul(2u64.wrapping_sub(p.wrapping_mul(x)));
+    }
+    x & mask(n)
+}
+
+/// §II generator 4: **p-ordering and cyclic shift**
+/// `D_i = (p·i + k) mod N` for odd `p` — Lenfant's FUB family `λ(n)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `n > 31`, or `p` is even.
+///
+/// # Examples
+///
+/// ```
+/// use benes_perm::omega::p_ordering_shift;
+/// assert_eq!(p_ordering_shift(2, 3, 1).destinations(), &[1, 0, 3, 2]);
+/// ```
+#[must_use]
+pub fn p_ordering_shift(n: u32, p: u64, k: i64) -> Permutation {
+    assert!(n > 0 && n <= 31, "p-ordering-shift requires 1 <= n <= 31");
+    assert!(p % 2 == 1, "p-ordering-shift requires odd p (got {p})");
+    let len = 1usize << n;
+    let kk = k.rem_euclid(len as i64) as u64;
+    Permutation::from_fn(len, |i| {
+        ((p.wrapping_mul(u64::from(i)).wrapping_add(kk)) & mask(n)) as u32
+    })
+    .expect("affine map with odd multiplier is a bijection mod 2^n")
+}
+
+/// §II generator 5: **cyclic shifts within segments** — Lenfant's FUB
+/// family `δ(n)`.
+///
+/// For segment width `j ∈ 1..=n` and shift `k`:
+/// `(D_i)_{n−1..j} = (i)_{n−1..j}` and
+/// `(D_i)_{j−1..0} = ((i)_{j−1..0} + k) mod 2^j` — a cyclic shift of `k`
+/// within each block of `2^j` consecutive elements.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `n > 31`, or `j` is not in `1..=n`.
+///
+/// # Examples
+///
+/// ```
+/// use benes_perm::omega::segment_cyclic_shift;
+/// assert_eq!(
+///     segment_cyclic_shift(3, 2, 1).destinations(),
+///     &[1, 2, 3, 0, 5, 6, 7, 4]
+/// );
+/// ```
+#[must_use]
+pub fn segment_cyclic_shift(n: u32, j: u32, k: i64) -> Permutation {
+    assert!(n > 0 && n <= 31, "segment cyclic shift requires 1 <= n <= 31");
+    assert!(
+        (1..=n).contains(&j),
+        "segment width exponent j must be in 1..={n} (got {j})"
+    );
+    let len = 1usize << n;
+    let kk = k.rem_euclid(1i64 << j) as u64;
+    Permutation::from_fn(len, |i| {
+        let i = u64::from(i);
+        let high = i & !mask(j);
+        let low = (i.wrapping_add(kk)) & mask(j);
+        (high | low) as u32
+    })
+    .expect("per-segment shift is a bijection")
+}
+
+/// §II generator 6: **conditional exchange** — Lenfant's `η^{(k)}`.
+///
+/// For `k ∈ 1..n`: `(D_i)_{n−1..1} = (i)_{n−1..1}` and
+/// `(D_i)_0 = (i)_0 ⊕ (i)_k`; the elements of each pair `(2i, 2i+1)` are
+/// exchanged iff bit `k` of `2i` is 1.
+///
+/// # Panics
+///
+/// Panics if `n < 2`, `n > 31`, or `k` is not in `1..n`.
+///
+/// # Examples
+///
+/// ```
+/// use benes_perm::omega::conditional_exchange;
+/// assert_eq!(
+///     conditional_exchange(2, 1).destinations(),
+///     &[0, 1, 3, 2]
+/// );
+/// ```
+#[must_use]
+pub fn conditional_exchange(n: u32, k: u32) -> Permutation {
+    assert!((2..=31).contains(&n), "conditional exchange requires 2 <= n <= 31");
+    assert!((1..n).contains(&k), "k must be in 1..{n} (got {k})");
+    let len = 1usize << n;
+    Permutation::from_fn(len, |i| {
+        let i = u64::from(i);
+        (i ^ bit(i, k)) as u32
+    })
+    .expect("conditional exchange is an involution")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_perms(len: u32) -> Vec<Permutation> {
+        fn rec(rem: &mut Vec<u32>, cur: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+            if rem.is_empty() {
+                out.push(cur.clone());
+                return;
+            }
+            for idx in 0..rem.len() {
+                let v = rem.remove(idx);
+                cur.push(v);
+                rec(rem, cur, out);
+                cur.pop();
+                rem.insert(idx, v);
+            }
+        }
+        let mut out = Vec::new();
+        rec(&mut (0..len).collect(), &mut Vec::new(), &mut out);
+        out.into_iter()
+            .map(|d| Permutation::from_destinations(d).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn fig5_permutation_is_omega_not_inverse_omega() {
+        let d = Permutation::from_destinations(vec![1, 3, 2, 0]).unwrap();
+        assert!(is_omega(&d));
+        assert!(!is_inverse_omega(&d));
+    }
+
+    #[test]
+    fn identity_is_in_both_classes() {
+        for n in 1..6 {
+            let id = Permutation::identity(1 << n);
+            assert!(is_omega(&id));
+            assert!(is_inverse_omega(&id));
+        }
+    }
+
+    #[test]
+    fn omega_iff_inverse_is_inverse_omega() {
+        for d in all_perms(8) {
+            assert_eq!(is_omega(&d), is_inverse_omega(&d.inverse()), "D = {d}");
+        }
+    }
+
+    #[test]
+    fn omega_class_cardinality_n2() {
+        // The 4-input omega network has 4 independent binary switches and
+        // realizes a distinct permutation with each setting: |Ω(2)| = 16.
+        let count = all_perms(4).iter().filter(|d| is_omega(d)).count();
+        assert_eq!(count, 16);
+        let count_inv = all_perms(4).iter().filter(|d| is_inverse_omega(d)).count();
+        assert_eq!(count_inv, 16);
+    }
+
+    #[test]
+    fn non_power_of_two_is_rejected() {
+        let d = Permutation::identity(6);
+        assert!(!is_omega(&d));
+        assert!(!is_inverse_omega(&d));
+    }
+
+    #[test]
+    fn generators_are_inverse_omega_and_omega() {
+        // The paper: generators 1-6 are in Ω⁻¹(n) and "it is interesting to
+        // note that all of the above Ω⁻¹(n) permutations are also members
+        // of Ω(n)".
+        for n in 2..6u32 {
+            let nn = 1i64 << n;
+            let mut cases: Vec<(String, Permutation)> = Vec::new();
+            for k in [-3, 0, 1, nn / 2, nn - 1] {
+                cases.push((format!("shift {k}"), cyclic_shift(n, k)));
+            }
+            for p in [1u64, 3, 5, 7, 11] {
+                cases.push((format!("p-order {p}"), p_ordering(n, p)));
+                cases.push((format!("inv-p-order {p}"), inverse_p_ordering(n, p)));
+                cases.push((format!("affine {p}"), p_ordering_shift(n, p, 3)));
+            }
+            for j in 1..=n {
+                cases.push((format!("segment j={j}"), segment_cyclic_shift(n, j, 1)));
+            }
+            for k in 1..n {
+                cases.push((format!("cond-exch k={k}"), conditional_exchange(n, k)));
+            }
+            for (name, d) in cases {
+                assert!(is_inverse_omega(&d), "{name} not in Ω⁻¹({n})");
+                assert!(is_omega(&d), "{name} not in Ω({n})");
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_shift_wraps() {
+        let d = cyclic_shift(3, 11); // 11 mod 8 = 3
+        assert_eq!(d, cyclic_shift(3, 3));
+        assert!(cyclic_shift(4, 0).is_identity());
+        assert!(cyclic_shift(4, 16).is_identity());
+    }
+
+    #[test]
+    fn cyclic_shift_composes_additively() {
+        let a = cyclic_shift(4, 5);
+        let b = cyclic_shift(4, 7);
+        assert_eq!(a.then(&b), cyclic_shift(4, 12));
+    }
+
+    #[test]
+    fn p_ordering_inverse_roundtrip() {
+        for n in 1..8u32 {
+            for p in [1u64, 3, 5, 9, 15, 21] {
+                let f = p_ordering(n, p);
+                let g = inverse_p_ordering(n, p);
+                assert!(f.then(&g).is_identity(), "n={n}, p={p}");
+                assert!(g.then(&f).is_identity(), "n={n}, p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn mod_inverse_is_correct() {
+        for n in 1..=20u32 {
+            for p in (1u64..100).step_by(2) {
+                let q = mod_inverse_pow2(p, n);
+                assert_eq!(p.wrapping_mul(q) & mask(n), 1, "p={p}, n={n}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn p_ordering_rejects_even_p() {
+        let _ = p_ordering(3, 4);
+    }
+
+    #[test]
+    fn segment_shift_keeps_segments() {
+        let n = 4;
+        let j = 2;
+        let d = segment_cyclic_shift(n, j, 3);
+        for (i, dest) in d.iter() {
+            assert_eq!(i / 4, dest / 4, "element left its segment");
+            assert_eq!(u64::from(dest % 4), u64::from(i % 4 + 3) % 4);
+        }
+    }
+
+    #[test]
+    fn segment_shift_full_width_is_cyclic_shift() {
+        assert_eq!(segment_cyclic_shift(4, 4, 6), cyclic_shift(4, 6));
+    }
+
+    #[test]
+    fn conditional_exchange_matches_paper_wording() {
+        // "the elements of each pair (2i, 2i+1) are exchanged iff bit k of
+        // 2i is 1"
+        for n in 2..6u32 {
+            for k in 1..n {
+                let d = conditional_exchange(n, k);
+                for i in 0..(1u32 << (n - 1)) {
+                    let even = 2 * i;
+                    let odd = 2 * i + 1;
+                    if bit(u64::from(even), k) == 1 {
+                        assert_eq!(d.destination(even as usize), odd);
+                        assert_eq!(d.destination(odd as usize), even);
+                    } else {
+                        assert_eq!(d.destination(even as usize), even);
+                        assert_eq!(d.destination(odd as usize), odd);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conditional_exchange_is_involution() {
+        for n in 2..6u32 {
+            for k in 1..n {
+                let d = conditional_exchange(n, k);
+                assert!(d.then(&d).is_identity());
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_shift_is_not_bpc() {
+        // §II: "cyclic shift is not in BPC(n) unless k mod N = 0". The one
+        // refinement: k = N/2 is i ↦ i ⊕ N/2, a pure bit-complement, which
+        // IS in BPC. Every shift that generates carries is not.
+        use crate::bpc::Bpc;
+        for n in 2..5u32 {
+            let half = 1i64 << (n - 1);
+            for k in 1..(1i64 << n) {
+                let detected = Bpc::from_permutation(&cyclic_shift(n, k));
+                if k == half {
+                    assert!(detected.is_some(), "n={n}: shift by N/2 is BPC");
+                } else {
+                    assert!(detected.is_none(), "n={n}, k={k}");
+                }
+            }
+            assert!(Bpc::from_permutation(&cyclic_shift(n, 0)).is_some());
+        }
+    }
+
+    #[test]
+    fn some_bpc_not_omega_nor_inverse_omega() {
+        // §II: every BPC permutation with |A_j| ≠ j for some j is in
+        // neither Ω(n) nor Ω⁻¹(n). Example: bit reversal for n >= 2... but
+        // bit reversal at n=2 swaps bits (|A_0| = 1 ≠ 0). Check it.
+        use crate::bpc::Bpc;
+        for n in 2..6u32 {
+            let rev = Bpc::bit_reversal(n).to_permutation();
+            assert!(!is_omega(&rev), "bit reversal n={n} should not be Ω");
+            assert!(!is_inverse_omega(&rev), "bit reversal n={n} should not be Ω⁻¹");
+        }
+    }
+}

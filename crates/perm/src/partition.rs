@@ -1,0 +1,697 @@
+//! `J`-partitions and the block-composite permutation builders of
+//! Theorems 4, 5 and 6 of the paper.
+//!
+//! Let `J ⊆ {n−1, …, 0}` be a set of bit positions. The *J-partition* of
+//! `{0, 1, …, 2^n − 1}` groups `i` and `j` into the same block iff
+//! `(i)_k = (j)_k` for all `k ∈ J`. With `|J| = n − r` there are `2^{n−r}`
+//! blocks of `2^r` (not necessarily consecutive) elements each.
+//!
+//! The paper's composition theorems state that block-structured
+//! permutations assembled from `F`-permutations remain in `F`:
+//!
+//! * **Theorem 4** ([`within_blocks`]): permute the elements *within* each
+//!   block by some `G_i ∈ F(r)`;
+//! * **Theorem 5** ([`between_blocks`]): additionally send block `i` onto
+//!   block `B_i` for a block-level permutation `B ∈ F(n−r)`;
+//! * **Theorem 6** ([`hierarchical_composite`]): partition recursively by
+//!   disjoint `J_1, …, J_k` covering all bits and permute the children of
+//!   every tree node by an `F` permutation (possibly a different one per
+//!   node).
+//!
+//! The builders here construct the composite [`Permutation`]; membership of
+//! the result in `F(n)` is verified in the `benes-core` crate's tests and
+//! the `composite_theorems` experiment binary.
+//!
+//! # Examples
+//!
+//! ```
+//! use benes_perm::partition::JPartition;
+//!
+//! // The paper's example: n = 3, J = {1} splits {0..7} into
+//! // {0, 1, 4, 5} and {2, 3, 6, 7}.
+//! let j = JPartition::new(3, [1])?;
+//! assert_eq!(j.block_count(), 2);
+//! assert_eq!(j.block_elements(0), vec![0, 1, 4, 5]);
+//! assert_eq!(j.block_elements(1), vec![2, 3, 6, 7]);
+//! # Ok::<(), benes_perm::partition::PartitionError>(())
+//! ```
+
+use std::fmt;
+
+use benes_bits::bit;
+
+use crate::Permutation;
+
+/// Error produced by the partition builders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PartitionError {
+    /// `n` was zero or larger than 31.
+    BadWidth {
+        /// The offending width.
+        n: u32,
+    },
+    /// A position in `J` was `>= n`.
+    PositionOutOfRange {
+        /// The offending bit position.
+        position: u32,
+        /// The index width `n`.
+        n: u32,
+    },
+    /// A block permutation had the wrong length.
+    BlockPermutationLength {
+        /// The block whose permutation was wrong.
+        block: u64,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// The block-level permutation had the wrong length (Theorem 5).
+    BlockMapLength {
+        /// Expected length (the number of blocks).
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// Level masks overlap (Theorem 6 requires disjoint `J_t`).
+    OverlappingLevels,
+    /// Level masks do not cover all `n` bits (Theorem 6 requires
+    /// `∪ J_t = {n−1, …, 0}`).
+    IncompleteCover,
+    /// A level mask was empty.
+    EmptyLevel {
+        /// The empty level's index (0-based).
+        level: usize,
+    },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadWidth { n } => write!(f, "index width n={n} must be in 1..=31"),
+            Self::PositionOutOfRange { position, n } => {
+                write!(f, "bit position {position} is outside 0..{n}")
+            }
+            Self::BlockPermutationLength { block, expected, actual } => write!(
+                f,
+                "block {block}: permutation length {actual}, expected {expected}"
+            ),
+            Self::BlockMapLength { expected, actual } => write!(
+                f,
+                "block-level permutation length {actual}, expected {expected}"
+            ),
+            Self::OverlappingLevels => write!(f, "level bit sets must be disjoint"),
+            Self::IncompleteCover => {
+                write!(f, "level bit sets must cover all index bits")
+            }
+            Self::EmptyLevel { level } => write!(f, "level {level} has no bits"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// A `J`-partition of `{0, …, 2^n − 1}`: indices sharing the bits at the
+/// positions in `J` form a block.
+///
+/// Blocks are numbered by *compacting* the `J`-bits (in increasing position
+/// order); positions within a block are numbered by compacting the
+/// remaining bits, which preserves the natural (relative) order of the
+/// block's elements — the re-indexing Theorem 4 relies on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct JPartition {
+    n: u32,
+    j_mask: u64,
+}
+
+impl JPartition {
+    /// Builds the partition of `{0, …, 2^n − 1}` induced by the bit
+    /// positions in `j`.
+    ///
+    /// An empty `j` is allowed and yields a single block of all `2^n`
+    /// elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n ∉ 1..=31` or any position is `>= n`.
+    pub fn new(
+        n: u32,
+        j: impl IntoIterator<Item = u32>,
+    ) -> Result<Self, PartitionError> {
+        if n == 0 || n > 31 {
+            return Err(PartitionError::BadWidth { n });
+        }
+        let mut j_mask = 0u64;
+        for position in j {
+            if position >= n {
+                return Err(PartitionError::PositionOutOfRange { position, n });
+            }
+            j_mask |= 1 << position;
+        }
+        Ok(Self { n, j_mask })
+    }
+
+    /// Builds the partition from a bit mask of `J` positions.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n ∉ 1..=31` or the mask has bits at or above
+    /// position `n`.
+    pub fn from_mask(n: u32, j_mask: u64) -> Result<Self, PartitionError> {
+        if n == 0 || n > 31 {
+            return Err(PartitionError::BadWidth { n });
+        }
+        if j_mask >> n != 0 {
+            return Err(PartitionError::PositionOutOfRange {
+                position: 63 - j_mask.leading_zeros(),
+                n,
+            });
+        }
+        Ok(Self { n, j_mask })
+    }
+
+    /// The index width `n` (`N = 2^n` elements are partitioned).
+    #[must_use]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// The mask of positions in `J`.
+    #[must_use]
+    pub fn j_mask(&self) -> u64 {
+        self.j_mask
+    }
+
+    /// The positions in `J`, ascending.
+    #[must_use]
+    pub fn j_positions(&self) -> Vec<u32> {
+        (0..self.n).filter(|&p| bit(self.j_mask, p) == 1).collect()
+    }
+
+    /// The number of blocks, `2^{|J|}`.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        1usize << self.j_mask.count_ones()
+    }
+
+    /// The number of elements per block, `2^{n − |J|}`.
+    #[must_use]
+    pub fn block_size(&self) -> usize {
+        1usize << (self.n - self.j_mask.count_ones())
+    }
+
+    /// The block number of element `i` (compacted `J`-bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` does not fit in `n` bits.
+    #[must_use]
+    pub fn block_of(&self, i: u64) -> u64 {
+        assert!(benes_bits::fits(i, self.n), "index {i} out of range");
+        compact_bits(i, self.j_mask)
+    }
+
+    /// The rank of element `i` within its block (compacted non-`J` bits);
+    /// ranks increase with the natural order of the block's elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` does not fit in `n` bits.
+    #[must_use]
+    pub fn rank_in_block(&self, i: u64) -> u64 {
+        assert!(benes_bits::fits(i, self.n), "index {i} out of range");
+        compact_bits(i, !self.j_mask & benes_bits::mask(self.n))
+    }
+
+    /// The element with the given block number and in-block rank — the
+    /// inverse of ([`block_of`](Self::block_of),
+    /// [`rank_in_block`](Self::rank_in_block)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block >= block_count()` or `rank >= block_size()`.
+    #[must_use]
+    pub fn element(&self, block: u64, rank: u64) -> u64 {
+        assert!((block as usize) < self.block_count(), "block {block} out of range");
+        assert!((rank as usize) < self.block_size(), "rank {rank} out of range");
+        let free_mask = !self.j_mask & benes_bits::mask(self.n);
+        spread_bits(block, self.j_mask) | spread_bits(rank, free_mask)
+    }
+
+    /// All elements of the given block, in ascending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block >= block_count()`.
+    #[must_use]
+    pub fn block_elements(&self, block: u64) -> Vec<u64> {
+        (0..self.block_size() as u64).map(|rank| self.element(block, rank)).collect()
+    }
+
+    /// The complementary partition, `J' = {n−1, …, 0} ∖ J`.
+    #[must_use]
+    pub fn complement(&self) -> Self {
+        Self { n: self.n, j_mask: !self.j_mask & benes_bits::mask(self.n) }
+    }
+}
+
+/// Extracts the bits of `i` at the positions set in `m`, packing them into
+/// the low bits of the result (ascending position order).
+fn compact_bits(i: u64, m: u64) -> u64 {
+    let mut out = 0u64;
+    let mut out_pos = 0;
+    let mut m = m;
+    while m != 0 {
+        let p = m.trailing_zeros();
+        out |= bit(i, p) << out_pos;
+        out_pos += 1;
+        m &= m - 1;
+    }
+    out
+}
+
+/// Inverse of [`compact_bits`]: scatters the low bits of `v` to the
+/// positions set in `m`.
+fn spread_bits(v: u64, m: u64) -> u64 {
+    let mut out = 0u64;
+    let mut in_pos = 0;
+    let mut m = m;
+    while m != 0 {
+        let p = m.trailing_zeros();
+        out |= bit(v, in_pos) << p;
+        in_pos += 1;
+        m &= m - 1;
+    }
+    out
+}
+
+/// Theorem 4: builds the composite permutation that permutes the elements
+/// *within* each block of the `J`-partition, block `b` by `g(b)`.
+///
+/// If every `g(b) ∈ F(r)` (with `2^r` the block size), the paper proves the
+/// composite is in `F(n)`.
+///
+/// # Errors
+///
+/// Returns an error if some `g(b)` does not have length
+/// [`JPartition::block_size`].
+///
+/// # Examples
+///
+/// ```
+/// use benes_perm::partition::{within_blocks, JPartition};
+/// use benes_perm::Permutation;
+///
+/// // Reverse within each of the two blocks {0,1,4,5} and {2,3,6,7}.
+/// let j = JPartition::new(3, [1])?;
+/// let rev = Permutation::from_destinations(vec![3, 2, 1, 0]).unwrap();
+/// let g = within_blocks(&j, |_| rev.clone())?;
+/// assert_eq!(g.destinations(), &[5, 4, 7, 6, 1, 0, 3, 2]);
+/// # Ok::<(), benes_perm::partition::PartitionError>(())
+/// ```
+pub fn within_blocks(
+    j: &JPartition,
+    g: impl FnMut(u64) -> Permutation,
+) -> Result<Permutation, PartitionError> {
+    between_blocks(j, &Permutation::identity(j.block_count()), g)
+}
+
+/// Theorem 5: builds the composite that maps block `i` onto block
+/// `block_map[i]`, carrying rank `q` of the source block to rank
+/// `g(i)[q]` of the target block.
+///
+/// If every `g(i) ∈ F(r)` and `block_map ∈ F(n−r)`, the paper proves the
+/// composite is in `F(n)`.
+///
+/// # Errors
+///
+/// Returns an error if `block_map.len()` differs from the block count or
+/// some `g(b)` does not have the block size as its length.
+///
+/// # Examples
+///
+/// ```
+/// use benes_perm::partition::{between_blocks, JPartition};
+/// use benes_perm::Permutation;
+///
+/// // Swap the two blocks of the J = {1} partition, keeping order inside.
+/// let j = JPartition::new(3, [1])?;
+/// let swap = Permutation::from_destinations(vec![1, 0]).unwrap();
+/// let id = Permutation::identity(4);
+/// let g = between_blocks(&j, &swap, |_| id.clone())?;
+/// assert_eq!(g.destinations(), &[2, 3, 0, 1, 6, 7, 4, 5]);
+/// # Ok::<(), benes_perm::partition::PartitionError>(())
+/// ```
+pub fn between_blocks(
+    j: &JPartition,
+    block_map: &Permutation,
+    mut g: impl FnMut(u64) -> Permutation,
+) -> Result<Permutation, PartitionError> {
+    if block_map.len() != j.block_count() {
+        return Err(PartitionError::BlockMapLength {
+            expected: j.block_count(),
+            actual: block_map.len(),
+        });
+    }
+    let n = j.n();
+    let len = 1usize << n;
+    let mut dest = vec![0u32; len];
+    for b in 0..j.block_count() as u64 {
+        let gb = g(b);
+        if gb.len() != j.block_size() {
+            return Err(PartitionError::BlockPermutationLength {
+                block: b,
+                expected: j.block_size(),
+                actual: gb.len(),
+            });
+        }
+        let target_block = u64::from(block_map.destination(b as usize));
+        for q in 0..j.block_size() as u64 {
+            let src = j.element(b, q);
+            let dst = j.element(target_block, u64::from(gb.destination(q as usize)));
+            dest[src as usize] = dst as u32;
+        }
+    }
+    Ok(Permutation::from_destinations(dest)
+        .expect("block composite of bijections is a bijection"))
+}
+
+/// Theorem 6: builds the hierarchical composite over disjoint bit sets
+/// `J_1, …, J_k` covering all `n` bits.
+///
+/// Index `x` decomposes into coordinates `c_t = ` compacted `J_t`-bits of
+/// `x`. The composite remaps each coordinate by a permutation that may
+/// depend on the coordinates of *shallower* levels (the tree ancestors):
+/// `c_t ← phi(t, &[c_1, …, c_{t−1}])[c_t]`.
+///
+/// If every permutation returned by `phi` for level `t` is in `F(|J_t|)`,
+/// the paper proves the composite is in `F(n)`.
+///
+/// `phi(t, parents)` must return a permutation of length `2^{|J_{t+1}|}`
+/// (here `t` is 0-based; `parents` holds the already-assigned coordinate
+/// values of levels `0..t`).
+///
+/// # Errors
+///
+/// Returns an error if the level masks are not disjoint, do not cover all
+/// bits, contain an empty level, or `phi` returns a permutation of the
+/// wrong length.
+///
+/// # Examples
+///
+/// ```
+/// use benes_perm::partition::hierarchical_composite;
+/// use benes_perm::omega::cyclic_shift;
+/// use benes_perm::Permutation;
+///
+/// // n = 4, level 0 = high two bits, level 1 = low two bits.
+/// // Shift the low coordinate by the high coordinate (a "staircase").
+/// let g = hierarchical_composite(4, &[0b1100, 0b0011], |t, parents| {
+///     if t == 0 {
+///         Permutation::identity(4)
+///     } else {
+///         cyclic_shift(2, parents[0] as i64)
+///     }
+/// })?;
+/// assert_eq!(&g.destinations()[4..8], &[5, 6, 7, 4]); // row 1 shifted by 1
+/// # Ok::<(), benes_perm::partition::PartitionError>(())
+/// ```
+pub fn hierarchical_composite(
+    n: u32,
+    level_masks: &[u64],
+    mut phi: impl FnMut(usize, &[u64]) -> Permutation,
+) -> Result<Permutation, PartitionError> {
+    if n == 0 || n > 31 {
+        return Err(PartitionError::BadWidth { n });
+    }
+    let full = benes_bits::mask(n);
+    let mut seen = 0u64;
+    for (level, &m) in level_masks.iter().enumerate() {
+        if m == 0 {
+            return Err(PartitionError::EmptyLevel { level });
+        }
+        if m & !full != 0 {
+            return Err(PartitionError::PositionOutOfRange {
+                position: 63 - m.leading_zeros(),
+                n,
+            });
+        }
+        if m & seen != 0 {
+            return Err(PartitionError::OverlappingLevels);
+        }
+        seen |= m;
+    }
+    if seen != full {
+        return Err(PartitionError::IncompleteCover);
+    }
+
+    let len = 1usize << n;
+    let mut dest = vec![0u32; len];
+    for x in 0..len as u64 {
+        let mut parents: Vec<u64> = Vec::with_capacity(level_masks.len());
+        let mut out = 0u64;
+        for (t, &m) in level_masks.iter().enumerate() {
+            let c = compact_bits(x, m);
+            let p = phi(t, &parents);
+            let width = m.count_ones();
+            if p.len() != 1usize << width {
+                return Err(PartitionError::BlockPermutationLength {
+                    block: x,
+                    expected: 1usize << width,
+                    actual: p.len(),
+                });
+            }
+            let c_new = u64::from(p.destination(c as usize));
+            out |= spread_bits(c_new, m);
+            parents.push(c);
+        }
+        dest[x as usize] = out as u32;
+    }
+    Ok(Permutation::from_destinations(dest)
+        .expect("hierarchical composite of bijections is a bijection"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bpc::Bpc;
+    use crate::omega::cyclic_shift;
+
+    #[test]
+    fn paper_partition_example() {
+        // n = 3, J = {1}: blocks {0,1,4,5} and {2,3,6,7}.
+        let j = JPartition::new(3, [1]).unwrap();
+        assert_eq!(j.block_count(), 2);
+        assert_eq!(j.block_size(), 4);
+        assert_eq!(j.block_elements(0), vec![0, 1, 4, 5]);
+        assert_eq!(j.block_elements(1), vec![2, 3, 6, 7]);
+    }
+
+    #[test]
+    fn empty_j_is_single_block() {
+        let j = JPartition::new(3, []).unwrap();
+        assert_eq!(j.block_count(), 1);
+        assert_eq!(j.block_size(), 8);
+        assert_eq!(j.block_elements(0), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn full_j_is_singletons() {
+        let j = JPartition::new(3, [0, 1, 2]).unwrap();
+        assert_eq!(j.block_count(), 8);
+        assert_eq!(j.block_size(), 1);
+        for i in 0..8 {
+            assert_eq!(j.block_elements(i), vec![i]);
+        }
+    }
+
+    #[test]
+    fn element_inverts_block_and_rank() {
+        let j = JPartition::new(5, [0, 3]).unwrap();
+        for i in 0..32u64 {
+            let b = j.block_of(i);
+            let r = j.rank_in_block(i);
+            assert_eq!(j.element(b, r), i);
+        }
+    }
+
+    #[test]
+    fn ranks_preserve_relative_order() {
+        let j = JPartition::new(4, [2]).unwrap();
+        for b in 0..j.block_count() as u64 {
+            let elems = j.block_elements(b);
+            let mut sorted = elems.clone();
+            sorted.sort_unstable();
+            assert_eq!(elems, sorted);
+        }
+    }
+
+    #[test]
+    fn complement_swaps_roles() {
+        let j = JPartition::new(5, [1, 4]).unwrap();
+        let c = j.complement();
+        assert_eq!(c.j_positions(), vec![0, 2, 3]);
+        assert_eq!(j.block_count(), c.block_size());
+        for i in 0..32u64 {
+            assert_eq!(j.block_of(i), c.rank_in_block(i));
+            assert_eq!(j.rank_in_block(i), c.block_of(i));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert_eq!(JPartition::new(0, []), Err(PartitionError::BadWidth { n: 0 }));
+        assert_eq!(
+            JPartition::new(3, [3]),
+            Err(PartitionError::PositionOutOfRange { position: 3, n: 3 })
+        );
+        assert!(JPartition::from_mask(3, 0b1000).is_err());
+    }
+
+    #[test]
+    fn within_blocks_reverses_rows() {
+        // 4×4 matrix in row-major order (n = 4); J = row bits {2, 3}.
+        // Reverse each row.
+        let j = JPartition::new(4, [2, 3]).unwrap();
+        let rev = Bpc::vector_reversal(2).to_permutation();
+        let g = within_blocks(&j, |_| rev.clone()).unwrap();
+        assert_eq!(
+            g.destinations(),
+            &[3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12]
+        );
+    }
+
+    #[test]
+    fn cannon_row_shift_mapping() {
+        // Cannon's A(i, j) → A(i, (i + j) mod √N): shift row i left by i.
+        // Row-major 4×4, row bits J = {2, 3}, per-row cyclic shift by i.
+        let j = JPartition::new(4, [2, 3]).unwrap();
+        let g = within_blocks(&j, |row| cyclic_shift(2, row as i64)).unwrap();
+        for r in 0..4u64 {
+            for c in 0..4u64 {
+                let src = 4 * r + c;
+                let dst = 4 * r + ((r + c) % 4);
+                assert_eq!(u64::from(g.destination(src as usize)), dst);
+            }
+        }
+    }
+
+    #[test]
+    fn cannon_column_shift_mapping() {
+        // A(i, j) → A((i + j) mod √N, j): column blocks J = {0, 1}.
+        let j = JPartition::new(4, [0, 1]).unwrap();
+        let g = within_blocks(&j, |col| cyclic_shift(2, col as i64)).unwrap();
+        for r in 0..4u64 {
+            for c in 0..4u64 {
+                let src = 4 * r + c;
+                let dst = 4 * ((r + c) % 4) + c;
+                assert_eq!(u64::from(g.destination(src as usize)), dst);
+            }
+        }
+    }
+
+    #[test]
+    fn row_bit_reversal_mapping() {
+        // A(i, j) → A(i^R, j): Theorem 5 with identity inside blocks and a
+        // bit-reversal block map over the rows.
+        let j = JPartition::new(4, [2, 3]).unwrap();
+        let rows_reversed = Bpc::bit_reversal(2).to_permutation();
+        let g = between_blocks(&j, &rows_reversed, |_| Permutation::identity(4)).unwrap();
+        for r in 0..4u64 {
+            for c in 0..4u64 {
+                let rr = benes_bits::reverse_bits(r, 2);
+                assert_eq!(
+                    u64::from(g.destination((4 * r + c) as usize)),
+                    4 * rr + c
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn between_blocks_validates_lengths() {
+        let j = JPartition::new(3, [1]).unwrap();
+        let bad_map = Permutation::identity(4);
+        assert_eq!(
+            between_blocks(&j, &bad_map, |_| Permutation::identity(4)),
+            Err(PartitionError::BlockMapLength { expected: 2, actual: 4 })
+        );
+        let map = Permutation::identity(2);
+        assert_eq!(
+            between_blocks(&j, &map, |_| Permutation::identity(2)),
+            Err(PartitionError::BlockPermutationLength {
+                block: 0,
+                expected: 4,
+                actual: 2
+            })
+        );
+    }
+
+    #[test]
+    fn hierarchical_rejects_bad_levels() {
+        let id = |_: usize, _: &[u64]| Permutation::identity(2);
+        assert_eq!(
+            hierarchical_composite(2, &[0b01, 0b01], id),
+            Err(PartitionError::OverlappingLevels)
+        );
+        assert_eq!(
+            hierarchical_composite(3, &[0b01, 0b10], id),
+            Err(PartitionError::IncompleteCover)
+        );
+        assert_eq!(
+            hierarchical_composite(2, &[0b01, 0], id),
+            Err(PartitionError::EmptyLevel { level: 1 })
+        );
+    }
+
+    #[test]
+    fn hierarchical_single_level_is_plain_permutation() {
+        let p = Bpc::bit_reversal(3).to_permutation();
+        let g = hierarchical_composite(3, &[0b111], |_, _| p.clone()).unwrap();
+        assert_eq!(g, p);
+    }
+
+    #[test]
+    fn hierarchical_matches_nested_between_blocks() {
+        // Two levels: high bits then low bits, with parent-independent
+        // permutations — must equal Theorem 5 with the same pieces.
+        let n = 4;
+        let rows = Bpc::vector_reversal(2).to_permutation();
+        let cols = cyclic_shift(2, 1);
+        let h = hierarchical_composite(n, &[0b1100, 0b0011], |t, _| {
+            if t == 0 { rows.clone() } else { cols.clone() }
+        })
+        .unwrap();
+        let j = JPartition::new(n, [2, 3]).unwrap();
+        let b = between_blocks(&j, &rows, |_| cols.clone()).unwrap();
+        assert_eq!(h, b);
+    }
+
+    #[test]
+    fn hierarchical_three_d_example() {
+        // The paper's Theorem 6 example shape: A(i, j, k) with
+        // j' = λ(j), k' = j ⊕ k, i' = (i + j + k) mod 2^r.
+        // Levels: j (bits 4..6), k (bits 2..4), i (bits 0..2); n = 6.
+        let n = 6;
+        let g = hierarchical_composite(
+            n,
+            &[0b110000, 0b001100, 0b000011],
+            |t, parents| match t {
+                0 => crate::omega::p_ordering_shift(2, 3, 1),
+                1 => {
+                    // k ⊕ j: per-parent BPC complement.
+                    let jj = parents[0];
+                    Permutation::from_fn(4, |k| (u64::from(k) ^ jj) as u32).unwrap()
+                }
+                _ => cyclic_shift(2, (parents[0] + parents[1]) as i64),
+            },
+        )
+        .unwrap();
+        // Spot-check one element: x with j=1, k=2, i=3 → index
+        // (1 << 4) | (2 << 2) | 3 = 16 + 8 + 3 = 27.
+        // j' = (3·1 + 1) mod 4 = 0; k' = 1 ⊕ 2 = 3; i' = (3 + 1 + 2) mod 4 = 2.
+        // dest = (0 << 4) | (3 << 2) | 2 = 14.
+        assert_eq!(g.destination(27), 14);
+    }
+}

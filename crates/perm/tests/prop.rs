@@ -1,0 +1,187 @@
+//! Property-based tests across the permutation classes.
+
+use benes_perm::bpc::{Bpc, SignedBit};
+use benes_perm::omega::{
+    cyclic_shift, inverse_p_ordering, is_inverse_omega, is_omega, p_ordering,
+    p_ordering_shift, segment_cyclic_shift,
+};
+use benes_perm::partition::{between_blocks, within_blocks, JPartition};
+use benes_perm::Permutation;
+use proptest::prelude::*;
+
+/// A random permutation of `0..len` via index shuffling.
+fn arb_permutation(len: usize) -> impl Strategy<Value = Permutation> {
+    Just(()).prop_perturb(move |(), mut rng| {
+        let mut dest: Vec<u32> = (0..len as u32).collect();
+        // Fisher-Yates with the proptest RNG.
+        for i in (1..len).rev() {
+            let j = (rng.random::<u64>() % (i as u64 + 1)) as usize;
+            dest.swap(i, j);
+        }
+        Permutation::from_destinations(dest).expect("shuffle of identity is a bijection")
+    })
+}
+
+/// A random BPC(n) A-vector.
+fn arb_bpc(n: u32) -> impl Strategy<Value = Bpc> {
+    (arb_permutation(n as usize), proptest::collection::vec(any::<bool>(), n as usize))
+        .prop_map(move |(positions, signs)| {
+            let entries = positions
+                .destinations()
+                .iter()
+                .zip(signs)
+                .map(|(&p, c)| if c { SignedBit::minus(p) } else { SignedBit::plus(p) })
+                .collect();
+            Bpc::from_entries(entries).expect("positions are a permutation")
+        })
+}
+
+proptest! {
+    #[test]
+    fn inverse_then_is_identity(p in arb_permutation(32)) {
+        prop_assert!(p.then(&p.inverse()).is_identity());
+        prop_assert!(p.inverse().then(&p).is_identity());
+    }
+
+    #[test]
+    fn then_is_associative(
+        a in arb_permutation(16),
+        b in arb_permutation(16),
+        c in arb_permutation(16),
+    ) {
+        prop_assert_eq!(a.then(&b).then(&c), a.then(&b.then(&c)));
+    }
+
+    #[test]
+    fn apply_then_apply_matches_composition(
+        a in arb_permutation(16),
+        b in arb_permutation(16),
+    ) {
+        let data: Vec<u32> = (100..116).collect();
+        prop_assert_eq!(b.apply(&a.apply(&data)), a.then(&b).apply(&data));
+    }
+
+    #[test]
+    fn cycles_partition_elements(p in arb_permutation(24)) {
+        let mut seen = vec![false; 24];
+        for cycle in p.cycles() {
+            for &e in &cycle {
+                prop_assert!(!seen[e as usize], "element {} in two cycles", e);
+                seen[e as usize] = true;
+            }
+            // Following the permutation around the cycle returns home.
+            for w in cycle.windows(2) {
+                prop_assert_eq!(p.destination(w[0] as usize), w[1]);
+            }
+            prop_assert_eq!(p.destination(*cycle.last().unwrap() as usize), cycle[0]);
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn parity_is_a_homomorphism(a in arb_permutation(16), b in arb_permutation(16)) {
+        prop_assert_eq!(a.then(&b).is_even(), a.is_even() == b.is_even());
+    }
+
+    #[test]
+    fn bpc_roundtrips_through_detection(b in arb_bpc(4)) {
+        prop_assert_eq!(Bpc::from_permutation(&b.to_permutation()), Some(b));
+    }
+
+    #[test]
+    fn bpc_then_matches_expanded_then(a in arb_bpc(4), b in arb_bpc(4)) {
+        prop_assert_eq!(
+            a.then(&b).to_permutation(),
+            a.to_permutation().then(&b.to_permutation())
+        );
+    }
+
+    #[test]
+    fn bpc_inverse_matches_expanded_inverse(a in arb_bpc(5)) {
+        prop_assert_eq!(a.inverse().to_permutation(), a.to_permutation().inverse());
+    }
+
+    #[test]
+    fn lemma1_formula_matches_direct_split(a in arb_bpc(4)) {
+        let (f1, f2) = a.split_lemma1();
+        let (q, r) = a.split_destination_halves();
+        prop_assert_eq!(f1.to_permutation(), q);
+        prop_assert_eq!(f2.to_permutation(), r);
+    }
+
+    #[test]
+    fn omega_duality(p in arb_permutation(16)) {
+        prop_assert_eq!(is_omega(&p), is_inverse_omega(&p.inverse()));
+        prop_assert_eq!(is_inverse_omega(&p), is_omega(&p.inverse()));
+    }
+
+    #[test]
+    fn affine_maps_are_omega_and_inverse_omega(
+        pmul in (0u64..64).prop_map(|v| 2 * v + 1),
+        k in -64i64..64,
+    ) {
+        let d = p_ordering_shift(5, pmul, k);
+        prop_assert!(is_omega(&d));
+        prop_assert!(is_inverse_omega(&d));
+    }
+
+    #[test]
+    fn p_ordering_inverse(pmul in (0u64..512).prop_map(|v| 2 * v + 1)) {
+        let f = p_ordering(6, pmul);
+        let g = inverse_p_ordering(6, pmul);
+        prop_assert!(f.then(&g).is_identity());
+    }
+
+    #[test]
+    fn cyclic_shifts_form_a_group(k1 in -100i64..100, k2 in -100i64..100) {
+        let a = cyclic_shift(5, k1);
+        let b = cyclic_shift(5, k2);
+        prop_assert_eq!(a.then(&b), cyclic_shift(5, k1 + k2));
+        prop_assert_eq!(a.inverse(), cyclic_shift(5, -k1));
+    }
+
+    #[test]
+    fn segment_shift_blocks_are_invariant(j in 1u32..=5, k in -20i64..20) {
+        let n = 5;
+        let d = segment_cyclic_shift(n, j, k);
+        for (i, dest) in d.iter() {
+            prop_assert_eq!(i >> j, dest >> j);
+        }
+    }
+
+    #[test]
+    fn within_blocks_respects_blocks(
+        mask in 0u64..16,
+        p in arb_permutation(4),
+        q in arb_permutation(4),
+    ) {
+        // n = 4 with a 2-bit J: blocks of size 4.
+        let positions: Vec<u32> = (0..4).filter(|&b| (mask >> b) & 1 == 1).collect();
+        prop_assume!(positions.len() == 2);
+        let j = JPartition::new(4, positions).unwrap();
+        let g = within_blocks(&j, |b| if b == 0 { p.clone() } else { q.clone() }).unwrap();
+        for i in 0..16u64 {
+            prop_assert_eq!(
+                j.block_of(i),
+                j.block_of(u64::from(g.destination(i as usize)))
+            );
+        }
+    }
+
+    #[test]
+    fn between_blocks_moves_whole_blocks(
+        block_map in arb_permutation(4),
+        inner in arb_permutation(4),
+    ) {
+        let j = JPartition::new(4, [1, 3]).unwrap();
+        let g = between_blocks(&j, &block_map, |_| inner.clone()).unwrap();
+        for i in 0..16u64 {
+            let src_block = j.block_of(i);
+            let dst_block = j.block_of(u64::from(g.destination(i as usize)));
+            prop_assert_eq!(
+                dst_block,
+                u64::from(block_map.destination(src_block as usize))
+            );
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Serde round-trips (run with `--features serde`). Deserialization
+//! re-validates: corrupt data is rejected, never constructed.
+#![cfg(feature = "serde")]
+
+use benes_perm::bpc::{Bpc, SignedBit};
+use benes_perm::Permutation;
+
+#[test]
+fn permutation_roundtrip() {
+    let p = Permutation::from_destinations(vec![2, 0, 3, 1]).unwrap();
+    let json = serde_json::to_string(&p).unwrap();
+    assert_eq!(json, "[2,0,3,1]");
+    let back: Permutation = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, p);
+}
+
+#[test]
+fn permutation_rejects_invalid_json() {
+    assert!(serde_json::from_str::<Permutation>("[0,0,1]").is_err());
+    assert!(serde_json::from_str::<Permutation>("[5]").is_err());
+    assert!(serde_json::from_str::<Permutation>("[]").is_err());
+}
+
+#[test]
+fn bpc_roundtrip() {
+    let b = Bpc::from_entries(vec![SignedBit::minus(1), SignedBit::plus(0)]).unwrap();
+    let json = serde_json::to_string(&b).unwrap();
+    let back: Bpc = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, b);
+}
+
+#[test]
+fn bpc_rejects_invalid() {
+    // Duplicate magnitudes.
+    assert!(serde_json::from_str::<Bpc>("[[0,false],[0,true]]").is_err());
+}

@@ -1,0 +1,422 @@
+//! The cube-connected computer (CCC) and the paper's §III permutation
+//! algorithm for it.
+//!
+//! In an `N = 2^n` PE cube, `PE(i)` is directly connected to `PE(i^{(b)})`
+//! for each `b < n`. The `F(n)` permutation algorithm is the loop
+//!
+//! ```text
+//! for b = 0, 1, …, n−2, n−1, n−2, …, 0 do
+//!     ⟨R(i^{(b)}), D(i^{(b)})⟩ ↔ ⟨R(i), D(i)⟩,  (i)_b = 0 and (D(i))_b = 1
+//! end
+//! ```
+//!
+//! — one masked interchange per Benes stage, `2·log N − 1` in total, with
+//! the pair's *even-side* PE playing the role of the switch's upper input
+//! exactly as in Fig. 3. No pre-processing of any kind happens; contrast
+//! with the `O(log⁴ N)` total for arbitrary permutations via parallel
+//! Benes set-up, or `O(log² N)` via bitonic sorting
+//! ([`crate::sort_route`]).
+//!
+//! Shortcuts implemented as in the paper:
+//! * [`Ccc::route_omega`] skips the first `n−1` iterations (`Ω(n)` input);
+//! * [`Ccc::route_inverse_omega`] skips the last `n−1` (`Ω⁻¹(n)` input);
+//! * [`Ccc::route_bpc`] skips every iteration `b` with `A_b = +b` (no
+//!   routing across that cube dimension is needed).
+
+use benes_bits::bit;
+use benes_perm::bpc::Bpc;
+use benes_perm::Permutation;
+
+use crate::machine::{Record, RouteStats};
+
+/// An `N = 2^n` PE cube-connected computer.
+///
+/// # Examples
+///
+/// ```
+/// use benes_simd::ccc::Ccc;
+/// use benes_perm::omega::cyclic_shift;
+/// use benes_simd::machine::{is_routed, records_for};
+///
+/// let ccc = Ccc::new(4);
+/// let (out, stats) = ccc.route_f(records_for(&cyclic_shift(4, 5)));
+/// assert!(is_routed(&out));
+/// assert_eq!(stats.steps, 7); // 2·log N − 1
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ccc {
+    n: u32,
+}
+
+impl Ccc {
+    /// Builds an `N = 2^n` PE cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 24`.
+    #[must_use]
+    pub fn new(n: u32) -> Self {
+        assert!((1..=24).contains(&n), "CCC requires 1 <= n <= 24");
+        Self { n }
+    }
+
+    /// The cube dimension `n = log N`.
+    #[must_use]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// The number of PEs, `N = 2^n`.
+    #[must_use]
+    pub fn pe_count(&self) -> usize {
+        1usize << self.n
+    }
+
+    /// The number of direct links per PE (`log N`).
+    #[must_use]
+    pub fn links_per_pe(&self) -> u32 {
+        self.n
+    }
+
+    /// One masked interchange across cube dimension `b`: every pair
+    /// `(i, i^{(b)})` with `(i)_b = 0` swaps records iff bit `b` of the
+    /// even-side PE's destination tag is 1.
+    ///
+    /// Counts one SIMD step and one unit-route (the paper's one-word
+    /// interchange model; see [`RouteStats::unit_routes_two_word`] for the
+    /// two-word figure).
+    pub fn interchange_step<T>(
+        &self,
+        records: &mut [Record<T>],
+        b: u32,
+        stats: &mut RouteStats,
+    ) {
+        debug_assert_eq!(records.len(), self.pe_count());
+        let d = 1usize << b;
+        for i in 0..records.len() {
+            if i & d != 0 {
+                continue; // visit each pair from its even-bit side
+            }
+            if bit(u64::from(records[i].0), b) == 1 {
+                records.swap(i, i | d);
+                stats.exchanges += 1;
+            }
+        }
+        stats.steps += 1;
+        stats.unit_routes += 1;
+    }
+
+    /// Routes an `F(n)` record vector through the full
+    /// `b = 0, …, n−1, …, 0` loop.
+    ///
+    /// Returns the final records (by PE) and the cost; routing succeeded
+    /// iff [`crate::machine::is_routed`] holds, which is the case exactly
+    /// when the tags form a permutation in `F(n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records.len() != pe_count()`.
+    #[must_use]
+    pub fn route_f<T>(&self, records: Vec<Record<T>>) -> (Vec<Record<T>>, RouteStats) {
+        self.route_with_skip(records, |_| false)
+    }
+
+    /// Routes an `Ω(n)` record vector: the first `n−1` iterations are
+    /// skipped ("Ω permutations can be performed by skipping the first
+    /// `n − 1` iterations of the above loop").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records.len() != pe_count()`.
+    #[must_use]
+    pub fn route_omega<T>(
+        &self,
+        records: Vec<Record<T>>,
+    ) -> (Vec<Record<T>>, RouteStats) {
+        let n = self.n as usize;
+        self.route_with_skip(records, move |iter| iter < n - 1)
+    }
+
+    /// Routes an `Ω⁻¹(n)` record vector: the last `n−1` iterations are
+    /// skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records.len() != pe_count()`.
+    #[must_use]
+    pub fn route_inverse_omega<T>(
+        &self,
+        records: Vec<Record<T>>,
+    ) -> (Vec<Record<T>>, RouteStats) {
+        let n = self.n as usize;
+        self.route_with_skip(records, move |iter| iter >= n)
+    }
+
+    /// Routes a BPC permutation from its `A`-vector: destination tags are
+    /// computed locally per PE (no communication — the §III closing
+    /// remark), and every iteration with `A_b = +b` is skipped because
+    /// `(D(i))_b = (i)_b` implies no routing across dimension `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payloads.len() != pe_count()` or the BPC order differs
+    /// from the cube dimension.
+    #[must_use]
+    pub fn route_bpc<T>(
+        &self,
+        bpc: &Bpc,
+        payloads: Vec<T>,
+    ) -> (Vec<Record<T>>, RouteStats) {
+        assert_eq!(bpc.n(), self.n, "BPC order must match cube dimension");
+        assert_eq!(payloads.len(), self.pe_count(), "payload count must be N");
+        // Each PE computes its own destination tag from the broadcast
+        // A-vector — O(log N) local work, zero unit-routes.
+        let records: Vec<Record<T>> = payloads
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (bpc.destination(i as u64) as u32, p))
+            .collect();
+        let skip_dim: Vec<bool> = (0..self.n)
+            .map(|b| {
+                let e = bpc.entry(b);
+                e.position() == b && !e.is_complement()
+            })
+            .collect();
+        let seq = self.iteration_bits();
+        self.route_with_skip(records, move |iter| skip_dim[seq[iter] as usize])
+    }
+
+    /// The dimension visited at each loop iteration:
+    /// `0, 1, …, n−2, n−1, n−2, …, 0`.
+    #[must_use]
+    pub fn iteration_bits(&self) -> Vec<u32> {
+        let n = self.n;
+        (0..n).chain((0..n - 1).rev()).collect()
+    }
+
+    /// The general loop with a per-iteration skip predicate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records.len() != pe_count()`.
+    pub fn route_with_skip<T>(
+        &self,
+        mut records: Vec<Record<T>>,
+        skip: impl Fn(usize) -> bool,
+    ) -> (Vec<Record<T>>, RouteStats) {
+        assert_eq!(records.len(), self.pe_count(), "record count must be N");
+        let mut stats = RouteStats::new();
+        for (iter, &b) in self.iteration_bits().iter().enumerate() {
+            if skip(iter) {
+                continue;
+            }
+            self.interchange_step(&mut records, b, &mut stats);
+        }
+        (records, stats)
+    }
+
+    /// Like [`Ccc::route_f`] but also captures the `D(i)` column after
+    /// every iteration — the `D(i)^k` columns of the paper's Fig. 6.
+    ///
+    /// The first snapshot is the initial tag vector; one more follows each
+    /// of the `2n − 1` iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records.len() != pe_count()`.
+    #[must_use]
+    pub fn route_f_traced<T>(
+        &self,
+        mut records: Vec<Record<T>>,
+    ) -> (Vec<Record<T>>, RouteStats, Vec<Vec<u32>>) {
+        assert_eq!(records.len(), self.pe_count(), "record count must be N");
+        let mut stats = RouteStats::new();
+        let mut snapshots = Vec::with_capacity(2 * self.n as usize);
+        snapshots.push(records.iter().map(|r| r.0).collect());
+        for &b in &self.iteration_bits() {
+            self.interchange_step(&mut records, b, &mut stats);
+            snapshots.push(records.iter().map(|r| r.0).collect());
+        }
+        (records, stats, snapshots)
+    }
+}
+
+/// Routes `perm` on an `n`-cube and reports `(success, stats)` — the
+/// standard experiment entry point.
+///
+/// # Panics
+///
+/// Panics if `perm.len()` is not `2^n` for the given cube.
+#[must_use]
+pub fn route_permutation(ccc: &Ccc, perm: &Permutation) -> (bool, RouteStats) {
+    let (out, stats) = ccc.route_f(crate::machine::records_for(perm));
+    (crate::machine::verify_routed(perm, &out), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{is_routed, records_for, verify_routed};
+    use benes_core::class_f::is_in_f;
+    use benes_perm::omega::{cyclic_shift, is_inverse_omega, is_omega, p_ordering};
+
+    fn all_perms(len: u32) -> Vec<Permutation> {
+        fn rec(rem: &mut Vec<u32>, cur: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+            if rem.is_empty() {
+                out.push(cur.clone());
+                return;
+            }
+            for idx in 0..rem.len() {
+                let v = rem.remove(idx);
+                cur.push(v);
+                rec(rem, cur, out);
+                cur.pop();
+                rem.insert(idx, v);
+            }
+        }
+        let mut out = Vec::new();
+        rec(&mut (0..len).collect(), &mut Vec::new(), &mut out);
+        out.into_iter()
+            .map(|d| Permutation::from_destinations(d).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn fig6_bit_reversal_trace() {
+        // The paper's Fig. 6: bit reversal on an 8-PE cube.
+        let ccc = Ccc::new(3);
+        let perm = benes_perm::bpc::Bpc::bit_reversal(3).to_permutation();
+        let (out, stats, snaps) = ccc.route_f_traced(records_for(&perm));
+        assert!(verify_routed(&perm, &out));
+        assert_eq!(stats.steps, 5);
+        assert_eq!(snaps.len(), 6);
+        // Hand-verified intermediate columns (see module docs / Fig. 6):
+        assert_eq!(snaps[0], vec![0, 4, 2, 6, 1, 5, 3, 7]); // D(i)
+        assert_eq!(snaps[1], vec![0, 4, 2, 6, 5, 1, 7, 3]); // after b=0
+        assert_eq!(snaps[2], vec![0, 4, 2, 6, 5, 1, 7, 3]); // after b=1
+        assert_eq!(snaps[3], vec![0, 1, 2, 3, 5, 4, 7, 6]); // after b=2
+        assert_eq!(snaps[4], vec![0, 1, 2, 3, 5, 4, 7, 6]); // after b=1
+        assert_eq!(snaps[5], vec![0, 1, 2, 3, 4, 5, 6, 7]); // after b=0
+    }
+
+    #[test]
+    fn ccc_succeeds_exactly_on_f_n2() {
+        let ccc = Ccc::new(2);
+        for d in all_perms(4) {
+            let (ok, _) = route_permutation(&ccc, &d);
+            assert_eq!(ok, is_in_f(&d), "D = {d}");
+        }
+    }
+
+    #[test]
+    fn ccc_succeeds_exactly_on_f_n3() {
+        let ccc = Ccc::new(3);
+        for d in all_perms(8) {
+            let (ok, _) = route_permutation(&ccc, &d);
+            assert_eq!(ok, is_in_f(&d), "D = {d}");
+        }
+    }
+
+    #[test]
+    fn step_count_is_2n_minus_1() {
+        for n in 1..10u32 {
+            let ccc = Ccc::new(n);
+            let (_, stats) =
+                ccc.route_f(records_for(&Permutation::identity(1 << n)));
+            assert_eq!(stats.steps, 2 * u64::from(n) - 1);
+            assert_eq!(stats.unit_routes, 2 * u64::from(n) - 1);
+            assert_eq!(stats.unit_routes_two_word(), 4 * u64::from(n) - 2);
+        }
+    }
+
+    #[test]
+    fn omega_shortcut_succeeds_on_omega_perms() {
+        let ccc = Ccc::new(3);
+        for d in all_perms(8) {
+            if is_omega(&d) {
+                let (out, stats) = ccc.route_omega(records_for(&d));
+                assert!(verify_routed(&d, &out), "Ω perm {d} failed shortcut");
+                assert_eq!(stats.steps, 3); // n iterations only
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_omega_shortcut_succeeds() {
+        let ccc = Ccc::new(3);
+        for d in all_perms(8) {
+            if is_inverse_omega(&d) {
+                let (out, stats) = ccc.route_inverse_omega(records_for(&d));
+                assert!(verify_routed(&d, &out), "Ω⁻¹ perm {d} failed shortcut");
+                assert_eq!(stats.steps, 3);
+            }
+        }
+    }
+
+    #[test]
+    fn bpc_skip_saves_steps() {
+        // Conditional-exchange-like BPC: A = identity except sign flips
+        // touch no extra dimensions. Identity skips everything.
+        let ccc = Ccc::new(4);
+        let (out, stats) = ccc.route_bpc(&Bpc::identity(4), (0..16u32).collect());
+        assert!(is_routed(&out));
+        assert_eq!(stats.steps, 0);
+
+        // Vector reversal: every A_b = −b (complement), no skip possible.
+        let (out, stats) =
+            ccc.route_bpc(&Bpc::vector_reversal(4), (0..16u32).collect());
+        assert!(is_routed(&out));
+        assert_eq!(stats.steps, 7);
+
+        // A BPC fixing dimensions 0 and 3: A = (+0, +2, +1, +3) —
+        // iterations with b ∈ {0, 3} skipped: from the sequence
+        // 0,1,2,3,2,1,0 that removes 3 iterations (two b=0, one b=3).
+        let b = Bpc::from_pairs(vec![(0, false), (2, false), (1, false), (3, false)])
+            .unwrap();
+        let (out, stats) = ccc.route_bpc(&b, (0..16u32).collect());
+        assert!(is_routed(&out));
+        assert_eq!(stats.steps, 4);
+    }
+
+    #[test]
+    fn bpc_routing_matches_general_routing() {
+        let ccc = Ccc::new(4);
+        for b in [
+            Bpc::bit_reversal(4),
+            Bpc::matrix_transpose(4),
+            Bpc::perfect_shuffle(4),
+            Bpc::shuffled_row_major(4),
+        ] {
+            let (out, _) = ccc.route_bpc(&b, (0..16u32).collect());
+            assert!(verify_routed(&b.to_permutation(), &out), "BPC {b}");
+        }
+    }
+
+    #[test]
+    fn useful_permutations_route() {
+        for n in 2..9u32 {
+            let ccc = Ccc::new(n);
+            for d in [cyclic_shift(n, 3), p_ordering(n, 5), cyclic_shift(n, -7)] {
+                let (ok, _) = route_permutation(&ccc, &d);
+                assert!(ok, "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn iteration_sequence_matches_paper() {
+        assert_eq!(Ccc::new(3).iteration_bits(), vec![0, 1, 2, 1, 0]);
+        assert_eq!(Ccc::new(1).iteration_bits(), vec![0]);
+    }
+
+    #[test]
+    fn exchanges_only_count_actual_swaps() {
+        let ccc = Ccc::new(3);
+        let (_, stats) = ccc.route_f(records_for(&Permutation::identity(8)));
+        assert_eq!(stats.exchanges, 0);
+        let (_, stats) = ccc.route_f(records_for(
+            &benes_perm::bpc::Bpc::vector_reversal(3).to_permutation(),
+        ));
+        assert!(stats.exchanges > 0);
+    }
+}

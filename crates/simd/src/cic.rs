@@ -1,0 +1,130 @@
+//! The completely interconnected computer (CIC): model 1 of §I.
+//!
+//! Every pair of PEs is directly connected, so **any** permutation of the
+//! routing registers is realized in a single step. The CIC exists as the
+//! ideal endpoint of the machine spectrum — the paper's parallel Benes
+//! set-up algorithms run in `O(log N)` on it — and here as the trivial
+//! baseline every other machine is measured against.
+
+use benes_perm::Permutation;
+
+use crate::machine::{Record, RouteStats};
+
+/// An `N`-PE completely interconnected computer.
+///
+/// # Examples
+///
+/// ```
+/// use benes_simd::cic::Cic;
+/// use benes_simd::machine::{is_routed, records_for};
+/// use benes_perm::Permutation;
+///
+/// let cic = Cic::new(8);
+/// let d = Permutation::from_destinations(vec![3, 1, 4, 0, 2, 7, 5, 6]).unwrap();
+/// let (out, stats) = cic.route(records_for(&d));
+/// assert!(is_routed(&out));
+/// assert_eq!(stats.steps, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cic {
+    pe_count: usize,
+}
+
+impl Cic {
+    /// Builds an `N`-PE CIC (no power-of-two restriction: the full
+    /// interconnect does not care).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe_count == 0`.
+    #[must_use]
+    pub fn new(pe_count: usize) -> Self {
+        assert!(pe_count >= 1, "CIC requires at least one PE");
+        Self { pe_count }
+    }
+
+    /// The number of PEs.
+    #[must_use]
+    pub fn pe_count(&self) -> usize {
+        self.pe_count
+    }
+
+    /// The number of direct links per PE, `N − 1`.
+    #[must_use]
+    pub fn links_per_pe(&self) -> usize {
+        self.pe_count - 1
+    }
+
+    /// Routes any record vector whose tags form a permutation, in one
+    /// step (each record travels one direct link).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records.len() != pe_count()` or the tags are not a
+    /// permutation of `0..N`.
+    #[must_use]
+    pub fn route<T>(&self, records: Vec<Record<T>>) -> (Vec<Record<T>>, RouteStats) {
+        assert_eq!(records.len(), self.pe_count, "record count must be N");
+        let mut out: Vec<Option<Record<T>>> =
+            (0..records.len()).map(|_| None).collect();
+        let mut moved = 0;
+        for (i, r) in records.into_iter().enumerate() {
+            let dest = r.0 as usize;
+            assert!(dest < self.pe_count, "tag {dest} out of range");
+            assert!(out[dest].is_none(), "tags must form a permutation");
+            if dest != i {
+                moved += 1;
+            }
+            out[dest] = Some(r);
+        }
+        let stats = RouteStats { steps: 1, unit_routes: 1, exchanges: moved };
+        (
+            out.into_iter().map(|r| r.expect("bijection fills slots")).collect(),
+            stats,
+        )
+    }
+}
+
+/// Routes `perm` on the CIC and reports `(success, stats)` — success is
+/// unconditional; the entry point exists for symmetry with the other
+/// machines.
+///
+/// # Panics
+///
+/// Panics if `perm.len() != cic.pe_count()`.
+#[must_use]
+pub fn route_permutation(cic: &Cic, perm: &Permutation) -> (bool, RouteStats) {
+    let (out, stats) = cic.route(crate::machine::records_for(perm));
+    (crate::machine::verify_routed(perm, &out), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::records_for;
+
+    #[test]
+    fn routes_any_permutation_in_one_step() {
+        let cic = Cic::new(7); // not a power of two — fine for a CIC
+        let d = Permutation::from_destinations(vec![6, 5, 4, 3, 2, 1, 0]).unwrap();
+        let (ok, stats) = route_permutation(&cic, &d);
+        assert!(ok);
+        assert_eq!(stats.steps, 1);
+        assert_eq!(stats.exchanges, 6); // the fixed point 3 does not move
+    }
+
+    #[test]
+    fn identity_moves_nothing() {
+        let cic = Cic::new(4);
+        let (out, stats) = cic.route(records_for(&Permutation::identity(4)));
+        assert_eq!(stats.exchanges, 0);
+        assert!(crate::machine::is_routed(&out));
+    }
+
+    #[test]
+    #[should_panic(expected = "record count")]
+    fn rejects_wrong_length() {
+        let cic = Cic::new(4);
+        let _ = cic.route(vec![(0u32, ())]);
+    }
+}

@@ -1,0 +1,295 @@
+//! The paper's concluding §IV proposal: an SIMD computer with **two**
+//! interconnection networks.
+//!
+//! > "We propose an SIMD computer with two interconnection networks as
+//! > follows. 1) A network `E(n)` providing direct connections between
+//! > PEs, hence capable of performing some permutations in `O(1)` time
+//! > … 2) The self-routing Benes network `B(n)` with `O(log N)` delay.
+//! > … Then some permutations are performed more efficiently through
+//! > `E(n)`, while some others via `B(n)`."
+//!
+//! The paper's argument for `B(n)` even though `E(n)` can simulate it in
+//! `O(log N)` *routing steps*: "each routing step involves broadcasting
+//! an instruction to all PEs, and gating data from register of one PE to
+//! that of another PE. Therefore, much less time is required to perform
+//! the permutation through `B(n)`" — a routing step costs `κ ≫ 1` gate
+//! delays, while a `B(n)` stage costs one switch delay.
+//!
+//! [`DualMachine`] makes the proposal executable: it plans each
+//! permutation onto the cheaper path under an explicit cost model
+//! (`κ` = gate-delays per SIMD routing step), executes the chosen path,
+//! and reports the decision. Direct `E(n)` wins exactly for its
+//! single-hop permutations (shuffle, unshuffle, neighbour exchange —
+//! 1 routing step); everything else in `F(n)` goes through the Benes
+//! side at `2·log N − 1` switch delays versus `κ·(4·log N − 3)` for the
+//! PSC simulation.
+
+use benes_perm::bpc::Bpc;
+use benes_perm::Permutation;
+
+use crate::machine::{Record, RouteStats};
+use crate::psc::Psc;
+
+/// Which path a [`DualMachine`] chose for a permutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutePlan {
+    /// A single `E(n)` link operation (shuffle, unshuffle or exchange):
+    /// one routing step.
+    DirectLink {
+        /// Cost in gate delays: `κ`.
+        gate_delays: u64,
+    },
+    /// The attached self-routing Benes network: `2·log N − 1` switch
+    /// delays, zero set-up.
+    BenesNetwork {
+        /// Cost in gate delays: `2·log N − 1`.
+        gate_delays: u64,
+    },
+    /// Simulation of the network on the `E(n)` links (the §III
+    /// algorithm): `4·log N − 3` routing steps. Chosen only when the
+    /// Benes side is disabled.
+    LinkSimulation {
+        /// Cost in gate delays: `κ·(4·log N − 3)`.
+        gate_delays: u64,
+    },
+}
+
+impl RoutePlan {
+    /// The plan's cost in gate delays.
+    #[must_use]
+    pub fn gate_delays(&self) -> u64 {
+        match *self {
+            Self::DirectLink { gate_delays }
+            | Self::BenesNetwork { gate_delays }
+            | Self::LinkSimulation { gate_delays } => gate_delays,
+        }
+    }
+}
+
+/// An SIMD machine with perfect-shuffle `E(n)` links and an attached
+/// self-routing `B(n)` network (§IV of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use benes_simd::dual::{DualMachine, RoutePlan};
+/// use benes_perm::bpc::Bpc;
+///
+/// let m = DualMachine::new(4, 20); // κ = 20 gate delays per routing step
+///
+/// // The perfect shuffle is one E(n) link hop: direct wins.
+/// let shuffle = Bpc::perfect_shuffle(4).to_permutation();
+/// assert!(matches!(m.plan(&shuffle), RoutePlan::DirectLink { gate_delays: 20 }));
+///
+/// // Bit reversal is not a link pattern: the Benes side wins.
+/// let rev = Bpc::bit_reversal(4).to_permutation();
+/// assert!(matches!(m.plan(&rev), RoutePlan::BenesNetwork { gate_delays: 7 }));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DualMachine {
+    n: u32,
+    psc: Psc,
+    benes_enabled: bool,
+    /// Gate delays consumed by one SIMD routing step (instruction
+    /// broadcast + inter-PE register gating).
+    kappa: u64,
+}
+
+impl DualMachine {
+    /// Builds the dual machine with `N = 2^n` PEs and routing-step cost
+    /// `κ` (gate delays). The paper's premise is `κ ≫ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range for the PSC or `κ == 0`.
+    #[must_use]
+    pub fn new(n: u32, kappa: u64) -> Self {
+        assert!(kappa >= 1, "a routing step costs at least one gate delay");
+        Self { n, psc: Psc::new(n), benes_enabled: true, kappa }
+    }
+
+    /// The same machine with the Benes attachment removed (for the
+    /// ablation: everything must fall back to link simulation).
+    #[must_use]
+    pub fn without_benes(mut self) -> Self {
+        self.benes_enabled = false;
+        self
+    }
+
+    /// The number of PEs.
+    #[must_use]
+    pub fn pe_count(&self) -> usize {
+        self.psc.pe_count()
+    }
+
+    /// Whether `perm` is realizable by a **single** `E(n)` link
+    /// operation: the identity (no-op), the perfect shuffle, the
+    /// unshuffle, or the full neighbour exchange.
+    #[must_use]
+    pub fn is_single_link(&self, perm: &Permutation) -> bool {
+        if perm.is_identity() {
+            return true;
+        }
+        let n = self.n;
+        let shuffle = Bpc::perfect_shuffle(n).to_permutation();
+        let unshuffle = Bpc::unshuffle(n).to_permutation();
+        let exchange =
+            Permutation::from_fn(self.pe_count(), |i| i ^ 1).expect("valid");
+        *perm == shuffle || *perm == unshuffle || *perm == exchange
+    }
+
+    /// Plans the cheaper path for `perm` under the cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm.len() != pe_count()`.
+    #[must_use]
+    pub fn plan(&self, perm: &Permutation) -> RoutePlan {
+        assert_eq!(perm.len(), self.pe_count(), "permutation length must be N");
+        if perm.is_identity() {
+            return RoutePlan::DirectLink { gate_delays: 0 };
+        }
+        if self.is_single_link(perm) {
+            return RoutePlan::DirectLink { gate_delays: self.kappa };
+        }
+        if self.benes_enabled {
+            RoutePlan::BenesNetwork { gate_delays: 2 * u64::from(self.n) - 1 }
+        } else {
+            RoutePlan::LinkSimulation {
+                gate_delays: self.kappa * (4 * u64::from(self.n) - 3),
+            }
+        }
+    }
+
+    /// Executes the planned path for an `F(n)` record vector; returns the
+    /// routed records, the plan taken, and the `E(n)` routing statistics
+    /// (zero when the Benes side carried the data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record count is not `N`.
+    #[must_use]
+    pub fn route<T>(
+        &self,
+        perm: &Permutation,
+        records: Vec<Record<T>>,
+    ) -> (Vec<Record<T>>, RoutePlan, RouteStats) {
+        assert_eq!(records.len(), self.pe_count(), "record count must be N");
+        let plan = self.plan(perm);
+        match plan {
+            RoutePlan::DirectLink { .. } => {
+                // One masked link operation realizes the permutation.
+                let mut out: Vec<Option<Record<T>>> =
+                    (0..records.len()).map(|_| None).collect();
+                for (i, r) in records.into_iter().enumerate() {
+                    out[perm.destination(i) as usize] = Some(r);
+                }
+                let stats = RouteStats {
+                    steps: u64::from(!perm.is_identity()),
+                    unit_routes: u64::from(!perm.is_identity()),
+                    exchanges: 0,
+                };
+                (out.into_iter().map(|r| r.expect("filled")).collect(), plan, stats)
+            }
+            RoutePlan::BenesNetwork { .. } => {
+                // Hand the records to the attached network: PE(i) drives
+                // input i and reads output i.
+                let net = benes_core::Benes::new(self.n);
+                let (out, _) = net
+                    .self_route_records(records)
+                    .expect("record count validated");
+                (out, plan, RouteStats::new())
+            }
+            RoutePlan::LinkSimulation { .. } => {
+                let (out, stats) = self.psc.route_f(records);
+                (out, plan, stats)
+            }
+        }
+    }
+
+    /// The speed-up of the Benes attachment over link simulation for a
+    /// generic `F(n)` permutation: `κ·(4n − 3) / (2n − 1)` — approaches
+    /// `2κ` for large `N`, which is the paper's "much less time" made
+    /// quantitative.
+    #[must_use]
+    pub fn benes_speedup(&self) -> f64 {
+        (self.kappa * (4 * u64::from(self.n) - 3)) as f64
+            / (2 * u64::from(self.n) - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{records_for, verify_routed};
+    use benes_perm::omega::cyclic_shift;
+
+    #[test]
+    fn single_link_patterns_take_the_direct_path() {
+        let m = DualMachine::new(4, 25);
+        for p in [
+            Permutation::identity(16),
+            Bpc::perfect_shuffle(4).to_permutation(),
+            Bpc::unshuffle(4).to_permutation(),
+            Permutation::from_fn(16, |i| i ^ 1).unwrap(),
+        ] {
+            assert!(matches!(m.plan(&p), RoutePlan::DirectLink { .. }), "{p}");
+            let (out, _, _) = m.route(&p, records_for(&p));
+            assert!(verify_routed(&p, &out));
+        }
+        assert_eq!(m.plan(&Permutation::identity(16)).gate_delays(), 0);
+    }
+
+    #[test]
+    fn generic_f_permutations_take_the_benes_side() {
+        let m = DualMachine::new(5, 25);
+        for p in [
+            Bpc::bit_reversal(5).to_permutation(),
+            cyclic_shift(5, 7),
+            Bpc::vector_reversal(5).to_permutation(),
+        ] {
+            let plan = m.plan(&p);
+            assert!(matches!(plan, RoutePlan::BenesNetwork { .. }), "{p}");
+            assert_eq!(plan.gate_delays(), 9); // 2n − 1
+            let (out, _, stats) = m.route(&p, records_for(&p));
+            assert!(verify_routed(&p, &out));
+            assert_eq!(stats.steps, 0, "no E(n) routing steps consumed");
+        }
+    }
+
+    #[test]
+    fn ablation_without_benes_falls_back_to_simulation() {
+        let m = DualMachine::new(4, 25).without_benes();
+        let p = Bpc::bit_reversal(4).to_permutation();
+        let plan = m.plan(&p);
+        assert!(matches!(plan, RoutePlan::LinkSimulation { .. }));
+        assert_eq!(plan.gate_delays(), 25 * 13); // κ·(4n−3)
+        let (out, _, stats) = m.route(&p, records_for(&p));
+        assert!(verify_routed(&p, &out));
+        assert_eq!(stats.unit_routes, 13);
+    }
+
+    #[test]
+    fn benes_attachment_is_much_faster_for_realistic_kappa() {
+        // §IV: "much less time … through B(n)". With any κ > 1 the
+        // attachment wins; the advantage approaches 2κ.
+        for n in [4u32, 8, 16] {
+            for kappa in [2u64, 10, 50] {
+                let m = DualMachine::new(n, kappa);
+                assert!(m.benes_speedup() > kappa as f64 * 1.5);
+                assert!(m.benes_speedup() < kappa as f64 * 2.5);
+            }
+        }
+    }
+
+    #[test]
+    fn direct_wins_over_benes_only_for_link_patterns() {
+        // For single-link patterns with small κ, the direct path is
+        // cheaper than even the Benes network.
+        let m = DualMachine::new(6, 3);
+        let shuffle = Bpc::perfect_shuffle(6).to_permutation();
+        assert_eq!(m.plan(&shuffle).gate_delays(), 3);
+        let generic = cyclic_shift(6, 5);
+        assert_eq!(m.plan(&generic).gate_delays(), 11);
+    }
+}

@@ -1,0 +1,64 @@
+//! SIMD machine simulators and the parallel permutation algorithms of
+//! §III of the paper.
+//!
+//! §I of the paper defines four SIMD models distinguished by their fixed
+//! interconnection pattern; §III shows that *simulating* the self-routing
+//! Benes network on them yields permutation algorithms for the class
+//! `F(n)` with **no pre-processing**:
+//!
+//! | machine | links per PE | `F(n)` permutation cost |
+//! |---|---|---|
+//! | [CIC](cic::Cic) (completely interconnected) | `N − 1` | 1 step |
+//! | [CCC](ccc::Ccc) (cube connected) | `log N` | `2·log N − 1` masked interchanges |
+//! | [PSC](psc::Psc) (perfect shuffle) | 3 | `4·log N − 3` unit-routes |
+//! | [MCC](mcc::Mcc) (`√N × √N` mesh) | 4 | `7·√N − 8` unit-routes |
+//!
+//! Each machine module implements the paper's algorithm verbatim (masked
+//! register interchanges controlled by destination-tag bits) together with
+//! the shortcut variants: skip the first `n−1` iterations for `Ω(n)`
+//! permutations, the last `n−1` for `Ω⁻¹(n)`, and iteration `b` whenever a
+//! BPC permutation has `A_b = +b` (no routing across that cube dimension).
+//!
+//! [`dual`] realizes the paper's §IV concluding proposal — an SIMD
+//! machine with both direct `E(n)` links and an attached self-routing
+//! `B(n)` — and plans each permutation onto the cheaper path.
+//!
+//! [`sort_route`] provides the baseline §III contrasts against: routing an
+//! *arbitrary* permutation by bitonic sorting on destination tags —
+//! `O(log² N)` steps on a CCC/PSC versus the `O(log N)` of the `F(n)`
+//! algorithm.
+//!
+//! Unit-route accounting follows the paper's cost model exactly; see each
+//! machine's documentation.
+//!
+//! # Quick start
+//!
+//! ```
+//! use benes_simd::ccc::Ccc;
+//! use benes_perm::bpc::Bpc;
+//!
+//! let ccc = Ccc::new(3); // 8 PEs
+//! let perm = Bpc::bit_reversal(3).to_permutation();
+//! let records: Vec<(u32, char)> = perm
+//!     .destinations()
+//!     .iter()
+//!     .zip('a'..)
+//!     .map(|(&d, c)| (d, c))
+//!     .collect();
+//! let (out, stats) = ccc.route_f(records);
+//! assert!(out.iter().enumerate().all(|(i, r)| r.0 == i as u32));
+//! assert_eq!(stats.steps, 5); // 2·log N − 1
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ccc;
+pub mod cic;
+pub mod dual;
+pub mod machine;
+pub mod mcc;
+pub mod psc;
+pub mod sort_route;
+
+pub use machine::{Record, RouteStats};

@@ -1,0 +1,126 @@
+//! Shared record and accounting types for the SIMD machine simulators.
+
+use std::fmt;
+
+/// One PE's routing register contents: `(destination tag, payload)` — the
+/// paper's `⟨R(i), D(i)⟩` with the roles swapped into Rust tuple order
+/// (`D` first because the algorithms dispatch on it).
+pub type Record<T> = (u32, T);
+
+/// Routing cost accounting in the paper's model.
+///
+/// * `steps` — SIMD instructions that move data between PEs (each masked
+///   interchange, shuffle, unshuffle or unit shift is one step issued to
+///   all PEs in lockstep);
+/// * `unit_routes` — total unit-routes: data movements across single
+///   machine links, weighted by distance on the mesh (an interchange of
+///   records `2^k` apart costs `2·2^k` unit-routes, `2^k` in each
+///   direction);
+/// * `exchanges` — how many PE pairs actually swapped (a diagnostic; SIMD
+///   cost is charged whether or not a particular pair's mask was true).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RouteStats {
+    /// SIMD data-movement instructions issued.
+    pub steps: u64,
+    /// Unit-routes consumed (distance-weighted on the mesh).
+    pub unit_routes: u64,
+    /// PE pairs that actually exchanged records.
+    pub exchanges: u64,
+}
+
+impl RouteStats {
+    /// A zeroed accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds another accumulator's counts.
+    pub fn absorb(&mut self, other: RouteStats) {
+        self.steps += other.steps;
+        self.unit_routes += other.unit_routes;
+        self.exchanges += other.exchanges;
+    }
+
+    /// The paper's two-word interchange figure: if `⟨R, D⟩` needs two
+    /// machine words, every interchange doubles to two unit-routes
+    /// (`4·log N − 2` on the CCC instead of `2·log N − 1`).
+    #[must_use]
+    pub fn unit_routes_two_word(&self) -> u64 {
+        2 * self.unit_routes
+    }
+}
+
+impl fmt::Display for RouteStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} steps, {} unit-routes, {} exchanges",
+            self.steps, self.unit_routes, self.exchanges
+        )
+    }
+}
+
+/// Whether every record sits at the PE its tag names.
+#[must_use]
+pub fn is_routed<T>(records: &[Record<T>]) -> bool {
+    records.iter().enumerate().all(|(i, r)| r.0 == i as u32)
+}
+
+/// Builds the record vector for routing `perm` with payload = source PE
+/// index: PE `i` starts with `⟨D_i, i⟩`.
+#[must_use]
+pub fn records_for(perm: &benes_perm::Permutation) -> Vec<Record<u32>> {
+    perm.destinations()
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| (d, i as u32))
+        .collect()
+}
+
+/// Checks a routed result against the permutation it came from: PE `o`
+/// must hold tag `o` and the payload of the source PE `perm⁻¹(o)`.
+#[must_use]
+pub fn verify_routed(perm: &benes_perm::Permutation, records: &[Record<u32>]) -> bool {
+    if records.len() != perm.len() {
+        return false;
+    }
+    let inv = perm.inverse();
+    records
+        .iter()
+        .enumerate()
+        .all(|(o, &(tag, payload))| tag == o as u32 && payload == inv.destination(o))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use benes_perm::Permutation;
+
+    #[test]
+    fn stats_absorb_and_double() {
+        let mut a = RouteStats { steps: 2, unit_routes: 3, exchanges: 1 };
+        a.absorb(RouteStats { steps: 1, unit_routes: 2, exchanges: 0 });
+        assert_eq!(a, RouteStats { steps: 3, unit_routes: 5, exchanges: 1 });
+        assert_eq!(a.unit_routes_two_word(), 10);
+        assert_eq!(a.to_string(), "3 steps, 5 unit-routes, 1 exchanges");
+    }
+
+    #[test]
+    fn routed_detection() {
+        assert!(is_routed::<()>(&[(0, ()), (1, ()), (2, ())]));
+        assert!(!is_routed::<()>(&[(1, ()), (0, ())]));
+    }
+
+    #[test]
+    fn record_construction_and_verification() {
+        let p = Permutation::from_destinations(vec![2, 0, 1]).unwrap();
+        let recs = records_for(&p);
+        assert_eq!(recs, vec![(2, 0), (0, 1), (1, 2)]);
+        // Simulate perfect routing: place record with tag o at slot o.
+        let mut routed = recs.clone();
+        routed.sort_by_key(|r| r.0);
+        assert!(verify_routed(&p, &routed));
+        assert!(!verify_routed(&p, &recs));
+    }
+}

@@ -1,0 +1,290 @@
+//! The perfect shuffle computer (PSC) and the paper's §III permutation
+//! algorithm for it.
+//!
+//! In an `N = 2^n` PE shuffle machine, `PE(i)` has three links:
+//! **exchange** to `PE(i^{(0)})`, **shuffle** to the PE whose index is the
+//! left-rotation of `i`, and **unshuffle** to the right-rotation. The
+//! `F(n)` algorithm simulates the CCC loop by rotating the dimension of
+//! interest down to bit 0:
+//!
+//! ```text
+//! for b := 0 to n−2 do
+//!     EXCHANGE ⟨R(i), D(i)⟩,  (i)_0 = 0 and (D(i))_b = 1
+//!     UNSHUFFLE ⟨R(i), D(i)⟩
+//! end
+//! EXCHANGE ⟨R(i), D(i)⟩,  (i)_0 = 0 and (D(i))_{n−1} = 1
+//! for b := n−2 down to 0 do
+//!     SHUFFLE ⟨R(i), D(i)⟩
+//!     EXCHANGE ⟨R(i), D(i)⟩,  (i)_0 = 0 and (D(i))_b = 1
+//! end
+//! ```
+//!
+//! Unit-routes: `(n−1)·2 + 1 + (n−1)·2 = 4·log N − 3`. For an `Ω(n)`
+//! permutation the first loop collapses to a single shuffle per
+//! iteration.
+
+use benes_bits::{bit, shuffle, unshuffle};
+use benes_perm::Permutation;
+
+use crate::machine::{Record, RouteStats};
+
+/// An `N = 2^n` PE perfect shuffle computer.
+///
+/// # Examples
+///
+/// ```
+/// use benes_simd::psc::Psc;
+/// use benes_simd::machine::{is_routed, records_for};
+/// use benes_perm::bpc::Bpc;
+///
+/// let psc = Psc::new(3);
+/// let perm = Bpc::bit_reversal(3).to_permutation();
+/// let (out, stats) = psc.route_f(records_for(&perm));
+/// assert!(is_routed(&out));
+/// assert_eq!(stats.unit_routes, 9); // 4·log N − 3
+/// ```
+#[derive(Debug, Clone)]
+pub struct Psc {
+    n: u32,
+}
+
+impl Psc {
+    /// Builds an `N = 2^n` PE shuffle machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 24`.
+    #[must_use]
+    pub fn new(n: u32) -> Self {
+        assert!((1..=24).contains(&n), "PSC requires 1 <= n <= 24");
+        Self { n }
+    }
+
+    /// The index width `n = log N`.
+    #[must_use]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// The number of PEs, `N = 2^n`.
+    #[must_use]
+    pub fn pe_count(&self) -> usize {
+        1usize << self.n
+    }
+
+    /// The number of direct links per PE (exchange, shuffle, unshuffle).
+    #[must_use]
+    pub fn links_per_pe(&self) -> u32 {
+        3
+    }
+
+    /// Masked EXCHANGE on destination bit `b`: each even PE swaps records
+    /// with its odd neighbour iff bit `b` of the even PE's tag is 1.
+    /// One SIMD step, one unit-route.
+    pub fn exchange<T>(&self, records: &mut [Record<T>], b: u32, stats: &mut RouteStats) {
+        debug_assert_eq!(records.len(), self.pe_count());
+        for i in (0..records.len()).step_by(2) {
+            if bit(u64::from(records[i].0), b) == 1 {
+                records.swap(i, i + 1);
+                stats.exchanges += 1;
+            }
+        }
+        stats.steps += 1;
+        stats.unit_routes += 1;
+    }
+
+    /// SHUFFLE: the record at `PE(i)` moves to `PE(rotate-left(i))`.
+    /// One SIMD step, one unit-route.
+    pub fn shuffle_step<T>(&self, records: &mut Vec<Record<T>>, stats: &mut RouteStats) {
+        debug_assert_eq!(records.len(), self.pe_count());
+        let mut next: Vec<Option<Record<T>>> = (0..records.len()).map(|_| None).collect();
+        for (i, r) in records.drain(..).enumerate() {
+            next[shuffle(i as u64, self.n) as usize] = Some(r);
+        }
+        *records = next.into_iter().map(|r| r.expect("PE filled")).collect();
+        stats.steps += 1;
+        stats.unit_routes += 1;
+    }
+
+    /// UNSHUFFLE: the record at `PE(i)` moves to `PE(rotate-right(i))`.
+    /// One SIMD step, one unit-route.
+    pub fn unshuffle_step<T>(
+        &self,
+        records: &mut Vec<Record<T>>,
+        stats: &mut RouteStats,
+    ) {
+        debug_assert_eq!(records.len(), self.pe_count());
+        let mut next: Vec<Option<Record<T>>> = (0..records.len()).map(|_| None).collect();
+        for (i, r) in records.drain(..).enumerate() {
+            next[unshuffle(i as u64, self.n) as usize] = Some(r);
+        }
+        *records = next.into_iter().map(|r| r.expect("PE filled")).collect();
+        stats.steps += 1;
+        stats.unit_routes += 1;
+    }
+
+    /// Routes an `F(n)` record vector with the paper's PSC code
+    /// (`4·log N − 3` unit-routes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records.len() != pe_count()`.
+    #[must_use]
+    pub fn route_f<T>(&self, mut records: Vec<Record<T>>) -> (Vec<Record<T>>, RouteStats) {
+        assert_eq!(records.len(), self.pe_count(), "record count must be N");
+        let n = self.n;
+        let mut stats = RouteStats::new();
+        for b in 0..n - 1 {
+            self.exchange(&mut records, b, &mut stats);
+            self.unshuffle_step(&mut records, &mut stats);
+        }
+        self.exchange(&mut records, n - 1, &mut stats);
+        for b in (0..n - 1).rev() {
+            self.shuffle_step(&mut records, &mut stats);
+            self.exchange(&mut records, b, &mut stats);
+        }
+        (records, stats)
+    }
+
+    /// Routes an `Ω(n)` record vector: "to perform an Ω permutation, the
+    /// first for loop should be replaced by a shuffle on ⟨R(i), D(i)⟩" —
+    /// a **single** shuffle achieves the same index alignment as the
+    /// `n−1` exchange/unshuffle rounds (`rol¹ = ror^{n−1}`), because the
+    /// skipped exchanges would all be no-ops for an omega permutation.
+    ///
+    /// Unit-routes: `1 + 1 + 2(n−1) = 2·log N`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records.len() != pe_count()`.
+    #[must_use]
+    pub fn route_omega<T>(
+        &self,
+        mut records: Vec<Record<T>>,
+    ) -> (Vec<Record<T>>, RouteStats) {
+        assert_eq!(records.len(), self.pe_count(), "record count must be N");
+        let n = self.n;
+        let mut stats = RouteStats::new();
+        self.shuffle_step(&mut records, &mut stats);
+        self.exchange(&mut records, n - 1, &mut stats);
+        for b in (0..n - 1).rev() {
+            self.shuffle_step(&mut records, &mut stats);
+            self.exchange(&mut records, b, &mut stats);
+        }
+        (records, stats)
+    }
+}
+
+/// Routes `perm` on an `n`-PSC and reports `(success, stats)`.
+///
+/// # Panics
+///
+/// Panics if `perm.len()` is not `2^n` for the given machine.
+#[must_use]
+pub fn route_permutation(psc: &Psc, perm: &Permutation) -> (bool, RouteStats) {
+    let (out, stats) = psc.route_f(crate::machine::records_for(perm));
+    (crate::machine::verify_routed(perm, &out), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ccc::Ccc;
+    use crate::machine::{records_for, verify_routed};
+    use benes_core::class_f::is_in_f;
+    use benes_perm::omega::is_omega;
+
+    fn all_perms(len: u32) -> Vec<Permutation> {
+        fn rec(rem: &mut Vec<u32>, cur: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+            if rem.is_empty() {
+                out.push(cur.clone());
+                return;
+            }
+            for idx in 0..rem.len() {
+                let v = rem.remove(idx);
+                cur.push(v);
+                rec(rem, cur, out);
+                cur.pop();
+                rem.insert(idx, v);
+            }
+        }
+        let mut out = Vec::new();
+        rec(&mut (0..len).collect(), &mut Vec::new(), &mut out);
+        out.into_iter()
+            .map(|d| Permutation::from_destinations(d).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn psc_succeeds_exactly_on_f_n3() {
+        let psc = Psc::new(3);
+        for d in all_perms(8) {
+            let (ok, _) = route_permutation(&psc, &d);
+            assert_eq!(ok, is_in_f(&d), "D = {d}");
+        }
+    }
+
+    #[test]
+    fn psc_and_ccc_agree() {
+        let psc = Psc::new(3);
+        let ccc = Ccc::new(3);
+        for d in all_perms(8) {
+            let (psc_out, _) = psc.route_f(records_for(&d));
+            let (ccc_out, _) = ccc.route_f(records_for(&d));
+            assert_eq!(psc_out, ccc_out, "D = {d}");
+        }
+    }
+
+    #[test]
+    fn unit_route_count_is_4n_minus_3() {
+        for n in 1..10u32 {
+            let psc = Psc::new(n);
+            let (_, stats) = psc.route_f(records_for(&Permutation::identity(1 << n)));
+            assert_eq!(stats.unit_routes, 4 * u64::from(n) - 3);
+        }
+    }
+
+    #[test]
+    fn omega_variant_succeeds_with_2n_routes() {
+        let psc = Psc::new(3);
+        for d in all_perms(8) {
+            if is_omega(&d) {
+                let (out, stats) = psc.route_omega(records_for(&d));
+                assert!(verify_routed(&d, &out), "Ω perm {d}");
+                assert_eq!(stats.unit_routes, 2 * 3);
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_then_unshuffle_is_identity() {
+        let psc = Psc::new(4);
+        let mut records: Vec<Record<u32>> =
+            (0..16u32).map(|i| (i, i * 100)).collect();
+        let original = records.clone();
+        let mut stats = RouteStats::new();
+        psc.shuffle_step(&mut records, &mut stats);
+        assert_ne!(records, original);
+        psc.unshuffle_step(&mut records, &mut stats);
+        assert_eq!(records, original);
+        assert_eq!(stats.unit_routes, 2);
+    }
+
+    #[test]
+    fn structured_permutations_route_large() {
+        use benes_perm::bpc::Bpc;
+        use benes_perm::omega::cyclic_shift;
+        for n in [4u32, 6, 8] {
+            let psc = Psc::new(n);
+            for d in [
+                Bpc::bit_reversal(n).to_permutation(),
+                Bpc::matrix_transpose(n).to_permutation(),
+                cyclic_shift(n, 5),
+            ] {
+                let (ok, stats) = route_permutation(&psc, &d);
+                assert!(ok, "n = {n}");
+                assert_eq!(stats.unit_routes, 4 * u64::from(n) - 3);
+            }
+        }
+    }
+}

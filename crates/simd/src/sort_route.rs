@@ -1,0 +1,221 @@
+//! The sorting-based baseline for **arbitrary** permutations (§III).
+//!
+//! "Another method for performing a permutation `D` is to sort the records
+//! `⟨R(i), D(i)⟩` using `D` as the sort key. Batcher's bitonic sort
+//! algorithm yields a permutation algorithm with time complexity
+//! `O(log² N)` for a CCC or PSC and `O(√N)` for an MCC. These are the
+//! asymptotically best known algorithms for performing an arbitrary
+//! permutation on these machines."
+//!
+//! This module runs Batcher's schedule (shared with
+//! [`benes_networks::bitonic`]) on the cube and mesh cost models:
+//!
+//! * on the **CCC**, a compare-exchange across dimension `j` costs 2
+//!   unit-routes (ship the partner's record over, return the loser), for
+//!   `n(n+1)` unit-routes total — `O(log² N)` versus the `F(n)`
+//!   algorithm's `2·log N − 1`;
+//! * on the **MCC**, the same step across dimension `j` costs
+//!   `2·2^{j mod (n/2)}` unit-routes, summing to
+//!   `(n/2 + 8)·√N − (2n + 8)` — `O(√N)` like the `F(n)` algorithm but
+//!   with a larger constant, exactly the paper's contrast.
+//!
+//! The sort handles **every** permutation; the point of the comparison is
+//! what the `F(n)` restriction buys.
+
+use benes_networks::bitonic::BitonicSorter;
+use benes_perm::Permutation;
+
+use crate::machine::{Record, RouteStats};
+use crate::mcc::Mcc;
+
+/// Routes an arbitrary permutation's records on an `n`-cube by bitonic
+/// sorting on the destination tags, counting 2 unit-routes per
+/// compare-exchange level.
+///
+/// # Panics
+///
+/// Panics if the record count is not `2^n` with `1 ≤ n ≤ 24`.
+#[must_use]
+pub fn bitonic_route_ccc<T>(records: Vec<Record<T>>) -> (Vec<Record<T>>, RouteStats) {
+    let n = benes_bits::log2_exact(records.len() as u64)
+        .expect("record count must be a power of two");
+    assert!(n >= 1, "need at least two PEs");
+    let sorter = BitonicSorter::new(n);
+    let mut records = records;
+    let mut stats = RouteStats::new();
+    for stage in sorter.schedule() {
+        compare_exchange_level(&mut records, stage.distance_bit, stage.region_bit, &mut stats);
+        stats.unit_routes += 2;
+    }
+    (records, stats)
+}
+
+/// Routes an arbitrary permutation's records on a `√N × √N` mesh by
+/// bitonic sorting, with distance-weighted unit-route accounting.
+///
+/// # Panics
+///
+/// Panics if the record count is not `2^n` with even `n`.
+#[must_use]
+pub fn bitonic_route_mcc<T>(
+    mcc: &Mcc,
+    records: Vec<Record<T>>,
+) -> (Vec<Record<T>>, RouteStats) {
+    assert_eq!(records.len(), mcc.pe_count(), "record count must be N");
+    let sorter = BitonicSorter::new(mcc.n());
+    let mut records = records;
+    let mut stats = RouteStats::new();
+    for stage in sorter.schedule() {
+        compare_exchange_level(&mut records, stage.distance_bit, stage.region_bit, &mut stats);
+        stats.unit_routes += 2 * mcc.dimension_distance(stage.distance_bit);
+    }
+    (records, stats)
+}
+
+/// One bitonic compare-exchange level across index bit `j` (region bit
+/// `k`): counts one SIMD step; unit-routes are charged by the caller.
+fn compare_exchange_level<T>(
+    records: &mut [Record<T>],
+    j: u32,
+    k: u32,
+    stats: &mut RouteStats,
+) {
+    let d = 1usize << j;
+    for i in 0..records.len() {
+        let partner = i | d;
+        if partner == i || partner >= records.len() {
+            continue;
+        }
+        if i & d != 0 {
+            continue;
+        }
+        let ascending = benes_bits::bit(i as u64, k + 1) == 0;
+        let out_of_order = records[i].0 > records[partner].0;
+        if out_of_order == ascending {
+            records.swap(i, partner);
+            stats.exchanges += 1;
+        }
+    }
+    stats.steps += 1;
+}
+
+/// Routes `perm` by sorting on the cube; `(success, stats)` — success is
+/// unconditional for a sorter.
+///
+/// # Panics
+///
+/// Panics if `perm.len()` is not a power of two.
+#[must_use]
+pub fn route_permutation_ccc(perm: &Permutation) -> (bool, RouteStats) {
+    let (out, stats) = bitonic_route_ccc(crate::machine::records_for(perm));
+    (crate::machine::verify_routed(perm, &out), stats)
+}
+
+/// Closed form for the cube sort's unit-routes: `n(n+1)` (2 per level,
+/// `n(n+1)/2` levels).
+#[must_use]
+pub fn ccc_sort_unit_routes(n: u32) -> u64 {
+    u64::from(n) * u64::from(n + 1)
+}
+
+/// Closed form for the mesh sort's unit-routes, summing
+/// `2·2^{j mod (n/2)}` over Batcher's schedule.
+#[must_use]
+pub fn mcc_sort_unit_routes(n: u32) -> u64 {
+    assert!(n >= 2 && n.is_multiple_of(2), "mesh requires even n >= 2");
+    let h = n / 2;
+    let mut total = 0u64;
+    for k in 0..n {
+        for j in (0..=k).rev() {
+            total += 2 * (1u64 << (j % h));
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ccc::Ccc;
+    use crate::machine::{records_for, verify_routed};
+
+    fn all_perms(len: u32) -> Vec<Permutation> {
+        fn rec(rem: &mut Vec<u32>, cur: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+            if rem.is_empty() {
+                out.push(cur.clone());
+                return;
+            }
+            for idx in 0..rem.len() {
+                let v = rem.remove(idx);
+                cur.push(v);
+                rec(rem, cur, out);
+                cur.pop();
+                rem.insert(idx, v);
+            }
+        }
+        let mut out = Vec::new();
+        rec(&mut (0..len).collect(), &mut Vec::new(), &mut out);
+        out.into_iter()
+            .map(|d| Permutation::from_destinations(d).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn sorts_every_permutation_n3() {
+        for d in all_perms(8) {
+            let (ok, _) = route_permutation_ccc(&d);
+            assert!(ok, "bitonic route failed on {d}");
+        }
+    }
+
+    #[test]
+    fn cube_sort_cost_is_quadratic_in_n() {
+        for n in 1..10u32 {
+            let d = Permutation::identity(1 << n);
+            let (out, stats) = bitonic_route_ccc(records_for(&d));
+            assert!(verify_routed(&d, &out));
+            assert_eq!(stats.unit_routes, ccc_sort_unit_routes(n));
+            assert_eq!(stats.steps, u64::from(n) * u64::from(n + 1) / 2);
+        }
+    }
+
+    #[test]
+    fn f_algorithm_beats_sort_on_cube() {
+        // The §III contrast: 2n−1 vs n(n+1) unit-routes.
+        for n in 2..12u32 {
+            let f_routes = 2 * u64::from(n) - 1;
+            assert!(f_routes < ccc_sort_unit_routes(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn mesh_sort_cost_matches_closed_form() {
+        for n in [2u32, 4, 6, 8] {
+            let mcc = Mcc::new(n);
+            let d = Permutation::identity(1 << n);
+            let (out, stats) = bitonic_route_mcc(&mcc, records_for(&d));
+            assert!(verify_routed(&d, &out));
+            assert_eq!(stats.unit_routes, mcc_sort_unit_routes(n));
+        }
+    }
+
+    #[test]
+    fn mesh_sort_costs_more_than_f_routing() {
+        // Both are O(√N); the F algorithm's constant (7) is smaller.
+        for n in [4u32, 6, 8, 10] {
+            let side = 1u64 << (n / 2);
+            let f_routes = 7 * side - 8;
+            assert!(mcc_sort_unit_routes(n) > f_routes, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn sort_handles_non_f_permutations_that_cube_routing_cannot() {
+        let fig5 = Permutation::from_destinations(vec![1, 3, 2, 0]).unwrap();
+        let ccc = Ccc::new(2);
+        let (ccc_out, _) = ccc.route_f(records_for(&fig5));
+        assert!(!verify_routed(&fig5, &ccc_out));
+        let (ok, _) = route_permutation_ccc(&fig5);
+        assert!(ok);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the SIMD permutation algorithms.
+
+use benes_core::class_f::is_in_f;
+use benes_perm::bpc::{Bpc, SignedBit};
+use benes_perm::omega::{is_inverse_omega, is_omega, p_ordering_shift};
+use benes_perm::Permutation;
+use benes_simd::ccc::Ccc;
+use benes_simd::machine::{records_for, verify_routed};
+use benes_simd::mcc::Mcc;
+use benes_simd::psc::Psc;
+use benes_simd::sort_route;
+use proptest::prelude::*;
+
+fn arb_permutation(len: usize) -> impl Strategy<Value = Permutation> {
+    Just(()).prop_perturb(move |(), mut rng| {
+        let mut dest: Vec<u32> = (0..len as u32).collect();
+        for i in (1..len).rev() {
+            let j = (rng.random::<u64>() % (i as u64 + 1)) as usize;
+            dest.swap(i, j);
+        }
+        Permutation::from_destinations(dest).expect("shuffle is a bijection")
+    })
+}
+
+fn arb_bpc(n: u32) -> impl Strategy<Value = Bpc> {
+    (arb_permutation(n as usize), proptest::collection::vec(any::<bool>(), n as usize))
+        .prop_map(move |(positions, signs)| {
+            let entries = positions
+                .destinations()
+                .iter()
+                .zip(signs)
+                .map(|(&p, c)| if c { SignedBit::minus(p) } else { SignedBit::plus(p) })
+                .collect();
+            Bpc::from_entries(entries).expect("valid BPC vector")
+        })
+}
+
+proptest! {
+    /// The CCC algorithm succeeds exactly on F(n) — beyond the exhaustive
+    /// n = 2, 3 unit tests.
+    #[test]
+    fn ccc_success_iff_f(p in arb_permutation(16)) {
+        let (out, _) = Ccc::new(4).route_f(records_for(&p));
+        prop_assert_eq!(verify_routed(&p, &out), is_in_f(&p));
+    }
+
+    /// CCC, PSC and MCC always move data identically (they simulate the
+    /// same network).
+    #[test]
+    fn machines_agree(p in arb_permutation(16)) {
+        let (a, _) = Ccc::new(4).route_f(records_for(&p));
+        let (b, _) = Psc::new(4).route_f(records_for(&p));
+        let (c, _) = Mcc::new(4).route_f(records_for(&p));
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
+    }
+
+    /// The machine simulation agrees with the circuit-level network on
+    /// successful routes.
+    #[test]
+    fn machine_agrees_with_network(b in arb_bpc(4)) {
+        let perm = b.to_permutation();
+        let (machine_out, _) = Ccc::new(4).route_f(records_for(&perm));
+        let net = benes_core::Benes::new(4);
+        let (net_out, _) = net.self_route_records(records_for(&perm)).unwrap();
+        prop_assert_eq!(machine_out, net_out);
+    }
+
+    /// Random BPC permutations route with the A-vector entry point and
+    /// never take more than 2n−1 steps.
+    #[test]
+    fn bpc_entry_point_routes(b in arb_bpc(5)) {
+        let ccc = Ccc::new(5);
+        let (out, stats) = ccc.route_bpc(&b, (0..32u32).collect());
+        prop_assert!(verify_routed(&b.to_permutation(),
+            &out.iter().map(|r| (r.0, r.1)).collect::<Vec<_>>()));
+        prop_assert!(stats.steps <= 9);
+    }
+
+    /// The Ω shortcut never misroutes an Ω permutation; the Ω⁻¹ shortcut
+    /// never misroutes an Ω⁻¹ permutation (affine permutations are both).
+    #[test]
+    fn shortcuts_route_affine(pmul in (0u64..64).prop_map(|v| 2 * v + 1), k in -40i64..40) {
+        let d = p_ordering_shift(5, pmul, k);
+        prop_assert!(is_omega(&d) && is_inverse_omega(&d));
+        let ccc = Ccc::new(5);
+        let (out, stats) = ccc.route_omega(records_for(&d));
+        prop_assert!(verify_routed(&d, &out));
+        prop_assert_eq!(stats.steps, 5);
+        let (out, stats) = ccc.route_inverse_omega(records_for(&d));
+        prop_assert!(verify_routed(&d, &out));
+        prop_assert_eq!(stats.steps, 5);
+    }
+
+    /// The bitonic baseline routes *everything* (including non-F inputs
+    /// the direct algorithm cannot), at its higher cost.
+    #[test]
+    fn sort_route_is_total(p in arb_permutation(32)) {
+        let (ok, stats) = sort_route::route_permutation_ccc(&p);
+        prop_assert!(ok);
+        prop_assert_eq!(stats.unit_routes, sort_route::ccc_sort_unit_routes(5));
+    }
+
+    /// Cost invariants: route counts depend only on N, never on the data.
+    #[test]
+    fn costs_are_data_independent(p in arb_permutation(16), q in arb_permutation(16)) {
+        let ccc = Ccc::new(4);
+        let (_, s1) = ccc.route_f(records_for(&p));
+        let (_, s2) = ccc.route_f(records_for(&q));
+        prop_assert_eq!(s1.steps, s2.steps);
+        prop_assert_eq!(s1.unit_routes, s2.unit_routes);
+        let mcc = Mcc::new(4);
+        let (_, m1) = mcc.route_f(records_for(&p));
+        let (_, m2) = mcc.route_f(records_for(&q));
+        prop_assert_eq!(m1.unit_routes, m2.unit_routes);
+    }
+
+    /// Payloads are never lost or duplicated, in or out of F.
+    #[test]
+    fn no_payload_loss(p in arb_permutation(32)) {
+        let (out, _) = Ccc::new(5).route_f(records_for(&p));
+        let mut payloads: Vec<u32> = out.iter().map(|r| r.1).collect();
+        payloads.sort_unstable();
+        prop_assert_eq!(payloads, (0..32u32).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,58 @@
+//! **benes** — a reproduction of Nassimi & Sahni, *A Self-Routing Benes
+//! Network and Parallel Permutation Algorithms* (1980/81).
+//!
+//! This facade crate re-exports the whole workspace under one roof:
+//!
+//! * [`bits`] — the paper's bit-field notation (`(i)_j`, `(i)_{j..k}`,
+//!   `i^{(b)}`, shuffles, interleaves);
+//! * [`perm`] — permutations and the classes of §II: `BPC(n)` with
+//!   `A`-vectors and all of Table I, `Ω(n)`/`Ω⁻¹(n)` with Lawrie's
+//!   predicates and the six useful generators, Lenfant's FUB families, and
+//!   the J-partition composites of Theorems 4–6;
+//! * [`core`] — the self-routing Benes network itself: circuit model,
+//!   destination-tag self-routing, the omega-bit extension, class `F(n)`
+//!   membership (Theorem 1), Waksman external set-up, pipelined mode, and
+//!   figure-grade route traces;
+//! * [`gates`] — the network synthesized down to actual AND/OR/NOT gates:
+//!   the paper's "simple logic added to each switch", with measured gate
+//!   counts and the `O(log N)` critical path in real gate levels;
+//! * [`networks`] — the §I baselines: omega network, Batcher bitonic
+//!   sorter, crossbar, and the cost model comparing them;
+//! * [`simd`] — the §III machines (CIC, CCC, PSC, MCC) and the
+//!   preprocessing-free `F(n)` permutation algorithms with the paper's
+//!   exact route counts.
+//!
+//! # Example: route a matrix transpose three ways
+//!
+//! ```
+//! use benes::core::Benes;
+//! use benes::perm::bpc::Bpc;
+//! use benes::simd::ccc::Ccc;
+//! use benes::simd::machine::{is_routed, records_for};
+//!
+//! let transpose = Bpc::matrix_transpose(4).to_permutation();
+//!
+//! // 1. On the self-routing hardware network: zero set-up.
+//! let net = Benes::new(4);
+//! assert!(net.self_route(&transpose).is_success());
+//!
+//! // 2. On a 16-PE cube-connected computer: 2·log N − 1 = 7 steps.
+//! let (out, stats) = Ccc::new(4).route_f(records_for(&transpose));
+//! assert!(is_routed(&out));
+//! assert_eq!(stats.steps, 7);
+//!
+//! // 3. With the A-vector shortcut: transpose fixes no bit, still 7 steps,
+//! //    but e.g. the identity would take 0.
+//! let (_, stats) = Ccc::new(4).route_bpc(&Bpc::matrix_transpose(4), vec![0u32; 16]);
+//! assert_eq!(stats.steps, 7);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use benes_bits as bits;
+pub use benes_core as core;
+pub use benes_gates as gates;
+pub use benes_networks as networks;
+pub use benes_perm as perm;
+pub use benes_simd as simd;

@@ -1,0 +1,245 @@
+//! Cross-validation: independent implementations of the same concept must
+//! agree everywhere. This is the repository's strongest defence against a
+//! bug silently "reproducing" the paper.
+
+use benes::core::class_f::{is_in_f, is_in_f_by_simulation};
+use benes::core::{waksman, Benes};
+use benes::networks::{BitonicSorter, InverseOmegaNetwork, OmegaNetwork};
+use benes::perm::bpc::Bpc;
+use benes::perm::omega::{is_inverse_omega, is_omega};
+use benes::perm::Permutation;
+use benes::simd::ccc::Ccc;
+use benes::simd::machine::{records_for, verify_routed};
+use benes::simd::mcc::Mcc;
+use benes::simd::psc::Psc;
+
+fn all_perms(len: u32) -> Vec<Permutation> {
+    fn rec(rem: &mut Vec<u32>, cur: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+        if rem.is_empty() {
+            out.push(cur.clone());
+            return;
+        }
+        for idx in 0..rem.len() {
+            let v = rem.remove(idx);
+            cur.push(v);
+            rec(rem, cur, out);
+            cur.pop();
+            rem.insert(idx, v);
+        }
+    }
+    let mut out = Vec::new();
+    rec(&mut (0..len).collect(), &mut Vec::new(), &mut out);
+    out.into_iter()
+        .map(|d| Permutation::from_destinations(d).expect("valid"))
+        .collect()
+}
+
+/// Five ways to decide "does this permutation self-route?" agree on all
+/// 40320 permutations of 8 elements:
+/// 1. Theorem 1 recursion; 2. circuit simulation; 3. CCC machine;
+/// 4. PSC machine; 5. MCC machine.
+#[test]
+fn five_deciders_agree_exhaustively() {
+    let net = Benes::new(3);
+    let ccc = Ccc::new(3);
+    let psc = Psc::new(3);
+    // MCC needs even n — covered separately below.
+    for d in all_perms(8) {
+        let a = is_in_f(&d);
+        let b = is_in_f_by_simulation(&d);
+        let c = net.self_route(&d).is_success();
+        let (m_out, _) = ccc.route_f(records_for(&d));
+        let m = verify_routed(&d, &m_out);
+        let (p_out, _) = psc.route_f(records_for(&d));
+        let p = verify_routed(&d, &p_out);
+        assert!(a == b && b == c && c == m && m == p, "disagreement on {d}");
+    }
+}
+
+/// The mesh agrees too (n = 4, sampled: all BPC + structured + a sweep of
+/// arbitrary permutations derived deterministically).
+#[test]
+fn mesh_agrees_on_n4() {
+    let mcc = Mcc::new(4);
+    let mut cases: Vec<Permutation> = vec![
+        Bpc::bit_reversal(4).to_permutation(),
+        Bpc::matrix_transpose(4).to_permutation(),
+        benes::perm::omega::cyclic_shift(4, 5),
+    ];
+    // Deterministic pseudo-random sweep, including non-F members.
+    for seed in 0..200u64 {
+        let mut dest: Vec<u32> = (0..16).collect();
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        for i in (1..16usize).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            dest.swap(i, j);
+        }
+        cases.push(Permutation::from_destinations(dest).expect("valid"));
+    }
+    for d in cases {
+        let (out, _) = mcc.route_f(records_for(&d));
+        assert_eq!(verify_routed(&d, &out), is_in_f(&d), "mesh disagreement on {d}");
+    }
+}
+
+/// Lawrie's residue predicates match the physical omega networks on every
+/// permutation of 8 elements.
+#[test]
+fn omega_predicates_match_networks() {
+    let fwd = OmegaNetwork::new(3);
+    let inv = InverseOmegaNetwork::new(3);
+    for d in all_perms(8) {
+        assert_eq!(is_omega(&d), fwd.realizes(&d), "Ω mismatch on {d}");
+        assert_eq!(is_inverse_omega(&d), inv.realizes(&d), "Ω⁻¹ mismatch on {d}");
+    }
+}
+
+/// The omega-bit mode of the Benes network realizes exactly what the
+/// omega network realizes.
+#[test]
+fn omega_bit_equals_omega_network() {
+    let net = Benes::new(3);
+    let omega = OmegaNetwork::new(3);
+    for d in all_perms(8) {
+        assert_eq!(
+            net.self_route_omega(&d).is_success(),
+            omega.realizes(&d),
+            "omega-bit mismatch on {d}"
+        );
+    }
+}
+
+/// Self-routing, Waksman routing and bitonic sorting deliver identical
+/// data placements whenever all are applicable.
+#[test]
+fn three_routers_move_data_identically() {
+    let net = Benes::new(4);
+    let sorter = BitonicSorter::new(4);
+    for b in [
+        Bpc::bit_reversal(4),
+        Bpc::vector_reversal(4),
+        Bpc::shuffled_row_major(4),
+        Bpc::perfect_shuffle(4),
+    ] {
+        let perm = b.to_permutation();
+        let data: Vec<u32> = (100..116).collect();
+
+        let records: Vec<(u32, u32)> = perm
+            .destinations()
+            .iter()
+            .zip(&data)
+            .map(|(&d, &v)| (d, v))
+            .collect();
+        let (self_routed, _) = net.self_route_records(records.clone()).expect("ok");
+
+        let settings = waksman::setup(&perm).expect("ok");
+        let waksman_routed = net.route_with(&settings, &data).expect("ok");
+
+        let sorted = sorter.route_records(records);
+
+        let self_payloads: Vec<u32> = self_routed.iter().map(|r| r.1).collect();
+        let sort_payloads: Vec<u32> = sorted.iter().map(|r| r.1).collect();
+        assert_eq!(self_payloads, waksman_routed, "waksman mismatch on {b}");
+        assert_eq!(self_payloads, sort_payloads, "sorter mismatch on {b}");
+        assert_eq!(self_payloads, perm.apply(&data), "apply mismatch on {b}");
+    }
+}
+
+/// BPC algebra (A-vector composition/inverse) matches permutation algebra
+/// on every BPC(3) member.
+#[test]
+fn bpc_algebra_exhaustive() {
+    let members: Vec<Bpc> = all_perms(8)
+        .iter()
+        .filter_map(Bpc::from_permutation)
+        .collect();
+    assert_eq!(members.len(), 48);
+    for a in &members {
+        assert_eq!(a.inverse().to_permutation(), a.to_permutation().inverse());
+        for b in members.iter().take(8) {
+            assert_eq!(
+                a.then(b).to_permutation(),
+                a.to_permutation().then(&b.to_permutation())
+            );
+        }
+    }
+}
+
+/// Mass agreement at n = 4: four deciders (Theorem 1, circuit, CCC, gate
+/// netlist) on 1500 deterministic pseudo-random permutations plus every
+/// BPC(4) member.
+#[test]
+fn mass_agreement_n4() {
+    let net = Benes::new(4);
+    let ccc = Ccc::new(4);
+    let hw = benes::gates::GateBenes::build(4, 1);
+    let data = vec![0u64; 16];
+    let mut check = |d: &Permutation| {
+        let a = is_in_f(d);
+        assert_eq!(a, net.self_route(d).is_success(), "circuit vs Thm1 on {d}");
+        let (out, _) = ccc.route_f(records_for(d));
+        assert_eq!(a, verify_routed(d, &out), "CCC vs Thm1 on {d}");
+        assert_eq!(a, hw.route(d, &data).is_success(), "gates vs Thm1 on {d}");
+    };
+    let mut state = 41u64;
+    for _ in 0..1500 {
+        let mut dest: Vec<u32> = (0..16).collect();
+        for i in (1..16usize).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            dest.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        check(&Permutation::from_destinations(dest).unwrap());
+    }
+    // All 2^4·4! = 384 BPC(4) members (every one must be in F).
+    let mut bpc_members = 0;
+    for positions in all_perms(4) {
+        for signs in 0u32..16 {
+            let entries = positions
+                .destinations()
+                .iter()
+                .enumerate()
+                .map(|(j, &p)| {
+                    if (signs >> j) & 1 == 1 {
+                        benes::perm::bpc::SignedBit::minus(p)
+                    } else {
+                        benes::perm::bpc::SignedBit::plus(p)
+                    }
+                })
+                .collect();
+            let b = Bpc::from_entries(entries).unwrap();
+            let d = b.to_permutation();
+            assert!(is_in_f(&d), "BPC member {b} not in F(4)");
+            check(&d);
+            bpc_members += 1;
+        }
+    }
+    assert_eq!(bpc_members, 384);
+}
+
+/// Larger-scale spot check: everything agrees at N = 1024 on structured
+/// inputs.
+#[test]
+fn large_scale_agreement() {
+    let n = 10;
+    let net = Benes::new(n);
+    let ccc = Ccc::new(n);
+    let mcc = Mcc::new(n);
+    for d in [
+        Bpc::bit_reversal(n).to_permutation(),
+        Bpc::matrix_transpose(n).to_permutation(),
+        benes::perm::omega::p_ordering_shift(n, 17, 123),
+        benes::perm::omega::segment_cyclic_shift(n, 4, 7),
+    ] {
+        assert!(is_in_f(&d));
+        assert!(net.self_route(&d).is_success());
+        let (out, _) = ccc.route_f(records_for(&d));
+        assert!(verify_routed(&d, &out));
+        let (out, _) = mcc.route_f(records_for(&d));
+        assert!(verify_routed(&d, &out));
+        let settings = waksman::setup(&d).expect("ok");
+        let data: Vec<u32> = (0..1u32 << n).collect();
+        let routed = net.route_with(&settings, &data).expect("ok");
+        assert_eq!(routed, d.apply(&data));
+    }
+}

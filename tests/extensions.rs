@@ -1,0 +1,185 @@
+//! Integration tests for the beyond-the-paper extensions: the gate-level
+//! model, the census machinery, Waksman's reduced network, the sorters,
+//! the generalized connection network and the §IV dual machine — all
+//! exercised through the facade crate as a user would.
+
+use benes::core::census;
+use benes::core::{waksman, Benes, SwitchState};
+use benes::gates::GateBenes;
+use benes::networks::{cost, GeneralizedConnectionNetwork, OddEvenMergeSorter};
+use benes::perm::bpc::Bpc;
+use benes::perm::Permutation;
+use benes::simd::dual::{DualMachine, RoutePlan};
+use benes::simd::machine::{records_for, verify_routed};
+
+/// The census formula, brute force and constructive enumeration agree.
+#[test]
+fn census_three_ways() {
+    for n in 1..=3u32 {
+        let formula = census::count_f(n);
+        let brute = census::count_f_brute_force(n);
+        let enumerated = census::enumerate_f(n).len() as u128;
+        assert_eq!(formula, brute, "n = {n}");
+        assert_eq!(formula, enumerated, "n = {n}");
+    }
+    assert_eq!(census::count_f(2), 20);
+    assert_eq!(census::count_f(3), 11632);
+}
+
+/// Gate-level and behavioral networks agree through the facade on a
+/// mixed bag of permutations.
+#[test]
+fn gates_agree_through_facade() {
+    let hw = GateBenes::build(4, 6);
+    let sw = Benes::new(4);
+    for d in [
+        Bpc::matrix_transpose(4).to_permutation(),
+        benes::perm::omega::cyclic_shift(4, 9),
+        Permutation::from_fn(16, |i| i ^ 5).unwrap(),
+    ] {
+        let data: Vec<u64> = (0..16).collect();
+        let hw_out = hw.route(&d, &data);
+        let sw_out = sw.self_route(&d);
+        assert_eq!(hw_out.tags(), sw_out.outputs(), "mismatch on {d}");
+    }
+}
+
+/// Waksman's reduced network A(n): the standard set-up never crosses the
+/// removable switches, so all N! permutations route on N·log N − N + 1
+/// switches.
+#[test]
+fn reduced_network_routes_everything_n3() {
+    let fixed = waksman::reduced_fixed_switches(3);
+    assert_eq!(fixed.len(), 3); // N/2 − 1
+    assert_eq!(waksman::reduced_switch_count(3), 8 * 3 - 8 + 1);
+    let net = Benes::new(3);
+    let mut dest: Vec<u32> = (0..8).collect();
+    // A deterministic sweep of permutations (rotations of a base cycle).
+    for r in 0..8usize {
+        dest.rotate_left(1);
+        let d = Permutation::from_destinations(dest.clone()).unwrap();
+        let settings = waksman::setup(&d).unwrap();
+        for &(stage, row) in &fixed {
+            assert_eq!(settings.get(stage, row), SwitchState::Straight, "rotation {r}");
+        }
+        let data: Vec<u32> = (0..8).collect();
+        let out = net.route_with(&settings, &data).unwrap();
+        assert_eq!(out, d.apply(&data));
+    }
+}
+
+/// The odd-even sorter is the cheapest universal self-routing network in
+/// the comparison, and the Benes still beats it asymptotically.
+#[test]
+fn comparator_economy_ordering() {
+    for n in [6u32, 10, 14] {
+        let rows = cost::comparison(n);
+        let get = |name: &str| {
+            rows.iter().find(|r| r.name.contains(name)).expect("row").switches
+        };
+        let odd_even = get("Odd-even");
+        let bitonic = get("Bitonic");
+        let benes = get("self-routing");
+        let reduced = get("Waksman A(n)");
+        assert!(odd_even < bitonic);
+        assert!(reduced < benes);
+        assert!(benes < odd_even, "n = {n}: Benes must use fewer switches");
+    }
+}
+
+/// The GCN broadcasts through two Benes passes; a permutation network
+/// alone cannot (sanity: the raw network conserves records, so a
+/// broadcast request is impossible for it).
+#[test]
+fn gcn_broadcasts_where_benes_cannot() {
+    let gcn = GeneralizedConnectionNetwork::new(3);
+    let req = vec![1u32, 1, 1, 1, 0, 2, 3, 4];
+    let data: Vec<u32> = (10..18).collect();
+    let (out, cost) = gcn.realize(&req, &data).unwrap();
+    assert_eq!(&out[..4], &[11, 11, 11, 11]);
+    assert_eq!(cost.copies_made, 3);
+}
+
+/// The dual machine routes a workload mix onto the cheaper paths and
+/// every record arrives; removing the Benes attachment multiplies cost by
+/// ~2κ for the generic permutations.
+#[test]
+fn dual_machine_workload_mix() {
+    let kappa = 30;
+    let with = DualMachine::new(4, kappa);
+    let without = DualMachine::new(4, kappa).without_benes();
+    let workload = [
+        Bpc::perfect_shuffle(4).to_permutation(),
+        Bpc::bit_reversal(4).to_permutation(),
+        benes::perm::omega::cyclic_shift(4, 3),
+        Permutation::identity(16),
+    ];
+    let mut with_cost = 0u64;
+    let mut without_cost = 0u64;
+    for p in &workload {
+        let (out, plan, _) = with.route(p, records_for(p));
+        assert!(verify_routed(p, &out));
+        with_cost += plan.gate_delays();
+        let (out, plan, _) = without.route(p, records_for(p));
+        assert!(verify_routed(p, &out));
+        without_cost += plan.gate_delays();
+        if !with.is_single_link(p) {
+            assert!(matches!(with.plan(p), RoutePlan::BenesNetwork { .. }));
+        }
+    }
+    assert!(
+        without_cost > 5 * with_cost,
+        "Benes attachment should dominate: {with_cost} vs {without_cost}"
+    );
+}
+
+/// The Ω⁻¹·Ω factorization's practical payoff: any permutation — even one
+/// outside F — runs on an omega network in two passes (one backward, one
+/// forward).
+#[test]
+fn factorization_routes_on_omega_networks() {
+    use benes::core::factor::factor_inverse_omega_omega;
+    use benes::networks::{InverseOmegaNetwork, OmegaNetwork};
+    // Fig. 5's permutation is outside F(2); factor and route it anyway.
+    let d = Permutation::from_destinations(vec![1, 3, 2, 0]).unwrap();
+    let (p, q) = factor_inverse_omega_omega(&d).unwrap();
+    assert_eq!(p.then(&q), d);
+    assert!(InverseOmegaNetwork::new(2).realizes(&p));
+    assert!(OmegaNetwork::new(2).realizes(&q));
+
+    // And a pseudo-random permutation at N = 64.
+    let mut dest: Vec<u32> = (0..64).collect();
+    let mut state = 31u64;
+    for i in (1..64usize).rev() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        dest.swap(i, (state >> 33) as usize % (i + 1));
+    }
+    let d = Permutation::from_destinations(dest).unwrap();
+    let (p, q) = factor_inverse_omega_omega(&d).unwrap();
+    assert!(InverseOmegaNetwork::new(6).realizes(&p));
+    assert!(OmegaNetwork::new(6).realizes(&q));
+    assert_eq!(p.then(&q), d);
+}
+
+/// The mesh hop-level executor and the odd-even sorter agree with the
+/// reference `Permutation::apply` on payload placement.
+#[test]
+fn placements_agree_across_executors() {
+    let d = Bpc::shuffled_row_major(4).to_permutation();
+    let data: Vec<u32> = (200..216).collect();
+
+    let mcc = benes::simd::mcc::Mcc::new(4);
+    let records: Vec<(u32, u32)> =
+        d.destinations().iter().zip(&data).map(|(&t, &v)| (t, v)).collect();
+    let (hop, _) = mcc.route_f_hop_level(records.clone());
+    let hop_payloads: Vec<u32> = hop.iter().map(|r| r.1).collect();
+
+    let sorted = OddEvenMergeSorter::new(4);
+    let mut oe = records;
+    sorted.sort_by_key(&mut oe, |r| r.0);
+    let oe_payloads: Vec<u32> = oe.iter().map(|r| r.1).collect();
+
+    let reference = d.apply(&data);
+    assert_eq!(hop_payloads, reference);
+    assert_eq!(oe_payloads, reference);
+}

@@ -1,0 +1,132 @@
+//! Failure-injection tests: the simulator must expose — not mask — wrong
+//! configurations, stuck hardware and corrupted tags.
+
+use benes::core::{waksman, Benes, SwitchSettings, SwitchState};
+use benes::perm::bpc::Bpc;
+use benes::perm::Permutation;
+use benes::simd::ccc::Ccc;
+use benes::simd::machine::{is_routed, records_for};
+
+/// A single stuck-at-straight switch in an otherwise correct Waksman
+/// configuration must corrupt the realized permutation whenever that
+/// switch was supposed to cross — and the corruption is always a clean
+/// 2-element transposition at that stage, never lost data.
+#[test]
+fn stuck_switch_corrupts_but_never_loses_data() {
+    let net = Benes::new(4);
+    let perm = Bpc::bit_reversal(4).to_permutation();
+    let good = waksman::setup(&perm).expect("ok");
+    let data: Vec<u32> = (0..16).collect();
+    let expected = net.route_with(&good, &data).expect("ok");
+
+    let mut corrupted_configs = 0;
+    for stage in 0..net.stage_count() {
+        for sw in 0..net.switches_per_stage() {
+            if good.get(stage, sw) != SwitchState::Cross {
+                continue;
+            }
+            let mut bad = good.clone();
+            bad.set(stage, sw, SwitchState::Straight);
+            let out = net.route_with(&bad, &data).expect("ok");
+            assert_ne!(out, expected, "stuck switch ({stage},{sw}) had no effect");
+            // No loss, no duplication.
+            let mut sorted = out.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, data);
+            // Exactly the two signals through the stuck switch are wrong.
+            let wrong = out.iter().zip(&expected).filter(|(a, b)| a != b).count();
+            assert_eq!(wrong, 2, "stuck switch must displace exactly two signals");
+            corrupted_configs += 1;
+        }
+    }
+    assert!(corrupted_configs > 0, "test needs at least one crossing switch");
+}
+
+/// A corrupted destination tag (bit flip in flight) surfaces as a
+/// misrouted output that names itself: the arrival tags no longer match
+/// the terminal indices.
+#[test]
+fn corrupted_tag_is_detectable_at_the_outputs() {
+    let net = Benes::new(3);
+    let perm = Bpc::vector_reversal(3).to_permutation();
+    let mut tags = perm.destinations().to_vec();
+    tags[5] ^= 0b010; // flip one bit of one tag
+
+    // The tags are no longer a permutation-consistent vector; the network
+    // still moves every record somewhere (conservation), and the fault is
+    // visible because some output's arrival tag differs from its index.
+    let records: Vec<(u32, u32)> = tags.iter().map(|&t| (t, t)).collect();
+    let (out, _) = net.self_route_records(records).expect("ok");
+    assert_eq!(out.len(), 8);
+    let misrouted: Vec<usize> = out
+        .iter()
+        .enumerate()
+        .filter(|(o, r)| r.0 != *o as u32)
+        .map(|(o, _)| o)
+        .collect();
+    assert!(!misrouted.is_empty(), "a corrupted tag must be observable");
+}
+
+/// Duplicate destination tags (two records claiming one output) are also
+/// conserved and observable — the network is collision-free by
+/// construction, so nothing is dropped even under bad input.
+#[test]
+fn duplicate_tags_never_lose_records() {
+    let net = Benes::new(3);
+    let tags = vec![0u32, 0, 2, 2, 4, 4, 6, 6]; // wildly invalid
+    let records: Vec<(u32, usize)> = tags.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    let (out, _) = net.self_route_records(records).expect("ok");
+    let mut payloads: Vec<usize> = out.iter().map(|r| r.1).collect();
+    payloads.sort_unstable();
+    assert_eq!(payloads, (0..8).collect::<Vec<_>>());
+}
+
+/// Same conservation law on the SIMD machines.
+#[test]
+fn machines_conserve_records_under_bad_tags() {
+    let ccc = Ccc::new(4);
+    let tags: Vec<u32> = (0..16).map(|i| (i * 3) % 7).collect(); // nonsense
+    let records: Vec<(u32, u32)> = tags.iter().enumerate().map(|(i, &t)| (t, i as u32)).collect();
+    let (out, stats) = ccc.route_f(records);
+    assert_eq!(stats.steps, 7);
+    let mut payloads: Vec<u32> = out.iter().map(|r| r.1).collect();
+    payloads.sort_unstable();
+    assert_eq!(payloads, (0..16).collect::<Vec<u32>>());
+    assert!(!is_routed(&out));
+}
+
+/// Settings built for one network order are rejected by another, and the
+/// error says which orders were involved.
+#[test]
+fn mismatched_settings_are_rejected_loudly() {
+    let net = Benes::new(3);
+    let wrong = SwitchSettings::all_straight(4);
+    let err = net.route_with(&wrong, &(0..8u32).collect::<Vec<_>>()).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("B(4)") && msg.contains("B(3)"), "unhelpful error: {msg}");
+}
+
+/// Waksman set-up then deliberate permutation swap: routing a DIFFERENT
+/// permutation through stale settings must misroute (settings are not
+/// magically universal).
+#[test]
+fn stale_settings_misroute_new_permutation() {
+    let net = Benes::new(4);
+    let old = Bpc::bit_reversal(4).to_permutation();
+    let new = benes::perm::omega::cyclic_shift(4, 1);
+    let settings = waksman::setup(&old).expect("ok");
+    let data: Vec<u32> = (0..16).collect();
+    let out = net.route_with(&settings, &data).expect("ok");
+    assert_ne!(out, new.apply(&data));
+    assert_eq!(out, old.apply(&data));
+}
+
+/// Non-power-of-two inputs are rejected at every entry point.
+#[test]
+fn non_power_of_two_rejected_everywhere() {
+    let d6 = Permutation::identity(6);
+    assert!(!benes::core::class_f::is_in_f(&d6));
+    assert!(waksman::setup(&d6).is_err());
+    assert!(Bpc::from_permutation(&d6).is_none());
+    assert!(!benes::perm::omega::is_omega(&d6));
+}

@@ -1,0 +1,220 @@
+//! End-to-end reproduction tests: one test per paper claim / experiment
+//! (the CI-facing version of the `benes-bench` binaries).
+
+use benes::core::class_f::is_in_f;
+use benes::core::{topology, waksman, Benes};
+use benes::networks::cost;
+use benes::perm::bpc::Bpc;
+use benes::perm::omega::{cyclic_shift, is_inverse_omega, is_omega};
+use benes::perm::Permutation;
+use benes::simd::ccc::Ccc;
+use benes::simd::machine::{records_for, verify_routed};
+use benes::simd::mcc::Mcc;
+use benes::simd::psc::Psc;
+
+fn all_perms(len: u32) -> Vec<Permutation> {
+    fn rec(rem: &mut Vec<u32>, cur: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+        if rem.is_empty() {
+            out.push(cur.clone());
+            return;
+        }
+        for idx in 0..rem.len() {
+            let v = rem.remove(idx);
+            cur.push(v);
+            rec(rem, cur, out);
+            cur.pop();
+            rem.insert(idx, v);
+        }
+    }
+    let mut out = Vec::new();
+    rec(&mut (0..len).collect(), &mut Vec::new(), &mut out);
+    out.into_iter()
+        .map(|d| Permutation::from_destinations(d).expect("valid"))
+        .collect()
+}
+
+/// §I: B(n) has 2·log N − 1 stages and N·log N − N/2 switches.
+#[test]
+fn claim_network_size() {
+    for n in 1..=14u32 {
+        let nn = 1usize << n;
+        assert_eq!(topology::stage_count(n), 2 * n as usize - 1);
+        assert_eq!(topology::switch_count(n), nn * n as usize - nn / 2);
+    }
+}
+
+/// §I headline: total switch-setting + delay time is O(log N) — concretely
+/// 2·log N − 1 switching levels with zero set-up for F(n) inputs.
+#[test]
+fn claim_selfrouting_delay() {
+    for n in [3u32, 6, 9] {
+        let net = Benes::new(n);
+        assert_eq!(net.transit_delay(), 2 * n as usize - 1);
+        // And it actually routes without any set-up computation:
+        assert!(net.self_route(&cyclic_shift(n, 1)).is_success());
+    }
+}
+
+/// Fig. 4: bit reversal routes on B(3); Fig. 5: (1,3,2,0) does not route
+/// on B(2) but is omega.
+#[test]
+fn claim_figures_4_and_5() {
+    let b3 = Benes::new(3);
+    assert!(b3.self_route(&Bpc::bit_reversal(3).to_permutation()).is_success());
+
+    let b2 = Benes::new(2);
+    let fig5 = Permutation::from_destinations(vec![1, 3, 2, 0]).expect("valid");
+    assert!(!b2.self_route(&fig5).is_success());
+    assert!(is_omega(&fig5));
+    assert!(b2.self_route_omega(&fig5).is_success());
+}
+
+/// Theorem 2: BPC(n) ⊆ F(n) — exhaustive at n = 3, all of Table I at
+/// larger sizes.
+#[test]
+fn claim_theorem2() {
+    let mut bpc_count = 0;
+    for d in all_perms(8) {
+        if Bpc::from_permutation(&d).is_some() {
+            assert!(is_in_f(&d));
+            bpc_count += 1;
+        }
+    }
+    assert_eq!(bpc_count, 48); // 2^3 · 3!
+
+    for n in [4u32, 6, 8] {
+        for b in [
+            Bpc::matrix_transpose(n),
+            Bpc::bit_reversal(n),
+            Bpc::vector_reversal(n),
+            Bpc::perfect_shuffle(n),
+            Bpc::unshuffle(n),
+            Bpc::shuffled_row_major(n),
+            Bpc::bit_shuffle(n),
+        ] {
+            assert!(is_in_f(&b.to_permutation()), "Table I entry {b} at n = {n}");
+        }
+    }
+}
+
+/// Theorem 3: Ω⁻¹(n) ⊆ F(n) — exhaustive at n = 3.
+#[test]
+fn claim_theorem3() {
+    for d in all_perms(8) {
+        if is_inverse_omega(&d) {
+            assert!(is_in_f(&d), "Ω⁻¹ member {d} escaped F");
+        }
+    }
+}
+
+/// §II: the class census — |F| strictly exceeds |Ω| = |Ω⁻¹| and |BPC|.
+#[test]
+fn claim_class_richness() {
+    let perms = all_perms(8);
+    let f = perms.iter().filter(|d| is_in_f(d)).count();
+    let om = perms.iter().filter(|d| is_omega(d)).count();
+    let inv = perms.iter().filter(|d| is_inverse_omega(d)).count();
+    let bpc = perms.iter().filter(|d| Bpc::from_permutation(d).is_some()).count();
+    assert_eq!(om, 4096); // 2^(n N/2)
+    assert_eq!(inv, 4096);
+    assert_eq!(bpc, 48);
+    assert!(f > om, "|F(3)| = {f} must exceed |Ω(3)| = {om}");
+}
+
+/// §II closing remark: F is not closed under composition.
+#[test]
+fn claim_no_closure() {
+    let a = Permutation::from_destinations(vec![3, 0, 1, 2]).expect("valid");
+    let b = Permutation::from_destinations(vec![0, 1, 3, 2]).expect("valid");
+    assert!(is_in_f(&a) && is_in_f(&b));
+    assert!(!is_in_f(&a.then(&b)));
+}
+
+/// §I: with external set-up the network realizes all N! permutations —
+/// exhaustive at n = 3.
+#[test]
+fn claim_external_setup_universal() {
+    let net = Benes::new(3);
+    for d in all_perms(8) {
+        let settings = waksman::setup(&d).expect("setup always succeeds");
+        let out = net.route_with(&settings, &(0..8u32).collect::<Vec<_>>()).expect("ok");
+        for (i, &dest) in d.destinations().iter().enumerate() {
+            assert_eq!(out[dest as usize], i as u32);
+        }
+    }
+}
+
+/// §III route counts: 2 log N − 1 (CCC), 4 log N − 3 (PSC), 7√N − 8 (MCC).
+#[test]
+fn claim_simd_route_counts() {
+    for n in [4u32, 6, 8, 10] {
+        let d = cyclic_shift(n, 7);
+        let (ok, s) = benes::simd::ccc::route_permutation(&Ccc::new(n), &d);
+        assert!(ok);
+        assert_eq!(s.steps, 2 * u64::from(n) - 1);
+        assert_eq!(s.unit_routes_two_word(), 4 * u64::from(n) - 2);
+
+        let (ok, s) = benes::simd::psc::route_permutation(&Psc::new(n), &d);
+        assert!(ok);
+        assert_eq!(s.unit_routes, 4 * u64::from(n) - 3);
+
+        let (ok, s) = benes::simd::mcc::route_permutation(&Mcc::new(n), &d);
+        assert!(ok);
+        assert_eq!(s.unit_routes, 7 * (1u64 << (n / 2)) - 8);
+    }
+}
+
+/// §III: arbitrary permutations need sorting (O(log² N)) — and the F(n)
+/// algorithm genuinely fails outside F while the sort succeeds.
+#[test]
+fn claim_sorting_baseline() {
+    let fig5 = Permutation::from_destinations(vec![1, 3, 2, 0]).expect("valid");
+    let ccc = Ccc::new(2);
+    let (out, _) = ccc.route_f(records_for(&fig5));
+    assert!(!verify_routed(&fig5, &out));
+    let (ok, stats) = benes::simd::sort_route::route_permutation_ccc(&fig5);
+    assert!(ok);
+    assert_eq!(stats.steps, 3); // n(n+1)/2 compare-exchange levels
+}
+
+/// §I comparison: cost-model cross-check of all five networks.
+#[test]
+fn claim_cost_comparison() {
+    for n in [4u32, 8, 12] {
+        let rows = cost::comparison(n);
+        let nn = 1u64 << n;
+        let benes = rows.iter().find(|r| r.name.contains("self-routing")).expect("row");
+        let omega = rows.iter().find(|r| r.name.contains("Omega")).expect("row");
+        let xbar = rows.iter().find(|r| r.name == "Crossbar").expect("row");
+        assert_eq!(benes.switches, nn * u64::from(n) - nn / 2);
+        assert_eq!(omega.switches, nn / 2 * u64::from(n));
+        assert_eq!(xbar.switches, nn * nn);
+        assert!(benes.delay < 2 * omega.delay);
+    }
+}
+
+/// §IV: pipelined mode — k vectors in (2n−1) + k clocks.
+#[test]
+fn claim_pipelining() {
+    use benes::core::pipeline::Pipeline;
+    let n = 5;
+    let mut pipe: Pipeline<u32> = Pipeline::new(n);
+    let perm = cyclic_shift(n, 3);
+    let records: Vec<(u32, u32)> = perm
+        .destinations()
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| (d, i as u32))
+        .collect();
+    let k = 10u64;
+    let mut emitted = 0u64;
+    let mut clock = 0u64;
+    while emitted < k {
+        let input = if clock < k { Some(records.clone()) } else { None };
+        if pipe.clock(input).is_some() {
+            emitted += 1;
+        }
+        clock += 1;
+    }
+    assert_eq!(clock, k + pipe.latency() as u64);
+}

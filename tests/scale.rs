@@ -1,0 +1,121 @@
+//! Larger-scale smoke tests: the structures stay correct well beyond the
+//! sizes the exhaustive tests cover. Sizes are chosen to keep the debug
+//! test suite fast (~1 s each); the Criterion benches push further.
+
+use benes::core::class_f::is_in_f;
+use benes::core::{waksman, Benes};
+use benes::networks::{BitonicSorter, OddEvenMergeSorter};
+use benes::perm::bpc::Bpc;
+use benes::perm::omega::{p_ordering_shift, segment_cyclic_shift};
+use benes::perm::Permutation;
+use benes::simd::ccc::Ccc;
+use benes::simd::machine::{records_for, verify_routed};
+
+/// Deterministic pseudo-random permutation (no rand dependency needed
+/// here; the bench crate owns the real generators).
+fn pseudo_random_permutation(len: usize, seed: u64) -> Permutation {
+    let mut dest: Vec<u32> = (0..len as u32).collect();
+    let mut state = seed | 1;
+    for i in (1..len).rev() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        dest.swap(i, j);
+    }
+    Permutation::from_destinations(dest).expect("shuffle is a bijection")
+}
+
+#[test]
+fn self_route_at_4096_terminals() {
+    let n = 12;
+    let net = Benes::new(n);
+    assert_eq!(net.switch_count(), 4096 * 12 - 2048);
+    for d in [
+        Bpc::bit_reversal(n).to_permutation(),
+        Bpc::matrix_transpose(n).to_permutation(),
+        p_ordering_shift(n, 1234567, 89),
+        segment_cyclic_shift(n, 7, 100),
+    ] {
+        assert!(is_in_f(&d));
+        let outcome = net.self_route(&d);
+        assert!(outcome.is_success());
+    }
+}
+
+#[test]
+fn waksman_at_4096_terminals() {
+    let n = 12;
+    let net = Benes::new(n);
+    let d = pseudo_random_permutation(1 << n, 2026);
+    let settings = waksman::setup(&d).expect("setup succeeds");
+    let data: Vec<u32> = (0..1u32 << n).collect();
+    let out = net.route_with(&settings, &data).expect("routes");
+    assert_eq!(out, d.apply(&data));
+    // The reduced-network invariant holds at scale too.
+    for &(stage, row) in waksman::reduced_fixed_switches(n).iter().take(500) {
+        assert_eq!(settings.get(stage, row), benes::core::SwitchState::Straight);
+    }
+}
+
+#[test]
+fn ccc_at_4096_pes() {
+    let n = 12;
+    let ccc = Ccc::new(n);
+    let d = Bpc::shuffled_row_major(n).to_permutation();
+    let (out, stats) = ccc.route_f(records_for(&d));
+    assert!(verify_routed(&d, &out));
+    assert_eq!(stats.steps, 23);
+}
+
+#[test]
+fn sorters_at_4096_lines() {
+    let n = 12;
+    let d = pseudo_random_permutation(1 << n, 77);
+    let sorted: Vec<u32> = (0..1u32 << n).collect();
+    assert_eq!(BitonicSorter::new(n).route(&d), sorted);
+    assert_eq!(OddEvenMergeSorter::new(n).route(&d), sorted);
+}
+
+#[test]
+fn class_f_deciders_agree_at_1024() {
+    // The Theorem-1 recursion and the simulation agree on a mixed bag of
+    // in-F and out-of-F permutations at N = 1024.
+    let n = 10;
+    let mut in_f = 0;
+    for seed in 0..6u64 {
+        let d = pseudo_random_permutation(1 << n, seed);
+        let a = is_in_f(&d);
+        let b = Benes::new(n).self_route(&d).is_success();
+        assert_eq!(a, b, "seed {seed}");
+        in_f += usize::from(a);
+    }
+    // Random permutations at this size are essentially never in F.
+    assert_eq!(in_f, 0);
+    // While structured ones are.
+    assert!(is_in_f(&Bpc::bit_reversal(n).to_permutation()));
+}
+
+#[test]
+fn pipeline_long_stream() {
+    use benes::core::pipeline::Pipeline;
+    let n = 6;
+    let mut pipe: Pipeline<u32> = Pipeline::new(n);
+    let perm = Bpc::perfect_shuffle(n).to_permutation();
+    let records: Vec<(u32, u32)> = perm
+        .destinations()
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| (d, i as u32))
+        .collect();
+    let k = 500u64;
+    let mut emitted = 0u64;
+    let mut clock = 0u64;
+    while emitted < k {
+        let input = if clock < k { Some(records.clone()) } else { None };
+        if let Some(w) = pipe.clock(input) {
+            assert!(w.iter().enumerate().all(|(o, r)| r.0 == o as u32));
+            emitted += 1;
+        }
+        clock += 1;
+    }
+    assert_eq!(clock, k + pipe.latency() as u64);
+}
