@@ -38,9 +38,13 @@ fn bench_membership(c: &mut Criterion) {
     let mut group = c.benchmark_group("class_f_membership");
     for n in [6u32, 10, 14] {
         let perm = random_bpc(&mut rng, n).to_permutation();
-        group.bench_with_input(BenchmarkId::new("theorem1_recursion", 1u64 << n), &n, |b, _| {
-            b.iter(|| is_in_f(std::hint::black_box(&perm)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("theorem1_recursion", 1u64 << n),
+            &n,
+            |b, _| {
+                b.iter(|| is_in_f(std::hint::black_box(&perm)));
+            },
+        );
         group.bench_with_input(BenchmarkId::new("simulation", 1u64 << n), &n, |b, _| {
             b.iter(|| is_in_f_by_simulation(std::hint::black_box(&perm)));
         });

@@ -18,8 +18,15 @@ use benes_perm::Permutation;
 fn main() {
     println!("== EXP-CENSUS: exhaustive class census (§II) ==\n");
     let mut table = Table::new(vec![
-        "n", "N!", "|F(n)|", "|BPC(n)| (2^n n!)", "|Ω(n)| (2^(nN/2))", "|Ω⁻¹(n)|",
-        "BPC⊆F", "Ω⁻¹⊆F", "Ω⊆F?",
+        "n",
+        "N!",
+        "|F(n)|",
+        "|BPC(n)| (2^n n!)",
+        "|Ω(n)| (2^(nN/2))",
+        "|Ω⁻¹(n)|",
+        "BPC⊆F",
+        "Ω⁻¹⊆F",
+        "Ω⊆F?",
     ]);
 
     for n in [2u32, 3] {

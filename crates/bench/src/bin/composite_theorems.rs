@@ -13,7 +13,9 @@ use benes_core::class_f::is_in_f;
 use benes_core::Benes;
 use benes_perm::bpc::Bpc;
 use benes_perm::omega::cyclic_shift;
-use benes_perm::partition::{between_blocks, hierarchical_composite, within_blocks, JPartition};
+use benes_perm::partition::{
+    between_blocks, hierarchical_composite, within_blocks, JPartition,
+};
 use benes_perm::Permutation;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -85,17 +87,16 @@ fn main() {
     println!("-- Theorem 6: 3-D array example (r = s = t = 2, n = 6) --\n");
     // Levels: j (bits 5..4), k (bits 3..2), i (bits 1..0); the paper's
     // mapping i' = (i+j+k) mod 2^r, j' = (3j + 1) mod 2^s, k' = j XOR k.
-    let g = hierarchical_composite(6, &[0b110000, 0b001100, 0b000011], |t, parents| {
-        match t {
+    let g =
+        hierarchical_composite(6, &[0b110000, 0b001100, 0b000011], |t, parents| match t {
             0 => benes_perm::omega::p_ordering_shift(2, 3, 1),
             1 => {
                 let j = parents[0];
                 Permutation::from_fn(4, move |k| (u64::from(k) ^ j) as u32).expect("valid")
             }
             _ => cyclic_shift(2, (parents[0] + parents[1]) as i64),
-        }
-    })
-    .expect("valid hierarchical composite");
+        })
+        .expect("valid hierarchical composite");
     let in_f = is_in_f(&g);
     let routes = net6.self_route(&g).is_success();
     println!("A(i,j,k) -> A'((i+j+k) mod 4, (3j+1) mod 4, j XOR k)");

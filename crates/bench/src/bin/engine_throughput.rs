@@ -1,0 +1,68 @@
+//! Experiment EXP-ENGINE: batched routing-engine throughput.
+//!
+//! Drives the `benes-engine` worker pool with a reproducible mixed
+//! workload (Table I BPC members, random `Ω(n)` members, repeated and
+//! fresh hard permutations) and reports throughput as the worker count
+//! scales, plus the tier mix and cache effectiveness that produced it.
+
+use benes_bench::Table;
+use benes_engine::workload::mixed_workload;
+use benes_engine::{Engine, EngineConfig};
+use std::time::Instant;
+
+fn main() {
+    println!("== EXP-ENGINE: batched routing-engine throughput ==\n");
+
+    let requests = 4000;
+    let seed = 0xbe25;
+
+    let mut table = Table::new(vec![
+        "n",
+        "workers",
+        "requests",
+        "wall ms",
+        "req/s",
+        "zero-setup %",
+        "cache hit %",
+        "mean latency ms",
+    ]);
+
+    for n in [4u32, 6, 8] {
+        let stream = mixed_workload(n, requests, seed);
+        for workers in [1usize, 2, 4, 8] {
+            let engine = Engine::new(EngineConfig { workers, ..EngineConfig::default() });
+            let start = Instant::now();
+            let outcomes = engine.run_batch(stream.iter().cloned());
+            let wall = start.elapsed();
+            assert!(outcomes.iter().all(benes_engine::RequestOutcome::is_ok));
+
+            let stats = engine.stats();
+            assert_eq!(stats.completed as usize, requests);
+            table.row(vec![
+                n.to_string(),
+                workers.to_string(),
+                requests.to_string(),
+                format!("{:.2}", wall.as_secs_f64() * 1e3),
+                format!("{:.0}", requests as f64 / wall.as_secs_f64()),
+                format!("{:.1}", stats.zero_setup_rate() * 100.0),
+                format!("{:.1}", stats.cache_hit_rate() * 100.0),
+                // End-to-end latency: includes queue wait, since the
+                // whole batch is submitted up front.
+                format!("{:.2}", stats.latency_mean_ns as f64 / 1e6),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+
+    // One detailed report at the headline configuration.
+    let engine = Engine::new(EngineConfig { workers: 4, ..EngineConfig::default() });
+    let outcomes = engine.run_batch(mixed_workload(6, requests, seed));
+    assert!(outcomes.iter().all(benes_engine::RequestOutcome::is_ok));
+    println!("detailed stats at n = 6, 4 workers:\n{}", engine.stats().report());
+    println!(
+        "observation: the zero-set-up tiers (self-route, omega-bit) and the plan\n\
+         cache absorb the workload's repeats, so only first-seen hard permutations\n\
+         pay the O(N log N) Waksman set-up — the paper's motivation for favouring\n\
+         F(n) routing, measured end to end."
+    );
+}

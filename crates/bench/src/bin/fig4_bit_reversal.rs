@@ -23,8 +23,5 @@ fn main() {
 
     assert!(trace.is_success(), "FIG4 must reproduce: bit reversal is in F(3)");
     println!("reproduced: input i reaches output reverse(i) with zero set-up steps;");
-    println!(
-        "total delay = {} switch stages (2·log N − 1).",
-        net.transit_delay()
-    );
+    println!("total delay = {} switch stages (2·log N − 1).", net.transit_delay());
 }

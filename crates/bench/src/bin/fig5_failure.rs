@@ -12,8 +12,7 @@ use benes_perm::Permutation;
 fn main() {
     println!("== FIG5: D = (1, 3, 2, 0) on B(2) ==\n");
     let net = Benes::new(2);
-    let d = Permutation::from_destinations(vec![1, 3, 2, 0])
-        .expect("valid permutation");
+    let d = Permutation::from_destinations(vec![1, 3, 2, 0]).expect("valid permutation");
 
     println!("-- plain self-routing (must FAIL, Fig. 5) --\n");
     let trace = RouteTrace::capture_self_route(&net, &d).expect("length matches");

@@ -69,9 +69,7 @@ fn main() {
     );
 
     println!("per-switch breakdown (n = 6, w = {data_width}):");
-    println!(
-        "  control: tap of upper tag bit b (0 gates) [+1 AND on omega-gated stages]"
-    );
+    println!("  control: tap of upper tag bit b (0 gates) [+1 AND on omega-gated stages]");
     println!("  datapath: 1 shared inverter + 6 gates per bus wire (two 2:1 muxes)");
     println!(
         "  = {} gates/switch plain, {} omega-gated — constant in N (the paper's",

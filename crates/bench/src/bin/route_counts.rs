@@ -64,7 +64,14 @@ fn main() {
     );
 
     println!("== shortcut and ablation measurements ==\n");
-    let mut shortcuts = Table::new(vec!["n", "full CCC steps", "Ω shortcut", "Ω⁻¹ shortcut", "PSC full", "PSC Ω"]);
+    let mut shortcuts = Table::new(vec![
+        "n",
+        "full CCC steps",
+        "Ω shortcut",
+        "Ω⁻¹ shortcut",
+        "PSC full",
+        "PSC Ω",
+    ]);
     for n in [4u32, 8, 12] {
         let ccc = Ccc::new(n);
         let psc = Psc::new(n);
@@ -90,7 +97,8 @@ fn main() {
     println!("== BPC skip ablation (iterations with A_b = +b skipped) ==\n");
     let n = 8;
     let ccc = Ccc::new(n);
-    let mut ablation = Table::new(vec!["Table I permutation", "steps (full = 2n-1 = 15)", "skipped"]);
+    let mut ablation =
+        Table::new(vec!["Table I permutation", "steps (full = 2n-1 = 15)", "skipped"]);
     let cases: Vec<(&str, Bpc)> = vec![
         ("Identity", Bpc::identity(n)),
         ("Matrix Transpose", Bpc::matrix_transpose(n)),

@@ -38,11 +38,18 @@ pub fn random_permutation(rng: &mut impl Rng, len: usize) -> Permutation {
 pub fn random_bpc(rng: &mut impl Rng, n: u32) -> Bpc {
     assert!(n > 0, "BPC requires n >= 1");
     let positions = random_permutation(rng, n as usize);
-    let entries = positions
-        .destinations()
-        .iter()
-        .map(|&p| if rng.random::<bool>() { SignedBit::minus(p) } else { SignedBit::plus(p) })
-        .collect();
+    let entries =
+        positions
+            .destinations()
+            .iter()
+            .map(|&p| {
+                if rng.random::<bool>() {
+                    SignedBit::minus(p)
+                } else {
+                    SignedBit::plus(p)
+                }
+            })
+            .collect();
     Bpc::from_entries(entries).expect("positions form a permutation")
 }
 
@@ -101,11 +108,12 @@ fn random_f_tags(rng: &mut impl Rng, m: u32) -> Vec<u64> {
         let (ui, li) = (u[i] as usize, l[i] as usize);
         let a = 2 * u[i] + u64::from(c[ui]); // travels up
         let b = 2 * l[i] + u64::from(!c[li]); // travels down
-        // Valid orders: a first iff bit0(a) = 0; b first iff bit0(b) = 1.
+                                              // Valid orders: a first iff bit0(a) = 0; b first iff bit0(b) = 1.
         let a_first_ok = a & 1 == 0;
         let b_first_ok = b & 1 == 1;
         debug_assert!(a_first_ok || b_first_ok, "repair step guarantees a valid order");
-        let a_first = if a_first_ok && b_first_ok { rng.random::<bool>() } else { a_first_ok };
+        let a_first =
+            if a_first_ok && b_first_ok { rng.random::<bool>() } else { a_first_ok };
         if a_first {
             tags[2 * i] = a;
             tags[2 * i + 1] = b;

@@ -539,10 +539,7 @@ mod tests {
                 assert_eq!(rotate_right(i, width, 1), unshuffle(i, width));
                 assert_eq!(rotate_left(i, width, width), i);
                 if width >= 2 {
-                    assert_eq!(
-                        rotate_left(rotate_left(i, width, 2), width, width - 2),
-                        i
-                    );
+                    assert_eq!(rotate_left(rotate_left(i, width, 2), width, width - 2), i);
                 }
             }
         }

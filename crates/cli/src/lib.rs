@@ -69,6 +69,9 @@ COMMANDS:
   diagnose <D...>            inject each possible stuck switch for D and
                              report how many are detectable / masked
   factor <D...>              split D into inverse-omega * omega factors
+  engine [n] [reqs] [wkrs]   drive the batched routing engine over a mixed
+                             workload on B(n) and print tier/cache stats
+                             (defaults: n=4, 1000 requests, 4 workers)
   help                       this text
 "
     .to_string()
@@ -87,7 +90,8 @@ fn parse_permutation(args: &[String]) -> Result<Permutation, CliError> {
 
 fn parse_n(arg: Option<&String>, what: &str) -> Result<u32, CliError> {
     let s = arg.ok_or_else(|| CliError::new(format!("expected {what}")))?;
-    let n: u32 = s.parse().map_err(|_| CliError::new(format!("{what} must be an integer")))?;
+    let n: u32 =
+        s.parse().map_err(|_| CliError::new(format!("{what} must be an integer")))?;
     if n == 0 || n > 20 {
         return Err(CliError::new(format!("{what} must be in 1..=20")));
     }
@@ -124,9 +128,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "dual" => dual(rest),
         "diagnose" => diagnose(rest),
         "factor" => factor(rest),
-        other => Err(CliError::new(format!(
-            "unknown command `{other}` (try `benes-cli help`)"
-        ))),
+        "engine" => engine(rest),
+        other => {
+            Err(CliError::new(format!("unknown command `{other}` (try `benes-cli help`)")))
+        }
     }
 }
 
@@ -141,9 +146,7 @@ fn gcn(args: &[String]) -> Result<String, CliError> {
         .ok_or_else(|| CliError::new("request count must be 2^n with n >= 1"))?;
     let gcn = benes_networks::GeneralizedConnectionNetwork::new(n);
     let data: Vec<u32> = (0..req.len() as u32).collect();
-    let (out, cost) = gcn
-        .realize(&req, &data)
-        .map_err(|e| CliError::new(e.to_string()))?;
+    let (out, cost) = gcn.realize(&req, &data).map_err(|e| CliError::new(e.to_string()))?;
     let mut s = format!(
         "generalized connection on B({n}): {} levels, {} copies fabricated\n",
         cost.delay_levels, cost.copies_made
@@ -160,11 +163,10 @@ fn gcn(args: &[String]) -> Result<String, CliError> {
 }
 
 fn dual(args: &[String]) -> Result<String, CliError> {
-    let kappa: u64 = args
-        .first()
-        .and_then(|a| a.parse().ok())
-        .filter(|&k| k >= 1)
-        .ok_or_else(|| CliError::new("expected kappa >= 1 (gate delays per routing step)"))?;
+    let kappa: u64 =
+        args.first().and_then(|a| a.parse().ok()).filter(|&k| k >= 1).ok_or_else(|| {
+            CliError::new("expected kappa >= 1 (gate delays per routing step)")
+        })?;
     let d = parse_permutation(&args[1..])?;
     let n = network_order(&d)?;
     let m = benes_simd::dual::DualMachine::new(n, kappa);
@@ -174,10 +176,8 @@ fn dual(args: &[String]) -> Result<String, CliError> {
         benes_simd::dual::RoutePlan::BenesNetwork { .. } => "B(n) self-route",
         benes_simd::dual::RoutePlan::LinkSimulation { .. } => "E(n) link simulation",
     };
-    let ablation = benes_simd::dual::DualMachine::new(n, kappa)
-        .without_benes()
-        .plan(&d)
-        .gate_delays();
+    let ablation =
+        benes_simd::dual::DualMachine::new(n, kappa).without_benes().plan(&d).gate_delays();
     Ok(format!(
         "plan: {path}, {} gate delays (without the Benes attachment: {})\n",
         plan.gate_delays(),
@@ -228,6 +228,50 @@ fn diagnose(args: &[String]) -> Result<String, CliError> {
          {masked} masked (wrong state, later stages re-sort the pair),\n\
          {visible} visible (misroute observable at the outputs)\n"
     ))
+}
+
+fn engine(args: &[String]) -> Result<String, CliError> {
+    use benes_engine::{workload, Engine, EngineConfig};
+    let n = match args.first() {
+        Some(_) => parse_n(args.first(), "network order n")?,
+        None => 4,
+    };
+    if !(3..=10).contains(&n) {
+        return Err(CliError::new(
+            "engine demo needs n in 3..=10 (below B(3) every permutation is in F ∪ Ω)",
+        ));
+    }
+    let requests: usize = match args.get(1) {
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&r| (1..=1_000_000).contains(&r))
+            .ok_or_else(|| CliError::new("request count must be in 1..=1000000"))?,
+        None => 1000,
+    };
+    let workers: usize = match args.get(2) {
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&w| (1..=64).contains(&w))
+            .ok_or_else(|| CliError::new("worker count must be in 1..=64"))?,
+        None => 4,
+    };
+
+    let engine = Engine::new(EngineConfig { workers, ..EngineConfig::default() });
+    let stream = workload::mixed_workload(n, requests, 0xbe25);
+    let outcomes = engine.run_batch(stream);
+    let misrouted = outcomes.iter().filter(|o| !o.is_ok()).count();
+    let stats = engine.stats();
+
+    let mut out = format!(
+        "engine run: B({n}), {requests} requests, {workers} workers, batch size {}\n",
+        engine.config().batch_size
+    );
+    out.push_str(&stats.report());
+    out.push_str(&format!("cache entries      {}\n", engine.cache_len()));
+    out.push_str(&format!("misrouted          {misrouted}\n"));
+    Ok(out)
 }
 
 fn classify(args: &[String]) -> Result<String, CliError> {
@@ -394,7 +438,9 @@ fn named(args: &[String]) -> Result<String, CliError> {
         .clone();
     let n = parse_n(args.get(1), "order n")?;
     let k: i64 = match args.get(2) {
-        Some(s) => s.parse().map_err(|_| CliError::new("parameter k must be an integer"))?,
+        Some(s) => {
+            s.parse().map_err(|_| CliError::new("parameter k must be an integer"))?
+        }
         None => 1,
     };
     let d = match name.as_str() {
@@ -521,7 +567,10 @@ mod tests {
 
     #[test]
     fn named_generators() {
-        assert_eq!(run_str("named bit-reversal 3").unwrap().trim(), "(0, 4, 2, 6, 1, 5, 3, 7)");
+        assert_eq!(
+            run_str("named bit-reversal 3").unwrap().trim(),
+            "(0, 4, 2, 6, 1, 5, 3, 7)"
+        );
         assert_eq!(run_str("named shift 2 1").unwrap().trim(), "(1, 2, 3, 0)");
         assert!(run_str("named transpose 3").is_err());
         assert!(run_str("named p-order 3 4").is_err()); // even p
@@ -563,6 +612,17 @@ mod extension_tests {
         assert!(out.contains("inverse-omega: true"));
         assert!(out.contains("omega: true"));
         assert!(run_str("factor 0 1 2").is_err());
+    }
+
+    #[test]
+    fn engine_command() {
+        let out = run_str("engine 3 200 2").unwrap();
+        assert!(out.contains("engine run: B(3), 200 requests, 2 workers"), "{out}");
+        assert!(out.contains("200 submitted, 200 completed, 0 failed"), "{out}");
+        assert!(out.contains("misrouted          0"), "{out}");
+        assert!(run_str("engine 2").is_err()); // no hard perms below B(3)
+        assert!(run_str("engine 4 0").is_err());
+        assert!(run_str("engine 4 10 0").is_err());
     }
 
     #[test]

@@ -261,10 +261,7 @@ mod tests {
         assert_eq!(cycle_factor(4), 34);
         assert_eq!(cycle_factor(5), 82);
         for k in 3..30 {
-            assert_eq!(
-                cycle_factor(k),
-                2 * cycle_factor(k - 1) + cycle_factor(k - 2)
-            );
+            assert_eq!(cycle_factor(k), 2 * cycle_factor(k - 1) + cycle_factor(k - 2));
         }
     }
 

@@ -219,9 +219,7 @@ pub fn is_in_f_by_simulation(d: &Permutation) -> bool {
 mod tests {
     use super::*;
     use benes_perm::bpc::Bpc;
-    use benes_perm::omega::{
-        cyclic_shift, is_inverse_omega, is_omega, p_ordering_shift,
-    };
+    use benes_perm::omega::{cyclic_shift, is_inverse_omega, is_omega, p_ordering_shift};
 
     fn all_perms(len: u32) -> Vec<Permutation> {
         fn rec(rem: &mut Vec<u32>, cur: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
@@ -239,9 +237,7 @@ mod tests {
         }
         let mut out = Vec::new();
         rec(&mut (0..len).collect(), &mut Vec::new(), &mut out);
-        out.into_iter()
-            .map(|d| Permutation::from_destinations(d).unwrap())
-            .collect()
+        out.into_iter().map(|d| Permutation::from_destinations(d).unwrap()).collect()
     }
 
     #[test]
@@ -323,10 +319,8 @@ mod tests {
     #[test]
     fn omega_is_not_subset_of_f() {
         // Fig. 5's D ∈ Ω(2) ∖ F(2); count how many Ω(3) escape F(3).
-        let escapees = all_perms(8)
-            .into_iter()
-            .filter(|d| is_omega(d) && !is_in_f(d))
-            .count();
+        let escapees =
+            all_perms(8).into_iter().filter(|d| is_omega(d) && !is_in_f(d)).count();
         assert!(escapees > 0, "some Ω permutations must lie outside F");
     }
 
@@ -339,10 +333,7 @@ mod tests {
         // {0,3}/{1,2} every ordering works (8 perms). Note |Ω(2)| = 16:
         // the self-routing Benes class is strictly richer than omega.
         let f2 = all_perms(4).iter().filter(|d| is_in_f(d)).count();
-        let f2_sim = all_perms(4)
-            .iter()
-            .filter(|d| is_in_f_by_simulation(d))
-            .count();
+        let f2_sim = all_perms(4).iter().filter(|d| is_in_f_by_simulation(d)).count();
         assert_eq!(f2, f2_sim);
         assert_eq!(f2, 20);
     }
@@ -383,10 +374,8 @@ mod tests {
             all_perms(4).into_iter().filter(is_in_f).collect();
         for g0 in &f2_members {
             for g1 in &f2_members {
-                let g = within_blocks(&j, |b| {
-                    if b == 0 { g0.clone() } else { g1.clone() }
-                })
-                .unwrap();
+                let g = within_blocks(&j, |b| if b == 0 { g0.clone() } else { g1.clone() })
+                    .unwrap();
                 assert!(is_in_f(&g), "Theorem 4 violated for ({g0}, {g1})");
             }
         }
@@ -403,7 +392,11 @@ mod tests {
             for g0 in f2_members.iter().take(6) {
                 for g1 in f2_members.iter().take(6) {
                     let g = between_blocks(&j, &block_map, |b| {
-                        if b == 0 { g0.clone() } else { g1.clone() }
+                        if b == 0 {
+                            g0.clone()
+                        } else {
+                            g1.clone()
+                        }
                     })
                     .unwrap();
                     assert!(is_in_f(&g), "Theorem 5 violated");

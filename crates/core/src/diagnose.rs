@@ -164,14 +164,8 @@ mod tests {
         let middle = net.stage_count() / 2;
         for h in &hypotheses {
             if h.stuck_at != healthy.settings().get(h.stage, h.switch) {
-                assert!(
-                    h.stage <= middle,
-                    "late-stage fault {h:?} cannot be masked"
-                );
-                assert_eq!(
-                    self_route_with_fault(&net, &perm, *h),
-                    healthy.outputs()
-                );
+                assert!(h.stage <= middle, "late-stage fault {h:?} cannot be masked");
+                assert_eq!(self_route_with_fault(&net, &perm, *h), healthy.outputs());
             }
         }
     }
@@ -184,8 +178,7 @@ mod tests {
         for stage in 0..net.stage_count() {
             for switch in 0..net.switches_per_stage() {
                 let intended = healthy.settings().get(stage, switch);
-                let fault =
-                    StuckSwitch { stage, switch, stuck_at: intended.toggled() };
+                let fault = StuckSwitch { stage, switch, stuck_at: intended.toggled() };
                 let observed = self_route_with_fault(&net, &perm, fault);
                 let hypotheses = locate_stuck_switch(&net, &perm, &observed);
                 assert!(
@@ -206,11 +199,7 @@ mod tests {
         let observed = self_route_with_fault(&net, &perm, fault);
         assert_ne!(observed, healthy.outputs());
         // Exactly two tags displaced.
-        let wrong = observed
-            .iter()
-            .zip(healthy.outputs())
-            .filter(|(a, b)| a != b)
-            .count();
+        let wrong = observed.iter().zip(healthy.outputs()).filter(|(a, b)| a != b).count();
         assert_eq!(wrong, 2);
     }
 

@@ -107,8 +107,7 @@ pub fn factor_inverse_omega_omega(
     for (pos, &record) in phi.iter().enumerate() {
         phi_dest[record as usize] = pos as u32;
     }
-    let phi =
-        Permutation::from_destinations(phi_dest).expect("wiring is a bijection");
+    let phi = Permutation::from_destinations(phi_dest).expect("wiring is a bijection");
 
     let p = p_raw.then(&phi.inverse());
     let q = p.inverse().then(d);
@@ -137,9 +136,7 @@ mod tests {
         }
         let mut out = Vec::new();
         rec(&mut (0..len).collect(), &mut Vec::new(), &mut out);
-        out.into_iter()
-            .map(|d| Permutation::from_destinations(d).unwrap())
-            .collect()
+        out.into_iter().map(|d| Permutation::from_destinations(d).unwrap()).collect()
     }
 
     #[test]
@@ -180,9 +177,9 @@ mod tests {
 
     #[test]
     fn trivial_sizes() {
-        let (p, q) = factor_inverse_omega_omega(&Permutation::from_destinations(
-            vec![1, 0],
-        ).unwrap())
+        let (p, q) = factor_inverse_omega_omega(
+            &Permutation::from_destinations(vec![1, 0]).unwrap(),
+        )
         .unwrap();
         assert_eq!(p.destinations(), &[1, 0]);
         assert!(q.is_identity());

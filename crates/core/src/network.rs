@@ -160,10 +160,7 @@ impl SwitchSettings {
     /// bits an SIMD set-up computation would return (§I of the paper).
     #[must_use]
     pub fn to_bits(&self) -> Vec<u64> {
-        self.stages
-            .iter()
-            .flat_map(|st| st.iter().map(|s| s.as_bit()))
-            .collect()
+        self.stages.iter().flat_map(|st| st.iter().map(|s| s.as_bit())).collect()
     }
 }
 
@@ -200,14 +197,12 @@ impl fmt::Display for NetworkError {
             Self::InputLength { expected, actual } => {
                 write!(f, "input vector has length {actual}, network expects {expected}")
             }
-            Self::SettingsOrder { network_n, settings_n } => write!(
-                f,
-                "settings are for B({settings_n}), network is B({network_n})"
-            ),
-            Self::PermutationLength { expected, actual } => write!(
-                f,
-                "permutation has length {actual}, network expects {expected}"
-            ),
+            Self::SettingsOrder { network_n, settings_n } => {
+                write!(f, "settings are for B({settings_n}), network is B({network_n})")
+            }
+            Self::PermutationLength { expected, actual } => {
+                write!(f, "permutation has length {actual}, network expects {expected}")
+            }
         }
     }
 }
@@ -345,8 +340,7 @@ impl Benes {
                 actual: inputs.len(),
             });
         }
-        let (out, _) =
-            self.propagate(inputs.to_vec(), |s, i, _, _| settings.get(s, i));
+        let (out, _) = self.propagate(inputs.to_vec(), |s, i, _, _| settings.get(s, i));
         Ok(out)
     }
 
@@ -401,8 +395,7 @@ impl Benes {
                 cur = out;
             }
         }
-        let outputs =
-            cur.into_iter().map(|o| o.expect("every port filled")).collect();
+        let outputs = cur.into_iter().map(|o| o.expect("every port filled")).collect();
         (outputs, settings)
     }
 
@@ -412,6 +405,51 @@ impl Benes {
     #[must_use]
     pub fn transit_delay(&self) -> usize {
         self.stage_count()
+    }
+
+    /// Replays a switch-state assignment and reports the permutation the
+    /// network realizes under it: input `i` emerges at output
+    /// `realized[i]`.
+    ///
+    /// This is the **settings-replay** entry point for plan caches and
+    /// other serving layers: a [`SwitchSettings`] computed once (by
+    /// [`crate::waksman::setup`], a self-routing pass, or deserialization)
+    /// can be re-applied in a single `O(N log N)` transit with **zero**
+    /// set-up work, and this method states exactly which permutation that
+    /// replay performs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::SettingsOrder`] if the settings were built
+    /// for a different network order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use benes_core::{waksman, Benes};
+    /// use benes_perm::Permutation;
+    ///
+    /// let net = Benes::new(2);
+    /// let d = Permutation::from_destinations(vec![1, 3, 2, 0]).unwrap();
+    /// let settings = waksman::setup(&d).unwrap();
+    /// // Replaying the cached settings realizes exactly `d` again.
+    /// assert_eq!(net.realized_permutation(&settings)?, d);
+    /// # Ok::<(), benes_core::network::NetworkError>(())
+    /// ```
+    pub fn realized_permutation(
+        &self,
+        settings: &SwitchSettings,
+    ) -> Result<benes_perm::Permutation, NetworkError> {
+        let ids: Vec<u32> = (0..self.terminal_count() as u32).collect();
+        let arrived = self.route_with(settings, &ids)?;
+        // arrived[o] = input record at output o; the realized permutation
+        // sends input i to the output where i surfaced.
+        let mut dest = vec![0u32; arrived.len()];
+        for (o, &i) in arrived.iter().enumerate() {
+            dest[i as usize] = o as u32;
+        }
+        Ok(benes_perm::Permutation::from_destinations(dest)
+            .expect("any switch assignment permutes the inputs"))
     }
 }
 
@@ -509,6 +547,37 @@ mod tests {
         let mut out = net.route_with(&s, &data).unwrap();
         out.sort_unstable();
         assert_eq!(out, data);
+    }
+
+    #[test]
+    fn realized_permutation_inverts_route_with() {
+        // For a deterministic settings pattern, the realized permutation
+        // must agree with what route_with actually does to the data.
+        let net = Benes::new(3);
+        let mut s = SwitchSettings::all_straight(3);
+        for stage in 0..s.stage_count() {
+            for sw in 0..net.switches_per_stage() {
+                if (stage + 2 * sw) % 3 == 0 {
+                    s.set(stage, sw, SwitchState::Cross);
+                }
+            }
+        }
+        let realized = net.realized_permutation(&s).unwrap();
+        let data: Vec<u32> = (100..108).collect();
+        let routed = net.route_with(&s, &data).unwrap();
+        for (i, &d) in realized.destinations().iter().enumerate() {
+            assert_eq!(routed[d as usize], data[i]);
+        }
+    }
+
+    #[test]
+    fn realized_permutation_checks_order() {
+        let net = Benes::new(2);
+        let s = SwitchSettings::all_straight(3);
+        assert!(matches!(
+            net.realized_permutation(&s),
+            Err(NetworkError::SettingsOrder { network_n: 2, settings_n: 3 })
+        ));
     }
 
     #[test]

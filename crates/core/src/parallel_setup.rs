@@ -55,7 +55,9 @@ pub struct ParallelCost {
 ///
 /// Returns an error if the length is not a power of two (or exceeds the
 /// supported maximum), exactly like the sequential set-up.
-pub fn setup_parallel(d: &Permutation) -> Result<(SwitchSettings, ParallelCost), SetupError> {
+pub fn setup_parallel(
+    d: &Permutation,
+) -> Result<(SwitchSettings, ParallelCost), SetupError> {
     let n = d
         .log2_len()
         .filter(|&n| n >= 1)
@@ -75,11 +77,8 @@ pub fn setup_parallel(d: &Permutation) -> Result<(SwitchSettings, ParallelCost),
         cost.levels += 1;
         if m == 1 {
             for (perm, stage_base, row_base) in &problems {
-                let state = if perm[0] == 0 {
-                    SwitchState::Straight
-                } else {
-                    SwitchState::Cross
-                };
+                let state =
+                    if perm[0] == 0 { SwitchState::Straight } else { SwitchState::Cross };
                 settings.set(*stage_base, *row_base, state);
             }
             // Setting a switch from a local register: one parallel step.
@@ -154,8 +153,7 @@ fn split_level(
     // which also keeps the Waksman-removable switches straight.
     // (One more parallel round: each PE reads its partner's leader.)
     rounds += 1;
-    let side: Vec<u8> =
-        (0..len).map(|x| u8::from(leader[x] > leader[x ^ 1])).collect();
+    let side: Vec<u8> = (0..len).map(|x| u8::from(leader[x] > leader[x ^ 1])).collect();
 
     // Outer stages + induced sub-permutations (one more parallel round:
     // every switch/PE acts locally).
@@ -165,8 +163,7 @@ fn split_level(
     let mut lower = vec![0u32; half];
     for i in 0..half {
         let up_in = if side[2 * i] == 0 { 2 * i } else { 2 * i + 1 };
-        let state =
-            if up_in == 2 * i { SwitchState::Straight } else { SwitchState::Cross };
+        let state = if up_in == 2 * i { SwitchState::Straight } else { SwitchState::Cross };
         settings.set(stage_base, row_base + i, state);
         upper[i] = perm[up_in] >> 1;
         lower[i] = perm[up_in ^ 1] >> 1;
@@ -176,11 +173,8 @@ fn split_level(
         // Output side: output 2j is fed by the upper subnetwork iff the
         // input mapped to it went up.
         let feeder = inv[2 * j] as usize;
-        let state = if side[feeder] == 0 {
-            SwitchState::Straight
-        } else {
-            SwitchState::Cross
-        };
+        let state =
+            if side[feeder] == 0 { SwitchState::Straight } else { SwitchState::Cross };
         settings.set(stage_base + stages - 1, row_base + j, state);
     }
     (upper, lower, rounds)
@@ -302,8 +296,6 @@ mod tests {
         }
         let mut out = Vec::new();
         rec(&mut (0..len).collect(), &mut Vec::new(), &mut out);
-        out.into_iter()
-            .map(|d| Permutation::from_destinations(d).unwrap())
-            .collect()
+        out.into_iter().map(|d| Permutation::from_destinations(d).unwrap()).collect()
     }
 }

@@ -63,12 +63,7 @@ impl<T> Pipeline<T> {
     pub fn new(n: u32) -> Self {
         let net = Benes::new(n);
         let stages = net.stage_count();
-        Self {
-            net,
-            regs: (0..stages).map(|_| None).collect(),
-            clock: 0,
-            emitted: 0,
-        }
+        Self { net, regs: (0..stages).map(|_| None).collect(), clock: 0, emitted: 0 }
     }
 
     /// The underlying network.
@@ -127,9 +122,8 @@ impl<T> Pipeline<T> {
         let stages = self.net.stage_count();
 
         // Process the last stage first so registers free up front-to-back.
-        let emitted = self.regs[stages - 1]
-            .take()
-            .map(|wave| self.step_stage(stages - 1, wave));
+        let emitted =
+            self.regs[stages - 1].take().map(|wave| self.step_stage(stages - 1, wave));
         for s in (0..stages - 1).rev() {
             if let Some(wave) = self.regs[s].take() {
                 let advanced = self.step_stage(s, wave);
@@ -189,8 +183,7 @@ impl<T> Pipeline<T> {
         }
         if s < self.net.stage_count() - 1 {
             let link = self.net.link(s);
-            let mut next: Vec<Option<Record<T>>> =
-                (0..out.len()).map(|_| None).collect();
+            let mut next: Vec<Option<Record<T>>> = (0..out.len()).map(|_| None).collect();
             for (p, item) in out.into_iter().enumerate() {
                 next[link[p] as usize] = item;
             }
@@ -209,11 +202,7 @@ mod tests {
     use benes_perm::Permutation;
 
     fn tagged(perm: &Permutation) -> Vec<Record<u32>> {
-        perm.destinations()
-            .iter()
-            .enumerate()
-            .map(|(i, &d)| (d, i as u32))
-            .collect()
+        perm.destinations().iter().enumerate().map(|(i, &d)| (d, i as u32)).collect()
     }
 
     #[test]

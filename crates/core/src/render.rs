@@ -100,10 +100,7 @@ pub fn render_trace(trace: &RouteTrace) -> String {
     if trace.is_success() {
         out.push_str("SUCCESS: every tag reached its named output\n");
     } else {
-        out.push_str(&format!(
-            "FAILURE: misrouted outputs {:?}\n",
-            trace.misrouted()
-        ));
+        out.push_str(&format!("FAILURE: misrouted outputs {:?}\n", trace.misrouted()));
     }
     out
 }

@@ -215,10 +215,7 @@ impl Benes {
             });
         }
         Ok(self.propagate(records, |s, _, upper, _| {
-            SwitchState::from_bit(benes_bits::bit(
-                u64::from(upper.0),
-                self.control_bit(s),
-            ))
+            SwitchState::from_bit(benes_bits::bit(u64::from(upper.0), self.control_bit(s)))
         }))
     }
 }
@@ -376,9 +373,7 @@ mod tests {
         let net = Benes::new(4);
         let perm = Bpc::bit_reversal(4).to_permutation();
         let outcome = net.self_route(&perm);
-        let replay = net
-            .route_with(outcome.settings(), perm.destinations())
-            .unwrap();
+        let replay = net.route_with(outcome.settings(), perm.destinations()).unwrap();
         assert_eq!(replay, outcome.outputs());
     }
 
@@ -398,8 +393,6 @@ mod tests {
         }
         let mut out = Vec::new();
         rec(&mut (0..len).collect(), &mut Vec::new(), &mut out);
-        out.into_iter()
-            .map(|d| Permutation::from_destinations(d).unwrap())
-            .collect()
+        out.into_iter().map(|d| Permutation::from_destinations(d).unwrap()).collect()
     }
 }

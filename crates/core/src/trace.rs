@@ -86,8 +86,7 @@ impl RouteTrace {
             });
         }
         let stages = net.stage_count();
-        let mut stage_inputs: Vec<Vec<u32>> =
-            vec![vec![0; net.terminal_count()]; stages];
+        let mut stage_inputs: Vec<Vec<u32>> = vec![vec![0; net.terminal_count()]; stages];
         let forced_straight = match mode {
             TraceMode::OmegaBit => net.n() as usize - 1,
             _ => 0,

@@ -111,8 +111,7 @@ fn setup_recursive(
     let len = perm.len();
     debug_assert_eq!(len, 1 << m);
     if m == 1 {
-        let state =
-            if perm[0] == 0 { SwitchState::Straight } else { SwitchState::Cross };
+        let state = if perm[0] == 0 { SwitchState::Straight } else { SwitchState::Cross };
         settings.set(stage_base, row_base, state);
         return;
     }
@@ -214,7 +213,12 @@ pub fn reduced_fixed_switches(n: u32) -> Vec<(usize, usize)> {
     fixed
 }
 
-fn collect_fixed(m: u32, stage_base: usize, row_base: usize, out: &mut Vec<(usize, usize)>) {
+fn collect_fixed(
+    m: u32,
+    stage_base: usize,
+    row_base: usize,
+    out: &mut Vec<(usize, usize)>,
+) {
     if m == 1 {
         return; // the single switch of B(1) is essential
     }
@@ -405,8 +409,6 @@ mod tests {
         }
         let mut out = Vec::new();
         rec(&mut (0..len).collect(), &mut Vec::new(), &mut out);
-        out.into_iter()
-            .map(|d| Permutation::from_destinations(d).unwrap())
-            .collect()
+        out.into_iter().map(|d| Permutation::from_destinations(d).unwrap()).collect()
     }
 }

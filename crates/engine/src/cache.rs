@@ -1,0 +1,256 @@
+//! The sharded LRU plan cache: repeated permutations never pay set-up
+//! twice.
+//!
+//! Keys are the stable 64-bit fingerprint of the permutation
+//! ([`benes_perm::Permutation::fingerprint`]); the top bits select a
+//! shard so concurrent workers rarely contend on the same lock. Each
+//! entry stores the full permutation alongside its plan and every hit
+//! verifies equality, so a fingerprint collision degrades to a cache
+//! miss — never to a wrong plan.
+//!
+//! Eviction is exact LRU per shard, implemented with a monotonic
+//! use-stamp: a hit refreshes the stamp, and an insert into a full shard
+//! evicts the entry with the smallest stamp (an `O(shard capacity)` scan
+//! that only runs on insert-when-full, off the hit path).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use benes_perm::Permutation;
+
+use crate::plan::Plan;
+
+struct Entry {
+    perm: Permutation,
+    plan: Arc<Plan>,
+    last_used: u64,
+}
+
+struct Shard {
+    map: HashMap<u64, Entry>,
+}
+
+/// A sharded, thread-safe LRU cache from permutations to computed
+/// [`Plan`]s.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+///
+/// use benes_engine::cache::PlanCache;
+/// use benes_engine::plan::{plan, Fallback};
+/// use benes_perm::Permutation;
+///
+/// let cache = PlanCache::new(64, 4);
+/// let d = Permutation::from_destinations(vec![3, 0, 1, 2]).unwrap();
+/// assert!(cache.get(&d).is_none());
+/// cache.insert(&d, Arc::new(plan(&d, Fallback::Waksman).unwrap()));
+/// assert!(cache.get(&d).is_some());
+/// assert_eq!(cache.len(), 1);
+/// ```
+pub struct PlanCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_capacity: usize,
+    clock: AtomicU64,
+}
+
+impl PlanCache {
+    /// Builds a cache holding at most `capacity` plans across
+    /// `shards` independently locked shards.
+    ///
+    /// The shard count is rounded up to a power of two (so shard
+    /// selection is a mask of the fingerprint's top bits) and the
+    /// capacity is divided evenly, at least one entry per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `shards == 0`.
+    #[must_use]
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be at least 1");
+        assert!(shards > 0, "cache must have at least one shard");
+        let shard_count = shards.next_power_of_two();
+        let shard_capacity = capacity.div_ceil(shard_count);
+        let shards =
+            (0..shard_count).map(|_| Mutex::new(Shard { map: HashMap::new() })).collect();
+        Self { shards, shard_capacity, clock: AtomicU64::new(0) }
+    }
+
+    fn shard_for(&self, fingerprint: u64) -> &Mutex<Shard> {
+        // Top bits: the splitmix finalizer in `fingerprint()` avalanches
+        // them, and HashMap's own hashing consumes the low bits.
+        let idx = (fingerprint >> 48) as usize & (self.shards.len() - 1);
+        &self.shards[idx]
+    }
+
+    /// Looks up the plan cached for `d`, refreshing its recency.
+    ///
+    /// Returns `None` on a true miss **and** on a fingerprint collision
+    /// (the stored permutation is compared for equality).
+    #[must_use]
+    pub fn get(&self, d: &Permutation) -> Option<Arc<Plan>> {
+        let fp = d.fingerprint();
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard_for(fp).lock().expect("cache shard poisoned");
+        let entry = shard.map.get_mut(&fp)?;
+        if entry.perm != *d {
+            return None;
+        }
+        entry.last_used = stamp;
+        Some(Arc::clone(&entry.plan))
+    }
+
+    /// Inserts (or replaces) the plan for `d`, evicting the shard's
+    /// least-recently-used entry if the shard is full.
+    ///
+    /// Concurrent inserts of the same permutation are idempotent: the
+    /// map is keyed by fingerprint, so the shard ends with exactly one
+    /// entry for `d` no matter how many threads raced.
+    pub fn insert(&self, d: &Permutation, plan: Arc<Plan>) {
+        let fp = d.fingerprint();
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard_for(fp).lock().expect("cache shard poisoned");
+        if !shard.map.contains_key(&fp) && shard.map.len() >= self.shard_capacity {
+            if let Some((&victim, _)) = shard.map.iter().min_by_key(|(_, e)| e.last_used) {
+                shard.map.remove(&victim);
+            }
+        }
+        shard.map.insert(fp, Entry { perm: d.clone(), plan, last_used: stamp });
+    }
+
+    /// The number of plans currently cached, across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").map.len()).sum()
+    }
+
+    /// Whether the cache holds no plans.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The maximum number of plans the cache can hold (shard capacity ×
+    /// shard count; may slightly exceed the requested capacity due to
+    /// rounding).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity * self.shards.len()
+    }
+
+    /// The number of shards (always a power of two).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity())
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: &[u32]) -> Permutation {
+        Permutation::from_destinations(v.to_vec()).unwrap()
+    }
+
+    fn dummy_plan() -> Arc<Plan> {
+        Arc::new(Plan::SelfRoute)
+    }
+
+    /// Rotations of 0..len give an unbounded family of distinct keys.
+    fn rotation(len: usize, k: usize) -> Permutation {
+        Permutation::from_fn(len, |i| (i + k as u32) % len as u32).unwrap()
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let cache = PlanCache::new(8, 2);
+        let d = p(&[1, 0, 3, 2]);
+        assert!(cache.get(&d).is_none());
+        cache.insert(&d, dummy_plan());
+        assert_eq!(cache.get(&d).as_deref(), Some(&Plan::SelfRoute));
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn reinsert_is_idempotent() {
+        let cache = PlanCache::new(8, 1);
+        let d = p(&[1, 0, 3, 2]);
+        cache.insert(&d, dummy_plan());
+        cache.insert(&d, dummy_plan());
+        cache.insert(&d, dummy_plan());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_and_hits_refresh() {
+        // Single shard of capacity 2 makes the eviction order exact.
+        let cache = PlanCache::new(2, 1);
+        let a = rotation(8, 1);
+        let b = rotation(8, 2);
+        let c = rotation(8, 3);
+        cache.insert(&a, dummy_plan());
+        cache.insert(&b, dummy_plan());
+        // Touch `a` so `b` becomes the LRU victim.
+        assert!(cache.get(&a).is_some());
+        cache.insert(&c, dummy_plan());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&a).is_some(), "recently used entry survived");
+        assert!(cache.get(&b).is_none(), "LRU entry evicted");
+        assert!(cache.get(&c).is_some());
+    }
+
+    #[test]
+    fn capacity_is_bounded_under_churn() {
+        let cache = PlanCache::new(16, 4);
+        for k in 0..200 {
+            cache.insert(&rotation(256, k), dummy_plan());
+        }
+        assert!(cache.len() <= cache.capacity());
+        assert!(cache.capacity() >= 16);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(PlanCache::new(16, 3).shard_count(), 4);
+        assert_eq!(PlanCache::new(16, 1).shard_count(), 1);
+    }
+
+    #[test]
+    fn concurrent_same_key_inserts_leave_one_entry() {
+        let cache = Arc::new(PlanCache::new(64, 8));
+        let d = p(&[3, 0, 1, 2]);
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let d = d.clone();
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for _ in 0..100 {
+                        cache.insert(&d, Arc::new(Plan::SelfRoute));
+                        assert!(cache.get(&d).is_some());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cache.len(), 1, "no torn or duplicate entries");
+    }
+}

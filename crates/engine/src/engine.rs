@@ -1,0 +1,477 @@
+//! The batched worker pool: a submission queue drained in configurable
+//! batches by `k` `std::thread` workers, with per-request outcome
+//! delivery over `mpsc` channels.
+//!
+//! Every request travels: [`Engine::submit`] → shared queue →
+//! worker batch drain → tier planning / cache lookup → execution on the
+//! worker's memoized `B(n)` → outcome sent to the caller's [`Ticket`].
+//! The queue is a `Mutex<VecDeque>` + `Condvar` pair so workers can
+//! drain *batches* under one lock acquisition (amortizing contention at
+//! high load) and the engine can record the queue-depth high-water mark
+//! at the moment of each submit.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use benes_core::Benes;
+use benes_perm::Permutation;
+
+use crate::cache::PlanCache;
+use crate::plan::{execute, plan, required_order, Fallback, PlanError, Tier};
+use crate::stats::{EngineStats, Recorder};
+
+/// Tuning knobs for [`Engine::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Number of worker threads draining the queue.
+    pub workers: usize,
+    /// Maximum number of requests a worker takes per queue drain.
+    pub batch_size: usize,
+    /// Total plan-cache capacity (entries across all shards).
+    pub cache_capacity: usize,
+    /// Number of independently locked cache shards (rounded up to a
+    /// power of two).
+    pub cache_shards: usize,
+    /// The expensive tier used for permutations outside `F(n) ∪ Ω(n)`.
+    pub fallback: Fallback,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            batch_size: 16,
+            cache_capacity: 1024,
+            cache_shards: 8,
+            fallback: Fallback::Waksman,
+        }
+    }
+}
+
+/// Error produced while serving a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// The permutation cannot be planned (bad length / too large).
+    Plan(PlanError),
+    /// The executed plan did not realize the requested permutation.
+    /// This indicates a bug (or injected fault) — the engine verifies
+    /// every routing rather than trusting the planner.
+    Misrouted,
+    /// The worker serving the request disappeared before replying.
+    WorkerLost,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Plan(e) => write!(f, "planning failed: {e}"),
+            Self::Misrouted => write!(f, "executed plan did not realize the permutation"),
+            Self::WorkerLost => {
+                write!(f, "worker terminated before completing the request")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<PlanError> for EngineError {
+    fn from(e: PlanError) -> Self {
+        Self::Plan(e)
+    }
+}
+
+/// The per-request result returned through a [`Ticket`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestOutcome {
+    /// Which tier served the request (`Ok`) or why it failed (`Err`).
+    pub result: Result<Tier, EngineError>,
+    /// Submit → completion latency (queue wait included).
+    pub latency: Duration,
+}
+
+impl RequestOutcome {
+    /// Whether the request was routed correctly.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.result.is_ok()
+    }
+
+    /// The tier that served the request, if it succeeded.
+    #[must_use]
+    pub fn tier(&self) -> Option<Tier> {
+        self.result.as_ref().ok().copied()
+    }
+}
+
+/// A handle on one submitted request; redeem it with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<RequestOutcome>,
+}
+
+impl Ticket {
+    /// Blocks until the request completes and returns its outcome.
+    ///
+    /// If the serving worker vanished (panic during engine teardown),
+    /// the outcome carries [`EngineError::WorkerLost`] rather than
+    /// panicking the caller.
+    #[must_use]
+    pub fn wait(self) -> RequestOutcome {
+        self.rx.recv().unwrap_or(RequestOutcome {
+            result: Err(EngineError::WorkerLost),
+            latency: Duration::ZERO,
+        })
+    }
+}
+
+struct Job {
+    perm: Permutation,
+    submitted_at: Instant,
+    reply: mpsc::Sender<RequestOutcome>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    available: Condvar,
+    cache: PlanCache,
+    recorder: Recorder,
+    fallback: Fallback,
+    batch_size: usize,
+}
+
+/// The permutation-routing engine: tiered planner + sharded plan cache
+/// + batched worker pool + stats, behind a submit/wait API.
+///
+/// Dropping the engine signals shutdown, drains nothing further, and
+/// joins all workers; outstanding tickets resolve with
+/// [`EngineError::WorkerLost`] only if a worker panicked — a normal
+/// drop first finishes every queued request.
+///
+/// # Examples
+///
+/// ```
+/// use benes_engine::{Engine, EngineConfig, Tier};
+/// use benes_perm::bpc::Bpc;
+///
+/// let engine = Engine::new(EngineConfig { workers: 2, ..EngineConfig::default() });
+/// let transpose = Bpc::matrix_transpose(4).to_permutation();
+/// let outcome = engine.submit(transpose).wait();
+/// assert_eq!(outcome.tier(), Some(Tier::SelfRoute));
+/// ```
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Spawns the worker pool described by `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers`, `batch_size`, `cache_capacity` or
+    /// `cache_shards` is zero.
+    #[must_use]
+    pub fn new(config: EngineConfig) -> Self {
+        assert!(config.workers > 0, "engine needs at least one worker");
+        assert!(config.batch_size > 0, "batch size must be at least 1");
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState::default()),
+            available: Condvar::new(),
+            cache: PlanCache::new(config.cache_capacity, config.cache_shards),
+            recorder: Recorder::new(),
+            fallback: config.fallback,
+            batch_size: config.batch_size,
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("benes-engine-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        Self { shared, workers, config }
+    }
+
+    /// An engine with [`EngineConfig::default`] settings.
+    #[must_use]
+    pub fn with_defaults() -> Self {
+        Self::new(EngineConfig::default())
+    }
+
+    /// The configuration the engine was built with.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Enqueues one routing request and returns its [`Ticket`].
+    pub fn submit(&self, perm: Permutation) -> Ticket {
+        let (tx, rx) = mpsc::channel();
+        self.shared.recorder.note_submitted();
+        {
+            let mut q = self.shared.queue.lock().expect("engine queue poisoned");
+            q.jobs.push_back(Job { perm, submitted_at: Instant::now(), reply: tx });
+            self.shared.recorder.note_queue_depth(q.jobs.len() as u64);
+        }
+        self.shared.available.notify_one();
+        Ticket { rx }
+    }
+
+    /// Enqueues many requests, returning one ticket per request in
+    /// submission order.
+    pub fn submit_all(&self, perms: impl IntoIterator<Item = Permutation>) -> Vec<Ticket> {
+        perms.into_iter().map(|p| self.submit(p)).collect()
+    }
+
+    /// Submits a whole batch and blocks until every request completes;
+    /// outcomes are in submission order.
+    pub fn run_batch(
+        &self,
+        perms: impl IntoIterator<Item = Permutation>,
+    ) -> Vec<RequestOutcome> {
+        self.submit_all(perms).into_iter().map(Ticket::wait).collect()
+    }
+
+    /// A point-in-time snapshot of the engine counters.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        self.shared.recorder.snapshot()
+    }
+
+    /// The number of plans currently held by the cache.
+    #[must_use]
+    pub fn cache_len(&self) -> usize {
+        self.shared.cache.len()
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("engine queue poisoned");
+            q.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("config", &self.config)
+            .field("cache_len", &self.cache_len())
+            .finish()
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    // Per-worker network memo: `B(n)` is immutable wiring, cheap to keep
+    // one copy per worker and never lock for it.
+    let mut nets: HashMap<u32, Benes> = HashMap::new();
+    loop {
+        let batch: Vec<Job> = {
+            let mut q = shared.queue.lock().expect("engine queue poisoned");
+            loop {
+                if !q.jobs.is_empty() {
+                    break;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.available.wait(q).expect("engine queue poisoned");
+            }
+            let take = shared.batch_size.min(q.jobs.len());
+            q.jobs.drain(..take).collect()
+        };
+        // More work may remain; wake a sibling before grinding through
+        // the batch so the queue keeps draining in parallel.
+        shared.available.notify_one();
+        for job in batch {
+            let result = serve_one(shared, &mut nets, &job.perm);
+            if result.is_ok() {
+                shared.recorder.note_completed();
+            } else {
+                shared.recorder.note_failed();
+            }
+            let latency = job.submitted_at.elapsed();
+            shared
+                .recorder
+                .note_latency_ns(latency.as_nanos().min(u128::from(u64::MAX)) as u64);
+            // A dropped ticket just means the caller stopped listening.
+            let _ = job.reply.send(RequestOutcome { result, latency });
+        }
+    }
+}
+
+/// Serves one request: cache lookup, then tier planning, execution, and
+/// cache fill. Every path verifies the realized routing.
+fn serve_one(
+    shared: &Shared,
+    nets: &mut HashMap<u32, Benes>,
+    perm: &Permutation,
+) -> Result<Tier, EngineError> {
+    let n = required_order(perm)?;
+    let net = nets.entry(n).or_insert_with(|| Benes::new(n));
+
+    match shared.cache.get(perm) {
+        Some(cached) => {
+            shared.recorder.note_cache(true);
+            if execute(net, perm, &cached) {
+                shared.recorder.note_tier(Tier::Cached);
+                return Ok(Tier::Cached);
+            }
+            // The cache verifies permutation equality on lookup, so a
+            // failing replay means a corrupted plan; replan from scratch.
+        }
+        None => shared.recorder.note_cache(false),
+    }
+
+    let fresh = plan(perm, shared.fallback)?;
+    let tier = fresh.tier();
+    if !execute(net, perm, &fresh) {
+        return Err(EngineError::Misrouted);
+    }
+    if fresh.is_cacheable() {
+        shared.cache.insert(perm, Arc::new(fresh));
+    }
+    shared.recorder.note_tier(tier);
+    Ok(tier)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use benes_perm::bpc::Bpc;
+
+    fn p(v: &[u32]) -> Permutation {
+        Permutation::from_destinations(v.to_vec()).unwrap()
+    }
+
+    /// A fixed witness outside `F(3) ∪ Ω(3)`.
+    fn hard_witness() -> Permutation {
+        p(&[2, 5, 3, 7, 1, 6, 4, 0])
+    }
+
+    #[test]
+    fn repeated_hard_permutation_hits_the_cache() {
+        // Acceptance criterion (a): a repeated non-F(n) permutation is
+        // served from the plan cache on its second submission.
+        let engine = Engine::new(EngineConfig { workers: 1, ..EngineConfig::default() });
+        let hard = hard_witness();
+        let first = engine.submit(hard.clone()).wait();
+        assert_eq!(first.tier(), Some(Tier::Waksman));
+        let second = engine.submit(hard).wait();
+        assert_eq!(second.tier(), Some(Tier::Cached));
+        let stats = engine.stats();
+        assert_eq!(stats.waksman, 1);
+        assert_eq!(stats.cached, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(engine.cache_len(), 1);
+    }
+
+    #[test]
+    fn self_route_tier_is_never_cached() {
+        let engine = Engine::new(EngineConfig { workers: 1, ..EngineConfig::default() });
+        let rev = Bpc::bit_reversal(4).to_permutation();
+        assert_eq!(engine.submit(rev.clone()).wait().tier(), Some(Tier::SelfRoute));
+        assert_eq!(engine.submit(rev).wait().tier(), Some(Tier::SelfRoute));
+        assert_eq!(engine.cache_len(), 0, "zero-set-up plans are not cached");
+    }
+
+    #[test]
+    fn factored_fallback_serves_and_caches() {
+        let engine = Engine::new(EngineConfig {
+            workers: 2,
+            fallback: Fallback::Factored,
+            ..EngineConfig::default()
+        });
+        let hard = hard_witness();
+        assert_eq!(engine.submit(hard.clone()).wait().tier(), Some(Tier::Factored));
+        assert_eq!(engine.submit(hard).wait().tier(), Some(Tier::Cached));
+    }
+
+    #[test]
+    fn unroutable_length_fails_cleanly() {
+        let engine = Engine::new(EngineConfig { workers: 1, ..EngineConfig::default() });
+        let outcome = engine.submit(p(&[2, 0, 1])).wait();
+        assert_eq!(
+            outcome.result,
+            Err(EngineError::Plan(PlanError::UnsupportedLength { len: 3 }))
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 0);
+    }
+
+    #[test]
+    fn run_batch_preserves_submission_order_and_mixed_sizes() {
+        let engine = Engine::with_defaults();
+        let batch = vec![
+            Bpc::bit_reversal(3).to_permutation(), // n = 3, self-route
+            hard_witness(),                        // n = 3, waksman
+            Permutation::identity(16),             // n = 4, self-route
+            hard_witness(),                        // may hit cache
+        ];
+        let outcomes = engine.run_batch(batch);
+        assert_eq!(outcomes.len(), 4);
+        assert!(outcomes.iter().all(RequestOutcome::is_ok));
+        assert_eq!(outcomes[0].tier(), Some(Tier::SelfRoute));
+        assert_eq!(outcomes[2].tier(), Some(Tier::SelfRoute));
+        // Request 3 repeats request 1; depending on worker interleaving
+        // it is either a fresh Waksman plan or a cache replay.
+        assert!(matches!(outcomes[3].tier(), Some(Tier::Waksman | Tier::Cached)));
+    }
+
+    #[test]
+    fn queued_work_completes_before_drop_finishes() {
+        let outcomes: Vec<Ticket> = {
+            let engine =
+                Engine::new(EngineConfig { workers: 2, ..EngineConfig::default() });
+            let tickets =
+                engine.submit_all((0..64).map(|_| Bpc::unshuffle(5).to_permutation()));
+            // Engine dropped here with requests possibly still queued.
+            tickets
+        };
+        for t in outcomes {
+            assert!(t.wait().is_ok(), "drop must drain the queue, not abandon it");
+        }
+    }
+
+    #[test]
+    fn stats_track_queue_high_water() {
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            batch_size: 4,
+            ..EngineConfig::default()
+        });
+        let outcomes = engine.run_batch(
+            (1..=32u32).map(|k| Permutation::from_fn(8, move |i| (i + k) % 8).unwrap()),
+        );
+        assert!(outcomes.iter().all(RequestOutcome::is_ok));
+        let stats = engine.stats();
+        assert!(stats.queue_high_water >= 1);
+        assert_eq!(stats.submitted, 32);
+        assert_eq!(stats.completed, 32);
+        assert!(stats.latency_max_ns >= stats.latency_min_ns);
+        assert!(stats.latency_mean_ns > 0);
+    }
+}

@@ -1,0 +1,55 @@
+//! **benes-engine** — a batched, cached, multi-threaded
+//! permutation-routing engine over the self-routing Benes network.
+//!
+//! The paper's headline economics: permutations in `F(n)` route
+//! themselves in `O(log N)` with **zero** set-up, `Ω(n)` needs only one
+//! asserted control wire, and everything else pays an `O(N log N)`
+//! external set-up (Waksman) or an `Ω⁻¹ · Ω` factorization. A serving
+//! system handling millions of requests must therefore *plan* per
+//! request and never pay set-up twice for a repeated permutation. This
+//! crate is that serving layer:
+//!
+//! * [`plan`] — the **tiered planner**: classify each request and pick
+//!   the cheapest realization (cached → self-route → omega-bit →
+//!   factored/Waksman), plus the executor that carries a plan out and
+//!   verifies the realized routing;
+//! * [`cache`] — the **plan cache**: a sharded LRU keyed by the stable
+//!   64-bit permutation fingerprint, so repeated permutations replay
+//!   cached [`benes_core::SwitchSettings`] with zero set-up;
+//! * [`engine`] — the **batched worker pool**: `k` `std::thread`
+//!   workers drain a submission queue in configurable batches and
+//!   return per-request outcomes over `mpsc` channels;
+//! * [`stats`] — the **stats layer**: per-tier hit counters, cache
+//!   hit/miss, queue-depth high-water mark, and latency min/mean/max;
+//! * [`workload`] — deterministic mixed workload generation (Table I
+//!   `BPC` + `Ω` members + hard permutations with repeats) for demos,
+//!   benchmarks and tests.
+//!
+//! # Quick start
+//!
+//! ```
+//! use benes_engine::{Engine, EngineConfig};
+//! use benes_engine::workload::mixed_workload;
+//!
+//! let engine = Engine::new(EngineConfig { workers: 4, ..EngineConfig::default() });
+//! let outcomes = engine.run_batch(mixed_workload(4, 200, 1));
+//! assert!(outcomes.iter().all(|o| o.is_ok()));
+//!
+//! let stats = engine.stats();
+//! assert_eq!(stats.completed, 200);
+//! println!("{}", stats.report());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod plan;
+pub mod stats;
+pub mod workload;
+
+pub use cache::PlanCache;
+pub use engine::{Engine, EngineConfig, EngineError, RequestOutcome, Ticket};
+pub use plan::{Fallback, Plan, PlanError, Tier};
+pub use stats::EngineStats;

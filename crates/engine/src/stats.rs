@@ -1,0 +1,266 @@
+//! The engine stats layer: lock-free counters recorded by the workers,
+//! snapshotted into a plain [`EngineStats`] struct for reporting.
+//!
+//! Everything is an atomic so the hot path never takes a lock for
+//! accounting: tier hits, cache hits/misses, the submission-queue
+//! high-water mark, and a min/mean/max latency sketch in nanoseconds
+//! (measured submit → completion with [`std::time::Instant`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::plan::Tier;
+
+/// Internal recorder shared by the workers. All operations are relaxed:
+/// counters are monotone and read only in snapshots.
+#[derive(Debug, Default)]
+pub(crate) struct Recorder {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    tier_cached: AtomicU64,
+    tier_self_route: AtomicU64,
+    tier_omega_bit: AtomicU64,
+    tier_factored: AtomicU64,
+    tier_waksman: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    queue_high_water: AtomicU64,
+    latency_min_ns: AtomicU64,
+    latency_max_ns: AtomicU64,
+    latency_sum_ns: AtomicU64,
+    latency_count: AtomicU64,
+}
+
+impl Recorder {
+    pub(crate) fn new() -> Self {
+        let r = Self::default();
+        r.latency_min_ns.store(u64::MAX, Ordering::Relaxed);
+        r
+    }
+
+    pub(crate) fn note_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_completed(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_tier(&self, tier: Tier) {
+        let counter = match tier {
+            Tier::Cached => &self.tier_cached,
+            Tier::SelfRoute => &self.tier_self_route,
+            Tier::OmegaBit => &self.tier_omega_bit,
+            Tier::Factored => &self.tier_factored,
+            Tier::Waksman => &self.tier_waksman,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_cache(&self, hit: bool) {
+        if hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn note_queue_depth(&self, depth: u64) {
+        self.queue_high_water.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_latency_ns(&self, ns: u64) {
+        self.latency_min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.latency_max_ns.fetch_max(ns, Ordering::Relaxed);
+        self.latency_sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> EngineStats {
+        let count = self.latency_count.load(Ordering::Relaxed);
+        let min = self.latency_min_ns.load(Ordering::Relaxed);
+        EngineStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            cached: self.tier_cached.load(Ordering::Relaxed),
+            self_route: self.tier_self_route.load(Ordering::Relaxed),
+            omega_bit: self.tier_omega_bit.load(Ordering::Relaxed),
+            factored: self.tier_factored.load(Ordering::Relaxed),
+            waksman: self.tier_waksman.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
+            latency_min_ns: if count == 0 { 0 } else { min },
+            latency_max_ns: self.latency_max_ns.load(Ordering::Relaxed),
+            latency_mean_ns: self
+                .latency_sum_ns
+                .load(Ordering::Relaxed)
+                .checked_div(count)
+                .unwrap_or(0),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the engine's counters.
+///
+/// Obtained from [`crate::Engine::stats`]; all fields are plain numbers
+/// so the snapshot is trivially serializable, diffable and printable
+/// (see [`EngineStats::report`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests that completed with a correct routing.
+    pub completed: u64,
+    /// Requests that failed (unroutable length, misroute, worker loss).
+    pub failed: u64,
+    /// Requests served by replaying a cached plan.
+    pub cached: u64,
+    /// Requests served by the zero-set-up self-routing tier (`F(n)`).
+    pub self_route: u64,
+    /// Requests served with the omega bit asserted (`Ω(n) \ F(n)`).
+    pub omega_bit: u64,
+    /// Requests served by a fresh `Ω⁻¹ · Ω` factorization.
+    pub factored: u64,
+    /// Requests served by a fresh Waksman set-up.
+    pub waksman: u64,
+    /// Plan-cache lookups that found a usable plan.
+    pub cache_hits: u64,
+    /// Plan-cache lookups that missed (or collided).
+    pub cache_misses: u64,
+    /// The deepest the submission queue ever got.
+    pub queue_high_water: u64,
+    /// Fastest submit→completion latency observed, nanoseconds.
+    pub latency_min_ns: u64,
+    /// Slowest submit→completion latency observed, nanoseconds.
+    pub latency_max_ns: u64,
+    /// Mean submit→completion latency, nanoseconds.
+    pub latency_mean_ns: u64,
+}
+
+impl EngineStats {
+    /// The fraction of cache lookups that hit, in `[0, 1]` (0 when no
+    /// lookups happened).
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// The fraction of completed requests that paid **zero set-up on
+    /// this request** (self-route, omega-bit, or cache replay).
+    #[must_use]
+    pub fn zero_setup_rate(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        (self.cached + self.self_route + self.omega_bit) as f64 / self.completed as f64
+    }
+
+    /// A human-readable multi-line report (used by `benes-cli engine`).
+    #[must_use]
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "requests: {} submitted, {} completed, {} failed\n",
+            self.submitted, self.completed, self.failed
+        ));
+        out.push_str("tier hits:\n");
+        for (name, count) in [
+            ("cached", self.cached),
+            ("self-route", self.self_route),
+            ("omega-bit", self.omega_bit),
+            ("factored", self.factored),
+            ("waksman", self.waksman),
+        ] {
+            out.push_str(&format!("  {name:<11} {count}\n"));
+        }
+        out.push_str(&format!(
+            "plan cache: {} hits, {} misses ({:.1}% hit rate)\n",
+            self.cache_hits,
+            self.cache_misses,
+            100.0 * self.cache_hit_rate()
+        ));
+        out.push_str(&format!(
+            "zero-set-up service rate: {:.1}%\n",
+            100.0 * self.zero_setup_rate()
+        ));
+        out.push_str(&format!("queue depth high-water mark: {}\n", self.queue_high_water));
+        out.push_str(&format!(
+            "latency (ns): min {} / mean {} / max {}\n",
+            self.latency_min_ns, self.latency_mean_ns, self.latency_max_ns
+        ));
+        out
+    }
+}
+
+impl std::fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.report())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_recorder_snapshots_to_zeros() {
+        let r = Recorder::new();
+        let s = r.snapshot();
+        assert_eq!(s, EngineStats::default());
+        assert_eq!(s.cache_hit_rate(), 0.0);
+        assert_eq!(s.zero_setup_rate(), 0.0);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let r = Recorder::new();
+        r.note_submitted();
+        r.note_submitted();
+        r.note_completed();
+        r.note_failed();
+        r.note_tier(Tier::SelfRoute);
+        r.note_tier(Tier::Cached);
+        r.note_tier(Tier::Waksman);
+        r.note_cache(true);
+        r.note_cache(false);
+        r.note_queue_depth(3);
+        r.note_queue_depth(7);
+        r.note_queue_depth(5);
+        r.note_latency_ns(100);
+        r.note_latency_ns(300);
+        let s = r.snapshot();
+        assert_eq!(s.submitted, 2);
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.failed, 1);
+        assert_eq!(s.self_route, 1);
+        assert_eq!(s.cached, 1);
+        assert_eq!(s.waksman, 1);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.queue_high_water, 7);
+        assert_eq!(s.latency_min_ns, 100);
+        assert_eq!(s.latency_max_ns, 300);
+        assert_eq!(s.latency_mean_ns, 200);
+        assert_eq!(s.cache_hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn report_mentions_every_tier() {
+        let s = Recorder::new().snapshot();
+        let text = s.report();
+        for tier in crate::plan::Tier::ALL {
+            assert!(text.contains(tier.name()), "report missing tier {tier}");
+        }
+    }
+}

@@ -106,10 +106,7 @@ impl Netlist {
     }
 
     fn push(&mut self, node: Node) -> Net {
-        assert!(
-            self.nodes.len() < u32::MAX as usize,
-            "netlist exceeds 2^32 - 1 wires"
-        );
+        assert!(self.nodes.len() < u32::MAX as usize, "netlist exceeds 2^32 - 1 wires");
         self.nodes.push(node);
         Net((self.nodes.len() - 1) as u32)
     }

@@ -218,7 +218,12 @@ impl GateBenes {
         self.route_mode(perm, data, true)
     }
 
-    fn route_mode(&self, perm: &Permutation, data: &[u64], omega: bool) -> GateRouteOutcome {
+    fn route_mode(
+        &self,
+        perm: &Permutation,
+        data: &[u64],
+        omega: bool,
+    ) -> GateRouteOutcome {
         let inputs = self.encode_inputs(perm, data, omega);
         let raw = self.netlist.eval(&inputs);
         self.decode_outputs(&raw)
@@ -569,7 +574,11 @@ mod tests {
                         },
                     );
                     let gate = hw.route_with_stuck_switch(
-                        &perm, &data, stage, switch, stuck_cross,
+                        &perm,
+                        &data,
+                        stage,
+                        switch,
+                        stuck_cross,
                     );
                     assert_eq!(
                         gate.tags(),
@@ -609,18 +618,13 @@ mod tests {
             let full_untapered_equiv = {
                 // The tapered network has no omega gating; compare against
                 // the same structure at full width: switches × base cost.
-                benes_core::topology::switch_count(n) as u64
-                    * gates_per_switch(n, w, false)
+                benes_core::topology::switch_count(n) as u64 * gates_per_switch(n, w, false)
             };
             // Savings: at stage n−1+k (k = 1..n−1) each of N/2 switches
             // muxes k fewer tag wires → 6·k gates saved per switch.
             let nn = 1u64 << n;
             let saved: u64 = (1..u64::from(n)).map(|k| nn / 2 * 6 * k).sum();
-            assert_eq!(
-                lean.gate_counts().total(),
-                full_untapered_equiv - saved,
-                "n = {n}"
-            );
+            assert_eq!(lean.gate_counts().total(), full_untapered_equiv - saved, "n = {n}");
         }
     }
 
@@ -661,8 +665,6 @@ mod tests {
         }
         let mut out = Vec::new();
         rec(&mut (0..len).collect(), &mut Vec::new(), &mut out);
-        out.into_iter()
-            .map(|d| Permutation::from_destinations(d).unwrap())
-            .collect()
+        out.into_iter().map(|d| Permutation::from_destinations(d).unwrap()).collect()
     }
 }

@@ -242,12 +242,8 @@ mod tests {
         let mut sw: Pipeline<u64> = Pipeline::new(n);
         let perm = Bpc::bit_reversal(n).to_permutation();
         let data: Vec<u64> = (0..8).map(|i| 0x40 + i).collect();
-        let records: Vec<(u32, u64)> = perm
-            .destinations()
-            .iter()
-            .zip(&data)
-            .map(|(&d, &v)| (d, v))
-            .collect();
+        let records: Vec<(u32, u64)> =
+            perm.destinations().iter().zip(&data).map(|(&d, &v)| (d, v)).collect();
 
         let mut hw_out = None;
         let mut sw_out = None;

@@ -65,7 +65,8 @@ pub fn build_switch(
     control_bit: u32,
     self_set_enable: Option<Net>,
 ) -> (Bus, Bus) {
-    let (u, l, _) = build_switch_with_select(nl, upper, lower, control_bit, self_set_enable);
+    let (u, l, _) =
+        build_switch_with_select(nl, upper, lower, control_bit, self_set_enable);
     (u, l)
 }
 
@@ -106,10 +107,7 @@ pub fn build_switch_with_select(
     let nsel = nl.not(sel);
 
     let mux_bus = |nl: &mut Netlist, a: &[Net], b: &[Net]| -> Vec<Net> {
-        a.iter()
-            .zip(b)
-            .map(|(&x, &y)| nl.mux_shared(sel, nsel, x, y))
-            .collect()
+        a.iter().zip(b).map(|(&x, &y)| nl.mux_shared(sel, nsel, x, y)).collect()
     };
 
     // State 0 (sel = 0): straight — upper out = upper in.
@@ -174,7 +172,9 @@ mod tests {
         if let Some(f) = force {
             inputs.push(!f); // enable = NOT(force)
         }
-        for (word, width) in [(u_tag, tag_w), (u_data, data_w), (l_tag, tag_w), (l_data, data_w)] {
+        for (word, width) in
+            [(u_tag, tag_w), (u_data, data_w), (l_tag, tag_w), (l_data, data_w)]
+        {
             for b in 0..width {
                 inputs.push((word >> b) & 1 == 1);
             }

@@ -162,10 +162,7 @@ mod tests {
         for n in 1..10u32 {
             let s = BitonicSorter::new(n);
             assert_eq!(s.stage_count(), (n * (n + 1) / 2) as usize);
-            assert_eq!(
-                s.comparator_count(),
-                s.stage_count() * (1usize << n) / 2
-            );
+            assert_eq!(s.comparator_count(), s.stage_count() * (1usize << n) / 2);
         }
     }
 

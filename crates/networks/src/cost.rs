@@ -211,10 +211,7 @@ mod tests {
             assert_eq!(benes_self_routing(n).delay, 2 * u64::from(n) - 1);
             assert_eq!(omega(n).switches, nn / 2 * u64::from(n));
             assert_eq!(omega(n).delay, u64::from(n));
-            assert_eq!(
-                bitonic(n).switches,
-                nn / 2 * u64::from(n) * u64::from(n + 1) / 2
-            );
+            assert_eq!(bitonic(n).switches, nn / 2 * u64::from(n) * u64::from(n + 1) / 2);
             assert_eq!(bitonic(n).delay, u64::from(n) * u64::from(n + 1) / 2);
             assert_eq!(crossbar(n).switches, nn * nn);
             assert_eq!(crossbar(n).delay, 1);
@@ -256,10 +253,7 @@ mod tests {
             rows.iter().filter(|r| r.setup == SetupModel::ExternalSerial).count(),
             2
         );
-        assert_eq!(
-            rows.iter().filter(|r| r.setup == SetupModel::SelfRouting).count(),
-            4
-        );
+        assert_eq!(rows.iter().filter(|r| r.setup == SetupModel::SelfRouting).count(), 4);
     }
 
     #[test]

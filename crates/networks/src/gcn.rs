@@ -190,10 +190,8 @@ impl GeneralizedConnectionNetwork {
         let concentrate =
             Permutation::from_destinations(concentrate).expect("constructed bijection");
         let settings = waksman::setup(&concentrate).expect("power-of-two length");
-        let concentrated = self
-            .benes
-            .route_with(&settings, inputs)
-            .expect("validated lengths");
+        let concentrated =
+            self.benes.route_with(&settings, inputs).expect("validated lengths");
 
         // --- Phase 2: binary fan-out tree. Each live record owns a span
         // [p, e); at stage s it duplicates 2^s to the right when its span
@@ -234,8 +232,7 @@ impl GeneralizedConnectionNetwork {
                 }
             }
         }
-        let copied: Vec<T> =
-            cells.into_iter().map(|c| c.expect("cell filled").0).collect();
+        let copied: Vec<T> = cells.into_iter().map(|c| c.expect("cell filled").0).collect();
 
         // --- Phase 3: distribute via a second Benes/Waksman pass. Copy k
         // of input i (at position start[i] + k) goes to the k-th output
@@ -260,10 +257,7 @@ impl GeneralizedConnectionNetwork {
         let distribute =
             Permutation::from_destinations(distribute).expect("constructed bijection");
         let settings = waksman::setup(&distribute).expect("power-of-two length");
-        let outputs = self
-            .benes
-            .route_with(&settings, &copied)
-            .expect("validated lengths");
+        let outputs = self.benes.route_with(&settings, &copied).expect("validated lengths");
 
         Ok((outputs, GcnCost { delay_levels: self.delay_levels(), copies_made }))
     }

@@ -24,13 +24,13 @@
 
 pub mod bitonic;
 pub mod cost;
+pub mod crossbar;
 pub mod gcn;
 pub mod odd_even;
-pub mod crossbar;
 pub mod omega_net;
 
 pub use bitonic::BitonicSorter;
+pub use crossbar::Crossbar;
 pub use gcn::GeneralizedConnectionNetwork;
 pub use odd_even::OddEvenMergeSorter;
-pub use crossbar::Crossbar;
 pub use omega_net::{InverseOmegaNetwork, OmegaConflict, OmegaNetwork};

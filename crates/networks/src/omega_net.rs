@@ -122,7 +122,8 @@ impl OmegaNetwork {
         );
         let nn = self.terminal_count();
         // positions[p] = tag currently at port p.
-        let mut cur: Vec<Option<u32>> = perm.destinations().iter().map(|&d| Some(d)).collect();
+        let mut cur: Vec<Option<u32>> =
+            perm.destinations().iter().map(|&d| Some(d)).collect();
         for s in 0..self.stage_count() {
             // Shuffle wiring: port p → rotate-left(p).
             let mut shuffled: Vec<Option<u32>> = vec![None; nn];
@@ -282,7 +283,8 @@ impl InverseOmegaNetwork {
             "permutation length must equal terminal count"
         );
         let nn = self.terminal_count();
-        let mut cur: Vec<Option<u32>> = perm.destinations().iter().map(|&d| Some(d)).collect();
+        let mut cur: Vec<Option<u32>> =
+            perm.destinations().iter().map(|&d| Some(d)).collect();
         for s in 0..self.stage_count() {
             // Exchange column first: input demands output bit0 = tag bit s.
             let mut exchanged: Vec<Option<u32>> = vec![None; nn];
@@ -349,9 +351,7 @@ mod tests {
         }
         let mut out = Vec::new();
         rec(&mut (0..len).collect(), &mut Vec::new(), &mut out);
-        out.into_iter()
-            .map(|d| Permutation::from_destinations(d).unwrap())
-            .collect()
+        out.into_iter().map(|d| Permutation::from_destinations(d).unwrap()).collect()
     }
 
     #[test]
@@ -412,12 +412,8 @@ mod tests {
     fn records_ride_with_tags() {
         let net = OmegaNetwork::new(3);
         let d = benes_perm::omega::cyclic_shift(3, 2);
-        let records: Vec<(u32, char)> = d
-            .destinations()
-            .iter()
-            .zip('a'..)
-            .map(|(&t, c)| (t, c))
-            .collect();
+        let records: Vec<(u32, char)> =
+            d.destinations().iter().zip('a'..).map(|(&t, c)| (t, c)).collect();
         let out = net.route_records(records).unwrap();
         let payloads: Vec<char> = out.iter().map(|r| r.1).collect();
         let expected: Vec<char> = d.apply(&('a'..).take(8).collect::<Vec<_>>());
@@ -425,8 +421,7 @@ mod tests {
 
         // Non-omega tags conflict.
         let rev = benes_perm::bpc::Bpc::bit_reversal(3).to_permutation();
-        let records: Vec<(u32, u8)> =
-            rev.destinations().iter().map(|&t| (t, 0)).collect();
+        let records: Vec<(u32, u8)> = rev.destinations().iter().map(|&t| (t, 0)).collect();
         assert!(net.route_records(records).is_err());
     }
 

@@ -144,10 +144,9 @@ impl fmt::Display for BpcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Empty => write!(f, "BPC vector must have at least one entry"),
-            Self::PositionOutOfRange { index, position, n } => write!(
-                f,
-                "entry A_{index} has magnitude {position}, outside 0..{n}"
-            ),
+            Self::PositionOutOfRange { index, position, n } => {
+                write!(f, "entry A_{index} has magnitude {position}, outside 0..{n}")
+            }
             Self::DuplicatePosition { position } => {
                 write!(f, "magnitude {position} appears more than once")
             }
@@ -758,10 +757,7 @@ mod tests {
         let b = Bpc::vector_reversal(4);
         let c = Bpc::perfect_shuffle(4);
         let lhs = a.then(&b).then(&c).to_permutation();
-        let rhs = a
-            .to_permutation()
-            .then(&b.to_permutation())
-            .then(&c.to_permutation());
+        let rhs = a.to_permutation().then(&b.to_permutation()).then(&c.to_permutation());
         assert_eq!(lhs, rhs);
     }
 

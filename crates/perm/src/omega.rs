@@ -282,10 +282,7 @@ pub fn p_ordering_shift(n: u32, p: u64, k: i64) -> Permutation {
 #[must_use]
 pub fn segment_cyclic_shift(n: u32, j: u32, k: i64) -> Permutation {
     assert!(n > 0 && n <= 31, "segment cyclic shift requires 1 <= n <= 31");
-    assert!(
-        (1..=n).contains(&j),
-        "segment width exponent j must be in 1..={n} (got {j})"
-    );
+    assert!((1..=n).contains(&j), "segment width exponent j must be in 1..={n} (got {j})");
     let len = 1usize << n;
     let kk = k.rem_euclid(1i64 << j) as u64;
     Permutation::from_fn(len, |i| {
@@ -348,9 +345,7 @@ mod tests {
         }
         let mut out = Vec::new();
         rec(&mut (0..len).collect(), &mut Vec::new(), &mut out);
-        out.into_iter()
-            .map(|d| Permutation::from_destinations(d).unwrap())
-            .collect()
+        out.into_iter().map(|d| Permutation::from_destinations(d).unwrap()).collect()
     }
 
     #[test]

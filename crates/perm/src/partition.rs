@@ -93,14 +93,12 @@ impl fmt::Display for PartitionError {
             Self::PositionOutOfRange { position, n } => {
                 write!(f, "bit position {position} is outside 0..{n}")
             }
-            Self::BlockPermutationLength { block, expected, actual } => write!(
-                f,
-                "block {block}: permutation length {actual}, expected {expected}"
-            ),
-            Self::BlockMapLength { expected, actual } => write!(
-                f,
-                "block-level permutation length {actual}, expected {expected}"
-            ),
+            Self::BlockPermutationLength { block, expected, actual } => {
+                write!(f, "block {block}: permutation length {actual}, expected {expected}")
+            }
+            Self::BlockMapLength { expected, actual } => {
+                write!(f, "block-level permutation length {actual}, expected {expected}")
+            }
             Self::OverlappingLevels => write!(f, "level bit sets must be disjoint"),
             Self::IncompleteCover => {
                 write!(f, "level bit sets must cover all index bits")
@@ -135,10 +133,7 @@ impl JPartition {
     /// # Errors
     ///
     /// Returns an error if `n ∉ 1..=31` or any position is `>= n`.
-    pub fn new(
-        n: u32,
-        j: impl IntoIterator<Item = u32>,
-    ) -> Result<Self, PartitionError> {
+    pub fn new(n: u32, j: impl IntoIterator<Item = u32>) -> Result<Self, PartitionError> {
         if n == 0 || n > 31 {
             return Err(PartitionError::BadWidth { n });
         }
@@ -601,10 +596,7 @@ mod tests {
         for r in 0..4u64 {
             for c in 0..4u64 {
                 let rr = benes_bits::reverse_bits(r, 2);
-                assert_eq!(
-                    u64::from(g.destination((4 * r + c) as usize)),
-                    4 * rr + c
-                );
+                assert_eq!(u64::from(g.destination((4 * r + c) as usize)), 4 * rr + c);
             }
         }
     }
@@ -660,7 +652,11 @@ mod tests {
         let rows = Bpc::vector_reversal(2).to_permutation();
         let cols = cyclic_shift(2, 1);
         let h = hierarchical_composite(n, &[0b1100, 0b0011], |t, _| {
-            if t == 0 { rows.clone() } else { cols.clone() }
+            if t == 0 {
+                rows.clone()
+            } else {
+                cols.clone()
+            }
         })
         .unwrap();
         let j = JPartition::new(n, [2, 3]).unwrap();
@@ -674,20 +670,21 @@ mod tests {
         // j' = λ(j), k' = j ⊕ k, i' = (i + j + k) mod 2^r.
         // Levels: j (bits 4..6), k (bits 2..4), i (bits 0..2); n = 6.
         let n = 6;
-        let g = hierarchical_composite(
-            n,
-            &[0b110000, 0b001100, 0b000011],
-            |t, parents| match t {
-                0 => crate::omega::p_ordering_shift(2, 3, 1),
-                1 => {
-                    // k ⊕ j: per-parent BPC complement.
-                    let jj = parents[0];
-                    Permutation::from_fn(4, |k| (u64::from(k) ^ jj) as u32).unwrap()
-                }
-                _ => cyclic_shift(2, (parents[0] + parents[1]) as i64),
-            },
-        )
-        .unwrap();
+        let g =
+            hierarchical_composite(
+                n,
+                &[0b110000, 0b001100, 0b000011],
+                |t, parents| match t {
+                    0 => crate::omega::p_ordering_shift(2, 3, 1),
+                    1 => {
+                        // k ⊕ j: per-parent BPC complement.
+                        let jj = parents[0];
+                        Permutation::from_fn(4, |k| (u64::from(k) ^ jj) as u32).unwrap()
+                    }
+                    _ => cyclic_shift(2, (parents[0] + parents[1]) as i64),
+                },
+            )
+            .unwrap();
         // Spot-check one element: x with j=1, k=2, i=3 → index
         // (1 << 4) | (2 << 2) | 3 = 16 + 8 + 3 = 27.
         // j' = (3·1 + 1) mod 4 = 0; k' = 1 ⊕ 2 = 3; i' = (3 + 1 + 2) mod 4 = 2.

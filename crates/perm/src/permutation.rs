@@ -36,10 +36,9 @@ impl fmt::Display for PermutationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Empty => write!(f, "permutation must have at least one element"),
-            Self::OutOfRange { index, destination, len } => write!(
-                f,
-                "destination {destination} at input {index} is outside 0..{len}"
-            ),
+            Self::OutOfRange { index, destination, len } => {
+                write!(f, "destination {destination} at input {index} is outside 0..{len}")
+            }
             Self::Duplicate { destination } => {
                 write!(f, "destination {destination} appears more than once")
             }
@@ -375,8 +374,7 @@ impl Permutation {
     /// ```
     #[must_use]
     pub fn is_even(&self) -> bool {
-        let transpositions: usize =
-            self.cycles().iter().map(|c| c.len() - 1).sum();
+        let transpositions: usize = self.cycles().iter().map(|c| c.len() - 1).sum();
         transpositions.is_multiple_of(2)
     }
 
@@ -396,7 +394,11 @@ impl Permutation {
     #[must_use]
     pub fn order(&self) -> u64 {
         fn gcd(a: u64, b: u64) -> u64 {
-            if b == 0 { a } else { gcd(b, a % b) }
+            if b == 0 {
+                a
+            } else {
+                gcd(b, a % b)
+            }
         }
         self.cycles()
             .iter()
@@ -408,6 +410,52 @@ impl Permutation {
     #[must_use]
     pub fn fixed_points(&self) -> usize {
         self.dest.iter().enumerate().filter(|&(i, &d)| i as u32 == d).count()
+    }
+
+    /// A stable 64-bit fingerprint of the permutation, suitable as a
+    /// cache or routing-table key.
+    ///
+    /// The value depends only on the destination vector — not on the
+    /// process, platform, or library version hash seeds — so it can be
+    /// persisted and compared across runs. Two equal permutations always
+    /// fingerprint identically; distinct permutations collide with
+    /// probability ≈ 2⁻⁶⁴ (callers that cannot tolerate collisions should
+    /// verify equality on fingerprint match).
+    ///
+    /// The hash is FNV-1a over the little-endian destination bytes, seeded
+    /// with the length and passed through a final avalanche so that nearby
+    /// permutations disperse across the full 64-bit range (important when
+    /// the fingerprint is reduced to a few shard/bucket bits).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use benes_perm::Permutation;
+    ///
+    /// let a = Permutation::from_destinations(vec![1, 3, 2, 0])?;
+    /// let b = Permutation::from_destinations(vec![1, 3, 2, 0])?;
+    /// assert_eq!(a.fingerprint(), b.fingerprint());
+    /// assert_ne!(a.fingerprint(), Permutation::identity(4).fingerprint());
+    /// # Ok::<(), benes_perm::PermutationError>(())
+    /// ```
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for byte in (self.dest.len() as u64).to_le_bytes() {
+            h = (h ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+        }
+        for &d in &self.dest {
+            for byte in d.to_le_bytes() {
+                h = (h ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+            }
+        }
+        // splitmix64 finalizer: avalanche the FNV state so low bits are
+        // usable as shard indices.
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^ (h >> 31)
     }
 }
 
@@ -601,12 +649,51 @@ mod tests {
     }
 
     #[test]
+    fn fingerprint_is_stable_and_length_sensitive() {
+        // Pinned value: the fingerprint is part of the on-disk cache-key
+        // contract, so it must never change across releases.
+        assert_eq!(p(&[1, 3, 2, 0]).fingerprint(), p(&[1, 3, 2, 0]).fingerprint());
+        let golden = p(&[1, 3, 2, 0]).fingerprint();
+        assert_eq!(golden, 0x7945_caaa_a8dd_f95b, "fingerprint contract changed");
+        // Identity permutations of different lengths must differ even
+        // though the shared prefix of destination bytes is identical.
+        assert_ne!(
+            Permutation::identity(4).fingerprint(),
+            Permutation::identity(8).fingerprint()
+        );
+    }
+
+    #[test]
+    fn fingerprint_separates_small_permutations() {
+        // All 24 permutations of 4 elements hash distinctly.
+        let mut seen = std::collections::HashSet::new();
+        let mut dest = vec![0u32, 1, 2, 3];
+        // Heap's algorithm, iterative.
+        let mut c = [0usize; 4];
+        seen.insert(p(&dest).fingerprint());
+        let mut i = 0;
+        while i < 4 {
+            if c[i] < i {
+                if i % 2 == 0 {
+                    dest.swap(0, i);
+                } else {
+                    dest.swap(c[i], i);
+                }
+                seen.insert(p(&dest).fingerprint());
+                c[i] += 1;
+                i = 0;
+            } else {
+                c[i] = 0;
+                i += 1;
+            }
+        }
+        assert_eq!(seen.len(), 24);
+    }
+
+    #[test]
     fn iter_pairs() {
         let d = p(&[2, 0, 1]);
-        assert_eq!(
-            (&d).into_iter().collect::<Vec<_>>(),
-            vec![(0, 2), (1, 0), (2, 1)]
-        );
+        assert_eq!((&d).into_iter().collect::<Vec<_>>(), vec![(0, 2), (1, 0), (2, 1)]);
     }
 }
 

@@ -129,10 +129,7 @@ impl Ccc {
     ///
     /// Panics if `records.len() != pe_count()`.
     #[must_use]
-    pub fn route_omega<T>(
-        &self,
-        records: Vec<Record<T>>,
-    ) -> (Vec<Record<T>>, RouteStats) {
+    pub fn route_omega<T>(&self, records: Vec<Record<T>>) -> (Vec<Record<T>>, RouteStats) {
         let n = self.n as usize;
         self.route_with_skip(records, move |iter| iter < n - 1)
     }
@@ -276,9 +273,7 @@ mod tests {
         }
         let mut out = Vec::new();
         rec(&mut (0..len).collect(), &mut Vec::new(), &mut out);
-        out.into_iter()
-            .map(|d| Permutation::from_destinations(d).unwrap())
-            .collect()
+        out.into_iter().map(|d| Permutation::from_destinations(d).unwrap()).collect()
     }
 
     #[test]
@@ -321,8 +316,7 @@ mod tests {
     fn step_count_is_2n_minus_1() {
         for n in 1..10u32 {
             let ccc = Ccc::new(n);
-            let (_, stats) =
-                ccc.route_f(records_for(&Permutation::identity(1 << n)));
+            let (_, stats) = ccc.route_f(records_for(&Permutation::identity(1 << n)));
             assert_eq!(stats.steps, 2 * u64::from(n) - 1);
             assert_eq!(stats.unit_routes, 2 * u64::from(n) - 1);
             assert_eq!(stats.unit_routes_two_word(), 4 * u64::from(n) - 2);
@@ -363,16 +357,15 @@ mod tests {
         assert_eq!(stats.steps, 0);
 
         // Vector reversal: every A_b = −b (complement), no skip possible.
-        let (out, stats) =
-            ccc.route_bpc(&Bpc::vector_reversal(4), (0..16u32).collect());
+        let (out, stats) = ccc.route_bpc(&Bpc::vector_reversal(4), (0..16u32).collect());
         assert!(is_routed(&out));
         assert_eq!(stats.steps, 7);
 
         // A BPC fixing dimensions 0 and 3: A = (+0, +2, +1, +3) —
         // iterations with b ∈ {0, 3} skipped: from the sequence
         // 0,1,2,3,2,1,0 that removes 3 iterations (two b=0, one b=3).
-        let b = Bpc::from_pairs(vec![(0, false), (2, false), (1, false), (3, false)])
-            .unwrap();
+        let b =
+            Bpc::from_pairs(vec![(0, false), (2, false), (1, false), (3, false)]).unwrap();
         let (out, stats) = ccc.route_bpc(&b, (0..16u32).collect());
         assert!(is_routed(&out));
         assert_eq!(stats.steps, 4);

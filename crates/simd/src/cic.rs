@@ -65,8 +65,7 @@ impl Cic {
     #[must_use]
     pub fn route<T>(&self, records: Vec<Record<T>>) -> (Vec<Record<T>>, RouteStats) {
         assert_eq!(records.len(), self.pe_count, "record count must be N");
-        let mut out: Vec<Option<Record<T>>> =
-            (0..records.len()).map(|_| None).collect();
+        let mut out: Vec<Option<Record<T>>> = (0..records.len()).map(|_| None).collect();
         let mut moved = 0;
         for (i, r) in records.into_iter().enumerate() {
             let dest = r.0 as usize;
@@ -78,10 +77,7 @@ impl Cic {
             out[dest] = Some(r);
         }
         let stats = RouteStats { steps: 1, unit_routes: 1, exchanges: moved };
-        (
-            out.into_iter().map(|r| r.expect("bijection fills slots")).collect(),
-            stats,
-        )
+        (out.into_iter().map(|r| r.expect("bijection fills slots")).collect(), stats)
     }
 }
 

@@ -133,8 +133,7 @@ impl DualMachine {
         let n = self.n;
         let shuffle = Bpc::perfect_shuffle(n).to_permutation();
         let unshuffle = Bpc::unshuffle(n).to_permutation();
-        let exchange =
-            Permutation::from_fn(self.pe_count(), |i| i ^ 1).expect("valid");
+        let exchange = Permutation::from_fn(self.pe_count(), |i| i ^ 1).expect("valid");
         *perm == shuffle || *perm == unshuffle || *perm == exchange
     }
 
@@ -195,9 +194,8 @@ impl DualMachine {
                 // Hand the records to the attached network: PE(i) drives
                 // input i and reads output i.
                 let net = benes_core::Benes::new(self.n);
-                let (out, _) = net
-                    .self_route_records(records)
-                    .expect("record count validated");
+                let (out, _) =
+                    net.self_route_records(records).expect("record count validated");
                 (out, plan, RouteStats::new())
             }
             RoutePlan::LinkSimulation { .. } => {

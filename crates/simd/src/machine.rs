@@ -71,11 +71,7 @@ pub fn is_routed<T>(records: &[Record<T>]) -> bool {
 /// index: PE `i` starts with `⟨D_i, i⟩`.
 #[must_use]
 pub fn records_for(perm: &benes_perm::Permutation) -> Vec<Record<u32>> {
-    perm.destinations()
-        .iter()
-        .enumerate()
-        .map(|(i, &d)| (d, i as u32))
-        .collect()
+    perm.destinations().iter().enumerate().map(|(i, &d)| (d, i as u32)).collect()
 }
 
 /// Checks a routed result against the permutation it came from: PE `o`

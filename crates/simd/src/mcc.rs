@@ -205,18 +205,22 @@ impl Mcc {
     }
 
     /// One masked interchange across dimension `b`, executed hop by hop.
-    fn interchange_hops<T>(&self, records: &mut Vec<Record<T>>, b: u32, stats: &mut RouteStats) {
+    fn interchange_hops<T>(
+        &self,
+        records: &mut Vec<Record<T>>,
+        b: u32,
+        stats: &mut RouteStats,
+    ) {
         let len = records.len();
         let pair_stride = 1usize << b; // index distance between partners
-        // The partner sits `dimension_distance(b)` grid hops away; each
-        // hop spans `pair_stride / dist` index positions (1 for column
-        // moves, `side` for row moves).
+                                       // The partner sits `dimension_distance(b)` grid hops away; each
+                                       // hop spans `pair_stride / dist` index positions (1 for column
+                                       // moves, `side` for row moves).
         let dist = self.dimension_distance(b) as usize;
         let hop = pair_stride / dist;
 
         // Lift the resident registers so records can be taken in flight.
-        let mut resident: Vec<Option<Record<T>>> =
-            records.drain(..).map(Some).collect();
+        let mut resident: Vec<Option<Record<T>>> = records.drain(..).map(Some).collect();
 
         // Stage the travellers: the low-side record of each exchanging
         // pair enters the "forward" stream, the high-side one the
@@ -310,9 +314,7 @@ mod tests {
         }
         let mut out = Vec::new();
         rec(&mut (0..len).collect(), &mut Vec::new(), &mut out);
-        out.into_iter()
-            .map(|d| Permutation::from_destinations(d).unwrap())
-            .collect()
+        out.into_iter().map(|d| Permutation::from_destinations(d).unwrap()).collect()
     }
 
     #[test]

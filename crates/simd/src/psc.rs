@@ -108,11 +108,7 @@ impl Psc {
 
     /// UNSHUFFLE: the record at `PE(i)` moves to `PE(rotate-right(i))`.
     /// One SIMD step, one unit-route.
-    pub fn unshuffle_step<T>(
-        &self,
-        records: &mut Vec<Record<T>>,
-        stats: &mut RouteStats,
-    ) {
+    pub fn unshuffle_step<T>(&self, records: &mut Vec<Record<T>>, stats: &mut RouteStats) {
         debug_assert_eq!(records.len(), self.pe_count());
         let mut next: Vec<Option<Record<T>>> = (0..records.len()).map(|_| None).collect();
         for (i, r) in records.drain(..).enumerate() {
@@ -210,9 +206,7 @@ mod tests {
         }
         let mut out = Vec::new();
         rec(&mut (0..len).collect(), &mut Vec::new(), &mut out);
-        out.into_iter()
-            .map(|d| Permutation::from_destinations(d).unwrap())
-            .collect()
+        out.into_iter().map(|d| Permutation::from_destinations(d).unwrap()).collect()
     }
 
     #[test]
@@ -259,8 +253,7 @@ mod tests {
     #[test]
     fn shuffle_then_unshuffle_is_identity() {
         let psc = Psc::new(4);
-        let mut records: Vec<Record<u32>> =
-            (0..16u32).map(|i| (i, i * 100)).collect();
+        let mut records: Vec<Record<u32>> = (0..16u32).map(|i| (i, i * 100)).collect();
         let original = records.clone();
         let mut stats = RouteStats::new();
         psc.shuffle_step(&mut records, &mut stats);

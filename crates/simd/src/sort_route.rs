@@ -44,7 +44,12 @@ pub fn bitonic_route_ccc<T>(records: Vec<Record<T>>) -> (Vec<Record<T>>, RouteSt
     let mut records = records;
     let mut stats = RouteStats::new();
     for stage in sorter.schedule() {
-        compare_exchange_level(&mut records, stage.distance_bit, stage.region_bit, &mut stats);
+        compare_exchange_level(
+            &mut records,
+            stage.distance_bit,
+            stage.region_bit,
+            &mut stats,
+        );
         stats.unit_routes += 2;
     }
     (records, stats)
@@ -66,7 +71,12 @@ pub fn bitonic_route_mcc<T>(
     let mut records = records;
     let mut stats = RouteStats::new();
     for stage in sorter.schedule() {
-        compare_exchange_level(&mut records, stage.distance_bit, stage.region_bit, &mut stats);
+        compare_exchange_level(
+            &mut records,
+            stage.distance_bit,
+            stage.region_bit,
+            &mut stats,
+        );
         stats.unit_routes += 2 * mcc.dimension_distance(stage.distance_bit);
     }
     (records, stats)
@@ -155,9 +165,7 @@ mod tests {
         }
         let mut out = Vec::new();
         rec(&mut (0..len).collect(), &mut Vec::new(), &mut out);
-        out.into_iter()
-            .map(|d| Permutation::from_destinations(d).unwrap())
-            .collect()
+        out.into_iter().map(|d| Permutation::from_destinations(d).unwrap()).collect()
     }
 
     #[test]

@@ -38,7 +38,10 @@ fn main() {
         ("matrix transpose", Bpc::matrix_transpose(n).to_permutation()),
     ];
 
-    println!("{:<20} {:<18} {:>12} {:>16}", "permutation", "path", "cost (gd)", "ablation (gd)");
+    println!(
+        "{:<20} {:<18} {:>12} {:>16}",
+        "permutation", "path", "cost (gd)", "ablation (gd)"
+    );
     println!("{}", "-".repeat(70));
     let mut total = 0u64;
     let mut ablation_total = 0u64;
@@ -51,13 +54,7 @@ fn main() {
             RoutePlan::LinkSimulation { .. } => "E(n) simulation",
         };
         let ablation = without.plan(p).gate_delays();
-        println!(
-            "{:<20} {:<18} {:>12} {:>16}",
-            name,
-            path,
-            plan.gate_delays(),
-            ablation
-        );
+        println!("{:<20} {:<18} {:>12} {:>16}", name, path, plan.gate_delays(), ablation);
         total += plan.gate_delays();
         ablation_total += ablation;
     }

@@ -10,7 +10,9 @@
 //!
 //! Run with: `cargo run --example fault_diagnosis`
 
-use benes::core::diagnose::{diagnose_with_probes, locate_stuck_switch, self_route_with_fault, StuckSwitch};
+use benes::core::diagnose::{
+    diagnose_with_probes, locate_stuck_switch, self_route_with_fault, StuckSwitch,
+};
 use benes::core::{Benes, SwitchState};
 use benes::perm::bpc::Bpc;
 use benes::perm::omega::cyclic_shift;
@@ -18,11 +20,7 @@ use benes::perm::Permutation;
 
 fn main() {
     let net = Benes::new(4);
-    println!(
-        "B(4): {} switches in {} stages\n",
-        net.switch_count(),
-        net.stage_count()
-    );
+    println!("B(4): {} switches in {} stages\n", net.switch_count(), net.stage_count());
 
     // The adversary breaks one switch. (We of course don't look.)
     let fault = StuckSwitch { stage: 4, switch: 3, stuck_at: SwitchState::Cross };

@@ -23,18 +23,13 @@ fn main() {
     println!("16×16 matrix transpose on N = {} PEs; A-vector {transpose}\n", 1 << n);
 
     // The matrix: element (r, c) = r*100 + c, stored row-major.
-    let matrix: Vec<u32> = (0..side as u32)
-        .flat_map(|r| (0..side as u32).map(move |c| r * 100 + c))
-        .collect();
+    let matrix: Vec<u32> =
+        (0..side as u32).flat_map(|r| (0..side as u32).map(move |c| r * 100 + c)).collect();
 
     // --- CCC ---
     let ccc = Ccc::new(n);
-    let records: Vec<(u32, u32)> = perm
-        .destinations()
-        .iter()
-        .zip(matrix.iter())
-        .map(|(&d, &v)| (d, v))
-        .collect();
+    let records: Vec<(u32, u32)> =
+        perm.destinations().iter().zip(matrix.iter()).map(|(&d, &v)| (d, v)).collect();
     let (out, stats) = ccc.route_f(records);
     assert!(out.iter().enumerate().all(|(i, r)| r.0 == i as u32));
     // Verify the transpose landed: PE (r, c) now holds element (c, r).
@@ -47,8 +42,10 @@ fn main() {
 
     // --- same job via the A-vector entry point (per-PE tag computation) ---
     let (out2, stats2) = ccc.route_bpc(&transpose, matrix.clone());
-    assert_eq!(out2.iter().map(|r| r.1).collect::<Vec<_>>(),
-               out.iter().map(|r| r.1).collect::<Vec<_>>());
+    assert_eq!(
+        out2.iter().map(|r| r.1).collect::<Vec<_>>(),
+        out.iter().map(|r| r.1).collect::<Vec<_>>()
+    );
     println!("CCC  (A-vector): {stats2}  (skips iterations with A_b = +b)");
 
     // --- PSC ---

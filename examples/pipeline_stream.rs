@@ -14,11 +14,7 @@ use benes::perm::omega::p_ordering;
 use benes::perm::Permutation;
 
 fn tagged(perm: &Permutation, base: u32) -> Vec<(u32, u32)> {
-    perm.destinations()
-        .iter()
-        .enumerate()
-        .map(|(i, &d)| (d, base + i as u32))
-        .collect()
+    perm.destinations().iter().enumerate().map(|(i, &d)| (d, base + i as u32)).collect()
 }
 
 fn main() {

@@ -39,14 +39,13 @@ fn main() {
 
     // --- 3. Data rides along with the tags. ---
     let words = ["the", "quick", "brown", "fox", "jumps", "over", "lazy", "dogs"];
-    let records: Vec<(u32, &str)> = shift
-        .destinations()
-        .iter()
-        .zip(words)
-        .map(|(&d, w)| (d, w))
-        .collect();
+    let records: Vec<(u32, &str)> =
+        shift.destinations().iter().zip(words).map(|(&d, w)| (d, w)).collect();
     let (routed, _) = net.self_route_records(records).expect("length matches");
-    println!("payloads after the shift: {:?}\n", routed.iter().map(|r| r.1).collect::<Vec<_>>());
+    println!(
+        "payloads after the shift: {:?}\n",
+        routed.iter().map(|r| r.1).collect::<Vec<_>>()
+    );
 
     // --- 4. Outside F(n): detection, diagnosis, and the fallbacks. ---
     let awkward = Permutation::from_destinations(vec![1, 3, 2, 0]).expect("valid");
@@ -56,10 +55,7 @@ fn main() {
     if let Err(v) = class_f::check_f(&awkward) {
         println!("  Theorem 1 witness:  {v}");
     }
-    println!(
-        "  omega-bit routing:  {}",
-        net2.self_route_omega(&awkward).is_success()
-    );
+    println!("  omega-bit routing:  {}", net2.self_route_omega(&awkward).is_success());
     let settings = waksman::setup(&awkward).expect("Waksman handles any permutation");
     let out = net2.route_with(&settings, &["a", "b", "c", "d"]).expect("valid");
     println!("  Waksman set-up:     routed {:?}", out);

@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Tier-1 verification: the canonical must-stay-green gate for every PR.
+# The build environment is fully offline; dependencies resolve to the
+# vendored stubs via [patch.crates-io], and Cargo.lock is committed.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo fmt --check

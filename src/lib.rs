@@ -20,7 +20,11 @@
 //!   sorter, crossbar, and the cost model comparing them;
 //! * [`simd`] — the §III machines (CIC, CCC, PSC, MCC) and the
 //!   preprocessing-free `F(n)` permutation algorithms with the paper's
-//!   exact route counts.
+//!   exact route counts;
+//! * [`engine`] — a batched, cached, multi-threaded permutation-routing
+//!   service on top of it all: a tiered planner (self-route → omega-bit →
+//!   Waksman or Ω⁻¹·Ω factorization), a fingerprint-keyed plan cache, a
+//!   worker pool, and per-tier statistics.
 //!
 //! # Example: route a matrix transpose three ways
 //!
@@ -52,6 +56,7 @@
 
 pub use benes_bits as bits;
 pub use benes_core as core;
+pub use benes_engine as engine;
 pub use benes_gates as gates;
 pub use benes_networks as networks;
 pub use benes_perm as perm;

@@ -29,9 +29,7 @@ fn all_perms(len: u32) -> Vec<Permutation> {
     }
     let mut out = Vec::new();
     rec(&mut (0..len).collect(), &mut Vec::new(), &mut out);
-    out.into_iter()
-        .map(|d| Permutation::from_destinations(d).expect("valid"))
-        .collect()
+    out.into_iter().map(|d| Permutation::from_destinations(d).expect("valid")).collect()
 }
 
 /// Five ways to decide "does this permutation self-route?" agree on all
@@ -71,7 +69,8 @@ fn mesh_agrees_on_n4() {
         let mut dest: Vec<u32> = (0..16).collect();
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         for i in (1..16usize).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state =
+                state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             let j = (state >> 33) as usize % (i + 1);
             dest.swap(i, j);
         }
@@ -125,12 +124,8 @@ fn three_routers_move_data_identically() {
         let perm = b.to_permutation();
         let data: Vec<u32> = (100..116).collect();
 
-        let records: Vec<(u32, u32)> = perm
-            .destinations()
-            .iter()
-            .zip(&data)
-            .map(|(&d, &v)| (d, v))
-            .collect();
+        let records: Vec<(u32, u32)> =
+            perm.destinations().iter().zip(&data).map(|(&d, &v)| (d, v)).collect();
         let (self_routed, _) = net.self_route_records(records.clone()).expect("ok");
 
         let settings = waksman::setup(&perm).expect("ok");
@@ -150,10 +145,7 @@ fn three_routers_move_data_identically() {
 /// on every BPC(3) member.
 #[test]
 fn bpc_algebra_exhaustive() {
-    let members: Vec<Bpc> = all_perms(8)
-        .iter()
-        .filter_map(Bpc::from_permutation)
-        .collect();
+    let members: Vec<Bpc> = all_perms(8).iter().filter_map(Bpc::from_permutation).collect();
     assert_eq!(members.len(), 48);
     for a in &members {
         assert_eq!(a.inverse().to_permutation(), a.to_permutation().inverse());

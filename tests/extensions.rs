@@ -74,9 +74,8 @@ fn reduced_network_routes_everything_n3() {
 fn comparator_economy_ordering() {
     for n in [6u32, 10, 14] {
         let rows = cost::comparison(n);
-        let get = |name: &str| {
-            rows.iter().find(|r| r.name.contains(name)).expect("row").switches
-        };
+        let get =
+            |name: &str| rows.iter().find(|r| r.name.contains(name)).expect("row").switches;
         let odd_even = get("Odd-even");
         let bitonic = get("Bitonic");
         let benes = get("self-routing");

@@ -58,12 +58,8 @@ fn corrupted_tag_is_detectable_at_the_outputs() {
     let records: Vec<(u32, u32)> = tags.iter().map(|&t| (t, t)).collect();
     let (out, _) = net.self_route_records(records).expect("ok");
     assert_eq!(out.len(), 8);
-    let misrouted: Vec<usize> = out
-        .iter()
-        .enumerate()
-        .filter(|(o, r)| r.0 != *o as u32)
-        .map(|(o, _)| o)
-        .collect();
+    let misrouted: Vec<usize> =
+        out.iter().enumerate().filter(|(o, r)| r.0 != *o as u32).map(|(o, _)| o).collect();
     assert!(!misrouted.is_empty(), "a corrupted tag must be observable");
 }
 
@@ -74,7 +70,8 @@ fn corrupted_tag_is_detectable_at_the_outputs() {
 fn duplicate_tags_never_lose_records() {
     let net = Benes::new(3);
     let tags = vec![0u32, 0, 2, 2, 4, 4, 6, 6]; // wildly invalid
-    let records: Vec<(u32, usize)> = tags.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    let records: Vec<(u32, usize)> =
+        tags.iter().enumerate().map(|(i, &t)| (t, i)).collect();
     let (out, _) = net.self_route_records(records).expect("ok");
     let mut payloads: Vec<usize> = out.iter().map(|r| r.1).collect();
     payloads.sort_unstable();
@@ -86,7 +83,8 @@ fn duplicate_tags_never_lose_records() {
 fn machines_conserve_records_under_bad_tags() {
     let ccc = Ccc::new(4);
     let tags: Vec<u32> = (0..16).map(|i| (i * 3) % 7).collect(); // nonsense
-    let records: Vec<(u32, u32)> = tags.iter().enumerate().map(|(i, &t)| (t, i as u32)).collect();
+    let records: Vec<(u32, u32)> =
+        tags.iter().enumerate().map(|(i, &t)| (t, i as u32)).collect();
     let (out, stats) = ccc.route_f(records);
     assert_eq!(stats.steps, 7);
     let mut payloads: Vec<u32> = out.iter().map(|r| r.1).collect();

@@ -28,9 +28,7 @@ fn all_perms(len: u32) -> Vec<Permutation> {
     }
     let mut out = Vec::new();
     rec(&mut (0..len).collect(), &mut Vec::new(), &mut out);
-    out.into_iter()
-        .map(|d| Permutation::from_destinations(d).expect("valid"))
-        .collect()
+    out.into_iter().map(|d| Permutation::from_destinations(d).expect("valid")).collect()
 }
 
 /// §I: B(n) has 2·log N − 1 stages and N·log N − N/2 switches.
@@ -200,12 +198,8 @@ fn claim_pipelining() {
     let n = 5;
     let mut pipe: Pipeline<u32> = Pipeline::new(n);
     let perm = cyclic_shift(n, 3);
-    let records: Vec<(u32, u32)> = perm
-        .destinations()
-        .iter()
-        .enumerate()
-        .map(|(i, &d)| (d, i as u32))
-        .collect();
+    let records: Vec<(u32, u32)> =
+        perm.destinations().iter().enumerate().map(|(i, &d)| (d, i as u32)).collect();
     let k = 10u64;
     let mut emitted = 0u64;
     let mut clock = 0u64;

@@ -100,12 +100,8 @@ fn pipeline_long_stream() {
     let n = 6;
     let mut pipe: Pipeline<u32> = Pipeline::new(n);
     let perm = Bpc::perfect_shuffle(n).to_permutation();
-    let records: Vec<(u32, u32)> = perm
-        .destinations()
-        .iter()
-        .enumerate()
-        .map(|(i, &d)| (d, i as u32))
-        .collect();
+    let records: Vec<(u32, u32)> =
+        perm.destinations().iter().enumerate().map(|(i, &d)| (d, i as u32)).collect();
     let k = 500u64;
     let mut emitted = 0u64;
     let mut clock = 0u64;

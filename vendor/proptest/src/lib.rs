@@ -1,0 +1,570 @@
+//! Offline stand-in for the
+//! [`proptest`](https://crates.io/crates/proptest) crate.
+//!
+//! The build environment has no network access and no registry cache, so
+//! the real `proptest` can never be fetched. This stub keeps the API
+//! surface the workspace's property tests are written against:
+//!
+//! * the [`proptest!`] macro (including `#![proptest_config(..)]`);
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
+//!   [`prop_assume!`];
+//! * the [`Strategy`] trait with `prop_map`, `prop_flat_map` and
+//!   `prop_perturb`;
+//! * strategies for integer ranges, tuples, [`Just`], [`any`] and
+//!   [`collection::vec`].
+//!
+//! Semantics differ from the real crate in two deliberate ways: the
+//! runner is **deterministic** (a fixed seed per test function, so CI
+//! runs are reproducible offline) and there is **no shrinking** — a
+//! failing case reports the generated inputs as-is. Wired in via
+//! `[patch.crates-io]`; deleting the patch entry restores the real crate
+//! when a registry is available.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// The deterministic RNG handed to strategies and
+/// [`Strategy::prop_perturb`] closures.
+///
+/// Mirrors the real crate's `TestRng`: implements the `rand` traits, and
+/// additionally exposes `random`/`random_range` as inherent methods so
+/// closures need no trait imports.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        Self { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Splits off an independent generator (used to hand an owned RNG to
+    /// `prop_perturb` closures).
+    fn fork(&mut self) -> Self {
+        Self::seed_from_u64(self.inner.next_u64())
+    }
+
+    /// A uniformly distributed value of type `T`.
+    pub fn random<T: rand::Standard>(&mut self) -> T {
+        T::sample(&mut self.inner)
+    }
+
+    /// A uniform draw from `range`.
+    pub fn random_range<T, S: rand::SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(&mut self.inner)
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// A generation strategy: how to produce one test-case value.
+///
+/// The stub generates independently per case and does not shrink.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Maps generated values through `f`, which also receives an owned
+    /// RNG for auxiliary randomness.
+    fn prop_perturb<O, F: Fn(Self::Value, TestRng) -> O>(self, f: F) -> Perturb<Self, F>
+    where
+        Self: Sized,
+    {
+        Perturb { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_perturb`].
+pub struct Perturb<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value, TestRng) -> O> Strategy for Perturb<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        let value = self.inner.sample(rng);
+        let child = rng.fork();
+        (self.f)(value, child)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: rand::Standard> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.random()
+    }
+}
+
+/// A strategy producing any value of `T` (uniform over the type).
+#[must_use]
+pub fn any<T: rand::Standard>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+impl<T> Strategy for std::ops::Range<T>
+where
+    T: Copy,
+    std::ops::Range<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.random_range(self.start..self.end)
+    }
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    T: Copy,
+    std::ops::RangeInclusive<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.random_range(*self.start()..=*self.end())
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Collection strategies (the stub supports [`vec`]).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// A strategy for vectors of exactly `len` elements drawn from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            (0..self.len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The runner: configuration, case errors and the execution loop.
+pub mod test_runner {
+    use super::{Strategy, TestRng};
+    use std::fmt;
+
+    /// Runner configuration (the prelude exports this as
+    /// `ProptestConfig`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// Maximum number of [`prop_assume!`](crate::prop_assume)
+        /// rejections tolerated across the whole run.
+        pub max_global_rejects: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` successful cases per test.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases, ..Self::default() }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // The real crate defaults to 256; the stub uses a smaller
+            // deterministic default to keep offline CI fast while still
+            // exercising a meaningful sample.
+            Self { cases: 96, max_global_rejects: 65_536 }
+        }
+    }
+
+    /// Why one generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case was rejected by `prop_assume!` and should not count.
+        Reject(String),
+        /// The case failed an assertion.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a rejection (assumption not met).
+        pub fn reject(reason: impl Into<String>) -> Self {
+            Self::Reject(reason.into())
+        }
+
+        /// Builds a failure.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            Self::Fail(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                Self::Reject(r) => write!(f, "assumption rejected: {r}"),
+                Self::Fail(r) => write!(f, "{r}"),
+            }
+        }
+    }
+
+    /// A whole-run failure: the first failing case, with its inputs.
+    #[derive(Debug, Clone)]
+    pub struct TestError {
+        /// Debug rendering of the generated inputs.
+        pub input: String,
+        /// The failure message.
+        pub message: String,
+    }
+
+    impl fmt::Display for TestError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(
+                f,
+                "proptest case failed: {}\n  generated input: {}\n  \
+                 (offline proptest stub: deterministic seed, no shrinking)",
+                self.message, self.input
+            )
+        }
+    }
+
+    impl std::error::Error for TestError {}
+
+    /// Executes test closures over generated inputs.
+    pub struct TestRunner {
+        config: Config,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        /// A runner with the given configuration and the stub's fixed
+        /// deterministic seed.
+        #[must_use]
+        pub fn new(config: Config) -> Self {
+            Self { config, rng: TestRng::seed_from_u64(0xB55E_5EED) }
+        }
+
+        /// Runs `test` against `config.cases` generated values.
+        ///
+        /// # Errors
+        ///
+        /// Returns the first failing case (no shrinking), or a synthetic
+        /// failure if `prop_assume!` rejected too many cases.
+        pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), TestError>
+        where
+            S: Strategy,
+            S::Value: fmt::Debug,
+            F: FnMut(S::Value) -> Result<(), TestCaseError>,
+        {
+            let mut passed = 0u32;
+            let mut rejected = 0u32;
+            while passed < self.config.cases {
+                let value = strategy.sample(&mut self.rng);
+                let rendered = format!("{value:?}");
+                match test(value) {
+                    Ok(()) => passed += 1,
+                    Err(TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        if rejected > self.config.max_global_rejects {
+                            return Err(TestError {
+                                input: rendered,
+                                message: format!(
+                                    "too many prop_assume! rejections ({rejected})"
+                                ),
+                            });
+                        }
+                    }
+                    Err(TestCaseError::Fail(message)) => {
+                        return Err(TestError { input: rendered, message });
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Everything the workspace's `use proptest::prelude::*;` expects.
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{any, collection, Just, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case
+/// (not panicking) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                left,
+                right,
+                format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left, right
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (it does not count towards the target) when
+/// the assumption is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let strategy = ($($strat,)+);
+                let mut runner = $crate::test_runner::TestRunner::new($cfg);
+                let result = runner.run(&strategy, |($($pat,)+)| {
+                    $body
+                    Ok(())
+                });
+                if let Err(e) = result {
+                    panic!("{}", e);
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(v in 3u64..10, w in -4i64..=4) {
+            prop_assert!(v >= 3 && v < 10);
+            prop_assert!((-4..=4).contains(&w));
+        }
+
+        #[test]
+        fn tuples_and_maps(pair in (0u32..4, 0u32..4).prop_map(|(a, b)| (a, a + b))) {
+            let (a, sum) = pair;
+            prop_assert!(sum >= a);
+        }
+
+        #[test]
+        fn flat_map_dependent((v, w) in (1u32..=16).prop_flat_map(|w| (0..(1u64 << w), Just(w)))) {
+            prop_assert!(v < (1u64 << w));
+        }
+
+        #[test]
+        fn perturb_provides_rng(x in Just(()).prop_perturb(|(), mut rng| rng.random::<u64>() % 7)) {
+            prop_assert!(x < 7);
+        }
+
+        #[test]
+        fn assume_rejects(v in 0u64..100) {
+            prop_assume!(v % 2 == 0);
+            prop_assert!(v % 2 == 0);
+        }
+
+        #[test]
+        fn collection_vec(v in collection::vec(any::<bool>(), 5)) {
+            prop_assert_eq!(v.len(), 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+        #[test]
+        fn configured_cases_run(_v in 0u64..10) {
+            prop_assert!(true);
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_input() {
+        let mut runner =
+            crate::test_runner::TestRunner::new(crate::test_runner::Config::with_cases(10));
+        let err = runner
+            .run(&(0u64..100,), |(v,)| {
+                crate::prop_assert!(v < 1000, "v = {}", v);
+                if v > 2 {
+                    return Err(crate::test_runner::TestCaseError::fail("boom"));
+                }
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        let sample_all = || {
+            let mut runner = crate::test_runner::TestRunner::new(
+                crate::test_runner::Config::with_cases(20),
+            );
+            let mut seen = Vec::new();
+            runner
+                .run(&(0u64..1_000_000,), |(v,)| {
+                    seen.push(v);
+                    Ok(())
+                })
+                .unwrap();
+            seen
+        };
+        assert_eq!(sample_all(), sample_all());
+    }
+}

@@ -1,0 +1,454 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde)
+//! crate.
+//!
+//! The build environment has no network access, so the real `serde` can
+//! never be fetched. This stub keeps the trait *signatures* the
+//! workspace's manual implementations are written against —
+//! [`Serialize`], [`Deserialize`], [`Serializer`], [`Deserializer`] and
+//! [`de::Error`] — but replaces serde's visitor machinery with a small
+//! self-describing [`Value`] tree: a serializer consumes a `Value`, a
+//! deserializer produces one. The only data model needed by this
+//! workspace (integers, booleans, sequences and tuples) is supported.
+//!
+//! There are **no derive macros**; the `derive` cargo feature is accepted
+//! and ignored (nothing in the workspace derives). Wired in via
+//! `[patch.crates-io]`; deleting the patch entry restores the real crate
+//! when a registry is available.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// The stub's self-describing data model: everything a [`Serialize`]
+/// impl can emit and a [`Deserialize`] impl can consume.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A null / unit value.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer (negative values only; non-negative integers
+    /// normalize to [`Value::U64`]).
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    String(String),
+    /// A sequence (also the encoding of tuples).
+    Seq(Vec<Value>),
+}
+
+impl Value {
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::String(_) => "string",
+            Value::Seq(_) => "sequence",
+        }
+    }
+}
+
+/// Serialization half of the stub.
+pub mod ser {
+    use super::Value;
+    use std::fmt;
+
+    /// Error trait for serializers (mirrors `serde::ser::Error`).
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from a display-able message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    /// A serializer: consumes one [`Value`] describing the whole datum.
+    pub trait Serializer: Sized {
+        /// Successful return type.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+
+        /// Serializes a complete [`Value`] tree.
+        fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Types that can describe themselves as a [`Value`].
+    pub trait Serialize {
+        /// Serializes `self` into the given serializer.
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+    }
+}
+
+/// Deserialization half of the stub.
+pub mod de {
+    use super::Value;
+    use std::fmt;
+
+    /// Error trait for deserializers (mirrors `serde::de::Error`).
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from a display-able message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    /// A deserializer: yields one [`Value`] describing the whole datum.
+    pub trait Deserializer<'de>: Sized {
+        /// Error type.
+        type Error: Error;
+
+        /// Produces the complete [`Value`] tree.
+        fn deserialize_value(self) -> Result<Value, Self::Error>;
+    }
+
+    /// Types that can rebuild themselves from a [`Value`].
+    pub trait Deserialize<'de>: Sized {
+        /// Deserializes from the given deserializer.
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+    }
+}
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// ---------------------------------------------------------------------
+// Serialize impls for the primitives and containers the workspace uses.
+// ---------------------------------------------------------------------
+
+/// Converts any [`Serialize`] type into a [`Value`] (used internally by
+/// container impls, and by `serde_json`).
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, ValueError> {
+    value.serialize(ValueSerializer)
+}
+
+/// Error produced by [`to_value`] (and the in-memory serializer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueError(pub String);
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl ser::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Self(msg.to_string())
+    }
+}
+
+impl de::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Self(msg.to_string())
+    }
+}
+
+/// The in-memory serializer: serializing into it yields the [`Value`].
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, ValueError> {
+        Ok(value)
+    }
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl ser::Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::U64(u64::from(*self)))
+            }
+        }
+    )*};
+}
+
+impl_serialize_uint!(u8, u16, u32, u64);
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl ser::Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let v = i64::from(*self);
+                let value = if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) };
+                serializer.serialize_value(value)
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(i8, i16, i32, i64);
+
+impl ser::Serialize for usize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::U64(*self as u64))
+    }
+}
+
+impl ser::Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl ser::Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::F64(*self))
+    }
+}
+
+impl ser::Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::String(self.to_string()))
+    }
+}
+
+impl ser::Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::String(self.clone()))
+    }
+}
+
+impl<T: Serialize> ser::Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> ser::Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = Vec::with_capacity(self.len());
+        for item in self {
+            seq.push(to_value(item).map_err(|e| ser::Error::custom(e.0))?);
+        }
+        serializer.serialize_value(Value::Seq(seq))
+    }
+}
+
+impl<T: Serialize + ?Sized> ser::Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> ser::Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let seq = vec![
+                    $(to_value(&self.$idx).map_err(|e| ser::Error::custom(e.0))?),+
+                ];
+                serializer.serialize_value(Value::Seq(seq))
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+// ---------------------------------------------------------------------
+// Deserialize impls.
+// ---------------------------------------------------------------------
+
+/// Rebuilds any [`Deserialize`] type from a [`Value`].
+pub fn from_value<'de, T: Deserialize<'de>>(value: Value) -> Result<T, ValueError> {
+    T::deserialize(ValueDeserializer(value))
+}
+
+/// The in-memory deserializer over an already-parsed [`Value`].
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = ValueError;
+
+    fn deserialize_value(self) -> Result<Value, ValueError> {
+        Ok(self.0)
+    }
+}
+
+macro_rules! impl_deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> de::Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.deserialize_value()? {
+                    Value::U64(v) => <$t>::try_from(v).map_err(|_| {
+                        de::Error::custom(format!(
+                            "integer {v} out of range for {}",
+                            stringify!($t)
+                        ))
+                    }),
+                    other => Err(de::Error::custom(format!(
+                        "expected an unsigned integer, found {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> de::Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let raw: i64 = match deserializer.deserialize_value()? {
+                    Value::U64(v) => i64::try_from(v).map_err(|_| {
+                        de::Error::custom(format!("integer {v} overflows i64"))
+                    })?,
+                    Value::I64(v) => v,
+                    other => {
+                        return Err(de::Error::custom(format!(
+                            "expected an integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    de::Error::custom(format!(
+                        "integer {raw} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_deserialize_int!(i8, i16, i32, i64, isize);
+
+impl<'de> de::Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(de::Error::custom(format!(
+                "expected a boolean, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> de::Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::F64(f) => Ok(f),
+            Value::U64(v) => Ok(v as f64),
+            Value::I64(v) => Ok(v as f64),
+            other => Err(de::Error::custom(format!(
+                "expected a number, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> de::Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::String(s) => Ok(s),
+            other => Err(de::Error::custom(format!(
+                "expected a string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> de::Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|item| from_value(item).map_err(|e| de::Error::custom(e.0)))
+                .collect(),
+            other => Err(de::Error::custom(format!(
+                "expected a sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($len:literal; $($name:ident),+))*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> de::Deserialize<'de> for ($($name,)+) {
+            fn deserialize<De: Deserializer<'de>>(deserializer: De) -> Result<Self, De::Error> {
+                match deserializer.deserialize_value()? {
+                    Value::Seq(items) => {
+                        if items.len() != $len {
+                            return Err(de::Error::custom(format!(
+                                "expected a sequence of length {}, found {}",
+                                $len,
+                                items.len()
+                            )));
+                        }
+                        let mut iter = items.into_iter();
+                        Ok(($(
+                            from_value::<$name>(iter.next().expect("length checked"))
+                                .map_err(|e| de::Error::custom(e.0))?,
+                        )+))
+                    }
+                    other => Err(de::Error::custom(format!(
+                        "expected a sequence, found {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_deserialize_tuple! {
+    (1; A)
+    (2; A, B)
+    (3; A, B, C)
+    (4; A, B, C, D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip_through_value() {
+        assert_eq!(to_value(&7u32).unwrap(), Value::U64(7));
+        assert_eq!(from_value::<u32>(Value::U64(7)).unwrap(), 7);
+        assert_eq!(to_value(&-3i64).unwrap(), Value::I64(-3));
+        assert_eq!(from_value::<i64>(Value::I64(-3)).unwrap(), -3);
+        assert_eq!(to_value(&true).unwrap(), Value::Bool(true));
+        assert_eq!(from_value::<bool>(Value::Bool(true)).unwrap(), true);
+    }
+
+    #[test]
+    fn vecs_and_tuples_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        let val = to_value(&v).unwrap();
+        assert_eq!(val, Value::Seq(vec![Value::U64(1), Value::U64(2), Value::U64(3)]));
+        assert_eq!(from_value::<Vec<u32>>(val).unwrap(), v);
+
+        let t = (4u32, vec![5u64, 6]);
+        let val = to_value(&t).unwrap();
+        assert_eq!(from_value::<(u32, Vec<u64>)>(val).unwrap(), t);
+    }
+
+    #[test]
+    fn type_mismatches_are_rejected() {
+        assert!(from_value::<u32>(Value::Bool(true)).is_err());
+        assert!(from_value::<bool>(Value::U64(1)).is_err());
+        assert!(from_value::<Vec<u32>>(Value::U64(1)).is_err());
+        assert!(from_value::<(u32, bool)>(Value::Seq(vec![Value::U64(1)])).is_err());
+        assert!(from_value::<u8>(Value::U64(300)).is_err());
+    }
+}

@@ -1,0 +1,385 @@
+//! Offline stand-in for the
+//! [`serde_json`](https://crates.io/crates/serde_json) crate.
+//!
+//! Works with the vendored `serde` stub's [`serde::Value`] data model:
+//! [`to_string`] renders compact JSON, [`from_str`] parses JSON text back
+//! into values and rebuilds the target type through
+//! [`serde::Deserialize`]. Supports integers, floats, booleans, strings,
+//! nulls and (nested) arrays — the complete data model of the stub.
+//! JSON objects are parsed but rejected at conversion time, since the
+//! stub data model has no map type and no workspace type needs one.
+//!
+//! Wired in via `[patch.crates-io]`; deleting the patch entry restores
+//! the real crate when a registry is available.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize, Value};
+
+/// Error produced by serialization or parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Self::new(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Self::new(msg.to_string())
+    }
+}
+
+/// A convenience alias mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------
+// Serialization.
+// ---------------------------------------------------------------------
+
+/// Serializes `value` as a compact JSON string.
+///
+/// # Errors
+///
+/// Returns an error if the value fails to describe itself.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let tree = serde::to_value(value).map_err(|e| Error::new(e.0))?;
+    let mut out = String::new();
+    write_value(&tree, &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as a JSON byte vector.
+///
+/// # Errors
+///
+/// Returns an error if the value fails to describe itself.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    Ok(to_string(value)?.into_bytes())
+}
+
+fn write_value(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(v) => out.push_str(&v.to_string()),
+        Value::I64(v) => out.push_str(&v.to_string()),
+        Value::F64(v) => {
+            if v.is_finite() {
+                out.push_str(&v.to_string());
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => write_json_string(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------
+
+/// Deserializes an instance of `T` from a JSON string.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON, trailing input, or when the parsed
+/// value does not match `T` (including `T`'s own validation).
+pub fn from_str<'de, T: Deserialize<'de>>(input: &str) -> Result<T> {
+    let mut parser = Parser { bytes: input.as_bytes(), pos: 0 };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing characters at byte {}",
+            parser.pos
+        )));
+    }
+    serde::from_value(value).map_err(|e| Error::new(e.0))
+}
+
+/// Deserializes an instance of `T` from JSON bytes.
+///
+/// # Errors
+///
+/// As [`from_str`], plus invalid UTF-8.
+pub fn from_slice<'de, T: Deserialize<'de>>(input: &[u8]) -> Result<T> {
+    let text =
+        std::str::from_utf8(input).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(text)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<()> {
+        if self.bytes[self.pos..].starts_with(token.as_bytes()) {
+            self.pos += token.len();
+            Ok(())
+        } else {
+            Err(Error::new(format!("expected `{token}` at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_whitespace();
+        match self.peek() {
+            None => Err(Error::new("unexpected end of input")),
+            Some(b'n') => self.expect("null").map(|()| Value::Null),
+            Some(b't') => self.expect("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.expect("false").map(|()| Value::Bool(false)),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'{') => Err(Error::new(
+                "JSON objects are not supported by the offline serde stub",
+            )),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(Error::new(format!(
+                "unexpected character `{}` at byte {}",
+                c as char, self.pos
+            ))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect("[")?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect("\"")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape =
+                        self.peek().ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error::new("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::new("invalid \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid \\u code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::new(format!(
+                                "unknown escape `\\{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+                    let c = rest.chars().next().expect("peek saw a byte");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ASCII");
+        if is_float {
+            let v: f64 =
+                text.parse().map_err(|_| Error::new(format!("invalid number `{text}`")))?;
+            Ok(Value::F64(v))
+        } else if text.starts_with('-') {
+            let v: i64 =
+                text.parse().map_err(|_| Error::new(format!("invalid number `{text}`")))?;
+            Ok(Value::I64(v))
+        } else {
+            let v: u64 =
+                text.parse().map_err(|_| Error::new(format!("invalid number `{text}`")))?;
+            Ok(Value::U64(v))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_roundtrip_is_compact() {
+        let v = vec![2u32, 0, 3, 1];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[2,0,3,1]");
+        let back: Vec<u32> = from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn nested_tuple_roundtrip() {
+        let t = (3u32, vec![0u64, 1, 1, 0]);
+        let json = to_string(&t).unwrap();
+        assert_eq!(json, "[3,[0,1,1,0]]");
+        let back: (u32, Vec<u64>) = from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn bools_strings_and_negatives() {
+        assert_eq!(to_string(&(-5i64)).unwrap(), "-5");
+        assert_eq!(from_str::<i64>("-5").unwrap(), -5);
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(from_str::<bool>(" true ").unwrap(), true);
+        let s = "a\"b\\c\n".to_string();
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        assert!(from_str::<Vec<u32>>("[1,2").is_err());
+        assert!(from_str::<Vec<u32>>("[1,]").is_err());
+        assert!(from_str::<Vec<u32>>("[1] junk").is_err());
+        assert!(from_str::<u32>("1e999").is_err()); // float, not u32
+        assert!(from_str::<u32>("{}").is_err());
+        assert!(from_str::<bool>("frue").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert_eq!(from_str::<String>(r#""A\n""#).unwrap(), "A\n");
+    }
+}
