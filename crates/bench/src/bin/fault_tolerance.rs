@@ -1,0 +1,112 @@
+//! Experiment EXP-FAULTS: fault-tolerant routing under stuck switches.
+//!
+//! Injects `k` random stuck-at switch faults into the engine's shared
+//! fault registry and drives a reproducible mixed workload through the
+//! detect → quarantine → re-plan-around-faults ladder. Reports the
+//! reroute success rate against the planner-achievable ceiling (the
+//! fraction of requests `setup_avoiding` can realize at all under the
+//! fault set) and the latency cost of rerouting, as `k` grows.
+
+use benes_bench::Table;
+use benes_core::faults::{setup_avoiding, FaultSet};
+use benes_engine::workload::mixed_workload;
+use benes_engine::{Engine, EngineConfig, EngineError};
+
+fn main() {
+    println!("== EXP-FAULTS: reroute success and latency vs. stuck switches ==\n");
+
+    let requests = 1000;
+    let seeds = [1u64, 2, 3];
+
+    let mut table = Table::new(vec![
+        "n",
+        "stuck k",
+        "requests",
+        "served %",
+        "achievable %",
+        "reroutes ok",
+        "reroutes fail",
+        "mean latency ms",
+        "latency vs k=0",
+    ]);
+
+    for n in [3u32, 4] {
+        let mut baseline_ns = 0u64;
+        for k in [0usize, 1, 2, 3, 4] {
+            // Aggregate over a few fault placements so one lucky (or
+            // pathological) draw does not decide the row.
+            let mut served = 0usize;
+            let mut achievable = 0usize;
+            let mut reroutes_ok = 0u64;
+            let mut reroutes_fail = 0u64;
+            let mut latency_ns = 0u64;
+
+            for &seed in &seeds {
+                let faults = FaultSet::random_stuck(n, k, seed);
+                let stream = mixed_workload(n, requests, seed);
+                achievable +=
+                    stream.iter().filter(|d| setup_avoiding(d, &faults).is_ok()).count();
+
+                let engine = Engine::new(EngineConfig::default());
+                engine.set_faults(faults);
+                let outcomes = engine.run_batch(stream);
+                served += outcomes.iter().filter(|o| o.is_ok()).count();
+                // Every failure must be the typed "no agreeing settings
+                // exist" verdict — never a panic, hang, or misroute.
+                assert!(
+                    outcomes
+                        .iter()
+                        .all(|o| o.is_ok() || o.result == Err(EngineError::Unroutable)),
+                    "unexpected failure mode at n={n} k={k} seed={seed}"
+                );
+
+                let stats = engine.stats();
+                reroutes_ok += stats.reroutes_succeeded;
+                reroutes_fail += stats.reroutes_failed;
+                latency_ns += stats.latency_mean_ns;
+            }
+
+            let total = requests * seeds.len();
+            // The headline claim: the engine serves every request the
+            // planner can realize around the fault set, and nothing more
+            // (single-pass execution under faults implies an agreeing
+            // assignment exists).
+            assert_eq!(
+                served, achievable,
+                "engine must serve exactly the planner-achievable fraction \
+                 (n={n} k={k})"
+            );
+            let mean_ns = latency_ns / seeds.len() as u64;
+            if k == 0 {
+                baseline_ns = mean_ns.max(1);
+            }
+            table.row(vec![
+                n.to_string(),
+                k.to_string(),
+                total.to_string(),
+                format!("{:.1}", 100.0 * served as f64 / total as f64),
+                format!("{:.1}", 100.0 * achievable as f64 / total as f64),
+                reroutes_ok.to_string(),
+                reroutes_fail.to_string(),
+                format!("{:.3}", mean_ns as f64 / 1e6),
+                format!("{:.2}x", mean_ns as f64 / baseline_ns as f64),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+
+    // One detailed degraded-mode report at the headline configuration.
+    let faults = FaultSet::random_stuck(4, 2, seeds[0]);
+    println!("fault set under report below: {faults}");
+    let engine = Engine::new(EngineConfig::default());
+    engine.set_faults(faults);
+    let _ = engine.run_batch(mixed_workload(4, requests, seeds[0]));
+    println!("\ndetailed stats at n = 4, k = 2:\n{}", engine.stats().report());
+    println!(
+        "observation: stuck-at faults on outer-stage switches are absorbed by\n\
+         re-seeding the Waksman constraint loops, so the served fraction tracks\n\
+         the planner-achievable ceiling exactly; the price is the reroute\n\
+         search on first sight of each hard permutation, visible as the\n\
+         latency multiplier growing with k."
+    );
+}

@@ -22,7 +22,7 @@ proptest! {
     fn bit_slice_concatenation((v, w) in value_with_width(), split in 0u32..16) {
         prop_assume!(split < w);
         // v = (v)_{w-1..split+?}; splitting at any point reassembles v.
-        let high = if split + 1 <= w - 1 { bit_slice(v, w - 1, split + 1) } else { 0 };
+        let high = if split < w - 1 { bit_slice(v, w - 1, split + 1) } else { 0 };
         let low = bit_slice(v, split, 0);
         prop_assert_eq!((high << (split + 1)) | low, v);
     }

@@ -72,6 +72,11 @@ COMMANDS:
   engine [n] [reqs] [wkrs]   drive the batched routing engine over a mixed
                              workload on B(n) and print tier/cache stats
                              (defaults: n=4, 1000 requests, 4 workers)
+  faults [n] [k] [reqs] [s]  fault-injection campaign: inject k random
+                             stuck-at switch faults on B(n), serve a mixed
+                             workload through the engine's reroute ladder,
+                             and report degraded-mode stats
+                             (defaults: n=3, k=2, 500 requests, seed 1)
   help                       this text
 "
     .to_string()
@@ -129,6 +134,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "diagnose" => diagnose(rest),
         "factor" => factor(rest),
         "engine" => engine(rest),
+        "faults" => faults_cmd(rest),
         other => {
             Err(CliError::new(format!("unknown command `{other}` (try `benes-cli help`)")))
         }
@@ -271,6 +277,69 @@ fn engine(args: &[String]) -> Result<String, CliError> {
     out.push_str(&stats.report());
     out.push_str(&format!("cache entries      {}\n", engine.cache_len()));
     out.push_str(&format!("misrouted          {misrouted}\n"));
+    Ok(out)
+}
+
+fn faults_cmd(args: &[String]) -> Result<String, CliError> {
+    use benes_core::faults::{setup_avoiding, FaultSet};
+    use benes_engine::{workload, Engine, EngineConfig, EngineError};
+
+    let n = match args.first() {
+        Some(_) => parse_n(args.first(), "network order n")?,
+        None => 3,
+    };
+    if !(3..=10).contains(&n) {
+        return Err(CliError::new(
+            "fault campaign needs n in 3..=10 (below B(3) every permutation is in F ∪ Ω)",
+        ));
+    }
+    let net = Benes::new(n);
+    let k: usize = match args.get(1) {
+        Some(s) => {
+            s.parse().ok().filter(|&k| k <= net.switch_count()).ok_or_else(|| {
+                CliError::new(format!(
+                    "fault count must be in 0..={} (the switch count of B({n}))",
+                    net.switch_count()
+                ))
+            })?
+        }
+        None => 2,
+    };
+    let requests: usize = match args.get(2) {
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&r| (1..=1_000_000).contains(&r))
+            .ok_or_else(|| CliError::new("request count must be in 1..=1000000"))?,
+        None => 500,
+    };
+    let seed: u64 = match args.get(3) {
+        Some(s) => s.parse().map_err(|_| CliError::new("seed must be an integer"))?,
+        None => 1,
+    };
+
+    let faults = FaultSet::random_stuck(n, k, seed);
+    let engine = Engine::new(EngineConfig::default());
+    engine.set_faults(faults.clone());
+
+    let stream = workload::mixed_workload(n, requests, seed);
+    let achievable = stream.iter().filter(|d| setup_avoiding(d, &faults).is_ok()).count();
+    let outcomes = engine.run_batch(stream);
+    let served = outcomes.iter().filter(|o| o.is_ok()).count();
+    let unroutable =
+        outcomes.iter().filter(|o| o.result == Err(EngineError::Unroutable)).count();
+    let stats = engine.stats();
+
+    let mut out = format!(
+        "fault-injection campaign: B({n}), {k} stuck switches, {requests} requests, seed {seed}\n"
+    );
+    out.push_str(&format!("fault set: {faults}\n"));
+    out.push_str(&format!(
+        "served {served}/{requests} ({:.1}%); planner-achievable {achievable} \
+         ({unroutable} unroutable)\n",
+        100.0 * served as f64 / requests as f64
+    ));
+    out.push_str(&stats.report());
     Ok(out)
 }
 
@@ -623,6 +692,21 @@ mod extension_tests {
         assert!(run_str("engine 2").is_err()); // no hard perms below B(3)
         assert!(run_str("engine 4 0").is_err());
         assert!(run_str("engine 4 10 0").is_err());
+    }
+
+    #[test]
+    fn faults_command() {
+        let out = run_str("faults 3 2 120 7").unwrap();
+        assert!(out.contains("fault-injection campaign: B(3), 2 stuck switches"), "{out}");
+        assert!(out.contains("fault set: B(3):"), "{out}");
+        assert!(out.contains("degraded mode"), "{out}");
+        // A healthy campaign (k = 0) serves everything and stays clean.
+        let clean = run_str("faults 3 0 60 7").unwrap();
+        assert!(clean.contains("served 60/60"), "{clean}");
+        assert!(!clean.contains("degraded mode"), "{clean}");
+        assert!(run_str("faults 2").is_err()); // no hard perms below B(3)
+        assert!(run_str("faults 3 999").is_err()); // more faults than switches
+        assert!(run_str("faults 3 1 0").is_err());
     }
 
     #[test]

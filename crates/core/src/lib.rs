@@ -65,6 +65,7 @@ pub mod census;
 pub mod class_f;
 pub mod diagnose;
 pub mod factor;
+pub mod faults;
 pub mod network;
 pub mod parallel_setup;
 pub mod pipeline;
@@ -75,5 +76,6 @@ pub mod trace;
 pub mod waksman;
 
 pub use class_f::{check_f, is_in_f, is_in_f_by_simulation, FViolation};
+pub use faults::{FaultKind, FaultSet, FaultSetupError};
 pub use network::{Benes, SwitchSettings, SwitchState};
 pub use selfroute::SelfRouteOutcome;

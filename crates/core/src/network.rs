@@ -453,6 +453,66 @@ impl Benes {
     }
 }
 
+#[cfg(feature = "serde")]
+impl serde::Serialize for SwitchState {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_bit().serialize(serializer)
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<'de> serde::Deserialize<'de> for SwitchState {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match u64::deserialize(deserializer)? {
+            0 => Ok(Self::Straight),
+            1 => Ok(Self::Cross),
+            other => Err(serde::de::Error::custom(format!(
+                "switch state must be 0 or 1 (got {other})"
+            ))),
+        }
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Serialize for SwitchSettings {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (self.n, self.to_bits()).serialize(serializer)
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<'de> serde::Deserialize<'de> for SwitchSettings {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::de::Error;
+        let (n, bits) = <(u32, Vec<u64>)>::deserialize(deserializer)?;
+        if n == 0 || n > crate::topology::MAX_N {
+            return Err(D::Error::custom(format!("network order {n} out of range")));
+        }
+        let expected = crate::topology::switch_count(n);
+        if bits.len() != expected {
+            return Err(D::Error::custom(format!(
+                "expected {expected} switch bits for B({n}), got {}",
+                bits.len()
+            )));
+        }
+        let mut settings = SwitchSettings::all_straight(n);
+        let per = crate::topology::switches_per_stage(n);
+        for (idx, bit) in bits.into_iter().enumerate() {
+            let state = match bit {
+                0 => SwitchState::Straight,
+                1 => SwitchState::Cross,
+                other => {
+                    return Err(D::Error::custom(format!(
+                        "switch state must be 0 or 1 (got {other})"
+                    )))
+                }
+            };
+            settings.set(idx / per, idx % per, state);
+        }
+        Ok(settings)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -586,65 +646,5 @@ mod tests {
             let net = Benes::new(n);
             assert_eq!(net.transit_delay(), 2 * n as usize - 1);
         }
-    }
-}
-
-#[cfg(feature = "serde")]
-impl serde::Serialize for SwitchState {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        self.as_bit().serialize(serializer)
-    }
-}
-
-#[cfg(feature = "serde")]
-impl<'de> serde::Deserialize<'de> for SwitchState {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        match u64::deserialize(deserializer)? {
-            0 => Ok(Self::Straight),
-            1 => Ok(Self::Cross),
-            other => Err(serde::de::Error::custom(format!(
-                "switch state must be 0 or 1 (got {other})"
-            ))),
-        }
-    }
-}
-
-#[cfg(feature = "serde")]
-impl serde::Serialize for SwitchSettings {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        (self.n, self.to_bits()).serialize(serializer)
-    }
-}
-
-#[cfg(feature = "serde")]
-impl<'de> serde::Deserialize<'de> for SwitchSettings {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        use serde::de::Error;
-        let (n, bits) = <(u32, Vec<u64>)>::deserialize(deserializer)?;
-        if n == 0 || n > crate::topology::MAX_N {
-            return Err(D::Error::custom(format!("network order {n} out of range")));
-        }
-        let expected = crate::topology::switch_count(n);
-        if bits.len() != expected {
-            return Err(D::Error::custom(format!(
-                "expected {expected} switch bits for B({n}), got {}",
-                bits.len()
-            )));
-        }
-        let mut settings = SwitchSettings::all_straight(n);
-        let per = crate::topology::switches_per_stage(n);
-        for (idx, bit) in bits.into_iter().enumerate() {
-            let state = match bit {
-                0 => SwitchState::Straight,
-                1 => SwitchState::Cross,
-                other => {
-                    return Err(D::Error::custom(format!(
-                        "switch state must be 0 or 1 (got {other})"
-                    )))
-                }
-            };
-            settings.set(idx / per, idx % per, state);
-        }
-        Ok(settings)
     }
 }

@@ -100,8 +100,10 @@ pub fn setup(d: &Permutation) -> Result<SwitchSettings, SetupError> {
 
 /// Sets the switches of the `B(m)` sub-network whose first stage is
 /// `stage_base` and whose switch rows start at `row_base`, so that it
-/// realizes `perm` (a permutation of `0..2^m`).
-fn setup_recursive(
+/// realizes `perm` (a permutation of `0..2^m`). Shared with the
+/// fault-avoiding set-up of [`crate::faults`], which uses it for
+/// fault-free sub-blocks.
+pub(crate) fn setup_recursive(
     perm: &[u32],
     m: u32,
     stage_base: usize,

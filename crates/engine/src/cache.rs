@@ -15,7 +15,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use benes_perm::Permutation;
 
@@ -85,6 +85,15 @@ impl PlanCache {
         &self.shards[idx]
     }
 
+    /// Locks a shard, recovering from poison: a worker that panicked
+    /// while holding a shard lock leaves plain map data behind (plans
+    /// are immutable `Arc`s; the worst a torn update leaves is a stale
+    /// entry, which every hit re-verifies anyway), so the cache stays
+    /// usable instead of cascading the panic into every later caller.
+    fn lock_shard<'a>(&self, shard: &'a Mutex<Shard>) -> MutexGuard<'a, Shard> {
+        shard.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Looks up the plan cached for `d`, refreshing its recency.
     ///
     /// Returns `None` on a true miss **and** on a fingerprint collision
@@ -92,8 +101,12 @@ impl PlanCache {
     #[must_use]
     pub fn get(&self, d: &Permutation) -> Option<Arc<Plan>> {
         let fp = d.fingerprint();
+        let mut shard = self.lock_shard(self.shard_for(fp));
+        // The recency stamp is drawn *under* the shard lock: stamps taken
+        // before acquiring it could be applied out of order under
+        // contention, marking a just-used entry as older than entries
+        // touched before it — and evicting the wrong victim.
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
-        let mut shard = self.shard_for(fp).lock().expect("cache shard poisoned");
         let entry = shard.map.get_mut(&fp)?;
         if entry.perm != *d {
             return None;
@@ -110,8 +123,8 @@ impl PlanCache {
     /// entry for `d` no matter how many threads raced.
     pub fn insert(&self, d: &Permutation, plan: Arc<Plan>) {
         let fp = d.fingerprint();
+        let mut shard = self.lock_shard(self.shard_for(fp));
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
-        let mut shard = self.shard_for(fp).lock().expect("cache shard poisoned");
         if !shard.map.contains_key(&fp) && shard.map.len() >= self.shard_capacity {
             if let Some((&victim, _)) = shard.map.iter().min_by_key(|(_, e)| e.last_used) {
                 shard.map.remove(&victim);
@@ -120,10 +133,30 @@ impl PlanCache {
         shard.map.insert(fp, Entry { perm: d.clone(), plan, last_used: stamp });
     }
 
+    /// Removes the plan cached for `d`, returning whether an entry was
+    /// dropped. A fingerprint collision with a *different* permutation
+    /// is left untouched.
+    ///
+    /// The engine calls this when a cached plan fails replay: the entry
+    /// is corrupt (or the fabric it was computed for has changed), and
+    /// leaving it in place would make every future request for `d`
+    /// re-pay a failed replay.
+    pub fn invalidate(&self, d: &Permutation) -> bool {
+        let fp = d.fingerprint();
+        let mut shard = self.lock_shard(self.shard_for(fp));
+        match shard.map.get(&fp) {
+            Some(entry) if entry.perm == *d => {
+                shard.map.remove(&fp);
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// The number of plans currently cached, across all shards.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").map.len()).sum()
+        self.shards.iter().map(|s| self.lock_shard(s).map.len()).sum()
     }
 
     /// Whether the cache holds no plans.
@@ -227,6 +260,95 @@ mod tests {
     fn shard_count_rounds_to_power_of_two() {
         assert_eq!(PlanCache::new(16, 3).shard_count(), 4);
         assert_eq!(PlanCache::new(16, 1).shard_count(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes_exactly_the_named_entry() {
+        let cache = PlanCache::new(8, 2);
+        let a = rotation(8, 1);
+        let b = rotation(8, 2);
+        cache.insert(&a, dummy_plan());
+        cache.insert(&b, dummy_plan());
+        assert!(cache.invalidate(&a));
+        assert!(cache.get(&a).is_none(), "invalidated entry is gone");
+        assert!(cache.get(&b).is_some(), "other entries untouched");
+        assert!(!cache.invalidate(&a), "second invalidation is a no-op");
+        assert!(!cache.invalidate(&rotation(8, 3)), "absent key is a no-op");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn poisoned_shard_lock_recovers_instead_of_cascading() {
+        // Regression: every lock site used `.expect("cache shard
+        // poisoned")`, so one panic while holding a shard lock turned
+        // every later cache call (and Engine::drop via len()) into
+        // another panic. Poison one shard deliberately and verify the
+        // full API still works.
+        let cache = Arc::new(PlanCache::new(8, 1));
+        let d = p(&[1, 0, 3, 2]);
+        cache.insert(&d, dummy_plan());
+        let poisoner = Arc::clone(&cache);
+        std::thread::spawn(move || {
+            let _guard = poisoner.shard_for(0).lock().unwrap();
+            panic!("poison the shard on purpose");
+        })
+        .join()
+        .unwrap_err();
+        assert!(cache.shard_for(0).is_poisoned(), "setup must actually poison");
+        assert_eq!(cache.get(&d).as_deref(), Some(&Plan::SelfRoute));
+        cache.insert(&rotation(8, 1), dummy_plan());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.invalidate(&d));
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn lru_order_survives_contention() {
+        // Regression: the recency stamp was drawn from the global clock
+        // *before* acquiring the shard lock, so two racing touches could
+        // apply their stamps out of order and a just-used entry could be
+        // evicted. With stamps drawn under the lock, the last completed
+        // touch always has the newest stamp — so after the contention
+        // storm, a serialized touch-then-insert can never evict the
+        // entry just touched.
+        for round in 0..20 {
+            let cache = Arc::new(PlanCache::new(2, 1));
+            let hot = rotation(16, 1);
+            let cold = rotation(16, 2);
+            cache.insert(&hot, dummy_plan());
+            cache.insert(&cold, dummy_plan());
+            let barrier = Arc::new(std::sync::Barrier::new(4));
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let cache = Arc::clone(&cache);
+                    let hot = hot.clone();
+                    let cold = cold.clone();
+                    let barrier = Arc::clone(&barrier);
+                    std::thread::spawn(move || {
+                        barrier.wait();
+                        for i in 0..200 {
+                            if (t + i) % 2 == 0 {
+                                let _ = cache.get(&hot);
+                            } else {
+                                let _ = cache.get(&cold);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            // Serialized epilogue: touch `hot`, then insert a third entry
+            // into the full shard. `hot` now holds the newest stamp, so
+            // the eviction scan must pick the other entry.
+            assert!(cache.get(&hot).is_some());
+            cache.insert(&rotation(16, 3 + round), dummy_plan());
+            assert!(
+                cache.get(&hot).is_some(),
+                "round {round}: just-touched entry was evicted"
+            );
+        }
     }
 
     #[test]

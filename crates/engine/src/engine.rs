@@ -12,16 +12,21 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use benes_core::faults::{
+    realized_with_faults, self_route_omega_with_faults, self_route_with_faults,
+    setup_avoiding, FaultError, FaultKind, FaultSet, FaultSetupError,
+};
 use benes_core::Benes;
 use benes_perm::Permutation;
 
 use crate::cache::PlanCache;
-use crate::plan::{execute, plan, required_order, Fallback, PlanError, Tier};
+use crate::plan::{execute, plan, required_order, Fallback, Plan, PlanError, Tier};
 use crate::stats::{EngineStats, Recorder};
 
 /// Tuning knobs for [`Engine::new`].
@@ -64,6 +69,16 @@ pub enum EngineError {
     Misrouted,
     /// The worker serving the request disappeared before replying.
     WorkerLost,
+    /// Execution failed under a registered fault set and the bounded
+    /// reroute ladder could not produce a verified routing (the fault
+    /// registry kept changing mid-flight).
+    FaultDetected,
+    /// The registered fault set makes this permutation unrealizable:
+    /// the fault-avoiding planner proved no agreeing set-up exists.
+    Unroutable,
+    /// The job panicked inside the worker. The worker survives and the
+    /// rest of its batch is still served.
+    JobPanicked,
 }
 
 impl fmt::Display for EngineError {
@@ -74,6 +89,13 @@ impl fmt::Display for EngineError {
             Self::WorkerLost => {
                 write!(f, "worker terminated before completing the request")
             }
+            Self::FaultDetected => {
+                write!(f, "execution failed under registered faults; reroutes exhausted")
+            }
+            Self::Unroutable => {
+                write!(f, "no set-up realizing the permutation agrees with the fault set")
+            }
+            Self::JobPanicked => write!(f, "request panicked inside the worker"),
         }
     }
 }
@@ -149,6 +171,31 @@ struct Shared {
     recorder: Recorder,
     fallback: Fallback,
     batch_size: usize,
+    /// Registered switch faults, one [`FaultSet`] per network order.
+    /// Workers clone the `Arc` for the order they are serving, so fault
+    /// injection never blocks an in-flight job.
+    faults: Mutex<HashMap<u32, Arc<FaultSet>>>,
+    /// Fast-path flag: `false` means the registry is empty and workers
+    /// skip the registry lock entirely.
+    degraded: AtomicBool,
+}
+
+impl Shared {
+    /// Locks the fault registry, recovering from poison (the map only
+    /// holds immutable `Arc`s, so a panicked holder cannot leave a torn
+    /// state behind).
+    fn lock_faults(&self) -> std::sync::MutexGuard<'_, HashMap<u32, Arc<FaultSet>>> {
+        self.faults.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The fault set registered for order `n`, if any (cheap `None` when
+    /// the whole registry is empty).
+    fn fault_set(&self, n: u32) -> Option<Arc<FaultSet>> {
+        if !self.degraded.load(Ordering::Acquire) {
+            return None;
+        }
+        self.lock_faults().get(&n).cloned()
+    }
 }
 
 /// The permutation-routing engine: tiered planner + sharded plan cache
@@ -194,6 +241,8 @@ impl Engine {
             recorder: Recorder::new(),
             fallback: config.fallback,
             batch_size: config.batch_size,
+            faults: Mutex::new(HashMap::new()),
+            degraded: AtomicBool::new(false),
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -224,7 +273,9 @@ impl Engine {
         let (tx, rx) = mpsc::channel();
         self.shared.recorder.note_submitted();
         {
-            let mut q = self.shared.queue.lock().expect("engine queue poisoned");
+            // Recover from poison: the queue is a plain VecDeque that no
+            // panicking holder can leave half-mutated in a harmful way.
+            let mut q = self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
             q.jobs.push_back(Job { perm, submitted_at: Instant::now(), reply: tx });
             self.shared.recorder.note_queue_depth(q.jobs.len() as u64);
         }
@@ -258,12 +309,76 @@ impl Engine {
     pub fn cache_len(&self) -> usize {
         self.shared.cache.len()
     }
+
+    /// Injects one switch fault into the `B(n)` fabric the engine
+    /// routes on. Requests already in flight may still execute against
+    /// the old fault set; every retry re-reads the registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::OutOfRange`] if `(stage, switch)` does not
+    /// name a switch of `B(n)`.
+    pub fn inject_fault(
+        &self,
+        n: u32,
+        stage: usize,
+        switch: usize,
+        kind: FaultKind,
+    ) -> Result<(), FaultError> {
+        let mut registry = self.shared.lock_faults();
+        let mut set = registry.get(&n).map_or_else(|| FaultSet::new(n), |s| (**s).clone());
+        set.insert(stage, switch, kind)?;
+        registry.insert(n, Arc::new(set));
+        drop(registry);
+        self.shared.degraded.store(true, Ordering::Release);
+        self.shared.recorder.note_faults_injected(1);
+        Ok(())
+    }
+
+    /// Replaces the registered fault set for `faults.n()` wholesale —
+    /// the campaign entry point (`FaultSet::random_stuck` + `set_faults`
+    /// is one injection round).
+    ///
+    /// An empty `faults` clears that order's registration.
+    pub fn set_faults(&self, faults: FaultSet) {
+        let injected = faults.len() as u64;
+        let n = faults.n();
+        let mut registry = self.shared.lock_faults();
+        if faults.is_empty() {
+            registry.remove(&n);
+        } else {
+            registry.insert(n, Arc::new(faults));
+        }
+        let degraded = !registry.is_empty();
+        drop(registry);
+        self.shared.degraded.store(degraded, Ordering::Release);
+        if injected > 0 {
+            self.shared.recorder.note_faults_injected(injected);
+        }
+    }
+
+    /// Heals the fabric: removes every registered fault, for every
+    /// order.
+    pub fn clear_faults(&self) {
+        self.shared.lock_faults().clear();
+        self.shared.degraded.store(false, Ordering::Release);
+    }
+
+    /// The fault set currently registered for order `n`, if any.
+    #[must_use]
+    pub fn fault_set(&self, n: u32) -> Option<Arc<FaultSet>> {
+        self.shared.fault_set(n)
+    }
 }
 
 impl Drop for Engine {
     fn drop(&mut self) {
         {
-            let mut q = self.shared.queue.lock().expect("engine queue poisoned");
+            // Must recover from poison, not `.expect`: if a worker
+            // panicked while holding this lock, panicking again here —
+            // typically while the original panic is still unwinding —
+            // aborts the whole process. Shutdown must always proceed.
+            let mut q = self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
             q.shutdown = true;
         }
         self.shared.available.notify_all();
@@ -288,7 +403,9 @@ fn worker_loop(shared: &Shared) {
     let mut nets: HashMap<u32, Benes> = HashMap::new();
     loop {
         let batch: Vec<Job> = {
-            let mut q = shared.queue.lock().expect("engine queue poisoned");
+            // Poison recovery on both the lock and the condvar wait: a
+            // sibling's panic must not take the remaining workers down.
+            let mut q = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 if !q.jobs.is_empty() {
                     break;
@@ -296,7 +413,7 @@ fn worker_loop(shared: &Shared) {
                 if q.shutdown {
                     return;
                 }
-                q = shared.available.wait(q).expect("engine queue poisoned");
+                q = shared.available.wait(q).unwrap_or_else(PoisonError::into_inner);
             }
             let take = shared.batch_size.min(q.jobs.len());
             q.jobs.drain(..take).collect()
@@ -305,7 +422,15 @@ fn worker_loop(shared: &Shared) {
         // the batch so the queue keeps draining in parallel.
         shared.available.notify_one();
         for job in batch {
-            let result = serve_one(shared, &mut nets, &job.perm);
+            // Contain per-job panics: without this, one panicking job
+            // kills the worker with the rest of its drained batch
+            // un-replied, and the queued tickets behind it can block
+            // forever. `nets` only memoizes immutable topologies, so
+            // observing it after an unwind is sound.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                serve_one(shared, &mut nets, &job.perm)
+            }))
+            .unwrap_or(Err(EngineError::JobPanicked));
             if result.is_ok() {
                 shared.recorder.note_completed();
             } else {
@@ -321,39 +446,162 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// How many times the reroute ladder replans after a fault-avoiding
+/// plan itself failed execution (only possible when the fault registry
+/// changed between planning and execution).
+const MAX_FAULT_RETRIES: usize = 3;
+
+/// Executes `plan` on the fabric as it currently is: healthy when
+/// `faults` is `None`, otherwise with every faulty switch overriding its
+/// commanded state. Either way the realized routing is verified against
+/// `d`.
+fn execute_on_fabric(
+    net: &Benes,
+    d: &Permutation,
+    plan: &Plan,
+    faults: Option<&FaultSet>,
+) -> bool {
+    let Some(faults) = faults.filter(|f| !f.is_empty()) else {
+        return execute(net, d, plan);
+    };
+    match plan {
+        Plan::SelfRoute => self_route_with_faults(net, d, faults).is_success(),
+        Plan::OmegaBit => self_route_omega_with_faults(net, d, faults).is_success(),
+        Plan::Settings(settings) => {
+            realized_with_faults(net, settings, faults).map(|r| r == *d).unwrap_or(false)
+        }
+        Plan::TwoPass { first, second } => {
+            first.then(second) == *d
+                && self_route_with_faults(net, first, faults).is_success()
+                && self_route_omega_with_faults(net, second, faults).is_success()
+        }
+    }
+}
+
 /// Serves one request: cache lookup, then tier planning, execution, and
-/// cache fill. Every path verifies the realized routing.
+/// cache fill — and, when execution fails with faults registered, the
+/// fault-tolerance ladder: detect → evict → re-plan around the faults →
+/// bounded retry. Every path verifies the realized routing.
 fn serve_one(
     shared: &Shared,
     nets: &mut HashMap<u32, Benes>,
     perm: &Permutation,
 ) -> Result<Tier, EngineError> {
+    #[cfg(test)]
+    test_hooks::maybe_panic(perm);
+
     let n = required_order(perm)?;
     let net = nets.entry(n).or_insert_with(|| Benes::new(n));
+    let faults = shared.fault_set(n);
 
     match shared.cache.get(perm) {
         Some(cached) => {
             shared.recorder.note_cache(true);
-            if execute(net, perm, &cached) {
+            if execute_on_fabric(net, perm, &cached, faults.as_deref()) {
                 shared.recorder.note_tier(Tier::Cached);
                 return Ok(Tier::Cached);
             }
             // The cache verifies permutation equality on lookup, so a
-            // failing replay means a corrupted plan; replan from scratch.
+            // failing replay means a corrupted plan (or one planned for
+            // a fabric that has since degraded). Evict it: leaving it in
+            // place makes every future request re-pay a failed replay.
+            shared.cache.invalidate(perm);
         }
         None => shared.recorder.note_cache(false),
     }
 
     let fresh = plan(perm, shared.fallback)?;
     let tier = fresh.tier();
-    if !execute(net, perm, &fresh) {
+    if execute_on_fabric(net, perm, &fresh, faults.as_deref()) {
+        if fresh.is_cacheable() {
+            shared.cache.insert(perm, Arc::new(fresh));
+        }
+        shared.recorder.note_tier(tier);
+        return Ok(tier);
+    }
+
+    // Execution failed. On a healthy fabric that is an engine bug —
+    // report it as before. With faults registered it is the expected
+    // signature of a damaged switch: enter the reroute ladder.
+    if faults.is_none() {
         return Err(EngineError::Misrouted);
     }
-    if fresh.is_cacheable() {
-        shared.cache.insert(perm, Arc::new(fresh));
+    shared.recorder.note_fault_detected();
+
+    for _attempt in 0..=MAX_FAULT_RETRIES {
+        // Re-read the registry every attempt: concurrent injection or
+        // healing changes what must be avoided.
+        let current = match shared.fault_set(n) {
+            Some(f) => f,
+            None => {
+                // Healed mid-flight: the fresh plan is valid again.
+                if execute_on_fabric(net, perm, &fresh, None) {
+                    if fresh.is_cacheable() {
+                        shared.cache.insert(perm, Arc::new(fresh));
+                    }
+                    shared.recorder.note_reroute(true);
+                    shared.recorder.note_tier(tier);
+                    return Ok(tier);
+                }
+                shared.recorder.note_reroute(false);
+                return Err(EngineError::Misrouted);
+            }
+        };
+        match setup_avoiding(perm, &current) {
+            Ok(settings) => {
+                let avoiding = Plan::Settings(settings);
+                if execute_on_fabric(net, perm, &avoiding, Some(&current)) {
+                    // The avoiding settings agree with every stuck
+                    // switch, so the overlay is a no-op on them: they
+                    // realize `perm` on the faulty fabric *and* after a
+                    // repair — safe to cache.
+                    shared.cache.insert(perm, Arc::new(avoiding));
+                    shared.recorder.note_reroute(true);
+                    shared.recorder.note_tier(Tier::Waksman);
+                    return Ok(Tier::Waksman);
+                }
+                // Only reachable if the registry changed between
+                // planning and execution; retry against the new state.
+                shared.recorder.note_fault_retry();
+            }
+            Err(FaultSetupError::Unavoidable) => {
+                shared.recorder.note_reroute(false);
+                return Err(EngineError::Unroutable);
+            }
+            Err(FaultSetupError::Setup(e)) => {
+                shared.recorder.note_reroute(false);
+                return Err(EngineError::Plan(PlanError::from(e)));
+            }
+            Err(_) => {
+                // Registry keyed by order, so a mismatch cannot happen;
+                // treat any future variant as one retry-worthy hiccup.
+                shared.recorder.note_fault_retry();
+            }
+        }
     }
-    shared.recorder.note_tier(tier);
-    Ok(tier)
+    shared.recorder.note_reroute(false);
+    Err(EngineError::FaultDetected)
+}
+
+#[cfg(test)]
+mod test_hooks {
+    //! Deterministic failure seams for the regression tests.
+
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use benes_perm::Permutation;
+
+    /// When non-zero, [`maybe_panic`] panics on any permutation with
+    /// this fingerprint — the seam the catch_unwind regression test uses
+    /// to detonate a job inside a worker.
+    pub(super) static PANIC_ON_FINGERPRINT: AtomicU64 = AtomicU64::new(0);
+
+    pub(super) fn maybe_panic(perm: &Permutation) {
+        let armed = PANIC_ON_FINGERPRINT.load(Ordering::Relaxed);
+        if armed != 0 && perm.fingerprint() == armed {
+            panic!("test hook: detonating job for fingerprint {armed:#x}");
+        }
+    }
 }
 
 #[cfg(test)]
@@ -454,6 +702,201 @@ mod tests {
         for t in outcomes {
             assert!(t.wait().is_ok(), "drop must drain the queue, not abandon it");
         }
+    }
+
+    #[test]
+    fn drop_survives_poisoned_queue_lock() {
+        // Regression: Engine::drop used `.expect("engine queue
+        // poisoned")`. A worker that panicked while holding the queue
+        // lock poisoned it, and dropping the engine then panicked again
+        // → process abort. Poison the lock deliberately and verify both
+        // a later submit and the drop itself complete.
+        let engine = Engine::new(EngineConfig { workers: 1, ..EngineConfig::default() });
+        let shared = Arc::clone(&engine.shared);
+        std::thread::spawn(move || {
+            let _guard = shared.queue.lock().unwrap();
+            panic!("poison the engine queue on purpose");
+        })
+        .join()
+        .unwrap_err();
+        assert!(engine.shared.queue.is_poisoned(), "setup must actually poison");
+        // Submit still works through the poisoned (but consistent) lock…
+        let outcome = engine.submit(Bpc::bit_reversal(3).to_permutation()).wait();
+        assert_eq!(outcome.tier(), Some(Tier::SelfRoute));
+        // …and the drop at end of scope must not abort the process.
+        drop(engine);
+    }
+
+    #[test]
+    fn corrupt_cached_plan_is_evicted_after_one_failed_replay() {
+        // Regression: a cached plan failing replay was replanned but the
+        // corrupt entry stayed. For a self-routable permutation the
+        // fresh plan is NOT cacheable, so nothing ever overwrote the
+        // entry and every future request re-paid a failed replay.
+        let engine = Engine::new(EngineConfig { workers: 1, ..EngineConfig::default() });
+        let rev = Bpc::bit_reversal(3).to_permutation();
+        // Plant a corrupt plan: all-straight settings realize the
+        // identity, not the bit reversal.
+        let corrupt = Plan::Settings(benes_core::SwitchSettings::all_straight(3));
+        engine.shared.cache.insert(&rev, Arc::new(corrupt));
+        assert_eq!(engine.cache_len(), 1);
+
+        let outcome = engine.submit(rev.clone()).wait();
+        assert_eq!(outcome.tier(), Some(Tier::SelfRoute), "replanned and served");
+        assert_eq!(engine.cache_len(), 0, "corrupt entry must be evicted");
+
+        // The next request is a clean miss, not another failed replay.
+        assert_eq!(engine.submit(rev).wait().tier(), Some(Tier::SelfRoute));
+        let stats = engine.stats();
+        assert_eq!(stats.cache_hits, 1, "only the corrupt replay hit");
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn panicking_job_yields_error_outcome_and_worker_survives() {
+        // Regression: a panic inside serve_one killed the worker without
+        // replying to the rest of its drained batch; with one worker the
+        // queue then hung until engine drop. The bomb permutation is
+        // unique to this test (the hook statics are process-wide).
+        let bomb = Permutation::from_fn(32, |i| (i + 7) % 32).unwrap();
+        test_hooks::PANIC_ON_FINGERPRINT.store(bomb.fingerprint(), Ordering::Relaxed);
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            batch_size: 8,
+            ..EngineConfig::default()
+        });
+        let tickets = engine.submit_all([
+            bomb.clone(),
+            Bpc::bit_reversal(4).to_permutation(),
+            Bpc::unshuffle(3).to_permutation(),
+        ]);
+        let outcomes: Vec<RequestOutcome> = tickets.into_iter().map(Ticket::wait).collect();
+        test_hooks::PANIC_ON_FINGERPRINT.store(0, Ordering::Relaxed);
+
+        assert_eq!(outcomes[0].result, Err(EngineError::JobPanicked));
+        assert!(outcomes[1].is_ok(), "batch-mate after the panic still served");
+        assert!(outcomes[2].is_ok(), "queued work after the panic still served");
+        let stats = engine.stats();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 2);
+        // The surviving worker keeps serving new submissions too.
+        assert!(engine.submit(Bpc::bit_reversal(3).to_permutation()).wait().is_ok());
+    }
+
+    #[test]
+    fn inject_and_clear_faults_roundtrip() {
+        let engine = Engine::new(EngineConfig { workers: 1, ..EngineConfig::default() });
+        assert!(engine.fault_set(3).is_none());
+        engine.inject_fault(3, 0, 2, FaultKind::StuckCross).unwrap();
+        engine.inject_fault(3, 4, 1, FaultKind::StuckStraight).unwrap();
+        let set = engine.fault_set(3).expect("registered");
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.get(0, 2), Some(FaultKind::StuckCross));
+        assert!(engine.fault_set(4).is_none(), "orders are independent");
+        assert!(
+            engine.inject_fault(3, 99, 0, FaultKind::Dead).is_err(),
+            "coordinates are validated"
+        );
+        engine.clear_faults();
+        assert!(engine.fault_set(3).is_none());
+        let stats = engine.stats();
+        assert_eq!(stats.faults_injected, 2);
+        assert!(stats.is_degraded(), "injection alone flags degraded mode");
+    }
+
+    #[test]
+    fn engine_serves_avoidable_fraction_under_stuck_faults() {
+        // Acceptance criterion: with k ≤ 2 random stuck-at faults on
+        // B(3)/B(4), the engine serves at least the fault-avoiding
+        // planner's achievable fraction of a 500-request mixed workload,
+        // and reports non-zero fault/reroute counters.
+        use benes_core::faults::setup_avoiding;
+
+        for (n, seed) in [(3u32, 41u64), (4, 42)] {
+            let engine =
+                Engine::new(EngineConfig { workers: 2, ..EngineConfig::default() });
+            let faults = FaultSet::random_stuck(n, 2, seed);
+            engine.set_faults(faults.clone());
+
+            let workload = crate::workload::mixed_workload(n, 500, seed);
+            let achievable =
+                workload.iter().filter(|d| setup_avoiding(d, &faults).is_ok()).count();
+            let outcomes = engine.run_batch(workload.clone());
+            let served = outcomes.iter().filter(|o| o.is_ok()).count();
+
+            assert!(
+                served >= achievable,
+                "B({n}) seed {seed}: served {served} < achievable {achievable}"
+            );
+            for (d, o) in workload.iter().zip(&outcomes) {
+                if setup_avoiding(d, &faults).is_ok() {
+                    assert!(o.is_ok(), "avoidable {d} failed: {:?}", o.result);
+                } else {
+                    assert_eq!(
+                        o.result,
+                        Err(EngineError::Unroutable),
+                        "unavoidable {d} must fail with Unroutable"
+                    );
+                }
+            }
+
+            let stats = engine.stats();
+            assert!(stats.faults_injected >= 2);
+            assert!(
+                stats.faults_detected > 0,
+                "B({n}) seed {seed}: no execution ever failed under faults"
+            );
+            assert!(stats.reroutes_succeeded > 0);
+            assert!(stats.is_degraded());
+            let report = stats.report();
+            assert!(report.contains("degraded mode"));
+            assert!(report.contains("faults injected"));
+
+            // Healing restores normal service for a formerly unroutable
+            // permutation (if the workload had one).
+            engine.clear_faults();
+            if let Some(d) = workload.iter().find(|d| setup_avoiding(d, &faults).is_err()) {
+                assert!(engine.submit(d.clone()).wait().is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn rerouted_plans_remain_valid_after_repair() {
+        // The fault-avoiding settings agree with every stuck switch, so
+        // the cached plan stays correct on the healed fabric.
+        let engine = Engine::new(EngineConfig { workers: 1, ..EngineConfig::default() });
+        let hard = hard_witness();
+        // Pick a fault that disturbs the Waksman plan for `hard`: a
+        // first-stage switch stuck at the opposite of what the plan
+        // commands. (First-stage disagreements are always avoidable —
+        // flipping the constraint loop's seeding flips the switch.)
+        let healthy_plan = crate::plan::plan(&hard, Fallback::Waksman).unwrap();
+        let Plan::Settings(ref healthy_settings) = healthy_plan else {
+            panic!("hard witness must take the Waksman tier")
+        };
+        let stuck = healthy_settings.get(0, 1).toggled();
+        let kind = match stuck {
+            benes_core::SwitchState::Straight => FaultKind::StuckStraight,
+            benes_core::SwitchState::Cross => FaultKind::StuckCross,
+        };
+        engine.inject_fault(3, 0, 1, kind).unwrap();
+
+        let first = engine.submit(hard.clone()).wait();
+        assert!(first.is_ok(), "rerouted around the stuck switch: {:?}", first.result);
+        assert_eq!(engine.cache_len(), 1, "avoiding plan cached");
+
+        engine.clear_faults();
+        let second = engine.submit(hard).wait();
+        assert_eq!(
+            second.tier(),
+            Some(Tier::Cached),
+            "cached avoiding plan replays cleanly on the healed fabric"
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.reroutes_succeeded, 1);
+        assert_eq!(stats.faults_detected, 1);
     }
 
     #[test]

@@ -18,9 +18,13 @@
 //!   cached [`benes_core::SwitchSettings`] with zero set-up;
 //! * [`engine`] — the **batched worker pool**: `k` `std::thread`
 //!   workers drain a submission queue in configurable batches and
-//!   return per-request outcomes over `mpsc` channels;
+//!   return per-request outcomes over `mpsc` channels — with a shared
+//!   fault registry ([`Engine::inject_fault`]) and a detect → evict →
+//!   re-plan-around-faults → bounded-retry ladder that keeps serving
+//!   through stuck switches;
 //! * [`stats`] — the **stats layer**: per-tier hit counters, cache
-//!   hit/miss, queue-depth high-water mark, and latency min/mean/max;
+//!   hit/miss, queue-depth high-water mark, latency min/mean/max, and
+//!   the degraded-mode fault/reroute counters;
 //! * [`workload`] — deterministic mixed workload generation (Table I
 //!   `BPC` + `Ω` members + hard permutations with repeats) for demos,
 //!   benchmarks and tests.
@@ -49,6 +53,7 @@ pub mod plan;
 pub mod stats;
 pub mod workload;
 
+pub use benes_core::faults::{FaultError, FaultKind, FaultSet};
 pub use cache::PlanCache;
 pub use engine::{Engine, EngineConfig, EngineError, RequestOutcome, Ticket};
 pub use plan::{Fallback, Plan, PlanError, Tier};

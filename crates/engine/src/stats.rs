@@ -29,6 +29,11 @@ pub(crate) struct Recorder {
     latency_max_ns: AtomicU64,
     latency_sum_ns: AtomicU64,
     latency_count: AtomicU64,
+    faults_injected: AtomicU64,
+    faults_detected: AtomicU64,
+    reroutes_succeeded: AtomicU64,
+    reroutes_failed: AtomicU64,
+    fault_retries: AtomicU64,
 }
 
 impl Recorder {
@@ -73,6 +78,26 @@ impl Recorder {
         self.queue_high_water.fetch_max(depth, Ordering::Relaxed);
     }
 
+    pub(crate) fn note_faults_injected(&self, count: u64) {
+        self.faults_injected.fetch_add(count, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_fault_detected(&self) {
+        self.faults_detected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_reroute(&self, succeeded: bool) {
+        if succeeded {
+            self.reroutes_succeeded.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.reroutes_failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn note_fault_retry(&self) {
+        self.fault_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn note_latency_ns(&self, ns: u64) {
         self.latency_min_ns.fetch_min(ns, Ordering::Relaxed);
         self.latency_max_ns.fetch_max(ns, Ordering::Relaxed);
@@ -102,6 +127,11 @@ impl Recorder {
                 .load(Ordering::Relaxed)
                 .checked_div(count)
                 .unwrap_or(0),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            faults_detected: self.faults_detected.load(Ordering::Relaxed),
+            reroutes_succeeded: self.reroutes_succeeded.load(Ordering::Relaxed),
+            reroutes_failed: self.reroutes_failed.load(Ordering::Relaxed),
+            fault_retries: self.fault_retries.load(Ordering::Relaxed),
         }
     }
 }
@@ -141,6 +171,18 @@ pub struct EngineStats {
     pub latency_max_ns: u64,
     /// Mean submit→completion latency, nanoseconds.
     pub latency_mean_ns: u64,
+    /// Switch faults registered through the injection API.
+    pub faults_injected: u64,
+    /// Requests whose execution failed while faults were registered
+    /// (each triggers the reroute ladder).
+    pub faults_detected: u64,
+    /// Detected faults the engine planned around successfully.
+    pub reroutes_succeeded: u64,
+    /// Detected faults no fault-avoiding plan could serve.
+    pub reroutes_failed: u64,
+    /// Extra reroute attempts taken after a fault-avoiding plan itself
+    /// failed execution (the fault registry changed mid-flight).
+    pub fault_retries: u64,
 }
 
 impl EngineStats {
@@ -164,6 +206,18 @@ impl EngineStats {
             return 0.0;
         }
         (self.cached + self.self_route + self.omega_bit) as f64 / self.completed as f64
+    }
+
+    /// Whether the engine has seen fault activity (injection, detection
+    /// or rerouting); when true, [`EngineStats::report`] appends a
+    /// degraded-mode section.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.faults_injected > 0
+            || self.faults_detected > 0
+            || self.reroutes_succeeded > 0
+            || self.reroutes_failed > 0
+            || self.fault_retries > 0
     }
 
     /// A human-readable multi-line report (used by `benes-cli engine`).
@@ -199,6 +253,16 @@ impl EngineStats {
             "latency (ns): min {} / mean {} / max {}\n",
             self.latency_min_ns, self.latency_mean_ns, self.latency_max_ns
         ));
+        if self.is_degraded() {
+            out.push_str("degraded mode (fault activity observed):\n");
+            out.push_str(&format!("  faults injected    {}\n", self.faults_injected));
+            out.push_str(&format!("  faults detected    {}\n", self.faults_detected));
+            out.push_str(&format!(
+                "  reroutes           {} succeeded / {} failed\n",
+                self.reroutes_succeeded, self.reroutes_failed
+            ));
+            out.push_str(&format!("  fault retries      {}\n", self.fault_retries));
+        }
         out
     }
 }
@@ -262,5 +326,28 @@ mod tests {
         for tier in crate::plan::Tier::ALL {
             assert!(text.contains(tier.name()), "report missing tier {tier}");
         }
+    }
+
+    #[test]
+    fn fault_counters_accumulate_and_gate_the_degraded_section() {
+        let r = Recorder::new();
+        assert!(!r.snapshot().is_degraded());
+        assert!(!r.snapshot().report().contains("degraded"));
+        r.note_faults_injected(2);
+        r.note_fault_detected();
+        r.note_reroute(true);
+        r.note_reroute(true);
+        r.note_reroute(false);
+        r.note_fault_retry();
+        let s = r.snapshot();
+        assert_eq!(s.faults_injected, 2);
+        assert_eq!(s.faults_detected, 1);
+        assert_eq!(s.reroutes_succeeded, 2);
+        assert_eq!(s.reroutes_failed, 1);
+        assert_eq!(s.fault_retries, 1);
+        assert!(s.is_degraded());
+        let text = s.report();
+        assert!(text.contains("degraded mode"));
+        assert!(text.contains("2 succeeded / 1 failed"));
     }
 }

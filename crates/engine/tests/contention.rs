@@ -67,9 +67,11 @@ fn many_threads_small_keyspace() {
             let perms = perms.clone();
             thread::spawn(move || {
                 start.wait();
-                (0..16)
-                    .map(|i| engine.submit(perms[(t + i) % perms.len()].clone()).wait())
-                    .count()
+                for i in 0..16 {
+                    let outcome =
+                        engine.submit(perms[(t + i) % perms.len()].clone()).wait();
+                    assert!(outcome.is_ok(), "misroute under contention: {outcome:?}");
+                }
             })
         })
         .collect();

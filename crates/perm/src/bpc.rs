@@ -622,6 +622,36 @@ impl From<Bpc> for Permutation {
     }
 }
 
+#[cfg(feature = "serde")]
+impl serde::Serialize for SignedBit {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (self.position, self.complement).serialize(serializer)
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<'de> serde::Deserialize<'de> for SignedBit {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let (position, complement) = <(u32, bool)>::deserialize(deserializer)?;
+        Ok(Self { position, complement })
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Serialize for Bpc {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.a.serialize(serializer)
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<'de> serde::Deserialize<'de> for Bpc {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let entries = Vec::<SignedBit>::deserialize(deserializer)?;
+        Bpc::from_entries(entries).map_err(serde::de::Error::custom)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -811,12 +841,9 @@ mod tests {
         let mut bpc_count = 0;
         for d in permutations_of(4) {
             let p = Permutation::from_destinations(d).unwrap();
-            match Bpc::from_permutation(&p) {
-                Some(b) => {
-                    assert_eq!(b.to_permutation(), p);
-                    bpc_count += 1;
-                }
-                None => {}
+            if let Some(b) = Bpc::from_permutation(&p) {
+                assert_eq!(b.to_permutation(), p);
+                bpc_count += 1;
             }
         }
         // |BPC(2)| = 2^2 · 2! = 8.
@@ -910,35 +937,5 @@ mod tests {
         let mut out = Vec::new();
         rec(&mut remaining, &mut Vec::new(), &mut out);
         out
-    }
-}
-
-#[cfg(feature = "serde")]
-impl serde::Serialize for SignedBit {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        (self.position, self.complement).serialize(serializer)
-    }
-}
-
-#[cfg(feature = "serde")]
-impl<'de> serde::Deserialize<'de> for SignedBit {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let (position, complement) = <(u32, bool)>::deserialize(deserializer)?;
-        Ok(Self { position, complement })
-    }
-}
-
-#[cfg(feature = "serde")]
-impl serde::Serialize for Bpc {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        self.a.serialize(serializer)
-    }
-}
-
-#[cfg(feature = "serde")]
-impl<'de> serde::Deserialize<'de> for Bpc {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let entries = Vec::<SignedBit>::deserialize(deserializer)?;
-        Bpc::from_entries(entries).map_err(serde::de::Error::custom)
     }
 }

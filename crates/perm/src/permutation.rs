@@ -509,6 +509,21 @@ impl IntoIterator for &Permutation {
     }
 }
 
+#[cfg(feature = "serde")]
+impl serde::Serialize for Permutation {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.dest.serialize(serializer)
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<'de> serde::Deserialize<'de> for Permutation {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let dest = Vec::<u32>::deserialize(deserializer)?;
+        Permutation::from_destinations(dest).map_err(serde::de::Error::custom)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -694,20 +709,5 @@ mod tests {
     fn iter_pairs() {
         let d = p(&[2, 0, 1]);
         assert_eq!((&d).into_iter().collect::<Vec<_>>(), vec![(0, 2), (1, 0), (2, 1)]);
-    }
-}
-
-#[cfg(feature = "serde")]
-impl serde::Serialize for Permutation {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        self.dest.serialize(serializer)
-    }
-}
-
-#[cfg(feature = "serde")]
-impl<'de> serde::Deserialize<'de> for Permutation {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let dest = Vec::<u32>::deserialize(deserializer)?;
-        Permutation::from_destinations(dest).map_err(serde::de::Error::custom)
     }
 }

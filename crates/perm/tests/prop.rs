@@ -63,7 +63,7 @@ proptest! {
 
     #[test]
     fn cycles_partition_elements(p in arb_permutation(24)) {
-        let mut seen = vec![false; 24];
+        let mut seen = [false; 24];
         for cycle in p.cycles() {
             for &e in &cycle {
                 prop_assert!(!seen[e as usize], "element {} in two cycles", e);

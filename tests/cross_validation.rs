@@ -167,7 +167,7 @@ fn mass_agreement_n4() {
     let ccc = Ccc::new(4);
     let hw = benes::gates::GateBenes::build(4, 1);
     let data = vec![0u64; 16];
-    let mut check = |d: &Permutation| {
+    let check = |d: &Permutation| {
         let a = is_in_f(d);
         assert_eq!(a, net.self_route(d).is_success(), "circuit vs Thm1 on {d}");
         let (out, _) = ccc.route_f(records_for(d));

@@ -5,7 +5,7 @@ use benes::core::{waksman, Benes, SwitchSettings, SwitchState};
 use benes::perm::bpc::Bpc;
 use benes::perm::Permutation;
 use benes::simd::ccc::Ccc;
-use benes::simd::machine::{is_routed, records_for};
+use benes::simd::machine::is_routed;
 
 /// A single stuck-at-straight switch in an otherwise correct Waksman
 /// configuration must corrupt the realized permutation whenever that
@@ -69,7 +69,7 @@ fn corrupted_tag_is_detectable_at_the_outputs() {
 #[test]
 fn duplicate_tags_never_lose_records() {
     let net = Benes::new(3);
-    let tags = vec![0u32, 0, 2, 2, 4, 4, 6, 6]; // wildly invalid
+    let tags = [0u32, 0, 2, 2, 4, 4, 6, 6]; // wildly invalid
     let records: Vec<(u32, usize)> =
         tags.iter().enumerate().map(|(i, &t)| (t, i)).collect();
     let (out, _) = net.self_route_records(records).expect("ok");
