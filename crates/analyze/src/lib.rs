@@ -1,0 +1,49 @@
+//! Static analysis for the self-routing Benes workspace: prove routing
+//! facts **without running the network**, and lint the workspace's own
+//! invariants **without running the compiler**.
+//!
+//! The paper's central move is that control of `B(n)` can be decided
+//! locally — stage `s` keys on destination-tag bit `min(s, 2n−2−s)`,
+//! and Theorem 1 characterizes exactly which permutations survive that
+//! rule. Those are *static* statements: they constrain the switch-state
+//! matrix itself, not any particular signal propagation. This crate
+//! takes them at their word, in two pillars:
+//!
+//! * **Pillar 1 — domain checks** ([`plancheck`], [`certify`],
+//!   [`netlist_lint`]): a symbolic dataflow walk over a `SwitchMatrix`
+//!   that proves conflict-freeness and permutation realization by
+//!   composing transpositions (no simulation), verifies the stage-bit
+//!   invariant, checks `F(n)` membership certificates and the
+//!   BPC/inverse-omega closed forms against Theorem 1's recursion,
+//!   statically validates cached plans against a `FaultSet`, and lints
+//!   synthesized netlists for loops, width mismatches and fanout
+//!   violations.
+//! * **Pillar 2 — workspace lints** ([`lints`]): an offline,
+//!   no-new-dependency source analyzer that builds the engine's
+//!   lock-acquisition graph (flagging order cycles), enforces the
+//!   poison-recovery idiom, and requires justification markers on
+//!   narrowing index casts and discarded `Result`s in hot paths.
+//!
+//! Both pillars speak [`report::Finding`]; `benes-cli analyze` and
+//! `scripts/analyze.sh` drive them as a tier-1 gate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod certify;
+pub mod lints;
+pub mod netlist_lint;
+pub mod plancheck;
+pub mod report;
+
+pub use certify::{certify_f, closed_form_findings, FCertificate};
+pub use lints::lint_workspace;
+pub use lints::locks::LockGraph;
+pub use netlist_lint::{lint_gate_benes, lint_netlist};
+pub use plancheck::{
+    analyze_omega_route, analyze_self_route, check_plan, check_settings,
+    fault_disagreements, stage_bit_deviations, symbolic_realized,
+    symbolic_realized_with_faults, Conflict, FaultDisagreement, SelfRouteAnalysis,
+    SettingsVerdict, StageBitDeviation,
+};
+pub use report::{render_human, render_json_lines, Finding, Pillar, Severity};

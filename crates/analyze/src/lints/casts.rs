@@ -1,0 +1,96 @@
+//! Truncating-cast lint for routing hot paths.
+//!
+//! A destination tag, port index or switch index in this codebase is
+//! bounded by `N = 2^MAX_N` with `MAX_N = 24`, so a narrowing `as`
+//! cast to `u32` is *usually* fine — but `as` truncates silently, and
+//! one mis-scoped cast on a tag turns a provably-correct route into a
+//! wrong-output delivery with no panic. Every narrowing cast in a hot
+//! path must therefore carry an
+//! `// analyze:allow(truncating-cast): <why the value fits>` marker
+//! stating its bound; unmarked ones are findings.
+
+use crate::report::{Finding, Pillar};
+
+use super::source::SourceFile;
+
+/// Narrowing integer targets flagged by the lint.
+const NARROW: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Scans one file for unmarked narrowing `as` casts outside tests.
+#[must_use]
+pub fn scan_casts(display: &str, file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for ty in NARROW {
+            if has_cast_to(&line.code, ty) && !file.allows(idx, "truncating-cast") {
+                findings.push(Finding::error(
+                    Pillar::Workspace,
+                    "truncating-cast",
+                    display,
+                    idx + 1,
+                    format!(
+                        "narrowing `as {ty}` in a routing hot path; `as` truncates \
+                         silently — justify the bound with an \
+                         analyze:allow(truncating-cast) marker or use try_from"
+                    ),
+                ));
+                break; // one finding per line is enough
+            }
+        }
+    }
+    findings
+}
+
+/// Does `code` contain ` as TY` with a token boundary after `TY`?
+fn has_cast_to(code: &str, ty: &str) -> bool {
+    let needle = format!(" as {ty}");
+    let mut start = 0;
+    while let Some(found) = code[start..].find(&needle) {
+        let end = start + found + needle.len();
+        let boundary =
+            code[end..].chars().next().is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        if boundary {
+            return true;
+        }
+        start = end;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scan(text: &str) -> Vec<Finding> {
+        let file = SourceFile::parse(PathBuf::from("t.rs"), text);
+        scan_casts("t.rs", &file)
+    }
+
+    #[test]
+    fn unmarked_narrowing_cast_is_flagged() {
+        let findings = scan("fn f(x: usize) -> u32 { x as u32 }\n");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn widening_and_usize_casts_pass() {
+        let findings = scan("fn f(x: u32) -> u64 { let y = x as usize; y as u64 }\n");
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn marker_and_test_code_are_exempt() {
+        let text = "fn f(x: usize) -> u32 {\n    x as u32 // analyze:allow(truncating-cast): x < 2^24\n}\n#[cfg(test)]\nmod tests {\n    fn t(x: usize) -> u32 { x as u32 }\n}\n";
+        assert!(scan(text).is_empty());
+    }
+
+    #[test]
+    fn u32x_simd_type_is_not_a_narrow_cast() {
+        assert!(scan("let v = x as u32x4;\n").is_empty());
+    }
+}

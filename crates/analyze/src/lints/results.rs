@@ -1,0 +1,67 @@
+//! Discarded-`Result` lint for engine job paths.
+//!
+//! `let _ = fallible(...)` silences `#[must_use]` without recording
+//! why the error is safe to drop. In the engine's job paths a dropped
+//! send/join error usually means a worker died and the caller will
+//! hang or silently lose a result — precisely the failure mode the
+//! fault-tolerance work exists to avoid. Intentional discards must
+//! carry `// analyze:allow(discarded-result): <why>`.
+
+use crate::report::{Finding, Pillar};
+
+use super::source::SourceFile;
+
+/// Scans one file for unmarked `let _ =` discards outside tests.
+#[must_use]
+pub fn scan_discards(display: &str, file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let trimmed = line.code.trim_start();
+        let discards = trimmed.starts_with("let _ =") || trimmed.starts_with("let _=");
+        if discards && !file.allows(idx, "discarded-result") {
+            findings.push(Finding::error(
+                Pillar::Workspace,
+                "discarded-result",
+                display,
+                idx + 1,
+                "silently discarded Result in an engine job path; state why the \
+                 error is droppable with an analyze:allow(discarded-result) marker"
+                    .to_string(),
+            ));
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scan(text: &str) -> Vec<Finding> {
+        let file = SourceFile::parse(PathBuf::from("t.rs"), text);
+        scan_discards("t.rs", &file)
+    }
+
+    #[test]
+    fn bare_discard_is_flagged() {
+        let findings = scan("fn f() {\n    let _ = send(x);\n}\n");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn marked_discard_and_named_underscore_pass() {
+        let text = "fn f() {\n    // analyze:allow(discarded-result): receiver gone means caller quit\n    let _ = send(x);\n    let _guard = lock();\n}\n";
+        assert!(scan(text).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let text = "#[cfg(test)]\nmod tests {\n    fn t() { let _ = send(x); }\n}\n";
+        assert!(scan(text).is_empty());
+    }
+}

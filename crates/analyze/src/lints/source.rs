@@ -1,0 +1,322 @@
+//! Shared source-scanning infrastructure for the workspace linter:
+//! comment/string stripping, `#[cfg(test)]` region tracking, and the
+//! `analyze:allow(<lint>)` sanction markers.
+//!
+//! This is a deliberately small lexer, not a parser: it distinguishes
+//! code from comments, string/char literals and raw strings (so lint
+//! patterns never fire inside them), counts braces to find test
+//! modules, and nothing more. Anything it cannot express is handled by
+//! an explicit allow marker at the flagged line.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The line's code: comments removed, string/char literal contents
+    /// blanked (quotes kept), so substring lints see only real tokens.
+    pub code: String,
+    /// The line's comment text (for allow-marker detection).
+    pub comment: String,
+    /// Whether the line sits inside a `#[cfg(test)]` module.
+    pub in_test: bool,
+}
+
+/// A scanned source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path as given to [`SourceFile::load`].
+    pub path: PathBuf,
+    /// Scanned lines, in order.
+    pub lines: Vec<Line>,
+}
+
+impl SourceFile {
+    /// Reads and scans one file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying read error.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        Ok(Self::parse(path.to_path_buf(), &fs::read_to_string(path)?))
+    }
+
+    /// Scans source text (exposed for tests).
+    #[must_use]
+    pub fn parse(path: PathBuf, text: &str) -> Self {
+        let mut lines = scan(text);
+        mark_test_regions(&mut lines);
+        Self { path, lines }
+    }
+
+    /// Whether `lint` is sanctioned at 0-based line `idx`: an
+    /// `analyze:allow(<lint>)` marker in a comment on the same line, or
+    /// on a comment-only line directly above (an inline marker blesses
+    /// its own line only).
+    #[must_use]
+    pub fn allows(&self, idx: usize, lint: &str) -> bool {
+        let marker = format!("analyze:allow({lint})");
+        let same = self.lines.get(idx).is_some_and(|l| l.comment.contains(&marker));
+        let above = idx > 0 && {
+            let prev = &self.lines[idx - 1];
+            prev.comment.contains(&marker) && prev.code.trim().is_empty()
+        };
+        same || above
+    }
+}
+
+/// Lexer states.
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Splits `text` into per-line code and comment streams.
+fn scan(text: &str) -> Vec<Line> {
+    let mut lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Code;
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(state, State::LineComment) {
+                state = State::Code;
+            }
+            lines.push(Line {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                in_test: false,
+            });
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Str;
+                    i += 1;
+                } else if c == 'r' && is_raw_string_start(&chars, i) {
+                    let hashes = count_hashes(&chars, i + 1);
+                    code.push('"');
+                    state = State::RawStr(hashes);
+                    i += 2 + hashes as usize; // r, hashes, opening quote
+                } else if c == '\'' {
+                    // Char literal vs lifetime: a literal is 'x' or an
+                    // escape; a lifetime has no closing quote nearby.
+                    if next == Some('\\') {
+                        code.push('\'');
+                        state = State::Char;
+                        i += 2; // skip the backslash so '\'' works
+                    } else if chars.get(i + 2) == Some(&'\'') {
+                        code.push_str("''");
+                        i += 3;
+                    } else {
+                        code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    i += 2; // skip the escaped char (blanked anyway)
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    code.push('"');
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if c == '\'' {
+                    code.push('\'');
+                    state = State::Code;
+                }
+                i += 1;
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        lines.push(Line { code, comment, in_test: false });
+    }
+    lines
+}
+
+/// Does `r` at `i` open a raw (possibly byte) string?
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // Not part of an identifier like `for` or `r2`.
+    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+        return false;
+    }
+    let mut j = i + 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+fn count_hashes(chars: &[char], mut i: usize) -> u32 {
+    let mut n = 0;
+    while chars.get(i) == Some(&'#') {
+        n += 1;
+        i += 1;
+    }
+    n
+}
+
+/// Does the quote at `i` close a raw string with `hashes` hashes?
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Marks lines inside `#[cfg(test)] mod … { … }` regions (brace-counted
+/// on the stripped code).
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut depth: i64 = 0;
+    let mut armed = false;
+    let mut region_floor: Option<i64> = None;
+    for line in lines.iter_mut() {
+        let code = line.code.trim();
+        if region_floor.is_some() {
+            line.in_test = true;
+        }
+        if region_floor.is_none() {
+            if code.contains("#[cfg(test)]") {
+                armed = true;
+            } else if armed && !code.is_empty() && !code.starts_with("#[") {
+                if code.contains("mod") && code.contains('{') {
+                    line.in_test = true;
+                    region_floor = Some(depth);
+                }
+                armed = false;
+            }
+        }
+        depth += i64::from(opens(&line.code)) - i64::from(closes(&line.code));
+        if let Some(floor) = region_floor {
+            if depth <= floor {
+                region_floor = None;
+            }
+        }
+    }
+}
+
+fn opens(code: &str) -> u32 {
+    code.chars().filter(|&c| c == '{').count() as u32 // analyze:allow(truncating-cast): a line has far fewer than 2^32 braces
+}
+
+fn closes(code: &str) -> u32 {
+    code.chars().filter(|&c| c == '}').count() as u32 // analyze:allow(truncating-cast): a line has far fewer than 2^32 braces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> SourceFile {
+        SourceFile::parse(PathBuf::from("test.rs"), text)
+    }
+
+    #[test]
+    fn comments_and_strings_are_stripped_from_code() {
+        let f = parse("let x = \"as u32\"; // as u32 here\nlet y = 1;\n");
+        assert!(!f.lines[0].code.contains("as u32"));
+        assert!(f.lines[0].code.contains("let x"));
+        assert!(f.lines[0].comment.contains("as u32"));
+        assert_eq!(f.lines[1].code.trim(), "let y = 1;");
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked() {
+        let f = parse(
+            "let s = r#\"x.lock().unwrap()\"#;\nlet c = '{'; let l: &'static str = \"\";\n",
+        );
+        assert!(!f.lines[0].code.contains("unwrap"));
+        // The brace inside the char literal must not skew depth counts.
+        assert_eq!(opens(&f.lines[1].code), 0);
+        assert!(f.lines[1].code.contains("&'static"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let f = parse("a /* one /* two */ still */ b\n/* open\n.lock().unwrap()\n*/ c\n");
+        assert!(f.lines[0].code.contains('a') && f.lines[0].code.contains('b'));
+        assert!(!f.lines[2].code.contains("unwrap"));
+        assert!(f.lines[3].code.contains('c'));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let text = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x(); }\n}\nfn after() {}\n";
+        let f = parse(text);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[3].in_test, "body of the test module");
+        assert!(!f.lines[5].in_test, "code after the module");
+    }
+
+    #[test]
+    fn cfg_test_statement_does_not_open_a_region() {
+        let text = "fn f() {\n    #[cfg(test)]\n    hooks::arm();\n    work();\n}\n";
+        let f = parse(text);
+        assert!(f.lines.iter().all(|l| !l.in_test));
+    }
+
+    #[test]
+    fn allow_markers_cover_same_and_next_line() {
+        let text = "// analyze:allow(truncating-cast): bounded\nlet a = x as u32;\nlet b = y as u32; // analyze:allow(truncating-cast): bounded\nlet c = z as u32;\n";
+        let f = parse(text);
+        assert!(f.allows(1, "truncating-cast"));
+        assert!(f.allows(2, "truncating-cast"));
+        assert!(!f.allows(3, "truncating-cast"));
+        assert!(!f.allows(1, "lock-unwrap"));
+    }
+}

@@ -1,0 +1,211 @@
+//! Netlist lints for the synthesized `B(n)` hardware (`crates/gates`).
+//!
+//! [`lint_netlist`] checks any [`Netlist`] for the structural health
+//! properties the evaluator silently assumes:
+//!
+//! * **combinational order** — every operand was created before its
+//!   consumer, so the node list is acyclic and a single forward pass
+//!   evaluates it (a cycle or forward reference would make
+//!   `Netlist::eval` read an uncomputed wire);
+//! * **dangling references** — outputs and operands name real wires;
+//! * **fanout** — no wire drives more consumers than the stated bound,
+//!   and no logic gate computes a value nobody reads (dead logic).
+//!
+//! [`lint_gate_benes`] adds the width/arity facts specific to the
+//! Fig. 3 fabric: per-terminal bus widths, the omega control, and the
+//! gate budget of `gates_per_switch` — so a synthesis regression shows
+//! up as a finding, not as a mysteriously wrong routing.
+
+use benes_core::topology;
+use benes_gates::switch::gates_per_switch;
+use benes_gates::{GateBenes, Netlist};
+
+use crate::report::{Finding, Pillar};
+
+/// Lints a netlist; `max_fanout` bounds the consumers per wire when
+/// given (`None` skips the bound, dead-logic detection still runs).
+/// `name` labels the findings (there is no file to point at).
+#[must_use]
+pub fn lint_netlist(nl: &Netlist, name: &str, max_fanout: Option<usize>) -> Vec<Finding> {
+    let wires = nl.wire_count();
+    let mut findings = Vec::new();
+    let mut fanout = vec![0usize; wires];
+    for (i, node) in nl.iter_nodes().enumerate() {
+        for operand in node.operands() {
+            if operand.id() >= i {
+                findings.push(Finding::error(
+                    Pillar::Domain,
+                    "combinational-order",
+                    name,
+                    0,
+                    format!(
+                        "wire w{i} reads w{} which is not created yet \
+                         (forward reference / combinational loop)",
+                        operand.id()
+                    ),
+                ));
+            }
+            if operand.id() < wires {
+                fanout[operand.id()] += 1;
+            } else {
+                findings.push(Finding::error(
+                    Pillar::Domain,
+                    "dangling-operand",
+                    name,
+                    0,
+                    format!("wire w{i} reads nonexistent wire w{}", operand.id()),
+                ));
+            }
+        }
+    }
+    for out in nl.output_nets() {
+        if out.id() < wires {
+            fanout[out.id()] += 1;
+        } else {
+            findings.push(Finding::error(
+                Pillar::Domain,
+                "dangling-output",
+                name,
+                0,
+                format!("output names nonexistent wire w{}", out.id()),
+            ));
+        }
+    }
+    for (i, node) in nl.iter_nodes().enumerate() {
+        if let Some(limit) = max_fanout {
+            if fanout[i] > limit {
+                findings.push(Finding::error(
+                    Pillar::Domain,
+                    "fanout-violation",
+                    name,
+                    0,
+                    format!("wire w{i} drives {} consumers (bound {limit})", fanout[i]),
+                ));
+            }
+        }
+        if node.is_gate() && fanout[i] == 0 {
+            findings.push(Finding::warning(
+                Pillar::Domain,
+                "dead-gate",
+                name,
+                0,
+                format!("gate w{i} ({node:?}) drives nothing"),
+            ));
+        }
+    }
+    findings
+}
+
+/// Lints a synthesized [`GateBenes`]: the generic netlist checks with
+/// the architecture-derived fanout bound, plus width/arity checks —
+/// bus widths per terminal, the global omega control, and the exact
+/// gate budget from [`gates_per_switch`].
+#[must_use]
+pub fn lint_gate_benes(hw: &GateBenes) -> Vec<Finding> {
+    let n = hw.n();
+    let w = hw.data_width();
+    let terminals = topology::terminal_count(n);
+    let switches = terminals / 2;
+    let stages = topology::stage_count(n);
+    let bus = (n + w) as usize;
+    let name = format!("GateBenes({n}, {w})");
+    let mut findings = Vec::new();
+
+    // Fanout bound from the architecture: the shared omega enable feeds
+    // one AND in each of the (n−1)·N/2 gated switches; a select line
+    // feeds two ANDs per bus wire plus its inverter; a bus wire feeds
+    // two muxes plus (for the control-bit tag wire) the select tap.
+    let enable_fanout = (n as usize - 1) * switches;
+    let select_fanout = 2 * bus + 1;
+    let bound = enable_fanout.max(select_fanout).max(4);
+    findings.extend(lint_netlist(hw.netlist(), &name, Some(bound)));
+
+    let expected_inputs = 1 + terminals * bus; // the omega control, then tag+data per terminal
+    if hw.netlist().input_count() != expected_inputs {
+        findings.push(Finding::error(
+            Pillar::Domain,
+            "width-mismatch",
+            &name,
+            0,
+            format!(
+                "expected {expected_inputs} primary inputs (1 omega + {terminals}×{bus}), \
+                 found {}",
+                hw.netlist().input_count()
+            ),
+        ));
+    }
+    let expected_outputs = terminals * bus;
+    if hw.netlist().output_count() != expected_outputs {
+        findings.push(Finding::error(
+            Pillar::Domain,
+            "width-mismatch",
+            &name,
+            0,
+            format!(
+                "expected {expected_outputs} primary outputs ({terminals}×{bus}), found {}",
+                hw.netlist().output_count()
+            ),
+        ));
+    }
+    // Gate budget: n−1 omega-gated stages, n free-running stages, one
+    // shared omega inverter (absent for B(1), which has no gated stage).
+    let gated = (n as u64 - 1) * switches as u64 * gates_per_switch(n, w, true);
+    let free =
+        (stages as u64 - (n as u64 - 1)) * switches as u64 * gates_per_switch(n, w, false);
+    let expected_gates = gated + free + u64::from(n > 1);
+    let actual = hw.gate_counts().total();
+    if actual != expected_gates {
+        findings.push(Finding::error(
+            Pillar::Domain,
+            "gate-budget",
+            &name,
+            0,
+            format!(
+                "expected {expected_gates} gates by the per-switch budget, found {actual}"
+            ),
+        ));
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_gate_benes_is_clean() {
+        for (n, w) in [(1u32, 4u32), (2, 8), (3, 8)] {
+            let hw = GateBenes::build(n, w);
+            let findings = lint_gate_benes(&hw);
+            assert!(findings.is_empty(), "GateBenes({n},{w}) findings: {findings:#?}");
+        }
+    }
+
+    #[test]
+    fn dead_gate_and_fanout_are_flagged() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let dead = nl.and(a, b);
+        let live = nl.xor(a, b);
+        nl.mark_output(live);
+        let findings = lint_netlist(&nl, "toy", Some(1));
+        assert!(findings.iter().any(
+            |f| f.lint == "dead-gate" && f.message.contains(&format!("w{}", dead.id()))
+        ));
+        // `a` and `b` each feed two gates; the bound of 1 is exceeded.
+        assert!(findings.iter().filter(|f| f.lint == "fanout-violation").count() >= 2);
+        // With a generous bound only the dead gate remains.
+        let relaxed = lint_netlist(&nl, "toy", Some(8));
+        assert_eq!(relaxed.iter().filter(|f| f.lint == "fanout-violation").count(), 0);
+    }
+
+    #[test]
+    fn healthy_netlists_prove_topological_order() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let na = nl.not(a);
+        nl.mark_output(na);
+        assert!(lint_netlist(&nl, "toy", None).is_empty());
+    }
+}

@@ -1,0 +1,224 @@
+//! The finding model shared by both analysis pillars, with JSON-lines
+//! and human renderings (hand-rolled: the workspace is offline and the
+//! linter must not grow dependencies).
+
+use std::fmt;
+
+/// Which analysis pillar produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pillar {
+    /// Pillar 1: symbolic plan / certificate / netlist verification.
+    Domain,
+    /// Pillar 2: the offline workspace source linter.
+    Workspace,
+}
+
+impl Pillar {
+    /// Stable lowercase name used in machine output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Domain => "domain",
+            Self::Workspace => "workspace",
+        }
+    }
+}
+
+/// How serious a finding is. Every finding fails the `analyze` gate;
+/// the severity only shades the rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// A broken invariant (misroute, cycle, unsanctioned pattern).
+    Error,
+    /// Suspicious but conceivably intentional (e.g. dead logic).
+    Warning,
+}
+
+impl Severity {
+    /// Stable lowercase name used in machine output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Error => "error",
+            Self::Warning => "warning",
+        }
+    }
+}
+
+/// One verdict from either pillar: a named lint, a location (a source
+/// file and line, or a logical coordinate like `B(3) stage 2 switch 1`
+/// with line 0), and a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which pillar raised it.
+    pub pillar: Pillar,
+    /// Lint identifier, kebab-case (e.g. `lock-order-cycle`).
+    pub lint: String,
+    /// Source path or logical coordinate.
+    pub file: String,
+    /// 1-based source line; 0 when the location is not a source file.
+    pub line: usize,
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Finding {
+    /// Builds an error-severity finding.
+    #[must_use]
+    pub fn error(
+        pillar: Pillar,
+        lint: &str,
+        file: impl Into<String>,
+        line: usize,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            pillar,
+            lint: lint.to_string(),
+            file: file.into(),
+            line,
+            severity: Severity::Error,
+            message: message.into(),
+        }
+    }
+
+    /// Builds a warning-severity finding.
+    #[must_use]
+    pub fn warning(
+        pillar: Pillar,
+        lint: &str,
+        file: impl Into<String>,
+        line: usize,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            severity: Severity::Warning,
+            ..Self::error(pillar, lint, file, line, message)
+        }
+    }
+
+    /// One JSON object per finding, on one line (JSON-lines output).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"pillar\":\"{}\",\"lint\":\"{}\",\"severity\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            self.pillar.name(),
+            json_escape(&self.lint),
+            self.severity.name(),
+            json_escape(&self.file),
+            self.line,
+            json_escape(&self.message)
+        )
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(
+                f,
+                "{}: {} [{}/{}] {}",
+                self.severity.name(),
+                self.file,
+                self.pillar.name(),
+                self.lint,
+                self.message
+            )
+        } else {
+            write!(
+                f,
+                "{}: {}:{} [{}/{}] {}",
+                self.severity.name(),
+                self.file,
+                self.line,
+                self.pillar.name(),
+                self.lint,
+                self.message
+            )
+        }
+    }
+}
+
+/// Renders a finding list for terminals: one line per finding plus a
+/// summary tail line.
+#[must_use]
+pub fn render_human(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    let errors = findings.iter().filter(|f| f.severity == Severity::Error).count();
+    let warnings = findings.len() - errors;
+    out.push_str(&format!("findings: {errors} error(s), {warnings} warning(s)\n"));
+    out
+}
+
+/// Renders a finding list as JSON lines (one object per line, no
+/// enclosing array), matching `scripts/analyze.sh --json`.
+#[must_use]
+pub fn render_json_lines(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.to_json_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_line_is_escaped_and_single_line() {
+        let f = Finding::error(
+            Pillar::Workspace,
+            "lock-unwrap",
+            "crates/engine/src/engine.rs",
+            42,
+            "says \"hi\"\nand more",
+        );
+        let line = f.to_json_line();
+        assert_eq!(line.lines().count(), 1);
+        assert!(line.contains("\\\"hi\\\""));
+        assert!(line.contains("\\n"));
+        assert!(line.contains("\"line\":42"));
+        assert!(line.contains("\"pillar\":\"workspace\""));
+    }
+
+    #[test]
+    fn human_rendering_counts_by_severity() {
+        let fs = vec![
+            Finding::error(Pillar::Domain, "misroute", "B(2)", 0, "wrong"),
+            Finding::warning(Pillar::Domain, "dead-gate", "netlist", 0, "unused"),
+        ];
+        let text = render_human(&fs);
+        assert!(text.contains("findings: 1 error(s), 1 warning(s)"));
+        assert!(text.contains("error: B(2) [domain/misroute] wrong"));
+    }
+
+    #[test]
+    fn control_chars_escape_as_unicode() {
+        assert_eq!(json_escape("a\u{1}b"), "a\\u0001b");
+    }
+}

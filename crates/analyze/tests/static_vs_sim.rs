@@ -1,0 +1,206 @@
+//! The crate's acceptance property: **the static checker agrees with
+//! full simulation bit-for-bit** — exhaustively on `B(2)` and `B(3)`,
+//! and property-tested up to `B(8)`, on healthy and faulty fabrics.
+//!
+//! Simulation is the ground truth (`Benes::self_route` pushes real tags
+//! through real switches); the static checker must reproduce its
+//! verdicts, outputs and realized permutations without ever simulating.
+
+use benes_analyze::{
+    analyze_omega_route, analyze_self_route, check_settings, stage_bit_deviations,
+    symbolic_realized, symbolic_realized_with_faults, SettingsVerdict,
+};
+use benes_core::faults::{realized_with_faults, FaultSet};
+use benes_core::{is_in_f, Benes, SwitchSettings, SwitchState};
+use benes_perm::omega::is_omega;
+use benes_perm::Permutation;
+use proptest::prelude::*;
+
+/// Calls `visit` with every permutation of `0..2^n` (Heap's algorithm).
+fn for_all_perms(n: u32, visit: &mut impl FnMut(&Permutation)) {
+    fn rec(v: &mut Vec<u32>, k: usize, visit: &mut impl FnMut(&Permutation)) {
+        if k + 1 >= v.len() {
+            visit(&Permutation::from_destinations(v.clone()).unwrap());
+            return;
+        }
+        for i in k..v.len() {
+            v.swap(k, i);
+            rec(v, k + 1, visit);
+            v.swap(k, i);
+        }
+    }
+    let mut v: Vec<u32> = (0..1u32 << n).collect();
+    rec(&mut v, 0, visit);
+}
+
+/// Exhaustive agreement on one order: verdicts, outputs, settings,
+/// class predicates, and the stage-bit invariant.
+fn exhaustive_agreement(n: u32) {
+    let net = Benes::new(n);
+    for_all_perms(n, &mut |d| {
+        // Plain self-route: the symbolic walk vs the simulator.
+        let walk = analyze_self_route(d);
+        let sim = net.self_route(d);
+        assert_eq!(
+            walk.delivers(),
+            sim.is_success(),
+            "B({n}) D={d}: static delivery verdict diverges from simulation"
+        );
+        assert_eq!(
+            walk.is_conflict_free(),
+            sim.is_success(),
+            "B({n}) D={d}: conflict-freeness must characterize delivery"
+        );
+        assert_eq!(
+            walk.is_conflict_free(),
+            is_in_f(d),
+            "B({n}) D={d}: conflict-freeness must characterize F(n)"
+        );
+        assert_eq!(
+            walk.outputs,
+            sim.outputs(),
+            "B({n}) D={d}: symbolic outputs diverge from simulated outputs"
+        );
+        assert_eq!(
+            &walk.settings,
+            sim.settings(),
+            "B({n}) D={d}: the walk must derive the simulator's settings"
+        );
+        if walk.is_conflict_free() {
+            assert!(
+                stage_bit_deviations(&walk.settings, d).is_empty(),
+                "B({n}) D={d}: self-routed settings must obey the stage-bit rule"
+            );
+        }
+
+        // Omega walk: first n−1 stages forced straight.
+        let omega_walk = analyze_omega_route(d);
+        let omega_sim = net.self_route_omega(d);
+        assert_eq!(
+            omega_walk.delivers(),
+            omega_sim.is_success(),
+            "B({n}) D={d}: omega verdicts diverge"
+        );
+        assert_eq!(
+            omega_walk.is_conflict_free(),
+            is_omega(d),
+            "B({n}) D={d}: omega conflict-freeness must characterize Ω(n)"
+        );
+        assert_eq!(omega_walk.outputs, omega_sim.outputs(), "B({n}) D={d}");
+    });
+}
+
+#[test]
+fn static_checker_agrees_with_simulation_exhaustively_on_b2() {
+    exhaustive_agreement(2);
+}
+
+#[test]
+fn static_checker_agrees_with_simulation_exhaustively_on_b3() {
+    exhaustive_agreement(3);
+}
+
+/// A uniformly random switch-state matrix for `B(n)`.
+fn arb_settings(n: u32) -> impl Strategy<Value = SwitchSettings> {
+    Just(()).prop_perturb(move |(), mut rng| {
+        let mut s = SwitchSettings::all_straight(n);
+        for stage in 0..benes_core::topology::stage_count(n) {
+            for switch in 0..benes_core::topology::switches_per_stage(n) {
+                if rng.random::<u64>() & 1 == 1 {
+                    s.set(stage, switch, SwitchState::Cross);
+                }
+            }
+        }
+        s
+    })
+}
+
+/// A random fault set (possibly with dead switches) for `B(n)`.
+fn arb_faults(n: u32, max: usize) -> impl Strategy<Value = FaultSet> {
+    use benes_core::FaultKind;
+    Just(()).prop_perturb(move |(), mut rng| {
+        let mut f = FaultSet::new(n);
+        let count = (rng.random::<u64>() as usize) % (max + 1);
+        for _ in 0..count {
+            let stage =
+                (rng.random::<u64>() as usize) % benes_core::topology::stage_count(n);
+            let switch = (rng.random::<u64>() as usize)
+                % benes_core::topology::switches_per_stage(n);
+            let kind = match rng.random::<u64>() % 4 {
+                0 => FaultKind::StuckCross,
+                1 => FaultKind::Dead,
+                _ => FaultKind::StuckStraight,
+            };
+            f.insert(stage, switch, kind).unwrap();
+        }
+        f
+    })
+}
+
+/// A random permutation of `0..2^n` via index shuffling.
+fn arb_permutation(n: u32) -> impl Strategy<Value = Permutation> {
+    let len = 1usize << n;
+    Just(()).prop_perturb(move |(), mut rng| {
+        let mut dest: Vec<u32> = (0..len as u32).collect();
+        for i in (1..len).rev() {
+            let j = (rng.random::<u64>() % (i as u64 + 1)) as usize;
+            dest.swap(i, j);
+        }
+        Permutation::from_destinations(dest).unwrap()
+    })
+}
+
+proptest! {
+    /// Symbolic composition equals hardware replay for arbitrary switch
+    /// matrices on B(4) and B(8).
+    #[test]
+    fn symbolic_realization_matches_replay(s4 in arb_settings(4), s8 in arb_settings(8)) {
+        for (n, s) in [(4u32, &s4), (8, &s8)] {
+            let net = Benes::new(n);
+            let symbolic = symbolic_realized(s);
+            let replayed = net.realized_permutation(s).unwrap();
+            prop_assert_eq!(&symbolic, &replayed, "B({}) diverged", n);
+            // check_settings against the replayed truth is always Realizes.
+            prop_assert_eq!(check_settings(s, &replayed), SettingsVerdict::Realizes);
+        }
+    }
+
+    /// The static fault overlay agrees with the simulated faulty fabric:
+    /// same realized permutation (or `None` exactly when a dead switch
+    /// is present), and the agreement verdict is itemized correctly.
+    #[test]
+    fn faulty_realization_matches_replay(
+        s in arb_settings(4),
+        f in arb_faults(4, 5),
+    ) {
+        let net = Benes::new(4);
+        let symbolic = symbolic_realized_with_faults(&s, &f);
+        if f.has_dead() {
+            prop_assert_eq!(symbolic, None, "a dead switch defeats static realization");
+        } else {
+            let replayed = realized_with_faults(&net, &s, &f).unwrap();
+            prop_assert_eq!(symbolic.as_ref(), Some(&replayed));
+        }
+        // Agreement ⇔ no itemized disagreements ⇔ the overlay is a no-op.
+        let dis = f.disagreements(&s);
+        prop_assert_eq!(f.agrees_with(&s), dis.is_empty());
+        if dis.is_empty() {
+            prop_assert_eq!(&f.apply_to(&s), &s);
+        } else {
+            prop_assert_ne!(&f.apply_to(&s), &s);
+        }
+    }
+
+    /// On random permutations of B(5): the static verdict matches the
+    /// class predicate and the simulator for both walks.
+    #[test]
+    fn random_permutations_agree_on_b5(d in arb_permutation(5)) {
+        let net = Benes::new(5);
+        let walk = analyze_self_route(&d);
+        prop_assert_eq!(walk.delivers(), is_in_f(&d));
+        prop_assert_eq!(walk.delivers(), net.self_route(&d).is_success());
+        let omega_walk = analyze_omega_route(&d);
+        prop_assert_eq!(omega_walk.delivers(), is_omega(&d));
+        prop_assert_eq!(omega_walk.delivers(), net.self_route_omega(&d).is_success());
+    }
+}

@@ -77,6 +77,14 @@ COMMANDS:
                              workload through the engine's reroute ladder,
                              and report degraded-mode stats
                              (defaults: n=3, k=2, 500 requests, seed 1)
+  analyze plan <D...>        static plan verification: closed forms vs
+                             Theorem 1, split conflicts of the symbolic
+                             self-route/omega walks, stage-bit invariant
+  analyze netlist <n> [w]    lint the synthesized GateBenes(n, w) netlist
+                             (loops, widths, fanout, gate budget)
+  analyze workspace [root]   workspace invariant linter + domain self-checks;
+                             add --json for JSON-lines findings; exits
+                             nonzero when any finding survives
   help                       this text
 "
     .to_string()
@@ -135,6 +143,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "factor" => factor(rest),
         "engine" => engine(rest),
         "faults" => faults_cmd(rest),
+        "analyze" => analyze(rest),
         other => {
             Err(CliError::new(format!("unknown command `{other}` (try `benes-cli help`)")))
         }
@@ -341,6 +350,197 @@ fn faults_cmd(args: &[String]) -> Result<String, CliError> {
     ));
     out.push_str(&stats.report());
     Ok(out)
+}
+
+fn analyze(args: &[String]) -> Result<String, CliError> {
+    let mode = args.first().ok_or_else(|| {
+        CliError::new("expected analyze mode: plan | netlist | workspace")
+    })?;
+    match mode.as_str() {
+        "plan" => analyze_plan(&args[1..]),
+        "netlist" => analyze_netlist(&args[1..]),
+        "workspace" => analyze_workspace(&args[1..]),
+        other => Err(CliError::new(format!(
+            "unknown analyze mode `{other}` (plan | netlist | workspace)"
+        ))),
+    }
+}
+
+/// Static verification report for one permutation: closed forms against
+/// Theorem 1, the symbolic walks, and the stage-bit invariant. Always
+/// informational (a permutation outside `F(n)` is a fact, not a defect).
+fn analyze_plan(args: &[String]) -> Result<String, CliError> {
+    use benes_analyze::{analyze_omega_route, analyze_self_route, certify_f};
+
+    let d = parse_permutation(args)?;
+    let n = network_order(&d)?;
+    let mut out = format!("static analysis of D = {d} on B({n})\n");
+
+    let closed = benes_analyze::closed_form_findings(&d);
+    if closed.is_empty() {
+        out.push_str(
+            "closed forms: dataflow walk, Theorem 1, BPC and omega \
+                      predicates all agree\n",
+        );
+    } else {
+        out.push_str(&benes_analyze::render_human(&closed));
+    }
+
+    let self_walk = analyze_self_route(&d);
+    if self_walk.is_conflict_free() {
+        out.push_str("self-route: conflict-free — D ∈ F(n), zero set-up\n");
+    } else {
+        out.push_str(&format!(
+            "self-route: {} split conflict(s); first: {}\n",
+            self_walk.conflicts.len(),
+            self_walk.conflicts[0]
+        ));
+    }
+    let omega_walk = analyze_omega_route(&d);
+    if omega_walk.is_conflict_free() {
+        out.push_str("omega-route: conflict-free — D ∈ Ω(n), first n−1 stages straight\n");
+    } else {
+        out.push_str(&format!(
+            "omega-route: {} split conflict(s); first: {}\n",
+            omega_walk.conflicts.len(),
+            omega_walk.conflicts[0]
+        ));
+    }
+    match certify_f(&d) {
+        Ok(cert) => {
+            out.push_str(&format!(
+                "certificate: {} switch settings, symbolically realize D, \
+                 zero stage-bit deviations\n",
+                benes_core::topology::stage_count(cert.n())
+                    * benes_core::topology::switches_per_stage(cert.n())
+            ));
+        }
+        Err(conflicts) => {
+            out.push_str(&format!(
+                "certificate: none — {} conflicting subnetwork split(s) \
+                 (Theorem 1 refuses D)\n",
+                conflicts.len()
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// Netlist lint for the synthesized hardware; findings are defects.
+fn analyze_netlist(args: &[String]) -> Result<String, CliError> {
+    let n = parse_n(args.first(), "network order n")?;
+    if n > 8 {
+        return Err(CliError::new("netlist lint supported for n <= 8"));
+    }
+    let width = match args.get(1) {
+        Some(w) => w
+            .parse::<u32>()
+            .ok()
+            .filter(|&w| w <= 63)
+            .ok_or_else(|| CliError::new("data width must be an integer <= 63"))?,
+        None => 8,
+    };
+    let hw = GateBenes::build(n, width);
+    let findings = benes_analyze::lint_gate_benes(&hw);
+    if findings.is_empty() {
+        Ok(format!(
+            "GateBenes({n}, {width}): netlist clean — topological order proven, \
+             widths and fanout bounds hold, gate budget exact ({} gates)\n",
+            hw.gate_counts().total()
+        ))
+    } else {
+        Err(CliError::new(benes_analyze::render_human(&findings)))
+    }
+}
+
+/// The tier-1 gate: pillar-2 workspace lints plus a battery of domain
+/// self-checks. Returns `Err` (nonzero exit) when anything is found.
+fn analyze_workspace(args: &[String]) -> Result<String, CliError> {
+    let json = args.iter().any(|a| a == "--json");
+    let root: &str = args.iter().find(|a| *a != "--json").map_or(".", String::as_str);
+
+    let (mut findings, graph) = benes_analyze::lint_workspace(std::path::Path::new(root))
+        .map_err(|e| {
+        CliError::new(format!("cannot scan workspace at `{root}`: {e}"))
+    })?;
+    findings.extend(domain_battery());
+
+    if findings.is_empty() {
+        let mut out = String::from("workspace analysis: clean\n");
+        out.push_str(&graph.summary());
+        out.push_str(
+            "domain battery: exhaustive B(2) static-vs-simulation agreement, \
+             closed forms on the named families, GateBenes netlist lints — all pass\n",
+        );
+        Ok(out)
+    } else if json {
+        Err(CliError::new(benes_analyze::render_json_lines(&findings)))
+    } else {
+        Err(CliError::new(benes_analyze::render_human(&findings)))
+    }
+}
+
+/// Domain self-checks for `analyze workspace`: the static checker must
+/// agree with ground truth wherever ground truth is cheap to compute.
+fn domain_battery() -> Vec<benes_analyze::Finding> {
+    use benes_analyze::{analyze_self_route, closed_form_findings, Finding, Pillar};
+
+    let mut findings = Vec::new();
+
+    // Exhaustive B(2): the symbolic walk's verdict must match the
+    // simulated self-route on all 24 permutations of S_4.
+    let net = Benes::new(2);
+    let mut dest = vec![0u32, 1, 2, 3];
+    permute_all(&mut dest, 0, &mut |tags| {
+        let d = Permutation::from_destinations(tags.to_vec()).unwrap();
+        let static_ok = analyze_self_route(&d).is_conflict_free();
+        let sim_ok = net.self_route(&d).is_success();
+        if static_ok != sim_ok {
+            findings.push(Finding::error(
+                Pillar::Domain,
+                "static-vs-simulation",
+                format!("B(2) D = {d}"),
+                0,
+                format!("static checker says {static_ok}, simulation says {sim_ok}"),
+            ));
+        }
+    });
+
+    // Closed forms on the named families up to B(5).
+    for n in 1..=5u32 {
+        let mut family: Vec<Permutation> = vec![
+            Bpc::bit_reversal(n).to_permutation(),
+            Bpc::vector_reversal(n).to_permutation(),
+            Bpc::perfect_shuffle(n).to_permutation(),
+            Bpc::unshuffle(n).to_permutation(),
+            cyclic_shift(n, 1),
+        ];
+        if n % 2 == 0 {
+            family.push(Bpc::matrix_transpose(n).to_permutation());
+        }
+        for d in family {
+            findings.extend(closed_form_findings(&d));
+        }
+    }
+
+    // The shipped hardware synthesis lints clean.
+    for (n, w) in [(2u32, 4u32), (3, 8)] {
+        findings.extend(benes_analyze::lint_gate_benes(&GateBenes::build(n, w)));
+    }
+    findings
+}
+
+/// Heap's algorithm: calls `visit` with every permutation of `v[k..]`.
+fn permute_all(v: &mut Vec<u32>, k: usize, visit: &mut impl FnMut(&[u32])) {
+    if k + 1 >= v.len() {
+        visit(v);
+        return;
+    }
+    for i in k..v.len() {
+        v.swap(k, i);
+        permute_all(v, k + 1, visit);
+        v.swap(k, i);
+    }
 }
 
 fn classify(args: &[String]) -> Result<String, CliError> {

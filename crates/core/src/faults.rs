@@ -267,6 +267,26 @@ impl FaultSet {
         })
     }
 
+    /// Itemizes [`Self::agrees_with`]: every fault whose forced state
+    /// differs from the commanded one, as
+    /// `(stage, switch, commanded, forced)` where `forced` is `None`
+    /// for a dead switch (which disagrees with any command). Empty
+    /// exactly when `agrees_with` holds.
+    #[must_use]
+    pub fn disagreements(
+        &self,
+        settings: &SwitchSettings,
+    ) -> Vec<(usize, usize, SwitchState, Option<SwitchState>)> {
+        self.faults
+            .iter()
+            .filter_map(|(&(stage, switch), &kind)| {
+                let commanded = settings.get(stage, switch);
+                (kind.stuck_state() != Some(commanded))
+                    .then(|| (stage, switch, commanded, kind.stuck_state()))
+            })
+            .collect()
+    }
+
     /// `count` random stuck-at faults (never dead) on distinct switches,
     /// derived deterministically from `seed` with a splitmix64 stream —
     /// the standard campaign generator for tests, the CLI and EXP-FAULTS.
@@ -597,7 +617,7 @@ fn solve(
     // Trace the constraint loops once (under seeding 0).
     let mut inv = vec![0u32; len];
     for (i, &o) in perm.iter().enumerate() {
-        inv[o as usize] = i as u32;
+        inv[o as usize] = i as u32; // analyze:allow(truncating-cast): i < 2^MAX_N terminals
     }
     let mut in_side: Vec<Option<u8>> = vec![None; len];
     let mut out_side: Vec<Option<u8>> = vec![None; len];
@@ -730,7 +750,6 @@ fn solve(
 /// derives the induced sub-permutations, and recurses into both
 /// children. Returns `false` (leaving `settings` dirty for the caller to
 /// overwrite on the next attempt) if either child fails.
-#[allow(clippy::too_many_arguments)]
 fn try_seeding(
     perm: &[u32],
     m: u32,

@@ -440,13 +440,14 @@ impl Benes {
         &self,
         settings: &SwitchSettings,
     ) -> Result<benes_perm::Permutation, NetworkError> {
+        // analyze:allow(truncating-cast): terminal_count = 2^n ≤ 2^MAX_N
         let ids: Vec<u32> = (0..self.terminal_count() as u32).collect();
         let arrived = self.route_with(settings, &ids)?;
         // arrived[o] = input record at output o; the realized permutation
         // sends input i to the output where i surfaced.
         let mut dest = vec![0u32; arrived.len()];
         for (o, &i) in arrived.iter().enumerate() {
-            dest[i as usize] = o as u32;
+            dest[i as usize] = o as u32; // analyze:allow(truncating-cast): o < 2^MAX_N terminals
         }
         Ok(benes_perm::Permutation::from_destinations(dest)
             .expect("any switch assignment permutes the inputs"))

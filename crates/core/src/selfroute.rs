@@ -64,6 +64,7 @@ impl SelfRouteOutcome {
     /// Whether every tag reached the output terminal it names.
     #[must_use]
     pub fn is_success(&self) -> bool {
+        // analyze:allow(truncating-cast): o indexes ≤ 2^MAX_N terminals
         self.outputs.iter().enumerate().all(|(o, &t)| o as u32 == t)
     }
 
@@ -74,6 +75,7 @@ impl SelfRouteOutcome {
         self.outputs
             .iter()
             .enumerate()
+            // analyze:allow(truncating-cast): o indexes ≤ 2^MAX_N terminals
             .filter(|&(o, &t)| o as u32 != t)
             .map(|(o, &t)| (o, t))
             .collect()

@@ -116,7 +116,7 @@ pub fn control_bit(n: u32, stage: usize) -> u32 {
     validate_n(n);
     let stages = stage_count(n);
     assert!(stage < stages, "stage {stage} out of range (B({n}) has {stages} stages)");
-    (stage.min(stages - 1 - stage)) as u32
+    (stage.min(stages - 1 - stage)) as u32 // analyze:allow(truncating-cast): stage < 2n−1 ≤ 47
 }
 
 /// Builds the inter-stage wiring of `B(n)` by the recursion of Fig. 1.
@@ -150,7 +150,7 @@ pub fn build_links(n: u32) -> Vec<Vec<u32>> {
         return Vec::new();
     }
     let nn = terminal_count(n);
-    let half = (nn / 2) as u32;
+    let half = (nn / 2) as u32; // analyze:allow(truncating-cast): nn = 2^n ≤ 2^MAX_N
 
     // First link: stage-0 output port 2i → upper-copy input i (port i);
     // port 2i+1 → lower-copy input i (port half + i).

@@ -121,7 +121,7 @@ pub(crate) fn setup_recursive(
     // inverse permutation: which input feeds each output.
     let mut inv = vec![0u32; len];
     for (i, &o) in perm.iter().enumerate() {
-        inv[o as usize] = i as u32;
+        inv[o as usize] = i as u32; // analyze:allow(truncating-cast): i < 2^MAX_N terminals
     }
 
     // side assignment: 0 = upper subnetwork, 1 = lower.

@@ -383,6 +383,9 @@ impl Drop for Engine {
         }
         self.shared.available.notify_all();
         for handle in self.workers.drain(..) {
+            // Join fails only for a worker that panicked, which the
+            // failure stats already counted; shutdown proceeds anyway.
+            // analyze:allow(discarded-result): worker panic already counted
             let _ = handle.join();
         }
     }
@@ -441,6 +444,7 @@ fn worker_loop(shared: &Shared) {
                 .recorder
                 .note_latency_ns(latency.as_nanos().min(u128::from(u64::MAX)) as u64);
             // A dropped ticket just means the caller stopped listening.
+            // analyze:allow(discarded-result): caller hung up
             let _ = job.reply.send(RequestOutcome { result, latency });
         }
     }
@@ -497,14 +501,32 @@ fn serve_one(
     match shared.cache.get(perm) {
         Some(cached) => {
             shared.recorder.note_cache(true);
-            if execute_on_fabric(net, perm, &cached, faults.as_deref()) {
+            // A cached explicit-settings plan is validated against the
+            // fault registry *statically*: insert time already proved it
+            // realizes `perm` on a healthy fabric, so if every stuck
+            // switch agrees with its commanded state the fault overlay
+            // is a no-op and the plan realizes `perm` on the degraded
+            // fabric too — an O(|faults|) check in place of a full
+            // replay. Disagreement (a dead switch never agrees) means
+            // the plan is stale for this fabric: evict and re-plan.
+            let valid = match (&*cached, faults.as_deref().filter(|f| !f.is_empty())) {
+                (Plan::Settings(settings), Some(f)) => {
+                    let agrees = f.agrees_with(settings);
+                    if agrees {
+                        shared.recorder.note_static_validation();
+                    }
+                    agrees
+                }
+                (_, overlay) => execute_on_fabric(net, perm, &cached, overlay),
+            };
+            if valid {
                 shared.recorder.note_tier(Tier::Cached);
                 return Ok(Tier::Cached);
             }
             // The cache verifies permutation equality on lookup, so a
-            // failing replay means a corrupted plan (or one planned for
-            // a fabric that has since degraded). Evict it: leaving it in
-            // place makes every future request re-pay a failed replay.
+            // failing validation means a corrupted plan (or one planned
+            // for a fabric that has since degraded). Evict it: leaving
+            // it in place makes every future request re-pay the failure.
             shared.cache.invalidate(perm);
         }
         None => shared.recorder.note_cache(false),
@@ -897,6 +919,47 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.reroutes_succeeded, 1);
         assert_eq!(stats.faults_detected, 1);
+    }
+
+    #[test]
+    fn cached_plan_validates_statically_under_agreeing_fault() {
+        // The cache-hit path must decide fault validity by the O(k)
+        // agreement check, not by replaying the plan: an agreeing stuck
+        // switch leaves the cached Waksman plan servable (tier Cached,
+        // static_validated counted), a disagreeing one evicts it.
+        let engine = Engine::new(EngineConfig { workers: 1, ..EngineConfig::default() });
+        let hard = hard_witness();
+        assert_eq!(engine.submit(hard.clone()).wait().tier(), Some(Tier::Waksman));
+
+        let cached_plan = crate::plan::plan(&hard, Fallback::Waksman).unwrap();
+        let Plan::Settings(ref settings) = cached_plan else {
+            panic!("hard witness must take the Waksman tier")
+        };
+        let commanded = settings.get(0, 1);
+        let agreeing = match commanded {
+            benes_core::SwitchState::Straight => FaultKind::StuckStraight,
+            benes_core::SwitchState::Cross => FaultKind::StuckCross,
+        };
+        engine.inject_fault(3, 0, 1, agreeing).unwrap();
+
+        let second = engine.submit(hard.clone()).wait();
+        assert_eq!(second.tier(), Some(Tier::Cached), "{:?}", second.result);
+        let stats = engine.stats();
+        assert_eq!(stats.static_validated, 1, "agreement decided without replay");
+        assert_eq!(stats.faults_detected, 0, "no execution failure on this path");
+
+        // Flip the fault to the disagreeing state: the static check now
+        // rejects the cached plan, and the ladder replans around it.
+        let disagreeing = match commanded {
+            benes_core::SwitchState::Straight => FaultKind::StuckCross,
+            benes_core::SwitchState::Cross => FaultKind::StuckStraight,
+        };
+        engine.clear_faults();
+        engine.inject_fault(3, 0, 1, disagreeing).unwrap();
+        let third = engine.submit(hard).wait();
+        assert!(third.is_ok(), "first-stage faults are avoidable: {:?}", third.result);
+        assert_ne!(third.tier(), Some(Tier::Cached), "stale plan must be evicted");
+        assert_eq!(engine.stats().static_validated, 1, "disagreement adds no count");
     }
 
     #[test]

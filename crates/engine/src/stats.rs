@@ -34,6 +34,7 @@ pub(crate) struct Recorder {
     reroutes_succeeded: AtomicU64,
     reroutes_failed: AtomicU64,
     fault_retries: AtomicU64,
+    static_validated: AtomicU64,
 }
 
 impl Recorder {
@@ -98,6 +99,10 @@ impl Recorder {
         self.fault_retries.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn note_static_validation(&self) {
+        self.static_validated.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn note_latency_ns(&self, ns: u64) {
         self.latency_min_ns.fetch_min(ns, Ordering::Relaxed);
         self.latency_max_ns.fetch_max(ns, Ordering::Relaxed);
@@ -132,6 +137,7 @@ impl Recorder {
             reroutes_succeeded: self.reroutes_succeeded.load(Ordering::Relaxed),
             reroutes_failed: self.reroutes_failed.load(Ordering::Relaxed),
             fault_retries: self.fault_retries.load(Ordering::Relaxed),
+            static_validated: self.static_validated.load(Ordering::Relaxed),
         }
     }
 }
@@ -183,6 +189,9 @@ pub struct EngineStats {
     /// Extra reroute attempts taken after a fault-avoiding plan itself
     /// failed execution (the fault registry changed mid-flight).
     pub fault_retries: u64,
+    /// Cached plans validated against the fault registry by the static
+    /// agreement check (`FaultSet::agrees_with`) instead of a replay.
+    pub static_validated: u64,
 }
 
 impl EngineStats {
@@ -218,6 +227,7 @@ impl EngineStats {
             || self.reroutes_succeeded > 0
             || self.reroutes_failed > 0
             || self.fault_retries > 0
+            || self.static_validated > 0
     }
 
     /// A human-readable multi-line report (used by `benes-cli engine`).
@@ -262,6 +272,10 @@ impl EngineStats {
                 self.reroutes_succeeded, self.reroutes_failed
             ));
             out.push_str(&format!("  fault retries      {}\n", self.fault_retries));
+            out.push_str(&format!(
+                "  static validations {} (cached plans cleared without replay)\n",
+                self.static_validated
+            ));
         }
         out
     }
@@ -339,15 +353,19 @@ mod tests {
         r.note_reroute(true);
         r.note_reroute(false);
         r.note_fault_retry();
+        r.note_static_validation();
+        r.note_static_validation();
         let s = r.snapshot();
         assert_eq!(s.faults_injected, 2);
         assert_eq!(s.faults_detected, 1);
         assert_eq!(s.reroutes_succeeded, 2);
         assert_eq!(s.reroutes_failed, 1);
         assert_eq!(s.fault_retries, 1);
+        assert_eq!(s.static_validated, 2);
         assert!(s.is_degraded());
         let text = s.report();
         assert!(text.contains("degraded mode"));
         assert!(text.contains("2 succeeded / 1 failed"));
+        assert!(text.contains("static validations 2"));
     }
 }

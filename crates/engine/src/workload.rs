@@ -55,7 +55,7 @@ impl Rng64 {
 #[must_use]
 pub fn random_permutation(rng: &mut Rng64, len: usize) -> Permutation {
     assert!(len > 0, "permutation must have at least one element");
-    let mut dest: Vec<u32> = (0..len as u32).collect();
+    let mut dest: Vec<u32> = (0..len as u32).collect(); // analyze:allow(truncating-cast): len ≤ 2^MAX_N
     for i in (1..len).rev() {
         let j = rng.below(i as u64 + 1) as usize;
         dest.swap(i, j);

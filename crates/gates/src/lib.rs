@@ -57,5 +57,5 @@ pub mod pipeline;
 pub mod switch;
 pub mod verilog;
 
-pub use netlist::{Net, Netlist};
+pub use netlist::{Net, Netlist, NodeView};
 pub use network::GateBenes;

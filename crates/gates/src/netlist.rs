@@ -15,6 +15,13 @@ impl Net {
     fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// The wire's creation index: its position in node order, usable
+    /// with [`Netlist::node`]. Stable for the life of the netlist.
+    #[must_use]
+    pub fn id(self) -> usize {
+        self.index()
+    }
 }
 
 /// One node of the netlist.
@@ -36,6 +43,45 @@ enum Node {
     Or(Net, Net),
     /// 2-input XOR.
     Xor(Net, Net),
+}
+
+/// A read-only view of one netlist node, exposed for external analyzers
+/// (the `benes-analyze` netlist lints): the node kind plus the operand
+/// wires it reads. Mirrors the private storage exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeView {
+    /// A primary input.
+    Input,
+    /// A constant driver.
+    Const(bool),
+    /// Inverter.
+    Not(Net),
+    /// Zero-delay wire alias (not a gate; adds no depth).
+    Alias(Net),
+    /// 2-input AND.
+    And(Net, Net),
+    /// 2-input OR.
+    Or(Net, Net),
+    /// 2-input XOR.
+    Xor(Net, Net),
+}
+
+impl NodeView {
+    /// The operand wires this node reads (empty for inputs/constants).
+    #[must_use]
+    pub fn operands(self) -> Vec<Net> {
+        match self {
+            Self::Input | Self::Const(_) => Vec::new(),
+            Self::Not(a) | Self::Alias(a) => vec![a],
+            Self::And(a, b) | Self::Or(a, b) | Self::Xor(a, b) => vec![a, b],
+        }
+    }
+
+    /// Whether the node is a logic gate (counted in [`GateCounts`]).
+    #[must_use]
+    pub fn is_gate(self) -> bool {
+        matches!(self, Self::Not(_) | Self::And(..) | Self::Or(..) | Self::Xor(..))
+    }
 }
 
 /// Structural gate counts of a netlist (primary inputs and constants are
@@ -190,6 +236,35 @@ impl Netlist {
     #[must_use]
     pub fn wire_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// A read-only view of node `index`, for external analyzers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= wire_count()`.
+    #[must_use]
+    pub fn node(&self, index: usize) -> NodeView {
+        match self.nodes[index] {
+            Node::Input => NodeView::Input,
+            Node::Const(v) => NodeView::Const(v),
+            Node::Not(a) => NodeView::Not(a),
+            Node::Alias(a) => NodeView::Alias(a),
+            Node::And(a, b) => NodeView::And(a, b),
+            Node::Or(a, b) => NodeView::Or(a, b),
+            Node::Xor(a, b) => NodeView::Xor(a, b),
+        }
+    }
+
+    /// Iterates node views in creation (hence topological) order.
+    pub fn iter_nodes(&self) -> impl Iterator<Item = NodeView> + '_ {
+        (0..self.nodes.len()).map(|i| self.node(i))
+    }
+
+    /// The marked primary-output wires, in registration order.
+    #[must_use]
+    pub fn output_nets(&self) -> &[Net] {
+        &self.outputs
     }
 
     /// Structural gate counts.

@@ -82,8 +82,11 @@ impl GateBenes {
         let mut nl = Netlist::new();
         let omega = nl.input();
         // One shared inverter: the early-stage switches take the inverted
-        // omega as their self-set enable.
-        let self_set_enable = nl.not(omega);
+        // omega as their self-set enable. B(1) has no gated stage, so the
+        // inverter would be dead logic (the analyze netlist lint flags
+        // unread gates) — skip it there; the omega input stays for a
+        // stable input layout.
+        let self_set_enable = if n > 1 { Some(nl.not(omega)) } else { None };
 
         let terminals = topology::terminal_count(n);
         let mut buses: Vec<Bus> = (0..terminals)
@@ -99,7 +102,7 @@ impl GateBenes {
         let mut selects: Vec<Vec<Net>> = Vec::with_capacity(stages);
         for s in 0..stages {
             let bit = topology::control_bit(n, s);
-            let force = if s < omega_forced { Some(self_set_enable) } else { None };
+            let force = if s < omega_forced { self_set_enable } else { None };
             let mut outputs: Vec<Option<Bus>> = vec![None; terminals];
             let mut stage_selects = Vec::with_capacity(terminals / 2);
             for i in 0..terminals / 2 {
@@ -235,7 +238,6 @@ impl GateBenes {
         assert_eq!(data.len(), terminals, "payload count must be N");
         let mut inputs = Vec::with_capacity(self.netlist.input_count());
         inputs.push(omega);
-        #[allow(clippy::needless_range_loop)] // i indexes perm AND data in lockstep
         for i in 0..terminals {
             let tag = u64::from(perm.destination(i));
             for b in 0..self.n {
@@ -406,7 +408,6 @@ impl TaperedGateBenes {
         assert_eq!(perm.len(), terminals, "permutation length must be N");
         assert_eq!(data.len(), terminals, "payload count must be N");
         let mut inputs = Vec::with_capacity(self.netlist.input_count());
-        #[allow(clippy::needless_range_loop)] // i indexes perm AND data in lockstep
         for i in 0..terminals {
             let tag = u64::from(perm.destination(i));
             for b in 0..self.n {

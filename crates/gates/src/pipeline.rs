@@ -158,7 +158,6 @@ impl PipelinedGateBenes {
         assert_eq!(perm.len(), terminals, "permutation length must be N");
         assert_eq!(data.len(), terminals, "payload count must be N");
         let mut bits = Vec::new();
-        #[allow(clippy::needless_range_loop)] // i indexes perm AND data in lockstep
         for i in 0..terminals {
             let tag = u64::from(perm.destination(i));
             for b in 0..self.n {

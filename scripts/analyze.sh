@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Static analysis gate: the workspace invariant linter plus the domain
+# self-check battery, via `benes-cli analyze workspace`. Exits nonzero
+# on any finding. Writes machine-readable findings (JSON lines) to
+# target/analyze.jsonl for tooling; prints the human report to stdout.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+mkdir -p target
+
+# JSON-lines pass. Findings are emitted on stderr (that is what makes
+# the exit code nonzero); keep only the JSON records for tooling.
+if ! cargo run -q --offline -p benes-cli -- analyze workspace . --json \
+    2> target/analyze.raw; then
+    grep '^{' target/analyze.raw > target/analyze.jsonl || true
+    rm -f target/analyze.raw
+    echo "analyze: findings (see target/analyze.jsonl)" >&2
+    cat target/analyze.jsonl >&2
+    exit 1
+fi
+: > target/analyze.jsonl
+rm -f target/analyze.raw
+
+# Human-readable pass for the log.
+cargo run -q --offline -p benes-cli -- analyze workspace .

@@ -24,7 +24,12 @@
 //! * [`engine`] — a batched, cached, multi-threaded permutation-routing
 //!   service on top of it all: a tiered planner (self-route → omega-bit →
 //!   Waksman or Ω⁻¹·Ω factorization), a fingerprint-keyed plan cache, a
-//!   worker pool, and per-tier statistics.
+//!   worker pool, and per-tier statistics;
+//! * [`analyze`] — static verification of all of the above: a symbolic
+//!   dataflow checker that proves plans correct without simulation,
+//!   `F(n)` certificates, netlist lints for the synthesized hardware,
+//!   and an offline workspace linter (lock-order graph, cast and
+//!   `Result` discipline) wired into tier-1.
 //!
 //! # Example: route a matrix transpose three ways
 //!
@@ -54,6 +59,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use benes_analyze as analyze;
 pub use benes_bits as bits;
 pub use benes_core as core;
 pub use benes_engine as engine;
