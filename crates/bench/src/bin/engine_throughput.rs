@@ -3,17 +3,77 @@
 //! Drives the `benes-engine` worker pool with a reproducible mixed
 //! workload (Table I BPC members, random `Ω(n)` members, repeated and
 //! fresh hard permutations) and reports throughput as the worker count
-//! scales, plus the tier mix and cache effectiveness that produced it.
+//! scales, plus the tier mix, cache effectiveness and latency quantiles
+//! that produced it.
+//!
+//! Usage: `engine_throughput [--requests N] [--json PATH]`
+//!
+//! `--json` additionally writes the machine-readable results as
+//! `BENCH_ENGINE.json` with a stable schema (`experiment`, `requests`,
+//! `seed`, `runs[]` with per-run throughput and latency quantiles), so
+//! scripts can diff benchmark runs without scraping the table.
 
 use benes_bench::Table;
 use benes_engine::workload::mixed_workload;
-use benes_engine::{Engine, EngineConfig};
+use benes_engine::{Engine, EngineConfig, EngineStats};
 use std::time::Instant;
 
+struct Run {
+    n: u32,
+    workers: usize,
+    wall_ms: f64,
+    req_per_s: f64,
+    stats: EngineStats,
+}
+
+impl Run {
+    /// One schema-stable JSON object for this run (hand-rolled: the
+    /// vendored serde_json stub has no map type).
+    fn to_json(&self) -> String {
+        let lat = &self.stats.latency;
+        format!(
+            "{{\"n\":{},\"workers\":{},\"wall_ms\":{:.3},\"req_per_s\":{:.1},\
+             \"zero_setup_pct\":{:.2},\"cache_hit_pct\":{:.2},\
+             \"latency_ns\":{{\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\
+             \"mean\":{},\"max\":{}}}}}",
+            self.n,
+            self.workers,
+            self.wall_ms,
+            self.req_per_s,
+            self.stats.zero_setup_rate() * 100.0,
+            self.stats.cache_hit_rate() * 100.0,
+            lat.quantile(0.5),
+            lat.quantile(0.9),
+            lat.quantile(0.99),
+            lat.quantile(0.999),
+            lat.mean(),
+            lat.max(),
+        )
+    }
+}
+
+fn parse_args() -> (usize, Option<String>) {
+    let mut requests = 4000usize;
+    let mut json = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--requests" => {
+                let v = args.next().expect("--requests needs a value");
+                requests = v.parse().expect("--requests must be a positive integer");
+                assert!(requests > 0, "--requests must be a positive integer");
+            }
+            "--json" => json = Some(args.next().expect("--json needs a path")),
+            other => panic!("unknown argument `{other}` (try --requests N / --json PATH)"),
+        }
+    }
+    (requests, json)
+}
+
 fn main() {
+    let (requests, json_path) = parse_args();
     println!("== EXP-ENGINE: batched routing-engine throughput ==\n");
 
-    let requests = 4000;
     let seed = 0xbe25;
 
     let mut table = Table::new(vec![
@@ -24,8 +84,10 @@ fn main() {
         "req/s",
         "zero-setup %",
         "cache hit %",
-        "mean latency ms",
+        "p50 lat ms",
+        "p99 lat ms",
     ]);
+    let mut runs: Vec<Run> = Vec::new();
 
     for n in [4u32, 6, 8] {
         let stream = mixed_workload(n, requests, seed);
@@ -48,11 +110,30 @@ fn main() {
                 format!("{:.1}", stats.cache_hit_rate() * 100.0),
                 // End-to-end latency: includes queue wait, since the
                 // whole batch is submitted up front.
-                format!("{:.2}", stats.latency_mean_ns as f64 / 1e6),
+                format!("{:.2}", stats.latency.quantile(0.5) as f64 / 1e6),
+                format!("{:.2}", stats.latency.quantile(0.99) as f64 / 1e6),
             ]);
+            runs.push(Run {
+                n,
+                workers,
+                wall_ms: wall.as_secs_f64() * 1e3,
+                req_per_s: requests as f64 / wall.as_secs_f64(),
+                stats,
+            });
         }
     }
     println!("{}", table.render());
+
+    if let Some(path) = json_path {
+        let body: Vec<String> = runs.iter().map(Run::to_json).collect();
+        let doc = format!(
+            "{{\"experiment\":\"EXP-ENGINE\",\"requests\":{requests},\"seed\":{seed},\
+             \"runs\":[{}]}}\n",
+            body.join(",")
+        );
+        std::fs::write(&path, doc).expect("write --json output");
+        println!("machine-readable results written to {path}\n");
+    }
 
     // One detailed report at the headline configuration.
     let engine = Engine::new(EngineConfig { workers: 4, ..EngineConfig::default() });

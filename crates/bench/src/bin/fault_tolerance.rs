@@ -63,7 +63,7 @@ fn main() {
                 let stats = engine.stats();
                 reroutes_ok += stats.reroutes_succeeded;
                 reroutes_fail += stats.reroutes_failed;
-                latency_ns += stats.latency_mean_ns;
+                latency_ns += stats.latency_mean_ns();
             }
 
             let total = requests * seeds.len();

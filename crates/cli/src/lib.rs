@@ -85,6 +85,15 @@ COMMANDS:
   analyze workspace [root]   workspace invariant linter + domain self-checks;
                              add --json for JSON-lines findings; exits
                              nonzero when any finding survives
+  obs dump [n] [reqs]        run a mixed workload and print the engine's
+                             metrics exposition (Prometheus text; add
+                             --json for the JSON document)
+  obs histogram [n] [reqs]   per-tier latency quantiles (p50/p90/p99/p999)
+                             from a mixed workload on B(n)
+  obs flightrec [n] [reqs]   flight-recorder dump: serve a healthy workload,
+                             then one victim through an injected dead
+                             switch, and render the last route attempts
+                             (ladder, phase timings, failing-plan trace)
   help                       this text
 "
     .to_string()
@@ -144,6 +153,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "engine" => engine(rest),
         "faults" => faults_cmd(rest),
         "analyze" => analyze(rest),
+        "obs" => obs(rest),
         other => {
             Err(CliError::new(format!("unknown command `{other}` (try `benes-cli help`)")))
         }
@@ -349,6 +359,157 @@ fn faults_cmd(args: &[String]) -> Result<String, CliError> {
         100.0 * served as f64 / requests as f64
     ));
     out.push_str(&stats.report());
+    Ok(out)
+}
+
+fn obs(args: &[String]) -> Result<String, CliError> {
+    let mode = args
+        .first()
+        .ok_or_else(|| CliError::new("expected obs mode: dump | histogram | flightrec"))?;
+    match mode.as_str() {
+        "dump" => obs_dump(&args[1..]),
+        "histogram" => obs_histogram(&args[1..]),
+        "flightrec" => obs_flightrec(&args[1..]),
+        other => Err(CliError::new(format!(
+            "unknown obs mode `{other}` (dump | histogram | flightrec)"
+        ))),
+    }
+}
+
+/// Shared front half of the `obs` modes: parse `[n] [reqs]` and drive a
+/// mixed workload through a fresh engine so there is something to
+/// observe.
+fn obs_run(args: &[String]) -> Result<(benes_engine::Engine, u32, usize), CliError> {
+    use benes_engine::{workload, Engine, EngineConfig};
+    let n = match args.first() {
+        Some(_) => parse_n(args.first(), "network order n")?,
+        None => 4,
+    };
+    if !(3..=10).contains(&n) {
+        return Err(CliError::new(
+            "obs demo needs n in 3..=10 (below B(3) every permutation is in F ∪ Ω)",
+        ));
+    }
+    let requests: usize = match args.get(1) {
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&r| (1..=1_000_000).contains(&r))
+            .ok_or_else(|| CliError::new("request count must be in 1..=1000000"))?,
+        None => 1000,
+    };
+    let engine = Engine::new(EngineConfig::default());
+    let outcomes = engine.run_batch(workload::mixed_workload(n, requests, 0xb0b5));
+    debug_assert!(outcomes.iter().all(benes_engine::RequestOutcome::is_ok));
+    Ok((engine, n, requests))
+}
+
+fn obs_dump(args: &[String]) -> Result<String, CliError> {
+    let json = args.iter().any(|a| a == "--json");
+    let positional: Vec<String> = args.iter().filter(|a| *a != "--json").cloned().collect();
+    let (engine, _, _) = obs_run(&positional)?;
+    let exposition = engine.stats().exposition();
+    Ok(if json { exposition.to_json() } else { exposition.to_prometheus() })
+}
+
+fn obs_histogram(args: &[String]) -> Result<String, CliError> {
+    let (engine, n, requests) = obs_run(args)?;
+    let stats = engine.stats();
+
+    let mut out = format!(
+        "latency histograms: B({n}), {requests} mixed requests (submit → completion, ns)\n"
+    );
+    out.push_str(&format!(
+        "{:<12} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+        "path", "count", "p50", "p90", "p99", "p999", "max"
+    ));
+    let mut row = |path: &str, s: &benes_obs::HistogramSnapshot| {
+        out.push_str(&format!(
+            "{:<12} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+            path,
+            s.count(),
+            s.quantile(0.5),
+            s.quantile(0.9),
+            s.quantile(0.99),
+            s.quantile(0.999),
+            s.max()
+        ));
+    };
+    row("all", &stats.latency);
+    for (tier, snapshot) in &stats.tier_latency {
+        if !snapshot.is_empty() {
+            row(tier.name(), snapshot);
+        }
+    }
+    if !stats.failed_latency.is_empty() {
+        row("failed", &stats.failed_latency);
+    }
+    Ok(out)
+}
+
+fn obs_flightrec(args: &[String]) -> Result<String, CliError> {
+    use benes_engine::workload::{self, Rng64};
+    use benes_engine::{Engine, EngineConfig, FaultKind, FaultSet};
+
+    let n = match args.first() {
+        Some(_) => parse_n(args.first(), "network order n")?,
+        None => 3,
+    };
+    if !(3..=10).contains(&n) {
+        return Err(CliError::new(
+            "obs demo needs n in 3..=10 (below B(3) every permutation is in F ∪ Ω)",
+        ));
+    }
+    let requests: usize = match args.get(1) {
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&r| (1..=10_000).contains(&r))
+            .ok_or_else(|| CliError::new("request count must be in 1..=10000"))?,
+        None => 6,
+    };
+    let show: usize = match args.get(2) {
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&k| (1..=64).contains(&k))
+            .ok_or_else(|| CliError::new("record count must be in 1..=64"))?,
+        None => 4,
+    };
+
+    // One worker keeps the ring in submission order for the dump.
+    let engine = Engine::new(EngineConfig { workers: 1, ..EngineConfig::default() });
+    let outcomes = engine.run_batch(workload::mixed_workload(n, requests, 0xf11e));
+    let healthy = outcomes.iter().filter(|o| o.is_ok()).count();
+
+    // A dead switch toggles every command it receives, so no set-up can
+    // agree with it: the victim deterministically walks the whole
+    // reroute ladder and fails, leaving a full trace in the ring.
+    let mut faults = FaultSet::new(n);
+    faults.insert(0, 0, FaultKind::Dead).map_err(|e| CliError::new(e.to_string()))?;
+    engine.set_faults(faults);
+    let mut rng = Rng64::new(0x0b5e_55ed);
+    let victim = workload::hard_permutation(&mut rng, n);
+    let verdict = match engine.submit(victim).wait().result {
+        Ok(tier) => format!("served by tier {}", tier.name()),
+        Err(e) => format!("FAILED — {e}"),
+    };
+
+    let records = engine.flight_records(show);
+    let mut out = format!(
+        "flight recorder: {healthy}/{requests} healthy requests served on B({n}), then \
+         one victim through a dead switch at stage 0 ({verdict})\n"
+    );
+    out.push_str(&format!(
+        "showing the newest {} of {} surviving records ({} dropped under contention)\n\n",
+        records.len(),
+        engine.flight_records(usize::MAX).len(),
+        engine.flight_dropped()
+    ));
+    for record in &records {
+        out.push_str(&record.render());
+        out.push('\n');
+    }
     Ok(out)
 }
 
@@ -907,6 +1068,53 @@ mod extension_tests {
         assert!(run_str("faults 2").is_err()); // no hard perms below B(3)
         assert!(run_str("faults 3 999").is_err()); // more faults than switches
         assert!(run_str("faults 3 1 0").is_err());
+    }
+
+    #[test]
+    fn obs_dump_round_trips_through_both_parsers() {
+        let text = run_str("obs dump 3 150").unwrap();
+        assert!(text.contains("# TYPE benes_requests_total counter"), "{text}");
+        assert!(
+            text.contains("benes_latency_ns{path=\"all\",quantile=\"0.99\"}"),
+            "{text}"
+        );
+        let samples = benes_obs::parse_prometheus(&text).expect("exposition must parse");
+        assert!(samples.iter().any(|s| s.name == "benes_requests_total"));
+
+        let json = run_str("obs dump 3 150 --json").unwrap();
+        let parsed = benes_obs::parse_json(&json).expect("JSON exposition must parse");
+        assert!(parsed.iter().any(|s| s.name == "benes_queue_high_water"));
+    }
+
+    #[test]
+    fn obs_histogram_reports_per_tier_quantiles() {
+        let out = run_str("obs histogram 4 400").unwrap();
+        assert!(out.contains("p50"), "{out}");
+        assert!(out.contains("p99"), "{out}");
+        // The mixed workload exercises the zero-setup, Waksman and
+        // cached tiers; each must surface its own histogram row.
+        assert!(out.contains("self-route"), "{out}");
+        assert!(out.contains("waksman"), "{out}");
+        assert!(out.contains("cached"), "{out}");
+        assert!(run_str("obs histogram 2").is_err());
+        assert!(run_str("obs histogram 4 0").is_err());
+    }
+
+    #[test]
+    fn obs_flightrec_renders_the_injected_failure() {
+        let out = run_str("obs flightrec 3 6").unwrap();
+        assert!(out.contains("FAILED"), "{out}");
+        assert!(out.contains("fault-detected"), "{out}");
+        assert!(out.contains("unavoidable"), "{out}");
+        assert!(out.contains("failing-plan trace:"), "{out}");
+        assert!(out.contains("route attempt: fingerprint"), "{out}");
+        assert!(run_str("obs flightrec 3 6 999").is_err());
+    }
+
+    #[test]
+    fn obs_rejects_unknown_modes() {
+        assert!(run_str("obs").is_err());
+        assert!(run_str("obs spelunk").is_err());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use benes_perm::Permutation;
 
+use crate::faults::FaultSet;
 use crate::network::{Benes, NetworkError, SwitchSettings, SwitchState};
 
 /// How the switches were controlled during a traced route.
@@ -42,7 +43,7 @@ impl RouteTrace {
         net: &Benes,
         perm: &Permutation,
     ) -> Result<Self, NetworkError> {
-        Self::capture(net, perm, TraceMode::SelfRouting, None)
+        Self::capture(net, perm, TraceMode::SelfRouting, None, None)
     }
 
     /// Traces an omega-bit pass of `perm` through `net`.
@@ -51,7 +52,73 @@ impl RouteTrace {
     ///
     /// Returns [`NetworkError::PermutationLength`] on a length mismatch.
     pub fn capture_omega(net: &Benes, perm: &Permutation) -> Result<Self, NetworkError> {
-        Self::capture(net, perm, TraceMode::OmegaBit, None)
+        Self::capture(net, perm, TraceMode::OmegaBit, None, None)
+    }
+
+    /// Traces a self-routed pass over the **faulty** fabric: healthy
+    /// switches obey the tag rule, faulty switches follow their fault.
+    /// This is the flight-recorder hook — the engine captures exactly
+    /// what a failed request saw, stage by stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::PermutationLength`] on a length mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `faults.n() != net.n()` (matching the other
+    /// fault-overlay entry points in [`crate::faults`]).
+    pub fn capture_self_route_with_faults(
+        net: &Benes,
+        perm: &Permutation,
+        faults: &FaultSet,
+    ) -> Result<Self, NetworkError> {
+        assert_eq!(faults.n(), net.n(), "fault set order must match the network");
+        Self::capture(net, perm, TraceMode::SelfRouting, None, Some(faults))
+    }
+
+    /// Traces an omega-bit pass over the faulty fabric.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::PermutationLength`] on a length mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `faults.n() != net.n()`.
+    pub fn capture_omega_with_faults(
+        net: &Benes,
+        perm: &Permutation,
+        faults: &FaultSet,
+    ) -> Result<Self, NetworkError> {
+        assert_eq!(faults.n(), net.n(), "fault set order must match the network");
+        Self::capture(net, perm, TraceMode::OmegaBit, None, Some(faults))
+    }
+
+    /// Traces a pass with externally supplied settings over the faulty
+    /// fabric (every faulty switch overrides its commanded state).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on a length or settings-order mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `faults.n() != net.n()`.
+    pub fn capture_external_with_faults(
+        net: &Benes,
+        perm: &Permutation,
+        settings: &SwitchSettings,
+        faults: &FaultSet,
+    ) -> Result<Self, NetworkError> {
+        assert_eq!(faults.n(), net.n(), "fault set order must match the network");
+        if settings.n() != net.n() {
+            return Err(NetworkError::SettingsOrder {
+                network_n: net.n(),
+                settings_n: settings.n(),
+            });
+        }
+        Self::capture(net, perm, TraceMode::External, Some(settings), Some(faults))
     }
 
     /// Traces a pass of `perm`'s tags with externally supplied settings.
@@ -70,7 +137,7 @@ impl RouteTrace {
                 settings_n: settings.n(),
             });
         }
-        Self::capture(net, perm, TraceMode::External, Some(settings))
+        Self::capture(net, perm, TraceMode::External, Some(settings), None)
     }
 
     fn capture(
@@ -78,6 +145,7 @@ impl RouteTrace {
         perm: &Permutation,
         mode: TraceMode,
         external: Option<&SwitchSettings>,
+        faults: Option<&FaultSet>,
     ) -> Result<Self, NetworkError> {
         if perm.len() != net.terminal_count() {
             return Err(NetworkError::PermutationLength {
@@ -95,13 +163,17 @@ impl RouteTrace {
         let (outputs, settings) = net.propagate(tags, |s, i, upper, lower| {
             stage_inputs[s][2 * i] = *upper;
             stage_inputs[s][2 * i + 1] = *lower;
-            match (mode, external) {
+            let commanded = match (mode, external) {
                 (TraceMode::External, Some(ext)) => ext.get(s, i),
                 _ if s < forced_straight => SwitchState::Straight,
                 _ => SwitchState::from_bit(benes_bits::bit(
                     u64::from(*upper),
                     net.control_bit(s),
                 )),
+            };
+            match faults {
+                Some(f) => f.effective_state(s, i, commanded),
+                None => commanded,
             }
         });
         Ok(Self { n: net.n(), mode, stage_inputs, settings, outputs })

@@ -22,10 +22,13 @@ use benes_core::faults::{
     realized_with_faults, self_route_omega_with_faults, self_route_with_faults,
     setup_avoiding, FaultError, FaultKind, FaultSet, FaultSetupError,
 };
+use benes_core::trace::RouteTrace;
 use benes_core::Benes;
+use benes_obs::FlightRecorder;
 use benes_perm::Permutation;
 
 use crate::cache::PlanCache;
+use crate::flightrec::{LadderStep, RouteAttempt};
 use crate::plan::{execute, plan, required_order, Fallback, Plan, PlanError, Tier};
 use crate::stats::{EngineStats, Recorder};
 
@@ -43,6 +46,9 @@ pub struct EngineConfig {
     pub cache_shards: usize,
     /// The expensive tier used for permutations outside `F(n) ∪ Ω(n)`.
     pub fallback: Fallback,
+    /// How many recent route attempts the flight recorder keeps
+    /// (rounded up to a power of two).
+    pub flight_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -53,6 +59,7 @@ impl Default for EngineConfig {
             cache_capacity: 1024,
             cache_shards: 8,
             fallback: Fallback::Waksman,
+            flight_capacity: 256,
         }
     }
 }
@@ -178,6 +185,9 @@ struct Shared {
     /// Fast-path flag: `false` means the registry is empty and workers
     /// skip the registry lock entirely.
     degraded: AtomicBool,
+    /// The last `K` route attempts, for post-mortems (`benes-cli obs
+    /// flightrec`). Writes never block a worker.
+    flight: FlightRecorder<RouteAttempt>,
 }
 
 impl Shared {
@@ -243,6 +253,7 @@ impl Engine {
             batch_size: config.batch_size,
             faults: Mutex::new(HashMap::new()),
             degraded: AtomicBool::new(false),
+            flight: FlightRecorder::new(config.flight_capacity),
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -369,6 +380,21 @@ impl Engine {
     pub fn fault_set(&self, n: u32) -> Option<Arc<FaultSet>> {
         self.shared.fault_set(n)
     }
+
+    /// The most recent route attempts from the flight recorder, newest
+    /// first, at most `k`. Failed attempts carry the full per-stage
+    /// [`RouteTrace`] of the plan that misrouted.
+    #[must_use]
+    pub fn flight_records(&self, k: usize) -> Vec<RouteAttempt> {
+        self.shared.flight.recent(k)
+    }
+
+    /// How many flight records were dropped because their ring slot was
+    /// contended at write time (the recorder never blocks a worker).
+    #[must_use]
+    pub fn flight_dropped(&self) -> u64 {
+        self.shared.flight.dropped()
+    }
 }
 
 impl Drop for Engine {
@@ -418,6 +444,10 @@ fn worker_loop(shared: &Shared) {
                 }
                 q = shared.available.wait(q).unwrap_or_else(PoisonError::into_inner);
             }
+            // Sample the depth on dequeue too, not just on submit: the
+            // mark must reflect the deepest backlog a worker ever *saw*,
+            // including jobs that piled up while every worker was busy.
+            shared.recorder.note_queue_depth(q.jobs.len() as u64);
             let take = shared.batch_size.min(q.jobs.len());
             q.jobs.drain(..take).collect()
         };
@@ -429,20 +459,31 @@ fn worker_loop(shared: &Shared) {
             // kills the worker with the rest of its drained batch
             // un-replied, and the queued tickets behind it can block
             // forever. `nets` only memoizes immutable topologies, so
-            // observing it after an unwind is sound.
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                serve_one(shared, &mut nets, &job.perm)
-            }))
-            .unwrap_or(Err(EngineError::JobPanicked));
+            // observing it after an unwind is sound. The flight record
+            // is built *outside* the unwind boundary so a panic still
+            // leaves its partial ladder in the ring.
+            let mut attempt = RouteAttempt::new(job.perm.fingerprint(), job.perm.len());
+            let served = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                serve_one(shared, &mut nets, &job.perm, &mut attempt)
+            }));
+            let result = match served {
+                Ok(r) => r,
+                Err(_) => {
+                    attempt.step(LadderStep::Panicked);
+                    Err(EngineError::JobPanicked)
+                }
+            };
             if result.is_ok() {
                 shared.recorder.note_completed();
             } else {
                 shared.recorder.note_failed();
             }
             let latency = job.submitted_at.elapsed();
-            shared
-                .recorder
-                .note_latency_ns(latency.as_nanos().min(u128::from(u64::MAX)) as u64);
+            let latency_ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+            shared.recorder.note_latency_ns(latency_ns, result.as_ref().ok().copied());
+            attempt.result = Some(result.clone());
+            attempt.phases.total = latency_ns;
+            shared.flight.record(attempt);
             // A dropped ticket just means the caller stopped listening.
             // analyze:allow(discarded-result): caller hung up
             let _ = job.reply.send(RequestOutcome { result, latency });
@@ -482,14 +523,63 @@ fn execute_on_fabric(
     }
 }
 
+/// `start.elapsed()` as saturating nanoseconds.
+fn elapsed_ns(start: Instant) -> u64 {
+    start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+/// Captures the full per-stage trace of `plan` routing `d` over the
+/// fabric as it is (`faults` applied when present) — the post-mortem
+/// evidence attached to a failed flight record. For a two-pass plan the
+/// first failing pass is traced. Returns `None` only if the trace
+/// capture itself rejects the inputs (it never should for a plan the
+/// engine just executed).
+fn capture_trace(
+    net: &Benes,
+    d: &Permutation,
+    plan: &Plan,
+    faults: Option<&FaultSet>,
+) -> Option<RouteTrace> {
+    let faults = faults.filter(|f| !f.is_empty());
+    match (plan, faults) {
+        (Plan::SelfRoute, None) => RouteTrace::capture_self_route(net, d).ok(),
+        (Plan::SelfRoute, Some(f)) => {
+            RouteTrace::capture_self_route_with_faults(net, d, f).ok()
+        }
+        (Plan::OmegaBit, None) => RouteTrace::capture_omega(net, d).ok(),
+        (Plan::OmegaBit, Some(f)) => RouteTrace::capture_omega_with_faults(net, d, f).ok(),
+        (Plan::Settings(s), None) => RouteTrace::capture_external(net, d, s).ok(),
+        (Plan::Settings(s), Some(f)) => {
+            RouteTrace::capture_external_with_faults(net, d, s, f).ok()
+        }
+        (Plan::TwoPass { first, second }, f) => {
+            let pass1 = match f {
+                Some(f) => {
+                    RouteTrace::capture_self_route_with_faults(net, first, f).ok()?
+                }
+                None => RouteTrace::capture_self_route(net, first).ok()?,
+            };
+            if !pass1.is_success() {
+                return Some(pass1);
+            }
+            match f {
+                Some(f) => RouteTrace::capture_omega_with_faults(net, second, f).ok(),
+                None => RouteTrace::capture_omega(net, second).ok(),
+            }
+        }
+    }
+}
+
 /// Serves one request: cache lookup, then tier planning, execution, and
 /// cache fill — and, when execution fails with faults registered, the
 /// fault-tolerance ladder: detect → evict → re-plan around the faults →
-/// bounded retry. Every path verifies the realized routing.
+/// bounded retry. Every path verifies the realized routing. Each
+/// decision is mirrored into `attempt`, the request's flight record.
 fn serve_one(
     shared: &Shared,
     nets: &mut HashMap<u32, Benes>,
     perm: &Permutation,
+    attempt: &mut RouteAttempt,
 ) -> Result<Tier, EngineError> {
     #[cfg(test)]
     test_hooks::maybe_panic(perm);
@@ -498,9 +588,11 @@ fn serve_one(
     let net = nets.entry(n).or_insert_with(|| Benes::new(n));
     let faults = shared.fault_set(n);
 
+    let cache_started = Instant::now();
     match shared.cache.get(perm) {
         Some(cached) => {
             shared.recorder.note_cache(true);
+            attempt.step(LadderStep::CacheHit);
             // A cached explicit-settings plan is validated against the
             // fault registry *statically*: insert time already proved it
             // realizes `perm` on a healthy fabric, so if every stuck
@@ -514,6 +606,7 @@ fn serve_one(
                     let agrees = f.agrees_with(settings);
                     if agrees {
                         shared.recorder.note_static_validation();
+                        attempt.step(LadderStep::StaticValidated);
                     }
                     agrees
                 }
@@ -521,6 +614,7 @@ fn serve_one(
             };
             if valid {
                 shared.recorder.note_tier(Tier::Cached);
+                attempt.phases.cache = elapsed_ns(cache_started);
                 return Ok(Tier::Cached);
             }
             // The cache verifies permutation equality on lookup, so a
@@ -528,13 +622,25 @@ fn serve_one(
             // for a fabric that has since degraded). Evict it: leaving
             // it in place makes every future request re-pay the failure.
             shared.cache.invalidate(perm);
+            attempt.step(LadderStep::CacheEvicted);
         }
-        None => shared.recorder.note_cache(false),
+        None => {
+            shared.recorder.note_cache(false);
+            attempt.step(LadderStep::CacheMiss);
+        }
     }
+    attempt.phases.cache = elapsed_ns(cache_started);
 
+    let plan_started = Instant::now();
     let fresh = plan(perm, shared.fallback)?;
+    attempt.phases.plan = elapsed_ns(plan_started);
     let tier = fresh.tier();
-    if execute_on_fabric(net, perm, &fresh, faults.as_deref()) {
+    attempt.step(LadderStep::Planned(tier));
+    let execute_started = Instant::now();
+    let executed = execute_on_fabric(net, perm, &fresh, faults.as_deref());
+    attempt.phases.execute = elapsed_ns(execute_started);
+    attempt.step(LadderStep::Executed { ok: executed });
+    if executed {
         if fresh.is_cacheable() {
             shared.cache.insert(perm, Arc::new(fresh));
         }
@@ -542,24 +648,50 @@ fn serve_one(
         return Ok(tier);
     }
 
-    // Execution failed. On a healthy fabric that is an engine bug —
-    // report it as before. With faults registered it is the expected
-    // signature of a damaged switch: enter the reroute ladder.
+    // Execution failed: freeze the evidence. The trace replays the
+    // failing plan over the exact fabric the worker executed on, so the
+    // flight record can show *where* the routing went wrong, stage by
+    // stage.
+    attempt.trace = capture_trace(net, perm, &fresh, faults.as_deref());
+
+    // On a healthy fabric a failed execution is an engine bug — report
+    // it as before. With faults registered it is the expected signature
+    // of a damaged switch: enter the reroute ladder.
     if faults.is_none() {
         return Err(EngineError::Misrouted);
     }
     shared.recorder.note_fault_detected();
+    attempt.step(LadderStep::FaultDetected);
+    let reroute_started = Instant::now();
+    let rerouted = fault_ladder(shared, net, perm, &fresh, tier, attempt);
+    attempt.phases.reroute = elapsed_ns(reroute_started);
+    rerouted
+}
 
-    for _attempt in 0..=MAX_FAULT_RETRIES {
+/// The bounded fault-reroute ladder: re-read the registry, plan around
+/// the current faults, verify, retry on registry churn.
+fn fault_ladder(
+    shared: &Shared,
+    net: &Benes,
+    perm: &Permutation,
+    fresh: &Plan,
+    tier: Tier,
+    attempt: &mut RouteAttempt,
+) -> Result<Tier, EngineError> {
+    let n = net.n();
+    for _retry in 0..=MAX_FAULT_RETRIES {
         // Re-read the registry every attempt: concurrent injection or
         // healing changes what must be avoided.
         let current = match shared.fault_set(n) {
             Some(f) => f,
             None => {
                 // Healed mid-flight: the fresh plan is valid again.
-                if execute_on_fabric(net, perm, &fresh, None) {
+                attempt.step(LadderStep::Healed);
+                let healed = execute_on_fabric(net, perm, fresh, None);
+                attempt.step(LadderStep::Executed { ok: healed });
+                if healed {
                     if fresh.is_cacheable() {
-                        shared.cache.insert(perm, Arc::new(fresh));
+                        shared.cache.insert(perm, Arc::new(fresh.clone()));
                     }
                     shared.recorder.note_reroute(true);
                     shared.recorder.note_tier(tier);
@@ -572,7 +704,9 @@ fn serve_one(
         match setup_avoiding(perm, &current) {
             Ok(settings) => {
                 let avoiding = Plan::Settings(settings);
-                if execute_on_fabric(net, perm, &avoiding, Some(&current)) {
+                let ok = execute_on_fabric(net, perm, &avoiding, Some(&current));
+                attempt.step(LadderStep::Replanned { ok });
+                if ok {
                     // The avoiding settings agree with every stuck
                     // switch, so the overlay is a no-op on them: they
                     // realize `perm` on the faulty fabric *and* after a
@@ -587,6 +721,7 @@ fn serve_one(
                 shared.recorder.note_fault_retry();
             }
             Err(FaultSetupError::Unavoidable) => {
+                attempt.step(LadderStep::Unavoidable);
                 shared.recorder.note_reroute(false);
                 return Err(EngineError::Unroutable);
             }
@@ -601,6 +736,7 @@ fn serve_one(
             }
         }
     }
+    attempt.step(LadderStep::RetryExhausted);
     shared.recorder.note_reroute(false);
     Err(EngineError::FaultDetected)
 }
@@ -977,7 +1113,77 @@ mod tests {
         assert!(stats.queue_high_water >= 1);
         assert_eq!(stats.submitted, 32);
         assert_eq!(stats.completed, 32);
-        assert!(stats.latency_max_ns >= stats.latency_min_ns);
-        assert!(stats.latency_mean_ns > 0);
+        assert!(stats.latency_max_ns() >= stats.latency_min_ns());
+        assert!(stats.latency_mean_ns() > 0);
+        assert_eq!(stats.latency.count(), 32, "every request lands in the histogram");
+        let served: u64 = stats.tier_latency.iter().map(|(_, h)| h.count()).sum();
+        assert_eq!(served, 32, "per-tier histograms partition the completions");
+    }
+
+    #[test]
+    fn flight_recorder_keeps_successful_attempts() {
+        let engine = Engine::new(EngineConfig { workers: 1, ..EngineConfig::default() });
+        let hard = hard_witness();
+        assert!(engine.submit(hard.clone()).wait().is_ok());
+        assert!(engine.submit(hard.clone()).wait().is_ok());
+        let records = engine.flight_records(16);
+        assert_eq!(records.len(), 2);
+        assert_eq!(engine.flight_dropped(), 0);
+        // Newest first: the cache replay, then the fresh Waksman plan.
+        assert_eq!(records[0].result, Some(Ok(Tier::Cached)));
+        assert!(records[0].ladder.contains(&crate::flightrec::LadderStep::CacheHit));
+        assert_eq!(records[1].result, Some(Ok(Tier::Waksman)));
+        assert!(records[1].ladder.contains(&crate::flightrec::LadderStep::CacheMiss));
+        assert!(records[1]
+            .ladder
+            .contains(&crate::flightrec::LadderStep::Planned(Tier::Waksman)));
+        for r in &records {
+            assert_eq!(r.fingerprint, hard.fingerprint());
+            assert_eq!(r.len, 8);
+            assert!(r.trace.is_none(), "successes carry no trace");
+            assert!(r.phases.total > 0);
+        }
+    }
+
+    #[test]
+    fn failed_attempt_flight_record_reproduces_the_route_trace() {
+        // Acceptance criterion: the flight recorder reproduces the full
+        // RouteTrace of a request that failed under an injected fault.
+        // A Dead switch is adversarial (applies the opposite of any
+        // command), so the hard witness's Waksman plan deterministically
+        // misroutes and no agreeing set-up exists: the ladder must end
+        // in Unroutable with the failing trace frozen in the record.
+        let n = 3u32;
+        let victim = hard_witness();
+        let mut faults = FaultSet::new(n);
+        faults.insert(0, 0, FaultKind::Dead).unwrap();
+
+        let engine = Engine::new(EngineConfig { workers: 1, ..EngineConfig::default() });
+        engine.set_faults(faults.clone());
+        let outcome = engine.submit(victim.clone()).wait();
+        assert_eq!(outcome.result, Err(EngineError::Unroutable));
+
+        let record = engine
+            .flight_records(16)
+            .into_iter()
+            .find(|r| r.fingerprint == victim.fingerprint())
+            .expect("failed attempt must be in the flight ring");
+        assert!(record.is_failure());
+        assert!(record.ladder.contains(&crate::flightrec::LadderStep::FaultDetected));
+        assert!(record.ladder.contains(&crate::flightrec::LadderStep::Unavoidable));
+
+        // The recorded trace is the *full* per-stage trace of the
+        // failing plan over the faulty fabric — bit-identical to a
+        // direct capture.
+        let trace = record.trace.as_ref().expect("failure carries a trace");
+        assert!(!trace.is_success(), "the trace shows the misroute");
+        assert!(!trace.misrouted().is_empty());
+        let net = Benes::new(n);
+        let fresh = crate::plan::plan(&victim, Fallback::Waksman).unwrap();
+        let direct = capture_trace(&net, &victim, &fresh, Some(&faults))
+            .expect("direct capture succeeds");
+        assert_eq!(*trace, direct);
+        // And it renders into the flight-record dump.
+        assert!(record.render().contains("failing-plan trace:"));
     }
 }

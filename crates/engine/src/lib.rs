@@ -23,8 +23,14 @@
 //!   re-plan-around-faults → bounded-retry ladder that keeps serving
 //!   through stuck switches;
 //! * [`stats`] — the **stats layer**: per-tier hit counters, cache
-//!   hit/miss, queue-depth high-water mark, latency min/mean/max, and
-//!   the degraded-mode fault/reroute counters;
+//!   hit/miss, queue-depth high-water mark, log-bucketed latency
+//!   histograms (overall, per tier, failed path) with p50/p90/p99/p999
+//!   quantiles, the degraded-mode fault/reroute counters, and a
+//!   Prometheus/JSON exposition ([`EngineStats::exposition`]);
+//! * [`flightrec`] — the **flight recorder**: every route attempt's
+//!   decision ladder, phase timings and (for failures) the full
+//!   per-stage [`benes_core::trace::RouteTrace`], kept in a bounded
+//!   non-blocking ring ([`Engine::flight_records`]);
 //! * [`workload`] — deterministic mixed workload generation (Table I
 //!   `BPC` + `Ω` members + hard permutations with repeats) for demos,
 //!   benchmarks and tests.
@@ -49,6 +55,7 @@
 
 pub mod cache;
 pub mod engine;
+pub mod flightrec;
 pub mod plan;
 pub mod stats;
 pub mod workload;
@@ -56,5 +63,6 @@ pub mod workload;
 pub use benes_core::faults::{FaultError, FaultKind, FaultSet};
 pub use cache::PlanCache;
 pub use engine::{Engine, EngineConfig, EngineError, RequestOutcome, Ticket};
+pub use flightrec::{LadderStep, PhaseNanos, RouteAttempt};
 pub use plan::{Fallback, Plan, PlanError, Tier};
 pub use stats::EngineStats;

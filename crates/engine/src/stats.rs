@@ -1,12 +1,24 @@
 //! The engine stats layer: lock-free counters recorded by the workers,
 //! snapshotted into a plain [`EngineStats`] struct for reporting.
 //!
-//! Everything is an atomic so the hot path never takes a lock for
-//! accounting: tier hits, cache hits/misses, the submission-queue
-//! high-water mark, and a min/mean/max latency sketch in nanoseconds
-//! (measured submit → completion with [`std::time::Instant`]).
+//! Everything is an atomic or a lock-free [`Histogram`] so the hot path
+//! never takes a lock for accounting: tier hits, cache hits/misses, the
+//! submission-queue high-water mark, and log-bucketed latency
+//! histograms (measured submit → completion with
+//! [`std::time::Instant`]) — one overall, one per planning tier, one
+//! for the failure path — answering p50/p90/p99/p999 instead of the
+//! old min/mean/max sketch.
+//!
+//! The internal recorder's snapshot *reconciles* its racy relaxed loads: the
+//! counters are loaded independently while workers keep counting, so
+//! without care a snapshot could show `completed + failed > submitted`
+//! or a latency mean above the max. Every such invariant is clamped
+//! here (or inside [`Histogram::snapshot`]) so downstream consumers
+//! never see an impossible snapshot.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+
+use benes_obs::{Exposition, Histogram, HistogramSnapshot, MetricKind, Sample};
 
 use crate::plan::Tier;
 
@@ -25,10 +37,9 @@ pub(crate) struct Recorder {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     queue_high_water: AtomicU64,
-    latency_min_ns: AtomicU64,
-    latency_max_ns: AtomicU64,
-    latency_sum_ns: AtomicU64,
-    latency_count: AtomicU64,
+    latency: Histogram,
+    tier_latency: [Histogram; Tier::ALL.len()],
+    failed_latency: Histogram,
     faults_injected: AtomicU64,
     faults_detected: AtomicU64,
     reroutes_succeeded: AtomicU64,
@@ -37,11 +48,19 @@ pub(crate) struct Recorder {
     static_validated: AtomicU64,
 }
 
+fn tier_index(tier: Tier) -> usize {
+    match tier {
+        Tier::Cached => 0,
+        Tier::SelfRoute => 1,
+        Tier::OmegaBit => 2,
+        Tier::Factored => 3,
+        Tier::Waksman => 4,
+    }
+}
+
 impl Recorder {
     pub(crate) fn new() -> Self {
-        let r = Self::default();
-        r.latency_min_ns.store(u64::MAX, Ordering::Relaxed);
-        r
+        Self::default()
     }
 
     pub(crate) fn note_submitted(&self) {
@@ -103,20 +122,30 @@ impl Recorder {
         self.static_validated.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn note_latency_ns(&self, ns: u64) {
-        self.latency_min_ns.fetch_min(ns, Ordering::Relaxed);
-        self.latency_max_ns.fetch_max(ns, Ordering::Relaxed);
-        self.latency_sum_ns.fetch_add(ns, Ordering::Relaxed);
-        self.latency_count.fetch_add(1, Ordering::Relaxed);
+    /// Records one submit→completion latency. `outcome` is the tier
+    /// that served the request, or `None` if it failed — the sample
+    /// lands in the overall histogram plus the matching path histogram.
+    pub(crate) fn note_latency_ns(&self, ns: u64, outcome: Option<Tier>) {
+        self.latency.record(ns);
+        match outcome {
+            Some(tier) => self.tier_latency[tier_index(tier)].record(ns),
+            None => self.failed_latency.record(ns),
+        }
     }
 
     pub(crate) fn snapshot(&self) -> EngineStats {
-        let count = self.latency_count.load(Ordering::Relaxed);
-        let min = self.latency_min_ns.load(Ordering::Relaxed);
+        // Load the terminal-state counters *before* `submitted`: every
+        // request is counted submitted before it can complete or fail,
+        // so loading in this order (plus the clamp below) guarantees the
+        // snapshot never reports completed + failed > submitted even
+        // while workers race us.
+        let completed = self.completed.load(Ordering::Relaxed);
+        let failed = self.failed.load(Ordering::Relaxed);
+        let submitted = self.submitted.load(Ordering::Relaxed).max(completed + failed);
         EngineStats {
-            submitted: self.submitted.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
-            failed: self.failed.load(Ordering::Relaxed),
+            submitted,
+            completed,
+            failed,
             cached: self.tier_cached.load(Ordering::Relaxed),
             self_route: self.tier_self_route.load(Ordering::Relaxed),
             omega_bit: self.tier_omega_bit.load(Ordering::Relaxed),
@@ -125,13 +154,12 @@ impl Recorder {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
-            latency_min_ns: if count == 0 { 0 } else { min },
-            latency_max_ns: self.latency_max_ns.load(Ordering::Relaxed),
-            latency_mean_ns: self
-                .latency_sum_ns
-                .load(Ordering::Relaxed)
-                .checked_div(count)
-                .unwrap_or(0),
+            latency: self.latency.snapshot(),
+            tier_latency: Tier::ALL
+                .iter()
+                .map(|&t| (t, self.tier_latency[tier_index(t)].snapshot()))
+                .collect(),
+            failed_latency: self.failed_latency.snapshot(),
             faults_injected: self.faults_injected.load(Ordering::Relaxed),
             faults_detected: self.faults_detected.load(Ordering::Relaxed),
             reroutes_succeeded: self.reroutes_succeeded.load(Ordering::Relaxed),
@@ -142,12 +170,19 @@ impl Recorder {
     }
 }
 
-/// A point-in-time snapshot of the engine's counters.
+/// The quantiles every latency report and exposition answers.
+const QUANTILES: [(f64, &str); 4] =
+    [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99"), (0.999, "0.999")];
+
+/// A point-in-time snapshot of the engine's counters and latency
+/// histograms.
 ///
-/// Obtained from [`crate::Engine::stats`]; all fields are plain numbers
-/// so the snapshot is trivially serializable, diffable and printable
-/// (see [`EngineStats::report`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Obtained from [`crate::Engine::stats`]; the counters are plain
+/// numbers and the latency distributions are
+/// [`HistogramSnapshot`]s, so the snapshot is diffable, printable
+/// (see [`EngineStats::report`]) and exportable (see
+/// [`EngineStats::exposition`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct EngineStats {
     /// Requests accepted into the queue.
     pub submitted: u64,
@@ -169,14 +204,17 @@ pub struct EngineStats {
     pub cache_hits: u64,
     /// Plan-cache lookups that missed (or collided).
     pub cache_misses: u64,
-    /// The deepest the submission queue ever got.
+    /// The deepest the submission queue ever got (sampled on both
+    /// submit and worker dequeue).
     pub queue_high_water: u64,
-    /// Fastest submit→completion latency observed, nanoseconds.
-    pub latency_min_ns: u64,
-    /// Slowest submit→completion latency observed, nanoseconds.
-    pub latency_max_ns: u64,
-    /// Mean submit→completion latency, nanoseconds.
-    pub latency_mean_ns: u64,
+    /// Submit→completion latency distribution over all requests,
+    /// nanoseconds.
+    pub latency: HistogramSnapshot,
+    /// Latency distribution per planning tier, in [`Tier::ALL`] order
+    /// (only completed requests land here).
+    pub tier_latency: Vec<(Tier, HistogramSnapshot)>,
+    /// Latency distribution of failed requests.
+    pub failed_latency: HistogramSnapshot,
     /// Switch faults registered through the injection API.
     pub faults_injected: u64,
     /// Requests whose execution failed while faults were registered
@@ -195,6 +233,36 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
+    /// Fastest submit→completion latency observed, nanoseconds.
+    #[must_use]
+    pub fn latency_min_ns(&self) -> u64 {
+        self.latency.min()
+    }
+
+    /// Slowest submit→completion latency observed, nanoseconds.
+    #[must_use]
+    pub fn latency_max_ns(&self) -> u64 {
+        self.latency.max()
+    }
+
+    /// Mean submit→completion latency, nanoseconds (always inside
+    /// `[min, max]`).
+    #[must_use]
+    pub fn latency_mean_ns(&self) -> u64 {
+        self.latency.mean()
+    }
+
+    /// The latency distribution of one tier (empty snapshot if the
+    /// tier never served).
+    #[must_use]
+    pub fn tier_latency(&self, tier: Tier) -> HistogramSnapshot {
+        self.tier_latency
+            .iter()
+            .find(|(t, _)| *t == tier)
+            .map(|(_, s)| s.clone())
+            .unwrap_or_default()
+    }
+
     /// The fraction of cache lookups that hit, in `[0, 1]` (0 when no
     /// lookups happened).
     #[must_use]
@@ -260,9 +328,37 @@ impl EngineStats {
         ));
         out.push_str(&format!("queue depth high-water mark: {}\n", self.queue_high_water));
         out.push_str(&format!(
-            "latency (ns): min {} / mean {} / max {}\n",
-            self.latency_min_ns, self.latency_mean_ns, self.latency_max_ns
+            "latency (ns): min {} / p50 {} / p90 {} / p99 {} / p999 {} / mean {} / max {}\n",
+            self.latency.min(),
+            self.latency.quantile(0.5),
+            self.latency.quantile(0.9),
+            self.latency.quantile(0.99),
+            self.latency.quantile(0.999),
+            self.latency.mean(),
+            self.latency.max(),
         ));
+        let served: Vec<_> =
+            self.tier_latency.iter().filter(|(_, s)| !s.is_empty()).collect();
+        if !served.is_empty() {
+            out.push_str("per-tier latency (ns):\n");
+            for (tier, s) in served {
+                out.push_str(&format!(
+                    "  {:<11} p50 {} / p99 {} ({} requests)\n",
+                    tier.name(),
+                    s.quantile(0.5),
+                    s.quantile(0.99),
+                    s.count()
+                ));
+            }
+        }
+        if !self.failed_latency.is_empty() {
+            out.push_str(&format!(
+                "failed-path latency (ns): p50 {} / p99 {} ({} requests)\n",
+                self.failed_latency.quantile(0.5),
+                self.failed_latency.quantile(0.99),
+                self.failed_latency.count()
+            ));
+        }
         if self.is_degraded() {
             out.push_str("degraded mode (fault activity observed):\n");
             out.push_str(&format!("  faults injected    {}\n", self.faults_injected));
@@ -279,6 +375,110 @@ impl EngineStats {
         }
         out
     }
+
+    /// The full metrics snapshot as a [`benes_obs::Exposition`], ready
+    /// to render as Prometheus text or JSON (see `benes-cli obs` and
+    /// the `obs_service` example).
+    #[must_use]
+    pub fn exposition(&self) -> Exposition {
+        let mut e = Exposition::new();
+        e.describe(
+            "benes_requests_total",
+            MetricKind::Counter,
+            "Requests by terminal state.",
+        );
+        for (state, v) in [
+            ("submitted", self.submitted),
+            ("completed", self.completed),
+            ("failed", self.failed),
+        ] {
+            e.push(Sample::new("benes_requests_total", v as f64).label("state", state));
+        }
+        e.describe(
+            "benes_tier_total",
+            MetricKind::Counter,
+            "Requests served per planning tier.",
+        );
+        for (tier, v) in [
+            (Tier::Cached, self.cached),
+            (Tier::SelfRoute, self.self_route),
+            (Tier::OmegaBit, self.omega_bit),
+            (Tier::Factored, self.factored),
+            (Tier::Waksman, self.waksman),
+        ] {
+            e.push(Sample::new("benes_tier_total", v as f64).label("tier", tier.name()));
+        }
+        e.describe(
+            "benes_cache_total",
+            MetricKind::Counter,
+            "Plan-cache lookups by result.",
+        );
+        e.push(
+            Sample::new("benes_cache_total", self.cache_hits as f64).label("result", "hit"),
+        );
+        e.push(
+            Sample::new("benes_cache_total", self.cache_misses as f64)
+                .label("result", "miss"),
+        );
+        e.describe(
+            "benes_queue_high_water",
+            MetricKind::Gauge,
+            "Deepest observed submission-queue depth.",
+        );
+        e.push(Sample::new("benes_queue_high_water", self.queue_high_water as f64));
+        e.describe(
+            "benes_zero_setup_rate",
+            MetricKind::Gauge,
+            "Fraction of completed requests served with zero set-up.",
+        );
+        e.push(Sample::new("benes_zero_setup_rate", self.zero_setup_rate()));
+        e.describe(
+            "benes_faults_total",
+            MetricKind::Counter,
+            "Fault-tolerance events by kind.",
+        );
+        for (event, v) in [
+            ("injected", self.faults_injected),
+            ("detected", self.faults_detected),
+            ("reroute_succeeded", self.reroutes_succeeded),
+            ("reroute_failed", self.reroutes_failed),
+            ("retry", self.fault_retries),
+            ("static_validated", self.static_validated),
+        ] {
+            e.push(Sample::new("benes_faults_total", v as f64).label("event", event));
+        }
+        e.describe(
+            "benes_latency_ns",
+            MetricKind::Summary,
+            "Submit-to-completion latency quantiles per path, nanoseconds.",
+        );
+        push_latency(&mut e, "all", &self.latency);
+        for (tier, s) in &self.tier_latency {
+            if !s.is_empty() {
+                push_latency(&mut e, tier.name(), s);
+            }
+        }
+        if !self.failed_latency.is_empty() {
+            push_latency(&mut e, "failed", &self.failed_latency);
+        }
+        e
+    }
+}
+
+/// Emits one latency summary family (`quantile` samples plus
+/// `_sum`/`_count`/`_min`/`_max`) labelled with its `path`.
+fn push_latency(e: &mut Exposition, path: &str, s: &HistogramSnapshot) {
+    for (q, label) in QUANTILES {
+        e.push(
+            Sample::new("benes_latency_ns", s.quantile(q) as f64)
+                .label("path", path)
+                .label("quantile", label),
+        );
+    }
+    e.push(Sample::new("benes_latency_ns_sum", s.sum() as f64).label("path", path));
+    e.push(Sample::new("benes_latency_ns_count", s.count() as f64).label("path", path));
+    e.push(Sample::new("benes_latency_ns_min", s.min() as f64).label("path", path));
+    e.push(Sample::new("benes_latency_ns_max", s.max() as f64).label("path", path));
 }
 
 impl std::fmt::Display for EngineStats {
@@ -295,7 +495,13 @@ mod tests {
     fn empty_recorder_snapshots_to_zeros() {
         let r = Recorder::new();
         let s = r.snapshot();
-        assert_eq!(s, EngineStats::default());
+        assert_eq!(s.submitted, 0);
+        assert_eq!(s.latency_min_ns(), 0);
+        assert_eq!(s.latency_max_ns(), 0);
+        assert_eq!(s.latency_mean_ns(), 0);
+        assert!(s.latency.is_empty());
+        assert!(s.failed_latency.is_empty());
+        assert!(s.tier_latency.iter().all(|(_, h)| h.is_empty()));
         assert_eq!(s.cache_hit_rate(), 0.0);
         assert_eq!(s.zero_setup_rate(), 0.0);
     }
@@ -315,8 +521,8 @@ mod tests {
         r.note_queue_depth(3);
         r.note_queue_depth(7);
         r.note_queue_depth(5);
-        r.note_latency_ns(100);
-        r.note_latency_ns(300);
+        r.note_latency_ns(100, Some(Tier::SelfRoute));
+        r.note_latency_ns(300, None);
         let s = r.snapshot();
         assert_eq!(s.submitted, 2);
         assert_eq!(s.completed, 1);
@@ -327,9 +533,15 @@ mod tests {
         assert_eq!(s.cache_hits, 1);
         assert_eq!(s.cache_misses, 1);
         assert_eq!(s.queue_high_water, 7);
-        assert_eq!(s.latency_min_ns, 100);
-        assert_eq!(s.latency_max_ns, 300);
-        assert_eq!(s.latency_mean_ns, 200);
+        assert_eq!(s.latency_min_ns(), 100);
+        assert_eq!(s.latency_max_ns(), 300);
+        assert_eq!(s.latency_mean_ns(), 200);
+        assert_eq!(s.latency.count(), 2);
+        assert_eq!(s.tier_latency(Tier::SelfRoute).count(), 1);
+        assert_eq!(s.tier_latency(Tier::SelfRoute).max(), 100);
+        assert!(s.tier_latency(Tier::Waksman).is_empty());
+        assert_eq!(s.failed_latency.count(), 1);
+        assert_eq!(s.failed_latency.min(), 300);
         assert_eq!(s.cache_hit_rate(), 0.5);
     }
 
@@ -340,6 +552,22 @@ mod tests {
         for tier in crate::plan::Tier::ALL {
             assert!(text.contains(tier.name()), "report missing tier {tier}");
         }
+    }
+
+    #[test]
+    fn report_carries_per_tier_quantiles() {
+        let r = Recorder::new();
+        for ns in [100, 110, 120] {
+            r.note_latency_ns(ns, Some(Tier::SelfRoute));
+        }
+        for ns in [90_000, 100_000] {
+            r.note_latency_ns(ns, Some(Tier::Waksman));
+        }
+        r.note_latency_ns(5_000, None);
+        let text = r.snapshot().report();
+        assert!(text.contains("per-tier latency"));
+        assert!(text.contains("p999"), "overall line reports the far tail");
+        assert!(text.contains("failed-path latency"));
     }
 
     #[test]
@@ -367,5 +595,114 @@ mod tests {
         assert!(text.contains("degraded mode"));
         assert!(text.contains("2 succeeded / 1 failed"));
         assert!(text.contains("static validations 2"));
+    }
+
+    #[test]
+    fn tier_latencies_stay_separated() {
+        let r = Recorder::new();
+        for ns in [50, 60, 70] {
+            r.note_latency_ns(ns, Some(Tier::SelfRoute));
+        }
+        for ns in [40_000, 50_000, 60_000] {
+            r.note_latency_ns(ns, Some(Tier::Waksman));
+        }
+        let s = r.snapshot();
+        let fast = s.tier_latency(Tier::SelfRoute);
+        let slow = s.tier_latency(Tier::Waksman);
+        assert!(fast.quantile(0.5) < slow.quantile(0.5));
+        assert!(fast.quantile(0.99) < slow.quantile(0.99));
+        assert_eq!(s.latency.count(), 6, "overall histogram sees every sample");
+    }
+
+    /// Regression for the snapshot consistency race: `snapshot()` loads
+    /// each counter independently while workers keep counting, so a
+    /// completion landing between the loads used to produce
+    /// `completed + failed > submitted`. The load order plus clamp must
+    /// hold the invariant under any interleaving.
+    #[test]
+    fn concurrent_snapshots_never_show_more_terminal_than_submitted() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let r = Arc::new(Recorder::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers: Vec<_> = (0..2)
+            .map(|w| {
+                let r = Arc::clone(&r);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        r.note_submitted();
+                        if (i + w).is_multiple_of(16) {
+                            r.note_failed();
+                        } else {
+                            r.note_completed();
+                        }
+                        r.note_latency_ns(i % 1_000 + 1, Some(Tier::SelfRoute));
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..2_000 {
+            let s = r.snapshot();
+            assert!(
+                s.completed + s.failed <= s.submitted,
+                "terminal counts exceed submitted: {} + {} > {}",
+                s.completed,
+                s.failed,
+                s.submitted
+            );
+            if !s.latency.is_empty() {
+                assert!(s.latency_min_ns() <= s.latency_mean_ns());
+                assert!(s.latency_mean_ns() <= s.latency_max_ns());
+                assert!(s.latency_min_ns() != u64::MAX, "min sentinel leaked");
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in workers {
+            w.join().expect("worker panicked");
+        }
+    }
+
+    /// The high-water mark is a `fetch_max`: feeding lower depths later
+    /// (as the dequeue-side sampling does constantly) must never move
+    /// it down.
+    #[test]
+    fn queue_high_water_is_monotone() {
+        let r = Recorder::new();
+        let mut last = 0;
+        for depth in [3u64, 9, 1, 0, 9, 4, 12, 2] {
+            r.note_queue_depth(depth);
+            let now = r.snapshot().queue_high_water;
+            assert!(now >= last, "high water dropped from {last} to {now}");
+            assert!(now >= depth.min(now));
+            last = now;
+        }
+        assert_eq!(last, 12);
+    }
+
+    #[test]
+    fn exposition_round_trips_through_both_parsers() {
+        let r = Recorder::new();
+        r.note_submitted();
+        r.note_completed();
+        r.note_tier(Tier::Waksman);
+        r.note_cache(false);
+        r.note_queue_depth(4);
+        r.note_latency_ns(1_500, Some(Tier::Waksman));
+        r.note_latency_ns(90, Some(Tier::SelfRoute));
+        r.note_latency_ns(70_000, None);
+        let e = r.snapshot().exposition();
+        let text = e.to_prometheus();
+        assert!(text.contains("# TYPE benes_requests_total counter"));
+        assert!(text.contains("benes_tier_total{tier=\"waksman\"} 1"));
+        assert!(text.contains("benes_latency_ns{path=\"all\",quantile=\"0.99\"}"));
+        assert!(text.contains("path=\"failed\""));
+        let from_text = benes_obs::parse_prometheus(&text).expect("own text must parse");
+        assert_eq!(from_text, e.samples());
+        let from_json = benes_obs::parse_json(&e.to_json()).expect("own JSON must parse");
+        assert_eq!(from_json, e.samples());
     }
 }

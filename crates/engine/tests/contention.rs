@@ -117,7 +117,8 @@ fn mixed_workload_1000_requests_on_four_workers() {
         1000,
         "every request lands in exactly one tier"
     );
-    assert!(stats.latency_max_ns >= stats.latency_min_ns);
+    assert!(stats.latency_max_ns() >= stats.latency_min_ns());
+    assert_eq!(stats.latency.count(), 1000, "every request lands in the histogram");
     assert!(stats.queue_high_water > 0);
 }
 

@@ -1,0 +1,536 @@
+//! Metrics exposition: Prometheus text format and JSON, with parsers.
+//!
+//! An [`Exposition`] is an ordered list of [`Sample`]s (name, labels,
+//! value) plus optional per-metric metadata (`# HELP` / `# TYPE`
+//! lines). Both output formats are paired with a parser so a scrape
+//! round-trips in tests — the exposition a service emits is provably
+//! machine-readable, not just eyeballed.
+//!
+//! The build environment is fully offline, so both encoders and both
+//! parsers are self-contained here (the vendored `serde_json` stub has
+//! no map type in its data model; JSON objects are hand-rolled).
+
+/// One exposed metric sample: a name, zero or more `key="value"`
+/// labels, and a numeric value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The metric name (`[a-zA-Z_][a-zA-Z0-9_]*`).
+    pub name: String,
+    /// Label pairs, in exposition order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// A sample with no labels.
+    #[must_use]
+    pub fn new(name: impl Into<String>, value: f64) -> Self {
+        Self { name: name.into(), labels: Vec::new(), value }
+    }
+
+    /// Adds one label pair (builder style).
+    #[must_use]
+    pub fn label(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.labels.push((key.into(), value.into()));
+        self
+    }
+}
+
+/// The Prometheus metric kind announced on a `# TYPE` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing count.
+    Counter,
+    /// Point-in-time value.
+    Gauge,
+    /// Pre-computed quantiles plus `_sum` / `_count`.
+    Summary,
+}
+
+impl MetricKind {
+    fn name(self) -> &'static str {
+        match self {
+            Self::Counter => "counter",
+            Self::Gauge => "gauge",
+            Self::Summary => "summary",
+        }
+    }
+}
+
+/// Per-metric metadata: kind and help text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Meta {
+    name: String,
+    kind: MetricKind,
+    help: String,
+}
+
+/// An ordered collection of samples plus metadata, renderable as
+/// Prometheus text or JSON.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Exposition {
+    samples: Vec<Sample>,
+    meta: Vec<Meta>,
+}
+
+impl Exposition {
+    /// An empty exposition.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares metadata for `name` (emitted as `# HELP` / `# TYPE`
+    /// ahead of its first sample).
+    pub fn describe(
+        &mut self,
+        name: impl Into<String>,
+        kind: MetricKind,
+        help: impl Into<String>,
+    ) {
+        self.meta.push(Meta { name: name.into(), kind, help: help.into() });
+    }
+
+    /// Appends one sample.
+    pub fn push(&mut self, sample: Sample) {
+        self.samples.push(sample);
+    }
+
+    /// The samples, in exposition order.
+    #[must_use]
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Renders the Prometheus text exposition format (version 0.0.4).
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut announced: Vec<&str> = Vec::new();
+        for sample in &self.samples {
+            if !announced.contains(&sample.name.as_str()) {
+                announced.push(&sample.name);
+                if let Some(meta) = self.meta.iter().find(|m| sample.name == m.name) {
+                    out.push_str(&format!("# HELP {} {}\n", meta.name, meta.help));
+                    out.push_str(&format!("# TYPE {} {}\n", meta.name, meta.kind.name()));
+                }
+            }
+            out.push_str(&sample.name);
+            if !sample.labels.is_empty() {
+                out.push('{');
+                for (i, (k, v)) in sample.labels.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("{k}=\"{}\"", escape(v)));
+                }
+                out.push('}');
+            }
+            out.push_str(&format!(" {}\n", format_value(sample.value)));
+        }
+        out
+    }
+
+    /// Renders a JSON array of `{"name", "labels", "value"}` objects.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, sample) in self.samples.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"name\":\"{}\",\"labels\":{{", escape(&sample.name)));
+            for (j, (k, v)) in sample.labels.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":\"{}\"", escape(k), escape(v)));
+            }
+            out.push_str(&format!("}},\"value\":{}}}", format_value(sample.value)));
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Renders integers without a trailing `.0` so counters stay integral
+/// through a round trip; everything else uses the shortest `f64` form.
+fn format_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64) // analyze:allow(truncating-cast): integral and within i64 range
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Error produced by [`parse_prometheus`] or [`parse_json`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong, with enough context to find the offending text.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "exposition parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(message: impl Into<String>) -> ParseError {
+    ParseError { message: message.into() }
+}
+
+/// Parses Prometheus text exposition back into samples (comment and
+/// metadata lines are skipped; label order is preserved).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first malformed line.
+pub fn parse_prometheus(text: &str) -> Result<Vec<Sample>, ParseError> {
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        samples.push(parse_prometheus_line(line)?);
+    }
+    Ok(samples)
+}
+
+fn parse_prometheus_line(line: &str) -> Result<Sample, ParseError> {
+    // Split name+labels from the value at the *last* `}`: label values
+    // may legally contain unescaped braces.
+    let (name_and_labels, value_str) = match line.rfind('}') {
+        Some(close) => {
+            let (head, tail) = line.split_at(close + 1);
+            (head, tail.trim())
+        }
+        None => {
+            line.split_once(' ').ok_or_else(|| err(format!("no value on line `{line}`")))?
+        }
+    };
+    let value: f64 = value_str
+        .trim()
+        .parse()
+        .map_err(|_| err(format!("bad value `{value_str}` on line `{line}`")))?;
+    let (name, labels) = match name_and_labels.split_once('{') {
+        None => (name_and_labels.trim().to_string(), Vec::new()),
+        Some((name, rest)) => {
+            let body = rest
+                .strip_suffix('}')
+                .ok_or_else(|| err(format!("unterminated labels on line `{line}`")))?;
+            (name.trim().to_string(), parse_label_body(body, line)?)
+        }
+    };
+    if name.is_empty() {
+        return Err(err(format!("empty metric name on line `{line}`")));
+    }
+    Ok(Sample { name, labels, value })
+}
+
+fn parse_label_body(body: &str, line: &str) -> Result<Vec<(String, String)>, ParseError> {
+    let mut labels = Vec::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        // Skip separators and detect the end.
+        while matches!(chars.peek(), Some(&',') | Some(&' ')) {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            return Ok(labels);
+        }
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if chars.next() != Some('"') {
+            return Err(err(format!("label `{key}` missing opening quote on `{line}`")));
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => {
+                        return Err(err(format!("bad escape `\\{other:?}` on `{line}`")))
+                    }
+                },
+                Some('"') => break,
+                Some(c) => value.push(c),
+                None => return Err(err(format!("unterminated label value on `{line}`"))),
+            }
+        }
+        labels.push((key.trim().to_string(), value));
+    }
+}
+
+/// Parses the JSON array produced by [`Exposition::to_json`] back into
+/// samples.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on any malformed JSON.
+pub fn parse_json(text: &str) -> Result<Vec<Sample>, ParseError> {
+    let mut p = JsonParser { chars: text.char_indices().peekable(), text };
+    p.skip_ws();
+    p.expect('[')?;
+    let mut samples = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(']') {
+        p.next();
+        return Ok(samples);
+    }
+    loop {
+        samples.push(p.object_sample()?);
+        p.skip_ws();
+        match p.next() {
+            Some(',') => continue,
+            Some(']') => break,
+            other => return Err(err(format!("expected `,` or `]`, got {other:?}"))),
+        }
+    }
+    Ok(samples)
+}
+
+struct JsonParser<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    text: &'a str,
+}
+
+impl JsonParser<'_> {
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().map(|&(_, c)| c)
+    }
+
+    fn next(&mut self) -> Option<char> {
+        self.chars.next().map(|(_, c)| c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_ascii_whitespace()) {
+            self.next();
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), ParseError> {
+        self.skip_ws();
+        match self.next() {
+            Some(c) if c == want => Ok(()),
+            other => Err(err(format!("expected `{want}`, got {other:?}"))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                Some('"') => return Ok(out),
+                Some('\\') => match self.next() {
+                    Some('\\') => out.push('\\'),
+                    Some('"') => out.push('"'),
+                    Some('n') => out.push('\n'),
+                    other => return Err(err(format!("bad string escape {other:?}"))),
+                },
+                Some(c) => out.push(c),
+                None => return Err(err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, ParseError> {
+        self.skip_ws();
+        let start = match self.chars.peek() {
+            Some(&(i, _)) => i,
+            None => return Err(err("expected a number, got end of input")),
+        };
+        let mut end = start;
+        while matches!(
+            self.peek(),
+            Some(c) if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')
+        ) {
+            end = self.chars.next().map(|(i, c)| i + c.len_utf8()).unwrap_or(end);
+        }
+        self.text[start..end]
+            .parse()
+            .map_err(|_| err(format!("bad number `{}`", &self.text[start..end])))
+    }
+
+    /// One `{"name": …, "labels": {…}, "value": …}` object.
+    fn object_sample(&mut self) -> Result<Sample, ParseError> {
+        self.expect('{')?;
+        let mut name = None;
+        let mut labels = Vec::new();
+        let mut value = None;
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(':')?;
+            match key.as_str() {
+                "name" => name = Some(self.string()?),
+                "value" => value = Some(self.number()?),
+                "labels" => {
+                    self.expect('{')?;
+                    self.skip_ws();
+                    if self.peek() == Some('}') {
+                        self.next();
+                    } else {
+                        loop {
+                            self.skip_ws();
+                            let k = self.string()?;
+                            self.expect(':')?;
+                            self.skip_ws();
+                            let v = self.string()?;
+                            labels.push((k, v));
+                            self.skip_ws();
+                            match self.next() {
+                                Some(',') => continue,
+                                Some('}') => break,
+                                other => {
+                                    return Err(err(format!(
+                                        "expected `,` or `}}` in labels, got {other:?}"
+                                    )))
+                                }
+                            }
+                        }
+                    }
+                }
+                other => return Err(err(format!("unknown sample key `{other}`"))),
+            }
+            self.skip_ws();
+            match self.next() {
+                Some(',') => continue,
+                Some('}') => break,
+                other => return Err(err(format!("expected `,` or `}}`, got {other:?}"))),
+            }
+        }
+        Ok(Sample {
+            name: name.ok_or_else(|| err("sample missing `name`"))?,
+            labels,
+            value: value.ok_or_else(|| err("sample missing `value`"))?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exposition() -> Exposition {
+        let mut e = Exposition::new();
+        e.describe("benes_requests_total", MetricKind::Counter, "Requests by state.");
+        e.describe("benes_latency_ns", MetricKind::Summary, "Latency quantiles.");
+        e.push(Sample::new("benes_requests_total", 128.0).label("state", "completed"));
+        e.push(Sample::new("benes_requests_total", 2.0).label("state", "failed"));
+        e.push(
+            Sample::new("benes_latency_ns", 1523.0)
+                .label("tier", "waksman")
+                .label("quantile", "0.99"),
+        );
+        e.push(Sample::new("benes_queue_high_water", 17.0));
+        e.push(Sample::new("benes_cache_hit_rate", 0.75));
+        e
+    }
+
+    #[test]
+    fn prometheus_text_round_trips() {
+        let e = exposition();
+        let text = e.to_prometheus();
+        assert!(text.contains("# TYPE benes_requests_total counter"));
+        assert!(text.contains("# HELP benes_latency_ns Latency quantiles."));
+        assert!(text.contains("benes_requests_total{state=\"completed\"} 128"));
+        assert!(text.contains("benes_latency_ns{tier=\"waksman\",quantile=\"0.99\"} 1523"));
+        let parsed = parse_prometheus(&text).expect("own output must parse");
+        assert_eq!(parsed, e.samples());
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let e = exposition();
+        let json = e.to_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        let parsed = parse_json(&json).expect("own output must parse");
+        assert_eq!(parsed, e.samples());
+    }
+
+    #[test]
+    fn empty_exposition_round_trips() {
+        let e = Exposition::new();
+        assert_eq!(parse_prometheus(&e.to_prometheus()).unwrap(), Vec::<Sample>::new());
+        assert_eq!(parse_json(&e.to_json()).unwrap(), Vec::<Sample>::new());
+    }
+
+    #[test]
+    fn label_values_with_quotes_and_newlines_survive() {
+        let mut e = Exposition::new();
+        e.push(Sample::new("m", 1.0).label("detail", "he said \"no\"\nthen left \\ twice"));
+        for parsed in [
+            parse_prometheus(&e.to_prometheus()).unwrap(),
+            parse_json(&e.to_json()).unwrap(),
+        ] {
+            assert_eq!(parsed, e.samples());
+        }
+    }
+
+    #[test]
+    fn fractional_values_survive_both_formats() {
+        let mut e = Exposition::new();
+        e.push(Sample::new("rate", 0.123_456_789));
+        e.push(Sample::new("negative", -42.5));
+        e.push(Sample::new("big", 1.0e18));
+        for parsed in [
+            parse_prometheus(&e.to_prometheus()).unwrap(),
+            parse_json(&e.to_json()).unwrap(),
+        ] {
+            assert_eq!(parsed, e.samples());
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_error_cleanly() {
+        assert!(parse_prometheus("metric_without_value").is_err());
+        assert!(parse_prometheus("m{unterminated=\"x} 1").is_err());
+        assert!(parse_prometheus("m nonnumeric").is_err());
+        assert!(parse_json("not json").is_err());
+        assert!(parse_json("[{\"name\":\"m\"}]").is_err(), "value is required");
+        assert!(parse_json("[{\"name\":\"m\",\"value\":}]").is_err());
+    }
+
+    #[test]
+    fn foreign_prometheus_text_parses() {
+        // Not our own output: extra whitespace, no metadata, scientific
+        // notation, label-less and labelled lines mixed.
+        let text = "\n# scraped elsewhere\nup 1\nhttp_requests_total{code=\"200\",method=\"get\"}  1.5e3\n";
+        let parsed = parse_prometheus(text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0], Sample::new("up", 1.0));
+        assert_eq!(
+            parsed[1],
+            Sample::new("http_requests_total", 1500.0)
+                .label("code", "200")
+                .label("method", "get")
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! The flight recorder: a fixed-capacity ring buffer that keeps the
+//! last `K` records of anything worth a post-mortem.
+//!
+//! The write path never blocks: a relaxed `fetch_add` claims a sequence
+//! number, the slot it maps to is taken with `try_lock`, and a
+//! contended slot simply drops the record (counted in
+//! [`FlightRecorder::dropped`]) rather than stalling the hot path —
+//! a routing worker must never wait on an observer. Readers lock slots
+//! one at a time, so a dump in progress delays at most one writer by
+//! one slot.
+//!
+//! The engine stores one record per route attempt; `benes-cli obs
+//! flightrec` dumps them to answer "what happened to the job that
+//! failed" with the full ladder of decisions, not a counter.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+struct Slot<T> {
+    /// `Some((sequence, record))` once written; the sequence number
+    /// resolves which generation of the ring the record belongs to.
+    data: Mutex<Option<(u64, T)>>,
+}
+
+/// A bounded, non-blocking, multi-producer ring of the most recent
+/// records.
+#[derive(Debug)]
+pub struct FlightRecorder<T> {
+    slots: Box<[Slot<T>]>,
+    mask: usize,
+    cursor: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl<T> std::fmt::Debug for Slot<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Slot").finish_non_exhaustive()
+    }
+}
+
+impl<T> FlightRecorder<T> {
+    /// A recorder keeping (at least) the last `capacity` records;
+    /// capacity is rounded up to a power of two, minimum 1.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1).next_power_of_two();
+        let slots: Vec<Slot<T>> =
+            (0..cap).map(|_| Slot { data: Mutex::new(None) }).collect();
+        Self {
+            slots: slots.into_boxed_slice(),
+            mask: cap - 1,
+            cursor: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The ring capacity (a power of two).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// How many records were ever submitted (including dropped ones).
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// How many records were dropped because their slot was contended
+    /// at write time (the price of never blocking a worker).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Stores `record`, overwriting the oldest entry in its slot, and
+    /// returns the record's sequence number. Never blocks: a slot held
+    /// by a concurrent reader or writer drops the record instead.
+    pub fn record(&self, record: T) -> u64 {
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(seq as usize) & self.mask]; // analyze:allow(truncating-cast): masked ring index
+        match slot.data.try_lock() {
+            Ok(mut guard) => {
+                // A racing writer that claimed a *later* generation of
+                // this slot may have already written; keep the newest.
+                if guard.as_ref().is_none_or(|&(s, _)| s < seq) {
+                    *guard = Some((seq, record));
+                }
+            }
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => {
+                // A reader panicked mid-clone; the slot data is still a
+                // plain Option, safe to overwrite.
+                let mut guard = poisoned.into_inner();
+                if guard.as_ref().is_none_or(|&(s, _)| s < seq) {
+                    *guard = Some((seq, record));
+                }
+            }
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        seq
+    }
+}
+
+impl<T: Clone> FlightRecorder<T> {
+    /// The most recent records, newest first, at most `k`.
+    #[must_use]
+    pub fn recent(&self, k: usize) -> Vec<T> {
+        let mut found: Vec<(u64, T)> = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            let guard = slot.data.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some((seq, record)) = guard.as_ref() {
+                found.push((*seq, record.clone()));
+            }
+        }
+        found.sort_by_key(|&(seq, _)| std::cmp::Reverse(seq));
+        found.truncate(k);
+        found.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// The most recent record matching `pred`, if any survives in the
+    /// ring.
+    #[must_use]
+    pub fn find(&self, pred: impl Fn(&T) -> bool) -> Option<T> {
+        self.recent(self.capacity()).into_iter().find(|r| pred(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_rounds_up_to_a_power_of_two() {
+        assert_eq!(FlightRecorder::<u32>::new(0).capacity(), 1);
+        assert_eq!(FlightRecorder::<u32>::new(1).capacity(), 1);
+        assert_eq!(FlightRecorder::<u32>::new(3).capacity(), 4);
+        assert_eq!(FlightRecorder::<u32>::new(256).capacity(), 256);
+    }
+
+    #[test]
+    fn keeps_the_last_k_newest_first() {
+        let rec = FlightRecorder::new(4);
+        for i in 0..10u32 {
+            rec.record(i);
+        }
+        assert_eq!(rec.recent(4), vec![9, 8, 7, 6]);
+        assert_eq!(rec.recent(2), vec![9, 8]);
+        assert_eq!(rec.recorded(), 10);
+        assert_eq!(rec.dropped(), 0);
+    }
+
+    #[test]
+    fn find_locates_a_surviving_record() {
+        let rec = FlightRecorder::new(8);
+        for i in 0..8u32 {
+            rec.record(i);
+        }
+        assert_eq!(rec.find(|&r| r % 3 == 0), Some(6), "newest match wins");
+        assert_eq!(rec.find(|&r| r > 100), None);
+    }
+
+    #[test]
+    fn concurrent_writers_lose_nothing_to_each_other() {
+        use std::sync::Arc;
+
+        let rec = Arc::new(FlightRecorder::new(1024));
+        let writers: Vec<_> = (0..4u64)
+            .map(|t| {
+                let rec = Arc::clone(&rec);
+                std::thread::spawn(move || {
+                    for i in 0..250u64 {
+                        rec.record(t * 1_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().expect("writer panicked");
+        }
+        // 1000 records into 1024 slots: everything submitted is either
+        // present or counted as dropped, and with distinct slots per
+        // sequence number nothing can actually contend.
+        assert_eq!(rec.recorded(), 1_000);
+        assert_eq!(rec.dropped(), 0);
+        let all = rec.recent(1024);
+        assert_eq!(all.len(), 1_000);
+        // Newest-first really is sequence order within each writer.
+        let of_writer0: Vec<u64> = all.iter().copied().filter(|&v| v < 1_000).collect();
+        let mut sorted = of_writer0.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(of_writer0, sorted);
+    }
+
+    #[test]
+    fn lapped_generations_keep_the_newest_record() {
+        let rec = FlightRecorder::new(2);
+        rec.record("old-a");
+        rec.record("old-b");
+        rec.record("new-a"); // laps slot 0
+        assert_eq!(rec.recent(2), vec!["new-a", "old-b"]);
+    }
+}

@@ -1,0 +1,460 @@
+//! Log-bucketed latency histograms with lock-free recording.
+//!
+//! The engine's original stats layer kept a min/mean/max sketch, which
+//! cannot answer tail questions ("what does p99 look like per tier?")
+//! — exactly what the paper's set-up-cost ladder makes bimodal: `F(n)`
+//! members route in nanoseconds while Waksman set-ups pay `O(N log N)`.
+//! A [`Histogram`] is a fixed array of atomic buckets whose boundaries
+//! grow geometrically (16 sub-buckets per power of two, ≤ 6.25%
+//! relative width), so recording is a couple of shifts plus one
+//! `fetch_add` — no locks on the hot path — and a [`HistogramSnapshot`]
+//! answers p50/p90/p99/p999 with guaranteed bracketing: the true
+//! empirical quantile always lies inside the reported bucket.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of the sub-bucket count per octave.
+const SUB_BITS: u32 = 4;
+/// Sub-buckets per octave: values within one power of two are split
+/// into this many equal-width buckets.
+const SUB: u64 = 1 << SUB_BITS;
+/// Total bucket count: `SUB` exact buckets for values `< SUB`, then
+/// `SUB` buckets for each of the remaining `64 - SUB_BITS` octaves.
+const BUCKETS: usize = (SUB as usize) * (64 - SUB_BITS as usize + 1);
+
+/// The bucket index recording `value` increments.
+#[must_use]
+fn bucket_index(value: u64) -> usize {
+    if value < SUB {
+        return value as usize; // analyze:allow(truncating-cast): value < 16
+    }
+    let msb = 63 - value.leading_zeros();
+    let octave = (msb - SUB_BITS + 1) as usize;
+    let sub = ((value >> (msb - SUB_BITS)) - SUB) as usize; // analyze:allow(truncating-cast): sub < 16
+    octave * SUB as usize + sub
+}
+
+/// The inclusive `[lower, upper]` value range of bucket `index`.
+///
+/// # Panics
+///
+/// Panics if `index >= Histogram::BUCKET_COUNT`.
+#[must_use]
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < BUCKETS, "bucket index out of range");
+    let sub = (index as u64) % SUB;
+    let octave = (index as u64) / SUB;
+    if octave == 0 {
+        return (sub, sub);
+    }
+    let shift = (octave - 1) as u32; // analyze:allow(truncating-cast): octave ≤ 61
+    let lower = (SUB + sub) << shift;
+    let width = 1u64 << shift;
+    (lower, lower + (width - 1))
+}
+
+/// A lock-free log-bucketed histogram of `u64` samples (nanoseconds,
+/// by convention). All recording operations are relaxed atomics; a
+/// consistent view is produced by [`Histogram::snapshot`], which
+/// reconciles the racy loads so the snapshot's invariants always hold.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// The number of buckets every histogram carries.
+    pub const BUCKET_COUNT: usize = BUCKETS;
+
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            buckets: buckets.into_boxed_slice(),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Lock-free: two shifts and four relaxed
+    /// atomic RMWs, safe to call from any number of threads.
+    pub fn record(&self, value: u64) {
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        // The bucket increment is last: a snapshot that observes the
+        // bucket without the min/max/sum updates would otherwise report
+        // a sample with no extreme recorded. Relaxed ordering means the
+        // stores can still be observed out of order — `snapshot()`
+        // reconciles regardless — but this order makes the common
+        // interleavings consistent for free.
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A reconciled point-in-time copy. The snapshot's `count` is
+    /// derived from the bucket counts (so buckets always sum to it),
+    /// and `min ≤ mean ≤ max` holds even when the loads race with
+    /// concurrent [`Histogram::record`] calls: the `u64::MAX` min
+    /// sentinel is clamped away whenever any bucket is non-empty, never
+    /// trusted against a separately-loaded count.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        let mut count = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                buckets.push((i, c));
+                count += c;
+            }
+        }
+        if count == 0 {
+            return HistogramSnapshot::default();
+        }
+        let sum = self.sum.load(Ordering::Relaxed);
+        let mut min = self.min.load(Ordering::Relaxed);
+        let mut max = self.max.load(Ordering::Relaxed);
+        // Reconcile racy loads: a record() between our bucket loads and
+        // the extreme loads can leave min at the sentinel or min > max.
+        // Bucket bounds are always safe stand-ins.
+        let first = buckets.first().map_or(0, |&(i, _)| bucket_bounds(i).0);
+        let last = buckets.last().map_or(0, |&(i, _)| bucket_bounds(i).1);
+        if min == u64::MAX || min < first {
+            min = first;
+        }
+        if max < min {
+            max = last.max(min);
+        }
+        let mean = (sum / count).clamp(min, max);
+        HistogramSnapshot { buckets, count, sum, min, max, mean }
+    }
+}
+
+/// A consistent, plain-data view of a [`Histogram`].
+///
+/// Invariants (enforced by [`Histogram::snapshot`] and preserved by
+/// [`HistogramSnapshot::merge`]):
+/// * the bucket counts sum to `count()`;
+/// * `min() ≤ mean() ≤ max()` whenever `count() > 0`;
+/// * every quantile estimate lies in `[min(), max()]`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Sparse `(bucket index, count)` pairs, ascending by index.
+    buckets: Vec<(usize, u64)>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    mean: u64,
+}
+
+impl HistogramSnapshot {
+    /// The number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The sum of all recorded samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The smallest recorded sample (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// The largest recorded sample (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The mean sample, clamped into `[min, max]` (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> u64 {
+        self.mean
+    }
+
+    /// Whether no samples were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The non-empty buckets as `(lower, upper, count)` triples,
+    /// ascending by bound.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets.iter().map(|&(i, c)| {
+            let (lo, hi) = bucket_bounds(i);
+            (lo, hi, c)
+        })
+    }
+
+    /// The `[lower, upper]` bucket bracketing the `q`-quantile
+    /// (`0 ≤ q ≤ 1`) of the recorded samples: the true empirical
+    /// quantile (the sample of rank `⌈q · count⌉`, 1-based) is
+    /// guaranteed to lie inside. Returns `(0, 0)` when empty.
+    #[must_use]
+    pub fn quantile_bounds(&self, q: f64) -> (u64, u64) {
+        if self.count == 0 {
+            return (0, 0);
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the quantile sample; q = 0 means rank 1.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(i, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                // The exact extremes tighten the bracket: rank-1 and
+                // rank-count quantiles are the recorded min and max.
+                return (lo.max(self.min).min(self.max), hi.min(self.max).max(self.min));
+            }
+        }
+        (self.min, self.max)
+    }
+
+    /// A point estimate of the `q`-quantile: the upper bound of the
+    /// bracketing bucket (≤ 6.25% above the true value). Returns 0 when
+    /// empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.quantile_bounds(q).1
+    }
+
+    /// Merges `other` into `self`, preserving all invariants — the
+    /// merged snapshot reports exactly the union of both sample sets
+    /// (up to bucket resolution).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let mut merged: Vec<(usize, u64)> = Vec::with_capacity(self.buckets.len());
+        let (mut a, mut b) =
+            (self.buckets.iter().peekable(), other.buckets.iter().peekable());
+        while a.peek().is_some() || b.peek().is_some() {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, ca)), Some(&&(ib, cb))) if ia == ib => {
+                    merged.push((ia, ca + cb));
+                    a.next();
+                    b.next();
+                }
+                (Some(&&(ia, ca)), Some(&&(ib, _))) if ia < ib => {
+                    merged.push((ia, ca));
+                    a.next();
+                }
+                (Some(_), Some(&&(ib, cb))) => {
+                    merged.push((ib, cb));
+                    b.next();
+                }
+                (Some(&&(ia, ca)), None) => {
+                    merged.push((ia, ca));
+                    a.next();
+                }
+                (None, Some(&&(ib, cb))) => {
+                    merged.push((ib, cb));
+                    b.next();
+                }
+                (None, None) => unreachable!("loop condition"),
+            }
+        }
+        self.buckets = merged;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.mean = (self.sum / self.count).clamp(self.min, self.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        for v in 0..SUB {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+    }
+
+    #[test]
+    fn every_value_lies_inside_its_bucket_bounds() {
+        for v in [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            33,
+            100,
+            1_000,
+            1_000_000,
+            u64::from(u32::MAX),
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= v && v <= hi, "value {v} outside bucket {i} = [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_line() {
+        let mut expected_lower = 0u64;
+        for i in 0..Histogram::BUCKET_COUNT {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, expected_lower, "bucket {i} leaves a gap");
+            assert!(hi >= lo);
+            if hi == u64::MAX {
+                assert_eq!(i, Histogram::BUCKET_COUNT - 1);
+                return;
+            }
+            expected_lower = hi + 1;
+        }
+        panic!("buckets never reached u64::MAX");
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert!(s.is_empty());
+        assert_eq!((s.count(), s.sum(), s.min(), s.max(), s.mean()), (0, 0, 0, 0, 0));
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.quantile_bounds(0.99), (0, 0));
+    }
+
+    #[test]
+    fn snapshot_reports_exact_extremes_and_mean() {
+        let h = Histogram::new();
+        for v in [100u64, 200, 300] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.sum(), 600);
+        assert_eq!(s.min(), 100);
+        assert_eq!(s.max(), 300);
+        assert_eq!(s.mean(), 200);
+    }
+
+    #[test]
+    fn quantiles_bracket_a_known_stream() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        for (q, truth) in [(0.5, 500u64), (0.9, 900), (0.99, 990), (0.999, 999)] {
+            let (lo, hi) = s.quantile_bounds(q);
+            assert!(lo <= truth && truth <= hi, "q{q}: true {truth} outside [{lo}, {hi}]");
+            // The point estimate is the bracket's upper bound.
+            assert_eq!(s.quantile(q), hi);
+        }
+        assert_eq!(s.quantile_bounds(0.0).0, 1, "q0 is the min");
+        assert_eq!(s.quantile_bounds(1.0).1, 1000, "q1 is the max");
+    }
+
+    #[test]
+    fn torn_recording_cannot_leak_the_min_sentinel() {
+        // Regression for the engine's latency_min_ns race: a snapshot
+        // interleaving with record() used to observe a counted sample
+        // whose min store was not yet visible, reporting u64::MAX as
+        // the minimum. Simulate the torn state directly: bucket counted,
+        // min/max/sum never stored.
+        let h = Histogram::new();
+        h.buckets[bucket_index(100)].fetch_add(1, Ordering::Relaxed);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1);
+        assert!(s.min() != u64::MAX, "sentinel leaked: {}", s.min());
+        assert!(s.min() <= s.mean() && s.mean() <= s.max());
+        // The clamped extremes still bracket the real sample's bucket.
+        let (lo, hi) = bucket_bounds(bucket_index(100));
+        assert!(s.min() >= lo && s.max() <= hi);
+    }
+
+    #[test]
+    fn merge_is_the_union_of_sample_sets() {
+        let (a, b) = (Histogram::new(), Histogram::new());
+        for v in [5u64, 50, 500] {
+            a.record(v);
+        }
+        for v in [1u64, 5_000] {
+            b.record(v);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count(), 5);
+        assert_eq!(m.sum(), 5556);
+        assert_eq!(m.min(), 1);
+        assert_eq!(m.max(), 5_000);
+        let bucket_total: u64 = m.buckets().map(|(_, _, c)| c).sum();
+        assert_eq!(bucket_total, m.count());
+        // Merging an empty snapshot is a no-op in both directions.
+        let before = m.clone();
+        m.merge(&HistogramSnapshot::default());
+        assert_eq!(m, before);
+        let mut empty = HistogramSnapshot::default();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn concurrent_recording_keeps_snapshots_consistent() {
+        use std::sync::Arc;
+
+        let h = Arc::new(Histogram::new());
+        let writers: Vec<_> = (0..4u64)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        h.record(t * 1_000 + i);
+                    }
+                })
+            })
+            .collect();
+        // Snapshot while the writers hammer: every interleaving must
+        // satisfy the snapshot invariants.
+        for _ in 0..200 {
+            let s = h.snapshot();
+            let bucket_total: u64 = s.buckets().map(|(_, _, c)| c).sum();
+            assert_eq!(bucket_total, s.count());
+            if !s.is_empty() {
+                assert!(s.min() <= s.mean() && s.mean() <= s.max());
+                assert!(s.min() != u64::MAX);
+                let p99 = s.quantile(0.99);
+                assert!(s.min() <= p99 && p99 <= s.max());
+            }
+        }
+        for w in writers {
+            w.join().expect("writer panicked");
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 8_000);
+    }
+}

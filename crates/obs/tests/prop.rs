@@ -1,0 +1,92 @@
+//! Property tests for the histogram (the PR's satellite coverage task):
+//!
+//! 1. bucket counts always sum to the recorded count, on any stream;
+//! 2. every quantile estimate *brackets* the true empirical quantile
+//!    of the stream (the bucket `[lower, upper]` contains the sample
+//!    of rank `⌈q·count⌉`);
+//! 3. merging snapshots behaves like recording the concatenated
+//!    stream.
+
+use benes_obs::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+/// A latency stream of random length spanning the interesting orders
+/// of magnitude (sub-bucket-exact small values through multi-second
+/// outliers): each sample draws a decade `10^0 .. 10^10` first, so
+/// small and huge values are equally represented.
+fn arb_stream() -> impl Strategy<Value = Vec<u64>> {
+    Just(()).prop_perturb(|(), mut rng| {
+        let len = (rng.random::<u64>() % 400) as usize + 1;
+        (0..len)
+            .map(|_| {
+                let decade = (rng.random::<u64>() % 11) as u32; // analyze:allow(truncating-cast): < 11
+                rng.random::<u64>() % 10u64.pow(decade).max(1)
+            })
+            .collect()
+    })
+}
+
+fn record_all(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// The true empirical `q`-quantile: the sample of 1-based rank
+/// `⌈q·count⌉` (clamped to `[1, count]`) in the sorted stream.
+fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    /// Satellite property: bucket counts always sum to the count.
+    #[test]
+    fn buckets_sum_to_count(stream in arb_stream()) {
+        let s = record_all(&stream);
+        prop_assert_eq!(s.count(), stream.len() as u64);
+        let bucket_total: u64 = s.buckets().map(|(_, _, c)| c).sum();
+        prop_assert_eq!(bucket_total, s.count());
+        let value_total: u64 = stream.iter().sum();
+        prop_assert_eq!(s.sum(), value_total);
+    }
+
+    /// Satellite property: quantile estimates bracket the true
+    /// empirical quantile on random latency streams.
+    #[test]
+    fn quantiles_bracket_the_truth(stream in arb_stream()) {
+        let s = record_all(&stream);
+        let mut sorted = stream.clone();
+        sorted.sort_unstable();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let truth = true_quantile(&sorted, q);
+            let (lo, hi) = s.quantile_bounds(q);
+            prop_assert!(
+                lo <= truth && truth <= hi,
+                "q{}: true {} outside [{}, {}]", q, truth, lo, hi
+            );
+            prop_assert_eq!(s.quantile(q), hi);
+        }
+    }
+
+    /// Exact extremes and a mean inside them, always.
+    #[test]
+    fn extremes_are_exact_and_mean_bracketed(stream in arb_stream()) {
+        let s = record_all(&stream);
+        prop_assert_eq!(s.min(), *stream.iter().min().expect("non-empty"));
+        prop_assert_eq!(s.max(), *stream.iter().max().expect("non-empty"));
+        prop_assert!(s.min() <= s.mean() && s.mean() <= s.max());
+    }
+
+    /// Merging two snapshots equals recording the concatenation.
+    #[test]
+    fn merge_equals_concatenation(a in arb_stream(), b in arb_stream()) {
+        let mut merged = record_all(&a);
+        merged.merge(&record_all(&b));
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        prop_assert_eq!(merged, record_all(&both));
+    }
+}

@@ -1,0 +1,112 @@
+//! Observability service demo: serve the routing engine's metrics
+//! exposition over TCP, the way a Prometheus scraper (or `curl`) would
+//! consume it.
+//!
+//! The engine runs a warm-up workload, then a tiny blocking HTTP/1.0
+//! server answers:
+//!
+//! * `GET /metrics`      — Prometheus text exposition
+//! * `GET /metrics.json` — the same snapshot as a JSON document
+//! * `GET /flightrec`    — the newest flight-recorder records, rendered
+//!
+//! Every scrape also pushes a fresh slice of workload through the
+//! engine, so successive scrapes show the counters and histograms
+//! moving.
+//!
+//! Run with: `cargo run --example obs_service -- [port] [--serve N]`
+//! (default port 9184; `--serve N` exits after `N` requests, which the
+//! smoke test uses; without it the server runs until interrupted).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+
+use benes::engine::workload::mixed_workload;
+use benes::engine::{Engine, EngineConfig};
+
+fn parse_args() -> (u16, Option<u64>) {
+    let mut port = 9184u16;
+    let mut serve = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--serve" => {
+                let v = args.next().expect("--serve needs a count");
+                serve = Some(v.parse().expect("--serve must be a positive integer"));
+            }
+            p => port = p.parse().expect("port must be a u16 (or --serve N)"),
+        }
+    }
+    (port, serve)
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    // A scraper hanging up mid-response is its problem, not ours.
+    let _ = stream.write_all(response.as_bytes()); // analyze:allow(discarded-result): peer may disconnect early
+}
+
+fn handle(engine: &Engine, stream: &mut TcpStream, scrape: u64) {
+    let mut line = String::new();
+    if BufReader::new(&mut *stream).read_line(&mut line).is_err() {
+        return;
+    }
+    let path = line.split_whitespace().nth(1).unwrap_or("/");
+
+    // Keep the metrics moving between scrapes: a small fresh workload
+    // slice per request, seeded by the scrape counter.
+    let outcomes = engine.run_batch(mixed_workload(4, 50, 0xb0b5 + scrape));
+    assert!(outcomes.iter().all(benes::engine::RequestOutcome::is_ok));
+
+    match path {
+        "/metrics" => {
+            let body = engine.stats().exposition().to_prometheus();
+            respond(stream, "200 OK", "text/plain; version=0.0.4", &body);
+        }
+        "/metrics.json" => {
+            let body = engine.stats().exposition().to_json();
+            respond(stream, "200 OK", "application/json", &body);
+        }
+        "/flightrec" => {
+            let mut body = String::new();
+            for record in engine.flight_records(8) {
+                body.push_str(&record.render());
+                body.push('\n');
+            }
+            respond(stream, "200 OK", "text/plain", &body);
+        }
+        _ => respond(
+            stream,
+            "404 Not Found",
+            "text/plain",
+            "try /metrics, /metrics.json or /flightrec\n",
+        ),
+    }
+}
+
+fn main() {
+    let (port, serve) = parse_args();
+
+    let engine = Engine::new(EngineConfig::default());
+    let outcomes = engine.run_batch(mixed_workload(4, 500, 0xb0b5));
+    assert!(outcomes.iter().all(benes::engine::RequestOutcome::is_ok));
+
+    let listener =
+        TcpListener::bind(("127.0.0.1", port)).expect("bind the exposition endpoint");
+    let addr = listener.local_addr().expect("bound socket has an address");
+    println!("serving metrics on http://{addr}/metrics (JSON at /metrics.json)");
+
+    let mut scrapes = 0u64;
+    for incoming in listener.incoming() {
+        let Ok(mut stream) = incoming else { continue };
+        scrapes += 1;
+        handle(&engine, &mut stream, scrapes);
+        if serve.is_some_and(|n| scrapes >= n) {
+            println!("served {scrapes} requests, exiting (--serve)");
+            break;
+        }
+    }
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# EXP-ENGINE benchmark runner: drives the batched routing engine over
+# the reproducible mixed workload grid (n x workers) and writes the
+# machine-readable results as schema-stable JSON (experiment, requests,
+# seed, runs[] with per-run throughput and latency quantiles), plus the
+# human-readable table on stdout.
+#
+# Env:
+#   BENCH_REQUESTS  requests per grid cell   (default 4000)
+#   BENCH_OUT       JSON output path         (default BENCH_ENGINE.json)
+#
+# tier-1 runs this with BENCH_REQUESTS=200 BENCH_OUT=target/... as a
+# smoke test; the committed BENCH_ENGINE.json at the repo root comes
+# from a default run.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+REQUESTS="${BENCH_REQUESTS:-4000}"
+OUT="${BENCH_OUT:-BENCH_ENGINE.json}"
+
+cargo run --release --offline -p benes-bench --bin engine_throughput -- \
+    --requests "$REQUESTS" --json "$OUT"

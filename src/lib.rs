@@ -29,7 +29,11 @@
 //!   dataflow checker that proves plans correct without simulation,
 //!   `F(n)` certificates, netlist lints for the synthesized hardware,
 //!   and an offline workspace linter (lock-order graph, cast and
-//!   `Result` discipline) wired into tier-1.
+//!   `Result` discipline) wired into tier-1;
+//! * [`obs`] — the observability toolkit the engine reports through:
+//!   lock-free log-bucketed latency histograms with bracketed
+//!   quantiles, a non-blocking flight-recorder ring, and a
+//!   Prometheus-text/JSON metrics exposition with round-trip parsers.
 //!
 //! # Example: route a matrix transpose three ways
 //!
@@ -65,5 +69,6 @@ pub use benes_core as core;
 pub use benes_engine as engine;
 pub use benes_gates as gates;
 pub use benes_networks as networks;
+pub use benes_obs as obs;
 pub use benes_perm as perm;
 pub use benes_simd as simd;
