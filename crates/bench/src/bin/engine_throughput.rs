@@ -10,8 +10,10 @@
 //!
 //! `--json` additionally writes the machine-readable results as
 //! `BENCH_ENGINE.json` with a stable schema (`experiment`, `requests`,
-//! `seed`, `runs[]` with per-run throughput and latency quantiles), so
-//! scripts can diff benchmark runs without scraping the table.
+//! `seed`, `runs[]` with per-run throughput, overload counters —
+//! `shed`, `rejected`, `deadline_exceeded`, all zero on this healthy,
+//! unbounded-queue grid — and latency quantiles), so scripts can diff
+//! benchmark runs without scraping the table.
 
 use benes_bench::Table;
 use benes_engine::workload::mixed_workload;
@@ -34,6 +36,7 @@ impl Run {
         format!(
             "{{\"n\":{},\"workers\":{},\"wall_ms\":{:.3},\"req_per_s\":{:.1},\
              \"zero_setup_pct\":{:.2},\"cache_hit_pct\":{:.2},\
+             \"shed\":{},\"rejected\":{},\"deadline_exceeded\":{},\
              \"latency_ns\":{{\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\
              \"mean\":{},\"max\":{}}}}}",
             self.n,
@@ -42,6 +45,9 @@ impl Run {
             self.req_per_s,
             self.stats.zero_setup_rate() * 100.0,
             self.stats.cache_hit_rate() * 100.0,
+            self.stats.shed,
+            self.stats.rejected,
+            self.stats.deadline_exceeded,
             lat.quantile(0.5),
             lat.quantile(0.9),
             lat.quantile(0.99),

@@ -77,6 +77,12 @@ COMMANDS:
                              workload through the engine's reroute ladder,
                              and report degraded-mode stats
                              (defaults: n=3, k=2, 500 requests, seed 1)
+  chaos [seed] [reqs]        deterministic chaos soak: a seeded schedule of
+                             traffic, a forced-failure burst, a real fault
+                             burst and recovery windows; checks the
+                             conservation invariant and the breaker cycle,
+                             exits nonzero on any violation
+                             (defaults: seed 3962, 200 requests)
   analyze plan <D...>        static plan verification: closed forms vs
                              Theorem 1, split conflicts of the symbolic
                              self-route/omega walks, stage-bit invariant
@@ -152,6 +158,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "factor" => factor(rest),
         "engine" => engine(rest),
         "faults" => faults_cmd(rest),
+        "chaos" => chaos_cmd(rest),
         "analyze" => analyze(rest),
         "obs" => obs(rest),
         other => {
@@ -360,6 +367,34 @@ fn faults_cmd(args: &[String]) -> Result<String, CliError> {
     ));
     out.push_str(&stats.report());
     Ok(out)
+}
+
+/// The deterministic chaos soak behind `scripts/chaos.sh`: runs the
+/// seeded overload schedule and treats any invariant violation as a
+/// command failure (nonzero exit), so the soak can gate CI.
+fn chaos_cmd(args: &[String]) -> Result<String, CliError> {
+    use benes_engine::{run_soak, SoakConfig};
+    let seed: u64 = match args.first() {
+        Some(s) => s.parse().map_err(|_| CliError::new("seed must be an integer"))?,
+        None => 3962,
+    };
+    let requests: usize = match args.get(1) {
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&r| (1..=100_000).contains(&r))
+            .ok_or_else(|| CliError::new("request count must be in 1..=100000"))?,
+        None => 200,
+    };
+    let report = run_soak(&SoakConfig::new(seed, requests));
+    let mut out =
+        format!("chaos soak: seed {seed}, base traffic {requests} requests per phase\n");
+    out.push_str(&report.render());
+    if report.healthy() {
+        Ok(out)
+    } else {
+        Err(CliError::new(out))
+    }
 }
 
 fn obs(args: &[String]) -> Result<String, CliError> {
@@ -1068,6 +1103,16 @@ mod extension_tests {
         assert!(run_str("faults 2").is_err()); // no hard perms below B(3)
         assert!(run_str("faults 3 999").is_err()); // more faults than switches
         assert!(run_str("faults 3 1 0").is_err());
+    }
+
+    #[test]
+    fn chaos_command() {
+        let out = run_str("chaos 3962 100").unwrap();
+        assert!(out.contains("chaos soak: seed 3962"), "{out}");
+        assert!(out.contains("breaker: opened"), "{out}");
+        assert!(out.contains("conserved, no hangs, breaker cycled"), "{out}");
+        assert!(run_str("chaos 1 0").is_err()); // zero requests
+        assert!(run_str("chaos x").is_err()); // non-integer seed
     }
 
     #[test]

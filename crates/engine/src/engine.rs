@@ -2,19 +2,36 @@
 //! batches by `k` `std::thread` workers, with per-request outcome
 //! delivery over `mpsc` channels.
 //!
-//! Every request travels: [`Engine::submit`] → shared queue →
-//! worker batch drain → tier planning / cache lookup → execution on the
-//! worker's memoized `B(n)` → outcome sent to the caller's [`Ticket`].
-//! The queue is a `Mutex<VecDeque>` + `Condvar` pair so workers can
-//! drain *batches* under one lock acquisition (amortizing contention at
-//! high load) and the engine can record the queue-depth high-water mark
-//! at the moment of each submit.
+//! Every request travels: [`Engine::submit`] (or one of the bounded /
+//! deadline variants) → shared queue → worker batch drain → deadline
+//! check → circuit-breaker admission → tier planning / cache lookup →
+//! execution on the worker's memoized `B(n)` → outcome sent to the
+//! caller's [`Ticket`]. The queue is a `Mutex<VecDeque>` + two
+//! `Condvar`s (`available` wakes workers, `space` wakes blocked
+//! submitters) so workers drain *batches* under one lock acquisition
+//! and submitters get **backpressure** instead of unbounded memory
+//! growth when [`EngineConfig::max_queue_depth`] is set.
+//!
+//! The request lifecycle has four terminal states, and every admitted
+//! request reaches exactly one of them — the conservation invariant
+//! `completed + failed + shed + canceled == submitted` the chaos
+//! harness ([`crate::chaos`]) soaks against:
+//!
+//! * **completed** — routed and verified;
+//! * **failed** — planned/executed but wrong (plan error, misroute,
+//!   exhausted reroutes, panic, injected failure);
+//! * **shed** — never executed: the deadline passed before dequeue
+//!   ([`EngineError::DeadlineExceeded`]) or the order's circuit
+//!   breaker was open ([`EngineError::BreakerOpen`]);
+//! * **canceled** — admitted but torn down by [`Engine::drain`] or
+//!   engine drop before a worker served it
+//!   ([`EngineError::Canceled`]).
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -27,10 +44,12 @@ use benes_core::Benes;
 use benes_obs::FlightRecorder;
 use benes_perm::Permutation;
 
+use crate::breaker::{Admission, Breaker, BreakerConfig, BreakerState};
 use crate::cache::PlanCache;
+use crate::chaos::{ChaosConfig, ChaosState};
 use crate::flightrec::{LadderStep, RouteAttempt};
 use crate::plan::{execute, plan, required_order, Fallback, Plan, PlanError, Tier};
-use crate::stats::{EngineStats, Recorder};
+use crate::stats::{EngineStats, LatencyPath, Recorder};
 
 /// Tuning knobs for [`Engine::new`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,6 +68,15 @@ pub struct EngineConfig {
     /// How many recent route attempts the flight recorder keeps
     /// (rounded up to a power of two).
     pub flight_capacity: usize,
+    /// Bounded admission: the deepest the submission queue may grow.
+    /// `None` (the default) keeps the historical unbounded behaviour;
+    /// `Some(d)` makes [`Engine::try_submit`] reject with
+    /// [`SubmitError::QueueFull`] and [`Engine::submit`] block for
+    /// space once `d` requests are queued.
+    pub max_queue_depth: Option<usize>,
+    /// Per-order circuit breaker over the fault-reroute ladder;
+    /// disabled by default (`failure_threshold == 0`).
+    pub breaker: BreakerConfig,
 }
 
 impl Default for EngineConfig {
@@ -60,6 +88,8 @@ impl Default for EngineConfig {
             cache_shards: 8,
             fallback: Fallback::Waksman,
             flight_capacity: 256,
+            max_queue_depth: None,
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -86,6 +116,18 @@ pub enum EngineError {
     /// The job panicked inside the worker. The worker survives and the
     /// rest of its batch is still served.
     JobPanicked,
+    /// The request's deadline passed before a worker dequeued it; it
+    /// was shed without being planned or executed.
+    DeadlineExceeded,
+    /// The circuit breaker for this order was open; the request was
+    /// shed without being planned or executed.
+    BreakerOpen,
+    /// The request was admitted but canceled by [`Engine::drain`] or
+    /// engine teardown before a worker served it.
+    Canceled,
+    /// The chaos injector forced this request to fail (only possible
+    /// while [`Engine::set_chaos`] is armed).
+    Injected,
 }
 
 impl fmt::Display for EngineError {
@@ -103,6 +145,16 @@ impl fmt::Display for EngineError {
                 write!(f, "no set-up realizing the permutation agrees with the fault set")
             }
             Self::JobPanicked => write!(f, "request panicked inside the worker"),
+            Self::DeadlineExceeded => {
+                write!(f, "deadline passed before the request was dequeued; shed")
+            }
+            Self::BreakerOpen => {
+                write!(f, "circuit breaker open for this order; request shed")
+            }
+            Self::Canceled => {
+                write!(f, "request canceled by engine drain before being served")
+            }
+            Self::Injected => write!(f, "chaos injector forced this request to fail"),
         }
     }
 }
@@ -113,6 +165,53 @@ impl From<PlanError> for EngineError {
     fn from(e: PlanError) -> Self {
         Self::Plan(e)
     }
+}
+
+/// Error returned by the fallible admission paths
+/// ([`Engine::try_submit`], [`Engine::submit_wait`]).
+///
+/// A rejected submission was **never admitted**: it is counted in
+/// [`crate::EngineStats::rejected`], not in `submitted`, and takes no
+/// part in the conservation invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SubmitError {
+    /// The queue already holds [`EngineConfig::max_queue_depth`] jobs.
+    QueueFull {
+        /// The configured depth bound that was hit.
+        depth: usize,
+    },
+    /// [`Engine::submit_wait`]'s timeout expired before space appeared.
+    Timeout,
+    /// The engine is draining (or already drained); admission is
+    /// closed.
+    ShuttingDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::QueueFull { depth } => {
+                write!(f, "submission queue full ({depth} jobs); request rejected")
+            }
+            Self::Timeout => write!(f, "timed out waiting for queue space"),
+            Self::ShuttingDown => write!(f, "engine is draining; admission closed"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// What [`Engine::drain`] did, returned once every worker has joined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DrainReport {
+    /// Queued requests that were canceled (each one's ticket resolved
+    /// with [`EngineError::Canceled`]) instead of served.
+    pub canceled: u64,
+    /// Whether the deadline expired before the queue emptied (when
+    /// `false`, every queued request was served and `canceled` counts
+    /// only jobs stranded by a dead worker).
+    pub timed_out: bool,
 }
 
 /// The per-request result returned through a [`Ticket`].
@@ -138,13 +237,33 @@ impl RequestOutcome {
     }
 }
 
-/// A handle on one submitted request; redeem it with [`Ticket::wait`].
+/// A handle on one submitted request; redeem it with [`Ticket::wait`],
+/// poll it with [`Ticket::try_result`], or bound the wait with
+/// [`Ticket::wait_timeout`].
+///
+/// Once any of the three observes the outcome it is cached in the
+/// ticket, so mixing polls and waits is safe: every later call returns
+/// the same outcome.
 #[derive(Debug)]
 pub struct Ticket {
     rx: mpsc::Receiver<RequestOutcome>,
+    outcome: Option<RequestOutcome>,
 }
 
 impl Ticket {
+    /// A ticket that is already resolved (never touches the queue);
+    /// used for submissions refused by a draining engine.
+    fn resolved(outcome: RequestOutcome) -> Self {
+        let (_, rx) = mpsc::channel();
+        Self { rx, outcome: Some(outcome) }
+    }
+
+    /// The worker vanished before replying (only possible if it
+    /// panicked outside the per-job containment).
+    fn lost() -> RequestOutcome {
+        RequestOutcome { result: Err(EngineError::WorkerLost), latency: Duration::ZERO }
+    }
+
     /// Blocks until the request completes and returns its outcome.
     ///
     /// If the serving worker vanished (panic during engine teardown),
@@ -152,32 +271,96 @@ impl Ticket {
     /// panicking the caller.
     #[must_use]
     pub fn wait(self) -> RequestOutcome {
-        self.rx.recv().unwrap_or(RequestOutcome {
-            result: Err(EngineError::WorkerLost),
-            latency: Duration::ZERO,
-        })
+        if let Some(outcome) = self.outcome {
+            return outcome;
+        }
+        self.rx.recv().unwrap_or_else(|_| Self::lost())
     }
+
+    /// Blocks at most `timeout` for the outcome. `None` means the
+    /// request is still in flight; the ticket stays redeemable.
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Option<RequestOutcome> {
+        if let Some(outcome) = &self.outcome {
+            return Some(outcome.clone());
+        }
+        match self.rx.recv_timeout(timeout) {
+            Ok(outcome) => {
+                self.outcome = Some(outcome.clone());
+                Some(outcome)
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                let outcome = Self::lost();
+                self.outcome = Some(outcome.clone());
+                Some(outcome)
+            }
+        }
+    }
+
+    /// Non-blocking poll: `None` while the request is in flight, the
+    /// outcome once it is terminal. Never blocks, never consumes the
+    /// ticket.
+    pub fn try_result(&mut self) -> Option<RequestOutcome> {
+        if let Some(outcome) = &self.outcome {
+            return Some(outcome.clone());
+        }
+        match self.rx.try_recv() {
+            Ok(outcome) => {
+                self.outcome = Some(outcome.clone());
+                Some(outcome)
+            }
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => {
+                let outcome = Self::lost();
+                self.outcome = Some(outcome.clone());
+                Some(outcome)
+            }
+        }
+    }
+}
+
+/// How an admission call behaves when the bounded queue is full.
+#[derive(Debug, Clone, Copy)]
+enum Block {
+    /// Reject immediately (`try_submit`).
+    Never,
+    /// Block until space appears (`submit`, `submit_with_deadline`).
+    Forever,
+    /// Block until space appears or this instant passes (`submit_wait`).
+    Until(Instant),
 }
 
 struct Job {
     perm: Permutation,
     submitted_at: Instant,
+    /// Shed (never execute) if a worker dequeues the job after this.
+    deadline: Option<Instant>,
     reply: mpsc::Sender<RequestOutcome>,
 }
 
 #[derive(Default)]
 struct QueueState {
     jobs: VecDeque<Job>,
+    /// Admission closed ([`Engine::drain`] started); queued work still
+    /// drains.
+    draining: bool,
+    /// Workers exit once this is set and the queue is empty.
     shutdown: bool,
 }
 
 struct Shared {
     queue: Mutex<QueueState>,
+    /// Wakes workers: work arrived (or shutdown flipped).
     available: Condvar,
+    /// Wakes blocked submitters and the drain loop: queue space
+    /// appeared (or admission closed).
+    space: Condvar,
     cache: PlanCache,
     recorder: Recorder,
     fallback: Fallback,
     batch_size: usize,
+    /// Bounded-admission depth; `None` keeps the queue unbounded.
+    max_queue_depth: Option<usize>,
     /// Registered switch faults, one [`FaultSet`] per network order.
     /// Workers clone the `Arc` for the order they are serving, so fault
     /// injection never blocks an in-flight job.
@@ -188,13 +371,27 @@ struct Shared {
     /// The last `K` route attempts, for post-mortems (`benes-cli obs
     /// flightrec`). Writes never block a worker.
     flight: FlightRecorder<RouteAttempt>,
+    /// Breaker template; `failure_threshold == 0` disables breakers.
+    breaker_cfg: BreakerConfig,
+    /// One circuit breaker per network order served, created lazily.
+    breakers: Mutex<HashMap<u32, Arc<Breaker>>>,
+    /// The chaos injector seam (inert unless armed).
+    chaos: ChaosState,
 }
 
 impl Shared {
+    /// Locks the job queue, recovering from poison: the queue is a
+    /// plain `VecDeque` plus two flags that no panicking holder can
+    /// leave half-mutated in a harmful way, and both submission and
+    /// shutdown must always proceed.
+    fn lock_queue(&self) -> MutexGuard<'_, QueueState> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Locks the fault registry, recovering from poison (the map only
     /// holds immutable `Arc`s, so a panicked holder cannot leave a torn
     /// state behind).
-    fn lock_faults(&self) -> std::sync::MutexGuard<'_, HashMap<u32, Arc<FaultSet>>> {
+    fn lock_faults(&self) -> MutexGuard<'_, HashMap<u32, Arc<FaultSet>>> {
         self.faults.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
@@ -206,15 +403,46 @@ impl Shared {
         }
         self.lock_faults().get(&n).cloned()
     }
+
+    /// The breaker for order `n` (created on first use), or `None` when
+    /// breakers are disabled. The registry guard is dropped before the
+    /// caller touches the breaker's own lock.
+    fn breaker(&self, n: u32) -> Option<Arc<Breaker>> {
+        if self.breaker_cfg.failure_threshold == 0 {
+            return None;
+        }
+        let mut registry = self.breakers.lock().unwrap_or_else(PoisonError::into_inner);
+        Some(Arc::clone(
+            registry
+                .entry(n)
+                .or_insert_with(|| Arc::new(Breaker::new(self.breaker_cfg.clone(), n))),
+        ))
+    }
+
+    /// Every breaker's `(order, state)`, sorted by order. The registry
+    /// guard is released before any breaker lock is taken.
+    fn breaker_states(&self) -> Vec<(u32, BreakerState)> {
+        let handles: Vec<(u32, Arc<Breaker>)> = {
+            let registry = self.breakers.lock().unwrap_or_else(PoisonError::into_inner);
+            registry.iter().map(|(n, b)| (*n, Arc::clone(b))).collect()
+        };
+        let mut states: Vec<(u32, BreakerState)> =
+            handles.into_iter().map(|(n, b)| (n, b.state())).collect();
+        states.sort_unstable_by_key(|(n, _)| *n);
+        states
+    }
 }
 
-/// The permutation-routing engine: tiered planner + sharded plan cache
-/// + batched worker pool + stats, behind a submit/wait API.
+/// The permutation-routing engine: tiered planner, sharded plan cache,
+/// batched worker pool and stats, behind a submit/wait API with
+/// bounded admission, per-request deadlines, per-order circuit
+/// breakers and graceful drain.
 ///
-/// Dropping the engine signals shutdown, drains nothing further, and
-/// joins all workers; outstanding tickets resolve with
-/// [`EngineError::WorkerLost`] only if a worker panicked — a normal
-/// drop first finishes every queued request.
+/// Dropping the engine closes admission, lets the workers finish every
+/// queued request, and joins them; any job stranded by a dead worker is
+/// canceled (its ticket resolves with [`EngineError::Canceled`]), so
+/// **no outstanding ticket can hang across drop**. For a bounded-time
+/// shutdown that sheds instead of finishing, use [`Engine::drain`].
 ///
 /// # Examples
 ///
@@ -229,7 +457,10 @@ impl Shared {
 /// ```
 pub struct Engine {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    /// Worker handles, behind a mutex so [`Engine::drain`] can take
+    /// `&self` (usable through an `Arc<Engine>` other threads are
+    /// submitting to). Emptied exactly once, by the first teardown.
+    workers: Mutex<Vec<JoinHandle<()>>>,
     config: EngineConfig,
 }
 
@@ -247,13 +478,18 @@ impl Engine {
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState::default()),
             available: Condvar::new(),
+            space: Condvar::new(),
             cache: PlanCache::new(config.cache_capacity, config.cache_shards),
             recorder: Recorder::new(),
             fallback: config.fallback,
             batch_size: config.batch_size,
+            max_queue_depth: config.max_queue_depth,
             faults: Mutex::new(HashMap::new()),
             degraded: AtomicBool::new(false),
             flight: FlightRecorder::new(config.flight_capacity),
+            breaker_cfg: config.breaker.clone(),
+            breakers: Mutex::new(HashMap::new()),
+            chaos: ChaosState::default(),
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -264,7 +500,7 @@ impl Engine {
                     .expect("spawn engine worker")
             })
             .collect();
-        Self { shared, workers, config }
+        Self { shared, workers: Mutex::new(workers), config }
     }
 
     /// An engine with [`EngineConfig::default`] settings.
@@ -280,18 +516,116 @@ impl Engine {
     }
 
     /// Enqueues one routing request and returns its [`Ticket`].
+    ///
+    /// With [`EngineConfig::max_queue_depth`] set and the queue full,
+    /// this **blocks** until a worker makes space (use
+    /// [`Engine::try_submit`] to be rejected instead, or
+    /// [`Engine::submit_wait`] to bound the block). On a draining
+    /// engine the returned ticket is already resolved with
+    /// [`EngineError::Canceled`].
     pub fn submit(&self, perm: Permutation) -> Ticket {
-        let (tx, rx) = mpsc::channel();
-        self.shared.recorder.note_submitted();
-        {
-            // Recover from poison: the queue is a plain VecDeque that no
-            // panicking holder can leave half-mutated in a harmful way.
-            let mut q = self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
-            q.jobs.push_back(Job { perm, submitted_at: Instant::now(), reply: tx });
-            self.shared.recorder.note_queue_depth(q.jobs.len() as u64);
+        self.submit_with(perm, None)
+    }
+
+    /// [`Engine::submit`] with a deadline: a worker that dequeues the
+    /// request at or after `deadline` sheds it — the ticket resolves
+    /// with [`EngineError::DeadlineExceeded`] and the permutation is
+    /// never planned or executed.
+    pub fn submit_with_deadline(&self, perm: Permutation, deadline: Instant) -> Ticket {
+        self.submit_with(perm, Some(deadline))
+    }
+
+    fn submit_with(&self, perm: Permutation, deadline: Option<Instant>) -> Ticket {
+        match self.enqueue(perm, deadline, Block::Forever) {
+            Ok(ticket) => ticket,
+            // Only `ShuttingDown` can escape a forever-blocking
+            // enqueue; honour the infallible signature by handing back
+            // a pre-canceled ticket.
+            Err(_) => Ticket::resolved(RequestOutcome {
+                result: Err(EngineError::Canceled),
+                latency: Duration::ZERO,
+            }),
         }
+    }
+
+    /// Non-blocking admission: rejects with [`SubmitError::QueueFull`]
+    /// when the bounded queue is at depth, instead of blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] on a full bounded queue,
+    /// [`SubmitError::ShuttingDown`] on a draining engine.
+    pub fn try_submit(&self, perm: Permutation) -> Result<Ticket, SubmitError> {
+        self.enqueue(perm, None, Block::Never)
+    }
+
+    /// Blocking admission with a bound: waits up to `timeout` for queue
+    /// space.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Timeout`] when no space appeared in time,
+    /// [`SubmitError::ShuttingDown`] on a draining engine.
+    pub fn submit_wait(
+        &self,
+        perm: Permutation,
+        timeout: Duration,
+    ) -> Result<Ticket, SubmitError> {
+        self.enqueue(perm, None, Block::Until(Instant::now() + timeout))
+    }
+
+    /// The one admission path: checks drain state and the depth bound,
+    /// blocks per `block`, then enqueues and wakes a worker. Rejected
+    /// submissions are counted `rejected`, never `submitted`.
+    fn enqueue(
+        &self,
+        perm: Permutation,
+        deadline: Option<Instant>,
+        block: Block,
+    ) -> Result<Ticket, SubmitError> {
+        let (tx, rx) = mpsc::channel();
+        let mut q = self.shared.lock_queue();
+        loop {
+            if q.draining || q.shutdown {
+                drop(q);
+                self.shared.recorder.note_rejected();
+                return Err(SubmitError::ShuttingDown);
+            }
+            let Some(depth) = self.shared.max_queue_depth else { break };
+            if q.jobs.len() < depth {
+                break;
+            }
+            match block {
+                Block::Never => {
+                    drop(q);
+                    self.shared.recorder.note_rejected();
+                    return Err(SubmitError::QueueFull { depth });
+                }
+                Block::Forever => {
+                    q = self.shared.space.wait(q).unwrap_or_else(PoisonError::into_inner);
+                }
+                Block::Until(until) => {
+                    let now = Instant::now();
+                    if now >= until {
+                        drop(q);
+                        self.shared.recorder.note_rejected();
+                        return Err(SubmitError::Timeout);
+                    }
+                    let (guard, _) = self
+                        .shared
+                        .space
+                        .wait_timeout(q, until - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    q = guard;
+                }
+            }
+        }
+        self.shared.recorder.note_submitted();
+        q.jobs.push_back(Job { perm, submitted_at: Instant::now(), deadline, reply: tx });
+        self.shared.recorder.note_queue_depth(q.jobs.len() as u64);
+        drop(q);
         self.shared.available.notify_one();
-        Ticket { rx }
+        Ok(Ticket { rx, outcome: None })
     }
 
     /// Enqueues many requests, returning one ticket per request in
@@ -309,10 +643,38 @@ impl Engine {
         self.submit_all(perms).into_iter().map(Ticket::wait).collect()
     }
 
-    /// A point-in-time snapshot of the engine counters.
+    /// A point-in-time snapshot of the engine counters, including the
+    /// current state of every circuit breaker.
     #[must_use]
     pub fn stats(&self) -> EngineStats {
-        self.shared.recorder.snapshot()
+        let mut stats = self.shared.recorder.snapshot();
+        stats.breaker_states = self.shared.breaker_states();
+        stats
+    }
+
+    /// The circuit-breaker state for order `n`, or `None` when breakers
+    /// are disabled or that fabric has not been served yet.
+    #[must_use]
+    pub fn breaker_state(&self, n: u32) -> Option<BreakerState> {
+        self.shared
+            .breaker_states()
+            .into_iter()
+            .find_map(|(order, state)| (order == n).then_some(state))
+    }
+
+    /// Arms the chaos injector: subsequent requests are delayed /
+    /// forced to fail per `chaos`'s seeded rates, until
+    /// [`Engine::clear_chaos`]. Forced failures surface as
+    /// [`EngineError::Injected`] and count toward the circuit breaker
+    /// like real fabric damage.
+    pub fn set_chaos(&self, chaos: ChaosConfig) {
+        self.shared.chaos.arm(chaos);
+    }
+
+    /// Disarms the chaos injector; requests already dequeued may still
+    /// carry an injected decision.
+    pub fn clear_chaos(&self) {
+        self.shared.chaos.disarm();
     }
 
     /// The number of plans currently held by the cache.
@@ -395,25 +757,97 @@ impl Engine {
     pub fn flight_dropped(&self) -> u64 {
         self.shared.flight.dropped()
     }
-}
 
-impl Drop for Engine {
-    fn drop(&mut self) {
-        {
+    /// Graceful shutdown: closes admission immediately, lets workers
+    /// finish queued requests until `deadline`, then sheds whatever is
+    /// still queued (each shed ticket resolves with
+    /// [`EngineError::Canceled`]), joins every worker, and sweeps up
+    /// jobs stranded by dead workers. After `drain` returns no worker
+    /// is running and **every** outstanding ticket has an outcome.
+    ///
+    /// Draining twice (or dropping a drained engine) is a no-op.
+    pub fn drain(&self, deadline: Instant) -> DrainReport {
+        self.teardown(Some(deadline))
+    }
+
+    /// Shared shutdown path for [`Engine::drain`] and `Drop`.
+    /// `deadline: None` means "finish everything queued" (historical
+    /// drop semantics); `Some` bounds the wait and cancels the rest.
+    /// The workers mutex is held throughout, serializing concurrent
+    /// teardowns (the second becomes a no-op).
+    fn teardown(&self, deadline: Option<Instant>) -> DrainReport {
+        let mut report = DrainReport::default();
+        let mut handles = self.workers.lock().unwrap_or_else(PoisonError::into_inner);
+        if handles.is_empty() {
+            return report; // already drained
+        }
+        let stranded: Vec<Job> = {
             // Must recover from poison, not `.expect`: if a worker
             // panicked while holding this lock, panicking again here —
             // typically while the original panic is still unwinding —
             // aborts the whole process. Shutdown must always proceed.
-            let mut q = self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut q = self.shared.lock_queue();
+            q.draining = true;
+            // Wake submitters blocked on space: they observe `draining`
+            // and return `ShuttingDown`.
+            self.shared.space.notify_all();
+            if let Some(deadline) = deadline {
+                // Wait for the workers to empty the queue; they pulse
+                // `space` after every batch they take.
+                while !q.jobs.is_empty() {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        report.timed_out = true;
+                        break;
+                    }
+                    let (guard, _) = self
+                        .shared
+                        .space
+                        .wait_timeout(q, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    q = guard;
+                }
+            }
             q.shutdown = true;
-        }
+            // Unbounded teardown (drop) leaves the queue for the
+            // workers, which exit only once it is empty; a bounded
+            // drain sheds whatever outlived the deadline.
+            if deadline.is_some() {
+                q.jobs.drain(..).collect()
+            } else {
+                Vec::new()
+            }
+        };
         self.shared.available.notify_all();
-        for handle in self.workers.drain(..) {
+        for job in stranded {
+            cancel_job(&self.shared, job);
+            report.canceled += 1;
+        }
+        for handle in handles.drain(..) {
             // Join fails only for a worker that panicked, which the
             // failure stats already counted; shutdown proceeds anyway.
             // analyze:allow(discarded-result): worker panic already counted
             let _ = handle.join();
         }
+        // Post-join sweep: a worker that died (panicked outside the
+        // per-job containment) may have left work queued with no one
+        // to serve it. Cancel it so no ticket hangs.
+        let leftovers: Vec<Job> = self.shared.lock_queue().jobs.drain(..).collect();
+        for job in leftovers {
+            cancel_job(&self.shared, job);
+            report.canceled += 1;
+        }
+        report
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Historical drop semantics: finish every queued request
+        // (deadline `None`), then cancel only what dead workers
+        // stranded. The report is meaningless to a destructor.
+        // analyze:allow(discarded-result): drop has no caller to report to
+        let _ = self.teardown(None);
     }
 }
 
@@ -434,7 +868,7 @@ fn worker_loop(shared: &Shared) {
         let batch: Vec<Job> = {
             // Poison recovery on both the lock and the condvar wait: a
             // sibling's panic must not take the remaining workers down.
-            let mut q = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut q = shared.lock_queue();
             loop {
                 if !q.jobs.is_empty() {
                     break;
@@ -451,44 +885,169 @@ fn worker_loop(shared: &Shared) {
             let take = shared.batch_size.min(q.jobs.len());
             q.jobs.drain(..take).collect()
         };
+        // The dequeue made space: wake blocked submitters and a drain
+        // waiting for the queue to empty.
+        shared.space.notify_all();
         // More work may remain; wake a sibling before grinding through
         // the batch so the queue keeps draining in parallel.
         shared.available.notify_one();
         for job in batch {
-            // Contain per-job panics: without this, one panicking job
-            // kills the worker with the rest of its drained batch
-            // un-replied, and the queued tickets behind it can block
-            // forever. `nets` only memoizes immutable topologies, so
-            // observing it after an unwind is sound. The flight record
-            // is built *outside* the unwind boundary so a panic still
-            // leaves its partial ladder in the ring.
-            let mut attempt = RouteAttempt::new(job.perm.fingerprint(), job.perm.len());
-            let served = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                serve_one(shared, &mut nets, &job.perm, &mut attempt)
-            }));
-            let result = match served {
-                Ok(r) => r,
-                Err(_) => {
-                    attempt.step(LadderStep::Panicked);
-                    Err(EngineError::JobPanicked)
-                }
-            };
-            if result.is_ok() {
-                shared.recorder.note_completed();
-            } else {
-                shared.recorder.note_failed();
-            }
-            let latency = job.submitted_at.elapsed();
-            let latency_ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
-            shared.recorder.note_latency_ns(latency_ns, result.as_ref().ok().copied());
-            attempt.result = Some(result.clone());
-            attempt.phases.total = latency_ns;
-            shared.flight.record(attempt);
-            // A dropped ticket just means the caller stopped listening.
-            // analyze:allow(discarded-result): caller hung up
-            let _ = job.reply.send(RequestOutcome { result, latency });
+            #[cfg(test)]
+            test_hooks::maybe_kill_worker(&job.perm);
+            serve_job(shared, &mut nets, job);
         }
     }
+}
+
+/// Runs one dequeued job through the full lifecycle: deadline check,
+/// chaos roll, breaker admission, contained execution, breaker
+/// feedback, terminal accounting.
+fn serve_job(shared: &Shared, nets: &mut HashMap<u32, Benes>, job: Job) {
+    let mut attempt = RouteAttempt::new(job.perm.fingerprint(), job.perm.len());
+
+    // Deadline shed happens before any planning or execution: an
+    // expired request costs the worker nothing but this check.
+    if let Some(deadline) = job.deadline {
+        if Instant::now() >= deadline {
+            attempt.step(LadderStep::DeadlineShed);
+            finish_job(shared, job, attempt, Err(EngineError::DeadlineExceeded));
+            return;
+        }
+    }
+
+    // The chaos injector's delay simulates a slow fault and applies
+    // before admission, so delayed requests still contend normally.
+    let chaos = shared.chaos.roll();
+    if let Some(delay) = chaos.delay {
+        std::thread::sleep(delay);
+    }
+
+    // Breaker admission. A shed request is never planned or executed
+    // and does not feed back into the breaker (it is not a failure of
+    // the fabric, it is the breaker working).
+    let admission =
+        required_order(&job.perm).ok().and_then(|n| shared.breaker(n)).map(|breaker| {
+            let verdict = breaker.admit(Instant::now());
+            (breaker, verdict)
+        });
+    let probe = match &admission {
+        Some((_, Admission::Shed)) => {
+            attempt.step(LadderStep::BreakerShed);
+            finish_job(shared, job, attempt, Err(EngineError::BreakerOpen));
+            return;
+        }
+        Some((_, Admission::Probe)) => {
+            shared.recorder.note_breaker_probe();
+            attempt.step(LadderStep::BreakerProbe);
+            true
+        }
+        _ => false,
+    };
+
+    let result = if chaos.fail {
+        // Forced failure: deterministic stand-in for fabric damage.
+        attempt.step(LadderStep::ChaosInjected);
+        Err(EngineError::Injected)
+    } else {
+        // Contain per-job panics: without this, one panicking job
+        // kills the worker with the rest of its drained batch
+        // un-replied, and the queued tickets behind it can block
+        // forever. `nets` only memoizes immutable topologies, so
+        // observing it after an unwind is sound. The flight record
+        // is built *outside* the unwind boundary so a panic still
+        // leaves its partial ladder in the ring.
+        let served = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            serve_one(shared, nets, &job.perm, &mut attempt)
+        }));
+        served.unwrap_or_else(|_| {
+            attempt.step(LadderStep::Panicked);
+            Err(EngineError::JobPanicked)
+        })
+    };
+
+    // Breaker feedback: verified successes reset the streak, countable
+    // failures advance it; a probe's outcome decides reopen/re-close.
+    if let Some((breaker, _)) = &admission {
+        match &result {
+            Ok(_) => {
+                if breaker.on_success(probe) {
+                    shared.recorder.note_breaker_reclosed();
+                }
+            }
+            Err(e) if breaker_countable(e) => {
+                if breaker.on_failure(probe, Instant::now()) {
+                    shared.recorder.note_breaker_opened();
+                }
+            }
+            Err(_) => {}
+        }
+    }
+    finish_job(shared, job, attempt, result);
+}
+
+/// Whether a failure advances the circuit breaker: fabric-shaped
+/// failures do, caller errors (`Plan`) and lifecycle outcomes do not.
+fn breaker_countable(e: &EngineError) -> bool {
+    matches!(
+        e,
+        EngineError::Misrouted
+            | EngineError::FaultDetected
+            | EngineError::Unroutable
+            | EngineError::JobPanicked
+            | EngineError::Injected
+    )
+}
+
+/// Terminal accounting for one job: classify the outcome into exactly
+/// one of completed / failed / shed / canceled, record latency on the
+/// matching path, freeze the flight record, and reply to the ticket.
+fn finish_job(
+    shared: &Shared,
+    job: Job,
+    mut attempt: RouteAttempt,
+    result: Result<Tier, EngineError>,
+) {
+    let path = match &result {
+        Ok(tier) => {
+            shared.recorder.note_completed();
+            LatencyPath::Tier(*tier)
+        }
+        Err(EngineError::DeadlineExceeded) => {
+            shared.recorder.note_shed_deadline();
+            LatencyPath::Shed
+        }
+        Err(EngineError::BreakerOpen) => {
+            shared.recorder.note_shed_breaker();
+            LatencyPath::Shed
+        }
+        Err(EngineError::Canceled) => {
+            shared.recorder.note_canceled();
+            // Cancellations share the shed histogram: both measure how
+            // long a request sat queued before the engine gave up on it.
+            LatencyPath::Shed
+        }
+        Err(_) => {
+            shared.recorder.note_failed();
+            LatencyPath::Failed
+        }
+    };
+    let latency = job.submitted_at.elapsed();
+    let latency_ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+    shared.recorder.note_latency_ns(latency_ns, path);
+    attempt.result = Some(result.clone());
+    attempt.phases.total = latency_ns;
+    shared.flight.record(attempt);
+    // A dropped ticket just means the caller stopped listening.
+    // analyze:allow(discarded-result): caller hung up
+    let _ = job.reply.send(RequestOutcome { result, latency });
+}
+
+/// Cancels one never-served job (drain shedding or a post-join sweep):
+/// its ticket resolves with [`EngineError::Canceled`].
+fn cancel_job(shared: &Shared, job: Job) {
+    let mut attempt = RouteAttempt::new(job.perm.fingerprint(), job.perm.len());
+    attempt.step(LadderStep::Canceled);
+    finish_job(shared, job, attempt, Err(EngineError::Canceled));
 }
 
 /// How many times the reroute ladder replans after a fault-avoiding
@@ -758,6 +1317,19 @@ mod test_hooks {
         let armed = PANIC_ON_FINGERPRINT.load(Ordering::Relaxed);
         if armed != 0 && perm.fingerprint() == armed {
             panic!("test hook: detonating job for fingerprint {armed:#x}");
+        }
+    }
+
+    /// When non-zero, [`maybe_kill_worker`] panics *outside* the per-job
+    /// containment, killing the whole worker thread — the seam the
+    /// teardown regression test uses to strand queued jobs with no one
+    /// to serve them.
+    pub(super) static KILL_WORKER_ON_FINGERPRINT: AtomicU64 = AtomicU64::new(0);
+
+    pub(super) fn maybe_kill_worker(perm: &Permutation) {
+        let armed = KILL_WORKER_ON_FINGERPRINT.load(Ordering::Relaxed);
+        if armed != 0 && perm.fingerprint() == armed {
+            panic!("test hook: killing worker on fingerprint {armed:#x}");
         }
     }
 }
@@ -1185,5 +1757,104 @@ mod tests {
         assert_eq!(*trace, direct);
         // And it renders into the flight-record dump.
         assert!(record.render().contains("failing-plan trace:"));
+    }
+
+    #[test]
+    fn dead_worker_strands_are_canceled_on_drop() {
+        // Satellite regression: an engine dropped with outstanding
+        // tickets must resolve every one of them. Kill the only worker
+        // *outside* the per-job containment so queued jobs are stranded
+        // with no one to serve them; the drop's post-join sweep must
+        // cancel them rather than leave their waiters hanging. The bomb
+        // fingerprint is unique to this test (hook statics are
+        // process-wide).
+        let bomb = Permutation::from_fn(32, |i| (i + 11) % 32).unwrap();
+        test_hooks::KILL_WORKER_ON_FINGERPRINT.store(bomb.fingerprint(), Ordering::Relaxed);
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            batch_size: 1,
+            ..EngineConfig::default()
+        });
+        let mut tickets = engine.submit_all([
+            bomb,
+            Bpc::bit_reversal(3).to_permutation(),
+            Bpc::unshuffle(3).to_permutation(),
+        ]);
+        // Tickets held across the drop: the engine is gone, yet every
+        // ticket must already be resolved (no blocking wait can hang).
+        drop(engine);
+        let outcomes: Vec<RequestOutcome> = tickets.drain(..).map(Ticket::wait).collect();
+        test_hooks::KILL_WORKER_ON_FINGERPRINT.store(0, Ordering::Relaxed);
+        assert_eq!(
+            outcomes[0].result,
+            Err(EngineError::WorkerLost),
+            "the bomb's reply sender died with its worker"
+        );
+        assert_eq!(outcomes[1].result, Err(EngineError::Canceled));
+        assert_eq!(outcomes[2].result, Err(EngineError::Canceled));
+    }
+
+    #[test]
+    fn breaker_opens_sheds_and_recloses_deterministically() {
+        // Single worker + forced failures: the breaker's full cycle is
+        // deterministic. Threshold 2 → two injected failures trip it
+        // open; while open requests shed with BreakerOpen; after the
+        // backoff the probe succeeds (chaos cleared) and re-closes it.
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(1),
+                jitter_seed: 1,
+            },
+            ..EngineConfig::default()
+        });
+        let rev = Bpc::bit_reversal(3).to_permutation();
+        engine.set_chaos(crate::chaos::ChaosConfig::always_fail(7));
+        assert_eq!(engine.submit(rev.clone()).wait().result, Err(EngineError::Injected));
+        assert_eq!(
+            engine.submit(rev.clone()).wait().result,
+            Err(EngineError::Injected),
+            "second consecutive failure trips the breaker"
+        );
+        assert_eq!(engine.breaker_state(3), Some(BreakerState::Open));
+        // Open: the request is shed, not planned, not executed — and
+        // crucially NOT retried against the fabric.
+        let shed = engine.submit(rev.clone()).wait();
+        assert_eq!(shed.result, Err(EngineError::BreakerOpen));
+        let record = engine.flight_records(1).pop().unwrap();
+        assert_eq!(record.ladder, vec![LadderStep::BreakerShed]);
+
+        engine.clear_chaos();
+        // Past the 1ms (+25% jitter) backoff the next request probes,
+        // succeeds, and re-closes the breaker.
+        std::thread::sleep(Duration::from_millis(10));
+        let probe = engine.submit(rev.clone()).wait();
+        assert!(probe.is_ok(), "probe must serve normally: {:?}", probe.result);
+        assert_eq!(engine.breaker_state(3), Some(BreakerState::Closed));
+        assert!(engine.submit(rev).wait().is_ok());
+
+        let stats = engine.stats();
+        assert_eq!(stats.breaker_opened, 1);
+        assert_eq!(stats.breaker_probes, 1);
+        assert_eq!(stats.breaker_reclosed, 1);
+        assert_eq!(stats.breaker_shed, 1);
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.breaker_states, vec![(3, BreakerState::Closed)]);
+        assert!(stats.conserves_requests());
+        assert!(stats.is_overloaded());
+        let report = stats.report();
+        assert!(report.contains("breaker"), "report shows breaker activity:\n{report}");
+    }
+
+    #[test]
+    fn breaker_disabled_by_default_changes_nothing() {
+        let engine = Engine::new(EngineConfig { workers: 1, ..EngineConfig::default() });
+        assert_eq!(engine.breaker_state(3), None);
+        assert!(engine.submit(Bpc::bit_reversal(3).to_permutation()).wait().is_ok());
+        let stats = engine.stats();
+        assert!(stats.breaker_states.is_empty());
+        assert_eq!(stats.breaker_opened, 0);
     }
 }

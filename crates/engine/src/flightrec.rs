@@ -54,6 +54,21 @@ pub enum LadderStep {
     RetryExhausted,
     /// The job panicked inside the worker; later rungs never ran.
     Panicked,
+    /// The request's deadline had already passed at dequeue: it was
+    /// shed without ever being planned or executed.
+    DeadlineShed,
+    /// The order's circuit breaker was open: the request was shed
+    /// before planning.
+    BreakerShed,
+    /// The breaker was half-open and this request was admitted as the
+    /// probe; its outcome decides whether the breaker re-closes.
+    BreakerProbe,
+    /// The chaos injector forced this request to fail (deterministic
+    /// fault-burst testing; never fires unless chaos is armed).
+    ChaosInjected,
+    /// The request was canceled by `Engine::drain` or engine teardown
+    /// before a worker served it.
+    Canceled,
 }
 
 impl std::fmt::Display for LadderStep {
@@ -73,6 +88,11 @@ impl std::fmt::Display for LadderStep {
             Self::Unavoidable => write!(f, "unavoidable"),
             Self::RetryExhausted => write!(f, "retry-exhausted"),
             Self::Panicked => write!(f, "panicked"),
+            Self::DeadlineShed => write!(f, "deadline-shed"),
+            Self::BreakerShed => write!(f, "breaker-shed"),
+            Self::BreakerProbe => write!(f, "breaker-probe"),
+            Self::ChaosInjected => write!(f, "chaos-injected"),
+            Self::Canceled => write!(f, "canceled"),
         }
     }
 }
@@ -231,6 +251,11 @@ mod tests {
             LadderStep::Unavoidable,
             LadderStep::RetryExhausted,
             LadderStep::Panicked,
+            LadderStep::DeadlineShed,
+            LadderStep::BreakerShed,
+            LadderStep::BreakerProbe,
+            LadderStep::ChaosInjected,
+            LadderStep::Canceled,
         ];
         let rendered: Vec<String> = steps.iter().map(ToString::to_string).collect();
         for (i, a) in rendered.iter().enumerate() {

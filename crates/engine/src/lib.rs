@@ -33,7 +33,27 @@
 //!   non-blocking ring ([`Engine::flight_records`]);
 //! * [`workload`] — deterministic mixed workload generation (Table I
 //!   `BPC` + `Ω` members + hard permutations with repeats) for demos,
-//!   benchmarks and tests.
+//!   benchmarks and tests;
+//! * [`breaker`] — the **circuit breaker**: per-order admission control
+//!   over the fault-reroute ladder (closed → open after K consecutive
+//!   fabric failures → half-open probe), with exponential backoff and
+//!   deterministic seeded jitter;
+//! * [`chaos`] — the **chaos harness**: a seeded injector (worker
+//!   delays, forced failures) plus a scripted soak
+//!   ([`chaos::run_soak`]) that checks the request-conservation
+//!   invariant `completed + failed + shed + canceled == submitted`,
+//!   hunts hung waiters, and proves the breaker opens and re-closes
+//!   around a fault burst.
+//!
+//! # Overload protection & lifecycle
+//!
+//! Every request admitted by [`Engine::submit`] (or its bounded
+//! cousins [`Engine::try_submit`] / [`Engine::submit_wait`], or the
+//! deadline-carrying [`Engine::submit_with_deadline`]) reaches exactly
+//! one terminal state — completed, failed, shed, or canceled — and its
+//! [`Ticket`] always resolves: timeouts via [`Ticket::wait_timeout`],
+//! polls via [`Ticket::try_result`], shutdown via [`Engine::drain`]
+//! (which cancels rather than abandons).
 //!
 //! # Quick start
 //!
@@ -53,7 +73,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod cache;
+pub mod chaos;
 pub mod engine;
 pub mod flightrec;
 pub mod plan;
@@ -61,8 +83,12 @@ pub mod stats;
 pub mod workload;
 
 pub use benes_core::faults::{FaultError, FaultKind, FaultSet};
+pub use breaker::{BreakerConfig, BreakerState};
 pub use cache::PlanCache;
-pub use engine::{Engine, EngineConfig, EngineError, RequestOutcome, Ticket};
+pub use chaos::{run_soak, ChaosConfig, ChaosEvent, ChaosSchedule, SoakConfig, SoakReport};
+pub use engine::{
+    DrainReport, Engine, EngineConfig, EngineError, RequestOutcome, SubmitError, Ticket,
+};
 pub use flightrec::{LadderStep, PhaseNanos, RouteAttempt};
 pub use plan::{Fallback, Plan, PlanError, Tier};
 pub use stats::EngineStats;

@@ -20,7 +20,21 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use benes_obs::{Exposition, Histogram, HistogramSnapshot, MetricKind, Sample};
 
+use crate::breaker::BreakerState;
 use crate::plan::Tier;
+
+/// Which histogram a latency sample lands in besides the overall one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LatencyPath {
+    /// The request completed on this tier.
+    Tier(Tier),
+    /// The request failed (plan error, misroute, exhausted reroutes,
+    /// panic, injected failure).
+    Failed,
+    /// The request was shed or canceled without being executed
+    /// (deadline, open breaker, drain/teardown cancellation).
+    Shed,
+}
 
 /// Internal recorder shared by the workers. All operations are relaxed:
 /// counters are monotone and read only in snapshots.
@@ -46,6 +60,15 @@ pub(crate) struct Recorder {
     reroutes_failed: AtomicU64,
     fault_retries: AtomicU64,
     static_validated: AtomicU64,
+    shed: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    breaker_shed: AtomicU64,
+    canceled: AtomicU64,
+    rejected: AtomicU64,
+    breaker_opened: AtomicU64,
+    breaker_reclosed: AtomicU64,
+    breaker_probes: AtomicU64,
+    shed_latency: Histogram,
 }
 
 fn tier_index(tier: Tier) -> usize {
@@ -122,30 +145,75 @@ impl Recorder {
         self.static_validated.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records one submit→completion latency. `outcome` is the tier
-    /// that served the request, or `None` if it failed — the sample
-    /// lands in the overall histogram plus the matching path histogram.
-    pub(crate) fn note_latency_ns(&self, ns: u64, outcome: Option<Tier>) {
+    /// One request shed at dequeue because its deadline had passed.
+    pub(crate) fn note_shed_deadline(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One request shed at admission because its order's breaker was
+    /// open.
+    pub(crate) fn note_shed_breaker(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.breaker_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One admitted request canceled by drain or teardown.
+    pub(crate) fn note_canceled(&self) {
+        self.canceled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One submission refused admission (queue full or wait timed out);
+    /// rejected requests are never counted as submitted.
+    pub(crate) fn note_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_breaker_opened(&self) {
+        self.breaker_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_breaker_reclosed(&self) {
+        self.breaker_reclosed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_breaker_probe(&self) {
+        self.breaker_probes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one submit→terminal latency. The sample lands in the
+    /// overall histogram plus the histogram matching its path (tier /
+    /// failed / shed).
+    pub(crate) fn note_latency_ns(&self, ns: u64, path: LatencyPath) {
         self.latency.record(ns);
-        match outcome {
-            Some(tier) => self.tier_latency[tier_index(tier)].record(ns),
-            None => self.failed_latency.record(ns),
+        match path {
+            LatencyPath::Tier(tier) => self.tier_latency[tier_index(tier)].record(ns),
+            LatencyPath::Failed => self.failed_latency.record(ns),
+            LatencyPath::Shed => self.shed_latency.record(ns),
         }
     }
 
     pub(crate) fn snapshot(&self) -> EngineStats {
         // Load the terminal-state counters *before* `submitted`: every
-        // request is counted submitted before it can complete or fail,
-        // so loading in this order (plus the clamp below) guarantees the
-        // snapshot never reports completed + failed > submitted even
-        // while workers race us.
+        // request is counted submitted before it can reach a terminal
+        // state, so loading in this order (plus the clamp below)
+        // guarantees the snapshot never reports
+        // completed + failed + shed + canceled > submitted even while
+        // workers race us.
         let completed = self.completed.load(Ordering::Relaxed);
         let failed = self.failed.load(Ordering::Relaxed);
-        let submitted = self.submitted.load(Ordering::Relaxed).max(completed + failed);
+        let shed = self.shed.load(Ordering::Relaxed);
+        let canceled = self.canceled.load(Ordering::Relaxed);
+        let submitted = self
+            .submitted
+            .load(Ordering::Relaxed)
+            .max(completed + failed + shed + canceled);
         EngineStats {
             submitted,
             completed,
             failed,
+            shed,
+            canceled,
             cached: self.tier_cached.load(Ordering::Relaxed),
             self_route: self.tier_self_route.load(Ordering::Relaxed),
             omega_bit: self.tier_omega_bit.load(Ordering::Relaxed),
@@ -166,6 +234,14 @@ impl Recorder {
             reroutes_failed: self.reroutes_failed.load(Ordering::Relaxed),
             fault_retries: self.fault_retries.load(Ordering::Relaxed),
             static_validated: self.static_validated.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            breaker_shed: self.breaker_shed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            breaker_opened: self.breaker_opened.load(Ordering::Relaxed),
+            breaker_reclosed: self.breaker_reclosed.load(Ordering::Relaxed),
+            breaker_probes: self.breaker_probes.load(Ordering::Relaxed),
+            shed_latency: self.shed_latency.snapshot(),
+            breaker_states: Vec::new(),
         }
     }
 }
@@ -230,6 +306,38 @@ pub struct EngineStats {
     /// Cached plans validated against the fault registry by the static
     /// agreement check (`FaultSet::agrees_with`) instead of a replay.
     pub static_validated: u64,
+    /// Admitted requests shed without execution (deadline expiry plus
+    /// open-breaker sheds). A terminal state, disjoint from
+    /// `completed`/`failed`/`canceled`:
+    /// `completed + failed + shed + canceled == submitted` once the
+    /// engine is quiescent.
+    pub shed: u64,
+    /// Requests shed at dequeue because their deadline had already
+    /// passed (subset of `shed`).
+    pub deadline_exceeded: u64,
+    /// Requests shed at admission because their order's circuit
+    /// breaker was open (subset of `shed`).
+    pub breaker_shed: u64,
+    /// Admitted requests canceled by [`crate::Engine::drain`] or
+    /// engine teardown before a worker served them.
+    pub canceled: u64,
+    /// Submissions refused admission (bounded queue full, or
+    /// `submit_wait` timed out). Rejected requests are **not** counted
+    /// in `submitted`.
+    pub rejected: u64,
+    /// Times a breaker tripped open (threshold reached or a failed
+    /// half-open probe).
+    pub breaker_opened: u64,
+    /// Times a successful half-open probe re-closed a breaker.
+    pub breaker_reclosed: u64,
+    /// Half-open probe requests admitted.
+    pub breaker_probes: u64,
+    /// Latency distribution of shed and canceled requests (submit →
+    /// shed decision), nanoseconds.
+    pub shed_latency: HistogramSnapshot,
+    /// Current breaker state per served network order (filled by
+    /// [`crate::Engine::stats`]; empty on a bare recorder snapshot).
+    pub breaker_states: Vec<(u32, BreakerState)>,
 }
 
 impl EngineStats {
@@ -296,6 +404,27 @@ impl EngineStats {
             || self.reroutes_failed > 0
             || self.fault_retries > 0
             || self.static_validated > 0
+    }
+
+    /// Whether the engine has seen overload or lifecycle activity
+    /// (sheds, cancellations, rejections or breaker transitions); when
+    /// true, [`EngineStats::report`] appends an overload section.
+    #[must_use]
+    pub fn is_overloaded(&self) -> bool {
+        self.shed > 0
+            || self.canceled > 0
+            || self.rejected > 0
+            || self.breaker_opened > 0
+            || self.breaker_probes > 0
+    }
+
+    /// The request-conservation invariant: every admitted request
+    /// reaches exactly one terminal state. Holds exactly (with `==`)
+    /// once the engine is quiescent (drained or idle); while workers
+    /// are serving, in-flight requests make it a `<=`.
+    #[must_use]
+    pub fn conserves_requests(&self) -> bool {
+        self.completed + self.failed + self.shed + self.canceled == self.submitted
     }
 
     /// A human-readable multi-line report (used by `benes-cli engine`).
@@ -373,6 +502,37 @@ impl EngineStats {
                 self.static_validated
             ));
         }
+        if self.is_overloaded() {
+            out.push_str("overload & lifecycle:\n");
+            out.push_str(&format!(
+                "  shed               {} ({} deadline-expired, {} breaker)\n",
+                self.shed, self.deadline_exceeded, self.breaker_shed
+            ));
+            out.push_str(&format!("  canceled           {}\n", self.canceled));
+            out.push_str(&format!(
+                "  rejected           {} (queue full / wait timeout)\n",
+                self.rejected
+            ));
+            out.push_str(&format!(
+                "  breaker            {} opened / {} re-closed / {} probes\n",
+                self.breaker_opened, self.breaker_reclosed, self.breaker_probes
+            ));
+            if !self.breaker_states.is_empty() {
+                out.push_str("  breaker state     ");
+                for (n, state) in &self.breaker_states {
+                    out.push_str(&format!(" B({n})={state}"));
+                }
+                out.push('\n');
+            }
+            if !self.shed_latency.is_empty() {
+                out.push_str(&format!(
+                    "  shed latency (ns): p50 {} / p99 {} ({} requests)\n",
+                    self.shed_latency.quantile(0.5),
+                    self.shed_latency.quantile(0.99),
+                    self.shed_latency.count()
+                ));
+            }
+        }
         out
     }
 
@@ -391,8 +551,46 @@ impl EngineStats {
             ("submitted", self.submitted),
             ("completed", self.completed),
             ("failed", self.failed),
+            ("shed", self.shed),
+            ("canceled", self.canceled),
+            ("rejected", self.rejected),
         ] {
             e.push(Sample::new("benes_requests_total", v as f64).label("state", state));
+        }
+        e.describe(
+            "benes_shed_total",
+            MetricKind::Counter,
+            "Requests shed without execution, by reason.",
+        );
+        for (reason, v) in
+            [("deadline", self.deadline_exceeded), ("breaker", self.breaker_shed)]
+        {
+            e.push(Sample::new("benes_shed_total", v as f64).label("reason", reason));
+        }
+        e.describe(
+            "benes_breaker_total",
+            MetricKind::Counter,
+            "Circuit-breaker transitions and probes.",
+        );
+        for (event, v) in [
+            ("opened", self.breaker_opened),
+            ("reclosed", self.breaker_reclosed),
+            ("probe", self.breaker_probes),
+        ] {
+            e.push(Sample::new("benes_breaker_total", v as f64).label("event", event));
+        }
+        if !self.breaker_states.is_empty() {
+            e.describe(
+                "benes_breaker_state",
+                MetricKind::Gauge,
+                "Current breaker state per order (0 closed, 1 open, 2 half-open).",
+            );
+            for (n, state) in &self.breaker_states {
+                e.push(
+                    Sample::new("benes_breaker_state", state.as_gauge())
+                        .label("order", n.to_string()),
+                );
+            }
         }
         e.describe(
             "benes_tier_total",
@@ -461,6 +659,9 @@ impl EngineStats {
         if !self.failed_latency.is_empty() {
             push_latency(&mut e, "failed", &self.failed_latency);
         }
+        if !self.shed_latency.is_empty() {
+            push_latency(&mut e, "shed", &self.shed_latency);
+        }
         e
     }
 }
@@ -521,8 +722,8 @@ mod tests {
         r.note_queue_depth(3);
         r.note_queue_depth(7);
         r.note_queue_depth(5);
-        r.note_latency_ns(100, Some(Tier::SelfRoute));
-        r.note_latency_ns(300, None);
+        r.note_latency_ns(100, LatencyPath::Tier(Tier::SelfRoute));
+        r.note_latency_ns(300, LatencyPath::Failed);
         let s = r.snapshot();
         assert_eq!(s.submitted, 2);
         assert_eq!(s.completed, 1);
@@ -558,12 +759,12 @@ mod tests {
     fn report_carries_per_tier_quantiles() {
         let r = Recorder::new();
         for ns in [100, 110, 120] {
-            r.note_latency_ns(ns, Some(Tier::SelfRoute));
+            r.note_latency_ns(ns, LatencyPath::Tier(Tier::SelfRoute));
         }
         for ns in [90_000, 100_000] {
-            r.note_latency_ns(ns, Some(Tier::Waksman));
+            r.note_latency_ns(ns, LatencyPath::Tier(Tier::Waksman));
         }
-        r.note_latency_ns(5_000, None);
+        r.note_latency_ns(5_000, LatencyPath::Failed);
         let text = r.snapshot().report();
         assert!(text.contains("per-tier latency"));
         assert!(text.contains("p999"), "overall line reports the far tail");
@@ -601,10 +802,10 @@ mod tests {
     fn tier_latencies_stay_separated() {
         let r = Recorder::new();
         for ns in [50, 60, 70] {
-            r.note_latency_ns(ns, Some(Tier::SelfRoute));
+            r.note_latency_ns(ns, LatencyPath::Tier(Tier::SelfRoute));
         }
         for ns in [40_000, 50_000, 60_000] {
-            r.note_latency_ns(ns, Some(Tier::Waksman));
+            r.note_latency_ns(ns, LatencyPath::Tier(Tier::Waksman));
         }
         let s = r.snapshot();
         let fast = s.tier_latency(Tier::SelfRoute);
@@ -639,7 +840,10 @@ mod tests {
                         } else {
                             r.note_completed();
                         }
-                        r.note_latency_ns(i % 1_000 + 1, Some(Tier::SelfRoute));
+                        r.note_latency_ns(
+                            i % 1_000 + 1,
+                            LatencyPath::Tier(Tier::SelfRoute),
+                        );
                         i += 1;
                     }
                 })
@@ -691,9 +895,9 @@ mod tests {
         r.note_tier(Tier::Waksman);
         r.note_cache(false);
         r.note_queue_depth(4);
-        r.note_latency_ns(1_500, Some(Tier::Waksman));
-        r.note_latency_ns(90, Some(Tier::SelfRoute));
-        r.note_latency_ns(70_000, None);
+        r.note_latency_ns(1_500, LatencyPath::Tier(Tier::Waksman));
+        r.note_latency_ns(90, LatencyPath::Tier(Tier::SelfRoute));
+        r.note_latency_ns(70_000, LatencyPath::Failed);
         let e = r.snapshot().exposition();
         let text = e.to_prometheus();
         assert!(text.contains("# TYPE benes_requests_total counter"));

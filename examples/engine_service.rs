@@ -5,10 +5,12 @@
 //!
 //! Run with: `cargo run --example engine_service`
 
+use std::time::{Duration, Instant};
+
 use benes::engine::workload::{
     hard_permutation, mixed_workload, table1_permutations, Rng64,
 };
-use benes::engine::{Engine, EngineConfig, Fallback};
+use benes::engine::{run_soak, Engine, EngineConfig, Fallback, SoakConfig};
 
 fn main() {
     // --- 1. Single requests: watch the tier ladder fire. ---
@@ -64,4 +66,33 @@ fn main() {
         stats.zero_setup_rate() * 100.0
     );
     assert_eq!(stats.waksman, 0);
+
+    // --- 4. Operating under load: bounded admission, deadlines, a
+    //        non-blocking poll, and a graceful drain. ---
+    let bounded = Engine::new(EngineConfig {
+        workers: 2,
+        max_queue_depth: Some(64),
+        ..EngineConfig::default()
+    });
+    let victim = hard_permutation(&mut rng, 4);
+    let expired = bounded.submit_with_deadline(victim.clone(), Instant::now()).wait();
+    println!("\nan expired deadline is shed, never planned: {:?}", expired.result);
+
+    let mut ticket = bounded.submit(victim);
+    while ticket.try_result().is_none() {
+        std::thread::yield_now(); // poll instead of blocking
+    }
+    let drained = bounded.drain(Instant::now() + Duration::from_secs(5));
+    println!(
+        "drained: {} canceled, timed out: {}; admission now refuses: {:?}",
+        drained.canceled,
+        drained.timed_out,
+        bounded.try_submit(table1_permutations(4).remove(0).1).unwrap_err()
+    );
+
+    // --- 5. The deterministic chaos soak: the whole lifecycle under a
+    //        seeded schedule of failure bursts and recoveries. ---
+    let soak = run_soak(&SoakConfig::new(3962, 150));
+    print!("\n{}", soak.render());
+    assert!(soak.healthy());
 }

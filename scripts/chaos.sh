@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# EXP-CHAOS runner: the deterministic chaos soak for the engine's
+# overload-protection layer. Drives the seeded schedule (traffic, a
+# forced-failure burst, recovery, a real stuck-switch burst, heal,
+# drain) and exits nonzero when any invariant is violated —
+# conservation (completed + failed + shed + canceled == submitted),
+# hung waiters, or a breaker that fails to open/re-close.
+#
+# Env:
+#   CHAOS_SEED      schedule seed                   (default 3962 — the
+#                   tier-1 seed, pinned by crates/engine/tests/chaos.rs)
+#   CHAOS_REQUESTS  base traffic per schedule phase (default 200)
+#
+# tier-1 runs this as a smoke test with the defaults.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SEED="${CHAOS_SEED:-3962}"
+REQUESTS="${CHAOS_REQUESTS:-200}"
+
+cargo run --release --offline -p benes-bench --bin chaos_soak -- \
+    --seed "$SEED" --requests "$REQUESTS"

@@ -12,3 +12,4 @@ cargo fmt --check
 cargo clippy --offline --workspace --all-targets -- -D warnings
 sh scripts/analyze.sh
 BENCH_REQUESTS=200 BENCH_OUT=target/BENCH_ENGINE.json sh scripts/bench.sh
+CHAOS_REQUESTS=200 sh scripts/chaos.sh
