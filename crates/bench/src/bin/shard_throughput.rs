@@ -1,0 +1,158 @@
+//! Experiment EXP-SHARD: block-decomposition coordinator throughput.
+//!
+//! Routes random giant permutations (`N = 2^n`, default n = 14..18)
+//! through `benes-shard`: three-stage decomposition, scatter of the
+//! `2B + S` sub-permutations across a fleet of engine shards, gather,
+//! and bitwise recombination verification. Reports wall time split into
+//! decompose vs. route+verify, element throughput, and the fleet's
+//! merged latency quantiles as the shard count scales.
+//!
+//! Usage: `shard_throughput [--max-n N] [--json PATH]`
+//!
+//! `--json` writes `BENCH_SHARD.json` with a stable schema
+//! (`experiment`, `seed`, `max_n`, `runs[]` with per-run `n`, `shards`,
+//! `units`, phase walls, throughput, and per-unit latency quantiles).
+
+use std::time::Instant;
+
+use benes_engine::workload::{random_permutation, Rng64};
+use benes_engine::EngineConfig;
+use benes_shard::{ShardConfig, ShardCoordinator};
+
+use benes_bench::Table;
+
+struct Run {
+    n: u32,
+    shards: usize,
+    units: usize,
+    decompose_ms: f64,
+    route_ms: f64,
+    elems_per_s: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+}
+
+impl Run {
+    /// One schema-stable JSON object (hand-rolled: the vendored
+    /// serde_json stub has no map type).
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"n\":{},\"shards\":{},\"units\":{},\"decompose_ms\":{:.3},\
+             \"route_ms\":{:.3},\"elems_per_s\":{:.0},\
+             \"unit_latency_ns\":{{\"p50\":{},\"p99\":{}}}}}",
+            self.n,
+            self.shards,
+            self.units,
+            self.decompose_ms,
+            self.route_ms,
+            self.elems_per_s,
+            self.p50_ns,
+            self.p99_ns,
+        )
+    }
+}
+
+fn parse_args() -> (u32, Option<String>) {
+    let mut max_n = 18u32;
+    let mut json = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--max-n" => {
+                let v = args.next().expect("--max-n needs a value");
+                max_n = v.parse().expect("--max-n must be an integer");
+                assert!((14..=22).contains(&max_n), "--max-n must be in 14..=22");
+            }
+            "--json" => json = Some(args.next().expect("--json needs a path")),
+            other => panic!("unknown argument `{other}` (try --max-n N / --json PATH)"),
+        }
+    }
+    (max_n, json)
+}
+
+fn main() {
+    let (max_n, json_path) = parse_args();
+    println!("== EXP-SHARD: block-decomposition coordinator throughput ==\n");
+
+    let seed = 0x5a4d;
+
+    let mut table = Table::new(vec![
+        "n",
+        "elements",
+        "shards",
+        "units",
+        "decompose ms",
+        "route+verify ms",
+        "elems/s",
+        "unit p50 ms",
+        "unit p99 ms",
+    ]);
+    let mut runs: Vec<Run> = Vec::new();
+
+    for n in (14..=max_n).step_by(2) {
+        let pi = random_permutation(&mut Rng64::new(seed ^ u64::from(n)), 1usize << n);
+        for shards in [1usize, 2, 4, 8] {
+            let coord = ShardCoordinator::new(ShardConfig {
+                shards,
+                engine: EngineConfig { workers: 2, ..EngineConfig::default() },
+                ..ShardConfig::default()
+            });
+            // Time the two phases separately: decompose is the serial
+            // O(N log N) coordinator cost; scatter/gather/verify is
+            // where the fleet parallelism shows.
+            let start = Instant::now();
+            let d = coord.decompose_for(&pi).expect("power-of-two perm decomposes");
+            let decompose_wall = start.elapsed();
+            let units = d.unit_count();
+            drop(d);
+            let start = Instant::now();
+            let outcome = coord.route(&pi).expect("power-of-two perm routes");
+            let route_wall = start.elapsed();
+            assert!(outcome.verified, "recombination must verify: {}", outcome.summary());
+
+            let total = decompose_wall + route_wall;
+            let stats = coord.stats();
+            let lat = stats.latency();
+            table.row(vec![
+                n.to_string(),
+                (1u64 << n).to_string(),
+                shards.to_string(),
+                units.to_string(),
+                format!("{:.2}", decompose_wall.as_secs_f64() * 1e3),
+                format!("{:.2}", route_wall.as_secs_f64() * 1e3),
+                format!("{:.0}", (1u64 << n) as f64 / total.as_secs_f64()),
+                format!("{:.2}", lat.quantile(0.5) as f64 / 1e6),
+                format!("{:.2}", lat.quantile(0.99) as f64 / 1e6),
+            ]);
+            runs.push(Run {
+                n,
+                shards,
+                units,
+                decompose_ms: decompose_wall.as_secs_f64() * 1e3,
+                route_ms: route_wall.as_secs_f64() * 1e3,
+                elems_per_s: (1u64 << n) as f64 / total.as_secs_f64(),
+                p50_ns: lat.quantile(0.5),
+                p99_ns: lat.quantile(0.99),
+            });
+        }
+    }
+    println!("{}", table.render());
+
+    if let Some(path) = json_path {
+        let body: Vec<String> = runs.iter().map(Run::to_json).collect();
+        let doc = format!(
+            "{{\"experiment\":\"EXP-SHARD\",\"seed\":{seed},\"max_n\":{max_n},\
+             \"runs\":[{}]}}\n",
+            body.join(",")
+        );
+        std::fs::write(&path, doc).expect("write --json output");
+        println!("machine-readable results written to {path}\n");
+    }
+
+    println!(
+        "observation: decompose is a serial O(N log N) pass (one Waksman-sized\n\
+         coloring), while the 2B + S scattered units ride the fleet — so shard\n\
+         scaling attacks exactly the part the paper's Theorems 4-6 make\n\
+         parallel, and the recombination check keeps the speedup honest."
+    );
+}

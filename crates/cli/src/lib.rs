@@ -100,6 +100,17 @@ COMMANDS:
                              then one victim through an injected dead
                              switch, and render the last route attempts
                              (ladder, phase timings, failing-plan trace)
+  shard route [n] [k] [s]    decompose one random 2^n permutation into the
+                             three-stage block factorization and route it
+                             across k engine shards with bitwise
+                             recombination verification
+                             (defaults: n=16, k=4 shards, seed 1)
+  shard soak [s] [n] [p] [k] deterministic shard soak: p permutations of
+                             2^n across k shards with a mid-stream fault
+                             injected into exactly one shard; exits
+                             nonzero on cross-shard contamination or a
+                             conservation violation
+                             (defaults: seed 1980, n=12, p=6, k=4)
   help                       this text
 "
     .to_string()
@@ -161,6 +172,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "chaos" => chaos_cmd(rest),
         "analyze" => analyze(rest),
         "obs" => obs(rest),
+        "shard" => shard_cmd(rest),
         other => {
             Err(CliError::new(format!("unknown command `{other}` (try `benes-cli help`)")))
         }
@@ -931,6 +943,122 @@ fn named(args: &[String]) -> Result<String, CliError> {
     Ok(format!("{d}\n"))
 }
 
+fn shard_cmd(args: &[String]) -> Result<String, CliError> {
+    let mode =
+        args.first().ok_or_else(|| CliError::new("expected shard mode: route | soak"))?;
+    match mode.as_str() {
+        "route" => shard_route(&args[1..]),
+        "soak" => shard_soak_cmd(&args[1..]),
+        other => Err(CliError::new(format!("unknown shard mode `{other}` (route | soak)"))),
+    }
+}
+
+/// One demonstration run of the coordinator: decompose a random `2^n`
+/// permutation, scatter it across `k` engine shards, verify the bitwise
+/// recombination, print the fleet's ledger.
+fn shard_route(args: &[String]) -> Result<String, CliError> {
+    use benes_engine::workload::{random_permutation, Rng64};
+    use benes_shard::{ShardConfig, ShardCoordinator};
+    let n: u32 = match args.first() {
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&n| (2..=22).contains(&n))
+            .ok_or_else(|| CliError::new("order n must be in 2..=22"))?,
+        None => 16,
+    };
+    let shards: usize = match args.get(1) {
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&k| (1..=64).contains(&k))
+            .ok_or_else(|| CliError::new("shard count must be in 1..=64"))?,
+        None => 4,
+    };
+    let seed: u64 = match args.get(2) {
+        Some(s) => s.parse().map_err(|_| CliError::new("seed must be an integer"))?,
+        None => 1,
+    };
+    let pi = random_permutation(&mut Rng64::new(seed), 1usize << n);
+    let coord = ShardCoordinator::new(ShardConfig { shards, ..ShardConfig::default() });
+    let outcome = coord.route(&pi).map_err(|e| CliError::new(e.to_string()))?;
+    let mut out = format!(
+        "routed a random permutation of 2^{n} = {} elements across {shards} shards\n\
+         three-stage split: r={} -> {} blocks of {} (and {} colors), {} routing units\n\
+         {}\n",
+        1u64 << n,
+        outcome.block_bits,
+        1u64 << (n - outcome.block_bits),
+        1u64 << outcome.block_bits,
+        1u64 << outcome.block_bits,
+        outcome.units.len(),
+        outcome.summary(),
+    );
+    out.push_str(&coord.stats().report());
+    if outcome.verified {
+        Ok(out)
+    } else {
+        Err(CliError::new(out))
+    }
+}
+
+/// The deterministic shard soak behind `scripts/shard.sh`: routes a
+/// stream of giant permutations, injects a failpoint into exactly one
+/// shard mid-stream, and fails (nonzero exit) on cross-shard
+/// contamination, a conservation violation, or a clean round that does
+/// not verify.
+fn shard_soak_cmd(args: &[String]) -> Result<String, CliError> {
+    use benes_shard::{run_shard_soak, ShardSoakConfig};
+    let seed: u64 = match args.first() {
+        Some(s) => s.parse().map_err(|_| CliError::new("seed must be an integer"))?,
+        None => 1980,
+    };
+    let n: u32 = match args.get(1) {
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&n| (2..=20).contains(&n))
+            .ok_or_else(|| CliError::new("order n must be in 2..=20"))?,
+        None => 12,
+    };
+    let permutations: usize = match args.get(2) {
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&p| (2..=1000).contains(&p))
+            .ok_or_else(|| CliError::new("permutation count must be in 2..=1000"))?,
+        None => 6,
+    };
+    let shards: usize = match args.get(3) {
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&k| (2..=64).contains(&k))
+            .ok_or_else(|| CliError::new("shard count must be in 2..=64"))?,
+        None => 4,
+    };
+    let cfg = ShardSoakConfig {
+        n,
+        permutations,
+        shards,
+        // The failpoint always targets shard 0; isolation is judged
+        // against every other shard.
+        faulty_shard: Some(0),
+        ..ShardSoakConfig::new(seed)
+    };
+    let report = run_shard_soak(&cfg);
+    let mut out = format!(
+        "shard soak: seed {seed}, {permutations} permutations of 2^{n} across \
+         {shards} shards, fault round targets shard 0\n"
+    );
+    out.push_str(&report.render());
+    if report.healthy() {
+        Ok(out)
+    } else {
+        Err(CliError::new(out))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1040,6 +1168,25 @@ mod tests {
         assert!(run_str("named transpose 3").is_err());
         assert!(run_str("named p-order 3 4").is_err()); // even p
         assert!(run_str("named nonesuch 3").is_err());
+    }
+
+    #[test]
+    fn shard_route_verifies_recombination() {
+        let out = run_str("shard route 10 3 7").unwrap();
+        assert!(out.contains("verified=true"), "{out}");
+        assert!(out.contains("fleet: shards=3"));
+        assert!(run_str("shard route 25").is_err()); // n out of range
+        assert!(run_str("shard bogus").is_err());
+        assert!(run_str("shard").is_err());
+    }
+
+    #[test]
+    fn shard_soak_gate_passes_on_defaults() {
+        // Small soak (2^8, 4 rounds) so the unit test stays fast; the
+        // script runs the full default.
+        let out = run_str("shard soak 7 8 4 4").unwrap();
+        assert!(out.contains("HEALTHY"), "{out}");
+        assert!(out.contains("contaminated_units=0"), "{out}");
     }
 }
 

@@ -1,16 +1,16 @@
-//! The batched worker pool: a submission queue drained in configurable
-//! batches by `k` `std::thread` workers, with per-request outcome
-//! delivery over `mpsc` channels.
+//! The engine facade: configuration, the shared engine state, the
+//! public submit/wait/drain API, and fault/chaos/breaker control.
 //!
 //! Every request travels: [`Engine::submit`] (or one of the bounded /
-//! deadline variants) → shared queue → worker batch drain → deadline
-//! check → circuit-breaker admission → tier planning / cache lookup →
-//! execution on the worker's memoized `B(n)` → outcome sent to the
-//! caller's [`Ticket`]. The queue is a `Mutex<VecDeque>` + two
-//! `Condvar`s (`available` wakes workers, `space` wakes blocked
-//! submitters) so workers drain *batches* under one lock acquisition
-//! and submitters get **backpressure** instead of unbounded memory
-//! growth when [`EngineConfig::max_queue_depth`] is set.
+//! deadline variants) → shared queue (`crate::queue`) → worker batch
+//! drain (`crate::worker`) → deadline check → circuit-breaker
+//! admission → tier planning / cache lookup → execution on the worker's
+//! memoized `B(n)` → outcome sent to the caller's [`Ticket`]. The queue
+//! is a `Mutex<VecDeque>` + two `Condvar`s (`available` wakes workers,
+//! `space` wakes blocked submitters) so workers drain *batches* under
+//! one lock acquisition and submitters get **backpressure** instead of
+//! unbounded memory growth when [`EngineConfig::max_queue_depth`] is
+//! set.
 //!
 //! The request lifecycle has four terminal states, and every admitted
 //! request reaches exactly one of them — the conservation invariant
@@ -27,29 +27,27 @@
 //!   engine drop before a worker served it
 //!   ([`EngineError::Canceled`]).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use benes_core::faults::{
-    realized_with_faults, self_route_omega_with_faults, self_route_with_faults,
-    setup_avoiding, FaultError, FaultKind, FaultSet, FaultSetupError,
-};
-use benes_core::trace::RouteTrace;
-use benes_core::Benes;
+use benes_core::faults::{FaultError, FaultKind, FaultSet};
 use benes_obs::FlightRecorder;
 use benes_perm::Permutation;
 
-use crate::breaker::{Admission, Breaker, BreakerConfig, BreakerState};
+use crate::breaker::{Breaker, BreakerConfig, BreakerState};
 use crate::cache::PlanCache;
 use crate::chaos::{ChaosConfig, ChaosState};
-use crate::flightrec::{LadderStep, RouteAttempt};
-use crate::plan::{execute, plan, required_order, Fallback, Plan, PlanError, Tier};
-use crate::stats::{EngineStats, LatencyPath, Recorder};
+use crate::flightrec::RouteAttempt;
+use crate::plan::{Fallback, PlanError};
+use crate::queue::{Block, SubmissionQueue};
+use crate::stats::{EngineStats, Recorder};
+use crate::worker::{cancel_job, worker_loop};
+
+pub use crate::queue::{DrainReport, RequestOutcome, SubmitError, Ticket};
 
 /// Tuning knobs for [`Engine::new`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -167,200 +165,16 @@ impl From<PlanError> for EngineError {
     }
 }
 
-/// Error returned by the fallible admission paths
-/// ([`Engine::try_submit`], [`Engine::submit_wait`]).
-///
-/// A rejected submission was **never admitted**: it is counted in
-/// [`crate::EngineStats::rejected`], not in `submitted`, and takes no
-/// part in the conservation invariant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[non_exhaustive]
-pub enum SubmitError {
-    /// The queue already holds [`EngineConfig::max_queue_depth`] jobs.
-    QueueFull {
-        /// The configured depth bound that was hit.
-        depth: usize,
-    },
-    /// [`Engine::submit_wait`]'s timeout expired before space appeared.
-    Timeout,
-    /// The engine is draining (or already drained); admission is
-    /// closed.
-    ShuttingDown,
-}
-
-impl fmt::Display for SubmitError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Self::QueueFull { depth } => {
-                write!(f, "submission queue full ({depth} jobs); request rejected")
-            }
-            Self::Timeout => write!(f, "timed out waiting for queue space"),
-            Self::ShuttingDown => write!(f, "engine is draining; admission closed"),
-        }
-    }
-}
-
-impl std::error::Error for SubmitError {}
-
-/// What [`Engine::drain`] did, returned once every worker has joined.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct DrainReport {
-    /// Queued requests that were canceled (each one's ticket resolved
-    /// with [`EngineError::Canceled`]) instead of served.
-    pub canceled: u64,
-    /// Whether the deadline expired before the queue emptied (when
-    /// `false`, every queued request was served and `canceled` counts
-    /// only jobs stranded by a dead worker).
-    pub timed_out: bool,
-}
-
-/// The per-request result returned through a [`Ticket`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RequestOutcome {
-    /// Which tier served the request (`Ok`) or why it failed (`Err`).
-    pub result: Result<Tier, EngineError>,
-    /// Submit → completion latency (queue wait included).
-    pub latency: Duration,
-}
-
-impl RequestOutcome {
-    /// Whether the request was routed correctly.
-    #[must_use]
-    pub fn is_ok(&self) -> bool {
-        self.result.is_ok()
-    }
-
-    /// The tier that served the request, if it succeeded.
-    #[must_use]
-    pub fn tier(&self) -> Option<Tier> {
-        self.result.as_ref().ok().copied()
-    }
-}
-
-/// A handle on one submitted request; redeem it with [`Ticket::wait`],
-/// poll it with [`Ticket::try_result`], or bound the wait with
-/// [`Ticket::wait_timeout`].
-///
-/// Once any of the three observes the outcome it is cached in the
-/// ticket, so mixing polls and waits is safe: every later call returns
-/// the same outcome.
-#[derive(Debug)]
-pub struct Ticket {
-    rx: mpsc::Receiver<RequestOutcome>,
-    outcome: Option<RequestOutcome>,
-}
-
-impl Ticket {
-    /// A ticket that is already resolved (never touches the queue);
-    /// used for submissions refused by a draining engine.
-    fn resolved(outcome: RequestOutcome) -> Self {
-        let (_, rx) = mpsc::channel();
-        Self { rx, outcome: Some(outcome) }
-    }
-
-    /// The worker vanished before replying (only possible if it
-    /// panicked outside the per-job containment).
-    fn lost() -> RequestOutcome {
-        RequestOutcome { result: Err(EngineError::WorkerLost), latency: Duration::ZERO }
-    }
-
-    /// Blocks until the request completes and returns its outcome.
-    ///
-    /// If the serving worker vanished (panic during engine teardown),
-    /// the outcome carries [`EngineError::WorkerLost`] rather than
-    /// panicking the caller.
-    #[must_use]
-    pub fn wait(self) -> RequestOutcome {
-        if let Some(outcome) = self.outcome {
-            return outcome;
-        }
-        self.rx.recv().unwrap_or_else(|_| Self::lost())
-    }
-
-    /// Blocks at most `timeout` for the outcome. `None` means the
-    /// request is still in flight; the ticket stays redeemable.
-    pub fn wait_timeout(&mut self, timeout: Duration) -> Option<RequestOutcome> {
-        if let Some(outcome) = &self.outcome {
-            return Some(outcome.clone());
-        }
-        match self.rx.recv_timeout(timeout) {
-            Ok(outcome) => {
-                self.outcome = Some(outcome.clone());
-                Some(outcome)
-            }
-            Err(mpsc::RecvTimeoutError::Timeout) => None,
-            Err(mpsc::RecvTimeoutError::Disconnected) => {
-                let outcome = Self::lost();
-                self.outcome = Some(outcome.clone());
-                Some(outcome)
-            }
-        }
-    }
-
-    /// Non-blocking poll: `None` while the request is in flight, the
-    /// outcome once it is terminal. Never blocks, never consumes the
-    /// ticket.
-    pub fn try_result(&mut self) -> Option<RequestOutcome> {
-        if let Some(outcome) = &self.outcome {
-            return Some(outcome.clone());
-        }
-        match self.rx.try_recv() {
-            Ok(outcome) => {
-                self.outcome = Some(outcome.clone());
-                Some(outcome)
-            }
-            Err(mpsc::TryRecvError::Empty) => None,
-            Err(mpsc::TryRecvError::Disconnected) => {
-                let outcome = Self::lost();
-                self.outcome = Some(outcome.clone());
-                Some(outcome)
-            }
-        }
-    }
-}
-
-/// How an admission call behaves when the bounded queue is full.
-#[derive(Debug, Clone, Copy)]
-enum Block {
-    /// Reject immediately (`try_submit`).
-    Never,
-    /// Block until space appears (`submit`, `submit_with_deadline`).
-    Forever,
-    /// Block until space appears or this instant passes (`submit_wait`).
-    Until(Instant),
-}
-
-struct Job {
-    perm: Permutation,
-    submitted_at: Instant,
-    /// Shed (never execute) if a worker dequeues the job after this.
-    deadline: Option<Instant>,
-    reply: mpsc::Sender<RequestOutcome>,
-}
-
-#[derive(Default)]
-struct QueueState {
-    jobs: VecDeque<Job>,
-    /// Admission closed ([`Engine::drain`] started); queued work still
-    /// drains.
-    draining: bool,
-    /// Workers exit once this is set and the queue is empty.
-    shutdown: bool,
-}
-
-struct Shared {
-    queue: Mutex<QueueState>,
-    /// Wakes workers: work arrived (or shutdown flipped).
-    available: Condvar,
-    /// Wakes blocked submitters and the drain loop: queue space
-    /// appeared (or admission closed).
-    space: Condvar,
-    cache: PlanCache,
-    recorder: Recorder,
-    fallback: Fallback,
-    batch_size: usize,
-    /// Bounded-admission depth; `None` keeps the queue unbounded.
-    max_queue_depth: Option<usize>,
+/// The state one engine's submitters and workers share. Each [`Engine`]
+/// owns exactly one `Shared` — nothing here is process-global, which is
+/// what makes engines cheap to instantiate per shard.
+pub(crate) struct Shared {
+    /// The submission queue (admission, batching, shutdown).
+    pub(crate) sub: SubmissionQueue,
+    pub(crate) cache: PlanCache,
+    pub(crate) recorder: Recorder,
+    pub(crate) fallback: Fallback,
+    pub(crate) batch_size: usize,
     /// Registered switch faults, one [`FaultSet`] per network order.
     /// Workers clone the `Arc` for the order they are serving, so fault
     /// injection never blocks an in-flight job.
@@ -370,24 +184,16 @@ struct Shared {
     degraded: AtomicBool,
     /// The last `K` route attempts, for post-mortems (`benes-cli obs
     /// flightrec`). Writes never block a worker.
-    flight: FlightRecorder<RouteAttempt>,
+    pub(crate) flight: FlightRecorder<RouteAttempt>,
     /// Breaker template; `failure_threshold == 0` disables breakers.
     breaker_cfg: BreakerConfig,
     /// One circuit breaker per network order served, created lazily.
     breakers: Mutex<HashMap<u32, Arc<Breaker>>>,
     /// The chaos injector seam (inert unless armed).
-    chaos: ChaosState,
+    pub(crate) chaos: ChaosState,
 }
 
 impl Shared {
-    /// Locks the job queue, recovering from poison: the queue is a
-    /// plain `VecDeque` plus two flags that no panicking holder can
-    /// leave half-mutated in a harmful way, and both submission and
-    /// shutdown must always proceed.
-    fn lock_queue(&self) -> MutexGuard<'_, QueueState> {
-        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
-    }
-
     /// Locks the fault registry, recovering from poison (the map only
     /// holds immutable `Arc`s, so a panicked holder cannot leave a torn
     /// state behind).
@@ -397,7 +203,7 @@ impl Shared {
 
     /// The fault set registered for order `n`, if any (cheap `None` when
     /// the whole registry is empty).
-    fn fault_set(&self, n: u32) -> Option<Arc<FaultSet>> {
+    pub(crate) fn fault_set(&self, n: u32) -> Option<Arc<FaultSet>> {
         if !self.degraded.load(Ordering::Acquire) {
             return None;
         }
@@ -407,7 +213,7 @@ impl Shared {
     /// The breaker for order `n` (created on first use), or `None` when
     /// breakers are disabled. The registry guard is dropped before the
     /// caller touches the breaker's own lock.
-    fn breaker(&self, n: u32) -> Option<Arc<Breaker>> {
+    pub(crate) fn breaker(&self, n: u32) -> Option<Arc<Breaker>> {
         if self.breaker_cfg.failure_threshold == 0 {
             return None;
         }
@@ -476,14 +282,11 @@ impl Engine {
         assert!(config.workers > 0, "engine needs at least one worker");
         assert!(config.batch_size > 0, "batch size must be at least 1");
         let shared = Arc::new(Shared {
-            queue: Mutex::new(QueueState::default()),
-            available: Condvar::new(),
-            space: Condvar::new(),
+            sub: SubmissionQueue::new(config.max_queue_depth),
             cache: PlanCache::new(config.cache_capacity, config.cache_shards),
             recorder: Recorder::new(),
             fallback: config.fallback,
             batch_size: config.batch_size,
-            max_queue_depth: config.max_queue_depth,
             faults: Mutex::new(HashMap::new()),
             degraded: AtomicBool::new(false),
             flight: FlightRecorder::new(config.flight_capacity),
@@ -536,7 +339,7 @@ impl Engine {
     }
 
     fn submit_with(&self, perm: Permutation, deadline: Option<Instant>) -> Ticket {
-        match self.enqueue(perm, deadline, Block::Forever) {
+        match self.shared.sub.admit(&self.shared.recorder, perm, deadline, Block::Forever) {
             Ok(ticket) => ticket,
             // Only `ShuttingDown` can escape a forever-blocking
             // enqueue; honour the infallible signature by handing back
@@ -556,7 +359,7 @@ impl Engine {
     /// [`SubmitError::QueueFull`] on a full bounded queue,
     /// [`SubmitError::ShuttingDown`] on a draining engine.
     pub fn try_submit(&self, perm: Permutation) -> Result<Ticket, SubmitError> {
-        self.enqueue(perm, None, Block::Never)
+        self.shared.sub.admit(&self.shared.recorder, perm, None, Block::Never)
     }
 
     /// Blocking admission with a bound: waits up to `timeout` for queue
@@ -571,61 +374,12 @@ impl Engine {
         perm: Permutation,
         timeout: Duration,
     ) -> Result<Ticket, SubmitError> {
-        self.enqueue(perm, None, Block::Until(Instant::now() + timeout))
-    }
-
-    /// The one admission path: checks drain state and the depth bound,
-    /// blocks per `block`, then enqueues and wakes a worker. Rejected
-    /// submissions are counted `rejected`, never `submitted`.
-    fn enqueue(
-        &self,
-        perm: Permutation,
-        deadline: Option<Instant>,
-        block: Block,
-    ) -> Result<Ticket, SubmitError> {
-        let (tx, rx) = mpsc::channel();
-        let mut q = self.shared.lock_queue();
-        loop {
-            if q.draining || q.shutdown {
-                drop(q);
-                self.shared.recorder.note_rejected();
-                return Err(SubmitError::ShuttingDown);
-            }
-            let Some(depth) = self.shared.max_queue_depth else { break };
-            if q.jobs.len() < depth {
-                break;
-            }
-            match block {
-                Block::Never => {
-                    drop(q);
-                    self.shared.recorder.note_rejected();
-                    return Err(SubmitError::QueueFull { depth });
-                }
-                Block::Forever => {
-                    q = self.shared.space.wait(q).unwrap_or_else(PoisonError::into_inner);
-                }
-                Block::Until(until) => {
-                    let now = Instant::now();
-                    if now >= until {
-                        drop(q);
-                        self.shared.recorder.note_rejected();
-                        return Err(SubmitError::Timeout);
-                    }
-                    let (guard, _) = self
-                        .shared
-                        .space
-                        .wait_timeout(q, until - now)
-                        .unwrap_or_else(PoisonError::into_inner);
-                    q = guard;
-                }
-            }
-        }
-        self.shared.recorder.note_submitted();
-        q.jobs.push_back(Job { perm, submitted_at: Instant::now(), deadline, reply: tx });
-        self.shared.recorder.note_queue_depth(q.jobs.len() as u64);
-        drop(q);
-        self.shared.available.notify_one();
-        Ok(Ticket { rx, outcome: None })
+        self.shared.sub.admit(
+            &self.shared.recorder,
+            perm,
+            None,
+            Block::Until(Instant::now() + timeout),
+        )
     }
 
     /// Enqueues many requests, returning one ticket per request in
@@ -745,7 +499,7 @@ impl Engine {
 
     /// The most recent route attempts from the flight recorder, newest
     /// first, at most `k`. Failed attempts carry the full per-stage
-    /// [`RouteTrace`] of the plan that misrouted.
+    /// [`benes_core::trace::RouteTrace`] of the plan that misrouted.
     #[must_use]
     pub fn flight_records(&self, k: usize) -> Vec<RouteAttempt> {
         self.shared.flight.recent(k)
@@ -777,48 +531,16 @@ impl Engine {
     /// teardowns (the second becomes a no-op).
     fn teardown(&self, deadline: Option<Instant>) -> DrainReport {
         let mut report = DrainReport::default();
+        // Must recover from poison, not `.expect`: if a worker panicked
+        // while holding a lock, panicking again here — typically while
+        // the original panic is still unwinding — aborts the whole
+        // process. Shutdown must always proceed.
         let mut handles = self.workers.lock().unwrap_or_else(PoisonError::into_inner);
         if handles.is_empty() {
             return report; // already drained
         }
-        let stranded: Vec<Job> = {
-            // Must recover from poison, not `.expect`: if a worker
-            // panicked while holding this lock, panicking again here —
-            // typically while the original panic is still unwinding —
-            // aborts the whole process. Shutdown must always proceed.
-            let mut q = self.shared.lock_queue();
-            q.draining = true;
-            // Wake submitters blocked on space: they observe `draining`
-            // and return `ShuttingDown`.
-            self.shared.space.notify_all();
-            if let Some(deadline) = deadline {
-                // Wait for the workers to empty the queue; they pulse
-                // `space` after every batch they take.
-                while !q.jobs.is_empty() {
-                    let now = Instant::now();
-                    if now >= deadline {
-                        report.timed_out = true;
-                        break;
-                    }
-                    let (guard, _) = self
-                        .shared
-                        .space
-                        .wait_timeout(q, deadline - now)
-                        .unwrap_or_else(PoisonError::into_inner);
-                    q = guard;
-                }
-            }
-            q.shutdown = true;
-            // Unbounded teardown (drop) leaves the queue for the
-            // workers, which exit only once it is empty; a bounded
-            // drain sheds whatever outlived the deadline.
-            if deadline.is_some() {
-                q.jobs.drain(..).collect()
-            } else {
-                Vec::new()
-            }
-        };
-        self.shared.available.notify_all();
+        let (stranded, timed_out) = self.shared.sub.shut_down(deadline);
+        report.timed_out = timed_out;
         for job in stranded {
             cancel_job(&self.shared, job);
             report.canceled += 1;
@@ -832,8 +554,7 @@ impl Engine {
         // Post-join sweep: a worker that died (panicked outside the
         // per-job containment) may have left work queued with no one
         // to serve it. Cancel it so no ticket hangs.
-        let leftovers: Vec<Job> = self.shared.lock_queue().jobs.drain(..).collect();
-        for job in leftovers {
+        for job in self.shared.sub.sweep() {
             cancel_job(&self.shared, job);
             report.canceled += 1;
         }
@@ -860,483 +581,13 @@ impl fmt::Debug for Engine {
     }
 }
 
-fn worker_loop(shared: &Shared) {
-    // Per-worker network memo: `B(n)` is immutable wiring, cheap to keep
-    // one copy per worker and never lock for it.
-    let mut nets: HashMap<u32, Benes> = HashMap::new();
-    loop {
-        let batch: Vec<Job> = {
-            // Poison recovery on both the lock and the condvar wait: a
-            // sibling's panic must not take the remaining workers down.
-            let mut q = shared.lock_queue();
-            loop {
-                if !q.jobs.is_empty() {
-                    break;
-                }
-                if q.shutdown {
-                    return;
-                }
-                q = shared.available.wait(q).unwrap_or_else(PoisonError::into_inner);
-            }
-            // Sample the depth on dequeue too, not just on submit: the
-            // mark must reflect the deepest backlog a worker ever *saw*,
-            // including jobs that piled up while every worker was busy.
-            shared.recorder.note_queue_depth(q.jobs.len() as u64);
-            let take = shared.batch_size.min(q.jobs.len());
-            q.jobs.drain(..take).collect()
-        };
-        // The dequeue made space: wake blocked submitters and a drain
-        // waiting for the queue to empty.
-        shared.space.notify_all();
-        // More work may remain; wake a sibling before grinding through
-        // the batch so the queue keeps draining in parallel.
-        shared.available.notify_one();
-        for job in batch {
-            #[cfg(test)]
-            test_hooks::maybe_kill_worker(&job.perm);
-            serve_job(shared, &mut nets, job);
-        }
-    }
-}
-
-/// Runs one dequeued job through the full lifecycle: deadline check,
-/// chaos roll, breaker admission, contained execution, breaker
-/// feedback, terminal accounting.
-fn serve_job(shared: &Shared, nets: &mut HashMap<u32, Benes>, job: Job) {
-    let mut attempt = RouteAttempt::new(job.perm.fingerprint(), job.perm.len());
-
-    // Deadline shed happens before any planning or execution: an
-    // expired request costs the worker nothing but this check.
-    if let Some(deadline) = job.deadline {
-        if Instant::now() >= deadline {
-            attempt.step(LadderStep::DeadlineShed);
-            finish_job(shared, job, attempt, Err(EngineError::DeadlineExceeded));
-            return;
-        }
-    }
-
-    // The chaos injector's delay simulates a slow fault and applies
-    // before admission, so delayed requests still contend normally.
-    let chaos = shared.chaos.roll();
-    if let Some(delay) = chaos.delay {
-        std::thread::sleep(delay);
-    }
-
-    // Breaker admission. A shed request is never planned or executed
-    // and does not feed back into the breaker (it is not a failure of
-    // the fabric, it is the breaker working).
-    let admission =
-        required_order(&job.perm).ok().and_then(|n| shared.breaker(n)).map(|breaker| {
-            let verdict = breaker.admit(Instant::now());
-            (breaker, verdict)
-        });
-    let probe = match &admission {
-        Some((_, Admission::Shed)) => {
-            attempt.step(LadderStep::BreakerShed);
-            finish_job(shared, job, attempt, Err(EngineError::BreakerOpen));
-            return;
-        }
-        Some((_, Admission::Probe)) => {
-            shared.recorder.note_breaker_probe();
-            attempt.step(LadderStep::BreakerProbe);
-            true
-        }
-        _ => false,
-    };
-
-    let result = if chaos.fail {
-        // Forced failure: deterministic stand-in for fabric damage.
-        attempt.step(LadderStep::ChaosInjected);
-        Err(EngineError::Injected)
-    } else {
-        // Contain per-job panics: without this, one panicking job
-        // kills the worker with the rest of its drained batch
-        // un-replied, and the queued tickets behind it can block
-        // forever. `nets` only memoizes immutable topologies, so
-        // observing it after an unwind is sound. The flight record
-        // is built *outside* the unwind boundary so a panic still
-        // leaves its partial ladder in the ring.
-        let served = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            serve_one(shared, nets, &job.perm, &mut attempt)
-        }));
-        served.unwrap_or_else(|_| {
-            attempt.step(LadderStep::Panicked);
-            Err(EngineError::JobPanicked)
-        })
-    };
-
-    // Breaker feedback: verified successes reset the streak, countable
-    // failures advance it; a probe's outcome decides reopen/re-close.
-    if let Some((breaker, _)) = &admission {
-        match &result {
-            Ok(_) => {
-                if breaker.on_success(probe) {
-                    shared.recorder.note_breaker_reclosed();
-                }
-            }
-            Err(e) if breaker_countable(e) => {
-                if breaker.on_failure(probe, Instant::now()) {
-                    shared.recorder.note_breaker_opened();
-                }
-            }
-            Err(_) => {}
-        }
-    }
-    finish_job(shared, job, attempt, result);
-}
-
-/// Whether a failure advances the circuit breaker: fabric-shaped
-/// failures do, caller errors (`Plan`) and lifecycle outcomes do not.
-fn breaker_countable(e: &EngineError) -> bool {
-    matches!(
-        e,
-        EngineError::Misrouted
-            | EngineError::FaultDetected
-            | EngineError::Unroutable
-            | EngineError::JobPanicked
-            | EngineError::Injected
-    )
-}
-
-/// Terminal accounting for one job: classify the outcome into exactly
-/// one of completed / failed / shed / canceled, record latency on the
-/// matching path, freeze the flight record, and reply to the ticket.
-fn finish_job(
-    shared: &Shared,
-    job: Job,
-    mut attempt: RouteAttempt,
-    result: Result<Tier, EngineError>,
-) {
-    let path = match &result {
-        Ok(tier) => {
-            shared.recorder.note_completed();
-            LatencyPath::Tier(*tier)
-        }
-        Err(EngineError::DeadlineExceeded) => {
-            shared.recorder.note_shed_deadline();
-            LatencyPath::Shed
-        }
-        Err(EngineError::BreakerOpen) => {
-            shared.recorder.note_shed_breaker();
-            LatencyPath::Shed
-        }
-        Err(EngineError::Canceled) => {
-            shared.recorder.note_canceled();
-            // Cancellations share the shed histogram: both measure how
-            // long a request sat queued before the engine gave up on it.
-            LatencyPath::Shed
-        }
-        Err(_) => {
-            shared.recorder.note_failed();
-            LatencyPath::Failed
-        }
-    };
-    let latency = job.submitted_at.elapsed();
-    let latency_ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
-    shared.recorder.note_latency_ns(latency_ns, path);
-    attempt.result = Some(result.clone());
-    attempt.phases.total = latency_ns;
-    shared.flight.record(attempt);
-    // A dropped ticket just means the caller stopped listening.
-    // analyze:allow(discarded-result): caller hung up
-    let _ = job.reply.send(RequestOutcome { result, latency });
-}
-
-/// Cancels one never-served job (drain shedding or a post-join sweep):
-/// its ticket resolves with [`EngineError::Canceled`].
-fn cancel_job(shared: &Shared, job: Job) {
-    let mut attempt = RouteAttempt::new(job.perm.fingerprint(), job.perm.len());
-    attempt.step(LadderStep::Canceled);
-    finish_job(shared, job, attempt, Err(EngineError::Canceled));
-}
-
-/// How many times the reroute ladder replans after a fault-avoiding
-/// plan itself failed execution (only possible when the fault registry
-/// changed between planning and execution).
-const MAX_FAULT_RETRIES: usize = 3;
-
-/// Executes `plan` on the fabric as it currently is: healthy when
-/// `faults` is `None`, otherwise with every faulty switch overriding its
-/// commanded state. Either way the realized routing is verified against
-/// `d`.
-fn execute_on_fabric(
-    net: &Benes,
-    d: &Permutation,
-    plan: &Plan,
-    faults: Option<&FaultSet>,
-) -> bool {
-    let Some(faults) = faults.filter(|f| !f.is_empty()) else {
-        return execute(net, d, plan);
-    };
-    match plan {
-        Plan::SelfRoute => self_route_with_faults(net, d, faults).is_success(),
-        Plan::OmegaBit => self_route_omega_with_faults(net, d, faults).is_success(),
-        Plan::Settings(settings) => {
-            realized_with_faults(net, settings, faults).map(|r| r == *d).unwrap_or(false)
-        }
-        Plan::TwoPass { first, second } => {
-            first.then(second) == *d
-                && self_route_with_faults(net, first, faults).is_success()
-                && self_route_omega_with_faults(net, second, faults).is_success()
-        }
-    }
-}
-
-/// `start.elapsed()` as saturating nanoseconds.
-fn elapsed_ns(start: Instant) -> u64 {
-    start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
-}
-
-/// Captures the full per-stage trace of `plan` routing `d` over the
-/// fabric as it is (`faults` applied when present) — the post-mortem
-/// evidence attached to a failed flight record. For a two-pass plan the
-/// first failing pass is traced. Returns `None` only if the trace
-/// capture itself rejects the inputs (it never should for a plan the
-/// engine just executed).
-fn capture_trace(
-    net: &Benes,
-    d: &Permutation,
-    plan: &Plan,
-    faults: Option<&FaultSet>,
-) -> Option<RouteTrace> {
-    let faults = faults.filter(|f| !f.is_empty());
-    match (plan, faults) {
-        (Plan::SelfRoute, None) => RouteTrace::capture_self_route(net, d).ok(),
-        (Plan::SelfRoute, Some(f)) => {
-            RouteTrace::capture_self_route_with_faults(net, d, f).ok()
-        }
-        (Plan::OmegaBit, None) => RouteTrace::capture_omega(net, d).ok(),
-        (Plan::OmegaBit, Some(f)) => RouteTrace::capture_omega_with_faults(net, d, f).ok(),
-        (Plan::Settings(s), None) => RouteTrace::capture_external(net, d, s).ok(),
-        (Plan::Settings(s), Some(f)) => {
-            RouteTrace::capture_external_with_faults(net, d, s, f).ok()
-        }
-        (Plan::TwoPass { first, second }, f) => {
-            let pass1 = match f {
-                Some(f) => {
-                    RouteTrace::capture_self_route_with_faults(net, first, f).ok()?
-                }
-                None => RouteTrace::capture_self_route(net, first).ok()?,
-            };
-            if !pass1.is_success() {
-                return Some(pass1);
-            }
-            match f {
-                Some(f) => RouteTrace::capture_omega_with_faults(net, second, f).ok(),
-                None => RouteTrace::capture_omega(net, second).ok(),
-            }
-        }
-    }
-}
-
-/// Serves one request: cache lookup, then tier planning, execution, and
-/// cache fill — and, when execution fails with faults registered, the
-/// fault-tolerance ladder: detect → evict → re-plan around the faults →
-/// bounded retry. Every path verifies the realized routing. Each
-/// decision is mirrored into `attempt`, the request's flight record.
-fn serve_one(
-    shared: &Shared,
-    nets: &mut HashMap<u32, Benes>,
-    perm: &Permutation,
-    attempt: &mut RouteAttempt,
-) -> Result<Tier, EngineError> {
-    #[cfg(test)]
-    test_hooks::maybe_panic(perm);
-
-    let n = required_order(perm)?;
-    let net = nets.entry(n).or_insert_with(|| Benes::new(n));
-    let faults = shared.fault_set(n);
-
-    let cache_started = Instant::now();
-    match shared.cache.get(perm) {
-        Some(cached) => {
-            shared.recorder.note_cache(true);
-            attempt.step(LadderStep::CacheHit);
-            // A cached explicit-settings plan is validated against the
-            // fault registry *statically*: insert time already proved it
-            // realizes `perm` on a healthy fabric, so if every stuck
-            // switch agrees with its commanded state the fault overlay
-            // is a no-op and the plan realizes `perm` on the degraded
-            // fabric too — an O(|faults|) check in place of a full
-            // replay. Disagreement (a dead switch never agrees) means
-            // the plan is stale for this fabric: evict and re-plan.
-            let valid = match (&*cached, faults.as_deref().filter(|f| !f.is_empty())) {
-                (Plan::Settings(settings), Some(f)) => {
-                    let agrees = f.agrees_with(settings);
-                    if agrees {
-                        shared.recorder.note_static_validation();
-                        attempt.step(LadderStep::StaticValidated);
-                    }
-                    agrees
-                }
-                (_, overlay) => execute_on_fabric(net, perm, &cached, overlay),
-            };
-            if valid {
-                shared.recorder.note_tier(Tier::Cached);
-                attempt.phases.cache = elapsed_ns(cache_started);
-                return Ok(Tier::Cached);
-            }
-            // The cache verifies permutation equality on lookup, so a
-            // failing validation means a corrupted plan (or one planned
-            // for a fabric that has since degraded). Evict it: leaving
-            // it in place makes every future request re-pay the failure.
-            shared.cache.invalidate(perm);
-            attempt.step(LadderStep::CacheEvicted);
-        }
-        None => {
-            shared.recorder.note_cache(false);
-            attempt.step(LadderStep::CacheMiss);
-        }
-    }
-    attempt.phases.cache = elapsed_ns(cache_started);
-
-    let plan_started = Instant::now();
-    let fresh = plan(perm, shared.fallback)?;
-    attempt.phases.plan = elapsed_ns(plan_started);
-    let tier = fresh.tier();
-    attempt.step(LadderStep::Planned(tier));
-    let execute_started = Instant::now();
-    let executed = execute_on_fabric(net, perm, &fresh, faults.as_deref());
-    attempt.phases.execute = elapsed_ns(execute_started);
-    attempt.step(LadderStep::Executed { ok: executed });
-    if executed {
-        if fresh.is_cacheable() {
-            shared.cache.insert(perm, Arc::new(fresh));
-        }
-        shared.recorder.note_tier(tier);
-        return Ok(tier);
-    }
-
-    // Execution failed: freeze the evidence. The trace replays the
-    // failing plan over the exact fabric the worker executed on, so the
-    // flight record can show *where* the routing went wrong, stage by
-    // stage.
-    attempt.trace = capture_trace(net, perm, &fresh, faults.as_deref());
-
-    // On a healthy fabric a failed execution is an engine bug — report
-    // it as before. With faults registered it is the expected signature
-    // of a damaged switch: enter the reroute ladder.
-    if faults.is_none() {
-        return Err(EngineError::Misrouted);
-    }
-    shared.recorder.note_fault_detected();
-    attempt.step(LadderStep::FaultDetected);
-    let reroute_started = Instant::now();
-    let rerouted = fault_ladder(shared, net, perm, &fresh, tier, attempt);
-    attempt.phases.reroute = elapsed_ns(reroute_started);
-    rerouted
-}
-
-/// The bounded fault-reroute ladder: re-read the registry, plan around
-/// the current faults, verify, retry on registry churn.
-fn fault_ladder(
-    shared: &Shared,
-    net: &Benes,
-    perm: &Permutation,
-    fresh: &Plan,
-    tier: Tier,
-    attempt: &mut RouteAttempt,
-) -> Result<Tier, EngineError> {
-    let n = net.n();
-    for _retry in 0..=MAX_FAULT_RETRIES {
-        // Re-read the registry every attempt: concurrent injection or
-        // healing changes what must be avoided.
-        let current = match shared.fault_set(n) {
-            Some(f) => f,
-            None => {
-                // Healed mid-flight: the fresh plan is valid again.
-                attempt.step(LadderStep::Healed);
-                let healed = execute_on_fabric(net, perm, fresh, None);
-                attempt.step(LadderStep::Executed { ok: healed });
-                if healed {
-                    if fresh.is_cacheable() {
-                        shared.cache.insert(perm, Arc::new(fresh.clone()));
-                    }
-                    shared.recorder.note_reroute(true);
-                    shared.recorder.note_tier(tier);
-                    return Ok(tier);
-                }
-                shared.recorder.note_reroute(false);
-                return Err(EngineError::Misrouted);
-            }
-        };
-        match setup_avoiding(perm, &current) {
-            Ok(settings) => {
-                let avoiding = Plan::Settings(settings);
-                let ok = execute_on_fabric(net, perm, &avoiding, Some(&current));
-                attempt.step(LadderStep::Replanned { ok });
-                if ok {
-                    // The avoiding settings agree with every stuck
-                    // switch, so the overlay is a no-op on them: they
-                    // realize `perm` on the faulty fabric *and* after a
-                    // repair — safe to cache.
-                    shared.cache.insert(perm, Arc::new(avoiding));
-                    shared.recorder.note_reroute(true);
-                    shared.recorder.note_tier(Tier::Waksman);
-                    return Ok(Tier::Waksman);
-                }
-                // Only reachable if the registry changed between
-                // planning and execution; retry against the new state.
-                shared.recorder.note_fault_retry();
-            }
-            Err(FaultSetupError::Unavoidable) => {
-                attempt.step(LadderStep::Unavoidable);
-                shared.recorder.note_reroute(false);
-                return Err(EngineError::Unroutable);
-            }
-            Err(FaultSetupError::Setup(e)) => {
-                shared.recorder.note_reroute(false);
-                return Err(EngineError::Plan(PlanError::from(e)));
-            }
-            Err(_) => {
-                // Registry keyed by order, so a mismatch cannot happen;
-                // treat any future variant as one retry-worthy hiccup.
-                shared.recorder.note_fault_retry();
-            }
-        }
-    }
-    attempt.step(LadderStep::RetryExhausted);
-    shared.recorder.note_reroute(false);
-    Err(EngineError::FaultDetected)
-}
-
-#[cfg(test)]
-mod test_hooks {
-    //! Deterministic failure seams for the regression tests.
-
-    use std::sync::atomic::{AtomicU64, Ordering};
-
-    use benes_perm::Permutation;
-
-    /// When non-zero, [`maybe_panic`] panics on any permutation with
-    /// this fingerprint — the seam the catch_unwind regression test uses
-    /// to detonate a job inside a worker.
-    pub(super) static PANIC_ON_FINGERPRINT: AtomicU64 = AtomicU64::new(0);
-
-    pub(super) fn maybe_panic(perm: &Permutation) {
-        let armed = PANIC_ON_FINGERPRINT.load(Ordering::Relaxed);
-        if armed != 0 && perm.fingerprint() == armed {
-            panic!("test hook: detonating job for fingerprint {armed:#x}");
-        }
-    }
-
-    /// When non-zero, [`maybe_kill_worker`] panics *outside* the per-job
-    /// containment, killing the whole worker thread — the seam the
-    /// teardown regression test uses to strand queued jobs with no one
-    /// to serve them.
-    pub(super) static KILL_WORKER_ON_FINGERPRINT: AtomicU64 = AtomicU64::new(0);
-
-    pub(super) fn maybe_kill_worker(perm: &Permutation) {
-        let armed = KILL_WORKER_ON_FINGERPRINT.load(Ordering::Relaxed);
-        if armed != 0 && perm.fingerprint() == armed {
-            panic!("test hook: killing worker on fingerprint {armed:#x}");
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::flightrec::LadderStep;
+    use crate::plan::{Plan, Tier};
+    use crate::worker::{capture_trace, test_hooks};
+    use benes_core::Benes;
     use benes_perm::bpc::Bpc;
 
     fn p(v: &[u32]) -> Permutation {
@@ -1444,12 +695,12 @@ mod tests {
         let engine = Engine::new(EngineConfig { workers: 1, ..EngineConfig::default() });
         let shared = Arc::clone(&engine.shared);
         std::thread::spawn(move || {
-            let _guard = shared.queue.lock().unwrap();
+            let _guard = shared.sub.queue.lock().unwrap();
             panic!("poison the engine queue on purpose");
         })
         .join()
         .unwrap_err();
-        assert!(engine.shared.queue.is_poisoned(), "setup must actually poison");
+        assert!(engine.shared.sub.queue.is_poisoned(), "setup must actually poison");
         // Submit still works through the poisoned (but consistent) lock…
         let outcome = engine.submit(Bpc::bit_reversal(3).to_permutation()).wait();
         assert_eq!(outcome.tier(), Some(Tier::SelfRoute));
@@ -1703,12 +954,10 @@ mod tests {
         assert_eq!(engine.flight_dropped(), 0);
         // Newest first: the cache replay, then the fresh Waksman plan.
         assert_eq!(records[0].result, Some(Ok(Tier::Cached)));
-        assert!(records[0].ladder.contains(&crate::flightrec::LadderStep::CacheHit));
+        assert!(records[0].ladder.contains(&LadderStep::CacheHit));
         assert_eq!(records[1].result, Some(Ok(Tier::Waksman)));
-        assert!(records[1].ladder.contains(&crate::flightrec::LadderStep::CacheMiss));
-        assert!(records[1]
-            .ladder
-            .contains(&crate::flightrec::LadderStep::Planned(Tier::Waksman)));
+        assert!(records[1].ladder.contains(&LadderStep::CacheMiss));
+        assert!(records[1].ladder.contains(&LadderStep::Planned(Tier::Waksman)));
         for r in &records {
             assert_eq!(r.fingerprint, hard.fingerprint());
             assert_eq!(r.len, 8);
@@ -1741,8 +990,8 @@ mod tests {
             .find(|r| r.fingerprint == victim.fingerprint())
             .expect("failed attempt must be in the flight ring");
         assert!(record.is_failure());
-        assert!(record.ladder.contains(&crate::flightrec::LadderStep::FaultDetected));
-        assert!(record.ladder.contains(&crate::flightrec::LadderStep::Unavoidable));
+        assert!(record.ladder.contains(&LadderStep::FaultDetected));
+        assert!(record.ladder.contains(&LadderStep::Unavoidable));
 
         // The recorded trace is the *full* per-stage trace of the
         // failing plan over the faulty fabric — bit-identical to a

@@ -79,7 +79,9 @@ pub mod chaos;
 pub mod engine;
 pub mod flightrec;
 pub mod plan;
+pub mod queue;
 pub mod stats;
+mod worker;
 pub mod workload;
 
 pub use benes_core::faults::{FaultError, FaultKind, FaultSet};

@@ -1,0 +1,386 @@
+//! The submission side of the engine: the bounded job queue, the three
+//! admission disciplines (reject / block / block-with-timeout), and the
+//! per-request lifecycle types ([`Ticket`], [`RequestOutcome`],
+//! [`SubmitError`], [`DrainReport`]).
+//!
+//! `SubmissionQueue` owns the `Mutex<VecDeque>` + two `Condvar`s
+//! (`available` wakes workers, `space` wakes blocked submitters) that
+//! [`crate::Engine`] fronts: submitters `admit` jobs under
+//! backpressure, workers drain them in batches via `next_batch`, and
+//! teardown closes admission and strands leftovers through
+//! `shut_down` / `sweep`. Keeping every queue transition in this
+//! module means the worker loop and the engine facade compose pieces
+//! that cannot disagree about locking or wake-up order.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use benes_perm::Permutation;
+
+use crate::engine::EngineError;
+use crate::plan::Tier;
+use crate::stats::Recorder;
+
+/// Error returned by the fallible admission paths
+/// ([`crate::Engine::try_submit`], [`crate::Engine::submit_wait`]).
+///
+/// A rejected submission was **never admitted**: it is counted in
+/// [`crate::EngineStats::rejected`], not in `submitted`, and takes no
+/// part in the conservation invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SubmitError {
+    /// The queue already holds [`crate::EngineConfig::max_queue_depth`]
+    /// jobs.
+    QueueFull {
+        /// The configured depth bound that was hit.
+        depth: usize,
+    },
+    /// [`crate::Engine::submit_wait`]'s timeout expired before space
+    /// appeared.
+    Timeout,
+    /// The engine is draining (or already drained); admission is
+    /// closed.
+    ShuttingDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::QueueFull { depth } => {
+                write!(f, "submission queue full ({depth} jobs); request rejected")
+            }
+            Self::Timeout => write!(f, "timed out waiting for queue space"),
+            Self::ShuttingDown => write!(f, "engine is draining; admission closed"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// What [`crate::Engine::drain`] did, returned once every worker has
+/// joined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DrainReport {
+    /// Queued requests that were canceled (each one's ticket resolved
+    /// with [`EngineError::Canceled`]) instead of served.
+    pub canceled: u64,
+    /// Whether the deadline expired before the queue emptied (when
+    /// `false`, every queued request was served and `canceled` counts
+    /// only jobs stranded by a dead worker).
+    pub timed_out: bool,
+}
+
+/// The per-request result returned through a [`Ticket`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestOutcome {
+    /// Which tier served the request (`Ok`) or why it failed (`Err`).
+    pub result: Result<Tier, EngineError>,
+    /// Submit → completion latency (queue wait included).
+    pub latency: Duration,
+}
+
+impl RequestOutcome {
+    /// Whether the request was routed correctly.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.result.is_ok()
+    }
+
+    /// The tier that served the request, if it succeeded.
+    #[must_use]
+    pub fn tier(&self) -> Option<Tier> {
+        self.result.as_ref().ok().copied()
+    }
+}
+
+/// A handle on one submitted request; redeem it with [`Ticket::wait`],
+/// poll it with [`Ticket::try_result`], or bound the wait with
+/// [`Ticket::wait_timeout`].
+///
+/// Once any of the three observes the outcome it is cached in the
+/// ticket, so mixing polls and waits is safe: every later call returns
+/// the same outcome.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<RequestOutcome>,
+    outcome: Option<RequestOutcome>,
+}
+
+impl Ticket {
+    /// A ticket that is already resolved (never touches the queue);
+    /// used for submissions refused by a draining engine.
+    pub(crate) fn resolved(outcome: RequestOutcome) -> Self {
+        let (_, rx) = mpsc::channel();
+        Self { rx, outcome: Some(outcome) }
+    }
+
+    /// The worker vanished before replying (only possible if it
+    /// panicked outside the per-job containment).
+    fn lost() -> RequestOutcome {
+        RequestOutcome { result: Err(EngineError::WorkerLost), latency: Duration::ZERO }
+    }
+
+    /// Blocks until the request completes and returns its outcome.
+    ///
+    /// If the serving worker vanished (panic during engine teardown),
+    /// the outcome carries [`EngineError::WorkerLost`] rather than
+    /// panicking the caller.
+    #[must_use]
+    pub fn wait(self) -> RequestOutcome {
+        if let Some(outcome) = self.outcome {
+            return outcome;
+        }
+        self.rx.recv().unwrap_or_else(|_| Self::lost())
+    }
+
+    /// Blocks at most `timeout` for the outcome. `None` means the
+    /// request is still in flight; the ticket stays redeemable.
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Option<RequestOutcome> {
+        if let Some(outcome) = &self.outcome {
+            return Some(outcome.clone());
+        }
+        match self.rx.recv_timeout(timeout) {
+            Ok(outcome) => {
+                self.outcome = Some(outcome.clone());
+                Some(outcome)
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                let outcome = Self::lost();
+                self.outcome = Some(outcome.clone());
+                Some(outcome)
+            }
+        }
+    }
+
+    /// Non-blocking poll: `None` while the request is in flight, the
+    /// outcome once it is terminal. Never blocks, never consumes the
+    /// ticket.
+    pub fn try_result(&mut self) -> Option<RequestOutcome> {
+        if let Some(outcome) = &self.outcome {
+            return Some(outcome.clone());
+        }
+        match self.rx.try_recv() {
+            Ok(outcome) => {
+                self.outcome = Some(outcome.clone());
+                Some(outcome)
+            }
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => {
+                let outcome = Self::lost();
+                self.outcome = Some(outcome.clone());
+                Some(outcome)
+            }
+        }
+    }
+}
+
+/// How an admission call behaves when the bounded queue is full.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Block {
+    /// Reject immediately (`try_submit`).
+    Never,
+    /// Block until space appears (`submit`, `submit_with_deadline`).
+    Forever,
+    /// Block until space appears or this instant passes (`submit_wait`).
+    Until(Instant),
+}
+
+/// One queued routing request.
+pub(crate) struct Job {
+    pub(crate) perm: Permutation,
+    pub(crate) submitted_at: Instant,
+    /// Shed (never execute) if a worker dequeues the job after this.
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) reply: mpsc::Sender<RequestOutcome>,
+}
+
+/// The lock-protected queue interior.
+#[derive(Default)]
+pub(crate) struct QueueState {
+    pub(crate) jobs: VecDeque<Job>,
+    /// Admission closed ([`crate::Engine::drain`] started); queued work
+    /// still drains.
+    pub(crate) draining: bool,
+    /// Workers exit once this is set and the queue is empty.
+    pub(crate) shutdown: bool,
+}
+
+/// The submission queue: bounded admission in front, batched dequeue
+/// behind, shutdown choreography on the side.
+pub(crate) struct SubmissionQueue {
+    /// Queue interior; always lock via [`SubmissionQueue::lock`].
+    pub(crate) queue: Mutex<QueueState>,
+    /// Wakes workers: work arrived (or shutdown flipped).
+    available: Condvar,
+    /// Wakes blocked submitters and the drain loop: queue space
+    /// appeared (or admission closed).
+    space: Condvar,
+    /// Bounded-admission depth; `None` keeps the queue unbounded.
+    max_depth: Option<usize>,
+}
+
+impl SubmissionQueue {
+    pub(crate) fn new(max_depth: Option<usize>) -> Self {
+        Self {
+            queue: Mutex::new(QueueState::default()),
+            available: Condvar::new(),
+            space: Condvar::new(),
+            max_depth,
+        }
+    }
+
+    /// Locks the job queue, recovering from poison: the queue is a
+    /// plain `VecDeque` plus two flags that no panicking holder can
+    /// leave half-mutated in a harmful way, and both submission and
+    /// shutdown must always proceed.
+    pub(crate) fn lock(&self) -> MutexGuard<'_, QueueState> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The one admission path: checks drain state and the depth bound,
+    /// blocks per `block`, then enqueues and wakes a worker. Rejected
+    /// submissions are counted `rejected`, never `submitted`.
+    pub(crate) fn admit(
+        &self,
+        recorder: &Recorder,
+        perm: Permutation,
+        deadline: Option<Instant>,
+        block: Block,
+    ) -> Result<Ticket, SubmitError> {
+        let (tx, rx) = mpsc::channel();
+        let mut q = self.lock();
+        loop {
+            if q.draining || q.shutdown {
+                drop(q);
+                recorder.note_rejected();
+                return Err(SubmitError::ShuttingDown);
+            }
+            let Some(depth) = self.max_depth else { break };
+            if q.jobs.len() < depth {
+                break;
+            }
+            match block {
+                Block::Never => {
+                    drop(q);
+                    recorder.note_rejected();
+                    return Err(SubmitError::QueueFull { depth });
+                }
+                Block::Forever => {
+                    q = self.space.wait(q).unwrap_or_else(PoisonError::into_inner);
+                }
+                Block::Until(until) => {
+                    let now = Instant::now();
+                    if now >= until {
+                        drop(q);
+                        recorder.note_rejected();
+                        return Err(SubmitError::Timeout);
+                    }
+                    let (guard, _) = self
+                        .space
+                        .wait_timeout(q, until - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    q = guard;
+                }
+            }
+        }
+        recorder.note_submitted();
+        q.jobs.push_back(Job { perm, submitted_at: Instant::now(), deadline, reply: tx });
+        recorder.note_queue_depth(q.jobs.len() as u64);
+        drop(q);
+        self.available.notify_one();
+        Ok(Ticket { rx, outcome: None })
+    }
+
+    /// One worker drain: blocks until work arrives (or shutdown), takes
+    /// at most `batch_size` jobs under a single lock acquisition, and
+    /// wakes both a blocked submitter (space appeared) and a sibling
+    /// worker (work may remain). `None` means shutdown with an empty
+    /// queue — the worker exits.
+    pub(crate) fn next_batch(
+        &self,
+        recorder: &Recorder,
+        batch_size: usize,
+    ) -> Option<Vec<Job>> {
+        let batch: Vec<Job> = {
+            // Poison recovery on both the lock and the condvar wait: a
+            // sibling's panic must not take the remaining workers down.
+            let mut q = self.lock();
+            loop {
+                if !q.jobs.is_empty() {
+                    break;
+                }
+                if q.shutdown {
+                    return None;
+                }
+                q = self.available.wait(q).unwrap_or_else(PoisonError::into_inner);
+            }
+            // Sample the depth on dequeue too, not just on submit: the
+            // mark must reflect the deepest backlog a worker ever *saw*,
+            // including jobs that piled up while every worker was busy.
+            recorder.note_queue_depth(q.jobs.len() as u64);
+            let take = batch_size.min(q.jobs.len());
+            q.jobs.drain(..take).collect()
+        };
+        // The dequeue made space: wake blocked submitters and a drain
+        // waiting for the queue to empty.
+        self.space.notify_all();
+        // More work may remain; wake a sibling before grinding through
+        // the batch so the queue keeps draining in parallel.
+        self.available.notify_one();
+        Some(batch)
+    }
+
+    /// The shutdown front half: closes admission, optionally waits (up
+    /// to `deadline`) for workers to empty the queue, flips `shutdown`,
+    /// and returns the jobs stranded past the deadline plus whether the
+    /// deadline expired. `deadline: None` means "finish everything
+    /// queued" (historical drop semantics) and strands nothing.
+    pub(crate) fn shut_down(&self, deadline: Option<Instant>) -> (Vec<Job>, bool) {
+        let mut timed_out = false;
+        let stranded: Vec<Job> = {
+            let mut q = self.lock();
+            q.draining = true;
+            // Wake submitters blocked on space: they observe `draining`
+            // and return `ShuttingDown`.
+            self.space.notify_all();
+            if let Some(deadline) = deadline {
+                // Wait for the workers to empty the queue; they pulse
+                // `space` after every batch they take.
+                while !q.jobs.is_empty() {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        timed_out = true;
+                        break;
+                    }
+                    let (guard, _) = self
+                        .space
+                        .wait_timeout(q, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    q = guard;
+                }
+            }
+            q.shutdown = true;
+            // Unbounded teardown (drop) leaves the queue for the
+            // workers, which exit only once it is empty; a bounded
+            // drain sheds whatever outlived the deadline.
+            if deadline.is_some() {
+                q.jobs.drain(..).collect()
+            } else {
+                Vec::new()
+            }
+        };
+        self.available.notify_all();
+        (stranded, timed_out)
+    }
+
+    /// Post-join sweep: drains whatever jobs dead workers left queued,
+    /// so the engine can cancel them and no ticket hangs.
+    pub(crate) fn sweep(&self) -> Vec<Job> {
+        self.lock().jobs.drain(..).collect()
+    }
+}

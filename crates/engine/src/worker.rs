@@ -1,0 +1,476 @@
+//! The worker side of the engine: the batch-drain loop and the full
+//! per-request lifecycle — deadline shed, chaos roll, breaker
+//! admission, tier planning / cache lookup, contained execution, the
+//! fault-reroute ladder, and terminal accounting.
+//!
+//! Everything here operates on [`crate::engine::Shared`]; the engine
+//! facade only spawns [`worker_loop`] threads and hands teardown
+//! leftovers to [`cancel_job`]. The queue transitions themselves live
+//! in [`crate::queue`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use benes_core::faults::{
+    realized_with_faults, self_route_omega_with_faults, self_route_with_faults,
+    setup_avoiding, FaultSet, FaultSetupError,
+};
+use benes_core::trace::RouteTrace;
+use benes_core::Benes;
+use benes_perm::Permutation;
+
+use crate::breaker::Admission;
+use crate::engine::{EngineError, Shared};
+use crate::flightrec::{LadderStep, RouteAttempt};
+use crate::plan::{execute, plan, required_order, Plan, PlanError, Tier};
+use crate::queue::{Job, RequestOutcome};
+use crate::stats::LatencyPath;
+
+pub(crate) fn worker_loop(shared: &Shared) {
+    // Per-worker network memo: `B(n)` is immutable wiring, cheap to keep
+    // one copy per worker and never lock for it.
+    let mut nets: HashMap<u32, Benes> = HashMap::new();
+    while let Some(batch) = shared.sub.next_batch(&shared.recorder, shared.batch_size) {
+        for job in batch {
+            #[cfg(test)]
+            test_hooks::maybe_kill_worker(&job.perm);
+            serve_job(shared, &mut nets, job);
+        }
+    }
+}
+
+/// Runs one dequeued job through the full lifecycle: deadline check,
+/// chaos roll, breaker admission, contained execution, breaker
+/// feedback, terminal accounting.
+fn serve_job(shared: &Shared, nets: &mut HashMap<u32, Benes>, job: Job) {
+    let mut attempt = RouteAttempt::new(job.perm.fingerprint(), job.perm.len());
+
+    // Deadline shed happens before any planning or execution: an
+    // expired request costs the worker nothing but this check.
+    if let Some(deadline) = job.deadline {
+        if Instant::now() >= deadline {
+            attempt.step(LadderStep::DeadlineShed);
+            finish_job(shared, job, attempt, Err(EngineError::DeadlineExceeded));
+            return;
+        }
+    }
+
+    // The chaos injector's delay simulates a slow fault and applies
+    // before admission, so delayed requests still contend normally.
+    let chaos = shared.chaos.roll();
+    if let Some(delay) = chaos.delay {
+        std::thread::sleep(delay);
+    }
+
+    // Breaker admission. A shed request is never planned or executed
+    // and does not feed back into the breaker (it is not a failure of
+    // the fabric, it is the breaker working).
+    let admission =
+        required_order(&job.perm).ok().and_then(|n| shared.breaker(n)).map(|breaker| {
+            let verdict = breaker.admit(Instant::now());
+            (breaker, verdict)
+        });
+    let probe = match &admission {
+        Some((_, Admission::Shed)) => {
+            attempt.step(LadderStep::BreakerShed);
+            finish_job(shared, job, attempt, Err(EngineError::BreakerOpen));
+            return;
+        }
+        Some((_, Admission::Probe)) => {
+            shared.recorder.note_breaker_probe();
+            attempt.step(LadderStep::BreakerProbe);
+            true
+        }
+        _ => false,
+    };
+
+    let result = if chaos.fail {
+        // Forced failure: deterministic stand-in for fabric damage.
+        attempt.step(LadderStep::ChaosInjected);
+        Err(EngineError::Injected)
+    } else {
+        // Contain per-job panics: without this, one panicking job
+        // kills the worker with the rest of its drained batch
+        // un-replied, and the queued tickets behind it can block
+        // forever. `nets` only memoizes immutable topologies, so
+        // observing it after an unwind is sound. The flight record
+        // is built *outside* the unwind boundary so a panic still
+        // leaves its partial ladder in the ring.
+        let served = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            serve_one(shared, nets, &job.perm, &mut attempt)
+        }));
+        served.unwrap_or_else(|_| {
+            attempt.step(LadderStep::Panicked);
+            Err(EngineError::JobPanicked)
+        })
+    };
+
+    // Breaker feedback: verified successes reset the streak, countable
+    // failures advance it; a probe's outcome decides reopen/re-close.
+    if let Some((breaker, _)) = &admission {
+        match &result {
+            Ok(_) => {
+                if breaker.on_success(probe) {
+                    shared.recorder.note_breaker_reclosed();
+                }
+            }
+            Err(e) if breaker_countable(e) => {
+                if breaker.on_failure(probe, Instant::now()) {
+                    shared.recorder.note_breaker_opened();
+                }
+            }
+            Err(_) => {}
+        }
+    }
+    finish_job(shared, job, attempt, result);
+}
+
+/// Whether a failure advances the circuit breaker: fabric-shaped
+/// failures do, caller errors (`Plan`) and lifecycle outcomes do not.
+fn breaker_countable(e: &EngineError) -> bool {
+    matches!(
+        e,
+        EngineError::Misrouted
+            | EngineError::FaultDetected
+            | EngineError::Unroutable
+            | EngineError::JobPanicked
+            | EngineError::Injected
+    )
+}
+
+/// Terminal accounting for one job: classify the outcome into exactly
+/// one of completed / failed / shed / canceled, record latency on the
+/// matching path, freeze the flight record, and reply to the ticket.
+fn finish_job(
+    shared: &Shared,
+    job: Job,
+    mut attempt: RouteAttempt,
+    result: Result<Tier, EngineError>,
+) {
+    let path = match &result {
+        Ok(tier) => {
+            shared.recorder.note_completed();
+            LatencyPath::Tier(*tier)
+        }
+        Err(EngineError::DeadlineExceeded) => {
+            shared.recorder.note_shed_deadline();
+            LatencyPath::Shed
+        }
+        Err(EngineError::BreakerOpen) => {
+            shared.recorder.note_shed_breaker();
+            LatencyPath::Shed
+        }
+        Err(EngineError::Canceled) => {
+            shared.recorder.note_canceled();
+            // Cancellations share the shed histogram: both measure how
+            // long a request sat queued before the engine gave up on it.
+            LatencyPath::Shed
+        }
+        Err(_) => {
+            shared.recorder.note_failed();
+            LatencyPath::Failed
+        }
+    };
+    let latency = job.submitted_at.elapsed();
+    let latency_ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+    shared.recorder.note_latency_ns(latency_ns, path);
+    attempt.result = Some(result.clone());
+    attempt.phases.total = latency_ns;
+    shared.flight.record(attempt);
+    // A dropped ticket just means the caller stopped listening.
+    // analyze:allow(discarded-result): caller hung up
+    let _ = job.reply.send(RequestOutcome { result, latency });
+}
+
+/// Cancels one never-served job (drain shedding or a post-join sweep):
+/// its ticket resolves with [`EngineError::Canceled`].
+pub(crate) fn cancel_job(shared: &Shared, job: Job) {
+    let mut attempt = RouteAttempt::new(job.perm.fingerprint(), job.perm.len());
+    attempt.step(LadderStep::Canceled);
+    finish_job(shared, job, attempt, Err(EngineError::Canceled));
+}
+
+/// How many times the reroute ladder replans after a fault-avoiding
+/// plan itself failed execution (only possible when the fault registry
+/// changed between planning and execution).
+const MAX_FAULT_RETRIES: usize = 3;
+
+/// Executes `plan` on the fabric as it currently is: healthy when
+/// `faults` is `None`, otherwise with every faulty switch overriding its
+/// commanded state. Either way the realized routing is verified against
+/// `d`.
+fn execute_on_fabric(
+    net: &Benes,
+    d: &Permutation,
+    plan: &Plan,
+    faults: Option<&FaultSet>,
+) -> bool {
+    let Some(faults) = faults.filter(|f| !f.is_empty()) else {
+        return execute(net, d, plan);
+    };
+    match plan {
+        Plan::SelfRoute => self_route_with_faults(net, d, faults).is_success(),
+        Plan::OmegaBit => self_route_omega_with_faults(net, d, faults).is_success(),
+        Plan::Settings(settings) => {
+            realized_with_faults(net, settings, faults).map(|r| r == *d).unwrap_or(false)
+        }
+        Plan::TwoPass { first, second } => {
+            first.then(second) == *d
+                && self_route_with_faults(net, first, faults).is_success()
+                && self_route_omega_with_faults(net, second, faults).is_success()
+        }
+    }
+}
+
+/// `start.elapsed()` as saturating nanoseconds.
+fn elapsed_ns(start: Instant) -> u64 {
+    start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+/// Captures the full per-stage trace of `plan` routing `d` over the
+/// fabric as it is (`faults` applied when present) — the post-mortem
+/// evidence attached to a failed flight record. For a two-pass plan the
+/// first failing pass is traced. Returns `None` only if the trace
+/// capture itself rejects the inputs (it never should for a plan the
+/// engine just executed).
+pub(crate) fn capture_trace(
+    net: &Benes,
+    d: &Permutation,
+    plan: &Plan,
+    faults: Option<&FaultSet>,
+) -> Option<RouteTrace> {
+    let faults = faults.filter(|f| !f.is_empty());
+    match (plan, faults) {
+        (Plan::SelfRoute, None) => RouteTrace::capture_self_route(net, d).ok(),
+        (Plan::SelfRoute, Some(f)) => {
+            RouteTrace::capture_self_route_with_faults(net, d, f).ok()
+        }
+        (Plan::OmegaBit, None) => RouteTrace::capture_omega(net, d).ok(),
+        (Plan::OmegaBit, Some(f)) => RouteTrace::capture_omega_with_faults(net, d, f).ok(),
+        (Plan::Settings(s), None) => RouteTrace::capture_external(net, d, s).ok(),
+        (Plan::Settings(s), Some(f)) => {
+            RouteTrace::capture_external_with_faults(net, d, s, f).ok()
+        }
+        (Plan::TwoPass { first, second }, f) => {
+            let pass1 = match f {
+                Some(f) => {
+                    RouteTrace::capture_self_route_with_faults(net, first, f).ok()?
+                }
+                None => RouteTrace::capture_self_route(net, first).ok()?,
+            };
+            if !pass1.is_success() {
+                return Some(pass1);
+            }
+            match f {
+                Some(f) => RouteTrace::capture_omega_with_faults(net, second, f).ok(),
+                None => RouteTrace::capture_omega(net, second).ok(),
+            }
+        }
+    }
+}
+
+/// Serves one request: cache lookup, then tier planning, execution, and
+/// cache fill — and, when execution fails with faults registered, the
+/// fault-tolerance ladder: detect → evict → re-plan around the faults →
+/// bounded retry. Every path verifies the realized routing. Each
+/// decision is mirrored into `attempt`, the request's flight record.
+fn serve_one(
+    shared: &Shared,
+    nets: &mut HashMap<u32, Benes>,
+    perm: &Permutation,
+    attempt: &mut RouteAttempt,
+) -> Result<Tier, EngineError> {
+    #[cfg(test)]
+    test_hooks::maybe_panic(perm);
+
+    let n = required_order(perm)?;
+    let net = nets.entry(n).or_insert_with(|| Benes::new(n));
+    let faults = shared.fault_set(n);
+
+    let cache_started = Instant::now();
+    match shared.cache.get(perm) {
+        Some(cached) => {
+            shared.recorder.note_cache(true);
+            attempt.step(LadderStep::CacheHit);
+            // A cached explicit-settings plan is validated against the
+            // fault registry *statically*: insert time already proved it
+            // realizes `perm` on a healthy fabric, so if every stuck
+            // switch agrees with its commanded state the fault overlay
+            // is a no-op and the plan realizes `perm` on the degraded
+            // fabric too — an O(|faults|) check in place of a full
+            // replay. Disagreement (a dead switch never agrees) means
+            // the plan is stale for this fabric: evict and re-plan.
+            let valid = match (&*cached, faults.as_deref().filter(|f| !f.is_empty())) {
+                (Plan::Settings(settings), Some(f)) => {
+                    let agrees = f.agrees_with(settings);
+                    if agrees {
+                        shared.recorder.note_static_validation();
+                        attempt.step(LadderStep::StaticValidated);
+                    }
+                    agrees
+                }
+                (_, overlay) => execute_on_fabric(net, perm, &cached, overlay),
+            };
+            if valid {
+                shared.recorder.note_tier(Tier::Cached);
+                attempt.phases.cache = elapsed_ns(cache_started);
+                return Ok(Tier::Cached);
+            }
+            // The cache verifies permutation equality on lookup, so a
+            // failing validation means a corrupted plan (or one planned
+            // for a fabric that has since degraded). Evict it: leaving
+            // it in place makes every future request re-pay the failure.
+            shared.cache.invalidate(perm);
+            attempt.step(LadderStep::CacheEvicted);
+        }
+        None => {
+            shared.recorder.note_cache(false);
+            attempt.step(LadderStep::CacheMiss);
+        }
+    }
+    attempt.phases.cache = elapsed_ns(cache_started);
+
+    let plan_started = Instant::now();
+    let fresh = plan(perm, shared.fallback)?;
+    attempt.phases.plan = elapsed_ns(plan_started);
+    let tier = fresh.tier();
+    attempt.step(LadderStep::Planned(tier));
+    let execute_started = Instant::now();
+    let executed = execute_on_fabric(net, perm, &fresh, faults.as_deref());
+    attempt.phases.execute = elapsed_ns(execute_started);
+    attempt.step(LadderStep::Executed { ok: executed });
+    if executed {
+        if fresh.is_cacheable() {
+            shared.cache.insert(perm, Arc::new(fresh));
+        }
+        shared.recorder.note_tier(tier);
+        return Ok(tier);
+    }
+
+    // Execution failed: freeze the evidence. The trace replays the
+    // failing plan over the exact fabric the worker executed on, so the
+    // flight record can show *where* the routing went wrong, stage by
+    // stage.
+    attempt.trace = capture_trace(net, perm, &fresh, faults.as_deref());
+
+    // On a healthy fabric a failed execution is an engine bug — report
+    // it as before. With faults registered it is the expected signature
+    // of a damaged switch: enter the reroute ladder.
+    if faults.is_none() {
+        return Err(EngineError::Misrouted);
+    }
+    shared.recorder.note_fault_detected();
+    attempt.step(LadderStep::FaultDetected);
+    let reroute_started = Instant::now();
+    let rerouted = fault_ladder(shared, net, perm, &fresh, tier, attempt);
+    attempt.phases.reroute = elapsed_ns(reroute_started);
+    rerouted
+}
+
+/// The bounded fault-reroute ladder: re-read the registry, plan around
+/// the current faults, verify, retry on registry churn.
+fn fault_ladder(
+    shared: &Shared,
+    net: &Benes,
+    perm: &Permutation,
+    fresh: &Plan,
+    tier: Tier,
+    attempt: &mut RouteAttempt,
+) -> Result<Tier, EngineError> {
+    let n = net.n();
+    for _retry in 0..=MAX_FAULT_RETRIES {
+        // Re-read the registry every attempt: concurrent injection or
+        // healing changes what must be avoided.
+        let current = match shared.fault_set(n) {
+            Some(f) => f,
+            None => {
+                // Healed mid-flight: the fresh plan is valid again.
+                attempt.step(LadderStep::Healed);
+                let healed = execute_on_fabric(net, perm, fresh, None);
+                attempt.step(LadderStep::Executed { ok: healed });
+                if healed {
+                    if fresh.is_cacheable() {
+                        shared.cache.insert(perm, Arc::new(fresh.clone()));
+                    }
+                    shared.recorder.note_reroute(true);
+                    shared.recorder.note_tier(tier);
+                    return Ok(tier);
+                }
+                shared.recorder.note_reroute(false);
+                return Err(EngineError::Misrouted);
+            }
+        };
+        match setup_avoiding(perm, &current) {
+            Ok(settings) => {
+                let avoiding = Plan::Settings(settings);
+                let ok = execute_on_fabric(net, perm, &avoiding, Some(&current));
+                attempt.step(LadderStep::Replanned { ok });
+                if ok {
+                    // The avoiding settings agree with every stuck
+                    // switch, so the overlay is a no-op on them: they
+                    // realize `perm` on the faulty fabric *and* after a
+                    // repair — safe to cache.
+                    shared.cache.insert(perm, Arc::new(avoiding));
+                    shared.recorder.note_reroute(true);
+                    shared.recorder.note_tier(Tier::Waksman);
+                    return Ok(Tier::Waksman);
+                }
+                // Only reachable if the registry changed between
+                // planning and execution; retry against the new state.
+                shared.recorder.note_fault_retry();
+            }
+            Err(FaultSetupError::Unavoidable) => {
+                attempt.step(LadderStep::Unavoidable);
+                shared.recorder.note_reroute(false);
+                return Err(EngineError::Unroutable);
+            }
+            Err(FaultSetupError::Setup(e)) => {
+                shared.recorder.note_reroute(false);
+                return Err(EngineError::Plan(PlanError::from(e)));
+            }
+            Err(_) => {
+                // Registry keyed by order, so a mismatch cannot happen;
+                // treat any future variant as one retry-worthy hiccup.
+                shared.recorder.note_fault_retry();
+            }
+        }
+    }
+    attempt.step(LadderStep::RetryExhausted);
+    shared.recorder.note_reroute(false);
+    Err(EngineError::FaultDetected)
+}
+
+#[cfg(test)]
+pub(crate) mod test_hooks {
+    //! Deterministic failure seams for the regression tests.
+
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use benes_perm::Permutation;
+
+    /// When non-zero, [`maybe_panic`] panics on any permutation with
+    /// this fingerprint — the seam the catch_unwind regression test uses
+    /// to detonate a job inside a worker.
+    pub(crate) static PANIC_ON_FINGERPRINT: AtomicU64 = AtomicU64::new(0);
+
+    pub(crate) fn maybe_panic(perm: &Permutation) {
+        let armed = PANIC_ON_FINGERPRINT.load(Ordering::Relaxed);
+        if armed != 0 && perm.fingerprint() == armed {
+            panic!("test hook: detonating job for fingerprint {armed:#x}");
+        }
+    }
+
+    /// When non-zero, [`maybe_kill_worker`] panics *outside* the per-job
+    /// containment, killing the whole worker thread — the seam the
+    /// teardown regression test uses to strand queued jobs with no one
+    /// to serve them.
+    pub(crate) static KILL_WORKER_ON_FINGERPRINT: AtomicU64 = AtomicU64::new(0);
+
+    pub(crate) fn maybe_kill_worker(perm: &Permutation) {
+        let armed = KILL_WORKER_ON_FINGERPRINT.load(Ordering::Relaxed);
+        if armed != 0 && perm.fingerprint() == armed {
+            panic!("test hook: killing worker on fingerprint {armed:#x}");
+        }
+    }
+}

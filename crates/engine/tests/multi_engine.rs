@@ -1,0 +1,69 @@
+//! Multi-engine isolation smoke test.
+//!
+//! Audit note: the engine crate keeps **no** process-global state on
+//! its serving path. Every `Engine::new(config)` owns its submission
+//! queue, plan cache, fault registry, breakers, chaos injector, flight
+//! recorder, and stats recorder behind one `Arc<Shared>`; the only
+//! statics in the crate are the `#[cfg(test)]` worker test hooks
+//! (`worker::test_hooks`), which are compiled out of this integration
+//! build. This test is the executable form of that audit: eight
+//! engines constructed concurrently from distinct configs must serve
+//! and drain without sharing counters, caches, or faults.
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use benes_engine::workload::mixed_workload;
+use benes_engine::{Engine, EngineConfig, FaultKind};
+
+#[test]
+fn eight_engines_with_config_run_concurrently_and_drain_clean() {
+    const ENGINES: usize = 8;
+    const REQUESTS: usize = 60;
+
+    let handles: Vec<_> = (0..ENGINES)
+        .map(|i| {
+            thread::spawn(move || {
+                let engine = Engine::new(EngineConfig {
+                    workers: 1 + i % 3,
+                    batch_size: 1 + i % 4,
+                    cache_capacity: 8 + i,
+                    ..EngineConfig::default()
+                });
+                // Give each engine a distinct fault world: odd engines
+                // serve around an injected stuck switch, even ones run
+                // clean. Isolation means the clean engines never see a
+                // fault counter move.
+                if i % 2 == 1 {
+                    engine
+                        .inject_fault(4, 0, 0, FaultKind::StuckStraight)
+                        .expect("B(4) has switch (0, 0)");
+                }
+                let outcomes =
+                    engine.run_batch(mixed_workload(4, REQUESTS, 100 + i as u64));
+                assert!(
+                    outcomes.iter().all(|o| o.result.is_ok()),
+                    "engine {i} dropped a request"
+                );
+                let report = engine.drain(Instant::now() + Duration::from_secs(10));
+                assert_eq!(report.canceled, 0, "engine {i} stranded work");
+                (i, engine.stats())
+            })
+        })
+        .collect();
+
+    for handle in handles {
+        let (i, stats) = handle.join().expect("engine thread panicked");
+        assert_eq!(stats.submitted, REQUESTS as u64, "engine {i}");
+        assert_eq!(stats.completed, REQUESTS as u64, "engine {i}");
+        assert!(stats.conserves_requests(), "engine {i} ledger unbalanced");
+        if i % 2 == 1 {
+            assert_eq!(stats.faults_injected, 1, "engine {i} lost its fault");
+        } else {
+            assert_eq!(
+                stats.faults_injected, 0,
+                "engine {i} saw a neighbor's fault — global state leak"
+            );
+        }
+    }
+}

@@ -545,6 +545,51 @@ mod tests {
     }
 
     #[test]
+    fn within_blocks_empty_j_applies_the_single_block_permutation() {
+        // Edge case: empty J ⇒ one block spanning everything, so the
+        // Theorem-4 composite *is* the single block permutation.
+        let j = JPartition::new(3, []).unwrap();
+        let rev = Bpc::vector_reversal(3).to_permutation();
+        let g = within_blocks(&j, |b| {
+            assert_eq!(b, 0);
+            rev.clone()
+        })
+        .unwrap();
+        assert_eq!(g, rev);
+    }
+
+    #[test]
+    fn within_blocks_full_j_is_identity() {
+        // Edge case: J = all bits ⇒ singleton blocks; the only block
+        // permutation is the length-1 identity, so the composite is the
+        // identity no matter what.
+        let j = JPartition::new(3, [0, 1, 2]).unwrap();
+        let g = within_blocks(&j, |_| Permutation::identity(1)).unwrap();
+        assert!(g.is_identity());
+    }
+
+    #[test]
+    fn between_blocks_full_j_is_the_block_map() {
+        // Edge case: J = all bits ⇒ blocks are single elements, so the
+        // Theorem-5 composite collapses to the block map itself.
+        let j = JPartition::new(3, [0, 1, 2]).unwrap();
+        let map = Bpc::bit_reversal(3).to_permutation();
+        let g = between_blocks(&j, &map, |_| Permutation::identity(1)).unwrap();
+        assert_eq!(g, map);
+    }
+
+    #[test]
+    fn between_blocks_single_block_is_within() {
+        // Edge case: empty J ⇒ one block; the only valid block map is
+        // the length-1 identity and the composite reduces to the
+        // within-block permutation.
+        let j = JPartition::new(3, []).unwrap();
+        let inner = cyclic_shift(3, 3);
+        let g = between_blocks(&j, &Permutation::identity(1), |_| inner.clone()).unwrap();
+        assert_eq!(g, inner);
+    }
+
+    #[test]
     fn within_blocks_reverses_rows() {
         // 4×4 matrix in row-major order (n = 4); J = row bits {2, 3}.
         // Reverse each row.

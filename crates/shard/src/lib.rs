@@ -1,0 +1,62 @@
+//! **benes-shard** — a block-decomposition coordinator that routes
+//! giant permutations across a fleet of independent engine shards.
+//!
+//! A single `B(n)` fabric (and a single [`benes_engine::Engine`] in
+//! front of it) stops being the right serving unit long before
+//! `N = 2^20`: set-up is `O(N log N)` per request, the plan cache holds
+//! whole-`N` switch settings, and one fault registry is one blast
+//! radius. The paper's partition theorems supply the way out. Theorems
+//! 4–6 characterize how `F(n)` composes over a `J`-partition: a
+//! permutation that is block-structured over `J` factors into
+//! *within-block* pieces and a *between-block* piece, each living on an
+//! exponentially smaller network. This crate runs that observation as a
+//! distributed-systems design:
+//!
+//! * [`decompose`](mod@decompose) factors an **arbitrary** permutation
+//!   of `N = 2^n` into three block-structured stages
+//!   `π = W1 ∘ M ∘ W3` over the contiguous partition (`J` = high bits):
+//!   within source blocks, between blocks, within destination blocks —
+//!   the classic three-stage Clos decomposition, computed by recursive
+//!   Euler splitting in `O(N log N)`;
+//! * [`coordinator`] scatters the `2B + S` resulting sub-permutations
+//!   across a fleet of engine shards (each a full
+//!   [`benes_engine::Engine`] with its own cache, fault registry,
+//!   breakers, and stats — an independent **fault domain**), gathers
+//!   the per-unit outcomes over the normal ticket lifecycle, and
+//!   reports partial completion element-exactly when shards degrade;
+//! * [`stats`] rolls the per-shard [`benes_engine::EngineStats`] up
+//!   into fleet aggregates and a combined exposition that keeps a
+//!   `shard` label on every drill-down sample.
+//!
+//! The correctness contract is bitwise: a complete
+//! [`ShardOutcome`] is `verified` only if recombining the three stages
+//! reproduces the original permutation element by element
+//! ([`Decomposition::recombines_to`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use benes_shard::{ShardConfig, ShardCoordinator};
+//! use benes_engine::workload::{random_permutation, Rng64};
+//!
+//! let coord = ShardCoordinator::new(ShardConfig::default());
+//! let pi = random_permutation(&mut Rng64::new(1), 1 << 12);
+//! let outcome = coord.route(&pi).unwrap();
+//! assert!(outcome.verified);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod decompose;
+pub mod soak;
+pub mod stats;
+
+pub use coordinator::{
+    BlockPolicy, ShardConfig, ShardCoordinator, ShardError, ShardOutcome, Stage,
+    UnitOutcome,
+};
+pub use decompose::{balanced_block_bits, decompose, DecomposeError, Decomposition};
+pub use soak::{run_shard_soak, ShardSoakConfig, ShardSoakReport};
+pub use stats::ShardStats;

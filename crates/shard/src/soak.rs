@@ -1,0 +1,225 @@
+//! Deterministic shard soak: route a stream of random giant
+//! permutations across a fleet, inject a fault into exactly one shard
+//! mid-stream, and check the two invariants the subsystem promises —
+//! **isolation** (no failure ever lands outside the faulty shard) and
+//! **conservation** (every shard's request ledger balances).
+//!
+//! The soak is the machine-checkable form of the fault-domain claim.
+//! `scripts/shard.sh` runs it via `benes-cli shard soak` and turns a
+//! violated invariant into a nonzero exit.
+
+use benes_engine::chaos::ChaosConfig;
+use benes_engine::workload::{random_permutation, Rng64};
+use benes_engine::EngineConfig;
+
+use crate::coordinator::{ShardConfig, ShardCoordinator};
+use crate::stats::ShardStats;
+
+/// Configuration for [`run_shard_soak`].
+#[derive(Debug, Clone)]
+pub struct ShardSoakConfig {
+    /// Seed for the permutation stream and the injected chaos.
+    pub seed: u64,
+    /// Index width of each soaked permutation (`2^n` elements).
+    pub n: u32,
+    /// How many permutations to route.
+    pub permutations: usize,
+    /// Fleet size.
+    pub shards: usize,
+    /// If set, arm an always-fail failpoint on this shard for the
+    /// middle round, then heal and keep going. `None` soaks clean.
+    pub faulty_shard: Option<usize>,
+    /// Per-shard engine configuration.
+    pub engine: EngineConfig,
+}
+
+impl ShardSoakConfig {
+    /// Default soak: 6 permutations of `2^12` across 4 shards with a
+    /// mid-stream fault on shard 0.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            n: 12,
+            permutations: 6,
+            shards: 4,
+            faulty_shard: Some(0),
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// What the soak observed; [`ShardSoakReport::healthy`] is the gate.
+#[derive(Debug, Clone)]
+pub struct ShardSoakReport {
+    /// Rounds routed in total.
+    pub rounds: usize,
+    /// Clean rounds that recombined bitwise.
+    pub verified_rounds: usize,
+    /// Clean rounds that failed verification (must be zero).
+    pub unverified_clean_rounds: usize,
+    /// Whether a fault round ran at all.
+    pub fault_round_ran: bool,
+    /// Elements routed vs. total during the fault round.
+    pub fault_round_routed: (u64, u64),
+    /// Units that failed on a shard **other** than the faulty one —
+    /// cross-shard contamination, the cardinal sin (must be zero).
+    pub contaminated_units: usize,
+    /// Units that failed on the faulty shard during the fault round
+    /// (must be nonzero — otherwise the failpoint proved nothing).
+    pub faulty_shard_failures: usize,
+    /// Whether every shard's request ledger balanced at the end.
+    pub conservation_ok: bool,
+    /// Final fleet statistics.
+    pub stats: ShardStats,
+}
+
+impl ShardSoakReport {
+    /// The soak gate: isolation held, conservation held, every clean
+    /// round verified, and the fault round (if configured) actually
+    /// degraded — partially, not totally.
+    #[must_use]
+    pub fn healthy(&self) -> bool {
+        let (routed, total) = self.fault_round_routed;
+        let fault_ok = !self.fault_round_ran
+            || (self.faulty_shard_failures > 0 && routed > 0 && routed < total);
+        self.unverified_clean_rounds == 0
+            && self.contaminated_units == 0
+            && self.conservation_ok
+            && fault_ok
+    }
+
+    /// Multi-line human rendering (stable line prefixes; scripts grep
+    /// the `shard-soak:` lines).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let (routed, total) = self.fault_round_routed;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "shard-soak: rounds={} verified={} unverified_clean={}\n",
+            self.rounds, self.verified_rounds, self.unverified_clean_rounds,
+        ));
+        if self.fault_round_ran {
+            out.push_str(&format!(
+                "shard-soak: fault round routed {routed}/{total} elements, \
+                 faulty-shard failures={}\n",
+                self.faulty_shard_failures,
+            ));
+        }
+        out.push_str(&format!(
+            "shard-soak: contaminated_units={} conservation_ok={}\n",
+            self.contaminated_units, self.conservation_ok,
+        ));
+        out.push_str(&self.stats.report());
+        out.push_str(&format!(
+            "shard-soak: {}\n",
+            if self.healthy() { "HEALTHY" } else { "UNHEALTHY" },
+        ));
+        out
+    }
+}
+
+/// Runs the soak. Deterministic for a given config: the permutation
+/// stream comes from one seeded generator and the failpoint round is a
+/// fixed position in the stream.
+pub fn run_shard_soak(cfg: &ShardSoakConfig) -> ShardSoakReport {
+    let coord = ShardCoordinator::new(ShardConfig {
+        shards: cfg.shards,
+        engine: cfg.engine.clone(),
+        ..ShardConfig::default()
+    });
+    let mut rng = Rng64::new(cfg.seed);
+    let fault_round = cfg.faulty_shard.map(|_| cfg.permutations / 2);
+
+    let mut verified_rounds = 0;
+    let mut unverified_clean = 0;
+    let mut fault_round_ran = false;
+    let mut fault_routed = (0u64, 0u64);
+    let mut contaminated = 0;
+    let mut faulty_failures = 0;
+
+    for round in 0..cfg.permutations {
+        let pi = random_permutation(&mut rng, 1usize << cfg.n);
+        let faulting = fault_round == Some(round);
+        if let (true, Some(shard)) = (faulting, cfg.faulty_shard) {
+            coord.set_chaos_on(shard, ChaosConfig::always_fail(cfg.seed ^ 0xfa17));
+        }
+        let outcome = coord.route(&pi).expect("power-of-two soak perms decompose");
+        if faulting {
+            let shard = cfg.faulty_shard.expect("faulting implies a faulty shard");
+            fault_round_ran = true;
+            fault_routed = (outcome.routed_elements, outcome.total_elements);
+            for u in outcome.units.iter().filter(|u| !u.is_ok()) {
+                if u.shard == shard {
+                    faulty_failures += 1;
+                } else {
+                    contaminated += 1;
+                }
+            }
+            coord.clear_chaos_on(shard);
+        } else {
+            // Clean round: isolation means *nothing* fails anywhere.
+            contaminated += outcome.units.iter().filter(|u| !u.is_ok()).count();
+            if outcome.verified {
+                verified_rounds += 1;
+            } else {
+                unverified_clean += 1;
+            }
+        }
+    }
+
+    let stats = coord.stats();
+    ShardSoakReport {
+        rounds: cfg.permutations,
+        verified_rounds,
+        unverified_clean_rounds: unverified_clean,
+        fault_round_ran,
+        fault_round_routed: fault_routed,
+        contaminated_units: contaminated,
+        faulty_shard_failures: faulty_failures,
+        conservation_ok: stats.conserves_requests(),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(seed: u64, faulty: Option<usize>) -> ShardSoakConfig {
+        ShardSoakConfig {
+            n: 8,
+            permutations: 4,
+            faulty_shard: faulty,
+            engine: EngineConfig { workers: 2, ..EngineConfig::default() },
+            ..ShardSoakConfig::new(seed)
+        }
+    }
+
+    #[test]
+    fn clean_soak_is_healthy() {
+        let report = run_shard_soak(&quick(1, None));
+        assert!(!report.fault_round_ran);
+        assert_eq!(report.verified_rounds, 4);
+        assert!(report.healthy(), "{}", report.render());
+    }
+
+    #[test]
+    fn faulted_soak_is_healthy_and_isolated() {
+        let report = run_shard_soak(&quick(2, Some(1)));
+        assert!(report.fault_round_ran);
+        assert!(report.faulty_shard_failures > 0);
+        assert_eq!(report.contaminated_units, 0);
+        assert!(report.healthy(), "{}", report.render());
+        assert!(report.render().contains("HEALTHY"));
+    }
+
+    #[test]
+    fn soak_is_deterministic() {
+        let a = run_shard_soak(&quick(3, Some(0)));
+        let b = run_shard_soak(&quick(3, Some(0)));
+        assert_eq!(a.verified_rounds, b.verified_rounds);
+        assert_eq!(a.faulty_shard_failures, b.faulty_shard_failures);
+        assert_eq!(a.fault_round_routed, b.fault_round_routed);
+    }
+}

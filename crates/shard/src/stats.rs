@@ -1,0 +1,284 @@
+//! Fleet-wide statistics: per-shard [`EngineStats`] rolled up into
+//! aggregate counters, a merged latency histogram, and a combined
+//! exposition that keeps the per-shard breakdown as a `shard` label.
+
+use benes_engine::EngineStats;
+use benes_obs::{Exposition, HistogramSnapshot, MetricKind, Sample};
+
+/// Statistics for a whole shard fleet.
+///
+/// The per-shard snapshots are preserved verbatim — aggregation never
+/// discards the fault-domain breakdown, because "which shard is
+/// degraded" is the question this subsystem exists to answer.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    per_shard: Vec<EngineStats>,
+}
+
+impl ShardStats {
+    /// Wraps one snapshot per shard (index = shard id).
+    #[must_use]
+    pub fn new(per_shard: Vec<EngineStats>) -> Self {
+        Self { per_shard }
+    }
+
+    /// The per-shard snapshots, indexed by shard id.
+    #[must_use]
+    pub fn per_shard(&self) -> &[EngineStats] {
+        &self.per_shard
+    }
+
+    /// Number of shards in the fleet.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.per_shard.len()
+    }
+
+    fn total(&self, f: impl Fn(&EngineStats) -> u64) -> u64 {
+        self.per_shard.iter().map(f).sum()
+    }
+
+    /// Total requests admitted across the fleet.
+    #[must_use]
+    pub fn submitted(&self) -> u64 {
+        self.total(|s| s.submitted)
+    }
+
+    /// Total requests routed successfully across the fleet.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.total(|s| s.completed)
+    }
+
+    /// Total terminal failures across the fleet.
+    #[must_use]
+    pub fn failed(&self) -> u64 {
+        self.total(|s| s.failed)
+    }
+
+    /// Total requests shed (deadline or breaker) across the fleet.
+    #[must_use]
+    pub fn shed(&self) -> u64 {
+        self.total(|s| s.shed)
+    }
+
+    /// Total requests canceled by shutdown across the fleet.
+    #[must_use]
+    pub fn canceled(&self) -> u64 {
+        self.total(|s| s.canceled)
+    }
+
+    /// Total admissions rejected at the queue across the fleet.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.total(|s| s.rejected)
+    }
+
+    /// Whether **every** shard's lifecycle ledger balances
+    /// (`completed + failed + shed + canceled == submitted`,
+    /// per shard — a fleet-level sum could hide two shards
+    /// miscounting in opposite directions).
+    #[must_use]
+    pub fn conserves_requests(&self) -> bool {
+        self.per_shard.iter().all(EngineStats::conserves_requests)
+    }
+
+    /// Whether any shard is serving around injected/detected faults.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.per_shard.iter().any(EngineStats::is_degraded)
+    }
+
+    /// The shards currently degraded (fault registry non-empty or
+    /// reroutes observed).
+    #[must_use]
+    pub fn degraded_shards(&self) -> Vec<usize> {
+        self.per_shard
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.is_degraded().then_some(i))
+            .collect()
+    }
+
+    /// Fleet-wide completed-request latency: every shard's histogram
+    /// merged into one snapshot (log-bucketed, so the merge is exact).
+    #[must_use]
+    pub fn latency(&self) -> HistogramSnapshot {
+        let mut merged = HistogramSnapshot::default();
+        for s in &self.per_shard {
+            merged.merge(&s.latency);
+        }
+        merged
+    }
+
+    /// Multi-line human report: one line per shard plus the fleet
+    /// aggregate.
+    #[must_use]
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        for (i, s) in self.per_shard.iter().enumerate() {
+            out.push_str(&format!(
+                "shard {i}: submitted={} completed={} failed={} shed={} canceled={}{}\n",
+                s.submitted,
+                s.completed,
+                s.failed,
+                s.shed,
+                s.canceled,
+                if s.is_degraded() { " DEGRADED" } else { "" },
+            ));
+        }
+        let lat = self.latency();
+        out.push_str(&format!(
+            "fleet: shards={} submitted={} completed={} failed={} shed={} canceled={} \
+             p50={}ns p99={}ns conserved={}\n",
+            self.shard_count(),
+            self.submitted(),
+            self.completed(),
+            self.failed(),
+            self.shed(),
+            self.canceled(),
+            lat.quantile(0.5),
+            lat.quantile(0.99),
+            self.conserves_requests(),
+        ));
+        out
+    }
+
+    /// Combined exposition: fleet-level `benes_shard_*` families plus
+    /// every shard's full engine exposition re-emitted with a
+    /// `shard="<id>"` label, so one scrape answers both "how is the
+    /// fleet" and "which shard is sick".
+    #[must_use]
+    pub fn exposition(&self) -> Exposition {
+        let mut expo = Exposition::new();
+        expo.describe(
+            "benes_shard_fleet_size",
+            MetricKind::Gauge,
+            "Number of engine shards in the fleet.",
+        );
+        expo.push(Sample::new("benes_shard_fleet_size", self.shard_count() as f64));
+        expo.describe(
+            "benes_shard_requests_total",
+            MetricKind::Counter,
+            "Fleet-wide request lifecycle counts by terminal state.",
+        );
+        for (state, v) in [
+            ("submitted", self.submitted()),
+            ("completed", self.completed()),
+            ("failed", self.failed()),
+            ("shed", self.shed()),
+            ("canceled", self.canceled()),
+            ("rejected", self.rejected()),
+        ] {
+            expo.push(
+                Sample::new("benes_shard_requests_total", v as f64).label("state", state),
+            );
+        }
+        expo.describe(
+            "benes_shard_degraded",
+            MetricKind::Gauge,
+            "Per-shard degraded flag (1 = serving around faults).",
+        );
+        for (i, s) in self.per_shard.iter().enumerate() {
+            expo.push(
+                Sample::new("benes_shard_degraded", f64::from(u8::from(s.is_degraded())))
+                    .label("shard", i.to_string()),
+            );
+        }
+        let lat = self.latency();
+        expo.describe(
+            "benes_shard_latency_ns",
+            MetricKind::Summary,
+            "Fleet-wide completed-request latency (merged across shards).",
+        );
+        if !lat.is_empty() {
+            for q in [0.5, 0.9, 0.99] {
+                expo.push(
+                    Sample::new("benes_shard_latency_ns", lat.quantile(q) as f64)
+                        .label("quantile", format!("{q}")),
+                );
+            }
+        }
+        expo.push(Sample::new("benes_shard_latency_ns_sum", lat.sum() as f64));
+        expo.push(Sample::new("benes_shard_latency_ns_count", lat.count() as f64));
+        // Per-shard drill-down: the full engine exposition, labeled.
+        for (i, s) in self.per_shard.iter().enumerate() {
+            for sample in s.exposition().samples() {
+                expo.push(sample.clone().label("shard", i.to_string()));
+            }
+        }
+        expo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use benes_engine::workload::mixed_workload;
+    use benes_engine::{Engine, EngineConfig};
+    use benes_obs::parse_prometheus;
+
+    fn fleet_stats() -> ShardStats {
+        let stats = (0..2)
+            .map(|seed| {
+                let e = Engine::new(EngineConfig { workers: 2, ..Default::default() });
+                let outcomes = e.run_batch(mixed_workload(4, 20, seed));
+                assert!(outcomes.iter().all(|o| o.result.is_ok()));
+                e.stats()
+            })
+            .collect();
+        ShardStats::new(stats)
+    }
+
+    #[test]
+    fn aggregates_sum_per_shard_counters() {
+        let stats = fleet_stats();
+        assert_eq!(stats.shard_count(), 2);
+        assert_eq!(stats.submitted(), 40);
+        assert_eq!(stats.completed(), 40);
+        assert_eq!(stats.failed(), 0);
+        assert!(stats.conserves_requests());
+        assert!(!stats.is_degraded());
+        assert_eq!(stats.latency().count(), 40);
+        assert!(stats.report().contains("fleet: shards=2"));
+    }
+
+    #[test]
+    fn exposition_round_trips_and_labels_shards() {
+        let stats = fleet_stats();
+        let expo = stats.exposition();
+        let text = expo.to_prometheus();
+        let parsed = parse_prometheus(&text).expect("own exposition must parse");
+        assert_eq!(parsed.len(), expo.samples().len());
+        // Fleet aggregate present...
+        let submitted = parsed
+            .iter()
+            .find(|s| {
+                s.name == "benes_shard_requests_total"
+                    && s.labels.contains(&("state".into(), "submitted".into()))
+                    && !s.labels.iter().any(|(k, _)| k == "shard")
+            })
+            .expect("fleet submitted sample");
+        assert_eq!(submitted.value, 40.0);
+        // ...and every engine sample is re-emitted with its shard id.
+        for shard in ["0", "1"] {
+            let per = parsed
+                .iter()
+                .find(|s| {
+                    s.name == "benes_requests_total"
+                        && s.labels.contains(&("state".into(), "submitted".into()))
+                        && s.labels.contains(&("shard".into(), (*shard).into()))
+                })
+                .unwrap_or_else(|| panic!("shard {shard} drill-down sample"));
+            assert_eq!(per.value, 20.0);
+        }
+    }
+
+    #[test]
+    fn empty_fleet_is_vacuously_conserved() {
+        let stats = ShardStats::new(Vec::new());
+        assert_eq!(stats.submitted(), 0);
+        assert!(stats.conserves_requests());
+        assert!(stats.latency().is_empty());
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests tying the shard decomposition back to the paper's
+//! Theorem 4–6 composite builders: decompose → express every stage as a
+//! partition composite → recombine → the original permutation.
+
+use benes_perm::partition::{hierarchical_composite, within_blocks, JPartition};
+use benes_perm::Permutation;
+use benes_shard::decompose;
+use proptest::prelude::*;
+
+/// A random permutation of `0..len` via index shuffling.
+fn arb_permutation(len: usize) -> impl Strategy<Value = Permutation> {
+    Just(()).prop_perturb(move |(), mut rng| {
+        let mut dest: Vec<u32> = (0..len as u32).collect();
+        for i in (1..len).rev() {
+            let j = (rng.random::<u64>() % (i as u64 + 1)) as usize;
+            dest.swap(i, j);
+        }
+        Permutation::from_destinations(dest).expect("shuffle of identity is a bijection")
+    })
+}
+
+/// `(n, r, π)` with `n ∈ 8..=12`, `r ∈ 1..n`, `π` random on `2^n`.
+fn arb_case() -> impl Strategy<Value = (u32, u32, Permutation)> {
+    (8u32..=12)
+        .prop_flat_map(|n| (Just(n), 1..n, arb_permutation(1usize << n)))
+        .prop_map(|(n, r, p)| (n, r, p))
+}
+
+proptest! {
+    // 2^12-element cases are not free in debug mode; a couple dozen
+    // random (n, r, π) triples already sweep every width pair.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// decompose → route-per-block (each stage rebuilt from its
+    /// per-block permutations via the Theorem 4/6 builders) →
+    /// recombine with `then` → exactly π again.
+    #[test]
+    fn decompose_roundtrips_through_partition_composites((n, r, pi) in arb_case()) {
+        let d = decompose(&pi, r).expect("power-of-two perms decompose");
+        let high_mask = ((1u64 << (n - r)) - 1) << r;
+        let low_mask = (1u64 << r) - 1;
+
+        // Stage 1 and stage 3: Theorem 6 with levels (blocks, ranks) —
+        // the rank coordinate is remapped by its block's permutation.
+        let s1 = hierarchical_composite(n, &[high_mask, low_mask], |t, parents| {
+            if t == 0 {
+                Permutation::identity(1usize << (n - r))
+            } else {
+                d.stage1()[parents[0] as usize].clone()
+            }
+        })
+        .expect("levels cover n disjointly");
+        let s3 = hierarchical_composite(n, &[high_mask, low_mask], |t, parents| {
+            if t == 0 {
+                Permutation::identity(1usize << (n - r))
+            } else {
+                d.stage3()[parents[0] as usize].clone()
+            }
+        })
+        .expect("levels cover n disjointly");
+
+        // Between stage: the same shape with the level order swapped —
+        // the *block* coordinate is remapped per color, which is
+        // exactly Theorem 4 on the complement partition.
+        let s2 = hierarchical_composite(n, &[low_mask, high_mask], |t, parents| {
+            if t == 0 {
+                Permutation::identity(1usize << r)
+            } else {
+                d.between()[parents[0] as usize].clone()
+            }
+        })
+        .expect("levels cover n disjointly");
+
+        prop_assert_eq!(s1.then(&s2).then(&s3), pi);
+    }
+
+    /// The hierarchical form of each within-block stage agrees with the
+    /// plain Theorem-4 `within_blocks` builder on the same partition.
+    #[test]
+    fn stage_composites_match_within_blocks((n, r, pi) in arb_case()) {
+        let d = decompose(&pi, r).expect("power-of-two perms decompose");
+        let j = JPartition::from_mask(n, ((1u64 << (n - r)) - 1) << r).unwrap();
+        let w1 = within_blocks(&j, |b| d.stage1()[b as usize].clone()).unwrap();
+        let w2 = within_blocks(&j.complement(), |c| d.between()[c as usize].clone())
+            .unwrap();
+        let w3 = within_blocks(&j, |b| d.stage3()[b as usize].clone()).unwrap();
+        prop_assert_eq!(w1.then(&w2).then(&w3), pi);
+    }
+}

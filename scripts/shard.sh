@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# EXP-SHARD soak runner: the deterministic shard-isolation gate. Routes
+# a seeded stream of giant permutations through the benes-shard
+# coordinator (three-stage block decomposition scattered across a fleet
+# of engine shards), injects an always-fail failpoint into exactly one
+# shard for the middle round, and exits nonzero when any fleet
+# invariant is violated:
+#   - cross-shard contamination: a routing unit failing on any shard
+#     other than the faulted one,
+#   - a conservation violation: some shard's request ledger not
+#     balancing (completed + failed + shed + canceled == submitted),
+#   - a clean round whose recombination is not bitwise-verified,
+#   - a fault round that does not actually degrade (failpoint inert).
+#
+# Env:
+#   SHARD_SEED   stream/failpoint seed          (default 1980)
+#   SHARD_N      permutation index width 2^n    (default 12)
+#   SHARD_PERMS  permutations in the stream     (default 6)
+#   SHARD_COUNT  engine shards in the fleet     (default 4)
+#
+# tier-1 runs this with the defaults.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SEED="${SHARD_SEED:-1980}"
+N="${SHARD_N:-12}"
+PERMS="${SHARD_PERMS:-6}"
+SHARDS="${SHARD_COUNT:-4}"
+
+cargo run --release --offline -p benes-cli --bin benes-cli -- \
+    shard soak "$SEED" "$N" "$PERMS" "$SHARDS"

@@ -13,3 +13,4 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 sh scripts/analyze.sh
 BENCH_REQUESTS=200 BENCH_OUT=target/BENCH_ENGINE.json sh scripts/bench.sh
 CHAOS_REQUESTS=200 sh scripts/chaos.sh
+sh scripts/shard.sh

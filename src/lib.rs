@@ -25,6 +25,12 @@
 //!   service on top of it all: a tiered planner (self-route → omega-bit →
 //!   Waksman or Ω⁻¹·Ω factorization), a fingerprint-keyed plan cache, a
 //!   worker pool, and per-tier statistics;
+//! * [`shard`] — a block-decomposition coordinator over a fleet of
+//!   engines: factors a giant permutation (`N = 2^16…2^22`) into the
+//!   three-stage within/between/within form of Theorems 4–6, scatters
+//!   the sub-permutations across independent engine shards (per-shard
+//!   caches, fault registries and breakers — separate fault domains),
+//!   and verifies the recombination bitwise;
 //! * [`analyze`] — static verification of all of the above: a symbolic
 //!   dataflow checker that proves plans correct without simulation,
 //!   `F(n)` certificates, netlist lints for the synthesized hardware,
@@ -71,4 +77,5 @@ pub use benes_gates as gates;
 pub use benes_networks as networks;
 pub use benes_obs as obs;
 pub use benes_perm as perm;
+pub use benes_shard as shard;
 pub use benes_simd as simd;
