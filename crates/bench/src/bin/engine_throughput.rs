@@ -6,23 +6,62 @@
 //! scales, plus the tier mix, cache effectiveness and latency quantiles
 //! that produced it.
 //!
-//! Usage: `engine_throughput [--requests N] [--json PATH]`
+//! Two load models run per grid cell:
+//!
+//! * **open** — the whole batch is submitted up front and then redeemed
+//!   (`run_batch`). End-to-end latency is dominated by queue wait: each
+//!   request's latency includes the backlog in front of it, so p50/p99
+//!   here measure *depth*, not speed.
+//! * **closed** — a bounded fleet of client threads each submit one
+//!   request and wait for it before submitting the next, so the
+//!   in-flight count never exceeds the fleet size. Latency under this
+//!   model approximates service time; queue wait and service time are
+//!   also reported separately (the engine decomposes them at the
+//!   dequeue instant).
+//!
+//! Usage: `engine_throughput [--requests N] [--json PATH]
+//!                           [--assert-scaling auto|FACTOR]`
 //!
 //! `--json` additionally writes the machine-readable results as
 //! `BENCH_ENGINE.json` with a stable schema (`experiment`, `requests`,
 //! `seed`, `runs[]` with per-run throughput, overload counters —
 //! `shed`, `rejected`, `deadline_exceeded`, all zero on this healthy,
-//! unbounded-queue grid — and latency quantiles), so scripts can diff
-//! benchmark runs without scraping the table.
+//! unbounded-queue grid — and latency quantiles). Existing fields keep
+//! their names; each run now also carries `mode` and the queue-wait /
+//! service-time quantiles.
+//!
+//! `--assert-scaling` fails the process unless open-loop throughput at
+//! n = 8 with 8 workers beats 1 worker by the given factor. `auto`
+//! derives the factor from the machine's available parallelism (a
+//! single-core runner can only assert no regression; an 8-core one
+//! demands real scaling).
 
 use benes_bench::Table;
 use benes_engine::workload::mixed_workload;
 use benes_engine::{Engine, EngineConfig, EngineStats};
-use std::time::Instant;
+use benes_perm::Permutation;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Open,
+    Closed,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Open => "open",
+            Mode::Closed => "closed",
+        }
+    }
+}
 
 struct Run {
     n: u32,
     workers: usize,
+    mode: Mode,
     wall_ms: f64,
     req_per_s: f64,
     stats: EngineStats,
@@ -30,17 +69,25 @@ struct Run {
 
 impl Run {
     /// One schema-stable JSON object for this run (hand-rolled: the
-    /// vendored serde_json stub has no map type).
+    /// vendored serde_json stub has no map type). The pre-existing
+    /// fields keep their names and meaning; `mode`, `queue_wait_ns`
+    /// and `service_ns` are additive.
     fn to_json(&self) -> String {
         let lat = &self.stats.latency;
+        let wait = &self.stats.queue_wait;
+        let svc = &self.stats.service;
         format!(
-            "{{\"n\":{},\"workers\":{},\"wall_ms\":{:.3},\"req_per_s\":{:.1},\
+            "{{\"n\":{},\"workers\":{},\"mode\":\"{}\",\"wall_ms\":{:.3},\
+             \"req_per_s\":{:.1},\
              \"zero_setup_pct\":{:.2},\"cache_hit_pct\":{:.2},\
              \"shed\":{},\"rejected\":{},\"deadline_exceeded\":{},\
              \"latency_ns\":{{\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\
-             \"mean\":{},\"max\":{}}}}}",
+             \"mean\":{},\"max\":{}}},\
+             \"queue_wait_ns\":{{\"p50\":{},\"p99\":{}}},\
+             \"service_ns\":{{\"p50\":{},\"p99\":{}}}}}",
             self.n,
             self.workers,
+            self.mode.name(),
             self.wall_ms,
             self.req_per_s,
             self.stats.zero_setup_rate() * 100.0,
@@ -54,13 +101,18 @@ impl Run {
             lat.quantile(0.999),
             lat.mean(),
             lat.max(),
+            wait.quantile(0.5),
+            wait.quantile(0.99),
+            svc.quantile(0.5),
+            svc.quantile(0.99),
         )
     }
 }
 
-fn parse_args() -> (usize, Option<String>) {
+fn parse_args() -> (usize, Option<String>, Option<f64>) {
     let mut requests = 4000usize;
     let mut json = None;
+    let mut scaling = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -70,14 +122,68 @@ fn parse_args() -> (usize, Option<String>) {
                 assert!(requests > 0, "--requests must be a positive integer");
             }
             "--json" => json = Some(args.next().expect("--json needs a path")),
-            other => panic!("unknown argument `{other}` (try --requests N / --json PATH)"),
+            "--assert-scaling" => {
+                let v = args.next().expect("--assert-scaling needs auto or a factor");
+                scaling = Some(scaling_factor(&v));
+            }
+            other => panic!(
+                "unknown argument `{other}` (try --requests N / --json PATH / \
+                 --assert-scaling auto|FACTOR)"
+            ),
         }
     }
-    (requests, json)
+    (requests, json, scaling)
+}
+
+/// The demanded 8-worker / 1-worker speed-up. `auto` keys it to the
+/// cores actually available: with 8+ the pool must deliver ≥ 3×, with
+/// fewer the bar drops, and a single-core box can only require that 8
+/// workers are not substantially *slower* than 1 (coordination
+/// overhead bounded, the failure mode the old single-lock queue had).
+fn scaling_factor(spec: &str) -> f64 {
+    match spec {
+        "auto" => {
+            match std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1) {
+                p if p >= 8 => 3.0,
+                p if p >= 4 => 1.8,
+                p if p >= 2 => 1.2,
+                _ => 0.5,
+            }
+        }
+        s => {
+            let f: f64 = s.parse().expect("--assert-scaling must be auto or a number");
+            assert!(f > 0.0, "--assert-scaling factor must be positive");
+            f
+        }
+    }
+}
+
+/// Closed-loop driver: `clients` threads round-robin over the shared
+/// workload index, each submitting one request and waiting for its
+/// outcome before taking the next, bounding in-flight requests at
+/// `clients`.
+fn run_closed(engine: &Engine, stream: &[Permutation], clients: usize) -> Duration {
+    let next = AtomicUsize::new(0);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..clients {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(perm) = stream.get(i) else { break };
+                let outcome = engine.submit(perm.clone()).wait();
+                assert!(
+                    outcome.is_ok(),
+                    "closed-loop request failed: {:?}",
+                    outcome.result
+                );
+            });
+        }
+    });
+    start.elapsed()
 }
 
 fn main() {
-    let (requests, json_path) = parse_args();
+    let (requests, json_path, scaling) = parse_args();
     println!("== EXP-ENGINE: batched routing-engine throughput ==\n");
 
     let seed = 0xbe25;
@@ -85,6 +191,7 @@ fn main() {
     let mut table = Table::new(vec![
         "n",
         "workers",
+        "mode",
         "requests",
         "wall ms",
         "req/s",
@@ -92,40 +199,59 @@ fn main() {
         "cache hit %",
         "p50 lat ms",
         "p99 lat ms",
+        "p99 wait ms",
+        "p99 svc ms",
     ]);
     let mut runs: Vec<Run> = Vec::new();
 
     for n in [4u32, 6, 8] {
         let stream = mixed_workload(n, requests, seed);
         for workers in [1usize, 2, 4, 8] {
-            let engine = Engine::new(EngineConfig { workers, ..EngineConfig::default() });
-            let start = Instant::now();
-            let outcomes = engine.run_batch(stream.iter().cloned());
-            let wall = start.elapsed();
-            assert!(outcomes.iter().all(benes_engine::RequestOutcome::is_ok));
+            for mode in [Mode::Open, Mode::Closed] {
+                let engine =
+                    Engine::new(EngineConfig { workers, ..EngineConfig::default() });
+                let wall = match mode {
+                    Mode::Open => {
+                        let start = Instant::now();
+                        let outcomes = engine.run_batch(stream.iter().cloned());
+                        let wall = start.elapsed();
+                        assert!(outcomes.iter().all(benes_engine::RequestOutcome::is_ok));
+                        wall
+                    }
+                    // In-flight bound: 2 requests per worker keeps the
+                    // pool busy without rebuilding the open-loop backlog.
+                    Mode::Closed => run_closed(&engine, &stream, workers * 2),
+                };
 
-            let stats = engine.stats();
-            assert_eq!(stats.completed as usize, requests);
-            table.row(vec![
-                n.to_string(),
-                workers.to_string(),
-                requests.to_string(),
-                format!("{:.2}", wall.as_secs_f64() * 1e3),
-                format!("{:.0}", requests as f64 / wall.as_secs_f64()),
-                format!("{:.1}", stats.zero_setup_rate() * 100.0),
-                format!("{:.1}", stats.cache_hit_rate() * 100.0),
-                // End-to-end latency: includes queue wait, since the
-                // whole batch is submitted up front.
-                format!("{:.2}", stats.latency.quantile(0.5) as f64 / 1e6),
-                format!("{:.2}", stats.latency.quantile(0.99) as f64 / 1e6),
-            ]);
-            runs.push(Run {
-                n,
-                workers,
-                wall_ms: wall.as_secs_f64() * 1e3,
-                req_per_s: requests as f64 / wall.as_secs_f64(),
-                stats,
-            });
+                let stats = engine.stats();
+                assert_eq!(stats.completed as usize, requests);
+                table.row(vec![
+                    n.to_string(),
+                    workers.to_string(),
+                    mode.name().to_string(),
+                    requests.to_string(),
+                    format!("{:.2}", wall.as_secs_f64() * 1e3),
+                    format!("{:.0}", requests as f64 / wall.as_secs_f64()),
+                    format!("{:.1}", stats.zero_setup_rate() * 100.0),
+                    format!("{:.1}", stats.cache_hit_rate() * 100.0),
+                    // Open mode: end-to-end latency ≈ backlog depth
+                    // (the batch is submitted up front). Closed mode:
+                    // ≈ service time. The wait/svc columns make the
+                    // decomposition explicit either way.
+                    format!("{:.2}", stats.latency.quantile(0.5) as f64 / 1e6),
+                    format!("{:.2}", stats.latency.quantile(0.99) as f64 / 1e6),
+                    format!("{:.2}", stats.queue_wait.quantile(0.99) as f64 / 1e6),
+                    format!("{:.2}", stats.service.quantile(0.99) as f64 / 1e6),
+                ]);
+                runs.push(Run {
+                    n,
+                    workers,
+                    mode,
+                    wall_ms: wall.as_secs_f64() * 1e3,
+                    req_per_s: requests as f64 / wall.as_secs_f64(),
+                    stats,
+                });
+            }
         }
     }
     println!("{}", table.render());
@@ -139,6 +265,26 @@ fn main() {
         );
         std::fs::write(&path, doc).expect("write --json output");
         println!("machine-readable results written to {path}\n");
+    }
+
+    if let Some(factor) = scaling {
+        let rps = |workers: usize| {
+            runs.iter()
+                .find(|r| r.n == 8 && r.workers == workers && r.mode == Mode::Open)
+                .expect("grid covers n=8")
+                .req_per_s
+        };
+        let (one, eight) = (rps(1), rps(8));
+        let ratio = eight / one;
+        println!(
+            "scaling check (open loop, n = 8): 8 workers {eight:.0} req/s vs \
+             1 worker {one:.0} req/s -> {ratio:.2}x (required >= {factor:.2}x)"
+        );
+        assert!(
+            ratio >= factor,
+            "worker scaling regressed: {ratio:.2}x < required {factor:.2}x \
+             (8 workers {eight:.0} req/s, 1 worker {one:.0} req/s at n = 8)"
+        );
     }
 
     // One detailed report at the headline configuration.

@@ -368,6 +368,78 @@ pub fn deinterleave(i: u64, half: u32) -> u64 {
     (x << half) | y
 }
 
+/// Mask of the 64 word positions whose index has bit `b` clear.
+///
+/// These are the classic bit-slicing "magic masks": `delta_mask(0)` is
+/// `0x5555…`, `delta_mask(1)` is `0x3333…`, up to `delta_mask(5)` which
+/// selects the low 32-bit half. In a bit-sliced Benes column, position `p`
+/// pairs with position `p + 2^b` exactly when bit `b` of `p` is clear, so
+/// `delta_mask(b)` selects the *lower* (upper-input) element of every pair at
+/// distance `2^b` within one word.
+///
+/// # Panics
+///
+/// Panics if `b >= 6` (pairs at distance ≥ 64 span whole words and are not
+/// expressible as an intra-word mask).
+///
+/// # Examples
+///
+/// ```
+/// use benes_bits::delta_mask;
+/// assert_eq!(delta_mask(0), 0x5555_5555_5555_5555);
+/// assert_eq!(delta_mask(1), 0x3333_3333_3333_3333);
+/// assert_eq!(delta_mask(5), 0x0000_0000_ffff_ffff);
+/// ```
+#[inline]
+#[must_use]
+pub fn delta_mask(b: u32) -> u64 {
+    const MU: [u64; 6] = [
+        0x5555_5555_5555_5555,
+        0x3333_3333_3333_3333,
+        0x0f0f_0f0f_0f0f_0f0f,
+        0x00ff_00ff_00ff_00ff,
+        0x0000_ffff_0000_ffff,
+        0x0000_0000_ffff_ffff,
+    ];
+    assert!(b < 6, "delta_mask distance log2 {b} out of range (max 5)");
+    MU[b as usize]
+}
+
+/// Exchanges the bits of `x` selected by `m` with the bits `shift` positions
+/// above them (the classic delta-swap).
+///
+/// For every set bit `p` of `m`, bits `p` and `p + shift` of `x` are swapped;
+/// all other bits are untouched. `m` and `m << shift` must not overlap and
+/// `m << shift` must not overflow — i.e. each selected pair must be disjoint
+/// and in range. This is the word-parallel primitive behind a column of 2×2
+/// crossbar switches: with `m` the cross-mask over upper inputs and
+/// `shift = 2^b` the pairing distance, one `delta_swap` applies a whole
+/// column of switch settings at once (SNIPPETS.md snippet 1's `benes_step`
+/// idiom).
+///
+/// # Panics
+///
+/// Panics if `shift` is 0 or ≥ 64, or if the selected pairs are not disjoint
+/// (`m & (m << shift) != 0` after overflow check).
+///
+/// # Examples
+///
+/// ```
+/// use benes_bits::{delta_mask, delta_swap};
+/// // Swap bit 0 with bit 1 only: 0b10 → 0b01.
+/// assert_eq!(delta_swap(0b10, 0b01, 1), 0b01);
+/// // A full column at distance 1: every even/odd pair exchanges.
+/// assert_eq!(delta_swap(0b0110, delta_mask(0) & 0b0101, 1), 0b1001);
+/// ```
+#[inline]
+#[must_use]
+pub fn delta_swap(x: u64, m: u64, shift: u32) -> u64 {
+    assert!((1..64).contains(&shift), "delta_swap shift {shift} out of range (1..64)");
+    debug_assert!((m << shift) & m == 0, "delta_swap mask selects overlapping pairs");
+    let t = (x ^ (x >> shift)) & m;
+    x ^ t ^ (t << shift)
+}
+
 /// Returns `log2(n)` if `n` is a power of two, `None` otherwise.
 ///
 /// Used throughout the workspace to recover `n` from `N = 2^n`.
@@ -569,6 +641,62 @@ mod tests {
                 assert_eq!(interleave(deinterleave(i, half), half), i);
             }
         }
+    }
+
+    #[test]
+    fn delta_mask_matches_index_bit_definition() {
+        for b in 0..6u32 {
+            let mut expected = 0u64;
+            for p in 0..64u32 {
+                if bit(u64::from(p), b) == 0 {
+                    expected |= 1 << p;
+                }
+            }
+            assert_eq!(delta_mask(b), expected, "distance log2 {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn delta_mask_rejects_word_spanning_distance() {
+        let _ = delta_mask(6);
+    }
+
+    #[test]
+    fn delta_swap_swaps_exactly_selected_pairs() {
+        // Naive reference: swap bits p and p+shift for each set bit p of m.
+        fn naive(x: u64, m: u64, shift: u32) -> u64 {
+            let mut out = x;
+            for p in 0..(64 - shift) {
+                if bit(m, p) == 1 {
+                    let lo = bit(x, p);
+                    let hi = bit(x, p + shift);
+                    out = with_bit(out, p, hi);
+                    out = with_bit(out, p + shift, lo);
+                }
+            }
+            out
+        }
+        // Deterministic xorshift-ish sweep over values, masks, distances.
+        let mut v = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..200 {
+            v ^= v << 13;
+            v ^= v >> 7;
+            v ^= v << 17;
+            for b in 0..6u32 {
+                let shift = 1 << b;
+                let m = delta_mask(b) & v.rotate_left(b);
+                assert_eq!(delta_swap(v, m, shift), naive(v, m, shift));
+                // Involution: applying the same swap twice restores x.
+                assert_eq!(delta_swap(delta_swap(v, m, shift), m, shift), v);
+            }
+        }
+    }
+
+    #[test]
+    fn delta_swap_full_mask_exchanges_halves() {
+        let x = 0xdead_beef_0123_4567u64;
+        assert_eq!(delta_swap(x, delta_mask(5), 32), x.rotate_left(32));
     }
 
     #[test]

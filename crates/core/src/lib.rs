@@ -18,7 +18,11 @@
 //! * [`selfroute`] — the paper's self-routing scheme (Fig. 3): each switch
 //!   in stage `b` / stage `2n−2−b` sets itself from bit `b` of its upper
 //!   input's destination tag, plus the "omega bit" variant that forces
-//!   stages `0..n−1` straight to realize all of `Ω(n)`.
+//!   stages `0..n−1` straight to realize all of `Ω(n)`. This scalar walk is
+//!   the reference oracle; the hot path lives in [`word`].
+//! * [`word`] — the same kernels in word-parallel (bit-sliced) form: whole
+//!   switch columns as `u64` masks applied with delta-swaps, an order of
+//!   magnitude faster than the switch-at-a-time walk.
 //! * [`class_f`] — membership in `F(n)`: the Theorem 1 recursion and an
 //!   independent check by direct simulation.
 //! * [`census`] — exact `|F(n)|` via a transfer-matrix product formula
@@ -74,6 +78,7 @@ pub mod selfroute;
 pub mod topology;
 pub mod trace;
 pub mod waksman;
+pub mod word;
 
 pub use class_f::{check_f, is_in_f, is_in_f_by_simulation, FViolation};
 pub use faults::{FaultKind, FaultSet, FaultSetupError};

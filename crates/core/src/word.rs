@@ -1,0 +1,719 @@
+//! Word-parallel (bit-sliced) self-routing kernels.
+//!
+//! The scalar kernels in [`crate::selfroute`] walk the network one switch at
+//! a time: per stage, per switch, extract the upper tag's control bit,
+//! branch, and move two tags. This module computes **whole switch columns at
+//! once** as `u64` masks, in the style of SNIPPETS.md snippet 1's
+//! `benes_step`: settings become mask words, and applying a column is a
+//! handful of shifts/XORs per destination-bit plane instead of `N/2`
+//! branches.
+//!
+//! # Flattened coordinates
+//!
+//! The trick that makes this cheap is a change of coordinates. Conjugating
+//! the network by the composed inter-stage links "flattens" it into a
+//! butterfly: tracking each stage-0 input position forward through the links
+//! alone (ignoring switches), stage `s` always pairs flattened positions
+//! that differ in exactly bit `δ(s) = control_bit(s) = min(s, 2n−2−s)`, with
+//! the physical **upper** input of each switch sitting at the flattened
+//! position whose bit `δ(s)` is *clear*. Moreover the composition of **all**
+//! links is the identity (the closing links mirror-invert the opening ones),
+//! so after the last column the flattened positions *are* the physical
+//! output terminals. Consequently the kernel needs **no link permutations at
+//! all** — just one masked delta-swap per stage per bit plane. The
+//! `flattened_pairing_is_control_bit` test verifies this structural claim
+//! against [`Benes::link`] for every order up to `B(8)`.
+//!
+//! # Representation
+//!
+//! A routing state is `n` **bit planes** of `N = 2^n` bits each, packed into
+//! `W = max(1, N/64)` words per plane: bit `p` of plane `b` holds bit `b` of
+//! the destination tag currently at flattened position `p`. Stage `s` with
+//! pairing distance `d = 2^{δ(s)}` then reads its whole cross-mask from
+//! plane `δ(s)` (the upper input's control bit, for every switch at once),
+//! overlays any stuck/dead fault masks, and applies the column with
+//! [`benes_bits::delta_swap`] (intra-word for `d < 64`, word-pair XOR
+//! otherwise).
+//!
+//! The scalar kernels remain the **oracle**: exhaustive `B(2)`/`B(3)` and
+//! property-based `B(4..8)` tests assert output- and settings-level
+//! agreement on healthy and faulty fabrics.
+//!
+//! # Examples
+//!
+//! ```
+//! use benes_core::word;
+//! use benes_perm::bpc::Bpc;
+//!
+//! // Fig. 4 of the paper: bit reversal self-routes on B(3).
+//! let d = Bpc::bit_reversal(3).to_permutation();
+//! let outcome = word::self_route(3, &d).unwrap();
+//! assert!(outcome.is_success());
+//! assert_eq!(outcome.outputs(), vec![0, 1, 2, 3, 4, 5, 6, 7]);
+//! ```
+
+use benes_perm::Permutation;
+
+use crate::faults::FaultSet;
+use crate::network::{Benes, NetworkError, SwitchSettings, SwitchState};
+use crate::topology;
+
+/// Words per bit plane for an order-`n` network.
+#[inline]
+fn word_count(n: u32) -> usize {
+    let size = 1usize << n;
+    size.div_ceil(64)
+}
+
+/// The identity pattern for plane `b`, word `w`: bit `p` set iff bit `b` of
+/// the global position `64·w + p` is set. Tags sitting at their own index
+/// produce exactly these planes.
+#[inline]
+fn identity_plane_word(n: u32, b: u32, w: usize) -> u64 {
+    let pattern = if b < 6 {
+        !benes_bits::delta_mask(b)
+    } else if (w >> (b - 6)) & 1 == 1 {
+        u64::MAX
+    } else {
+        0
+    };
+    if n < 6 {
+        pattern & benes_bits::mask(1 << n)
+    } else {
+        pattern
+    }
+}
+
+/// Per-stage fault overlay masks in flattened upper-position coordinates.
+#[derive(Clone, Default)]
+struct StageFaults {
+    /// Upper positions whose switch is stuck (either way): commanded bit is
+    /// ignored there.
+    stuck: Vec<u64>,
+    /// Upper positions stuck at Cross.
+    stuck_cross: Vec<u64>,
+    /// Upper positions whose switch is dead: commanded bit is complemented.
+    dead: Vec<u64>,
+    /// Whether this stage has any fault at all (fast skip).
+    any: bool,
+}
+
+/// The result of a word-parallel self-routing pass.
+///
+/// Holds the final bit planes (in flattened coordinates, which after the
+/// last stage coincide with physical output terminals) plus the per-stage
+/// cross-masks actually applied, so the realized [`SwitchSettings`] can be
+/// recovered for oracle comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WordOutcome {
+    n: u32,
+    words: usize,
+    planes: Vec<u64>,
+    stage_cross: Vec<u64>,
+}
+
+impl WordOutcome {
+    /// The network order `n` this outcome was computed for.
+    #[must_use]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// `true` iff every destination tag arrived at its own output terminal.
+    ///
+    /// Checked directly against the constant identity bit patterns — no
+    /// unpacking, `n · W` word compares.
+    #[must_use]
+    pub fn is_success(&self) -> bool {
+        for b in 0..self.n {
+            let base = b as usize * self.words;
+            for w in 0..self.words {
+                if self.planes[base + w] != identity_plane_word(self.n, b, w) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Unpacks the planes: `outputs()[terminal]` is the destination tag that
+    /// arrived at that output terminal.
+    #[must_use]
+    pub fn outputs(&self) -> Vec<u32> {
+        let size = 1usize << self.n;
+        let mut out = vec![0u32; size];
+        for b in 0..self.n {
+            let base = b as usize * self.words;
+            for w in 0..self.words {
+                let mut word = self.planes[base + w];
+                while word != 0 {
+                    let p = word.trailing_zeros() as usize;
+                    out[(w << 6) | p] |= 1 << b;
+                    word &= word - 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Recovers the realized [`SwitchSettings`] by mapping each stage's
+    /// flattened cross-mask back to physical switch indices via `net`'s
+    /// links. Intended for oracle comparison against the scalar kernels.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::SettingsOrder`] if `net` is of a different order.
+    pub fn settings(&self, net: &Benes) -> Result<SwitchSettings, NetworkError> {
+        if net.n() != self.n {
+            return Err(NetworkError::SettingsOrder {
+                network_n: net.n(),
+                settings_n: self.n,
+            });
+        }
+        let size = 1usize << self.n;
+        let stages = 2 * self.n as usize - 1;
+        let mut settings = SwitchSettings::all_straight(self.n);
+        // p2f[q] = flattened coordinate handled by physical port q at the
+        // current stage; identity at stage 0, advanced by each link.
+        let mut p2f: Vec<u32> = (0..size as u32).collect();
+        for s in 0..stages {
+            let cross = &self.stage_cross[s * self.words..(s + 1) * self.words];
+            for i in 0..size / 2 {
+                let u = p2f[2 * i] as usize;
+                if (cross[u >> 6] >> (u & 63)) & 1 == 1 {
+                    settings.set(s, i, SwitchState::Cross);
+                }
+            }
+            if s + 1 < stages {
+                p2f = advance(&p2f, net.link(s));
+            }
+        }
+        Ok(settings)
+    }
+}
+
+/// Advances the physical→flattened map across one inter-stage link: the
+/// element at output port `p` arrives at input port `link[p]`.
+fn advance(p2f: &[u32], link: &[u32]) -> Vec<u32> {
+    let mut next = vec![0u32; p2f.len()];
+    for (p, &f) in p2f.iter().enumerate() {
+        next[link[p] as usize] = f;
+    }
+    next
+}
+
+/// Builds per-stage fault masks in flattened upper-position coordinates by
+/// walking the physical→flattened map through the links once.
+fn stage_fault_masks(net: &Benes, faults: &FaultSet) -> Vec<StageFaults> {
+    let size = net.terminal_count();
+    let words = word_count(net.n());
+    let stages = net.stage_count();
+    let mut out = vec![
+        StageFaults {
+            stuck: vec![0; words],
+            stuck_cross: vec![0; words],
+            dead: vec![0; words],
+            any: false
+        };
+        stages
+    ];
+    let mut p2f: Vec<u32> = (0..size as u32).collect();
+    for (s, masks) in out.iter_mut().enumerate() {
+        for (_, switch, kind) in faults.iter().filter(|&(fs, _, _)| fs == s) {
+            let u = p2f[2 * switch] as usize;
+            let (w, bit) = (u >> 6, 1u64 << (u & 63));
+            masks.any = true;
+            match kind {
+                crate::faults::FaultKind::StuckStraight => masks.stuck[w] |= bit,
+                crate::faults::FaultKind::StuckCross => {
+                    masks.stuck[w] |= bit;
+                    masks.stuck_cross[w] |= bit;
+                }
+                crate::faults::FaultKind::Dead => masks.dead[w] |= bit,
+            }
+        }
+        if s + 1 < stages {
+            p2f = advance(&p2f, net.link(s));
+        }
+    }
+    out
+}
+
+/// Packs one `≤ 64`-position chunk of destination tags into per-plane
+/// accumulators. Branch-free — a data-dependent branch per position-bit
+/// mispredicts ~half the time on permutation data and dominates the
+/// whole kernel — and monomorphized per order so the plane loop unrolls.
+#[inline]
+fn pack_chunk<const NB: usize>(chunk: &[u32], acc: &mut [u64; MAX_PLANES]) {
+    for (p, &v) in chunk.iter().enumerate() {
+        let v = u64::from(v);
+        for b in 0..NB {
+            acc[b] |= ((v >> b) & 1) << p;
+        }
+    }
+}
+
+/// Upper bound on `n` for the unrolled packer (planes per accumulator
+/// block); orders beyond it take the generic loop.
+const MAX_PLANES: usize = 16;
+
+/// Packs a destination permutation into `n` bit planes.
+fn pack(n: u32, d: &Permutation) -> Vec<u64> {
+    let words = word_count(n);
+    let mut planes = vec![0u64; n as usize * words];
+    let dests = d.destinations();
+    for w in 0..words {
+        let start = w << 6;
+        let chunk = &dests[start..dests.len().min(start + 64)];
+        let mut acc = [0u64; MAX_PLANES];
+        if n <= 8 && chunk.len() == 64 {
+            // Byte-gather fast path: tags fit in a byte, so eight of
+            // them pack into one word and a mask-multiply-shift gathers
+            // bit `b` of all eight at once (⌈5⌉ ops per position instead
+            // of `n`).
+            for g in 0..8usize {
+                let mut eight = 0u64;
+                for (k, &v) in chunk[g * 8..(g + 1) * 8].iter().enumerate() {
+                    eight |= u64::from(v & 0xff) << (8 * k);
+                }
+                for (b, slot) in acc.iter_mut().enumerate().take(n as usize) {
+                    let t = (eight >> b) & 0x0101_0101_0101_0101;
+                    *slot |= (t.wrapping_mul(0x0102_0408_1020_4080) >> 56) << (8 * g);
+                }
+            }
+            for (b, &a) in acc.iter().enumerate().take(n as usize) {
+                planes[b * words + w] = a;
+            }
+            continue;
+        }
+        match n {
+            1 => pack_chunk::<1>(chunk, &mut acc),
+            2 => pack_chunk::<2>(chunk, &mut acc),
+            3 => pack_chunk::<3>(chunk, &mut acc),
+            4 => pack_chunk::<4>(chunk, &mut acc),
+            5 => pack_chunk::<5>(chunk, &mut acc),
+            6 => pack_chunk::<6>(chunk, &mut acc),
+            7 => pack_chunk::<7>(chunk, &mut acc),
+            8 => pack_chunk::<8>(chunk, &mut acc),
+            9 => pack_chunk::<9>(chunk, &mut acc),
+            10 => pack_chunk::<10>(chunk, &mut acc),
+            11 => pack_chunk::<11>(chunk, &mut acc),
+            12 => pack_chunk::<12>(chunk, &mut acc),
+            13 => pack_chunk::<13>(chunk, &mut acc),
+            14 => pack_chunk::<14>(chunk, &mut acc),
+            15 => pack_chunk::<15>(chunk, &mut acc),
+            16 => pack_chunk::<16>(chunk, &mut acc),
+            _ => {
+                for (p, &v) in chunk.iter().enumerate() {
+                    let v = u64::from(v);
+                    for (b, slot) in acc.iter_mut().enumerate().take(n as usize) {
+                        *slot |= ((v >> b) & 1) << p;
+                    }
+                }
+            }
+        }
+        for b in 0..(n as usize).min(MAX_PLANES) {
+            planes[b * words + w] = acc[b];
+        }
+        // Orders past the accumulator width spill plane-by-plane.
+        for b in MAX_PLANES..n as usize {
+            let mut word = 0u64;
+            for (p, &v) in chunk.iter().enumerate() {
+                word |= ((u64::from(v) >> b) & 1) << p;
+            }
+            planes[b * words + w] = word;
+        }
+    }
+    planes
+}
+
+/// The shared column-at-a-time routing pass.
+fn route(
+    n: u32,
+    d: &Permutation,
+    omega: bool,
+    faults: Option<&[StageFaults]>,
+) -> Result<WordOutcome, NetworkError> {
+    assert!(n >= 1, "word kernels require n >= 1");
+    let size = 1usize << n;
+    if d.len() != size {
+        return Err(NetworkError::PermutationLength { expected: size, actual: d.len() });
+    }
+    let words = word_count(n);
+    let mut planes = pack(n, d);
+    let stages = 2 * n as usize - 1;
+    // Omega-bit variant (§II after Theorem 3): stages 0..n−1 forced straight.
+    let forced_below = n as usize - 1;
+    let mut stage_cross = vec![0u64; stages * words];
+    for s in 0..stages {
+        let c = topology::control_bit(n, s);
+        let forced_straight = omega && s < forced_below;
+        let sf = faults.and_then(|f| f[s].any.then_some(&f[s]));
+        if forced_straight && sf.is_none() {
+            // A healthy forced-straight column moves nothing: skip it.
+            continue;
+        }
+        let cross = &mut stage_cross[s * words..(s + 1) * words];
+        if !forced_straight {
+            // Commanded mask: control bit of the upper input of every pair,
+            // read for the whole column from plane δ(s).
+            let plane_c = &planes[c as usize * words..(c as usize + 1) * words];
+            if c < 6 {
+                let m = benes_bits::delta_mask(c);
+                for (cw, &pw) in cross.iter_mut().zip(plane_c) {
+                    *cw = pw & m;
+                }
+            } else {
+                for (w, (cw, &pw)) in cross.iter_mut().zip(plane_c).enumerate() {
+                    *cw = if (w >> (c - 6)) & 1 == 0 { pw } else { 0 };
+                }
+            }
+        }
+        if let Some(f) = sf {
+            // Stuck switches ignore the command, dead ones invert it.
+            for (w, cw) in cross.iter_mut().enumerate() {
+                *cw = ((*cw & !f.stuck[w]) | f.stuck_cross[w]) ^ f.dead[w];
+            }
+        }
+        // Apply the column to every plane: one delta-swap per plane word.
+        if c < 6 {
+            let shift = 1u32 << c;
+            for b in 0..n as usize {
+                let base = b * words;
+                for w in 0..words {
+                    planes[base + w] =
+                        benes_bits::delta_swap(planes[base + w], cross[w], shift);
+                }
+            }
+        } else {
+            // Pairs span words: partner word sits 2^(c-6) words higher.
+            let half = 1usize << (c - 6);
+            for b in 0..n as usize {
+                let base = b * words;
+                for wa in 0..words {
+                    if (wa >> (c - 6)) & 1 == 0 {
+                        let wb = wa + half;
+                        let t = (planes[base + wa] ^ planes[base + wb]) & cross[wa];
+                        planes[base + wa] ^= t;
+                        planes[base + wb] ^= t;
+                    }
+                }
+            }
+        }
+    }
+    Ok(WordOutcome { n, words, planes, stage_cross })
+}
+
+/// Word-parallel self-routing of `d` through a healthy `B(n)`
+/// (the fast form of [`Benes::try_self_route`](crate::network::Benes)).
+///
+/// # Errors
+///
+/// [`NetworkError::PermutationLength`] if `d.len() != 2^n`.
+///
+/// # Examples
+///
+/// ```
+/// use benes_core::word;
+/// use benes_perm::Permutation;
+///
+/// // Fig. 5 of the paper: D = (1, 3, 2, 0) does NOT self-route on B(2)…
+/// let d = Permutation::from_destinations(vec![1, 3, 2, 0]).unwrap();
+/// assert!(!word::self_route(2, &d).unwrap().is_success());
+/// // …but it does with the omega bit asserted.
+/// assert!(word::self_route_omega(2, &d).unwrap().is_success());
+/// ```
+pub fn self_route(n: u32, d: &Permutation) -> Result<WordOutcome, NetworkError> {
+    route(n, d, false, None)
+}
+
+/// Word-parallel omega-bit self-routing: stages `0..n−1` forced straight,
+/// the trailing omega half self-routes (realizes all of `Ω(n)`).
+///
+/// # Errors
+///
+/// [`NetworkError::PermutationLength`] if `d.len() != 2^n`.
+pub fn self_route_omega(n: u32, d: &Permutation) -> Result<WordOutcome, NetworkError> {
+    route(n, d, true, None)
+}
+
+/// Word-parallel self-routing over a faulty fabric: stuck/dead switches are
+/// overlaid per stage as flattened masks (the word form of
+/// [`crate::faults::self_route_with_faults`]).
+///
+/// # Panics
+///
+/// Panics if `faults` was built for a different order than `net`.
+///
+/// # Errors
+///
+/// [`NetworkError::PermutationLength`] if `d.len()` is not `net`'s terminal
+/// count.
+pub fn self_route_with_faults(
+    net: &Benes,
+    d: &Permutation,
+    faults: &FaultSet,
+) -> Result<WordOutcome, NetworkError> {
+    assert_eq!(net.n(), faults.n(), "fault set order must match the network");
+    route(net.n(), d, false, Some(&stage_fault_masks(net, faults)))
+}
+
+/// Word-parallel omega-bit self-routing over a faulty fabric.
+///
+/// Note that faults fire even in the forced-straight stages: a dead or
+/// stuck-cross switch there still disturbs the column, exactly as in the
+/// scalar [`crate::faults::self_route_omega_with_faults`].
+///
+/// # Panics
+///
+/// Panics if `faults` was built for a different order than `net`.
+///
+/// # Errors
+///
+/// [`NetworkError::PermutationLength`] if `d.len()` is not `net`'s terminal
+/// count.
+pub fn self_route_omega_with_faults(
+    net: &Benes,
+    d: &Permutation,
+    faults: &FaultSet,
+) -> Result<WordOutcome, NetworkError> {
+    assert_eq!(net.n(), faults.n(), "fault set order must match the network");
+    route(net.n(), d, true, Some(&stage_fault_masks(net, faults)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{self, FaultKind};
+
+    /// The structural claim the whole module rests on: tracked through the
+    /// links, stage `s` pairs flattened positions differing in exactly bit
+    /// `control_bit(s)` (physical upper port = bit clear), and the
+    /// composition of all links is the identity.
+    #[test]
+    fn flattened_pairing_is_control_bit() {
+        for n in 1..=8u32 {
+            let net = Benes::new(n);
+            let size = net.terminal_count();
+            let stages = net.stage_count();
+            let mut p2f: Vec<u32> = (0..size as u32).collect();
+            for s in 0..stages {
+                let c = net.control_bit(s);
+                for i in 0..size / 2 {
+                    let upper = p2f[2 * i];
+                    let lower = p2f[2 * i + 1];
+                    assert_eq!(upper >> c & 1, 0, "B({n}) stage {s} switch {i}");
+                    assert_eq!(lower, upper | (1 << c), "B({n}) stage {s} switch {i}");
+                }
+                if s + 1 < stages {
+                    p2f = advance(&p2f, net.link(s));
+                }
+            }
+            let identity: Vec<u32> = (0..size as u32).collect();
+            assert_eq!(p2f, identity, "B({n}): links do not compose to identity");
+        }
+    }
+
+    #[test]
+    fn identity_plane_word_matches_definition() {
+        for n in 1..=8u32 {
+            let words = word_count(n);
+            for b in 0..n {
+                for w in 0..words {
+                    let mut expected = 0u64;
+                    for p in 0..64usize {
+                        let pos = (w << 6) | p;
+                        if pos < (1 << n) && (pos >> b) & 1 == 1 {
+                            expected |= 1 << p;
+                        }
+                    }
+                    assert_eq!(identity_plane_word(n, b, w), expected, "n={n} b={b} w={w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_then_unpack_round_trips() {
+        for n in [1u32, 3, 6, 7, 8] {
+            let d = lcg_perm(n, 0x5eed ^ u64::from(n));
+            let outcome = WordOutcome {
+                n,
+                words: word_count(n),
+                planes: pack(n, &d),
+                stage_cross: Vec::new(),
+            };
+            assert_eq!(outcome.outputs(), d.destinations());
+        }
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let d = Permutation::identity(4);
+        assert_eq!(
+            self_route(3, &d),
+            Err(NetworkError::PermutationLength { expected: 8, actual: 4 })
+        );
+    }
+
+    /// Exhaustive agreement with the scalar oracle on B(2) and B(3):
+    /// success flag, arrival tags, and recovered settings, for both the
+    /// plain and the omega-bit kernels.
+    #[test]
+    fn exhaustive_agreement_with_scalar_oracle() {
+        for n in [2u32, 3] {
+            let net = Benes::new(n);
+            for d in all_perms(1 << n) {
+                let scalar = net.self_route(&d);
+                let word = self_route(n, &d).unwrap();
+                assert_eq!(word.is_success(), scalar.is_success(), "B({n}) {d:?}");
+                assert_eq!(word.outputs(), scalar.outputs(), "B({n}) {d:?}");
+                assert_eq!(
+                    &word.settings(&net).unwrap(),
+                    scalar.settings(),
+                    "B({n}) {d:?}"
+                );
+
+                let scalar_o = net.self_route_omega(&d);
+                let word_o = self_route_omega(n, &d).unwrap();
+                assert_eq!(
+                    word_o.is_success(),
+                    scalar_o.is_success(),
+                    "B({n}) omega {d:?}"
+                );
+                assert_eq!(word_o.outputs(), scalar_o.outputs(), "B({n}) omega {d:?}");
+                assert_eq!(
+                    &word_o.settings(&net).unwrap(),
+                    scalar_o.settings(),
+                    "B({n}) omega {d:?}"
+                );
+            }
+        }
+    }
+
+    /// Same exhaustive comparison over faulty fabrics, including a dead
+    /// switch and faults inside the omega-forced stages.
+    #[test]
+    fn exhaustive_faulty_agreement_with_scalar_oracle() {
+        let n = 3u32;
+        let net = Benes::new(n);
+        let fault_sets = [
+            fault_set(n, &[(0, 1, FaultKind::StuckCross)]),
+            fault_set(n, &[(2, 0, FaultKind::StuckStraight), (4, 3, FaultKind::Dead)]),
+            fault_set(
+                n,
+                &[
+                    (0, 0, FaultKind::Dead),
+                    (1, 2, FaultKind::StuckCross),
+                    (3, 1, FaultKind::StuckStraight),
+                ],
+            ),
+        ];
+        for fs in &fault_sets {
+            for d in all_perms(1 << n) {
+                let scalar = faults::self_route_with_faults(&net, &d, fs);
+                let word = self_route_with_faults(&net, &d, fs).unwrap();
+                assert_eq!(word.is_success(), scalar.is_success(), "{fs:?} {d:?}");
+                assert_eq!(word.outputs(), scalar.outputs(), "{fs:?} {d:?}");
+                assert_eq!(
+                    &word.settings(&net).unwrap(),
+                    scalar.settings(),
+                    "{fs:?} {d:?}"
+                );
+
+                let scalar_o = faults::self_route_omega_with_faults(&net, &d, fs);
+                let word_o = self_route_omega_with_faults(&net, &d, fs).unwrap();
+                assert_eq!(
+                    word_o.is_success(),
+                    scalar_o.is_success(),
+                    "omega {fs:?} {d:?}"
+                );
+                assert_eq!(word_o.outputs(), scalar_o.outputs(), "omega {fs:?} {d:?}");
+                assert_eq!(
+                    &word_o.settings(&net).unwrap(),
+                    scalar_o.settings(),
+                    "omega {fs:?} {d:?}"
+                );
+            }
+        }
+    }
+
+    /// Multi-word orders exercise the cross-word (`δ(s) ≥ 6`) column path:
+    /// B(7) pairs words at distance 1 and B(8) at distances 1 and 2.
+    #[test]
+    fn multiword_orders_agree_with_scalar_oracle() {
+        for n in [6u32, 7, 8] {
+            let net = Benes::new(n);
+            for seed in 0..8u64 {
+                let d = lcg_perm(n, seed.wrapping_mul(0x9e37_79b9) ^ u64::from(n));
+                let scalar = net.self_route(&d);
+                let word = self_route(n, &d).unwrap();
+                assert_eq!(word.is_success(), scalar.is_success(), "B({n}) seed {seed}");
+                assert_eq!(word.outputs(), scalar.outputs(), "B({n}) seed {seed}");
+                assert_eq!(
+                    &word.settings(&net).unwrap(),
+                    scalar.settings(),
+                    "B({n}) seed {seed}"
+                );
+            }
+            // Random stuck/dead fabric at the same orders.
+            let fs = FaultSet::random_stuck(n, 4, 0xfab ^ u64::from(n));
+            for seed in 0..4u64 {
+                let d = lcg_perm(n, seed ^ 0xabcd);
+                let scalar = faults::self_route_with_faults(&net, &d, &fs);
+                let word = self_route_with_faults(&net, &d, &fs).unwrap();
+                assert_eq!(word.outputs(), scalar.outputs(), "B({n}) faulty seed {seed}");
+            }
+        }
+    }
+
+    /// The paper's Fig. 5 example, traced by hand in flattened form.
+    #[test]
+    fn fig5_word_trace() {
+        let d = Permutation::from_destinations(vec![1, 3, 2, 0]).unwrap();
+        let outcome = self_route(2, &d).unwrap();
+        assert!(!outcome.is_success());
+        assert_eq!(outcome.outputs(), vec![2, 1, 0, 3]);
+        assert!(self_route_omega(2, &d).unwrap().is_success());
+    }
+
+    fn fault_set(n: u32, entries: &[(usize, usize, FaultKind)]) -> FaultSet {
+        let mut fs = FaultSet::new(n);
+        for &(s, i, k) in entries {
+            fs.insert(s, i, k).unwrap();
+        }
+        fs
+    }
+
+    /// Deterministic Fisher–Yates driven by a 64-bit LCG.
+    fn lcg_perm(n: u32, seed: u64) -> Permutation {
+        let size = 1usize << n;
+        let mut state = seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        let mut dest: Vec<u32> = (0..size as u32).collect();
+        for i in (1..size).rev() {
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            dest.swap(i, j);
+        }
+        Permutation::from_destinations(dest).unwrap()
+    }
+
+    fn all_perms(len: usize) -> Vec<Permutation> {
+        fn rec(rem: &mut Vec<u32>, cur: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+            if rem.is_empty() {
+                out.push(cur.clone());
+                return;
+            }
+            for idx in 0..rem.len() {
+                let v = rem.remove(idx);
+                cur.push(v);
+                rec(rem, cur, out);
+                cur.pop();
+                rem.insert(idx, v);
+            }
+        }
+        let mut raw = Vec::new();
+        rec(&mut (0..len as u32).collect(), &mut Vec::new(), &mut raw);
+        raw.into_iter().map(|d| Permutation::from_destinations(d).unwrap()).collect()
+    }
+}

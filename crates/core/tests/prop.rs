@@ -191,3 +191,74 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// Word-kernel vs scalar-kernel agreement on healthy fabrics across
+    /// B(4..8): success flag, arrival tags, and recovered settings must be
+    /// bit-identical for both the plain and the omega-bit variants.
+    #[test]
+    fn word_kernel_agrees_with_scalar(n in 4u32..=8, seed in any::<u64>()) {
+        let net = Benes::new(n);
+        let p = seeded_permutation(1usize << n, seed);
+
+        let scalar = net.self_route(&p);
+        let word = net.self_route_fast(&p).unwrap();
+        prop_assert_eq!(word.is_success(), scalar.is_success());
+        prop_assert_eq!(word.outputs(), scalar.outputs());
+        prop_assert_eq!(&word.settings(&net).unwrap(), scalar.settings());
+
+        let scalar_o = net.self_route_omega(&p);
+        let word_o = net.self_route_omega_fast(&p).unwrap();
+        prop_assert_eq!(word_o.is_success(), scalar_o.is_success());
+        prop_assert_eq!(word_o.outputs(), scalar_o.outputs());
+        prop_assert_eq!(&word_o.settings(&net).unwrap(), scalar_o.settings());
+    }
+
+    /// Same agreement over random stuck/dead fabrics: the fault overlay
+    /// masks must reproduce the scalar per-switch effective states exactly.
+    #[test]
+    fn word_kernel_agrees_with_scalar_under_faults(
+        n in 4u32..=8,
+        seed in any::<u64>(),
+        fault_count in 1usize..=5,
+        fault_seed in any::<u64>(),
+    ) {
+        use benes_core::faults::{self_route_omega_with_faults, self_route_with_faults, FaultSet};
+        use benes_core::word;
+
+        let net = Benes::new(n);
+        let p = seeded_permutation(1usize << n, seed);
+        let fs = FaultSet::random_stuck(n, fault_count, fault_seed);
+
+        let scalar = self_route_with_faults(&net, &p, &fs);
+        let fast = word::self_route_with_faults(&net, &p, &fs).unwrap();
+        prop_assert_eq!(fast.is_success(), scalar.is_success());
+        prop_assert_eq!(fast.outputs(), scalar.outputs());
+        prop_assert_eq!(&fast.settings(&net).unwrap(), scalar.settings());
+
+        let scalar_o = self_route_omega_with_faults(&net, &p, &fs);
+        let fast_o = word::self_route_omega_with_faults(&net, &p, &fs).unwrap();
+        prop_assert_eq!(fast_o.is_success(), scalar_o.is_success());
+        prop_assert_eq!(fast_o.outputs(), scalar_o.outputs());
+        prop_assert_eq!(&fast_o.settings(&net).unwrap(), scalar_o.settings());
+    }
+}
+
+/// Fisher–Yates from a splitmix64 stream, so the permutation is a pure
+/// function of (len, seed) and failures minimize cleanly.
+fn seeded_permutation(len: usize, seed: u64) -> Permutation {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut dest: Vec<u32> = (0..len as u32).collect();
+    for i in (1..len).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        dest.swap(i, j);
+    }
+    Permutation::from_destinations(dest).expect("shuffle is a bijection")
+}

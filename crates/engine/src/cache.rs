@@ -2,8 +2,9 @@
 //! twice.
 //!
 //! Keys are the stable 64-bit fingerprint of the permutation
-//! ([`benes_perm::Permutation::fingerprint`]); the top bits select a
-//! shard so concurrent workers rarely contend on the same lock. Each
+//! ([`benes_perm::Permutation::fingerprint`]); the fingerprint is
+//! re-avalanched (splitmix64 finalizer) and masked to select a shard,
+//! so concurrent workers rarely contend on the same lock. Each
 //! entry stores the full permutation alongside its plan and every hit
 //! verifies equality, so a fingerprint collision degrades to a cache
 //! miss — never to a wrong plan.
@@ -20,6 +21,7 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use benes_perm::Permutation;
 
 use crate::plan::Plan;
+use crate::queue::mix64;
 
 struct Entry {
     perm: Permutation,
@@ -61,7 +63,7 @@ impl PlanCache {
     /// `shards` independently locked shards.
     ///
     /// The shard count is rounded up to a power of two (so shard
-    /// selection is a mask of the fingerprint's top bits) and the
+    /// selection is a mask of the re-mixed fingerprint) and the
     /// capacity is divided evenly, at least one entry per shard.
     ///
     /// # Panics
@@ -78,11 +80,19 @@ impl PlanCache {
         Self { shards, shard_capacity, clock: AtomicU64::new(0) }
     }
 
+    /// Maps a fingerprint to a shard slot.
+    ///
+    /// The full 64-bit fingerprint is re-avalanched before masking.
+    /// Masking a fixed 16-bit slice (`fingerprint >> 48`) funnelled
+    /// every fingerprint family sharing those bits into one shard,
+    /// serialising what sharding was meant to parallelise; the
+    /// finalizer makes every input bit influence the selected shard.
+    fn shard_index(&self, fingerprint: u64) -> usize {
+        mix64(fingerprint) as usize & (self.shards.len() - 1)
+    }
+
     fn shard_for(&self, fingerprint: u64) -> &Mutex<Shard> {
-        // Top bits: the splitmix finalizer in `fingerprint()` avalanches
-        // them, and HashMap's own hashing consumes the low bits.
-        let idx = (fingerprint >> 48) as usize & (self.shards.len() - 1);
-        &self.shards[idx]
+        &self.shards[self.shard_index(fingerprint)]
     }
 
     /// Locks a shard, recovering from poison: a worker that panicked
@@ -374,5 +384,39 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(cache.len(), 1, "no torn or duplicate entries");
+    }
+
+    #[test]
+    fn shard_selector_spreads_fingerprints_sharing_high_bits() {
+        // Regression: `shard_for` masked `fingerprint >> 48`, so any
+        // family of fingerprints agreeing on bits 48..63 — e.g. values
+        // differing only in their low bits — all landed in one shard,
+        // serialising every lookup behind a single lock. The re-mixed
+        // selector must spread such families across all shards.
+        let cache = PlanCache::new(64, 8);
+        let shards = cache.shards.len();
+        // 256 fingerprints identical in the top 16 bits.
+        let mut used = vec![0usize; shards];
+        for low in 0..256u64 {
+            used[cache.shard_index(0xdead_u64 << 48 | low)] += 1;
+        }
+        assert!(
+            used.iter().all(|&c| c > 0),
+            "high-bit-sharing fingerprints must reach every shard, got {used:?}"
+        );
+        let max = used.iter().copied().max().unwrap();
+        assert!(
+            max < 256 / shards * 3,
+            "distribution badly skewed across {shards} shards: {used:?}"
+        );
+        // And the old failure mode, verbatim: low-bit-only variation.
+        let mut low_only = vec![0usize; shards];
+        for low in 0..256u64 {
+            low_only[cache.shard_index(low)] += 1;
+        }
+        assert!(
+            low_only.iter().all(|&c| c > 0),
+            "fingerprints with clear high bits must reach every shard, got {low_only:?}"
+        );
     }
 }

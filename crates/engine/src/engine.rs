@@ -6,11 +6,14 @@
 //! drain (`crate::worker`) → deadline check → circuit-breaker
 //! admission → tier planning / cache lookup → execution on the worker's
 //! memoized `B(n)` → outcome sent to the caller's [`Ticket`]. The queue
-//! is a `Mutex<VecDeque>` + two `Condvar`s (`available` wakes workers,
-//! `space` wakes blocked submitters) so workers drain *batches* under
-//! one lock acquisition and submitters get **backpressure** instead of
-//! unbounded memory growth when [`EngineConfig::max_queue_depth`] is
-//! set.
+//! is *sharded*: one `Mutex<VecDeque>` per worker, submissions placed
+//! by re-mixed fingerprint plus a round-robin nonce, workers draining
+//! their own shard first and **stealing** from siblings when it runs
+//! dry (`crate::queue`). Admission depth is a single lock-free atomic,
+//! so submitters get **backpressure** instead of unbounded memory
+//! growth when [`EngineConfig::max_queue_depth`] is set without ever
+//! taking a shard lock on the reject path. Workers still drain
+//! *batches* under one lock acquisition — per shard, not per engine.
 //!
 //! The request lifecycle has four terminal states, and every admitted
 //! request reaches exactly one of them — the conservation invariant
@@ -282,7 +285,7 @@ impl Engine {
         assert!(config.workers > 0, "engine needs at least one worker");
         assert!(config.batch_size > 0, "batch size must be at least 1");
         let shared = Arc::new(Shared {
-            sub: SubmissionQueue::new(config.max_queue_depth),
+            sub: SubmissionQueue::new(config.workers, config.max_queue_depth),
             cache: PlanCache::new(config.cache_capacity, config.cache_shards),
             recorder: Recorder::new(),
             fallback: config.fallback,
@@ -299,7 +302,7 @@ impl Engine {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("benes-engine-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawn engine worker")
             })
             .collect();
@@ -403,6 +406,7 @@ impl Engine {
     pub fn stats(&self) -> EngineStats {
         let mut stats = self.shared.recorder.snapshot();
         stats.breaker_states = self.shared.breaker_states();
+        stats.queue_depths = self.shared.sub.shard_depths();
         stats
     }
 
@@ -695,12 +699,15 @@ mod tests {
         let engine = Engine::new(EngineConfig { workers: 1, ..EngineConfig::default() });
         let shared = Arc::clone(&engine.shared);
         std::thread::spawn(move || {
-            let _guard = shared.sub.queue.lock().unwrap();
+            let _guard = shared.sub.shards[0].queue.lock().unwrap();
             panic!("poison the engine queue on purpose");
         })
         .join()
         .unwrap_err();
-        assert!(engine.shared.sub.queue.is_poisoned(), "setup must actually poison");
+        assert!(
+            engine.shared.sub.shards[0].queue.is_poisoned(),
+            "setup must actually poison"
+        );
         // Submit still works through the poisoned (but consistent) lock…
         let outcome = engine.submit(Bpc::bit_reversal(3).to_permutation()).wait();
         assert_eq!(outcome.tier(), Some(Tier::SelfRoute));
@@ -1017,6 +1024,7 @@ mod tests {
         // cancel them rather than leave their waiters hanging. The bomb
         // fingerprint is unique to this test (hook statics are
         // process-wide).
+        let _guard = test_hooks::kill_guard();
         let bomb = Permutation::from_fn(32, |i| (i + 11) % 32).unwrap();
         test_hooks::KILL_WORKER_ON_FINGERPRINT.store(bomb.fingerprint(), Ordering::Relaxed);
         let engine = Engine::new(EngineConfig {
@@ -1105,5 +1113,90 @@ mod tests {
         let stats = engine.stats();
         assert!(stats.breaker_states.is_empty());
         assert_eq!(stats.breaker_opened, 0);
+    }
+
+    #[test]
+    fn submit_burst_engages_every_worker() {
+        // Named-bug regression (queue.rs wake chain): the old queue
+        // woke exactly one worker per submit and relied on each taker
+        // to notify the next, so a burst engaged workers one dequeue
+        // at a time — the flat scaling curve. Trap every served job in
+        // a spin hook and require that a burst of W jobs puts all W
+        // workers to work *simultaneously*. The trap permutation is
+        // unique to this test (hook statics are process-wide).
+        use std::sync::atomic::Ordering::SeqCst;
+        const W: usize = 4;
+        let trap = Permutation::from_fn(32, |i| (i + 13) % 32).unwrap();
+        test_hooks::ENGAGED.store(0, SeqCst);
+        test_hooks::RELEASE.store(false, SeqCst);
+        test_hooks::HOLD_ON_FINGERPRINT.store(trap.fingerprint(), SeqCst);
+        let engine = Engine::new(EngineConfig {
+            workers: W,
+            batch_size: 1,
+            ..EngineConfig::default()
+        });
+        // Same fingerprint every time: the submit-side round-robin
+        // nonce must still spread the burst across all W shards.
+        let tickets = engine.submit_all((0..W).map(|_| trap.clone()));
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while test_hooks::ENGAGED.load(SeqCst) < W {
+            if Instant::now() >= deadline {
+                // Release the trapped workers *before* panicking, or
+                // the engine drop below would hang joining them.
+                let engaged = test_hooks::ENGAGED.load(SeqCst);
+                test_hooks::RELEASE.store(true, SeqCst);
+                test_hooks::HOLD_ON_FINGERPRINT.store(0, SeqCst);
+                panic!("only {engaged} of {W} workers engaged under the burst");
+            }
+            std::thread::yield_now();
+        }
+        test_hooks::RELEASE.store(true, SeqCst);
+        test_hooks::HOLD_ON_FINGERPRINT.store(0, SeqCst);
+        for t in tickets {
+            assert!(t.wait().is_ok(), "released jobs serve normally");
+        }
+        assert_eq!(engine.stats().completed, W as u64);
+    }
+
+    #[test]
+    fn dead_worker_sweep_covers_every_shard() {
+        // Satellite: with the queue sharded per worker, the post-join
+        // sweep must collect strands from *every* shard, not just one.
+        // Kill all W workers (each bomb lands on a distinct shard via
+        // the round-robin nonce; batch_size 1 means one bomb kills
+        // exactly one worker), then strand one job per shard and drop.
+        let _guard = test_hooks::kill_guard();
+        const W: usize = 4;
+        let bomb = Permutation::from_fn(32, |i| (i + 17) % 32).unwrap();
+        test_hooks::KILL_WORKER_ON_FINGERPRINT.store(bomb.fingerprint(), Ordering::Relaxed);
+        let engine = Engine::new(EngineConfig {
+            workers: W,
+            batch_size: 1,
+            ..EngineConfig::default()
+        });
+        let bombs = engine.submit_all((0..W).map(|_| bomb.clone()));
+        for b in bombs {
+            assert_eq!(
+                b.wait().result,
+                Err(EngineError::WorkerLost),
+                "every bomb takes its worker down"
+            );
+        }
+        // All workers dead: one strand per shard, no one to serve them.
+        let strands = engine.submit_all([
+            Bpc::bit_reversal(3).to_permutation(),
+            Bpc::unshuffle(3).to_permutation(),
+            Bpc::bit_reversal(4).to_permutation(),
+            Bpc::unshuffle(4).to_permutation(),
+        ]);
+        drop(engine);
+        test_hooks::KILL_WORKER_ON_FINGERPRINT.store(0, Ordering::Relaxed);
+        for (i, s) in strands.into_iter().enumerate() {
+            assert_eq!(
+                s.wait().result,
+                Err(EngineError::Canceled),
+                "strand {i} must be swept from its shard"
+            );
+        }
     }
 }

@@ -218,6 +218,12 @@ pub fn plan(d: &Permutation, fallback: Fallback) -> Result<Plan, PlanError> {
 /// for a *different* permutation) surface as `false`, never as silent
 /// misrouting.
 ///
+/// The self-routing arms run on the word-parallel kernels
+/// ([`benes_core::word`]) — whole switch columns as `u64` masks — which
+/// the exhaustive/property tests in `benes_core` pin to the scalar
+/// oracle. Settings replay stays on the scalar circuit walk (it has to
+/// realize an explicit per-switch assignment, not a tag rule).
+///
 /// # Panics
 ///
 /// Panics if `d.len() != net.terminal_count()`; the engine always pairs
@@ -226,8 +232,10 @@ pub fn plan(d: &Permutation, fallback: Fallback) -> Result<Plan, PlanError> {
 pub fn execute(net: &Benes, d: &Permutation, plan: &Plan) -> bool {
     assert_eq!(d.len(), net.terminal_count(), "execute: network order mismatch");
     match plan {
-        Plan::SelfRoute => net.self_route(d).is_success(),
-        Plan::OmegaBit => net.self_route_omega(d).is_success(),
+        Plan::SelfRoute => net.self_route_fast(d).map(|o| o.is_success()).unwrap_or(false),
+        Plan::OmegaBit => {
+            net.self_route_omega_fast(d).map(|o| o.is_success()).unwrap_or(false)
+        }
         Plan::Settings(settings) => {
             net.realized_permutation(settings).map(|r| r == *d).unwrap_or(false)
         }
@@ -235,8 +243,11 @@ pub fn execute(net: &Benes, d: &Permutation, plan: &Plan) -> bool {
             // The factorization theorem guarantees first ∈ Ω⁻¹ ⊆ F and
             // second ∈ Ω, so both passes self-route with zero set-up.
             first.then(second) == *d
-                && net.self_route(first).is_success()
-                && net.self_route_omega(second).is_success()
+                && net.self_route_fast(first).map(|o| o.is_success()).unwrap_or(false)
+                && net
+                    .self_route_omega_fast(second)
+                    .map(|o| o.is_success())
+                    .unwrap_or(false)
         }
     }
 }

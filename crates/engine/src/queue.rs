@@ -1,19 +1,28 @@
-//! The submission side of the engine: the bounded job queue, the three
+//! The submission side of the engine: the sharded job queue, the three
 //! admission disciplines (reject / block / block-with-timeout), and the
 //! per-request lifecycle types ([`Ticket`], [`RequestOutcome`],
 //! [`SubmitError`], [`DrainReport`]).
 //!
-//! `SubmissionQueue` owns the `Mutex<VecDeque>` + two `Condvar`s
-//! (`available` wakes workers, `space` wakes blocked submitters) that
-//! [`crate::Engine`] fronts: submitters `admit` jobs under
-//! backpressure, workers drain them in batches via `next_batch`, and
-//! teardown closes admission and strands leftovers through
-//! `shut_down` / `sweep`. Keeping every queue transition in this
-//! module means the worker loop and the engine facade compose pieces
-//! that cannot disagree about locking or wake-up order.
+//! `SubmissionQueue` is **sharded**: one `ShardQueue` per worker, so
+//! the common case is a worker popping from its own shard's mutex with
+//! no cross-worker contention at all. Submitters scatter jobs across
+//! shards by hashing the request fingerprint with a round-robin nonce;
+//! workers drain their own shard first and **steal** from siblings
+//! when it is empty, so no job ever waits behind an idle worker. The
+//! admission depth bound lives in a single atomic counter (reserve by
+//! compare-and-swap, release on dequeue) rather than under any lock,
+//! which is also what carries the conservation invariant across steal
+//! races. Two parking lots choreograph blocking: `idle`/`available`
+//! parks workers when the whole queue is empty, `gate`/`space` parks
+//! bounded submitters and the drain waiter. Teardown closes admission
+//! with an atomic flag and closes every shard through `shut_down` /
+//! `sweep`. Keeping every queue transition in this module means the
+//! worker loop and the engine facade compose pieces that cannot
+//! disagree about locking or wake-up order.
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
@@ -199,24 +208,60 @@ pub(crate) struct Job {
     pub(crate) reply: mpsc::Sender<RequestOutcome>,
 }
 
-/// The lock-protected queue interior.
-#[derive(Default)]
-pub(crate) struct QueueState {
-    pub(crate) jobs: VecDeque<Job>,
-    /// Admission closed ([`crate::Engine::drain`] started); queued work
-    /// still drains.
-    pub(crate) draining: bool,
-    /// Workers exit once this is set and the queue is empty.
-    pub(crate) shutdown: bool,
+/// One per-worker queue shard.
+///
+/// The `queue` field name is load-bearing: benes-analyze's lock-graph
+/// lint identifies locks by the last path segment before `.lock()`, and
+/// the workspace contract pins the job queue's lock name to `queue`.
+pub(crate) struct ShardQueue {
+    /// Shard interior; always lock via [`ShardQueue::lock`].
+    pub(crate) queue: Mutex<VecDeque<Job>>,
+    /// This shard's current length, maintained next to the mutex so the
+    /// per-shard depth gauges read lock-free.
+    depth: AtomicU64,
 }
 
-/// The submission queue: bounded admission in front, batched dequeue
-/// behind, shutdown choreography on the side.
+impl ShardQueue {
+    fn new() -> Self {
+        Self { queue: Mutex::new(VecDeque::new()), depth: AtomicU64::new(0) }
+    }
+
+    /// Locks this shard, recovering from poison: the interior is a
+    /// plain `VecDeque` that no panicking holder can leave
+    /// half-mutated in a harmful way, and both submission and shutdown
+    /// must always proceed.
+    pub(crate) fn lock(&self) -> MutexGuard<'_, VecDeque<Job>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The sharded submission queue: bounded lock-free admission in front,
+/// per-worker shards with stealing behind, shutdown choreography on the
+/// side.
 pub(crate) struct SubmissionQueue {
-    /// Queue interior; always lock via [`SubmissionQueue::lock`].
-    pub(crate) queue: Mutex<QueueState>,
+    /// One shard per worker; worker `i` owns `shards[i]` and steals
+    /// from the rest.
+    pub(crate) shards: Vec<ShardQueue>,
+    /// Total queued jobs across all shards. Admission *reserves* a slot
+    /// here (CAS) before touching any shard, dequeue releases it, so
+    /// the depth bound is exact without a global lock.
+    depth: AtomicUsize,
+    /// Admission closed ([`crate::Engine::drain`] started); queued work
+    /// still drains.
+    draining: AtomicBool,
+    /// Workers exit once this is set and every shard is empty.
+    shutdown: AtomicBool,
+    /// Round-robin nonce mixed into the shard hash so identical
+    /// permutations still scatter.
+    rr: AtomicU64,
+    /// Worker parking lot: guards nothing, orders the empty-check
+    /// against `available` notifications.
+    idle: Mutex<()>,
     /// Wakes workers: work arrived (or shutdown flipped).
     available: Condvar,
+    /// Submitter/drain parking lot: orders the full-check against
+    /// `space` notifications.
+    gate: Mutex<()>,
     /// Wakes blocked submitters and the drain loop: queue space
     /// appeared (or admission closed).
     space: Condvar,
@@ -224,27 +269,78 @@ pub(crate) struct SubmissionQueue {
     max_depth: Option<usize>,
 }
 
+/// splitmix64 finalizer: avalanches every input bit over every output
+/// bit, so any subset of fingerprint bits picks shards uniformly.
+pub(crate) fn mix64(mut h: u64) -> u64 {
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
 impl SubmissionQueue {
-    pub(crate) fn new(max_depth: Option<usize>) -> Self {
+    pub(crate) fn new(shard_count: usize, max_depth: Option<usize>) -> Self {
+        assert!(shard_count > 0, "queue needs at least one shard");
         Self {
-            queue: Mutex::new(QueueState::default()),
+            shards: (0..shard_count).map(|_| ShardQueue::new()).collect(),
+            depth: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            rr: AtomicU64::new(0),
+            idle: Mutex::new(()),
             available: Condvar::new(),
+            gate: Mutex::new(()),
             space: Condvar::new(),
             max_depth,
         }
     }
 
-    /// Locks the job queue, recovering from poison: the queue is a
-    /// plain `VecDeque` plus two flags that no panicking holder can
-    /// leave half-mutated in a harmful way, and both submission and
-    /// shutdown must always proceed.
-    pub(crate) fn lock(&self) -> MutexGuard<'_, QueueState> {
-        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    /// Current per-shard queue lengths, lock-free (the per-shard depth
+    /// gauges in [`crate::EngineStats`]).
+    pub(crate) fn shard_depths(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.depth.load(Ordering::Relaxed)).collect()
     }
 
-    /// The one admission path: checks drain state and the depth bound,
-    /// blocks per `block`, then enqueues and wakes a worker. Rejected
-    /// submissions are counted `rejected`, never `submitted`.
+    /// Tries to reserve one admission slot against the depth bound.
+    fn reserve_slot(&self) -> bool {
+        let Some(max) = self.max_depth else {
+            self.depth.fetch_add(1, Ordering::SeqCst);
+            return true;
+        };
+        self.depth
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |d| (d < max).then(|| d + 1))
+            .is_ok()
+    }
+
+    /// Releases `count` admission slots and wakes anyone parked on the
+    /// gate (a blocked submitter, or the drain loop watching for the
+    /// queue to empty).
+    fn release_slots(&self, count: usize) {
+        if count == 0 {
+            return;
+        }
+        self.depth.fetch_sub(count, Ordering::SeqCst);
+        // Touch the gate between the state change and the notify: a
+        // parked thread either re-checks after our unlock (and sees the
+        // new depth) or is already waiting (and receives the notify).
+        drop(self.gate.lock().unwrap_or_else(PoisonError::into_inner));
+        self.space.notify_all();
+    }
+
+    /// Wakes parked workers; `all` wakes every sibling (deep backlog or
+    /// shutdown), otherwise one is enough for one new job.
+    fn wake_workers(&self, all: bool) {
+        drop(self.idle.lock().unwrap_or_else(PoisonError::into_inner));
+        if all {
+            self.available.notify_all();
+        } else {
+            self.available.notify_one();
+        }
+    }
+
+    /// The one admission path: checks drain state and the depth bound
+    /// (blocking per `block`), reserves a slot, enqueues on the hashed
+    /// shard, and wakes a worker. Rejected submissions are counted
+    /// `rejected`, never `submitted`.
     pub(crate) fn admit(
         &self,
         recorder: &Recorder,
@@ -252,135 +348,207 @@ impl SubmissionQueue {
         deadline: Option<Instant>,
         block: Block,
     ) -> Result<Ticket, SubmitError> {
-        let (tx, rx) = mpsc::channel();
-        let mut q = self.lock();
+        let reject = |err: SubmitError| {
+            recorder.note_rejected();
+            Err(err)
+        };
+        // Reserve a depth slot first; park on the gate while full.
         loop {
-            if q.draining || q.shutdown {
-                drop(q);
-                recorder.note_rejected();
-                return Err(SubmitError::ShuttingDown);
+            if self.draining.load(Ordering::SeqCst) {
+                return reject(SubmitError::ShuttingDown);
             }
-            let Some(depth) = self.max_depth else { break };
-            if q.jobs.len() < depth {
+            if self.reserve_slot() {
                 break;
             }
+            let max = self.max_depth.unwrap_or(usize::MAX);
             match block {
-                Block::Never => {
-                    drop(q);
-                    recorder.note_rejected();
-                    return Err(SubmitError::QueueFull { depth });
-                }
+                Block::Never => return reject(SubmitError::QueueFull { depth: max }),
                 Block::Forever => {
-                    q = self.space.wait(q).unwrap_or_else(PoisonError::into_inner);
+                    let g = self.gate.lock().unwrap_or_else(PoisonError::into_inner);
+                    if !self.draining.load(Ordering::SeqCst)
+                        && self.depth.load(Ordering::SeqCst) >= max
+                    {
+                        drop(self.space.wait(g).unwrap_or_else(PoisonError::into_inner));
+                    }
                 }
                 Block::Until(until) => {
                     let now = Instant::now();
                     if now >= until {
-                        drop(q);
-                        recorder.note_rejected();
-                        return Err(SubmitError::Timeout);
+                        return reject(SubmitError::Timeout);
                     }
-                    let (guard, _) = self
-                        .space
-                        .wait_timeout(q, until - now)
-                        .unwrap_or_else(PoisonError::into_inner);
-                    q = guard;
+                    let g = self.gate.lock().unwrap_or_else(PoisonError::into_inner);
+                    if !self.draining.load(Ordering::SeqCst)
+                        && self.depth.load(Ordering::SeqCst) >= max
+                    {
+                        let (g, _) = self
+                            .space
+                            .wait_timeout(g, until - now)
+                            .unwrap_or_else(PoisonError::into_inner);
+                        drop(g);
+                    }
                 }
             }
         }
-        recorder.note_submitted();
-        q.jobs.push_back(Job { perm, submitted_at: Instant::now(), deadline, reply: tx });
-        recorder.note_queue_depth(q.jobs.len() as u64);
-        drop(q);
-        self.available.notify_one();
+        // Slot reserved: scatter to a shard. Fingerprint ⊕ nonce through
+        // the mixer keeps hot identical permutations off one mutex.
+        let nonce = self.rr.fetch_add(1, Ordering::Relaxed);
+        let shard = &self.shards
+            [(mix64(perm.fingerprint() ^ nonce) % self.shards.len() as u64) as usize];
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut q = shard.lock();
+            // Re-check under the shard lock: `shut_down` stores
+            // `draining` *before* collecting the shards, so either this
+            // check observes it (abort, release the slot) or the push
+            // lands before the collection and drains normally.
+            if self.draining.load(Ordering::SeqCst) {
+                drop(q);
+                self.release_slots(1);
+                return reject(SubmitError::ShuttingDown);
+            }
+            recorder.note_submitted();
+            q.push_back(Job { perm, submitted_at: Instant::now(), deadline, reply: tx });
+            shard.depth.store(q.len() as u64, Ordering::Relaxed);
+        }
+        recorder.note_queue_depth(self.depth.load(Ordering::SeqCst) as u64);
+        self.wake_workers(false);
         Ok(Ticket { rx, outcome: None })
     }
 
-    /// One worker drain: blocks until work arrives (or shutdown), takes
-    /// at most `batch_size` jobs under a single lock acquisition, and
-    /// wakes both a blocked submitter (space appeared) and a sibling
-    /// worker (work may remain). `None` means shutdown with an empty
-    /// queue — the worker exits.
+    /// One scan over the shards: the worker's own shard first, then a
+    /// steal sweep over the siblings. At most one shard lock is held at
+    /// a time.
+    fn try_take(
+        &self,
+        recorder: &Recorder,
+        batch_size: usize,
+        worker: usize,
+    ) -> Option<Vec<Job>> {
+        let count = self.shards.len();
+        for k in 0..count {
+            let shard = &self.shards[(worker + k) % count];
+            let batch: Vec<Job> = {
+                let mut q = shard.lock();
+                if q.is_empty() {
+                    continue;
+                }
+                let take = batch_size.min(q.len());
+                let batch: Vec<Job> = q.drain(..take).collect();
+                shard.depth.store(q.len() as u64, Ordering::Relaxed);
+                batch
+            };
+            // Sample the high-water mark on dequeue too, not just on
+            // submit: it must reflect the deepest backlog a worker ever
+            // *saw*, including jobs piled up while every worker was busy.
+            recorder.note_queue_depth(self.depth.load(Ordering::SeqCst) as u64);
+            self.release_slots(batch.len());
+            return Some(batch);
+        }
+        None
+    }
+
+    /// One worker drain: takes at most `batch_size` jobs from the first
+    /// non-empty shard (own shard first, then stealing), parking on
+    /// `idle` when the whole queue is empty. When a backlog remains
+    /// after the take, **every** sibling is woken at once — a deep
+    /// burst engages the full pool instead of a one-at-a-time wake
+    /// chain. `None` means shutdown with every shard empty — the worker
+    /// exits.
     pub(crate) fn next_batch(
         &self,
         recorder: &Recorder,
         batch_size: usize,
+        worker: usize,
     ) -> Option<Vec<Job>> {
-        let batch: Vec<Job> = {
-            // Poison recovery on both the lock and the condvar wait: a
-            // sibling's panic must not take the remaining workers down.
-            let mut q = self.lock();
-            loop {
-                if !q.jobs.is_empty() {
-                    break;
+        loop {
+            if let Some(batch) = self.try_take(recorder, batch_size, worker) {
+                if self.depth.load(Ordering::SeqCst) > 0 {
+                    self.wake_workers(true);
                 }
-                if q.shutdown {
-                    return None;
-                }
-                q = self.available.wait(q).unwrap_or_else(PoisonError::into_inner);
+                return Some(batch);
             }
-            // Sample the depth on dequeue too, not just on submit: the
-            // mark must reflect the deepest backlog a worker ever *saw*,
-            // including jobs that piled up while every worker was busy.
-            recorder.note_queue_depth(q.jobs.len() as u64);
-            let take = batch_size.min(q.jobs.len());
-            q.jobs.drain(..take).collect()
-        };
-        // The dequeue made space: wake blocked submitters and a drain
-        // waiting for the queue to empty.
-        self.space.notify_all();
-        // More work may remain; wake a sibling before grinding through
-        // the batch so the queue keeps draining in parallel.
-        self.available.notify_one();
-        Some(batch)
+            if self.shutdown.load(Ordering::SeqCst)
+                && self.depth.load(Ordering::SeqCst) == 0
+            {
+                return None;
+            }
+            if self.depth.load(Ordering::SeqCst) > 0 {
+                // A submitter holds a reserved slot it has not pushed
+                // yet (or a sibling is mid-steal); the queue is not
+                // really empty, so re-scan rather than park.
+                std::thread::yield_now();
+                continue;
+            }
+            // Park until work or shutdown. The empty-check runs under
+            // `idle`, pairing with the notifier's lock-then-notify.
+            let mut g = self.idle.lock().unwrap_or_else(PoisonError::into_inner);
+            while self.depth.load(Ordering::SeqCst) == 0
+                && !self.shutdown.load(Ordering::SeqCst)
+            {
+                g = self.available.wait(g).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
     }
 
     /// The shutdown front half: closes admission, optionally waits (up
-    /// to `deadline`) for workers to empty the queue, flips `shutdown`,
-    /// and returns the jobs stranded past the deadline plus whether the
-    /// deadline expired. `deadline: None` means "finish everything
-    /// queued" (historical drop semantics) and strands nothing.
+    /// to `deadline`) for workers to empty every shard, flips
+    /// `shutdown`, and returns the jobs stranded past the deadline plus
+    /// whether the deadline expired. `deadline: None` means "finish
+    /// everything queued" (historical drop semantics) and strands
+    /// nothing.
     pub(crate) fn shut_down(&self, deadline: Option<Instant>) -> (Vec<Job>, bool) {
+        // Close admission *before* touching any shard: `admit` re-checks
+        // this flag under its shard lock, so once we hold a shard's lock
+        // below, no further push can land on it.
+        self.draining.store(true, Ordering::SeqCst);
+        // Wake submitters blocked on space: they observe `draining` and
+        // return `ShuttingDown`.
+        drop(self.gate.lock().unwrap_or_else(PoisonError::into_inner));
+        self.space.notify_all();
         let mut timed_out = false;
-        let stranded: Vec<Job> = {
-            let mut q = self.lock();
-            q.draining = true;
-            // Wake submitters blocked on space: they observe `draining`
-            // and return `ShuttingDown`.
-            self.space.notify_all();
-            if let Some(deadline) = deadline {
-                // Wait for the workers to empty the queue; they pulse
-                // `space` after every batch they take.
-                while !q.jobs.is_empty() {
-                    let now = Instant::now();
-                    if now >= deadline {
-                        timed_out = true;
-                        break;
-                    }
-                    let (guard, _) = self
-                        .space
-                        .wait_timeout(q, deadline - now)
-                        .unwrap_or_else(PoisonError::into_inner);
-                    q = guard;
+        if let Some(deadline) = deadline {
+            // Wait for the workers to empty the queue; every dequeue
+            // pulses `space` when it releases its slots.
+            let mut g = self.gate.lock().unwrap_or_else(PoisonError::into_inner);
+            while self.depth.load(Ordering::SeqCst) > 0 {
+                let now = Instant::now();
+                if now >= deadline {
+                    timed_out = true;
+                    break;
                 }
+                let (guard, _) = self
+                    .space
+                    .wait_timeout(g, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                g = guard;
             }
-            q.shutdown = true;
-            // Unbounded teardown (drop) leaves the queue for the
-            // workers, which exit only once it is empty; a bounded
-            // drain sheds whatever outlived the deadline.
-            if deadline.is_some() {
-                q.jobs.drain(..).collect()
-            } else {
-                Vec::new()
-            }
-        };
-        self.available.notify_all();
+        }
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unbounded teardown (drop) leaves the shards for the workers,
+        // which exit only once every shard is empty; a bounded drain
+        // sheds whatever outlived the deadline, shard by shard.
+        let stranded: Vec<Job> =
+            if deadline.is_some() { self.collect_all() } else { Vec::new() };
+        self.wake_workers(true);
         (stranded, timed_out)
     }
 
-    /// Post-join sweep: drains whatever jobs dead workers left queued,
-    /// so the engine can cancel them and no ticket hangs.
+    /// Post-join sweep: drains whatever jobs dead workers left queued
+    /// in any shard, so the engine can cancel them and no ticket hangs.
     pub(crate) fn sweep(&self) -> Vec<Job> {
-        self.lock().jobs.drain(..).collect()
+        self.collect_all()
+    }
+
+    /// Empties every shard (one lock at a time) and releases the
+    /// drained slots.
+    fn collect_all(&self) -> Vec<Job> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let mut q = shard.lock();
+            out.extend(q.drain(..));
+            shard.depth.store(0, Ordering::Relaxed);
+        }
+        self.release_slots(out.len());
+        out
     }
 }

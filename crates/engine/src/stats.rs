@@ -69,6 +69,8 @@ pub(crate) struct Recorder {
     breaker_reclosed: AtomicU64,
     breaker_probes: AtomicU64,
     shed_latency: Histogram,
+    queue_wait: Histogram,
+    service: Histogram,
 }
 
 fn tier_index(tier: Tier) -> usize {
@@ -184,6 +186,18 @@ impl Recorder {
     /// Records one submit→terminal latency. The sample lands in the
     /// overall histogram plus the histogram matching its path (tier /
     /// failed / shed).
+    /// Records how long a request sat queued before a worker dequeued
+    /// it (submit → dequeue).
+    pub(crate) fn note_queue_wait_ns(&self, ns: u64) {
+        self.queue_wait.record(ns);
+    }
+
+    /// Records how long a worker actually spent on a request
+    /// (dequeue → terminal).
+    pub(crate) fn note_service_ns(&self, ns: u64) {
+        self.service.record(ns);
+    }
+
     pub(crate) fn note_latency_ns(&self, ns: u64, path: LatencyPath) {
         self.latency.record(ns);
         match path {
@@ -241,7 +255,10 @@ impl Recorder {
             breaker_reclosed: self.breaker_reclosed.load(Ordering::Relaxed),
             breaker_probes: self.breaker_probes.load(Ordering::Relaxed),
             shed_latency: self.shed_latency.snapshot(),
+            queue_wait: self.queue_wait.snapshot(),
+            service: self.service.snapshot(),
             breaker_states: Vec::new(),
+            queue_depths: Vec::new(),
         }
     }
 }
@@ -335,9 +352,20 @@ pub struct EngineStats {
     /// Latency distribution of shed and canceled requests (submit →
     /// shed decision), nanoseconds.
     pub shed_latency: HistogramSnapshot,
+    /// Queue-wait distribution: how long worker-served requests sat in
+    /// their shard between submit and dequeue, nanoseconds.
+    pub queue_wait: HistogramSnapshot,
+    /// Service-time distribution: dequeue → terminal state for
+    /// worker-served requests, nanoseconds. `latency ≈ queue_wait +
+    /// service` per request; a deep backlog inflates only the former.
+    pub service: HistogramSnapshot,
     /// Current breaker state per served network order (filled by
     /// [`crate::Engine::stats`]; empty on a bare recorder snapshot).
     pub breaker_states: Vec<(u32, BreakerState)>,
+    /// Current per-shard submission-queue depths (one entry per worker
+    /// shard, filled by [`crate::Engine::stats`]; empty on a bare
+    /// recorder snapshot).
+    pub queue_depths: Vec<u64>,
 }
 
 impl EngineStats {
@@ -456,6 +484,29 @@ impl EngineStats {
             100.0 * self.zero_setup_rate()
         ));
         out.push_str(&format!("queue depth high-water mark: {}\n", self.queue_high_water));
+        if !self.queue_depths.is_empty() {
+            out.push_str("per-shard queue depth:");
+            for (i, d) in self.queue_depths.iter().enumerate() {
+                out.push_str(&format!(" [{i}]={d}"));
+            }
+            out.push('\n');
+        }
+        if !self.queue_wait.is_empty() {
+            out.push_str(&format!(
+                "queue wait (ns): p50 {} / p99 {} ({} requests)\n",
+                self.queue_wait.quantile(0.5),
+                self.queue_wait.quantile(0.99),
+                self.queue_wait.count()
+            ));
+        }
+        if !self.service.is_empty() {
+            out.push_str(&format!(
+                "service time (ns): p50 {} / p99 {} ({} requests)\n",
+                self.service.quantile(0.5),
+                self.service.quantile(0.99),
+                self.service.count()
+            ));
+        }
         out.push_str(&format!(
             "latency (ns): min {} / p50 {} / p90 {} / p99 {} / p999 {} / mean {} / max {}\n",
             self.latency.min(),
@@ -624,6 +675,19 @@ impl EngineStats {
             "Deepest observed submission-queue depth.",
         );
         e.push(Sample::new("benes_queue_high_water", self.queue_high_water as f64));
+        if !self.queue_depths.is_empty() {
+            e.describe(
+                "benes_queue_depth",
+                MetricKind::Gauge,
+                "Current submission-queue depth per shard.",
+            );
+            for (i, d) in self.queue_depths.iter().enumerate() {
+                e.push(
+                    Sample::new("benes_queue_depth", *d as f64)
+                        .label("shard", i.to_string()),
+                );
+            }
+        }
         e.describe(
             "benes_zero_setup_rate",
             MetricKind::Gauge,
@@ -662,6 +726,22 @@ impl EngineStats {
         if !self.shed_latency.is_empty() {
             push_latency(&mut e, "shed", &self.shed_latency);
         }
+        if !self.queue_wait.is_empty() {
+            e.describe(
+                "benes_queue_wait_ns",
+                MetricKind::Summary,
+                "Submit-to-dequeue wait quantiles, nanoseconds.",
+            );
+            push_summary(&mut e, "benes_queue_wait_ns", &self.queue_wait);
+        }
+        if !self.service.is_empty() {
+            e.describe(
+                "benes_service_ns",
+                MetricKind::Summary,
+                "Dequeue-to-completion service quantiles, nanoseconds.",
+            );
+            push_summary(&mut e, "benes_service_ns", &self.service);
+        }
         e
     }
 }
@@ -680,6 +760,18 @@ fn push_latency(e: &mut Exposition, path: &str, s: &HistogramSnapshot) {
     e.push(Sample::new("benes_latency_ns_count", s.count() as f64).label("path", path));
     e.push(Sample::new("benes_latency_ns_min", s.min() as f64).label("path", path));
     e.push(Sample::new("benes_latency_ns_max", s.max() as f64).label("path", path));
+}
+
+/// Emits an unlabelled summary family (`quantile` samples plus
+/// `_sum`/`_count`/`_min`/`_max`) under the given metric `name`.
+fn push_summary(e: &mut Exposition, name: &str, s: &HistogramSnapshot) {
+    for (q, label) in QUANTILES {
+        e.push(Sample::new(name, s.quantile(q) as f64).label("quantile", label));
+    }
+    e.push(Sample::new(format!("{name}_sum"), s.sum() as f64));
+    e.push(Sample::new(format!("{name}_count"), s.count() as f64));
+    e.push(Sample::new(format!("{name}_min"), s.min() as f64));
+    e.push(Sample::new(format!("{name}_max"), s.max() as f64));
 }
 
 impl std::fmt::Display for EngineStats {

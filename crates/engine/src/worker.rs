@@ -12,12 +12,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use benes_core::faults::{
-    realized_with_faults, self_route_omega_with_faults, self_route_with_faults,
-    setup_avoiding, FaultSet, FaultSetupError,
-};
+use benes_core::faults::{realized_with_faults, setup_avoiding, FaultSet, FaultSetupError};
 use benes_core::trace::RouteTrace;
-use benes_core::Benes;
+use benes_core::{word, Benes};
 use benes_perm::Permutation;
 
 use crate::breaker::Admission;
@@ -27,11 +24,15 @@ use crate::plan::{execute, plan, required_order, Plan, PlanError, Tier};
 use crate::queue::{Job, RequestOutcome};
 use crate::stats::LatencyPath;
 
-pub(crate) fn worker_loop(shared: &Shared) {
+pub(crate) fn worker_loop(shared: &Shared, worker: usize) {
     // Per-worker network memo: `B(n)` is immutable wiring, cheap to keep
-    // one copy per worker and never lock for it.
+    // one copy per worker and never lock for it. `worker` names this
+    // thread's home shard in the submission queue; it drains that shard
+    // first and steals from siblings when it runs dry.
     let mut nets: HashMap<u32, Benes> = HashMap::new();
-    while let Some(batch) = shared.sub.next_batch(&shared.recorder, shared.batch_size) {
+    while let Some(batch) =
+        shared.sub.next_batch(&shared.recorder, shared.batch_size, worker)
+    {
         for job in batch {
             #[cfg(test)]
             test_hooks::maybe_kill_worker(&job.perm);
@@ -44,14 +45,21 @@ pub(crate) fn worker_loop(shared: &Shared) {
 /// chaos roll, breaker admission, contained execution, breaker
 /// feedback, terminal accounting.
 fn serve_job(shared: &Shared, nets: &mut HashMap<u32, Benes>, job: Job) {
+    let dequeued_at = Instant::now();
     let mut attempt = RouteAttempt::new(job.perm.fingerprint(), job.perm.len());
 
     // Deadline shed happens before any planning or execution: an
     // expired request costs the worker nothing but this check.
     if let Some(deadline) = job.deadline {
-        if Instant::now() >= deadline {
+        if dequeued_at >= deadline {
             attempt.step(LadderStep::DeadlineShed);
-            finish_job(shared, job, attempt, Err(EngineError::DeadlineExceeded));
+            finish_job(
+                shared,
+                job,
+                Some(dequeued_at),
+                attempt,
+                Err(EngineError::DeadlineExceeded),
+            );
             return;
         }
     }
@@ -61,6 +69,23 @@ fn serve_job(shared: &Shared, nets: &mut HashMap<u32, Benes>, job: Job) {
     let chaos = shared.chaos.roll();
     if let Some(delay) = chaos.delay {
         std::thread::sleep(delay);
+        // Re-check the deadline after sleeping: the injected delay can
+        // carry the request past its deadline, and planning/executing
+        // it anyway would hand the caller a success it asked us to shed
+        // (and did shed on every other path).
+        if let Some(deadline) = job.deadline {
+            if Instant::now() >= deadline {
+                attempt.step(LadderStep::DeadlineShed);
+                finish_job(
+                    shared,
+                    job,
+                    Some(dequeued_at),
+                    attempt,
+                    Err(EngineError::DeadlineExceeded),
+                );
+                return;
+            }
+        }
     }
 
     // Breaker admission. A shed request is never planned or executed
@@ -74,7 +99,13 @@ fn serve_job(shared: &Shared, nets: &mut HashMap<u32, Benes>, job: Job) {
     let probe = match &admission {
         Some((_, Admission::Shed)) => {
             attempt.step(LadderStep::BreakerShed);
-            finish_job(shared, job, attempt, Err(EngineError::BreakerOpen));
+            finish_job(
+                shared,
+                job,
+                Some(dequeued_at),
+                attempt,
+                Err(EngineError::BreakerOpen),
+            );
             return;
         }
         Some((_, Admission::Probe)) => {
@@ -123,7 +154,7 @@ fn serve_job(shared: &Shared, nets: &mut HashMap<u32, Benes>, job: Job) {
             Err(_) => {}
         }
     }
-    finish_job(shared, job, attempt, result);
+    finish_job(shared, job, Some(dequeued_at), attempt, result);
 }
 
 /// Whether a failure advances the circuit breaker: fabric-shaped
@@ -141,10 +172,13 @@ fn breaker_countable(e: &EngineError) -> bool {
 
 /// Terminal accounting for one job: classify the outcome into exactly
 /// one of completed / failed / shed / canceled, record latency on the
-/// matching path, freeze the flight record, and reply to the ticket.
+/// matching path (split into queue wait and service time when the job
+/// reached a worker), freeze the flight record, and reply to the
+/// ticket.
 fn finish_job(
     shared: &Shared,
     job: Job,
+    dequeued_at: Option<Instant>,
     mut attempt: RouteAttempt,
     result: Result<Tier, EngineError>,
 ) {
@@ -175,6 +209,16 @@ fn finish_job(
     let latency = job.submitted_at.elapsed();
     let latency_ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
     shared.recorder.note_latency_ns(latency_ns, path);
+    // Decompose end-to-end latency at the dequeue instant: how long the
+    // job sat in its shard vs how long the worker actually spent on it.
+    // Canceled strands never reached a worker and skip the split.
+    if let Some(dequeued_at) = dequeued_at {
+        let wait = dequeued_at.duration_since(job.submitted_at);
+        shared
+            .recorder
+            .note_queue_wait_ns(wait.as_nanos().min(u128::from(u64::MAX)) as u64);
+        shared.recorder.note_service_ns(elapsed_ns(dequeued_at));
+    }
     attempt.result = Some(result.clone());
     attempt.phases.total = latency_ns;
     shared.flight.record(attempt);
@@ -188,7 +232,7 @@ fn finish_job(
 pub(crate) fn cancel_job(shared: &Shared, job: Job) {
     let mut attempt = RouteAttempt::new(job.perm.fingerprint(), job.perm.len());
     attempt.step(LadderStep::Canceled);
-    finish_job(shared, job, attempt, Err(EngineError::Canceled));
+    finish_job(shared, job, None, attempt, Err(EngineError::Canceled));
 }
 
 /// How many times the reroute ladder replans after a fault-avoiding
@@ -209,16 +253,21 @@ fn execute_on_fabric(
     let Some(faults) = faults.filter(|f| !f.is_empty()) else {
         return execute(net, d, plan);
     };
+    // Degraded-path execution rides the same word-parallel kernels as
+    // the healthy path (`benes_core::word`), with the stuck/dead
+    // switches overlaid as per-stage masks.
+    let word_ok =
+        |r: Result<word::WordOutcome, _>| r.map(|o| o.is_success()).unwrap_or(false);
     match plan {
-        Plan::SelfRoute => self_route_with_faults(net, d, faults).is_success(),
-        Plan::OmegaBit => self_route_omega_with_faults(net, d, faults).is_success(),
+        Plan::SelfRoute => word_ok(word::self_route_with_faults(net, d, faults)),
+        Plan::OmegaBit => word_ok(word::self_route_omega_with_faults(net, d, faults)),
         Plan::Settings(settings) => {
             realized_with_faults(net, settings, faults).map(|r| r == *d).unwrap_or(false)
         }
         Plan::TwoPass { first, second } => {
             first.then(second) == *d
-                && self_route_with_faults(net, first, faults).is_success()
-                && self_route_omega_with_faults(net, second, faults).is_success()
+                && word_ok(word::self_route_with_faults(net, first, faults))
+                && word_ok(word::self_route_omega_with_faults(net, second, faults))
         }
     }
 }
@@ -283,6 +332,8 @@ fn serve_one(
 ) -> Result<Tier, EngineError> {
     #[cfg(test)]
     test_hooks::maybe_panic(perm);
+    #[cfg(test)]
+    test_hooks::maybe_hold(perm);
 
     let n = required_order(perm)?;
     let net = nets.entry(n).or_insert_with(|| Benes::new(n));
@@ -445,9 +496,19 @@ fn fault_ladder(
 pub(crate) mod test_hooks {
     //! Deterministic failure seams for the regression tests.
 
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+    use std::sync::{Mutex, MutexGuard, PoisonError};
 
     use benes_perm::Permutation;
+
+    /// Serializes tests arming [`KILL_WORKER_ON_FINGERPRINT`]: the
+    /// statics are process-wide, so concurrent arming would disarm a
+    /// sibling test's bomb mid-flight.
+    static KILL_GUARD: Mutex<()> = Mutex::new(());
+
+    pub(crate) fn kill_guard() -> MutexGuard<'static, ()> {
+        KILL_GUARD.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 
     /// When non-zero, [`maybe_panic`] panics on any permutation with
     /// this fingerprint — the seam the catch_unwind regression test uses
@@ -471,6 +532,27 @@ pub(crate) mod test_hooks {
         let armed = KILL_WORKER_ON_FINGERPRINT.load(Ordering::Relaxed);
         if armed != 0 && perm.fingerprint() == armed {
             panic!("test hook: killing worker on fingerprint {armed:#x}");
+        }
+    }
+
+    /// When non-zero, [`maybe_hold`] traps any job with this
+    /// fingerprint inside its worker: it bumps [`ENGAGED`] and spins
+    /// until [`RELEASE`] flips — the seam the wake-chain regression
+    /// test uses to prove a submit burst engages every worker at once
+    /// instead of waking them one dequeue at a time.
+    pub(crate) static HOLD_ON_FINGERPRINT: AtomicU64 = AtomicU64::new(0);
+    /// How many workers are currently trapped in [`maybe_hold`].
+    pub(crate) static ENGAGED: AtomicUsize = AtomicUsize::new(0);
+    /// Flips to release every worker trapped in [`maybe_hold`].
+    pub(crate) static RELEASE: AtomicBool = AtomicBool::new(false);
+
+    pub(crate) fn maybe_hold(perm: &Permutation) {
+        let armed = HOLD_ON_FINGERPRINT.load(Ordering::SeqCst);
+        if armed != 0 && perm.fingerprint() == armed {
+            ENGAGED.fetch_add(1, Ordering::SeqCst);
+            while !RELEASE.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
         }
     }
 }

@@ -1,13 +1,27 @@
 #!/usr/bin/env sh
 # EXP-ENGINE benchmark runner: drives the batched routing engine over
-# the reproducible mixed workload grid (n x workers) and writes the
-# machine-readable results as schema-stable JSON (experiment, requests,
-# seed, runs[] with per-run throughput and latency quantiles), plus the
-# human-readable table on stdout.
+# the reproducible mixed workload grid (n x workers x open/closed load
+# model) and writes the machine-readable results as schema-stable JSON
+# (experiment, requests, seed, runs[] with per-run throughput, latency,
+# queue-wait and service-time quantiles), plus the human-readable table
+# on stdout. Also runs EXP-WORD, the scalar-vs-word kernel microbench.
+#
+# Both runs carry smoke assertions:
+#   * engine: open-loop throughput at n=8 must scale from 1 to 8
+#     workers by BENCH_SCALE_FACTOR ("auto" keys the factor to the
+#     machine's available cores; a single-core runner only asserts no
+#     regression).
+#   * word kernel: single-thread routing at n=8 must beat the scalar
+#     kernel by BENCH_WORD_SPEEDUP (default 5; the committed
+#     EXPERIMENTS.md numbers are well above it — the default leaves
+#     headroom for noisy CI boxes).
 #
 # Env:
-#   BENCH_REQUESTS  requests per grid cell   (default 4000)
-#   BENCH_OUT       JSON output path         (default BENCH_ENGINE.json)
+#   BENCH_REQUESTS      requests per grid cell      (default 4000)
+#   BENCH_OUT           JSON output path            (default BENCH_ENGINE.json)
+#   BENCH_SCALE_FACTOR  worker-scaling assertion    (default auto)
+#   BENCH_WORD_SPEEDUP  word-kernel assertion       (default 5)
+#   BENCH_WORD_PERMS    perms per kernel grid cell  (default 2000)
 #
 # tier-1 runs this with BENCH_REQUESTS=200 BENCH_OUT=target/... as a
 # smoke test; the committed BENCH_ENGINE.json at the repo root comes
@@ -18,6 +32,12 @@ cd "$(dirname "$0")/.."
 
 REQUESTS="${BENCH_REQUESTS:-4000}"
 OUT="${BENCH_OUT:-BENCH_ENGINE.json}"
+SCALE="${BENCH_SCALE_FACTOR:-auto}"
+SPEEDUP="${BENCH_WORD_SPEEDUP:-5}"
+WORD_PERMS="${BENCH_WORD_PERMS:-2000}"
 
 cargo run --release --offline -p benes-bench --bin engine_throughput -- \
-    --requests "$REQUESTS" --json "$OUT"
+    --requests "$REQUESTS" --json "$OUT" --assert-scaling "$SCALE"
+
+cargo run --release --offline -p benes-bench --bin word_kernel -- \
+    --perms "$WORD_PERMS" --assert-speedup "$SPEEDUP"
