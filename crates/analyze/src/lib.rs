@@ -20,25 +20,43 @@
 //!   violations.
 //! * **Pillar 2 — workspace lints** ([`lints`]): an offline,
 //!   no-new-dependency source analyzer that builds the engine's
-//!   lock-acquisition graph (flagging order cycles), enforces the
-//!   poison-recovery idiom, and requires justification markers on
+//!   instance-aware lock-acquisition graph (flagging order cycles,
+//!   same-lock reentry and unprovable cross-instance nesting),
+//!   enforces the poison-recovery idiom, flags condvar waits outside a
+//!   predicate re-check loop and relaxed atomic RMWs whose results
+//!   feed control decisions, and requires justification markers on
 //!   narrowing index casts and discarded `Result`s in hot paths.
+//! * **Pillar 3 — concurrency and kernel proofs** ([`model`], [`sym`],
+//!   [`wordproof`]): an exhaustive-interleaving model checker over a
+//!   faithful abstraction of the engine's sharded submission queue
+//!   (request conservation, deadlock freedom, no lost wakeups — with
+//!   seeded-mutant self-tests and counterexample traces), and a
+//!   symbolic bit-plane prover that certifies the word-parallel
+//!   routing kernels (including fault overlays) element-wise
+//!   equivalent to the scalar oracle for every `n ≤ 8` by abstract
+//!   evaluation — zero sampled inputs.
 //!
-//! Both pillars speak [`report::Finding`]; `benes-cli analyze` and
-//! `scripts/analyze.sh` drive them as a tier-1 gate.
+//! All three pillars speak [`report::Finding`]; `benes-cli analyze`,
+//! `scripts/analyze.sh` and `scripts/race.sh` drive them as tier-1
+//! gates.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod certify;
 pub mod lints;
+pub mod model;
 pub mod netlist_lint;
 pub mod plancheck;
 pub mod report;
+pub mod sym;
+pub mod wordproof;
 
 pub use certify::{certify_f, closed_form_findings, FCertificate};
 pub use lints::lint_workspace;
 pub use lints::locks::LockGraph;
+pub use model::queue::{concurrency_findings, Protocol, ProtocolReport};
+pub use model::{Counterexample, Exploration};
 pub use netlist_lint::{lint_gate_benes, lint_netlist};
 pub use plancheck::{
     analyze_omega_route, analyze_self_route, check_plan, check_settings,
@@ -47,3 +65,4 @@ pub use plancheck::{
     SettingsVerdict, StageBitDeviation,
 };
 pub use report::{render_human, render_json_lines, Finding, Pillar, Severity};
+pub use wordproof::{prove_all, prove_word_kernel, WordCertificate, WordDivergence};

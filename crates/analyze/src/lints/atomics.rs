@@ -1,0 +1,201 @@
+//! The **relaxed-control** lint.
+//!
+//! A `fetch_*`/`compare_exchange`/`swap` at `Ordering::Relaxed` whose
+//! **result is consumed** is feeding a value with no cross-thread
+//! ordering guarantee into a decision. That is sometimes exactly right
+//! (a scatter nonce, an approximate LRU stamp) and sometimes a
+//! conservation bug waiting for a reordering — the difference is an
+//! argument about the algorithm, which is precisely what the
+//! `analyze:allow(relaxed-control): <reason>` marker records.
+//!
+//! Statement-position bumps whose result is discarded
+//! (`counter.fetch_add(1, Ordering::Relaxed);`) are *not* flagged:
+//! monotonic counters read at quiescence (after a join or drain
+//! barrier, which publishes everything) are the engine's sanctioned
+//! use of relaxed atomics, and the pillar-3 model checker's
+//! conservation property is proven against exactly that read-at-
+//! quiescence discipline.
+
+use crate::report::{Finding, Pillar};
+
+use super::source::SourceFile;
+
+/// Atomic read-modify-write method names (with their leading dot).
+const RMW_CALLS: &[&str] = &[
+    ".fetch_add(",
+    ".fetch_sub(",
+    ".fetch_and(",
+    ".fetch_or(",
+    ".fetch_xor(",
+    ".fetch_max(",
+    ".fetch_min(",
+    ".fetch_update(",
+    ".compare_exchange(",
+    ".compare_exchange_weak(",
+    ".swap(",
+];
+
+/// Scans one file for consumed-result relaxed RMWs.
+#[must_use]
+pub fn scan_relaxed_control(display: &str, file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        for needle in RMW_CALLS {
+            let Some(at) = code.find(needle) else { continue };
+            let args = call_args(&code[at + needle.len()..]);
+            if !args.contains("Relaxed") {
+                continue;
+            }
+            if !result_consumed(code, at, needle, &args) {
+                continue;
+            }
+            if file.allows(idx, "relaxed-control") {
+                continue;
+            }
+            let method = needle.trim_start_matches('.').trim_end_matches('(');
+            findings.push(Finding::error(
+                Pillar::Workspace,
+                "relaxed-control",
+                display,
+                idx + 1,
+                format!(
+                    "the result of this `{method}` at Ordering::Relaxed feeds a \
+                     decision, but Relaxed gives the read no cross-thread \
+                     ordering; upgrade the ordering or justify with \
+                     analyze:allow(relaxed-control)"
+                ),
+            ));
+            break; // one finding per line is enough
+        }
+    }
+    findings
+}
+
+/// Argument text from after the open paren to its matching close (or
+/// end of line for calls that wrap).
+fn call_args(rest: &str) -> String {
+    let mut depth = 1i32;
+    let mut args = String::new();
+    for c in rest.chars() {
+        match c {
+            '(' | '[' => depth += 1,
+            ')' | ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return args;
+                }
+            }
+            _ => {}
+        }
+        args.push(c);
+    }
+    args
+}
+
+/// Is the call's result consumed, rather than discarded at statement
+/// position? Consumed means: bound (`let x = …`), compared or tested
+/// (`if`/`while`/`match`/`return`), assigned, chained into a further
+/// call, or left as a tail expression.
+fn result_consumed(code: &str, at: usize, needle: &str, args: &str) -> bool {
+    let trimmed = code.trim_start();
+    let before = &code[..at];
+    let after = {
+        // Text after the call's closing paren on this line.
+        let open = at + needle.len();
+        let close = open + args.len();
+        code.get(close + 1..).unwrap_or("")
+    };
+    trimmed.starts_with("let ")
+        || trimmed.starts_with("if ")
+        || trimmed.starts_with("while ")
+        || trimmed.starts_with("match ")
+        || trimmed.starts_with("return ")
+        || before.contains('=')
+        || !after.trim_start().starts_with(';')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scan(text: &str) -> Vec<Finding> {
+        let file = SourceFile::parse(PathBuf::from("t.rs"), text);
+        scan_relaxed_control("t.rs", &file)
+    }
+
+    #[test]
+    fn bound_relaxed_fetch_is_flagged() {
+        let fs = scan(
+            "fn f(&self) {\n    let nonce = self.rr.fetch_add(1, Ordering::Relaxed);\n}\n",
+        );
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].line, 2);
+        assert_eq!(fs[0].lint, "relaxed-control");
+    }
+
+    #[test]
+    fn discarded_statement_bump_is_clean() {
+        let fs =
+            scan("fn f(&self) {\n    self.submitted.fetch_add(1, Ordering::Relaxed);\n}\n");
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn discarded_fetch_max_is_clean() {
+        let fs = scan(
+            "fn f(&self) {\n    self.queue_high_water.fetch_max(depth, Ordering::Relaxed);\n}\n",
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn seqcst_rmw_is_never_flagged() {
+        let fs = scan(
+            "fn f(&self) {\n    let d = self.depth.fetch_add(1, Ordering::SeqCst);\n    if self.flag.swap(true, Ordering::SeqCst) { x(); }\n}\n",
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn relaxed_result_in_a_condition_is_flagged() {
+        let fs = scan(
+            "fn f(&self) {\n    if self.claimed.swap(true, Ordering::Relaxed) { return; }\n}\n",
+        );
+        assert_eq!(fs.len(), 1, "{fs:?}");
+    }
+
+    #[test]
+    fn chained_use_of_a_relaxed_result_is_flagged() {
+        let fs = scan(
+            "fn f(&self) {\n    self.seq.compare_exchange(a, b, Ordering::Relaxed, Ordering::Relaxed).ok();\n}\n",
+        );
+        assert_eq!(fs.len(), 1, "{fs:?}");
+    }
+
+    #[test]
+    fn non_atomic_slice_swap_is_ignored() {
+        let fs = scan("fn f(dest: &mut [usize]) {\n    dest.swap(i, j);\n}\n");
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn allow_marker_with_reason_suppresses() {
+        let fs = scan(
+            "fn f(&self) {\n    // analyze:allow(relaxed-control): any shard is correct\n    let nonce = self.rr.fetch_add(1, Ordering::Relaxed);\n}\n",
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let fs = scan(
+            "#[cfg(test)]\nmod tests {\n    fn t(a: &A) { let x = a.n.fetch_add(1, Ordering::Relaxed); }\n}\n",
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+}

@@ -1,0 +1,211 @@
+//! The **condvar-wait-outside-loop** lint.
+//!
+//! A `Condvar::wait`/`wait_timeout` that is not re-armed by an
+//! enclosing loop is wrong twice over: spurious wakeups are permitted
+//! by the platform (the predicate may be false on return), and a
+//! notify that lands between the predicate check and the park is lost
+//! forever. Every park in the engine must therefore sit inside a
+//! `loop`/`while`/`for` that re-checks its predicate — exactly the
+//! shape the pillar-3 model checker assumes when it proves the queue's
+//! no-lost-wakeup property, so this lint is the bridge between the
+//! abstract model's park/wake semantics and the shipped source.
+//!
+//! Condvar waits are recognized by argument shape, not receiver name:
+//! `cv.wait(guard)` takes the guard (one argument), `cv.wait_timeout(
+//! guard, dur)` takes two. Zero-argument `.wait()` (a join handle or
+//! ticket) and one-argument `.wait_timeout(dur)` (the engine's
+//! `Ticket::wait_timeout`) are not condvar parks and are ignored.
+
+use crate::report::{Finding, Pillar};
+
+use super::source::SourceFile;
+
+/// Scans one file for condvar waits outside a predicate loop.
+#[must_use]
+pub fn scan_condvar_waits(display: &str, file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut depth: i64 = 0;
+    // Depths at which a loop body began; non-empty = inside a loop.
+    let mut loop_floors: Vec<i64> = Vec::new();
+    // A loop header whose `{` has not appeared yet (multi-line
+    // `while cond\n && more\n {` headers).
+    let mut pending_loop = false;
+    for (idx, line) in file.lines.iter().enumerate() {
+        let code = &line.code;
+        let trimmed = code.trim_start();
+        if !line.in_test {
+            // A new fn body is a fresh context.
+            if code.contains("fn ") && code.contains('(') {
+                loop_floors.clear();
+                pending_loop = false;
+            }
+            if is_loop_header(trimmed) {
+                pending_loop = true;
+            }
+            if pending_loop && code.contains('{') {
+                loop_floors.push(depth + 1);
+                pending_loop = false;
+            }
+            if has_condvar_wait(code)
+                && loop_floors.is_empty()
+                && !file.allows(idx, "condvar-wait-outside-loop")
+            {
+                findings.push(Finding::error(
+                    Pillar::Workspace,
+                    "condvar-wait-outside-loop",
+                    display,
+                    idx + 1,
+                    "condvar wait outside a predicate re-check loop: spurious \
+                     wakeups return with the predicate still false, and a notify \
+                     landing before the park is lost; wrap the wait in a \
+                     `while !predicate` loop"
+                        .to_string(),
+                ));
+            }
+        }
+        depth += i64::from(super::source_brace_delta(code));
+        while loop_floors.last().is_some_and(|floor| depth < *floor) {
+            loop_floors.pop();
+        }
+    }
+    findings
+}
+
+/// Does this (trimmed) line begin a loop?
+fn is_loop_header(trimmed: &str) -> bool {
+    trimmed.starts_with("while ")
+        || trimmed.starts_with("while(")
+        || trimmed.starts_with("for ")
+        || trimmed == "loop"
+        || trimmed.starts_with("loop ")
+        || trimmed.starts_with("loop{")
+}
+
+/// Does the line contain a condvar-shaped wait call (`.wait(` with an
+/// argument, or `.wait_timeout(` with two)?
+fn has_condvar_wait(code: &str) -> bool {
+    call_args(code, ".wait(").is_some_and(|args| !args.trim().is_empty())
+        || call_args(code, ".wait_timeout(").is_some_and(has_top_level_comma)
+}
+
+/// The argument text of the first `needle` call on the line, up to the
+/// matching close paren (or end of line for calls that wrap).
+fn call_args(code: &str, needle: &str) -> Option<String> {
+    let at = code.find(needle)?;
+    let rest = &code[at + needle.len()..];
+    let mut depth = 1i32;
+    let mut args = String::new();
+    for c in rest.chars() {
+        match c {
+            '(' | '[' => depth += 1,
+            ')' | ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(args);
+                }
+            }
+            _ => {}
+        }
+        args.push(c);
+    }
+    Some(args)
+}
+
+/// Is there a comma outside any nested parens/brackets?
+fn has_top_level_comma(args: String) -> bool {
+    let mut depth = 0i32;
+    for c in args.chars() {
+        match c {
+            '(' | '[' => depth += 1,
+            ')' | ']' => depth -= 1,
+            ',' if depth == 0 => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scan(text: &str) -> Vec<Finding> {
+        let file = SourceFile::parse(PathBuf::from("t.rs"), text);
+        scan_condvar_waits("t.rs", &file)
+    }
+
+    #[test]
+    fn bare_wait_outside_any_loop_is_flagged() {
+        let fs = scan(
+            "fn park(&self) {\n    let g = self.lock();\n    let g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);\n}\n",
+        );
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].line, 3);
+    }
+
+    #[test]
+    fn wait_inside_while_predicate_is_clean() {
+        let fs = scan(
+            "fn park(&self) {\n    while self.depth() == 0 {\n        g = self.cv.wait(g).x();\n    }\n}\n",
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn wait_inside_loop_with_recheck_is_clean() {
+        let fs = scan(
+            "fn park(&self) {\n    loop {\n        if ready() { return; }\n        g = self.cv.wait(g).x();\n    }\n}\n",
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn multi_line_while_header_still_counts_as_a_loop() {
+        let fs = scan(
+            "fn park(&self) {\n    while self.depth() == 0\n        && !self.shutdown()\n    {\n        g = self.cv.wait(g).x();\n    }\n}\n",
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn wait_timeout_with_guard_and_duration_is_a_condvar_park() {
+        let fs = scan(
+            "fn park(&self) {\n    let (g2, _) = self.cv.wait_timeout(g, TICK).x();\n}\n",
+        );
+        assert_eq!(fs.len(), 1, "{fs:?}");
+    }
+
+    #[test]
+    fn ticket_and_join_waits_are_not_condvar_parks() {
+        let fs = scan(
+            "fn f(&self) {\n    let out = ticket.wait_timeout(TIMEOUT);\n    let joined = handle.wait();\n}\n",
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn loop_in_an_earlier_fn_does_not_bless_a_later_one() {
+        let fs = scan(
+            "fn a(&self) {\n    loop {\n        step();\n    }\n}\nfn b(&self) {\n    g = self.cv.wait(g).x();\n}\n",
+        );
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].line, 7);
+    }
+
+    #[test]
+    fn allow_marker_suppresses() {
+        let fs = scan(
+            "fn park(&self) {\n    // analyze:allow(condvar-wait-outside-loop): caller loops\n    g = self.cv.wait(g).x();\n}\n",
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let fs = scan(
+            "#[cfg(test)]\nmod tests {\n    fn t(cv: &Condvar) { let g = cv.wait(g).unwrap(); }\n}\n",
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+}

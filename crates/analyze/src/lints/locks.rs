@@ -19,6 +19,24 @@
 //! `shared.queue.lock()` are the same lock `queue`), and helper
 //! functions that return a `MutexGuard` count as acquisitions of the
 //! lock they wrap.
+//!
+//! Identities are **instance-aware**: an index expression in the
+//! receiver path qualifies the node, so `shards[a].lock()` and
+//! `shards[b].lock()` are the distinct nodes `shards[a]` and
+//! `shards[b]`. That distinction is what separates the three
+//! same-base-name shapes:
+//!
+//! * same base, same index — **lock-reentry** (error): re-acquiring an
+//!   instance already held self-deadlocks on a non-reentrant mutex;
+//! * same base, different indices — a real edge plus a
+//!   **lock-instance-order** warning: cross-instance nesting (the
+//!   sharded queue's steal path is the motivating case) is only sound
+//!   under a global instance order, which a static scan cannot prove.
+//!   Opposite-order nesting elsewhere still completes a cycle and
+//!   escalates to `lock-order-cycle`;
+//! * same base, unknown instance (no index in the receiver) — a
+//!   **lock-instance-order** warning with no edge, since the scan
+//!   cannot tell reentry from ordered nesting.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -97,9 +115,30 @@ impl LockGraph {
     }
 }
 
+/// A lock identity: base name plus an optional instance qualifier
+/// (the index expression from the receiver path, whitespace-stripped).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockId {
+    /// Last path segment before `.lock()`.
+    pub base: String,
+    /// Index expression qualifying the instance, if one is visible.
+    pub instance: Option<String>,
+}
+
+impl LockId {
+    /// Graph-node rendering: `base` or `base[instance]`.
+    #[must_use]
+    pub fn rendered(&self) -> String {
+        match &self.instance {
+            Some(i) => format!("{}[{i}]", self.base),
+            None => self.base.clone(),
+        }
+    }
+}
+
 /// A live guard inside a function body.
 struct Held {
-    lock: String,
+    lock: LockId,
     /// Binding name, if `let`-bound (so `drop(name)` releases it);
     /// `None` marks a temporary released at end of statement.
     binding: Option<String>,
@@ -114,7 +153,7 @@ pub fn scan_locks(files: &[(String, SourceFile)]) -> (LockGraph, Vec<Finding>) {
     // Pass 1: helpers returning a guard, e.g.
     //   fn lock_faults(&self) -> MutexGuard<'_, FaultSet> { self.faults.lock()… }
     // map helper name → wrapped lock name.
-    let mut helpers: BTreeMap<String, String> = BTreeMap::new();
+    let mut helpers: BTreeMap<String, LockId> = BTreeMap::new();
     for (_, file) in files {
         let mut pending: Option<String> = None;
         for line in &file.lines {
@@ -126,7 +165,7 @@ pub fn scan_locks(files: &[(String, SourceFile)]) -> (LockGraph, Vec<Finding>) {
                 pending = Some(name);
             }
             if let Some(helper) = pending.clone() {
-                if let Some(lock) = lock_name(code) {
+                if let Some(lock) = lock_id(code) {
                     helpers.insert(helper, lock);
                     pending = None;
                 }
@@ -164,17 +203,57 @@ pub fn scan_locks(files: &[(String, SourceFile)]) -> (LockGraph, Vec<Finding>) {
                     ));
                 }
                 // Acquisitions: direct `.lock()` or a guard-returning helper.
-                let acquired = lock_name(code).or_else(|| {
+                let acquired = lock_id(code).or_else(|| {
                     helpers.keys().find(|h| calls(code, h)).map(|h| helpers[h].clone())
                 });
                 if let Some(lock) = acquired {
-                    graph.nodes.insert(lock.clone());
+                    graph.nodes.insert(lock.rendered());
                     for h in &held {
-                        if h.lock != lock {
+                        if h.lock.base != lock.base {
                             graph
                                 .edges
-                                .entry((h.lock.clone(), lock.clone()))
+                                .entry((h.lock.rendered(), lock.rendered()))
                                 .or_insert_with(|| (display.clone(), lineno));
+                        } else if h.lock.instance.is_some()
+                            && h.lock.instance == lock.instance
+                        {
+                            if !file.allows(idx, "lock-reentry") {
+                                findings.push(Finding::error(
+                                    Pillar::Workspace,
+                                    "lock-reentry",
+                                    display,
+                                    lineno,
+                                    format!(
+                                        "re-acquiring `{}` while its guard is still \
+                                         live self-deadlocks on a non-reentrant mutex",
+                                        lock.rendered()
+                                    ),
+                                ));
+                            }
+                        } else {
+                            // Same base, different (or unknown) instance.
+                            if h.lock.instance.is_some() && lock.instance.is_some() {
+                                graph
+                                    .edges
+                                    .entry((h.lock.rendered(), lock.rendered()))
+                                    .or_insert_with(|| (display.clone(), lineno));
+                            }
+                            if !file.allows(idx, "lock-instance-order") {
+                                findings.push(Finding::warning(
+                                    Pillar::Workspace,
+                                    "lock-instance-order",
+                                    display,
+                                    lineno,
+                                    format!(
+                                        "acquiring `{}` while holding `{}`: two \
+                                         instances of the same lock are nested, which \
+                                         is only deadlock-free under a global \
+                                         instance order this scan cannot prove",
+                                        lock.rendered(),
+                                        h.lock.rendered()
+                                    ),
+                                ));
+                            }
                         }
                     }
                     if let Some(binding) = let_binding(code) {
@@ -213,35 +292,68 @@ fn helper_signature(code: &str) -> Option<String> {
 }
 
 /// The lock identity behind a `.lock()` call: the last path segment
-/// before it, skipping any trailing index expression.
-fn lock_name(code: &str) -> Option<String> {
+/// before it as the base, qualified by an index expression when one is
+/// visible in the receiver — either directly (`shards[i].lock()` is
+/// base `shards`, instance `i`) or one segment up (the sharded queue's
+/// `shards[i].queue.lock()` is base `queue`, instance `i`).
+fn lock_id(code: &str) -> Option<LockId> {
     let pos = code.find(".lock()")?;
     let mut chars: Vec<char> = code[..pos].chars().collect();
-    // Skip an index like `shards[i]` so the lock is `shards`.
-    if chars.last() == Some(&']') {
-        let mut depth = 0i32;
-        while let Some(c) = chars.pop() {
-            match c {
-                ']' => depth += 1,
-                '[' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        break;
-                    }
-                }
-                _ => {}
+    // A direct index like `shards[i]` qualifies the instance.
+    let mut instance = pop_index_group(&mut chars);
+    let base: String = {
+        let mut name: Vec<char> = Vec::new();
+        while let Some(&c) = chars.last() {
+            if c.is_alphanumeric() || c == '_' {
+                name.push(c);
+                chars.pop();
+            } else {
+                break;
             }
         }
+        name.iter().rev().collect()
+    };
+    if base.is_empty() {
+        return None;
     }
-    let name: String = chars
-        .iter()
-        .rev()
-        .take_while(|c| c.is_alphanumeric() || **c == '_')
-        .collect::<String>()
-        .chars()
-        .rev()
-        .collect();
-    (!name.is_empty()).then_some(name)
+    // `shards[i].queue.lock()`: the index one segment up still names
+    // the instance of the per-shard lock.
+    if instance.is_none() && chars.last() == Some(&'.') {
+        chars.pop();
+        instance = pop_index_group(&mut chars);
+    }
+    Some(LockId { base, instance })
+}
+
+/// If `chars` ends with a bracketed index group, removes it and
+/// returns its contents with whitespace stripped (so `i % K` and
+/// `i%K` are the same instance).
+fn pop_index_group(chars: &mut Vec<char>) -> Option<String> {
+    if chars.last() != Some(&']') {
+        return None;
+    }
+    let mut depth = 0i32;
+    let mut group: Vec<char> = Vec::new();
+    while let Some(c) = chars.pop() {
+        match c {
+            ']' => {
+                depth += 1;
+                if depth > 1 {
+                    group.push(c);
+                }
+            }
+            '[' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                group.push(c);
+            }
+            c if c.is_whitespace() => {}
+            c => group.push(c),
+        }
+    }
+    Some(group.iter().rev().collect())
 }
 
 /// Does `code` call the function `name` (as `name(` with a non-ident
@@ -339,10 +451,74 @@ mod tests {
     }
 
     #[test]
-    fn shard_index_resolves_to_the_array_lock() {
+    fn shard_index_resolves_to_an_instance_qualified_node() {
         let (graph, _) =
             scan_one("fn f(&self) {\n    let g = self.shards[i % K].lock().x();\n}\n");
-        assert!(graph.nodes.contains("shards"), "graph: {graph:?}");
+        assert!(graph.nodes.contains("shards[i%K]"), "graph: {graph:?}");
+    }
+
+    #[test]
+    fn per_shard_queue_field_keeps_the_instance_qualifier() {
+        let (graph, _) =
+            scan_one("fn f(&self) {\n    let g = self.shards[k].queue.lock().x();\n}\n");
+        assert!(graph.nodes.contains("queue[k]"), "graph: {graph:?}");
+    }
+
+    #[test]
+    fn steal_order_cycle_across_shard_instances_is_flagged() {
+        // Worker A nests shards[a] → shards[b]; worker B nests the
+        // opposite order. Before instance-aware nodes this was
+        // invisible (same base name, pair dropped); now it is a cycle.
+        let (graph, findings) = scan_one(
+            "fn f(&self) {\n    let a = self.shards[a].lock().x();\n    let b = self.shards[b].lock().x();\n}\nfn g(&self) {\n    let b = self.shards[b].lock().x();\n    let a = self.shards[a].lock().x();\n}\n",
+        );
+        assert!(
+            graph.edges.contains_key(&("shards[a]".to_string(), "shards[b]".to_string())),
+            "graph: {graph:?}"
+        );
+        let cycles = graph.cycle_findings();
+        assert!(!cycles.is_empty(), "graph: {graph:?}");
+        // The nesting itself is also surfaced as instance-order warnings.
+        assert!(findings.iter().any(|f| f.lint == "lock-instance-order"));
+    }
+
+    #[test]
+    fn same_instance_reacquisition_is_a_reentry_error_not_a_cycle() {
+        let (graph, findings) = scan_one(
+            "fn f(&self) {\n    let a = self.shards[a].lock().x();\n    let b = self.shards[a].lock().x();\n}\n",
+        );
+        assert!(findings.iter().any(|f| f.lint == "lock-reentry"), "{findings:?}");
+        assert!(graph.cycle_findings().is_empty(), "graph: {graph:?}");
+    }
+
+    #[test]
+    fn one_direction_of_instance_nesting_is_a_warning_not_a_cycle() {
+        let (graph, findings) = scan_one(
+            "fn f(&self) {\n    let a = self.shards[a].lock().x();\n    let b = self.shards[b].lock().x();\n}\n",
+        );
+        assert!(findings.iter().any(|f| f.lint == "lock-instance-order"));
+        assert!(graph.cycle_findings().is_empty(), "graph: {graph:?}");
+    }
+
+    #[test]
+    fn unknown_instances_warn_without_fabricating_an_edge() {
+        // Two unindexed same-base receivers: could be reentry, could be
+        // ordered nesting — the scan cannot tell, so it warns and does
+        // not invent a self-edge (which would read as a cycle).
+        let (graph, findings) = scan_one(
+            "fn f(&self) {\n    let a = left.shard.lock().x();\n    let b = right.shard.lock().x();\n}\n",
+        );
+        assert!(findings.iter().any(|f| f.lint == "lock-instance-order"));
+        assert!(graph.edges.is_empty(), "graph: {graph:?}");
+        assert!(graph.cycle_findings().is_empty());
+    }
+
+    #[test]
+    fn instance_lints_respect_allow_markers() {
+        let (_, findings) = scan_one(
+            "fn f(&self) {\n    let a = self.shards[a].lock().x();\n    // analyze:allow(lock-instance-order): a < b by construction\n    let b = self.shards[b].lock().x();\n}\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
     }
 
     #[test]

@@ -3,16 +3,21 @@
 //! Everything here reads `.rs` files straight off disk — no rustc, no
 //! cargo metadata, no new dependencies — and enforces invariants that
 //! the type system cannot: lock-acquisition ordering across the
-//! multi-threaded engine ([`locks`]), poison-handling discipline
-//! ([`locks`]), silently-truncating index casts in routing hot paths
-//! ([`casts`]), and silently-discarded `Result`s in engine job paths
-//! ([`results`]). The shared lexer lives in [`source`].
+//! multi-threaded engine, instance-aware so per-shard mutexes are
+//! distinct nodes ([`locks`]), poison-handling discipline ([`locks`]),
+//! condvar parks outside a predicate re-check loop ([`condvar`]),
+//! relaxed atomic read-modify-writes whose results feed control
+//! decisions ([`atomics`]), silently-truncating index casts in routing
+//! hot paths ([`casts`]), and silently-discarded `Result`s in engine
+//! job paths ([`results`]). The shared lexer lives in [`source`].
 //!
 //! Exemptions are explicit and greppable: a flagged line is sanctioned
 //! by an `// analyze:allow(<lint>): <reason>` comment on the same line
 //! or directly above, so every suppression documents its own bound.
 
+pub mod atomics;
 pub mod casts;
+pub mod condvar;
 pub mod locks;
 pub mod results;
 pub mod source;
@@ -95,6 +100,8 @@ pub fn lint_workspace(root: &Path) -> io::Result<(Vec<Finding>, LockGraph)> {
     findings.extend(graph.cycle_findings());
     for (display, file) in &lock_files {
         findings.extend(results::scan_discards(display, file));
+        findings.extend(condvar::scan_condvar_waits(display, file));
+        findings.extend(atomics::scan_relaxed_control(display, file));
     }
 
     for entry in CAST_SCOPE {

@@ -11,6 +11,9 @@ pub enum Pillar {
     Domain,
     /// Pillar 2: the offline workspace source linter.
     Workspace,
+    /// Pillar 3: the concurrency model checker and the symbolic
+    /// word-kernel equivalence prover.
+    Model,
 }
 
 impl Pillar {
@@ -20,6 +23,7 @@ impl Pillar {
         match self {
             Self::Domain => "domain",
             Self::Workspace => "workspace",
+            Self::Model => "model",
         }
     }
 }

@@ -440,6 +440,32 @@ pub fn delta_swap(x: u64, m: u64, shift: u32) -> u64 {
     x ^ t ^ (t << shift)
 }
 
+/// The normative bit-by-bit specification of [`delta_swap`]: for every set
+/// bit `p` of `m`, bits `p` and `p + shift` exchange; everything else is
+/// untouched. `benes-analyze`'s symbolic word-kernel prover transcribes
+/// exactly this positional shape over symbolic bits, so the equivalence
+/// `delta_swap == delta_swap_spec` (tested here) is the link between the
+/// proof object and the shipped primitive.
+///
+/// # Panics
+///
+/// Same contract as [`delta_swap`]: `shift` in `1..64` and disjoint pairs.
+#[must_use]
+pub fn delta_swap_spec(x: u64, m: u64, shift: u32) -> u64 {
+    assert!((1..64).contains(&shift), "delta_swap shift {shift} out of range (1..64)");
+    debug_assert!((m << shift) & m == 0, "delta_swap mask selects overlapping pairs");
+    let mut out = x;
+    for p in 0..64 - shift {
+        if (m >> p) & 1 == 1 {
+            let lo = (x >> p) & 1;
+            let hi = (x >> (p + shift)) & 1;
+            out &= !((1 << p) | (1 << (p + shift)));
+            out |= (hi << p) | (lo << (p + shift));
+        }
+    }
+    out
+}
+
 /// Returns `log2(n)` if `n` is a power of two, `None` otherwise.
 ///
 /// Used throughout the workspace to recover `n` from `N = 2^n`.
@@ -697,6 +723,23 @@ mod tests {
     fn delta_swap_full_mask_exchanges_halves() {
         let x = 0xdead_beef_0123_4567u64;
         assert_eq!(delta_swap(x, delta_mask(5), 32), x.rotate_left(32));
+    }
+
+    #[test]
+    fn delta_swap_matches_its_normative_spec() {
+        // The spec is what the symbolic prover transcribes; the fast form
+        // is what the kernel ships. They must be the same function.
+        let mut v = 0x0123_4567_89ab_cdefu64;
+        for _ in 0..200 {
+            v ^= v << 13;
+            v ^= v >> 7;
+            v ^= v << 17;
+            for b in 0..6u32 {
+                let shift = 1 << b;
+                let m = delta_mask(b) & v.rotate_right(b + 1);
+                assert_eq!(delta_swap(v, m, shift), delta_swap_spec(v, m, shift));
+            }
+        }
     }
 
     #[test]

@@ -116,6 +116,7 @@ impl PlanCache {
         // before acquiring it could be applied out of order under
         // contention, marking a just-used entry as older than entries
         // touched before it — and evicting the wrong victim.
+        // analyze:allow(relaxed-control): the stamp only ranks recency for approximate LRU — a reordered read can evict a slightly-wrong victim, never a wrong answer (hits re-verify the stored permutation)
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         let entry = shard.map.get_mut(&fp)?;
         if entry.perm != *d {
@@ -134,6 +135,7 @@ impl PlanCache {
     pub fn insert(&self, d: &Permutation, plan: Arc<Plan>) {
         let fp = d.fingerprint();
         let mut shard = self.lock_shard(self.shard_for(fp));
+        // analyze:allow(relaxed-control): same approximate-LRU argument as `get` — the stamp orders evictions, not correctness
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         if !shard.map.contains_key(&fp) && shard.map.len() >= self.shard_capacity {
             if let Some((&victim, _)) = shard.map.iter().min_by_key(|(_, e)| e.last_used) {

@@ -78,6 +78,8 @@ pub mod cache;
 pub mod chaos;
 pub mod engine;
 pub mod flightrec;
+#[doc(hidden)]
+pub mod model_bridge;
 pub mod plan;
 pub mod queue;
 pub mod stats;

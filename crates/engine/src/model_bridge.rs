@@ -1,0 +1,98 @@
+//! Test-support hooks bridging the real `SubmissionQueue`
+//! to `benes-analyze`'s abstract queue model.
+//!
+//! The pillar-3 model checker proves properties of an *abstract* queue
+//! protocol; those proofs are only worth anything if the abstraction
+//! matches this crate. Dependency direction blocks the obvious test
+//! placement — `benes-analyze` depends on `benes-engine`, so the
+//! bridge test lives over there — and the queue internals are
+//! `pub(crate)`, so this module exposes exactly the deterministic
+//! single-threaded surface that test needs: admit (non-blocking),
+//! take-by-worker, drain, the scatter function, and the conservation
+//! counters. Nothing here is public API; it is `#[doc(hidden)]` and
+//! exists solely so the analyze crate can replay model schedules
+//! against the real type.
+
+use std::time::Instant;
+
+use benes_perm::Permutation;
+
+use crate::queue::{mix64, Block, SubmissionQueue};
+use crate::stats::Recorder;
+use crate::EngineStats;
+
+/// A `SubmissionQueue` plus its own stats `Recorder`, driven directly
+/// (no worker threads) so every scheduling decision is the caller's.
+pub struct BridgeQueue {
+    queue: SubmissionQueue,
+    recorder: Recorder,
+}
+
+impl BridgeQueue {
+    /// A fresh queue with `shards` shards and an optional depth bound.
+    #[must_use]
+    pub fn new(shards: usize, max_depth: Option<usize>) -> Self {
+        Self { queue: SubmissionQueue::new(shards, max_depth), recorder: Recorder::new() }
+    }
+
+    /// The shard index `admit` scatters to for a given fingerprint and
+    /// round-robin nonce — exposed so the bridge test can predict
+    /// placement (the nonce increments once per successful
+    /// reservation, starting from zero).
+    #[must_use]
+    pub fn scatter_shard(fingerprint: u64, nonce: u64, shards: usize) -> usize {
+        (mix64(fingerprint ^ nonce) % shards as u64) as usize // analyze:allow(truncating-cast): modulo the shard count fits usize by construction
+    }
+
+    /// Non-blocking admission; `true` if the job was enqueued, `false`
+    /// if it was rejected (queue full or draining). The ticket is
+    /// dropped — the bridge counts outcomes through the recorder.
+    pub fn admit(&self, perm: Permutation) -> bool {
+        self.queue.admit(&self.recorder, perm, None, Block::Never).is_ok()
+    }
+
+    /// One `try_take` scan as worker `worker`; every job taken is
+    /// immediately marked completed (the bridge has no planner).
+    /// Returns how many jobs came off.
+    pub fn take(&self, batch: usize, worker: usize) -> usize {
+        match self.queue.try_take(&self.recorder, batch, worker) {
+            Some(jobs) => {
+                for _ in &jobs {
+                    self.recorder.note_completed();
+                }
+                jobs.len()
+            }
+            None => 0,
+        }
+    }
+
+    /// Total reserved depth.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.queue.queued_depth()
+    }
+
+    /// Per-shard queued lengths.
+    #[must_use]
+    pub fn shard_depths(&self) -> Vec<u64> {
+        self.queue.shard_depths()
+    }
+
+    /// Immediate shutdown: closes admission, strands everything still
+    /// queued, and counts each stranded job canceled (mirroring
+    /// `Engine::drain`'s terminal accounting). Returns the stranded
+    /// count.
+    pub fn drain(&self) -> usize {
+        let (stranded, _) = self.queue.shut_down(Some(Instant::now()));
+        for _ in &stranded {
+            self.recorder.note_canceled();
+        }
+        stranded.len()
+    }
+
+    /// The conservation counters as a stats snapshot.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        self.recorder.snapshot()
+    }
+}

@@ -391,6 +391,7 @@ impl SubmissionQueue {
         }
         // Slot reserved: scatter to a shard. Fingerprint ⊕ nonce through
         // the mixer keeps hot identical permutations off one mutex.
+        // analyze:allow(relaxed-control): the nonce only spreads load — every shard is a correct destination, so a stale or reordered read costs uniformity, never conservation (which rides on the SeqCst `depth` counter)
         let nonce = self.rr.fetch_add(1, Ordering::Relaxed);
         let shard = &self.shards
             [(mix64(perm.fingerprint() ^ nonce) % self.shards.len() as u64) as usize];
@@ -415,10 +416,16 @@ impl SubmissionQueue {
         Ok(Ticket { rx, outcome: None })
     }
 
+    /// The queue's total reserved depth (admission slots held, pushed
+    /// or not).
+    pub(crate) fn queued_depth(&self) -> usize {
+        self.depth.load(Ordering::SeqCst)
+    }
+
     /// One scan over the shards: the worker's own shard first, then a
     /// steal sweep over the siblings. At most one shard lock is held at
     /// a time.
-    fn try_take(
+    pub(crate) fn try_take(
         &self,
         recorder: &Recorder,
         batch_size: usize,

@@ -88,16 +88,26 @@ impl Recorder {
         Self::default()
     }
 
+    // The five conservation counters (`submitted` and the four terminal
+    // states) are bumped at `Release` and loaded at `Acquire` in
+    // `snapshot`: seeing a terminal bump then synchronizes-with the
+    // worker that made it, which saw the request's `submitted` bump
+    // first (submission happens-before service through the queue), so
+    // the snapshot's terminal-before-submitted load order genuinely
+    // holds at the memory-model level instead of only in program order.
+    // Every other counter stays `Relaxed`: they are monotonic tallies
+    // read for reporting, not invariants.
+
     pub(crate) fn note_submitted(&self) {
-        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.submitted.fetch_add(1, Ordering::Release);
     }
 
     pub(crate) fn note_completed(&self) {
-        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.completed.fetch_add(1, Ordering::Release);
     }
 
     pub(crate) fn note_failed(&self) {
-        self.failed.fetch_add(1, Ordering::Relaxed);
+        self.failed.fetch_add(1, Ordering::Release);
     }
 
     pub(crate) fn note_tier(&self, tier: Tier) {
@@ -149,20 +159,20 @@ impl Recorder {
 
     /// One request shed at dequeue because its deadline had passed.
     pub(crate) fn note_shed_deadline(&self) {
-        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.shed.fetch_add(1, Ordering::Release);
         self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
     }
 
     /// One request shed at admission because its order's breaker was
     /// open.
     pub(crate) fn note_shed_breaker(&self) {
-        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.shed.fetch_add(1, Ordering::Release);
         self.breaker_shed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// One admitted request canceled by drain or teardown.
     pub(crate) fn note_canceled(&self) {
-        self.canceled.fetch_add(1, Ordering::Relaxed);
+        self.canceled.fetch_add(1, Ordering::Release);
     }
 
     /// One submission refused admission (queue full or wait timed out);
@@ -213,14 +223,19 @@ impl Recorder {
         // state, so loading in this order (plus the clamp below)
         // guarantees the snapshot never reports
         // completed + failed + shed + canceled > submitted even while
-        // workers race us.
-        let completed = self.completed.load(Ordering::Relaxed);
-        let failed = self.failed.load(Ordering::Relaxed);
-        let shed = self.shed.load(Ordering::Relaxed);
-        let canceled = self.canceled.load(Ordering::Relaxed);
+        // workers race us. The `Acquire` loads pair with the `Release`
+        // bumps above to make that ordering real: an Acquire load pins
+        // the later `submitted` load behind it, and observing a
+        // Release-bumped terminal count makes the matching `submitted`
+        // bump visible through the submission→service happens-before
+        // chain.
+        let completed = self.completed.load(Ordering::Acquire);
+        let failed = self.failed.load(Ordering::Acquire);
+        let shed = self.shed.load(Ordering::Acquire);
+        let canceled = self.canceled.load(Ordering::Acquire);
         let submitted = self
             .submitted
-            .load(Ordering::Relaxed)
+            .load(Ordering::Acquire)
             .max(completed + failed + shed + canceled);
         EngineStats {
             submitted,

@@ -11,6 +11,7 @@ cargo test -q --offline --workspace
 cargo fmt --check
 cargo clippy --offline --workspace --all-targets -- -D warnings
 sh scripts/analyze.sh
+sh scripts/race.sh
 BENCH_REQUESTS=200 BENCH_OUT=target/BENCH_ENGINE.json sh scripts/bench.sh
 CHAOS_REQUESTS=200 sh scripts/chaos.sh
 sh scripts/shard.sh
