@@ -122,6 +122,12 @@ COMMANDS:
                              nonzero on cross-shard contamination or a
                              conservation violation
                              (defaults: seed 1980, n=12, p=6, k=4)
+  serve smoke [r] [t] [c]    loopback wire-service smoke: start an in-process
+                             benes-serve on an ephemeral port, pipeline r
+                             requests from t tenants over c connections,
+                             and report per-tenant ledger conservation
+                             (defaults: r=200, t=2, c=2; the long-running
+                             daemon is the `benes-serve` binary)
   help                       this text
 "
     .to_string()
@@ -184,6 +190,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "analyze" => analyze(rest),
         "obs" => obs(rest),
         "shard" => shard_cmd(rest),
+        "serve" => serve_cmd(rest),
         other => {
             Err(CliError::new(format!("unknown command `{other}` (try `benes-cli help`)")))
         }
@@ -1172,6 +1179,176 @@ fn shard_soak_cmd(args: &[String]) -> Result<String, CliError> {
     }
 }
 
+/// The loopback wire-service smoke behind `benes-cli serve smoke`:
+/// starts an in-process server on an ephemeral port, pipelines a small
+/// multi-tenant load through real sockets, and reports per-tenant
+/// ledger conservation. The long-running daemon is the `benes-serve`
+/// binary; this command exists so the wire path can be exercised from
+/// the CLI test suite and scripts without process management.
+fn serve_cmd(args: &[String]) -> Result<String, CliError> {
+    use benes_engine::EngineConfig;
+    use benes_serve::{Client, Frame, ServeConfig, Server, Status};
+    use std::time::{Duration, Instant};
+
+    let mode = args.first().ok_or_else(|| CliError::new("expected serve mode: smoke"))?;
+    if mode != "smoke" {
+        return Err(CliError::new(format!("unknown serve mode `{mode}` (smoke)")));
+    }
+    let requests: usize = match args.get(1) {
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&r| (1..=100_000).contains(&r))
+            .ok_or_else(|| CliError::new("request count must be in 1..=100000"))?,
+        None => 200,
+    };
+    let tenants: u64 = match args.get(2) {
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&t| (1..=64).contains(&t))
+            .ok_or_else(|| CliError::new("tenant count must be in 1..=64"))?,
+        None => 2,
+    };
+    let conns: usize = match args.get(3) {
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&c| (1..=32).contains(&c))
+            .ok_or_else(|| CliError::new("connection count must be in 1..=32"))?,
+        None => 2,
+    };
+
+    // The whole batch is pipelined up front, so the per-tenant backlog
+    // quota must admit it all; refusals are a separate test's concern.
+    let config = ServeConfig {
+        threads: 1,
+        quota: requests,
+        engine: EngineConfig { workers: 2, ..EngineConfig::default() },
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", config)
+        .map_err(|e| CliError::new(format!("bind loopback server: {e}")))?;
+    let addr = server.local_addr();
+
+    // Each connection carries one tenant; requests round-robin across
+    // connections. Destinations are small cyclic shifts of 0..8 —
+    // valid permutations the planner serves from the cached/self-route
+    // tiers.
+    let mut clients = Vec::new();
+    for c in 0..conns {
+        let client = Client::connect(addr)
+            .map_err(|e| CliError::new(format!("connect to {addr}: {e}")))?;
+        client
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .map_err(|e| CliError::new(format!("set read timeout: {e}")))?;
+        clients.push((c as u64 % tenants + 1, client, 0usize));
+    }
+    for req in 0..requests {
+        let (tenant, client, sent) = &mut clients[req % conns];
+        let destinations: Vec<u32> = (0..8).map(|i| (i + req as u32) % 8).collect();
+        let frame = Frame::Route {
+            req_id: req as u64,
+            tenant: *tenant,
+            deadline_ms: 0,
+            destinations,
+        };
+        client.send(&frame).map_err(|e| CliError::new(format!("send: {e}")))?;
+        *sent += 1;
+    }
+
+    let mut by_status = vec![0u64; Status::ALL.len()];
+    let mut latency_sum_ns = 0u128;
+    let mut latency_max_ns = 0u64;
+    for (_, client, sent) in &mut clients {
+        for _ in 0..*sent {
+            let reply = client.recv().map_err(|e| CliError::new(format!("recv: {e}")))?;
+            let Frame::RouteReply { status, latency_ns, .. } = reply else {
+                return Err(CliError::new(format!("unexpected reply frame {reply:?}")));
+            };
+            by_status[status as usize] += 1;
+            latency_sum_ns += u128::from(latency_ns);
+            latency_max_ns = latency_max_ns.max(latency_ns);
+        }
+    }
+
+    // Replies precede the engine's terminal bookkeeping by a hair, so
+    // poll the Stats frame until every tenant ledger conserves.
+    let mut stats = Client::connect(addr)
+        .map_err(|e| CliError::new(format!("connect for stats: {e}")))?;
+    stats
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| CliError::new(format!("set read timeout: {e}")))?;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let rows = loop {
+        stats.send(&Frame::Stats).map_err(|e| CliError::new(format!("stats: {e}")))?;
+        let reply = stats.recv().map_err(|e| CliError::new(format!("stats: {e}")))?;
+        let Frame::StatsReply { rows } = reply else {
+            return Err(CliError::new(format!("unexpected stats reply {reply:?}")));
+        };
+        let settled = !rows.is_empty()
+            && rows.iter().all(benes_serve::TenantRow::conserves_requests)
+            && rows.iter().map(|r| r.submitted).sum::<u64>() == requests as u64;
+        if settled {
+            break rows;
+        }
+        if Instant::now() >= deadline {
+            return Err(CliError::new(format!(
+                "tenant ledgers did not settle/conserve within 10s: {rows:?}"
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    drop(stats);
+    drop(clients);
+
+    let mut out = format!(
+        "serve smoke: {requests} requests, {tenants} tenants over {conns} connections, \
+         loopback {addr}\n"
+    );
+    for (i, &count) in by_status.iter().enumerate() {
+        if count > 0 {
+            out.push_str(&format!("  {:<14} {count}\n", Status::ALL[i].name()));
+        }
+    }
+    out.push_str(&format!(
+        "latency: mean {:.1}us, max {:.1}us\n",
+        latency_sum_ns as f64 / requests as f64 / 1e3,
+        latency_max_ns as f64 / 1e3
+    ));
+    for row in &rows {
+        out.push_str(&format!(
+            "tenant {:>3}: submitted {} = completed {} + failed {} + shed {} + canceled {} \
+             (rejected {}) — conserved\n",
+            row.tenant,
+            row.submitted,
+            row.completed,
+            row.failed,
+            row.shed,
+            row.canceled,
+            row.rejected
+        ));
+    }
+    let counters = server.counters();
+    let protocol_errors =
+        counters.protocol_errors.load(std::sync::atomic::Ordering::Relaxed);
+    out.push_str(&format!(
+        "server counters: accepted {}, replies {}, protocol errors {protocol_errors}\n",
+        counters.accepted.load(std::sync::atomic::Ordering::Relaxed),
+        counters.replies.load(std::sync::atomic::Ordering::Relaxed),
+    ));
+    let report = server.shutdown(Instant::now() + Duration::from_secs(5));
+    out.push_str(&format!(
+        "drain: canceled {}, timed_out {}\n",
+        report.canceled, report.timed_out
+    ));
+    if protocol_errors == 0 && !report.timed_out {
+        Ok(out)
+    } else {
+        Err(CliError::new(out))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1300,6 +1477,20 @@ mod tests {
         let out = run_str("shard soak 7 8 4 4").unwrap();
         assert!(out.contains("HEALTHY"), "{out}");
         assert!(out.contains("contaminated_units=0"), "{out}");
+    }
+
+    #[test]
+    fn serve_smoke_conserves_tenant_ledgers() {
+        let out = run_str("serve smoke 60 3 3").unwrap();
+        assert!(out.contains("ok             60"), "{out}");
+        assert!(out.contains("protocol errors 0"), "{out}");
+        for tenant in 1..=3 {
+            assert!(out.contains(&format!("tenant   {tenant}: submitted 20")), "{out}");
+        }
+        assert!(out.matches("— conserved").count() == 3, "{out}");
+        assert!(run_str("serve").is_err());
+        assert!(run_str("serve bogus").is_err());
+        assert!(run_str("serve smoke 0").is_err());
     }
 }
 

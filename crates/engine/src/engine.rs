@@ -52,6 +52,20 @@ use crate::worker::{cancel_job, worker_loop};
 
 pub use crate::queue::{DrainReport, RequestOutcome, SubmitError, Ticket};
 
+/// Per-request submission options for [`Engine::submit_opts`] /
+/// [`Engine::try_submit_opts`]: everything the wire service needs to
+/// attach to a request beyond the permutation itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SubmitOpts {
+    /// Shed the request if a worker dequeues it at or after this
+    /// instant (see [`Engine::submit_with_deadline`]).
+    pub deadline: Option<Instant>,
+    /// Tag the request with a tenant namespace: its terminal state
+    /// lands in the per-tenant ledger ([`crate::stats::TenantStats`])
+    /// and the flight record carries the tenant id.
+    pub tenant: Option<u64>,
+}
+
 /// Tuning knobs for [`Engine::new`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineConfig {
@@ -342,7 +356,13 @@ impl Engine {
     }
 
     fn submit_with(&self, perm: Permutation, deadline: Option<Instant>) -> Ticket {
-        match self.shared.sub.admit(&self.shared.recorder, perm, deadline, Block::Forever) {
+        match self.shared.sub.admit(
+            &self.shared.recorder,
+            perm,
+            deadline,
+            None,
+            Block::Forever,
+        ) {
             Ok(ticket) => ticket,
             // Only `ShuttingDown` can escape a forever-blocking
             // enqueue; honour the infallible signature by handing back
@@ -354,6 +374,48 @@ impl Engine {
         }
     }
 
+    /// Blocking admission carrying full [`SubmitOpts`] (deadline +
+    /// tenant tag). Blocks for queue space like [`Engine::submit`]; on
+    /// a draining engine the returned ticket is already resolved with
+    /// [`EngineError::Canceled`].
+    pub fn submit_opts(&self, perm: Permutation, opts: SubmitOpts) -> Ticket {
+        match self.shared.sub.admit(
+            &self.shared.recorder,
+            perm,
+            opts.deadline,
+            opts.tenant,
+            Block::Forever,
+        ) {
+            Ok(ticket) => ticket,
+            Err(_) => Ticket::resolved(RequestOutcome {
+                result: Err(EngineError::Canceled),
+                latency: Duration::ZERO,
+            }),
+        }
+    }
+
+    /// Non-blocking admission carrying full [`SubmitOpts`] — the wire
+    /// service's submission path: rejected requests bump the tenant's
+    /// `rejected` ledger and surface as a protocol error code.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] on a full bounded queue,
+    /// [`SubmitError::ShuttingDown`] on a draining engine.
+    pub fn try_submit_opts(
+        &self,
+        perm: Permutation,
+        opts: SubmitOpts,
+    ) -> Result<Ticket, SubmitError> {
+        self.shared.sub.admit(
+            &self.shared.recorder,
+            perm,
+            opts.deadline,
+            opts.tenant,
+            Block::Never,
+        )
+    }
+
     /// Non-blocking admission: rejects with [`SubmitError::QueueFull`]
     /// when the bounded queue is at depth, instead of blocking.
     ///
@@ -362,7 +424,7 @@ impl Engine {
     /// [`SubmitError::QueueFull`] on a full bounded queue,
     /// [`SubmitError::ShuttingDown`] on a draining engine.
     pub fn try_submit(&self, perm: Permutation) -> Result<Ticket, SubmitError> {
-        self.shared.sub.admit(&self.shared.recorder, perm, None, Block::Never)
+        self.shared.sub.admit(&self.shared.recorder, perm, None, None, Block::Never)
     }
 
     /// Blocking admission with a bound: waits up to `timeout` for queue
@@ -380,6 +442,7 @@ impl Engine {
         self.shared.sub.admit(
             &self.shared.recorder,
             perm,
+            None,
             None,
             Block::Until(Instant::now() + timeout),
         )

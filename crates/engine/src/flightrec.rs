@@ -120,6 +120,9 @@ pub struct RouteAttempt {
     pub fingerprint: u64,
     /// The permutation length (number of terminals requested).
     pub len: usize,
+    /// The tenant namespace the request was tagged with, if any (set
+    /// by the wire service; in-process submissions leave it `None`).
+    pub tenant: Option<u64>,
     /// The final outcome; `None` only while the attempt is in flight.
     pub result: Option<Result<Tier, EngineError>>,
     /// Every decision rung, in order.
@@ -139,6 +142,7 @@ impl RouteAttempt {
         Self {
             fingerprint,
             len,
+            tenant: None,
             result: None,
             ladder: Vec::new(),
             phases: PhaseNanos::default(),
@@ -164,9 +168,13 @@ impl RouteAttempt {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "route attempt: fingerprint {:#018x}, {} terminals\n",
+            "route attempt: fingerprint {:#018x}, {} terminals",
             self.fingerprint, self.len
         ));
+        if let Some(t) = self.tenant {
+            out.push_str(&format!(", tenant {t}"));
+        }
+        out.push('\n');
         match &self.result {
             Some(Ok(tier)) => {
                 out.push_str(&format!("  outcome: served by tier {}\n", tier.name()));

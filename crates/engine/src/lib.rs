@@ -91,8 +91,9 @@ pub use breaker::{BreakerConfig, BreakerState};
 pub use cache::PlanCache;
 pub use chaos::{run_soak, ChaosConfig, ChaosEvent, ChaosSchedule, SoakConfig, SoakReport};
 pub use engine::{
-    DrainReport, Engine, EngineConfig, EngineError, RequestOutcome, SubmitError, Ticket,
+    DrainReport, Engine, EngineConfig, EngineError, RequestOutcome, SubmitError,
+    SubmitOpts, Ticket,
 };
 pub use flightrec::{LadderStep, PhaseNanos, RouteAttempt};
 pub use plan::{Fallback, Plan, PlanError, Tier};
-pub use stats::EngineStats;
+pub use stats::{EngineStats, TenantStats};

@@ -48,7 +48,7 @@ impl BridgeQueue {
     /// if it was rejected (queue full or draining). The ticket is
     /// dropped — the bridge counts outcomes through the recorder.
     pub fn admit(&self, perm: Permutation) -> bool {
-        self.queue.admit(&self.recorder, perm, None, Block::Never).is_ok()
+        self.queue.admit(&self.recorder, perm, None, None, Block::Never).is_ok()
     }
 
     /// One `try_take` scan as worker `worker`; every job taken is

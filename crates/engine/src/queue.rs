@@ -205,6 +205,9 @@ pub(crate) struct Job {
     pub(crate) submitted_at: Instant,
     /// Shed (never execute) if a worker dequeues the job after this.
     pub(crate) deadline: Option<Instant>,
+    /// The tenant namespace this request belongs to (set by the wire
+    /// service); tagged requests land in the per-tenant ledgers.
+    pub(crate) tenant: Option<u64>,
     pub(crate) reply: mpsc::Sender<RequestOutcome>,
 }
 
@@ -346,10 +349,11 @@ impl SubmissionQueue {
         recorder: &Recorder,
         perm: Permutation,
         deadline: Option<Instant>,
+        tenant: Option<u64>,
         block: Block,
     ) -> Result<Ticket, SubmitError> {
         let reject = |err: SubmitError| {
-            recorder.note_rejected();
+            recorder.note_rejected(tenant);
             Err(err)
         };
         // Reserve a depth slot first; park on the gate while full.
@@ -407,8 +411,14 @@ impl SubmissionQueue {
                 self.release_slots(1);
                 return reject(SubmitError::ShuttingDown);
             }
-            recorder.note_submitted();
-            q.push_back(Job { perm, submitted_at: Instant::now(), deadline, reply: tx });
+            recorder.note_submitted(tenant);
+            q.push_back(Job {
+                perm,
+                submitted_at: Instant::now(),
+                deadline,
+                tenant,
+                reply: tx,
+            });
             shard.depth.store(q.len() as u64, Ordering::Relaxed);
         }
         recorder.note_queue_depth(self.depth.load(Ordering::SeqCst) as u64);

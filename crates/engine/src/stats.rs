@@ -16,7 +16,9 @@
 //! here (or inside [`Histogram::snapshot`]) so downstream consumers
 //! never see an impossible snapshot.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use benes_obs::{Exposition, Histogram, HistogramSnapshot, MetricKind, Sample};
 
@@ -71,6 +73,47 @@ pub(crate) struct Recorder {
     shed_latency: Histogram,
     queue_wait: Histogram,
     service: Histogram,
+    /// Per-tenant request ledgers, keyed by tenant id. Only requests
+    /// submitted through the tagged API land here; the mutex is taken
+    /// once per tagged request for a handful of integer bumps.
+    tenants: Mutex<HashMap<u64, TenantStats>>,
+}
+
+/// The request ledger of one tenant namespace: the same conservation
+/// counters as the engine-wide ledger, scoped to requests tagged with
+/// this tenant's id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TenantStats {
+    /// Requests admitted for this tenant.
+    pub submitted: u64,
+    /// Requests routed and verified.
+    pub completed: u64,
+    /// Requests that failed (plan error, misroute, panic, injected).
+    pub failed: u64,
+    /// Requests shed without execution (deadline or open breaker).
+    pub shed: u64,
+    /// Requests canceled by drain or teardown.
+    pub canceled: u64,
+    /// Submissions refused admission (never counted in `submitted`).
+    pub rejected: u64,
+}
+
+impl TenantStats {
+    /// The per-tenant conservation invariant: exact at quiescence, `<=`
+    /// while requests are in flight.
+    #[must_use]
+    pub fn conserves_requests(&self) -> bool {
+        self.completed + self.failed + self.shed + self.canceled == self.submitted
+    }
+}
+
+/// Which terminal state a tenant-tagged request reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TenantTerminal {
+    Completed,
+    Failed,
+    Shed,
+    Canceled,
 }
 
 fn tier_index(tier: Tier) -> usize {
@@ -98,8 +141,30 @@ impl Recorder {
     // Every other counter stays `Relaxed`: they are monotonic tallies
     // read for reporting, not invariants.
 
-    pub(crate) fn note_submitted(&self) {
+    /// Locks the tenant ledger map, recovering from poison (the cells
+    /// are plain counters; a panicked holder cannot tear them).
+    fn lock_tenants(&self) -> MutexGuard<'_, HashMap<u64, TenantStats>> {
+        self.tenants.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(crate) fn note_submitted(&self, tenant: Option<u64>) {
         self.submitted.fetch_add(1, Ordering::Release);
+        if let Some(t) = tenant {
+            self.lock_tenants().entry(t).or_default().submitted += 1;
+        }
+    }
+
+    /// Books a tenant-tagged request's terminal state in its ledger.
+    pub(crate) fn note_tenant_terminal(&self, tenant: Option<u64>, state: TenantTerminal) {
+        let Some(t) = tenant else { return };
+        let mut ledger = self.lock_tenants();
+        let cell = ledger.entry(t).or_default();
+        match state {
+            TenantTerminal::Completed => cell.completed += 1,
+            TenantTerminal::Failed => cell.failed += 1,
+            TenantTerminal::Shed => cell.shed += 1,
+            TenantTerminal::Canceled => cell.canceled += 1,
+        }
     }
 
     pub(crate) fn note_completed(&self) {
@@ -177,8 +242,11 @@ impl Recorder {
 
     /// One submission refused admission (queue full or wait timed out);
     /// rejected requests are never counted as submitted.
-    pub(crate) fn note_rejected(&self) {
+    pub(crate) fn note_rejected(&self, tenant: Option<u64>) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = tenant {
+            self.lock_tenants().entry(t).or_default().rejected += 1;
+        }
     }
 
     pub(crate) fn note_breaker_opened(&self) {
@@ -229,6 +297,14 @@ impl Recorder {
         // Release-bumped terminal count makes the matching `submitted`
         // bump visible through the submission→service happens-before
         // chain.
+        // The tenant ledgers are snapshotted *before* the global
+        // terminal loads for the same reason the terminal counters load
+        // before `submitted`: every per-tenant bump happens under one
+        // mutex after its global sibling, so cloning the map first can
+        // only under-report, never over-report, against the globals.
+        let mut tenants: Vec<(u64, TenantStats)> =
+            self.lock_tenants().iter().map(|(t, s)| (*t, *s)).collect();
+        tenants.sort_unstable_by_key(|(t, _)| *t);
         let completed = self.completed.load(Ordering::Acquire);
         let failed = self.failed.load(Ordering::Acquire);
         let shed = self.shed.load(Ordering::Acquire);
@@ -274,6 +350,7 @@ impl Recorder {
             service: self.service.snapshot(),
             breaker_states: Vec::new(),
             queue_depths: Vec::new(),
+            tenants,
         }
     }
 }
@@ -381,6 +458,11 @@ pub struct EngineStats {
     /// shard, filled by [`crate::Engine::stats`]; empty on a bare
     /// recorder snapshot).
     pub queue_depths: Vec<u64>,
+    /// Per-tenant request ledgers, sorted by tenant id. Only requests
+    /// submitted through [`crate::Engine::submit_opts`] /
+    /// [`crate::Engine::try_submit_opts`] with a tenant tag land here;
+    /// untagged traffic leaves this empty.
+    pub tenants: Vec<(u64, TenantStats)>,
 }
 
 impl EngineStats {
@@ -599,6 +681,16 @@ impl EngineStats {
                 ));
             }
         }
+        if !self.tenants.is_empty() {
+            out.push_str("per-tenant ledgers:\n");
+            for (t, s) in &self.tenants {
+                out.push_str(&format!(
+                    "  tenant {t}: {} submitted, {} completed, {} failed, \
+                     {} shed, {} canceled, {} rejected\n",
+                    s.submitted, s.completed, s.failed, s.shed, s.canceled, s.rejected
+                ));
+            }
+        }
         out
     }
 
@@ -656,6 +748,29 @@ impl EngineStats {
                     Sample::new("benes_breaker_state", state.as_gauge())
                         .label("order", n.to_string()),
                 );
+            }
+        }
+        if !self.tenants.is_empty() {
+            e.describe(
+                "benes_tenant_requests_total",
+                MetricKind::Counter,
+                "Per-tenant requests by terminal state.",
+            );
+            for (t, s) in &self.tenants {
+                for (state, v) in [
+                    ("submitted", s.submitted),
+                    ("completed", s.completed),
+                    ("failed", s.failed),
+                    ("shed", s.shed),
+                    ("canceled", s.canceled),
+                    ("rejected", s.rejected),
+                ] {
+                    e.push(
+                        Sample::new("benes_tenant_requests_total", v as f64)
+                            .label("tenant", t.to_string())
+                            .label("state", state),
+                    );
+                }
             }
         }
         e.describe(
@@ -817,8 +932,8 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let r = Recorder::new();
-        r.note_submitted();
-        r.note_submitted();
+        r.note_submitted(None);
+        r.note_submitted(None);
         r.note_completed();
         r.note_failed();
         r.note_tier(Tier::SelfRoute);
@@ -941,7 +1056,7 @@ mod tests {
                 std::thread::spawn(move || {
                     let mut i = 0u64;
                     while !stop.load(Ordering::Relaxed) {
-                        r.note_submitted();
+                        r.note_submitted(None);
                         if (i + w).is_multiple_of(16) {
                             r.note_failed();
                         } else {
@@ -997,7 +1112,7 @@ mod tests {
     #[test]
     fn exposition_round_trips_through_both_parsers() {
         let r = Recorder::new();
-        r.note_submitted();
+        r.note_submitted(None);
         r.note_completed();
         r.note_tier(Tier::Waksman);
         r.note_cache(false);
@@ -1015,5 +1130,56 @@ mod tests {
         assert_eq!(from_text, e.samples());
         let from_json = benes_obs::parse_json(&e.to_json()).expect("own JSON must parse");
         assert_eq!(from_json, e.samples());
+    }
+
+    #[test]
+    fn tenant_ledgers_track_and_conserve() {
+        let r = Recorder::new();
+        // Tenant 7: two submitted, one completed, one shed; one rejected
+        // (rejected is outside the conservation sum — never admitted).
+        r.note_submitted(Some(7));
+        r.note_submitted(Some(7));
+        r.note_tenant_terminal(Some(7), TenantTerminal::Completed);
+        r.note_tenant_terminal(Some(7), TenantTerminal::Shed);
+        r.note_rejected(Some(7));
+        // Tenant 9: one submitted, one failed.
+        r.note_submitted(Some(9));
+        r.note_tenant_terminal(Some(9), TenantTerminal::Failed);
+        // Untagged traffic never touches the ledger.
+        r.note_submitted(None);
+        r.note_tenant_terminal(None, TenantTerminal::Completed);
+        r.note_rejected(None);
+
+        let s = r.snapshot();
+        assert_eq!(s.tenants.len(), 2);
+        let (id7, t7) = s.tenants[0];
+        let (id9, t9) = s.tenants[1];
+        assert_eq!((id7, id9), (7, 9), "ledger is sorted by tenant id");
+        assert_eq!(t7.submitted, 2);
+        assert_eq!(t7.completed, 1);
+        assert_eq!(t7.shed, 1);
+        assert_eq!(t7.rejected, 1);
+        assert!(t7.conserves_requests());
+        assert_eq!(t9.failed, 1);
+        assert!(t9.conserves_requests());
+
+        let report = s.report();
+        assert!(report.contains("per-tenant ledgers"), "report:\n{report}");
+        let expo = s.exposition().to_prometheus();
+        assert!(expo
+            .contains("benes_tenant_requests_total{tenant=\"7\",state=\"submitted\"} 2"));
+        assert!(
+            expo.contains("benes_tenant_requests_total{tenant=\"9\",state=\"failed\"} 1")
+        );
+    }
+
+    #[test]
+    fn tenant_ledger_flags_nonconservation() {
+        let r = Recorder::new();
+        r.note_submitted(Some(3));
+        let s = r.snapshot();
+        assert!(!s.tenants[0].1.conserves_requests(), "in-flight request not terminal yet");
+        r.note_tenant_terminal(Some(3), TenantTerminal::Canceled);
+        assert!(r.snapshot().tenants[0].1.conserves_requests());
     }
 }

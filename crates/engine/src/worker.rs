@@ -22,7 +22,7 @@ use crate::engine::{EngineError, Shared};
 use crate::flightrec::{LadderStep, RouteAttempt};
 use crate::plan::{execute, plan, required_order, Plan, PlanError, Tier};
 use crate::queue::{Job, RequestOutcome};
-use crate::stats::LatencyPath;
+use crate::stats::{LatencyPath, TenantTerminal};
 
 pub(crate) fn worker_loop(shared: &Shared, worker: usize) {
     // Per-worker network memo: `B(n)` is immutable wiring, cheap to keep
@@ -47,6 +47,7 @@ pub(crate) fn worker_loop(shared: &Shared, worker: usize) {
 fn serve_job(shared: &Shared, nets: &mut HashMap<u32, Benes>, job: Job) {
     let dequeued_at = Instant::now();
     let mut attempt = RouteAttempt::new(job.perm.fingerprint(), job.perm.len());
+    attempt.tenant = job.tenant;
 
     // Deadline shed happens before any planning or execution: an
     // expired request costs the worker nothing but this check.
@@ -185,24 +186,29 @@ fn finish_job(
     let path = match &result {
         Ok(tier) => {
             shared.recorder.note_completed();
+            shared.recorder.note_tenant_terminal(job.tenant, TenantTerminal::Completed);
             LatencyPath::Tier(*tier)
         }
         Err(EngineError::DeadlineExceeded) => {
             shared.recorder.note_shed_deadline();
+            shared.recorder.note_tenant_terminal(job.tenant, TenantTerminal::Shed);
             LatencyPath::Shed
         }
         Err(EngineError::BreakerOpen) => {
             shared.recorder.note_shed_breaker();
+            shared.recorder.note_tenant_terminal(job.tenant, TenantTerminal::Shed);
             LatencyPath::Shed
         }
         Err(EngineError::Canceled) => {
             shared.recorder.note_canceled();
+            shared.recorder.note_tenant_terminal(job.tenant, TenantTerminal::Canceled);
             // Cancellations share the shed histogram: both measure how
             // long a request sat queued before the engine gave up on it.
             LatencyPath::Shed
         }
         Err(_) => {
             shared.recorder.note_failed();
+            shared.recorder.note_tenant_terminal(job.tenant, TenantTerminal::Failed);
             LatencyPath::Failed
         }
     };
@@ -231,6 +237,7 @@ fn finish_job(
 /// its ticket resolves with [`EngineError::Canceled`].
 pub(crate) fn cancel_job(shared: &Shared, job: Job) {
     let mut attempt = RouteAttempt::new(job.perm.fingerprint(), job.perm.len());
+    attempt.tenant = job.tenant;
     attempt.step(LadderStep::Canceled);
     finish_job(shared, job, None, attempt, Err(EngineError::Canceled));
 }

@@ -97,6 +97,15 @@ impl Exposition {
         self.samples.push(sample);
     }
 
+    /// Merges another exposition into this one: its metadata and
+    /// samples are appended in order, so one scrape endpoint can serve
+    /// metrics collected by several subsystems (e.g. the engine ledger
+    /// plus a wire server's connection counters).
+    pub fn extend(&mut self, other: Self) {
+        self.meta.extend(other.meta);
+        self.samples.extend(other.samples);
+    }
+
     /// The samples, in exposition order.
     #[must_use]
     pub fn samples(&self) -> &[Sample] {
@@ -472,6 +481,24 @@ mod tests {
         let json = e.to_json();
         assert!(json.starts_with('[') && json.ends_with(']'));
         let parsed = parse_json(&json).expect("own output must parse");
+        assert_eq!(parsed, e.samples());
+    }
+
+    #[test]
+    fn extend_merges_metadata_and_samples_in_order() {
+        let mut e = exposition();
+        let mut server = Exposition::new();
+        server.describe("benes_serve_conns_total", MetricKind::Counter, "Connections.");
+        server.push(Sample::new("benes_serve_conns_total", 4.0).label("state", "accepted"));
+        e.extend(server);
+        let text = e.to_prometheus();
+        assert!(text.contains("# TYPE benes_serve_conns_total counter"));
+        assert!(text.contains("benes_serve_conns_total{state=\"accepted\"} 4"));
+        // Engine samples keep their original order, server samples follow.
+        let names: Vec<&str> = e.samples().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names.first(), Some(&"benes_requests_total"));
+        assert_eq!(names.last(), Some(&"benes_serve_conns_total"));
+        let parsed = parse_prometheus(&text).expect("merged output must parse");
         assert_eq!(parsed, e.samples());
     }
 

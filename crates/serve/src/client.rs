@@ -1,0 +1,111 @@
+//! A small blocking client for the benes-serve wire protocol, used by
+//! the load generator, the smoke script and the integration tests.
+//!
+//! The client owns one TCP connection and an incremental decode
+//! buffer; [`Client::send`] writes frames (pipelining is just calling
+//! it repeatedly before reading), [`Client::recv`] blocks until the
+//! next complete frame arrives.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::proto::{decode, Frame};
+
+/// One blocking protocol connection.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to a running benes-serve instance.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error from connecting or configuring the stream.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        // analyze:allow(discarded-result): nodelay is advisory
+        let _ = stream.set_nodelay(true);
+        Ok(Self { stream, buf: Vec::new() })
+    }
+
+    /// Bounds how long [`Client::recv`] blocks for bytes.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error from setting the timeout.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Writes one frame. Pipelines naturally: call repeatedly before
+    /// reading replies.
+    ///
+    /// # Errors
+    ///
+    /// Any socket write error.
+    pub fn send(&mut self, frame: &Frame) -> std::io::Result<()> {
+        self.stream.write_all(&frame.to_bytes())
+    }
+
+    /// Writes many frames in one syscall-friendly burst.
+    ///
+    /// # Errors
+    ///
+    /// Any socket write error.
+    pub fn send_all(&mut self, frames: &[Frame]) -> std::io::Result<()> {
+        let mut out = Vec::new();
+        for f in frames {
+            f.encode(&mut out);
+        }
+        self.stream.write_all(&out)
+    }
+
+    /// Blocks until the next complete frame arrives and returns it.
+    ///
+    /// # Errors
+    ///
+    /// * [`ErrorKind::UnexpectedEof`] — the server closed the
+    ///   connection mid-frame (or before one arrived);
+    /// * [`ErrorKind::InvalidData`] — the bytes received are not a
+    ///   valid frame (the inner error is the typed
+    ///   [`crate::proto::WireError`]);
+    /// * any other socket read error (including timeouts configured
+    ///   via [`Client::set_read_timeout`]).
+    pub fn recv(&mut self) -> std::io::Result<Frame> {
+        let mut scratch = [0u8; 16 * 1024];
+        loop {
+            match decode(&self.buf) {
+                Ok(Some((frame, used))) => {
+                    self.buf.drain(..used);
+                    return Ok(frame);
+                }
+                Ok(None) => {}
+                Err(e) => return Err(std::io::Error::new(ErrorKind::InvalidData, e)),
+            }
+            match self.stream.read(&mut scratch) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "server closed the connection mid-frame",
+                    ))
+                }
+                Ok(n) => self.buf.extend_from_slice(&scratch[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Drops the connection abruptly (no drain, no close handshake) —
+    /// the chaos path: kill a connection with requests still in
+    /// flight.
+    pub fn kill(self) {
+        // analyze:allow(discarded-result): an abrupt kill ignores shutdown errors
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        drop(self);
+    }
+}

@@ -1,0 +1,679 @@
+//! The benes-serve server: nonblocking connection handling over
+//! `std::net`, per-tenant DRR fair scheduling in front of the engine's
+//! bounded admission, and graceful drain wired to [`Engine::drain`].
+//!
+//! # Connection lifecycle
+//!
+//! A shared nonblocking listener is polled by `threads` handler
+//! threads (thread-per-core by default); each accepted connection is
+//! owned by exactly one handler for its whole life. Per iteration a
+//! handler: accepts new connections, reads whatever bytes are
+//! available into each connection's read buffer, decodes complete
+//! frames, feeds Route frames through the tenant scheduler into
+//! [`Engine::try_submit_opts`] (backpressure: a full engine queue
+//! pauses the pump, an over-quota tenant is refused on the spot),
+//! polls in-flight tickets and encodes replies, and flushes write
+//! buffers. A connection idle longer than the read timeout with
+//! nothing in flight is reaped — a silent client cannot pin a handler.
+//!
+//! Malformed input (oversize length prefix, unknown version or type,
+//! torn payloads) gets one [`Frame::ErrorReply`] and the connection is
+//! closed: a byte stream that lied once cannot be resynchronized.
+//!
+//! # Drain
+//!
+//! A [`Frame::Drain`] (honoured only with
+//! [`ServeConfig::allow_drain`]) or [`Server::shutdown`] flips the
+//! shared stop flag: handlers stop accepting, refuse new Route frames
+//! with [`Status::Draining`], finish pumping their backlog, wait out
+//! their in-flight tickets (bounded by a grace period), flush, and
+//! exit; then the engine itself drains — every admitted request
+//! reaches a terminal state, so per-tenant conservation holds through
+//! shutdown.
+
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use benes_engine::{
+    DrainReport, Engine, EngineConfig, EngineError, SubmitError, SubmitOpts, Ticket, Tier,
+};
+use benes_perm::Permutation;
+
+use crate::proto::{decode, Frame, Status, TenantRow, WireError};
+use crate::tenant::DrrScheduler;
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Handler threads polling the shared listener (thread-per-core:
+    /// defaults to the machine's available parallelism).
+    pub threads: usize,
+    /// The engine the server fronts. The default bounds the queue
+    /// (`max_queue_depth`) — unbounded admission would turn a flood
+    /// into unbounded memory instead of `Rejected` replies.
+    pub engine: EngineConfig,
+    /// Reap a connection idle this long with nothing in flight.
+    pub read_timeout: Duration,
+    /// Max requests a tenant may have queued (per handler thread)
+    /// before new ones are refused with [`Status::QuotaExceeded`].
+    pub quota: usize,
+    /// DRR quantum in cost units (one unit per destination word).
+    pub quantum: u32,
+    /// Whether a [`Frame::Drain`] from a client may stop the server.
+    pub allow_drain: bool,
+    /// How long a draining handler waits for its in-flight tickets
+    /// before abandoning them to [`Engine::drain`]'s cancel sweep.
+    pub drain_grace: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self {
+            threads,
+            engine: EngineConfig { max_queue_depth: Some(4096), ..EngineConfig::default() },
+            read_timeout: Duration::from_secs(10),
+            quota: 1024,
+            quantum: 64,
+            allow_drain: false,
+            drain_grace: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Monotonic counters the server keeps about itself (the engine's own
+/// stats cover everything past admission).
+#[derive(Debug, Default)]
+pub struct ServerCounters {
+    /// Connections accepted over the server's lifetime.
+    pub accepted: AtomicU64,
+    /// Connections closed (any reason: EOF, error, reap, drain).
+    pub closed: AtomicU64,
+    /// Protocol errors answered with an `ErrorReply` + close.
+    pub protocol_errors: AtomicU64,
+    /// Route replies written (every terminal the client heard about).
+    pub replies: AtomicU64,
+    /// Connections reaped by the read timeout.
+    pub timed_out: AtomicU64,
+}
+
+impl ServerCounters {
+    /// Renders the counters as an exposition fragment, ready to be
+    /// merged into the engine's own via [`Exposition::extend`].
+    ///
+    /// [`Exposition::extend`]: benes_obs::expo::Exposition::extend
+    #[must_use]
+    pub fn exposition(&self) -> benes_obs::expo::Exposition {
+        use benes_obs::expo::{Exposition, MetricKind, Sample};
+        let mut e = Exposition::new();
+        e.describe(
+            "benes_serve_conns_total",
+            MetricKind::Counter,
+            "Wire-server connections by lifecycle state.",
+        );
+        e.describe(
+            "benes_serve_replies_total",
+            MetricKind::Counter,
+            "Route replies written to clients.",
+        );
+        e.describe(
+            "benes_serve_protocol_errors_total",
+            MetricKind::Counter,
+            "Connections closed after a wire-protocol error.",
+        );
+        for (state, counter) in [
+            ("accepted", &self.accepted),
+            ("closed", &self.closed),
+            ("timed_out", &self.timed_out),
+        ] {
+            e.push(
+                Sample::new(
+                    "benes_serve_conns_total",
+                    counter.load(Ordering::Relaxed) as f64,
+                )
+                .label("state", state),
+            );
+        }
+        e.push(Sample::new(
+            "benes_serve_replies_total",
+            self.replies.load(Ordering::Relaxed) as f64,
+        ));
+        e.push(Sample::new(
+            "benes_serve_protocol_errors_total",
+            self.protocol_errors.load(Ordering::Relaxed) as f64,
+        ));
+        e
+    }
+}
+
+/// A running benes-serve instance. Dropping the handle does **not**
+/// stop the server; call [`Server::shutdown`] or [`Server::wait`].
+pub struct Server {
+    engine: Arc<Engine>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    counters: Arc<ServerCounters>,
+    handlers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and spawns the
+    /// handler threads.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from binding or configuring the listener.
+    pub fn start(addr: &str, config: ServeConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let engine = Arc::new(Engine::new(config.engine.clone()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(ServerCounters::default());
+        let threads = config.threads.max(1);
+        let handlers = (0..threads)
+            .map(|i| {
+                let ctx = HandlerCtx {
+                    listener: listener.try_clone().expect("clone listener"),
+                    engine: Arc::clone(&engine),
+                    stop: Arc::clone(&stop),
+                    counters: Arc::clone(&counters),
+                    config: config.clone(),
+                };
+                std::thread::Builder::new()
+                    .name(format!("benes-serve-{i}"))
+                    .spawn(move || handler_loop(ctx))
+                    .expect("spawn serve handler")
+            })
+            .collect();
+        Ok(Self { engine, addr, stop, counters, handlers })
+    }
+
+    /// The address the server is listening on.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine behind the server (for stats and tests).
+    #[must_use]
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// A cloned handle to the engine, outliving this `Server` value
+    /// (e.g. for a metrics thread while the server blocks in
+    /// [`Server::wait`]).
+    #[must_use]
+    pub fn engine_arc(&self) -> Arc<Engine> {
+        Arc::clone(&self.engine)
+    }
+
+    /// The server's own counters.
+    #[must_use]
+    pub fn counters(&self) -> &ServerCounters {
+        &self.counters
+    }
+
+    /// A cloned handle to the counters, outliving this `Server` value
+    /// (companion to [`Server::engine_arc`] for metrics threads).
+    #[must_use]
+    pub fn counters_arc(&self) -> Arc<ServerCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Whether the stop flag is set (drain requested or shutdown
+    /// begun).
+    #[must_use]
+    pub fn is_stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// Blocks until the server stops (a client Drain under
+    /// `allow_drain`, or a concurrent [`Server::shutdown`]), then
+    /// drains the engine. Returns the engine's drain report.
+    pub fn wait(mut self) -> DrainReport {
+        for h in self.handlers.drain(..) {
+            // A panicked handler already lost its connections; the
+            // engine drain below still resolves every ticket.
+            // analyze:allow(discarded-result): handler panic leaves nothing to join
+            let _ = h.join();
+        }
+        self.engine.drain(Instant::now() + Duration::from_secs(5))
+    }
+
+    /// Stops the server: handlers finish their in-flight work (bounded
+    /// by the drain grace), then the engine drains until `deadline`.
+    pub fn shutdown(self, deadline: Instant) -> DrainReport {
+        self.stop.store(true, Ordering::Release);
+        let mut this = self;
+        for h in this.handlers.drain(..) {
+            // analyze:allow(discarded-result): handler panic leaves nothing to join
+            let _ = h.join();
+        }
+        this.engine.drain(deadline)
+    }
+}
+
+/// Everything one handler thread owns a handle to.
+struct HandlerCtx {
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    stop: Arc<AtomicBool>,
+    counters: Arc<ServerCounters>,
+    config: ServeConfig,
+}
+
+/// One request decoded off a connection, waiting for an engine slot.
+struct Pending {
+    conn: u64,
+    req_id: u64,
+    deadline: Option<Instant>,
+    perm: Permutation,
+}
+
+/// One request the engine has admitted, awaiting its ticket.
+struct Inflight {
+    req_id: u64,
+    ticket: Ticket,
+}
+
+/// One client connection, owned by exactly one handler thread.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet decoded (consumed prefix trimmed).
+    rbuf: Vec<u8>,
+    /// Encoded replies not yet written.
+    wbuf: Vec<u8>,
+    /// How much of `wbuf` has been written.
+    woff: usize,
+    inflight: Vec<Inflight>,
+    last_activity: Instant,
+    /// Read side finished (EOF or error): close once quiescent.
+    read_closed: bool,
+    /// Protocol violation: close as soon as `wbuf` is flushed.
+    poisoned: bool,
+}
+
+impl Conn {
+    fn push_frame(&mut self, frame: &Frame) {
+        frame.encode(&mut self.wbuf);
+    }
+
+    fn wants_write(&self) -> bool {
+        self.woff < self.wbuf.len()
+    }
+}
+
+/// The stable wire code for a serving tier (engine `Tier` order).
+fn tier_code(tier: Tier) -> u8 {
+    match tier {
+        Tier::Cached => 0,
+        Tier::SelfRoute => 1,
+        Tier::OmegaBit => 2,
+        Tier::Factored => 3,
+        Tier::Waksman => 4,
+    }
+}
+
+/// Maps an engine outcome to its wire status + tier code.
+fn classify(result: &Result<Tier, EngineError>) -> (Status, Option<u8>) {
+    match result {
+        Ok(tier) => (Status::Ok, Some(tier_code(*tier))),
+        Err(EngineError::DeadlineExceeded) => (Status::Shed, None),
+        Err(EngineError::BreakerOpen) => (Status::BreakerOpen, None),
+        Err(EngineError::Canceled) => (Status::Draining, None),
+        Err(EngineError::Plan(_)) => (Status::PlanError, None),
+        Err(_) => (Status::Failed, None),
+    }
+}
+
+/// The per-tenant ledger rows for a StatsReply, from a live snapshot.
+fn stats_rows(engine: &Engine) -> Vec<TenantRow> {
+    engine
+        .stats()
+        .tenants
+        .iter()
+        .map(|(tenant, t)| TenantRow {
+            tenant: *tenant,
+            submitted: t.submitted,
+            completed: t.completed,
+            failed: t.failed,
+            shed: t.shed,
+            canceled: t.canceled,
+            rejected: t.rejected,
+        })
+        .collect()
+}
+
+fn handler_loop(ctx: HandlerCtx) {
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut sched: DrrScheduler<Pending> =
+        DrrScheduler::new(ctx.config.quantum, ctx.config.quota);
+    let mut next_conn_id = 0u64;
+    let mut scratch = vec![0u8; 64 * 1024];
+    let mut drain_started: Option<Instant> = None;
+
+    loop {
+        let stopping = ctx.stop.load(Ordering::Acquire);
+        if stopping && drain_started.is_none() {
+            drain_started = Some(Instant::now());
+        }
+        let mut progress = false;
+
+        // Accept — but not once draining.
+        if !stopping {
+            loop {
+                match ctx.listener.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        // Frames are small and latency-sensitive.
+                        // analyze:allow(discarded-result): nodelay is advisory
+                        let _ = stream.set_nodelay(true);
+                        ctx.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                        conns.insert(
+                            next_conn_id,
+                            Conn {
+                                stream,
+                                rbuf: Vec::new(),
+                                wbuf: Vec::new(),
+                                woff: 0,
+                                inflight: Vec::new(),
+                                last_activity: Instant::now(),
+                                read_closed: false,
+                                poisoned: false,
+                            },
+                        );
+                        next_conn_id += 1;
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(_) => break, // transient accept error; retry next tick
+                }
+            }
+        }
+
+        // Read + decode every connection.
+        let conn_ids: Vec<u64> = conns.keys().copied().collect();
+        for id in conn_ids {
+            let Some(conn) = conns.get_mut(&id) else { continue };
+            if conn.poisoned {
+                continue;
+            }
+            // Read whatever is available.
+            loop {
+                match conn.stream.read(&mut scratch) {
+                    Ok(0) => {
+                        conn.read_closed = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.rbuf.extend_from_slice(&scratch[..n]);
+                        conn.last_activity = Instant::now();
+                        progress = true;
+                        if n < scratch.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        conn.read_closed = true;
+                        break;
+                    }
+                }
+            }
+            // Decode complete frames off the front.
+            let mut consumed = 0usize;
+            loop {
+                match decode(&conn.rbuf[consumed..]) {
+                    Ok(Some((frame, used))) => {
+                        consumed += used;
+                        progress = true;
+                        handle_frame(&ctx, conn, id, frame, stopping, &mut sched);
+                        if conn.poisoned {
+                            break;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(err) => {
+                        wire_error(&ctx, conn, &err);
+                        break;
+                    }
+                }
+            }
+            if consumed > 0 {
+                conn.rbuf.drain(..consumed);
+            }
+        }
+
+        // Pump the scheduler into the engine until it pushes back.
+        while let Some((tenant, cost, pending)) = sched.dequeue() {
+            let opts = SubmitOpts { deadline: pending.deadline, tenant: Some(tenant) };
+            match ctx.engine.try_submit_opts(pending.perm.clone(), opts) {
+                Ok(ticket) => {
+                    progress = true;
+                    if let Some(conn) = conns.get_mut(&pending.conn) {
+                        conn.inflight.push(Inflight { req_id: pending.req_id, ticket });
+                    }
+                    // Conn already gone: the ticket is dropped, but the
+                    // engine still books the tenant's terminal state —
+                    // conservation survives killed connections.
+                }
+                Err(SubmitError::QueueFull { .. }) => {
+                    sched.requeue_front(tenant, cost, pending);
+                    break;
+                }
+                Err(_) => {
+                    // Engine shutting down: everything still queued is
+                    // refused as Draining.
+                    if let Some(conn) = conns.get_mut(&pending.conn) {
+                        conn.push_frame(&Frame::RouteReply {
+                            req_id: pending.req_id,
+                            status: Status::Draining,
+                            tier: None,
+                            latency_ns: 0,
+                        });
+                        ctx.counters.replies.fetch_add(1, Ordering::Relaxed);
+                    }
+                    for (_tenant, p) in sched.drain_all() {
+                        if let Some(conn) = conns.get_mut(&p.conn) {
+                            conn.push_frame(&Frame::RouteReply {
+                                req_id: p.req_id,
+                                status: Status::Draining,
+                                tier: None,
+                                latency_ns: 0,
+                            });
+                            ctx.counters.replies.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+
+        // Poll in-flight tickets and encode replies.
+        for conn in conns.values_mut() {
+            let mut i = 0;
+            while i < conn.inflight.len() {
+                if let Some(outcome) = conn.inflight[i].ticket.try_result() {
+                    let done = conn.inflight.swap_remove(i);
+                    let (status, tier) = classify(&outcome.result);
+                    let latency_ns =
+                        u64::try_from(outcome.latency.as_nanos()).unwrap_or(u64::MAX);
+                    conn.push_frame(&Frame::RouteReply {
+                        req_id: done.req_id,
+                        status,
+                        tier,
+                        latency_ns,
+                    });
+                    ctx.counters.replies.fetch_add(1, Ordering::Relaxed);
+                    progress = true;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        // Flush write buffers.
+        for conn in conns.values_mut() {
+            while conn.wants_write() {
+                match conn.stream.write(&conn.wbuf[conn.woff..]) {
+                    Ok(0) => {
+                        conn.read_closed = true; // peer gone
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.woff += n;
+                        conn.last_activity = Instant::now();
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        conn.read_closed = true;
+                        break;
+                    }
+                }
+            }
+            if conn.woff > 0 && conn.woff == conn.wbuf.len() {
+                conn.wbuf.clear();
+                conn.woff = 0;
+            }
+        }
+
+        // Close: poisoned conns once flushed (or unflushable), EOF'd
+        // conns with nothing pending, and idle conns past the read
+        // timeout.
+        let now = Instant::now();
+        conns.retain(|_, conn| {
+            let flushed = !conn.wants_write();
+            if conn.poisoned && flushed {
+                ctx.counters.closed.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            if conn.read_closed && conn.inflight.is_empty() && flushed {
+                ctx.counters.closed.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            if !stopping
+                && conn.inflight.is_empty()
+                && flushed
+                && now.duration_since(conn.last_activity) > ctx.config.read_timeout
+            {
+                ctx.counters.timed_out.fetch_add(1, Ordering::Relaxed);
+                ctx.counters.closed.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            true
+        });
+
+        // Drain exit: backlog refused/pumped, in-flight resolved (or
+        // the grace expired), replies flushed.
+        if let Some(started) = drain_started {
+            let inflight: usize = conns.values().map(|c| c.inflight.len()).sum();
+            let unflushed = conns.values().any(Conn::wants_write);
+            let grace_up = now.duration_since(started) > ctx.config.drain_grace;
+            if (sched.is_empty() && inflight == 0 && !unflushed) || grace_up {
+                for _ in conns.drain() {
+                    ctx.counters.closed.fetch_add(1, Ordering::Relaxed);
+                }
+                return;
+            }
+        }
+
+        if !progress {
+            // Nothing moved: yield the core to the engine workers
+            // rather than spinning the accept loop dry.
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+/// Answers a protocol violation with one `ErrorReply` and poisons the
+/// connection (closed after the reply flushes).
+fn wire_error(ctx: &HandlerCtx, conn: &mut Conn, err: &WireError) {
+    ctx.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    conn.push_frame(&Frame::ErrorReply {
+        req_id: 0,
+        code: Status::BadRequest,
+        message: err.to_string(),
+    });
+    conn.poisoned = true;
+}
+
+/// Processes one decoded frame from connection `id`.
+fn handle_frame(
+    ctx: &HandlerCtx,
+    conn: &mut Conn,
+    id: u64,
+    frame: Frame,
+    stopping: bool,
+    sched: &mut DrrScheduler<Pending>,
+) {
+    match frame {
+        Frame::Route { req_id, tenant, deadline_ms, destinations } => {
+            if stopping {
+                conn.push_frame(&Frame::RouteReply {
+                    req_id,
+                    status: Status::Draining,
+                    tier: None,
+                    latency_ns: 0,
+                });
+                ctx.counters.replies.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            let cost = u32::try_from(destinations.len()).unwrap_or(u32::MAX);
+            let Ok(perm) = Permutation::from_destinations(destinations) else {
+                conn.push_frame(&Frame::RouteReply {
+                    req_id,
+                    status: Status::BadRequest,
+                    tier: None,
+                    latency_ns: 0,
+                });
+                ctx.counters.replies.fetch_add(1, Ordering::Relaxed);
+                return;
+            };
+            let deadline = (deadline_ms > 0)
+                .then(|| Instant::now() + Duration::from_millis(u64::from(deadline_ms)));
+            let pending = Pending { conn: id, req_id, deadline, perm };
+            if let Err((_, refused)) = sched.enqueue(tenant, cost, pending) {
+                conn.push_frame(&Frame::RouteReply {
+                    req_id: refused.req_id,
+                    status: Status::QuotaExceeded,
+                    tier: None,
+                    latency_ns: 0,
+                });
+                ctx.counters.replies.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Frame::Stats => {
+            conn.push_frame(&Frame::StatsReply { rows: stats_rows(&ctx.engine) });
+        }
+        Frame::Drain => {
+            if ctx.config.allow_drain {
+                conn.push_frame(&Frame::StatsReply { rows: stats_rows(&ctx.engine) });
+                ctx.stop.store(true, Ordering::Release);
+            } else {
+                conn.push_frame(&Frame::ErrorReply {
+                    req_id: 0,
+                    code: Status::BadRequest,
+                    message: "drain not allowed (start the server with --allow-drain)"
+                        .into(),
+                });
+            }
+        }
+        // Server-to-client frames arriving at the server are protocol
+        // violations.
+        Frame::RouteReply { .. } | Frame::StatsReply { .. } | Frame::ErrorReply { .. } => {
+            wire_error(ctx, conn, &WireError::Malformed("client sent a server-only frame"));
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Protocol robustness properties (the PR's test-coverage satellite):
+//! the wire decoder must return typed results — `Ok(None)` for
+//! partial frames, `Ok(Some(..))` for complete ones, `Err(WireError)`
+//! for garbage — and **never panic**, on any byte soup, any
+//! truncation, any mutation.
+
+use benes_serve::proto::{decode, Frame, Status, TenantRow, WireError, MAX_FRAME_LEN};
+use proptest::prelude::*;
+
+/// Random bytes, skewed to start with plausible small length prefixes
+/// half the time so the decoder's payload parsers actually run.
+fn arb_bytes() -> impl Strategy<Value = Vec<u8>> {
+    Just(()).prop_perturb(|(), mut rng| {
+        let len = (rng.random::<u64>() % 200) as usize;
+        let mut bytes: Vec<u8> =
+            (0..len).map(|_| (rng.random::<u64>() & 0xff) as u8).collect();
+        if rng.random::<u64>() % 2 == 0 && bytes.len() >= 4 {
+            let declared = (rng.random::<u64>() % 64) as u32;
+            bytes[0..4].copy_from_slice(&declared.to_le_bytes());
+        }
+        bytes
+    })
+}
+
+/// A random valid frame of every kind.
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    Just(()).prop_perturb(|(), mut rng| {
+        let mut r64 = || rng.random::<u64>();
+        match r64() % 6 {
+            0 => {
+                let n = 1usize << (r64() % 5); // 1..=16 destinations
+                let mut destinations: Vec<u32> = (0..n as u32).collect();
+                // A random (not necessarily valid) destination vector:
+                // the protocol layer does not validate permutations.
+                for i in (1..n).rev() {
+                    destinations.swap(i, (r64() % (i as u64 + 1)) as usize);
+                }
+                Frame::Route {
+                    req_id: r64(),
+                    tenant: r64(),
+                    deadline_ms: (r64() & 0xffff) as u32,
+                    destinations,
+                }
+            }
+            1 => Frame::RouteReply {
+                req_id: r64(),
+                status: Status::ALL[(r64() % Status::ALL.len() as u64) as usize],
+                tier: if r64() % 2 == 0 { None } else { Some((r64() % 5) as u8) },
+                latency_ns: r64(),
+            },
+            2 => Frame::Stats,
+            3 => {
+                let rows = (0..r64() % 4)
+                    .map(|i| TenantRow {
+                        tenant: i,
+                        submitted: r64(),
+                        completed: r64(),
+                        failed: r64(),
+                        shed: r64(),
+                        canceled: r64(),
+                        rejected: r64(),
+                    })
+                    .collect();
+                Frame::StatsReply { rows }
+            }
+            4 => Frame::Drain,
+            _ => Frame::ErrorReply {
+                req_id: r64(),
+                code: Status::ALL[(r64() % Status::ALL.len() as u64) as usize],
+                message: format!("err-{}", r64() % 1000),
+            },
+        }
+    })
+}
+
+proptest! {
+    /// Arbitrary byte soup: decode returns a typed result, never
+    /// panics, and a successful decode consumes no more than the
+    /// buffer.
+    #[test]
+    fn decode_never_panics_on_byte_soup(bytes in arb_bytes()) {
+        if let Ok(Some((_, used))) = decode(&bytes) {
+            prop_assert!(used <= bytes.len());
+        }
+    }
+
+    /// Every valid frame round-trips bit-exactly and consumes exactly
+    /// its own encoding.
+    #[test]
+    fn encode_decode_round_trip(frame in arb_frame()) {
+        let bytes = frame.to_bytes();
+        let (decoded, used) = decode(&bytes)
+            .expect("own encoding decodes")
+            .expect("own encoding is complete");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// Every strict prefix of a valid frame is "incomplete", never an
+    /// error: truncation mid-frame asks for more bytes.
+    #[test]
+    fn truncated_frames_are_incomplete_not_errors(frame in arb_frame()) {
+        let bytes = frame.to_bytes();
+        for cut in 0..bytes.len() {
+            prop_assert_eq!(decode(&bytes[..cut]).unwrap(), None, "cut at {}", cut);
+        }
+    }
+
+    /// An oversize length prefix is a typed error no matter what
+    /// follows it.
+    #[test]
+    fn oversize_length_prefix_is_typed(frame in arb_frame()) {
+        let mut bytes = frame.to_bytes();
+        let huge = MAX_FRAME_LEN + 7;
+        bytes[0..4].copy_from_slice(&huge.to_le_bytes());
+        prop_assert_eq!(decode(&bytes), Err(WireError::Oversize { len: huge }));
+    }
+
+    /// A wrong version byte is a typed error on every frame kind.
+    #[test]
+    fn unknown_version_is_typed(frame in arb_frame()) {
+        let mut bytes = frame.to_bytes();
+        bytes[4] = bytes[4].wrapping_add(1);
+        let got = decode(&bytes);
+        prop_assert_eq!(got, Err(WireError::UnknownVersion(bytes[4])));
+    }
+
+    /// Flipping any single byte of a valid frame never panics the
+    /// decoder: it yields a frame (possibly different), "incomplete",
+    /// or a typed error.
+    #[test]
+    fn single_byte_mutations_never_panic(frame in arb_frame(), pos in 0usize..4096) {
+        let mut bytes = frame.to_bytes();
+        let idx = pos % bytes.len();
+        bytes[idx] ^= 0x41;
+        if let Ok(Some((_, used))) = decode(&bytes) {
+            prop_assert!(used <= bytes.len());
+        }
+    }
+}

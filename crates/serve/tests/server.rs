@@ -1,0 +1,329 @@
+//! End-to-end tests over real sockets: request round-trips, pipelined
+//! replies, tenant fairness under a flood, per-tenant conservation
+//! when connections are killed mid-flight, read-timeout reaping, and
+//! client-triggered drain.
+
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+use benes_engine::EngineConfig;
+use benes_serve::proto::{Frame, Status, TenantRow};
+use benes_serve::server::{ServeConfig, Server};
+use benes_serve::Client;
+
+/// A small config: one handler thread (deterministic scheduling), two
+/// engine workers, bounded queue.
+fn small_config() -> ServeConfig {
+    ServeConfig {
+        threads: 1,
+        engine: EngineConfig {
+            workers: 2,
+            max_queue_depth: Some(256),
+            ..EngineConfig::default()
+        },
+        read_timeout: Duration::from_secs(5),
+        quota: 1024,
+        quantum: 64,
+        allow_drain: false,
+        drain_grace: Duration::from_secs(5),
+    }
+}
+
+/// A valid n=3 permutation cycling by `k`.
+fn perm(k: u32) -> Vec<u32> {
+    (0..8u32).map(|i| (i + k) % 8).collect()
+}
+
+/// Polls the server's Stats frame until tenant `t`'s ledger conserves
+/// (all admitted requests terminal) or the deadline passes.
+fn await_conservation(client: &mut Client, tenant: u64, deadline: Instant) -> TenantRow {
+    loop {
+        client.send(&Frame::Stats).expect("send stats");
+        let Frame::StatsReply { rows } = client.recv().expect("stats reply") else {
+            panic!("expected StatsReply");
+        };
+        let row = rows.iter().find(|r| r.tenant == tenant).copied().unwrap_or_default();
+        if row.conserves_requests() && row.submitted > 0 {
+            return row;
+        }
+        assert!(Instant::now() < deadline, "tenant {tenant} never conserved: {row:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn pipelined_routes_reply_with_matching_request_ids() {
+    let server = Server::start("127.0.0.1:0", small_config()).expect("start");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    const K: u64 = 100;
+    let frames: Vec<Frame> = (0..K)
+        .map(|i| Frame::Route {
+            req_id: 1000 + i,
+            tenant: 1,
+            deadline_ms: 0,
+            destinations: perm((i % 7) as u32),
+        })
+        .collect();
+    client.send_all(&frames).expect("pipeline requests");
+
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..K {
+        match client.recv().expect("reply") {
+            Frame::RouteReply { req_id, status, tier, latency_ns } => {
+                assert_eq!(status, Status::Ok, "req {req_id}");
+                assert!(tier.is_some());
+                assert!(latency_ns > 0);
+                assert!(seen.insert(req_id), "duplicate reply for {req_id}");
+                assert!((1000..1000 + K).contains(&req_id));
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    let row = await_conservation(&mut client, 1, Instant::now() + Duration::from_secs(10));
+    assert_eq!(row.submitted, K);
+    assert_eq!(row.completed, K);
+    drop(client);
+    server.shutdown(Instant::now() + Duration::from_secs(5));
+}
+
+#[test]
+fn invalid_permutation_gets_bad_request_not_a_closed_conn() {
+    let server = Server::start("127.0.0.1:0", small_config()).expect("start");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    // Not a permutation: duplicate destination.
+    client
+        .send(&Frame::Route {
+            req_id: 1,
+            tenant: 2,
+            deadline_ms: 0,
+            destinations: vec![0, 0, 1, 2],
+        })
+        .unwrap();
+    match client.recv().unwrap() {
+        Frame::RouteReply { req_id, status, .. } => {
+            assert_eq!((req_id, status), (1, Status::BadRequest));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // The connection survives and serves a valid request next.
+    client
+        .send(&Frame::Route { req_id: 2, tenant: 2, deadline_ms: 0, destinations: perm(1) })
+        .unwrap();
+    match client.recv().unwrap() {
+        Frame::RouteReply { req_id, status, .. } => {
+            assert_eq!((req_id, status), (2, Status::Ok));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    drop(client);
+    server.shutdown(Instant::now() + Duration::from_secs(5));
+}
+
+#[test]
+fn malformed_bytes_get_an_error_reply_then_close() {
+    let server = Server::start("127.0.0.1:0", small_config()).expect("start");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    // A frame with a bogus version byte.
+    let mut bytes = Frame::Stats.to_bytes();
+    bytes[4] = 99;
+    {
+        use std::io::Write;
+        let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        raw.write_all(&bytes).unwrap();
+        let mut back = Vec::new();
+        use std::io::Read;
+        raw.read_to_end(&mut back).expect("server replies then closes");
+        let (frame, _) = benes_serve::decode(&back).unwrap().expect("one error frame");
+        match frame {
+            Frame::ErrorReply { code, message, .. } => {
+                assert_eq!(code, Status::BadRequest);
+                assert!(message.contains("version"), "{message}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    // The well-behaved client is unaffected.
+    client.send(&Frame::Stats).unwrap();
+    assert!(matches!(client.recv().unwrap(), Frame::StatsReply { .. }));
+    assert_eq!(server.counters().protocol_errors.load(Ordering::Relaxed), 1);
+    drop(client);
+    server.shutdown(Instant::now() + Duration::from_secs(5));
+}
+
+#[test]
+fn flooding_tenant_cannot_starve_the_steady_one() {
+    // The fairness satellite: tenant 1 floods far past its quota;
+    // tenant 2's modest stream must still be fully served — its
+    // "quota share" — while the flood soaks up QuotaExceeded.
+    let mut config = small_config();
+    config.quota = 32; // small, so the flood visibly overflows
+    let server = Server::start("127.0.0.1:0", config).expect("start");
+
+    let mut flood = Client::connect(server.local_addr()).expect("connect flood");
+    flood.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut steady = Client::connect(server.local_addr()).expect("connect steady");
+    steady.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    const FLOOD: u64 = 600;
+    const STEADY: u64 = 20;
+    let flood_frames: Vec<Frame> = (0..FLOOD)
+        .map(|i| Frame::Route {
+            req_id: i,
+            tenant: 1,
+            deadline_ms: 0,
+            destinations: perm((i % 7) as u32),
+        })
+        .collect();
+    flood.send_all(&flood_frames).expect("flood");
+    let steady_frames: Vec<Frame> = (0..STEADY)
+        .map(|i| Frame::Route {
+            req_id: i,
+            tenant: 2,
+            deadline_ms: 0,
+            destinations: perm((i % 7) as u32),
+        })
+        .collect();
+    steady.send_all(&steady_frames).expect("steady");
+
+    let mut steady_ok = 0;
+    for _ in 0..STEADY {
+        match steady.recv().expect("steady reply") {
+            Frame::RouteReply { status: Status::Ok, .. } => steady_ok += 1,
+            Frame::RouteReply { status, req_id, .. } => {
+                panic!("steady req {req_id} got {status:?} under the flood")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert_eq!(steady_ok, STEADY, "every steady request served despite the flood");
+
+    let mut flood_ok = 0;
+    let mut flood_refused = 0;
+    for _ in 0..FLOOD {
+        match flood.recv().expect("flood reply") {
+            Frame::RouteReply { status: Status::Ok, .. } => flood_ok += 1,
+            Frame::RouteReply { status: Status::QuotaExceeded, .. } => flood_refused += 1,
+            Frame::RouteReply { status, .. } => panic!("unexpected status {status:?}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert!(flood_ok > 0, "the flood still gets its own share");
+    assert!(
+        flood_refused > 0,
+        "a 600-deep burst against quota 32 must overflow (got {flood_ok} ok)"
+    );
+
+    // Both ledgers conserve; the refused flood never reached the
+    // engine (quota refusals are server-side, not engine rejections).
+    let row1 = await_conservation(&mut flood, 1, Instant::now() + Duration::from_secs(15));
+    let row2 = await_conservation(&mut flood, 2, Instant::now() + Duration::from_secs(15));
+    assert_eq!(row1.submitted, flood_ok, "engine saw only the admitted flood");
+    assert_eq!(row2.completed, STEADY);
+    drop(flood);
+    drop(steady);
+    server.shutdown(Instant::now() + Duration::from_secs(5));
+}
+
+#[test]
+fn killed_connections_preserve_tenant_conservation() {
+    // The chaos satellite: kill connections with requests in flight;
+    // every admitted request must still reach a terminal state in the
+    // tenant's ledger (replies are lost, accounting is not).
+    let server = Server::start("127.0.0.1:0", small_config()).expect("start");
+    const PER_CONN: u64 = 50;
+    let mut victims = Vec::new();
+    for c in 0..2 {
+        let mut v = Client::connect(server.local_addr()).expect("connect victim");
+        let frames: Vec<Frame> = (0..PER_CONN)
+            .map(|i| Frame::Route {
+                req_id: c * PER_CONN + i,
+                tenant: 9,
+                deadline_ms: 0,
+                destinations: perm((i % 7) as u32),
+            })
+            .collect();
+        v.send_all(&frames).expect("send");
+        victims.push(v);
+    }
+    // Let the server ingest the burst (an RST can discard unread
+    // bytes), then kill both mid-flight: no reads, hard shutdown.
+    std::thread::sleep(Duration::from_millis(200));
+    for v in victims {
+        v.kill();
+    }
+    // A surviving observer checks the ledger reaches quiescent
+    // conservation; how many were admitted depends on the race, but
+    // whatever was admitted must be terminal.
+    let mut observer = Client::connect(server.local_addr()).expect("connect observer");
+    observer.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let row =
+        await_conservation(&mut observer, 9, Instant::now() + Duration::from_secs(15));
+    assert!(row.submitted >= 1, "at least some of the kill burst was admitted");
+    drop(observer);
+    server.shutdown(Instant::now() + Duration::from_secs(5));
+}
+
+#[test]
+fn silent_connection_is_reaped_by_the_read_timeout() {
+    let mut config = small_config();
+    config.read_timeout = Duration::from_millis(100);
+    let server = Server::start("127.0.0.1:0", config).expect("start");
+    let silent = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.counters().timed_out.load(Ordering::Relaxed) == 0 {
+        assert!(Instant::now() < deadline, "silent conn never reaped");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    drop(silent);
+    server.shutdown(Instant::now() + Duration::from_secs(5));
+}
+
+#[test]
+fn client_drain_stops_the_server_when_allowed() {
+    let mut config = small_config();
+    config.allow_drain = true;
+    let server = Server::start("127.0.0.1:0", config).expect("start");
+    let addr = server.local_addr();
+    let waiter = std::thread::spawn(move || server.wait());
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    client
+        .send(&Frame::Route { req_id: 5, tenant: 3, deadline_ms: 0, destinations: perm(2) })
+        .unwrap();
+    assert!(matches!(client.recv().unwrap(), Frame::RouteReply { status: Status::Ok, .. }));
+    client.send(&Frame::Drain).unwrap();
+    match client.recv().unwrap() {
+        Frame::StatsReply { rows } => {
+            let row = rows.iter().find(|r| r.tenant == 3).expect("tenant 3 row");
+            assert_eq!(row.submitted, 1);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // The waiter unblocks: handlers exited and the engine drained.
+    let report = waiter.join().expect("server wait");
+    assert!(!report.timed_out);
+}
+
+#[test]
+fn drain_is_refused_without_allow_drain() {
+    let server = Server::start("127.0.0.1:0", small_config()).expect("start");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    client.send(&Frame::Drain).unwrap();
+    match client.recv().unwrap() {
+        Frame::ErrorReply { code, message, .. } => {
+            assert_eq!(code, Status::BadRequest);
+            assert!(message.contains("allow-drain"), "{message}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    assert!(!server.is_stopping());
+    drop(client);
+    server.shutdown(Instant::now() + Duration::from_secs(5));
+}

@@ -2,26 +2,37 @@
 //! exposition over TCP, the way a Prometheus scraper (or `curl`) would
 //! consume it.
 //!
-//! The engine runs a warm-up workload, then a tiny blocking HTTP/1.0
-//! server answers:
+//! The engine runs a warm-up workload, then the pooled HTTP server
+//! from `benes::serve::http` answers:
 //!
 //! * `GET /metrics`      — Prometheus text exposition
 //! * `GET /metrics.json` — the same snapshot as a JSON document
 //! * `GET /flightrec`    — the newest flight-recorder records, rendered
 //!
-//! Every scrape also pushes a fresh slice of workload through the
-//! engine, so successive scrapes show the counters and histograms
-//! moving.
+//! Every *known-path* scrape also pushes a fresh slice of workload
+//! through the engine, so successive scrapes show the counters and
+//! histograms moving; a 404 is answered without touching the engine.
+//! Workload requests that fail degrade to the
+//! `benes_example_workload_failures_total` counter in the exposition
+//! rather than killing the service.
+//!
+//! Connections are served by a handler pool with a per-connection read
+//! timeout, so a client that connects and sends nothing is dropped
+//! after two seconds instead of wedging every later scrape (which is
+//! exactly what the previous single-threaded blocking loop did).
 //!
 //! Run with: `cargo run --example obs_service -- [port] [--serve N]`
 //! (default port 9184; `--serve N` exits after `N` requests, which the
 //! smoke test uses; without it the server runs until interrupted).
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use benes::engine::workload::mixed_workload;
 use benes::engine::{Engine, EngineConfig};
+use benes::obs::expo::{Exposition, MetricKind, Sample};
+use benes::serve::http::{serve_http, HttpOptions, HttpResponse};
 
 fn parse_args() -> (u16, Option<u64>) {
     let mut port = 9184u16;
@@ -39,74 +50,68 @@ fn parse_args() -> (u16, Option<u64>) {
     (port, serve)
 }
 
-fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
-    let response = format!(
-        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
-    // A scraper hanging up mid-response is its problem, not ours.
-    let _ = stream.write_all(response.as_bytes()); // analyze:allow(discarded-result): peer may disconnect early
-}
-
-fn handle(engine: &Engine, stream: &mut TcpStream, scrape: u64) {
-    let mut line = String::new();
-    if BufReader::new(&mut *stream).read_line(&mut line).is_err() {
-        return;
-    }
-    let path = line.split_whitespace().nth(1).unwrap_or("/");
-
-    // Keep the metrics moving between scrapes: a small fresh workload
-    // slice per request, seeded by the scrape counter.
-    let outcomes = engine.run_batch(mixed_workload(4, 50, 0xb0b5 + scrape));
-    assert!(outcomes.iter().all(benes::engine::RequestOutcome::is_ok));
-
-    match path {
-        "/metrics" => {
-            let body = engine.stats().exposition().to_prometheus();
-            respond(stream, "200 OK", "text/plain; version=0.0.4", &body);
-        }
-        "/metrics.json" => {
-            let body = engine.stats().exposition().to_json();
-            respond(stream, "200 OK", "application/json", &body);
-        }
-        "/flightrec" => {
-            let mut body = String::new();
-            for record in engine.flight_records(8) {
-                body.push_str(&record.render());
-                body.push('\n');
-            }
-            respond(stream, "200 OK", "text/plain", &body);
-        }
-        _ => respond(
-            stream,
-            "404 Not Found",
-            "text/plain",
-            "try /metrics, /metrics.json or /flightrec\n",
-        ),
-    }
-}
-
 fn main() {
     let (port, serve) = parse_args();
 
-    let engine = Engine::new(EngineConfig::default());
-    let outcomes = engine.run_batch(mixed_workload(4, 500, 0xb0b5));
-    assert!(outcomes.iter().all(benes::engine::RequestOutcome::is_ok));
+    let engine = Arc::new(Engine::new(EngineConfig::default()));
+    let warmup = engine.run_batch(mixed_workload(4, 500, 0xb0b5));
+    let failures =
+        Arc::new(AtomicU64::new(warmup.iter().filter(|o| !o.is_ok()).count() as u64));
+    let scrapes = Arc::new(AtomicU64::new(0));
 
     let listener =
         TcpListener::bind(("127.0.0.1", port)).expect("bind the exposition endpoint");
     let addr = listener.local_addr().expect("bound socket has an address");
     println!("serving metrics on http://{addr}/metrics (JSON at /metrics.json)");
 
-    let mut scrapes = 0u64;
-    for incoming in listener.incoming() {
-        let Ok(mut stream) = incoming else { continue };
-        scrapes += 1;
-        handle(&engine, &mut stream, scrapes);
-        if serve.is_some_and(|n| scrapes >= n) {
-            println!("served {scrapes} requests, exiting (--serve)");
-            break;
+    let opts = HttpOptions { max_requests: serve, ..HttpOptions::default() };
+    let served = serve_http(listener, opts, move |path| {
+        // Route the path FIRST: a 404 answers immediately and must not
+        // mutate any metric.
+        if !matches!(path, "/metrics" | "/metrics.json" | "/flightrec") {
+            return HttpResponse::not_found("try /metrics, /metrics.json or /flightrec\n");
         }
-    }
+
+        // Keep the metrics moving between scrapes: a small fresh
+        // workload slice per known-path request, seeded by the scrape
+        // counter. Failures feed a counter in the exposition instead
+        // of aborting the scrape.
+        let scrape = scrapes.fetch_add(1, Ordering::Relaxed) + 1;
+        let outcomes = engine.run_batch(mixed_workload(4, 50, 0xb0b5 + scrape));
+        let failed = outcomes.iter().filter(|o| !o.is_ok()).count() as u64;
+        if failed > 0 {
+            failures.fetch_add(failed, Ordering::Relaxed);
+        }
+
+        match path {
+            "/metrics" | "/metrics.json" => {
+                let mut expo = engine.stats().exposition();
+                let mut local = Exposition::new();
+                local.describe(
+                    "benes_example_workload_failures_total",
+                    MetricKind::Counter,
+                    "Scrape-workload requests that did not complete.",
+                );
+                local.push(Sample::new(
+                    "benes_example_workload_failures_total",
+                    failures.load(Ordering::Relaxed) as f64,
+                ));
+                expo.extend(local);
+                if path == "/metrics" {
+                    HttpResponse::ok("text/plain; version=0.0.4", expo.to_prometheus())
+                } else {
+                    HttpResponse::ok("application/json", expo.to_json())
+                }
+            }
+            _ => {
+                let mut body = String::new();
+                for record in engine.flight_records(8) {
+                    body.push_str(&record.render());
+                    body.push('\n');
+                }
+                HttpResponse::ok("text/plain", body)
+            }
+        }
+    });
+    println!("served {served} requests, exiting");
 }

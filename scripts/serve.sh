@@ -1,0 +1,77 @@
+#!/usr/bin/env sh
+# EXP-SERVE gate: end-to-end smoke of the benes-serve wire service.
+#
+# Starts the daemon on an ephemeral loopback port (parsing the
+# "listening on HOST:PORT" line), drives the load_gen fleet against it
+# — including one chaos connection hard-closed mid-flight — and then:
+#
+#   * load_gen itself exits nonzero unless every per-tenant ledger
+#     conserves (submitted = completed + failed + shed + canceled) and
+#     the steady tenants' server-side completions match the client-side
+#     ok replies;
+#   * this script additionally asserts ZERO wire-protocol errors via
+#     the daemon's metrics exposition, then drains the server over the
+#     wire (a Drain frame) and requires a clean exit.
+#
+# Env:
+#   SERVE_REQUESTS  requests through the steady conns   (default 20000)
+#   SERVE_CONNS     total connections, incl. chaos      (default 3)
+#   SERVE_KILL      chaos connections killed mid-flight (default 1)
+#   SERVE_WINDOW    pipelining window per connection    (default 256)
+#   SERVE_OUT       optional BENCH_SERVE.json path      (default: none)
+#
+# tier-1 runs this with SERVE_REQUESTS=2000 as a smoke test; the
+# committed BENCH_SERVE.json at the repo root comes from a default run
+# with SERVE_REQUESTS=50000.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+REQUESTS="${SERVE_REQUESTS:-20000}"
+CONNS="${SERVE_CONNS:-3}"
+KILL="${SERVE_KILL:-1}"
+WINDOW="${SERVE_WINDOW:-256}"
+OUT="${SERVE_OUT:-}"
+
+cargo build --release --offline -p benes-serve -p benes-bench
+
+LOG=$(mktemp)
+./target/release/benes-serve --addr 127.0.0.1:0 --allow-drain --workers 2 \
+    --metrics-addr 127.0.0.1:0 > "$LOG" 2>&1 &
+SRV=$!
+trap 'kill "$SRV" 2>/dev/null || true; rm -f "$LOG"' EXIT
+
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^listening on //p' "$LOG")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "serve.sh: server did not start:" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+MADDR=$(sed -n 's|^metrics on http://||p' "$LOG" | sed 's|/metrics$||')
+
+# The load itself: conservation and ledger/client reconciliation are
+# asserted inside load_gen (nonzero exit on violation). No --drain yet:
+# the metrics endpoint must still be up for the protocol-error check.
+./target/release/load_gen --addr "$ADDR" --conns "$CONNS" --tenants 2 \
+    --requests "$REQUESTS" --window "$WINDOW" --kill-conns "$KILL" \
+    ${OUT:+--json "$OUT"}
+
+ERRS=$(curl -s --max-time 5 "http://$MADDR/metrics" \
+    | sed -n 's/^benes_serve_protocol_errors_total //p')
+if [ "$ERRS" != "0" ]; then
+    echo "serve.sh: expected zero wire-protocol errors, got '$ERRS'" >&2
+    exit 1
+fi
+
+# Drain over the wire (one extra single-request tenant ride-along) and
+# require the daemon to exit cleanly.
+./target/release/load_gen --addr "$ADDR" --conns 1 --tenants 1 \
+    --requests 1 --window 1 --drain
+wait "$SRV"
+trap 'rm -f "$LOG"' EXIT
+echo "serve.sh: OK — $REQUESTS requests, $KILL chaos conns, 0 protocol errors, drained clean"

@@ -15,3 +15,4 @@ sh scripts/race.sh
 BENCH_REQUESTS=200 BENCH_OUT=target/BENCH_ENGINE.json sh scripts/bench.sh
 CHAOS_REQUESTS=200 sh scripts/chaos.sh
 sh scripts/shard.sh
+SERVE_REQUESTS=2000 sh scripts/serve.sh

@@ -77,5 +77,6 @@ pub use benes_gates as gates;
 pub use benes_networks as networks;
 pub use benes_obs as obs;
 pub use benes_perm as perm;
+pub use benes_serve as serve;
 pub use benes_shard as shard;
 pub use benes_simd as simd;
