@@ -31,6 +31,17 @@
 //! Exits nonzero on any reply on an unexpected status, a ledger that
 //! fails to conserve, or a steady tenant whose server-side ledger
 //! disagrees with the client-side reply count.
+//!
+//! # Fleet mode (EXP-FLEET)
+//!
+//! `load_gen --fleet HOST:PORT,HOST:PORT,... [--requests R] [--order n]
+//! [--json PATH]` benchmarks the **remote shard fleet** instead: one
+//! `RemoteShard` backend per address, a `ShardCoordinator` scattering
+//! `R` rounds of random `2^n` permutations over the wire, per-round
+//! wall latency, and the fleet transport ledger (retries, failovers,
+//! hedges, reconnects). `--json` writes `BENCH_FLEET.json` with a
+//! stable schema; exits nonzero if any round fails to verify or any
+//! backend ledger does not conserve.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -42,6 +53,7 @@ use benes_serve::{Client, Frame, Status, TenantRow};
 
 struct Args {
     addr: String,
+    fleet: Vec<String>,
     conns: usize,
     tenants: u64,
     requests: usize,
@@ -55,6 +67,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut parsed = Args {
         addr: String::new(),
+        fleet: Vec::new(),
         conns: 4,
         tenants: 2,
         requests: 20_000,
@@ -70,6 +83,9 @@ fn parse_args() -> Args {
             |what: &str| args.next().unwrap_or_else(|| panic!("{what} needs a value"));
         match arg.as_str() {
             "--addr" => parsed.addr = value("--addr"),
+            "--fleet" => {
+                parsed.fleet = value("--fleet").split(',').map(str::to_string).collect();
+            }
             "--conns" => parsed.conns = value("--conns").parse().expect("--conns: usize"),
             "--tenants" => {
                 parsed.tenants = value("--tenants").parse().expect("--tenants: u64")
@@ -90,13 +106,131 @@ fn parse_args() -> Args {
             other => panic!("unknown argument {other} (see the module docs for usage)"),
         }
     }
-    assert!(!parsed.addr.is_empty(), "--addr HOST:PORT is required");
+    assert!(
+        !parsed.addr.is_empty() || !parsed.fleet.is_empty(),
+        "--addr HOST:PORT (or --fleet A,B,...) is required"
+    );
     assert!(parsed.conns >= 1, "--conns must be >= 1");
     assert!(parsed.tenants >= 1, "--tenants must be >= 1");
     assert!(parsed.window >= 1, "--window must be >= 1");
     assert!((1..=12).contains(&parsed.order), "--order must be in 1..=12");
     assert!(parsed.kill_conns <= parsed.conns, "--kill-conns cannot exceed --conns");
+    if !parsed.fleet.is_empty() {
+        assert!(parsed.order >= 2, "--fleet needs --order >= 2 (block decomposition)");
+    }
     parsed
+}
+
+/// EXP-FLEET: scatter `requests` rounds of random `2^order`
+/// permutations across one `RemoteShard` per fleet address, measure
+/// per-round wall latency, and reconcile every backend's transport
+/// ledger. Panics (nonzero exit) on an unverified round or a
+/// conservation violation.
+fn run_fleet(args: &Args) {
+    use benes_engine::workload::{random_permutation, Rng64};
+    use benes_shard::{Backend, RemoteConfig, RemoteShard, ShardConfig, ShardCoordinator};
+
+    let rounds = args.requests;
+    let backends: Vec<Box<dyn Backend>> = args
+        .fleet
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| {
+            Box::new(RemoteShard::new(RemoteConfig::new(addr.clone()), i))
+                as Box<dyn Backend>
+        })
+        .collect();
+    let coord = ShardCoordinator::with_backends(ShardConfig::default(), backends);
+
+    println!(
+        "== EXP-FLEET: remote shard fleet ==\n\
+         {} shards ({}), {rounds} rounds of 2^{}",
+        args.fleet.len(),
+        args.fleet.join(", "),
+        args.order,
+    );
+
+    let round_latency = Histogram::new();
+    let mut rng = Rng64::new(0xf1ee7);
+    let mut verified = 0usize;
+    let mut units_total = 0usize;
+    let start = Instant::now();
+    for round in 0..rounds {
+        let pi = random_permutation(&mut rng, 1usize << args.order);
+        let round_start = Instant::now();
+        let out = coord.route(&pi).expect("power-of-two perms decompose");
+        let ns = u64::try_from(round_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        round_latency.record(ns);
+        units_total += out.units.len();
+        assert!(out.verified, "round {round} failed to verify: {}", out.summary());
+        verified += 1;
+    }
+    let wall = start.elapsed();
+    let fleet = coord.fleet_stats();
+    let snap = round_latency.snapshot();
+    let rps = rounds as f64 / wall.as_secs_f64();
+
+    println!(
+        "{verified}/{rounds} rounds verified in {:.1} ms -> {rps:.1} rounds/s \
+         ({units_total} units)",
+        wall.as_secs_f64() * 1e3,
+    );
+    println!(
+        "round wall latency: p50 {}us p99 {}us max {}us",
+        snap.quantile(0.50) / 1_000,
+        snap.quantile(0.99) / 1_000,
+        snap.max() / 1_000,
+    );
+    print!("{}", fleet.report());
+    assert!(fleet.conserves_requests(), "fleet ledgers must conserve:\n{}", fleet.report());
+
+    if let Some(path) = &args.json {
+        let shards_json: Vec<String> = fleet
+            .per_shard()
+            .iter()
+            .enumerate()
+            .map(|(i, (_, l))| {
+                format!(
+                    "{{\"shard\":{i},\"kind\":\"{}\",\"submitted\":{},\"completed\":{},\
+                     \"failed\":{},\"shed\":{},\"canceled\":{},\"healthy\":{},\
+                     \"conserved\":{}}}",
+                    l.kind,
+                    l.submitted,
+                    l.completed,
+                    l.failed,
+                    l.shed,
+                    l.canceled,
+                    l.healthy,
+                    l.conserves_requests(),
+                )
+            })
+            .collect();
+        let doc = format!(
+            "{{\"experiment\":\"EXP-FLEET\",\"shards\":{},\"rounds\":{rounds},\
+             \"order\":{},\"wall_ms\":{:.3},\"rounds_per_s\":{rps:.1},\
+             \"verified_rounds\":{verified},\"units_total\":{units_total},\
+             \"round_ns\":{{\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}},\
+             \"transport\":{{\"retries\":{},\"failovers\":{},\"hedges\":{},\
+             \"reconnects\":{},\"conserved\":{}}},\
+             \"per_shard\":[{}]}}\n",
+            args.fleet.len(),
+            args.order,
+            wall.as_secs_f64() * 1e3,
+            snap.quantile(0.5),
+            snap.quantile(0.9),
+            snap.quantile(0.99),
+            snap.max(),
+            fleet.retries(),
+            fleet.failovers(),
+            fleet.hedges(),
+            fleet.reconnects(),
+            fleet.conserves_requests(),
+            shards_json.join(","),
+        );
+        std::fs::write(path, doc).expect("write --json output");
+        println!("machine-readable results written to {path}");
+    }
+    println!("conservation verified across {} shard ledgers", fleet.shard_count());
 }
 
 /// One connection's worth of load: pipeline `share` Route frames with
@@ -193,6 +327,10 @@ fn await_conservation(addr: &str, deadline: Instant) -> Vec<TenantRow> {
 
 fn main() {
     let args = parse_args();
+    if !args.fleet.is_empty() {
+        run_fleet(&args);
+        return;
+    }
     let steady_conns = args.conns - args.kill_conns;
     assert!(steady_conns >= 1, "at least one steady connection is required");
     // Chaos connections get their own tenant so the steady tenants'

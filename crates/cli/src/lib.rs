@@ -128,6 +128,17 @@ COMMANDS:
                              and report per-tenant ledger conservation
                              (defaults: r=200, t=2, c=2; the long-running
                              daemon is the `benes-serve` binary)
+  fleet soak --addrs A,B,..  remote-fleet soak: scatter a seeded permutation
+                             stream across running benes-serve processes
+                             (one RemoteShard per address) while an external
+                             killer takes down --killable shards; exits
+                             nonzero on cross-shard contamination, a wrong
+                             surviving element, or a conservation violation;
+                             optional --spare IDX=ADDR failover targets,
+                             --killable I,J, --rounds R, --n N, --seed S,
+                             --pause-ms P, --hedge-ms H; streams one
+                             fleet-round line per round, then the report
+                             and the benes_fleet_* exposition
   help                       this text
 "
     .to_string()
@@ -191,6 +202,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "obs" => obs(rest),
         "shard" => shard_cmd(rest),
         "serve" => serve_cmd(rest),
+        "fleet" => fleet_cmd(rest),
         other => {
             Err(CliError::new(format!("unknown command `{other}` (try `benes-cli help`)")))
         }
@@ -1349,6 +1361,177 @@ fn serve_cmd(args: &[String]) -> Result<String, CliError> {
     }
 }
 
+fn fleet_cmd(args: &[String]) -> Result<String, CliError> {
+    let mode = args.first().ok_or_else(|| CliError::new("expected fleet mode: soak"))?;
+    match mode.as_str() {
+        "soak" => fleet_soak_cmd(&args[1..]),
+        other => Err(CliError::new(format!("unknown fleet mode `{other}` (soak)"))),
+    }
+}
+
+/// The remote-fleet soak behind `scripts/fleet.sh`: builds a
+/// coordinator of [`benes_shard::RemoteShard`] backends over already
+/// running `benes-serve` processes, routes a seeded permutation stream
+/// while an **external** killer takes down killable shards (the script
+/// does `kill -9` when it sees a `fleet-round` line), and exits
+/// nonzero on contamination, a wrong surviving element, or a
+/// conservation violation. Round progress streams to stdout so the
+/// killer can time its strike; the final report and the
+/// `benes_fleet_*` exposition follow.
+fn fleet_soak_cmd(args: &[String]) -> Result<String, CliError> {
+    use benes_engine::BreakerConfig;
+    use benes_shard::{
+        run_fleet_soak, Backend, FleetSoakConfig, RemoteConfig, RemoteShard, ShardConfig,
+        ShardCoordinator,
+    };
+    use std::time::Duration;
+
+    let mut addrs: Vec<String> = Vec::new();
+    let mut spares: Vec<(usize, String)> = Vec::new();
+    let mut killable: Vec<usize> = Vec::new();
+    let mut rounds = 8usize;
+    let mut n = 10u32;
+    let mut seed = 2026u64;
+    let mut pause_ms = 100u64;
+    let mut hedge_ms: Option<u64> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| {
+            it.next().cloned().ok_or_else(|| CliError::new(format!("{what} needs a value")))
+        };
+        match arg.as_str() {
+            "--addrs" => {
+                addrs = value("--addrs")?.split(',').map(str::to_string).collect();
+            }
+            "--spare" => {
+                let v = value("--spare")?;
+                let (idx, addr) = v
+                    .split_once('=')
+                    .ok_or_else(|| CliError::new("--spare expects IDX=HOST:PORT"))?;
+                let idx: usize = idx
+                    .parse()
+                    .map_err(|_| CliError::new("--spare shard index must be an integer"))?;
+                spares.push((idx, addr.to_string()));
+            }
+            "--killable" => {
+                killable = value("--killable")?
+                    .split(',')
+                    .map(|s| {
+                        s.parse().map_err(|_| {
+                            CliError::new("--killable expects shard indices, e.g. 1,2")
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--rounds" => {
+                rounds = value("--rounds")?
+                    .parse()
+                    .ok()
+                    .filter(|&r| (1..=1000).contains(&r))
+                    .ok_or_else(|| CliError::new("--rounds must be in 1..=1000"))?;
+            }
+            "--n" => {
+                n = value("--n")?
+                    .parse()
+                    .ok()
+                    .filter(|&n| (2..=16).contains(&n))
+                    .ok_or_else(|| CliError::new("--n must be in 2..=16"))?;
+            }
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| CliError::new("--seed must be an integer"))?;
+            }
+            "--pause-ms" => {
+                pause_ms = value("--pause-ms")?
+                    .parse()
+                    .map_err(|_| CliError::new("--pause-ms must be an integer"))?;
+            }
+            "--hedge-ms" => {
+                hedge_ms = Some(
+                    value("--hedge-ms")?
+                        .parse()
+                        .map_err(|_| CliError::new("--hedge-ms must be an integer"))?,
+                );
+            }
+            other => {
+                return Err(CliError::new(format!("unknown fleet soak argument `{other}`")))
+            }
+        }
+    }
+    if addrs.is_empty() {
+        return Err(CliError::new("--addrs HOST:PORT,HOST:PORT,... is required"));
+    }
+    if let Some((idx, _)) = spares.iter().find(|(idx, _)| *idx >= addrs.len()) {
+        return Err(CliError::new(format!(
+            "--spare index {idx} out of range for {} shards",
+            addrs.len()
+        )));
+    }
+    if let Some(idx) = killable.iter().find(|&&idx| idx >= addrs.len()) {
+        return Err(CliError::new(format!(
+            "--killable index {idx} out of range for {} shards",
+            addrs.len()
+        )));
+    }
+
+    // Tight transport budgets: the gate script kills real processes,
+    // so dead-endpoint paths must resolve in tens of milliseconds.
+    let backends: Vec<Box<dyn Backend>> = addrs
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| {
+            let spare = spares.iter().find(|(idx, _)| *idx == i).map(|(_, a)| a.clone());
+            let cfg = RemoteConfig {
+                spare: spare.clone(),
+                connect_timeout: Duration::from_millis(250),
+                request_timeout: Duration::from_secs(2),
+                attempts: 2,
+                breaker: BreakerConfig {
+                    failure_threshold: 3,
+                    base_backoff: Duration::from_millis(20),
+                    ..BreakerConfig::default()
+                },
+                reconnect_base: Duration::from_millis(5),
+                reconnect_max: Duration::from_millis(50),
+                probe_interval: Duration::from_millis(100),
+                hedge: hedge_ms.filter(|_| spare.is_some()).map(Duration::from_millis),
+                ..RemoteConfig::new(addr.clone())
+            };
+            Box::new(RemoteShard::new(cfg, i)) as Box<dyn Backend>
+        })
+        .collect();
+    let coord = ShardCoordinator::with_backends(ShardConfig::default(), backends);
+
+    let cfg = FleetSoakConfig {
+        seed,
+        n,
+        rounds,
+        round_pause: Duration::from_millis(pause_ms),
+        killable: killable.clone(),
+    };
+    println!(
+        "fleet soak: {} remote shards, {} spares, killable {:?}, {rounds} rounds of 2^{n}",
+        addrs.len(),
+        spares.len(),
+        killable,
+    );
+    // Stream each round as it lands (stdout is line-buffered) so an
+    // external killer can strike mid-soak.
+    let report = run_fleet_soak(&coord, &cfg, |round, out| {
+        println!("fleet-round {round}: {}", out.summary());
+    });
+
+    let mut out = report.render();
+    out.push_str(&coord.fleet_stats().exposition().to_prometheus());
+    if report.healthy() {
+        Ok(out)
+    } else {
+        Err(CliError::new(out))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1491,6 +1674,45 @@ mod tests {
         assert!(run_str("serve").is_err());
         assert!(run_str("serve bogus").is_err());
         assert!(run_str("serve smoke 0").is_err());
+    }
+
+    #[test]
+    fn fleet_soak_runs_against_in_process_servers() {
+        use benes_engine::EngineConfig;
+        use benes_serve::{ServeConfig, Server};
+        let servers: Vec<Server> = (0..2)
+            .map(|_| {
+                let config = ServeConfig {
+                    threads: 1,
+                    engine: EngineConfig { workers: 2, ..EngineConfig::default() },
+                    ..ServeConfig::default()
+                };
+                Server::start("127.0.0.1:0", config).expect("bind ephemeral port")
+            })
+            .collect();
+        let addrs: Vec<String> =
+            servers.iter().map(|s| s.local_addr().to_string()).collect();
+        let out = run_str(&format!(
+            "fleet soak --addrs {} --rounds 3 --n 6 --pause-ms 0",
+            addrs.join(",")
+        ))
+        .unwrap();
+        assert!(out.contains("fleet-soak: HEALTHY"), "{out}");
+        assert!(out.contains("benes_fleet_failovers_total"), "{out}");
+        assert!(out.contains("benes_fleet_shard_healthy"), "{out}");
+        for s in servers {
+            s.shutdown(std::time::Instant::now() + std::time::Duration::from_secs(5));
+        }
+    }
+
+    #[test]
+    fn fleet_soak_rejects_bad_usage() {
+        assert!(run_str("fleet").is_err());
+        assert!(run_str("fleet bogus").is_err());
+        assert!(run_str("fleet soak").is_err()); // --addrs required
+        assert!(run_str("fleet soak --addrs a --killable 5").is_err());
+        assert!(run_str("fleet soak --addrs a --spare 3=b").is_err());
+        assert!(run_str("fleet soak --addrs a --rounds 0").is_err());
     }
 }
 

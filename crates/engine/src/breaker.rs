@@ -96,7 +96,7 @@ impl std::fmt::Display for BreakerState {
 
 /// The admission verdict for one request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum Admission {
+pub enum Admission {
     /// Breaker closed (or disabled): serve normally.
     Serve,
     /// Breaker half-open and this request won the probe slot: serve it,
@@ -129,14 +129,24 @@ struct Trip {
 
 /// One order's circuit breaker (the engine keeps one per network order
 /// it has served).
+///
+/// The type is public so other layers can reuse the same admission
+/// discipline over their own failure streams — the remote shard fleet
+/// keeps one `Breaker` per endpoint, with "order" standing in for the
+/// endpoint index, so connect failures pace reconnects with the same
+/// exponential backoff and deterministic jitter the engine applies to
+/// fabric faults.
 #[derive(Debug)]
-pub(crate) struct Breaker {
+pub struct Breaker {
     cfg: BreakerConfig,
     trip: Mutex<Trip>,
 }
 
 impl Breaker {
-    pub(crate) fn new(cfg: BreakerConfig, order: u32) -> Self {
+    /// Builds a closed breaker for one order (or any other failure
+    /// domain index: the order is only used to reseed the jitter).
+    #[must_use]
+    pub fn new(cfg: BreakerConfig, order: u32) -> Self {
         let jitter = Rng64::new(cfg.jitter_seed ^ u64::from(order));
         Self {
             cfg,
@@ -152,7 +162,8 @@ impl Breaker {
     }
 
     /// Whether the breaker is counting at all.
-    pub(crate) fn enabled(&self) -> bool {
+    #[must_use]
+    pub fn enabled(&self) -> bool {
         self.cfg.failure_threshold > 0
     }
 
@@ -164,7 +175,7 @@ impl Breaker {
 
     /// Decides whether one request for this order is served, probes, or
     /// sheds. `now` is injected so tests control time.
-    pub(crate) fn admit(&self, now: Instant) -> Admission {
+    pub fn admit(&self, now: Instant) -> Admission {
         if !self.enabled() {
             return Admission::Serve;
         }
@@ -193,7 +204,7 @@ impl Breaker {
 
     /// Records a served request that verified. Returns `true` when this
     /// success re-closed the breaker (a successful half-open probe).
-    pub(crate) fn on_success(&self, probe: bool) -> bool {
+    pub fn on_success(&self, probe: bool) -> bool {
         if !self.enabled() {
             return false;
         }
@@ -213,7 +224,7 @@ impl Breaker {
     /// Records a countable failure. Returns `true` when this failure
     /// tripped the breaker open (either the threshold was reached while
     /// closed, or a half-open probe failed and re-opened it).
-    pub(crate) fn on_failure(&self, probe: bool, now: Instant) -> bool {
+    pub fn on_failure(&self, probe: bool, now: Instant) -> bool {
         if !self.enabled() {
             return false;
         }
@@ -242,7 +253,8 @@ impl Breaker {
     }
 
     /// The current state (for stats snapshots and tests).
-    pub(crate) fn state(&self) -> BreakerState {
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
         self.lock().state
     }
 

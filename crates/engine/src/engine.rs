@@ -143,6 +143,11 @@ pub enum EngineError {
     /// The chaos injector forced this request to fail (only possible
     /// while [`Engine::set_chaos`] is armed).
     Injected,
+    /// The shard backend serving the request could not be reached:
+    /// every transport attempt (retries, reconnects, failover targets)
+    /// was exhausted. Produced by the remote shard fleet, never by the
+    /// in-process engine itself.
+    Unavailable,
 }
 
 impl fmt::Display for EngineError {
@@ -170,6 +175,9 @@ impl fmt::Display for EngineError {
                 write!(f, "request canceled by engine drain before being served")
             }
             Self::Injected => write!(f, "chaos injector forced this request to fail"),
+            Self::Unavailable => {
+                write!(f, "shard backend unreachable after retries and failover")
+            }
         }
     }
 }

@@ -87,7 +87,7 @@ mod worker;
 pub mod workload;
 
 pub use benes_core::faults::{FaultError, FaultKind, FaultSet};
-pub use breaker::{BreakerConfig, BreakerState};
+pub use breaker::{Admission, Breaker, BreakerConfig, BreakerState};
 pub use cache::PlanCache;
 pub use chaos::{run_soak, ChaosConfig, ChaosEvent, ChaosSchedule, SoakConfig, SoakReport};
 pub use engine::{

@@ -1,16 +1,73 @@
 //! A small blocking client for the benes-serve wire protocol, used by
-//! the load generator, the smoke script and the integration tests.
+//! the load generator, the remote shard fleet, the smoke script and
+//! the integration tests.
 //!
 //! The client owns one TCP connection and an incremental decode
 //! buffer; [`Client::send`] writes frames (pipelining is just calling
 //! it repeatedly before reading), [`Client::recv`] blocks until the
 //! next complete frame arrives.
+//!
+//! Failure reporting is typed ([`RecvError`]) because callers react
+//! very differently to the arms: a [`RecvError::Timeout`] leaves the
+//! connection and the partial decode buffer intact — retrying `recv`
+//! later picks up exactly where the stream left off — while
+//! [`RecvError::Closed`] and [`RecvError::Wire`] mean the connection
+//! is dead and must be re-established.
 
+use std::fmt;
 use std::io::{ErrorKind, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::proto::{decode, Frame};
+use crate::proto::{decode, Frame, WireError};
+
+/// Why [`Client::recv`] could not produce a frame.
+#[derive(Debug)]
+pub enum RecvError {
+    /// The read timeout configured via [`Client::set_read_timeout`]
+    /// expired before a complete frame arrived. **The connection is
+    /// still good**: any partial frame bytes stay in the decode
+    /// buffer, so calling `recv` again resumes the same frame rather
+    /// than desynchronizing the stream.
+    Timeout,
+    /// The peer closed the connection (EOF) before a complete frame
+    /// arrived.
+    Closed,
+    /// The peer sent bytes that do not decode as a frame. The stream
+    /// cannot be resynchronized; drop the connection.
+    Wire(WireError),
+    /// Any other socket error.
+    Io(std::io::Error),
+}
+
+impl RecvError {
+    /// Whether this error is the retry-safe timeout arm.
+    #[must_use]
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, Self::Timeout)
+    }
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Timeout => write!(f, "read timed out before a complete frame arrived"),
+            Self::Closed => write!(f, "peer closed the connection mid-frame"),
+            Self::Wire(e) => write!(f, "undecodable bytes from peer: {e}"),
+            Self::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Wire(e) => Some(e),
+            Self::Io(e) => Some(e),
+            Self::Timeout | Self::Closed => None,
+        }
+    }
+}
 
 /// One blocking protocol connection.
 #[derive(Debug)]
@@ -30,6 +87,39 @@ impl Client {
         // analyze:allow(discarded-result): nodelay is advisory
         let _ = stream.set_nodelay(true);
         Ok(Self { stream, buf: Vec::new() })
+    }
+
+    /// Connects with a bound on how long the TCP handshake may take.
+    /// Plain [`Client::connect`] blocks for the OS default (minutes
+    /// against a black-holed address) — a remote-shard coordinator
+    /// cannot afford that, so its connect attempts go through here.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::TimedOut`] when the handshake exceeds `timeout`;
+    /// [`ErrorKind::InvalidInput`] when `addr` resolves to nothing;
+    /// otherwise any socket error from connecting.
+    pub fn connect_timeout<A: ToSocketAddrs>(
+        addr: A,
+        timeout: Duration,
+    ) -> std::io::Result<Self> {
+        // TcpStream::connect_timeout wants one resolved SocketAddr;
+        // try each resolution until one connects inside its budget.
+        let mut last_err = None;
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        for sa in &addrs {
+            match TcpStream::connect_timeout(sa, timeout) {
+                Ok(stream) => {
+                    // analyze:allow(discarded-result): nodelay is advisory
+                    let _ = stream.set_nodelay(true);
+                    return Ok(Self { stream, buf: Vec::new() });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            std::io::Error::new(ErrorKind::InvalidInput, "address resolved to nothing")
+        }))
     }
 
     /// Bounds how long [`Client::recv`] blocks for bytes.
@@ -68,14 +158,15 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// * [`ErrorKind::UnexpectedEof`] — the server closed the
-    ///   connection mid-frame (or before one arrived);
-    /// * [`ErrorKind::InvalidData`] — the bytes received are not a
-    ///   valid frame (the inner error is the typed
-    ///   [`crate::proto::WireError`]);
-    /// * any other socket read error (including timeouts configured
-    ///   via [`Client::set_read_timeout`]).
-    pub fn recv(&mut self) -> std::io::Result<Frame> {
+    /// * [`RecvError::Timeout`] — the configured read timeout expired;
+    ///   the decode buffer is preserved, so a later `recv` resumes the
+    ///   stream without desynchronizing;
+    /// * [`RecvError::Closed`] — the server closed the connection
+    ///   mid-frame (or before one arrived);
+    /// * [`RecvError::Wire`] — the bytes received are not a valid
+    ///   frame;
+    /// * [`RecvError::Io`] — any other socket read error.
+    pub fn recv(&mut self) -> Result<Frame, RecvError> {
         let mut scratch = [0u8; 16 * 1024];
         loop {
             match decode(&self.buf) {
@@ -84,18 +175,22 @@ impl Client {
                     return Ok(frame);
                 }
                 Ok(None) => {}
-                Err(e) => return Err(std::io::Error::new(ErrorKind::InvalidData, e)),
+                Err(e) => return Err(RecvError::Wire(e)),
             }
             match self.stream.read(&mut scratch) {
-                Ok(0) => {
-                    return Err(std::io::Error::new(
-                        ErrorKind::UnexpectedEof,
-                        "server closed the connection mid-frame",
-                    ))
-                }
+                Ok(0) => return Err(RecvError::Closed),
                 Ok(n) => self.buf.extend_from_slice(&scratch[..n]),
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
+                // Both kinds appear for an expired SO_RCVTIMEO
+                // depending on platform; either way the stream (and
+                // our partial decode buffer) is still intact.
+                Err(e)
+                    if e.kind() == ErrorKind::WouldBlock
+                        || e.kind() == ErrorKind::TimedOut =>
+                {
+                    return Err(RecvError::Timeout)
+                }
+                Err(e) => return Err(RecvError::Io(e)),
             }
         }
     }

@@ -58,8 +58,11 @@ pub mod proto;
 pub mod server;
 pub mod tenant;
 
-pub use client::Client;
+pub use client::{Client, RecvError};
 pub use http::{serve_http, HttpOptions, HttpResponse};
-pub use proto::{decode, Frame, Status, TenantRow, WireError, MAX_FRAME_LEN, VERSION};
+pub use proto::{
+    decode, tier_code, tier_from_code, Frame, Status, TenantRow, WireError, MAX_FRAME_LEN,
+    VERSION,
+};
 pub use server::{ServeConfig, Server, ServerCounters};
 pub use tenant::{DrrScheduler, QuotaExceeded};

@@ -27,6 +27,8 @@
 //! | 5    | `Drain`      | client → server  | empty (honoured only when the server runs `--allow-drain`) |
 //! | 6    | `ErrorReply` | server → client  | req id u64 (0 = not request-scoped), code u8, message len u16 + UTF-8 bytes |
 
+use benes_engine::Tier;
+
 /// The protocol version this build speaks. A frame with any other
 /// version byte decodes to [`WireError::UnknownVersion`].
 pub const VERSION: u8 = 1;
@@ -97,6 +99,34 @@ impl Status {
             Self::Draining => "draining",
             Self::BadRequest => "bad_request",
         }
+    }
+}
+
+/// The stable wire code for a serving tier (engine [`Tier`] order).
+/// This is the byte carried in [`Frame::RouteReply`]'s `tier` field.
+#[must_use]
+pub fn tier_code(tier: Tier) -> u8 {
+    match tier {
+        Tier::Cached => 0,
+        Tier::SelfRoute => 1,
+        Tier::OmegaBit => 2,
+        Tier::Factored => 3,
+        Tier::Waksman => 4,
+    }
+}
+
+/// Decodes a wire tier byte back to the engine [`Tier`], or `None` for
+/// bytes this build does not know (a newer peer's tier degrades to
+/// "unknown", never to a wrong tier).
+#[must_use]
+pub fn tier_from_code(code: u8) -> Option<Tier> {
+    match code {
+        0 => Some(Tier::Cached),
+        1 => Some(Tier::SelfRoute),
+        2 => Some(Tier::OmegaBit),
+        3 => Some(Tier::Factored),
+        4 => Some(Tier::Waksman),
+        _ => None,
     }
 }
 
@@ -552,6 +582,17 @@ mod tests {
         let len = (bytes.len() - 4) as u32;
         bytes[0..4].copy_from_slice(&len.to_le_bytes()); // …inside the length
         assert!(matches!(decode(&bytes), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn tier_codes_round_trip_and_reject_unknowns() {
+        for tier in
+            [Tier::Cached, Tier::SelfRoute, Tier::OmegaBit, Tier::Factored, Tier::Waksman]
+        {
+            assert_eq!(tier_from_code(tier_code(tier)), Some(tier));
+        }
+        assert_eq!(tier_from_code(5), None);
+        assert_eq!(tier_from_code(u8::MAX), None);
     }
 
     #[test]

@@ -44,7 +44,7 @@ use benes_engine::{
 };
 use benes_perm::Permutation;
 
-use crate::proto::{decode, Frame, Status, TenantRow, WireError};
+use crate::proto::{decode, tier_code, Frame, Status, TenantRow, WireError};
 use crate::tenant::DrrScheduler;
 
 /// Tuning knobs for [`Server::start`].
@@ -307,17 +307,6 @@ impl Conn {
 
     fn wants_write(&self) -> bool {
         self.woff < self.wbuf.len()
-    }
-}
-
-/// The stable wire code for a serving tier (engine `Tier` order).
-fn tier_code(tier: Tier) -> u8 {
-    match tier {
-        Tier::Cached => 0,
-        Tier::SelfRoute => 1,
-        Tier::OmegaBit => 2,
-        Tier::Factored => 3,
-        Tier::Waksman => 4,
     }
 }
 

@@ -1,0 +1,87 @@
+//! Client-side regressions for the typed recv error and the bounded
+//! connect: a read timeout must leave the decode buffer (and the
+//! connection) intact so a later `recv` resumes the same byte stream,
+//! and `connect_timeout` must behave like `connect` against a live
+//! listener while bounding the handshake against a dead one.
+
+use std::io::Write;
+use std::net::TcpListener;
+use std::time::Duration;
+
+use benes_serve::proto::{Frame, Status};
+use benes_serve::{Client, RecvError};
+
+/// A raw listener standing in for a server we control byte-by-byte.
+fn raw_peer() -> (TcpListener, String) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("bound").to_string();
+    (listener, addr)
+}
+
+#[test]
+fn recv_timeout_is_typed_and_preserves_the_partial_frame() {
+    let (listener, addr) = raw_peer();
+    let mut client = Client::connect(&addr).expect("connect");
+    client.set_read_timeout(Some(Duration::from_millis(50))).expect("timeout");
+    let (mut peer, _) = listener.accept().expect("accept");
+
+    let reply =
+        Frame::RouteReply { req_id: 42, status: Status::Ok, tier: Some(2), latency_ns: 7 };
+    let bytes = reply.to_bytes();
+    let cut = bytes.len() - 3; // stop mid-payload
+
+    // First half only: recv must report a retry-safe timeout, not EOF,
+    // not a wire error, and must NOT throw the buffered prefix away.
+    peer.write_all(&bytes[..cut]).expect("write prefix");
+    peer.flush().expect("flush");
+    match client.recv() {
+        Err(e) if e.is_timeout() => {}
+        other => panic!("expected RecvError::Timeout, got {other:?}"),
+    }
+    // A second timeout in a row is equally harmless.
+    assert!(matches!(client.recv(), Err(RecvError::Timeout)));
+
+    // Now the rest of the frame, plus a whole second frame: the stream
+    // must NOT be desynchronized by the earlier timeouts.
+    peer.write_all(&bytes[cut..]).expect("write rest");
+    peer.write_all(&Frame::Drain.to_bytes()).expect("write second frame");
+    peer.flush().expect("flush");
+    assert_eq!(client.recv().expect("first frame"), reply);
+    assert_eq!(client.recv().expect("second frame"), Frame::Drain);
+}
+
+#[test]
+fn recv_reports_eof_as_closed() {
+    let (listener, addr) = raw_peer();
+    let mut client = Client::connect(&addr).expect("connect");
+    let (peer, _) = listener.accept().expect("accept");
+    drop(peer); // clean close before any frame
+    assert!(matches!(client.recv(), Err(RecvError::Closed)));
+}
+
+#[test]
+fn connect_timeout_reaches_a_live_listener() {
+    let (listener, addr) = raw_peer();
+    let mut client =
+        Client::connect_timeout(&addr, Duration::from_secs(2)).expect("connect in time");
+    // Prove the connection is usable end to end.
+    let (mut peer, _) = listener.accept().expect("accept");
+    peer.write_all(&Frame::Stats.to_bytes()).expect("write");
+    assert_eq!(client.recv().expect("frame"), Frame::Stats);
+}
+
+#[test]
+fn connect_timeout_errors_fast_on_a_dead_port() {
+    // Bind-then-drop guarantees the port is closed: the connect must
+    // come back with an error (refused on loopback) well inside the
+    // budget instead of hanging for the OS default.
+    let (listener, addr) = raw_peer();
+    drop(listener);
+    let started = std::time::Instant::now();
+    let err = Client::connect_timeout(&addr, Duration::from_millis(500));
+    assert!(err.is_err(), "connecting to a closed port must fail");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "connect_timeout must not block for the OS default"
+    );
+}

@@ -137,4 +137,114 @@ proptest! {
             prop_assert!(used <= bytes.len());
         }
     }
+
+    /// Random chunkings of a random multi-frame stream reassemble the
+    /// exact frame sequence (the adversarial network never gets to
+    /// desynchronize the decoder, only to delay it).
+    #[test]
+    fn random_split_reads_reassemble_the_stream(
+        frames in proptest::collection::vec(arb_frame(), 4),
+        cuts in proptest::collection::vec(1usize..40, 16),
+    ) {
+        let mut stream = Vec::new();
+        for f in &frames {
+            f.encode(&mut stream);
+        }
+        let mut sizes: Vec<usize> = cuts;
+        sizes.push(stream.len()); // guarantee the stream finishes
+        prop_assert_eq!(feed_in_chunks(&stream, &sizes), frames);
+    }
+}
+
+/// Feeds `stream` into an incremental decode buffer `chunk_sizes` at a
+/// time (cycling, trailing remainder flushed at the end), asserting
+/// the decoder only ever says "incomplete" between chunks, and returns
+/// every frame it produced in order.
+fn feed_in_chunks(stream: &[u8], chunk_sizes: &[usize]) -> Vec<Frame> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut frames = Vec::new();
+    let mut offset = 0;
+    let mut sizes = chunk_sizes.iter().copied().cycle();
+    while offset < stream.len() {
+        let take = sizes.next().expect("cycle is infinite").min(stream.len() - offset);
+        buf.extend_from_slice(&stream[offset..offset + take]);
+        offset += take;
+        while let Some((frame, used)) =
+            decode(&buf).expect("valid stream never errors mid-reassembly")
+        {
+            frames.push(frame);
+            buf.drain(..used);
+        }
+    }
+    assert!(buf.is_empty(), "stream ends on a frame boundary");
+    frames
+}
+
+/// The deterministic half of the split-read satellite: every frame
+/// kind back to back, delivered in every fixed chunk size from one
+/// byte up — so every frame boundary lands mid-length-prefix and
+/// mid-payload many times over.
+#[test]
+fn every_fixed_chunk_size_reassembles_every_frame_kind() {
+    let frames = vec![
+        Frame::Route {
+            req_id: 1,
+            tenant: 7,
+            deadline_ms: 250,
+            destinations: vec![3, 1, 0, 2],
+        },
+        Frame::RouteReply { req_id: 1, status: Status::Ok, tier: Some(1), latency_ns: 99 },
+        Frame::Stats,
+        Frame::StatsReply {
+            rows: vec![TenantRow {
+                tenant: 7,
+                submitted: 4,
+                completed: 4,
+                ..TenantRow::default()
+            }],
+        },
+        Frame::Drain,
+        Frame::ErrorReply { req_id: 0, code: Status::BadRequest, message: "nope".into() },
+    ];
+    let mut stream = Vec::new();
+    for f in &frames {
+        f.encode(&mut stream);
+    }
+    for chunk in 1..=stream.len() {
+        assert_eq!(feed_in_chunks(&stream, &[chunk]), frames, "chunk size {chunk}");
+    }
+}
+
+/// Boundary-targeted splits: cut the stream exactly 1–3 bytes into a
+/// frame's length prefix, and exactly one byte before a frame's end,
+/// so both "mid-length-prefix" and "mid-payload" boundaries are hit by
+/// name rather than by luck.
+#[test]
+fn splits_mid_length_prefix_and_mid_payload_reassemble() {
+    let a = Frame::Route { req_id: 9, tenant: 1, deadline_ms: 0, destinations: vec![1, 0] };
+    let b =
+        Frame::RouteReply { req_id: 9, status: Status::Shed, tier: None, latency_ns: 5 };
+    let frames = vec![a, b];
+    let mut stream = Vec::new();
+    for f in &frames {
+        f.encode(&mut stream);
+    }
+    let first_len = {
+        let (_, used) = decode(&stream).unwrap().unwrap();
+        used
+    };
+    for boundary in [
+        first_len - 1, // one byte short of frame A's end (mid-payload)
+        first_len + 1, // 1 byte into frame B's length prefix
+        first_len + 2, // 2 bytes in
+        first_len + 3, // 3 bytes in
+        first_len + 5, // past the prefix, mid-header
+    ] {
+        assert_eq!(
+            decode(&stream[..boundary]).unwrap().map(|(f, _)| f),
+            if boundary >= first_len { Some(frames[0].clone()) } else { None }
+        );
+        let sizes = [boundary, stream.len() - boundary];
+        assert_eq!(feed_in_chunks(&stream, &sizes), frames, "boundary {boundary}");
+    }
 }

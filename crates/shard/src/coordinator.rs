@@ -22,13 +22,12 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use benes_engine::chaos::ChaosConfig;
-use benes_engine::{
-    DrainReport, Engine, EngineConfig, EngineError, SubmitError, Ticket, Tier,
-};
+use benes_engine::{Engine, EngineConfig, EngineError, Tier};
 use benes_perm::Permutation;
 
+use crate::backend::{Backend, BackendDrain, LocalShard, UnitTicket};
 use crate::decompose::{balanced_block_bits, decompose, DecomposeError, Decomposition};
-use crate::stats::ShardStats;
+use crate::stats::{FleetStats, ShardStats};
 
 /// How the coordinator picks the block width `r` (blocks of `2^r`
 /// elements) for an incoming permutation of `2^n` elements.
@@ -243,12 +242,13 @@ impl ShardOutcome {
 /// semantics.
 pub struct ShardCoordinator {
     config: ShardConfig,
-    engines: Vec<Engine>,
+    backends: Vec<Box<dyn Backend>>,
 }
 
 impl ShardCoordinator {
-    /// Builds the fleet: `config.shards` engines, each from its own
-    /// copy of `config.engine`.
+    /// Builds an all-local fleet: `config.shards` in-process engines,
+    /// each from its own copy of `config.engine` (PR 6 semantics,
+    /// unchanged).
     ///
     /// # Panics
     ///
@@ -257,9 +257,24 @@ impl ShardCoordinator {
     #[must_use]
     pub fn new(config: ShardConfig) -> Self {
         assert!(config.shards > 0, "shard fleet needs at least one engine");
-        let engines =
-            (0..config.shards).map(|_| Engine::new(config.engine.clone())).collect();
-        Self { config, engines }
+        let backends = (0..config.shards)
+            .map(|_| Box::new(LocalShard::new(config.engine.clone())) as Box<dyn Backend>)
+            .collect();
+        Self { config, backends }
+    }
+
+    /// Builds a fleet over explicit backends — mix in-process
+    /// [`LocalShard`]s and remote [`crate::remote::RemoteShard`]s
+    /// freely; placement and fault-domain semantics are identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backends` is empty.
+    #[must_use]
+    pub fn with_backends(mut config: ShardConfig, backends: Vec<Box<dyn Backend>>) -> Self {
+        assert!(!backends.is_empty(), "shard fleet needs at least one backend");
+        config.shards = backends.len();
+        Self { config, backends }
     }
 
     /// The coordinator's configuration.
@@ -268,41 +283,56 @@ impl ShardCoordinator {
         &self.config
     }
 
-    /// Number of engine shards in the fleet.
+    /// Number of shards (backends) in the fleet.
     #[must_use]
     pub fn shard_count(&self) -> usize {
-        self.engines.len()
+        self.backends.len()
     }
 
-    /// Direct access to one shard's engine — the fault-injection and
-    /// inspection surface (`engine.inject_fault`, `engine.stats`, …).
+    /// Direct access to one shard backend.
+    #[must_use]
+    pub fn backend(&self, shard: usize) -> &dyn Backend {
+        self.backends[shard].as_ref()
+    }
+
+    /// Direct access to one shard's in-process engine — the
+    /// fault-injection and inspection surface (`engine.inject_fault`,
+    /// `engine.stats`, …).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shard `shard` is a remote backend (a remote process
+    /// has no in-process engine to inspect; use
+    /// [`ShardCoordinator::backend`] and its ledger instead).
     #[must_use]
     pub fn engine(&self, shard: usize) -> &Engine {
-        &self.engines[shard]
+        self.backends[shard]
+            .engine()
+            .unwrap_or_else(|| panic!("shard {shard} is remote: no in-process engine"))
     }
 
     /// The shard that owns block `b`'s stage-1 and stage-3 units.
     #[must_use]
     pub fn shard_for_block(&self, block: usize) -> usize {
-        block % self.engines.len()
+        block % self.backends.len()
     }
 
     /// The shard that owns color `c`'s between-stage unit.
     #[must_use]
     pub fn shard_for_color(&self, color: usize) -> usize {
-        color % self.engines.len()
+        color % self.backends.len()
     }
 
-    /// Arms a chaos configuration on **one** shard only — the other
-    /// shards keep running clean. This is the shard-targeted failpoint
-    /// used by the isolation soak.
+    /// Arms a chaos configuration on **one** (local) shard only — the
+    /// other shards keep running clean. This is the shard-targeted
+    /// failpoint used by the isolation soak.
     pub fn set_chaos_on(&self, shard: usize, chaos: ChaosConfig) {
-        self.engines[shard].set_chaos(chaos);
+        self.engine(shard).set_chaos(chaos);
     }
 
-    /// Disarms chaos on one shard.
+    /// Disarms chaos on one (local) shard.
     pub fn clear_chaos_on(&self, shard: usize) {
-        self.engines[shard].clear_chaos();
+        self.engine(shard).clear_chaos();
     }
 
     /// Routes `pi` across the fleet: decompose → scatter → gather →
@@ -336,17 +366,33 @@ impl ShardCoordinator {
         Ok(decompose(pi, self.config.block_policy.block_bits(n))?)
     }
 
-    /// Aggregated statistics across the fleet, with per-shard
-    /// breakdowns preserved.
+    /// Aggregated engine statistics across the **local** shards of the
+    /// fleet, with per-shard breakdowns preserved. Remote shards keep
+    /// their engine stats in their own process (scrape them there);
+    /// their coordinator-side transport ledgers are in
+    /// [`ShardCoordinator::fleet_stats`].
     #[must_use]
     pub fn stats(&self) -> ShardStats {
-        ShardStats::new(self.engines.iter().map(Engine::stats).collect())
+        ShardStats::new(
+            self.backends.iter().filter_map(|b| b.engine().map(Engine::stats)).collect(),
+        )
+    }
+
+    /// Per-backend lifecycle + resilience ledgers for the whole fleet —
+    /// local and remote shards alike — with the fleet-level retry,
+    /// failover, hedge and health exposition.
+    #[must_use]
+    pub fn fleet_stats(&self) -> FleetStats {
+        FleetStats::new(self.backends.iter().map(|b| (b.describe(), b.ledger())).collect())
     }
 
     /// Drains every shard against the same deadline, returning each
-    /// shard's report. After this, the coordinator no longer routes.
-    pub fn drain_all(&self, deadline: Instant) -> Vec<DrainReport> {
-        self.engines.iter().map(|e| e.drain(deadline)).collect()
+    /// backend's report in shard order. Remote shards get a `Drain`
+    /// frame over the wire (bounded — a dead process reports
+    /// `unreachable` instead of hanging the fleet). After this, the
+    /// coordinator no longer routes.
+    pub fn drain_all(&self, deadline: Instant) -> Vec<BackendDrain> {
+        self.backends.iter().map(|b| b.drain(deadline)).collect()
     }
 
     /// Scatters the decomposition's units to their shards, tagging each
@@ -355,7 +401,7 @@ impl ShardCoordinator {
         &self,
         d: &Decomposition,
         deadline: Option<Instant>,
-    ) -> Vec<(Stage, usize, usize, Result<Ticket, SubmitError>)> {
+    ) -> Vec<(Stage, usize, usize, UnitTicket)> {
         let mut out = Vec::with_capacity(d.unit_count());
         for (b, p) in d.stage1().iter().enumerate() {
             let shard = self.shard_for_block(b);
@@ -377,14 +423,11 @@ impl ShardCoordinator {
         shard: usize,
         p: &Permutation,
         deadline: Option<Instant>,
-    ) -> Result<Ticket, SubmitError> {
-        let engine = &self.engines[shard];
-        match deadline {
-            // submit/submit_with_deadline resolve rejected admissions to
-            // canceled tickets themselves, so this never blocks gather.
-            Some(dl) => Ok(engine.submit_with_deadline(p.clone(), dl)),
-            None => Ok(engine.submit(p.clone())),
-        }
+    ) -> UnitTicket {
+        // Backends resolve rejected/unreachable admissions to
+        // already-terminal tickets themselves, so this never blocks
+        // gather.
+        self.backends[shard].submit(p.clone(), deadline)
     }
 
     /// Counts routed elements and verifies recombination.
@@ -440,38 +483,27 @@ impl ShardCoordinator {
 impl fmt::Debug for ShardCoordinator {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ShardCoordinator")
-            .field("shards", &self.engines.len())
+            .field("shards", &self.backends.len())
             .field("block_policy", &self.config.block_policy)
             .finish_non_exhaustive()
     }
 }
 
-/// Waits out every ticket, preserving scatter order. Admission
-/// rejections (only possible with a bounded queue) become canceled
-/// outcomes with zero latency.
-fn gather(
-    tickets: Vec<(Stage, usize, usize, Result<Ticket, SubmitError>)>,
-) -> Vec<UnitOutcome> {
+/// Waits out every ticket, preserving scatter order. Backends guarantee
+/// every ticket resolves (rejections and unreachable backends are
+/// already-terminal tickets), so gather always returns.
+fn gather(tickets: Vec<(Stage, usize, usize, UnitTicket)>) -> Vec<UnitOutcome> {
     tickets
         .into_iter()
-        .map(|(stage, index, shard, ticket)| match ticket {
-            Ok(t) => {
-                let outcome = t.wait();
-                UnitOutcome {
-                    stage,
-                    index,
-                    shard,
-                    result: outcome.result,
-                    latency: outcome.latency,
-                }
-            }
-            Err(_) => UnitOutcome {
+        .map(|(stage, index, shard, ticket)| {
+            let reply = ticket.wait();
+            UnitOutcome {
                 stage,
                 index,
                 shard,
-                result: Err(EngineError::Canceled),
-                latency: Duration::ZERO,
-            },
+                result: reply.result,
+                latency: reply.latency,
+            }
         })
         .collect()
 }

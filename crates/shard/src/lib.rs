@@ -19,14 +19,26 @@
 //!   the classic three-stage Clos decomposition, computed by recursive
 //!   Euler splitting in `O(N log N)`;
 //! * [`coordinator`] scatters the `2B + S` resulting sub-permutations
-//!   across a fleet of engine shards (each a full
-//!   [`benes_engine::Engine`] with its own cache, fault registry,
-//!   breakers, and stats — an independent **fault domain**), gathers
-//!   the per-unit outcomes over the normal ticket lifecycle, and
-//!   reports partial completion element-exactly when shards degrade;
+//!   across a fleet of shards, gathers the per-unit outcomes over the
+//!   normal ticket lifecycle, and reports partial completion
+//!   element-exactly when shards degrade;
+//! * [`backend`] is what a shard *is*: the [`Backend`] trait, with
+//!   [`LocalShard`] wrapping an in-process [`benes_engine::Engine`]
+//!   (its own cache, fault registry, breakers, and stats — an
+//!   independent **fault domain**) and [`remote::RemoteShard`]
+//!   speaking the `benes-serve` wire protocol to a shard that is a
+//!   separate *process*, with retries, backoff, reconnection,
+//!   per-endpoint circuit breakers, spare failover, optional request
+//!   hedging, and heartbeat health probes;
 //! * [`stats`] rolls the per-shard [`benes_engine::EngineStats`] up
 //!   into fleet aggregates and a combined exposition that keeps a
-//!   `shard` label on every drill-down sample.
+//!   `shard` label on every drill-down sample; [`FleetStats`] adds the
+//!   per-backend transport ledgers (conservation checked per shard,
+//!   never summed) and the `benes_fleet_*` exposition;
+//! * [`fleet`] is the chaos drill behind `scripts/fleet.sh`:
+//!   [`run_fleet_soak`] classifies every failure against a declared
+//!   killable set and fails on cross-shard contamination or a bitwise
+//!   recombination mismatch.
 //!
 //! The correctness contract is bitwise: a complete
 //! [`ShardOutcome`] is `verified` only if recombining the three stages
@@ -48,15 +60,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod coordinator;
 pub mod decompose;
+pub mod fleet;
+pub mod remote;
 pub mod soak;
 pub mod stats;
 
+pub use backend::{
+    Backend, BackendDrain, BackendLedger, LocalShard, UnitReply, UnitTicket,
+};
 pub use coordinator::{
     BlockPolicy, ShardConfig, ShardCoordinator, ShardError, ShardOutcome, Stage,
     UnitOutcome,
 };
 pub use decompose::{balanced_block_bits, decompose, DecomposeError, Decomposition};
+pub use fleet::{run_fleet_soak, FleetSoakConfig, FleetSoakReport};
+pub use remote::{RemoteConfig, RemoteShard};
 pub use soak::{run_shard_soak, ShardSoakConfig, ShardSoakReport};
-pub use stats::ShardStats;
+pub use stats::{FleetStats, ShardStats};

@@ -1,0 +1,137 @@
+#!/usr/bin/env sh
+# EXP-FLEET gate: the remote shard fleet under real process death.
+#
+# Starts four benes-serve daemons on ephemeral loopback ports — three
+# fleet primaries plus one spare for shard 1 — then runs
+# `benes-cli fleet soak` against them with shards 1 and 2 declared
+# killable. Once the soak prints its second `fleet-round` line, this
+# script `kill -9`s the primaries of shards 1 and 2 mid-soak:
+#
+#   * shard 1 has a spare, so its rounds must stay fully verified
+#     through failover (nonzero benes_fleet_failovers_total);
+#   * shard 2 has no spare, so its rounds go degraded — and the soak
+#     (exit code) enforces that degradation stayed element-exact:
+#     zero contaminated units, zero recombine mismatches, and every
+#     shard ledger conserving submitted = completed+failed+shed+canceled;
+#   * the health gauge must show shard 2 red by the end.
+#
+# Afterwards the two surviving daemons take a clean `load_gen --fleet`
+# benchmark run (every round must verify), optionally writing the
+# EXP-FLEET JSON.
+#
+# Env:
+#   FLEET_ROUNDS   soak rounds                       (default 8)
+#   FLEET_N        permutation order per round, 2^n  (default 8)
+#   FLEET_PAUSE_MS pause between rounds              (default 150)
+#   FLEET_BENCH    bench rounds on the survivors     (default 40)
+#   FLEET_OUT      optional BENCH_FLEET.json path    (default: none)
+#
+# tier-1 runs this as-is; the committed BENCH_FLEET.json at the repo
+# root comes from a run with FLEET_BENCH=200.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+ROUNDS="${FLEET_ROUNDS:-8}"
+N="${FLEET_N:-8}"
+PAUSE="${FLEET_PAUSE_MS:-150}"
+BENCH="${FLEET_BENCH:-40}"
+OUT="${FLEET_OUT:-}"
+
+cargo build --release --offline -p benes-serve -p benes-cli -p benes-bench
+
+# Four daemons: primaries for shards 0..2, plus shard 1's spare.
+LOGDIR=$(mktemp -d)
+PIDS=""
+cleanup() {
+    for p in $PIDS; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$LOGDIR"
+}
+trap cleanup EXIT
+
+spawn() {
+    ./target/release/benes-serve --addr 127.0.0.1:0 --workers 2 \
+        > "$LOGDIR/$1.log" 2>&1 &
+    PIDS="$PIDS $!"
+    eval "$2=$!"
+}
+spawn p0 PID0
+spawn p1 PID1
+spawn p2 PID2
+spawn spare PIDS1
+addr_of() {
+    _a=""
+    for _ in $(seq 1 100); do
+        _a=$(sed -n 's/^listening on //p' "$LOGDIR/$1.log")
+        [ -n "$_a" ] && break
+        sleep 0.1
+    done
+    if [ -z "$_a" ]; then
+        echo "fleet.sh: daemon $1 did not start:" >&2
+        cat "$LOGDIR/$1.log" >&2
+        exit 1
+    fi
+    printf '%s' "$_a"
+}
+A0=$(addr_of p0); A1=$(addr_of p1); A2=$(addr_of p2); ASPARE=$(addr_of spare)
+
+# The soak, streamed to a log so we can time the kill off its rounds.
+SOAK="$LOGDIR/soak.log"
+./target/release/benes-cli fleet soak --addrs "$A0,$A1,$A2" \
+    --spare "1=$ASPARE" --killable 1,2 --rounds "$ROUNDS" --n "$N" \
+    --pause-ms "$PAUSE" > "$SOAK" 2>&1 &
+CLI=$!
+
+# Chaos: once round 2 is on the wire, hard-kill shards 1 and 2.
+KILLED=0
+for _ in $(seq 1 200); do
+    if grep -q '^fleet-round 1:' "$SOAK"; then
+        kill -9 "$PID1" "$PID2"
+        KILLED=1
+        break
+    fi
+    kill -0 "$CLI" 2>/dev/null || break
+    sleep 0.1
+done
+if [ "$KILLED" != "1" ]; then
+    echo "fleet.sh: soak never reached round 2; log:" >&2
+    cat "$SOAK" >&2
+    exit 1
+fi
+
+# The soak's own exit code carries the verdict: degraded-not-
+# contaminated, per-shard conservation, every round accounted for.
+if ! wait "$CLI"; then
+    echo "fleet.sh: fleet soak reported UNHEALTHY:" >&2
+    cat "$SOAK" >&2
+    exit 1
+fi
+cat "$SOAK"
+
+require() {
+    if ! grep -q "$1" "$SOAK"; then
+        echo "fleet.sh: missing '$1' in soak output" >&2
+        exit 1
+    fi
+}
+require '^fleet-soak: HEALTHY$'
+require '^fleet-soak: contaminated_units=0 '
+# The kill must actually have been felt: degraded rounds on the
+# spare-less shard, failovers on the spared one, and a red gauge.
+if grep -q '^fleet-soak: rounds=.* degraded=0 ' "$SOAK"; then
+    echo "fleet.sh: kill -9 landed but no round degraded" >&2
+    exit 1
+fi
+if grep -q '^benes_fleet_failovers_total 0$' "$SOAK"; then
+    echo "fleet.sh: spare never took over (failovers = 0)" >&2
+    exit 1
+fi
+require '^benes_fleet_shard_healthy{shard="2",kind="remote"} 0$'
+
+# Clean-fleet benchmark on the two survivors (shard 0 + the ex-spare):
+# load_gen exits nonzero unless every round verifies and every backend
+# ledger conserves.
+./target/release/load_gen --fleet "$A0,$ASPARE" --requests "$BENCH" \
+    --order 6 ${OUT:+--json "$OUT"}
+
+echo "fleet.sh: OK — $ROUNDS soak rounds survived kill -9 x2 (degraded, not contaminated), $BENCH clean bench rounds"

@@ -16,3 +16,4 @@ BENCH_REQUESTS=200 BENCH_OUT=target/BENCH_ENGINE.json sh scripts/bench.sh
 CHAOS_REQUESTS=200 sh scripts/chaos.sh
 sh scripts/shard.sh
 SERVE_REQUESTS=2000 sh scripts/serve.sh
+sh scripts/fleet.sh
